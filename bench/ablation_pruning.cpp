@@ -1,0 +1,92 @@
+// Ablation A1 (DESIGN.md): dynamic predicate pruning variants.
+//   * TestSuiteOnly     — the paper's formulation (evidence from the suite)
+//   * SolverAssisted    — on-demand deviating witnesses from the DSE engine
+//   * NoVerify          — suite-only, without the verify-against-passing
+//                         repair step (shows why the side conditions matter)
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Summary {
+    preinfer::bench::SnbCounts snb;
+    int acl = 0;
+    long long preds_before = 0;
+    long long preds_after = 0;
+    long long oracle_calls = 0;
+    long long fallbacks = 0;
+    double complexity_sum = 0;
+    int complexity_n = 0;
+};
+
+Summary summarize(const preinfer::eval::HarnessResult& result) {
+    Summary s;
+    for (const preinfer::eval::AclRow& row : result.acls) {
+        s.acl += 1;
+        s.snb.add(row.preinfer);
+        s.preds_before += row.preinfer.pruning.predicates_before;
+        s.preds_after += row.preinfer.pruning.predicates_after;
+        s.oracle_calls += row.preinfer.pruning.oracle_calls;
+        if (row.preinfer.inferred) {
+            s.complexity_sum += row.preinfer.complexity;
+            s.complexity_n += 1;
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+int main() {
+    using namespace preinfer;
+
+    std::puts("Ablation A1 — predicate-pruning modes (PreInfer only)\n");
+
+    eval::HarnessConfig base = eval::default_harness_config();
+    base.run_fixit = false;
+    base.run_dysy = false;
+
+    eval::HarnessConfig suite_only = base;
+    suite_only.preinfer.pruning.mode = core::PruningMode::TestSuiteOnly;
+
+    eval::HarnessConfig solver_assisted = base;
+    solver_assisted.preinfer.pruning.mode = core::PruningMode::SolverAssisted;
+
+    eval::HarnessConfig no_verify = base;
+    no_verify.preinfer.verify_against_passing = false;
+
+    struct Variant {
+        const char* name;
+        const eval::HarnessConfig* config;
+    };
+    const Variant variants[] = {
+        {"TestSuiteOnly", &suite_only},
+        {"SolverAssisted", &solver_assisted},
+        {"NoVerify", &no_verify},
+    };
+
+    bench::Table table({"Variant", "#ACL", "#Suff", "#Nece", "#Both",
+                        "Preds kept", "Avg |psi|", "Oracle calls"});
+    for (const Variant& v : variants) {
+        const Summary s = summarize(eval::run_harness(eval::corpus(), *v.config));
+        const double kept = s.preds_before
+                                ? 100.0 * static_cast<double>(s.preds_after) /
+                                      static_cast<double>(s.preds_before)
+                                : 0.0;
+        std::vector<std::string> cells{v.name, std::to_string(s.acl)};
+        bench::append_snb(cells, s.snb);
+        cells.push_back(bench::fmt_f(kept, 1) + "%");
+        cells.push_back(bench::fmt_f(
+            s.complexity_n ? s.complexity_sum / s.complexity_n : 0.0, 1));
+        cells.push_back(std::to_string(s.oracle_calls));
+        table.add_row(std::move(cells));
+    }
+    table.print();
+
+    std::puts("\nExpected shape: SolverAssisted keeps fewer predicates (more "
+              "pruning evidence) at the cost of extra solver work; NoVerify "
+              "trades necessity for occasional over-pruned candidates.");
+    return 0;
+}

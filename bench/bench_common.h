@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared aggregation helpers over eval::HarnessResult for the table benches.
+
+#include <map>
+#include <numeric>
+
+#include "src/eval/corpus.h"
+#include "src/eval/harness.h"
+#include "table_format.h"
+
+namespace preinfer::bench {
+
+/// Only-sufficient / only-necessary / both, per the paper's Table V columns.
+struct SnbCounts {
+    int suff = 0;
+    int nece = 0;
+    int both = 0;
+
+    void add(const eval::ApproachOutcome& o) {
+        const bool s = o.sufficient();
+        const bool n = o.necessary();
+        if (s && n) {
+            ++both;
+        } else if (s) {
+            ++suff;
+        } else if (n) {
+            ++nece;
+        }
+    }
+
+    SnbCounts& operator+=(const SnbCounts& o) {
+        suff += o.suff;
+        nece += o.nece;
+        both += o.both;
+        return *this;
+    }
+};
+
+inline void append_snb(std::vector<std::string>& cells, const SnbCounts& c) {
+    cells.push_back(std::to_string(c.suff));
+    cells.push_back(std::to_string(c.nece));
+    cells.push_back(std::to_string(c.both));
+}
+
+/// Average of rel_complexity over outcomes that have one; NaN-free.
+inline double avg_rel_complexity(const std::vector<const eval::ApproachOutcome*>& os) {
+    double sum = 0;
+    int n = 0;
+    for (const eval::ApproachOutcome* o : os) {
+        if (o->inferred && o->has_rel_complexity) {
+            sum += o->rel_complexity;
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace preinfer::bench

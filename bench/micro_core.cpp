@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) for the load-bearing components:
+// solver decisions, concolic execution, generational exploration, dynamic
+// predicate pruning, and collection-element generalization.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/generalize.h"
+#include "src/core/preinfer.h"
+#include "src/eval/corpus.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/solver/solver.h"
+
+namespace {
+
+using namespace preinfer;
+
+lang::Method compile(std::string_view src) {
+    lang::Program prog = lang::parse_single_method(src);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    return std::move(prog.methods[0]);
+}
+
+constexpr const char* kFigure1 = R"(
+method example(s: str[], a: int, b: int, c: int, d: int) : int {
+    var sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (var i = 0; i < s.len; i = i + 1) {
+            sum = sum + s[i].len;
+        }
+        return sum;
+    }
+    return 0;
+})";
+
+void BM_SolverLinearChain(benchmark::State& state) {
+    sym::ExprPool pool;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<const sym::Expr*> conjuncts;
+    // x0 < x1 < ... < x_{n-1}, x0 >= 0, x_{n-1} <= 3n.
+    for (int i = 0; i + 1 < n; ++i) {
+        conjuncts.push_back(
+            pool.lt(pool.param(i, sym::Sort::Int), pool.param(i + 1, sym::Sort::Int)));
+    }
+    conjuncts.push_back(pool.ge(pool.param(0, sym::Sort::Int), pool.int_const(0)));
+    conjuncts.push_back(
+        pool.le(pool.param(n - 1, sym::Sort::Int), pool.int_const(3 * n)));
+    for (auto _ : state) {
+        solver::Solver solver(pool);
+        auto result = solver.solve(conjuncts);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SolverLinearChain)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_SolverUnsatCore(benchmark::State& state) {
+    sym::ExprPool pool;
+    const sym::Expr* x = pool.param(0, sym::Sort::Int);
+    std::vector<const sym::Expr*> conjuncts{
+        pool.gt(x, pool.int_const(100)),
+        pool.lt(x, pool.int_const(50)),
+    };
+    for (auto _ : state) {
+        solver::Solver solver(pool);
+        auto result = solver.solve(conjuncts);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SolverUnsatCore);
+
+void BM_ConcolicFigure1(benchmark::State& state) {
+    sym::ExprPool pool;
+    const lang::Method m = compile(kFigure1);
+    exec::ConcolicInterpreter interp(pool, m);
+    exec::Input in;
+    in.args.emplace_back(exec::StrArrInput::of(
+        {exec::StrInput::of("a"), exec::StrInput::of("b"), exec::StrInput::null()}));
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    for (auto _ : state) {
+        auto result = interp.run(in);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ConcolicFigure1);
+
+void BM_ExploreFigure1(benchmark::State& state) {
+    const lang::Method m = compile(kFigure1);
+    for (auto _ : state) {
+        sym::ExprPool pool;
+        gen::Explorer explorer(pool, m);
+        auto suite = explorer.explore();
+        benchmark::DoNotOptimize(suite);
+    }
+}
+BENCHMARK(BM_ExploreFigure1)->Unit(benchmark::kMillisecond);
+
+void BM_PruneFigure1(benchmark::State& state) {
+    const lang::Method m = compile(kFigure1);
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, m);
+    const gen::TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    const core::AclId acl = acls.back();
+    const gen::AclView view = view_for(suite, acl);
+    for (auto _ : state) {
+        core::PredicatePruner pruner(pool, acl, view.failing_pcs(), view.passing_pcs());
+        auto reduced = pruner.prune_all();
+        benchmark::DoNotOptimize(reduced);
+    }
+}
+BENCHMARK(BM_PruneFigure1)->Unit(benchmark::kMicrosecond);
+
+void BM_GeneralizeElementRun(benchmark::State& state) {
+    sym::ExprPool pool;
+    const sym::Expr* s = pool.param(0, sym::Sort::Obj);
+    core::PathCondition backing;
+    core::ReducedPath rp;
+    rp.original = &backing;
+    const auto n = state.range(0);
+    for (std::int64_t k = 0; k < n; ++k) {
+        rp.preds.push_back({pool.lt(pool.int_const(k), pool.len(s)), 1,
+                            core::ExceptionKind::None, {}});
+        const sym::Expr* elem =
+            pool.is_null(pool.select(s, pool.int_const(k), sym::Sort::Obj));
+        rp.preds.push_back({k + 1 < n ? pool.not_(elem) : elem, 2,
+                            core::ExceptionKind::NullReference, {}});
+    }
+    const core::TemplateRegistry registry = core::TemplateRegistry::standard();
+    for (auto _ : state) {
+        auto gp = core::generalize(pool, registry, rp);
+        benchmark::DoNotOptimize(gp);
+    }
+}
+BENCHMARK(BM_GeneralizeElementRun)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EndToEndInference(benchmark::State& state) {
+    const lang::Method m = compile(kFigure1);
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, m);
+    const gen::TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    const core::AclId acl = acls.back();
+    const gen::AclView view = view_for(suite, acl);
+    for (auto _ : state) {
+        core::PreInfer preinfer(pool);
+        auto result = preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), {});
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_EndToEndInference)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Reproduces Table IV: average block coverage achieved by the test
+// generator for all the methods in each evaluation subject.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+    using namespace preinfer;
+
+    std::puts("Table IV — average block coverage achieved by the generator\n");
+
+    eval::HarnessConfig config = eval::default_harness_config();
+    // Coverage needs no inference or validation work.
+    config.run_preinfer = false;
+    config.run_fixit = false;
+    config.run_dysy = false;
+    config.validation.explore.max_tests = 1;
+    config.validation.explore.max_solver_calls = 0;
+    config.validation.fuzz_count = 0;
+
+    const eval::HarnessResult result = eval::run_harness(eval::corpus(), config);
+
+    std::map<std::string, std::pair<double, int>> per_suite;
+    for (const eval::MethodRow& m : result.methods) {
+        auto& [sum, n] = per_suite[m.suite];
+        sum += m.block_coverage;
+        n += 1;
+    }
+
+    bench::Table table({"Subject", "Average Block Coverage", "#Methods"});
+    for (const eval::SuiteCensus& row : eval::census(eval::corpus())) {
+        const auto& [sum, n] = per_suite[row.suite];
+        table.add_row({row.suite, bench::fmt_pct(n ? sum / n : 0.0), std::to_string(n)});
+    }
+    table.print();
+
+    std::puts("\nPaper reference: Algorithmia 65.41%, CodeContracts 99.20%, "
+              "DSA 100.00%, SVComp 95.61%.");
+    return 0;
+}

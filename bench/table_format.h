@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal fixed-width table printer shared by the bench binaries so every
+// reproduced table reads like the paper's.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace preinfer::bench {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        auto rule = [&widths]() {
+            std::string line = "+";
+            for (const std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+            std::puts(line.c_str());
+        };
+        auto print_row = [&widths](const std::vector<std::string>& cells) {
+            std::string line = "|";
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                const std::string& cell = c < cells.size() ? cells[c] : std::string();
+                line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+            }
+            std::puts(line.c_str());
+        };
+        rule();
+        print_row(headers_);
+        rule();
+        for (const auto& row : rows_) print_row(row);
+        rule();
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_pct(double fraction) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f%%", fraction * 100.0);
+    return buf;
+}
+
+inline std::string fmt_f(double value, int digits = 2) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+}  // namespace preinfer::bench

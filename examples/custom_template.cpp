@@ -1,0 +1,136 @@
+// Extending the generalization-template registry, as the paper suggests:
+// "new types of templates can be easily added as long as they operate over
+// the predicates from failing path conditions."
+//
+// This example adds a LastElementTemplate that recognizes failures caused
+// specifically by the final element of a collection (a common
+// stack-top/buffer-tail idiom) and summarizes them as a condition over
+// a[a.len - 1] instead of per-length disjuncts.
+//
+// Run: ./build/examples/custom_template
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/preinfer.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/rewrite.h"
+
+namespace {
+
+using namespace preinfer;
+using sym::Expr;
+
+/// Matches reduced paths whose assertion-violating predicate targets the
+/// collection's last element: the pivot's index K is pinned to len-1 by a
+/// length bound K+1 (i.e. len == K+1). Emits the index-free condition
+/// φ(a[a.len - 1]) && a.len > 0 — a degenerate but genuinely useful
+/// "template" showing the interface contract: inspect the CollectionInfo,
+/// return the replacement predicate plus every consumed position.
+class LastElementTemplate final : public core::GeneralizationTemplate {
+public:
+    const char* name() const override { return "last-element"; }
+
+    std::optional<core::TemplateMatch> try_match(
+        sym::ExprPool& pool, const core::ReducedPath& rp,
+        const core::CollectionInfo& info,
+        solver::Solver* /*equivalence_solver*/) const override {
+        if (rp.preds.empty()) return std::nullopt;
+        const std::size_t last = rp.preds.size() - 1;
+
+        const core::CollectionInfo::ElemAtom* pivot = nullptr;
+        for (const auto& e : info.elems) {
+            if (e.pos == last) pivot = &e;
+        }
+        if (!pivot || info.elems.size() != 1) return std::nullopt;
+
+        // The path must pin the length to exactly K+1 (an == bound shows up
+        // as both an upper bound K+1 and a domain atom K).
+        bool pinned = false;
+        std::vector<std::size_t> consumed{pivot->pos};
+        for (const auto& b : info.len_bounds) {
+            if (b.bound == pivot->k + 1) {
+                pinned = true;
+                consumed.push_back(b.pos);
+            }
+        }
+        if (!pinned) return std::nullopt;
+        for (const auto& d : info.domains) {
+            if (d.k <= pivot->k) consumed.push_back(d.pos);
+        }
+
+        // φ(a[i]) with i := a.len - 1.
+        const Expr* bv = pool.bound_var(0);
+        const Expr* last_index = pool.sub(pool.len(info.obj), pool.int_const(1));
+        const Expr* phi_at_last = sym::substitute(
+            pool, pivot->shape,
+            {{pool.select(info.obj, bv, sym::Sort::Int),
+              pool.select(info.obj, last_index, sym::Sort::Int)},
+             {pool.select(info.obj, bv, sym::Sort::Obj),
+              pool.select(info.obj, last_index, sym::Sort::Obj)}});
+
+        core::TemplateMatch m;
+        m.quantified = core::make_and(
+            {core::make_atom(pool.gt(pool.len(info.obj), pool.int_const(0))),
+             core::make_atom(phi_at_last)});
+        std::sort(consumed.begin(), consumed.end());
+        consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+        m.consumed = std::move(consumed);
+        m.score = static_cast<int>(m.consumed.size());
+        m.template_name = name();
+        return m;
+    }
+};
+
+constexpr const char* kStackTop = R"(
+method stack_top_zero(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    if (xs.len == 0) { return 0; }
+    return 100 / xs[xs.len - 1];
+})";
+
+}  // namespace
+
+int main() {
+    lang::Program program = lang::parse_single_method(kStackTop);
+    lang::type_check(program);
+    lang::label_blocks(program);
+    const lang::Method& method = program.methods[0];
+    const auto names = method.param_names();
+
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, method);
+    const gen::TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    if (acls.empty()) {
+        std::puts("no failing tests");
+        return 1;
+    }
+    const gen::AclView view = view_for(suite, acls.front());
+
+    std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
+    std::vector<const sym::EvalEnv*> envs;
+    for (const gen::Test* t : view.passing) {
+        storage.push_back(std::make_unique<exec::InputEvalEnv>(method, t->input));
+        envs.push_back(storage.back().get());
+    }
+
+    // Without the custom template: per-length disjuncts.
+    core::PreInfer vanilla(pool);
+    const auto r1 = vanilla.infer(acls.front(), view.failing_pcs(), view.passing_pcs(), envs);
+    std::printf("standard registry:\n  %s\n\n",
+                core::to_string(r1.precondition, names).c_str());
+
+    // With it: a single index-free condition.
+    core::TemplateRegistry registry = core::TemplateRegistry::standard();
+    registry.add(std::make_unique<LastElementTemplate>());
+    core::PreInfer extended(pool, {}, &registry);
+    const auto r2 =
+        extended.infer(acls.front(), view.failing_pcs(), view.passing_pcs(), envs);
+    std::printf("with LastElementTemplate (%d paths generalized):\n  %s\n",
+                r2.generalized_paths, core::to_string(r2.precondition, names).c_str());
+    return 0;
+}

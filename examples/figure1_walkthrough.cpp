@@ -1,0 +1,126 @@
+// Walkthrough of the paper's running example (Figure 1, Tables I-II):
+// prints the path conditions of the motivating failing tests, the result of
+// dynamic predicate pruning, the collection-element generalization, and the
+// final preconditions for both assertion-containing locations.
+//
+// Run: ./build/examples/figure1_walkthrough
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "src/core/preinfer.h"
+#include "src/core/pruning.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/print.h"
+
+namespace {
+
+constexpr const char* kFigure1 = R"(
+method example(s: str[], a: int, b: int, c: int, d: int) : int {
+    var sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (var i = 0; i < s.len; i = i + 1) {
+            sum = sum + s[i].len;
+        }
+        return sum;
+    }
+    return 0;
+})";
+
+}  // namespace
+
+int main() {
+    using namespace preinfer;
+
+    lang::Program program = lang::parse_single_method(kFigure1);
+    lang::type_check(program);
+    lang::label_blocks(program);
+    const lang::Method& method = program.methods[0];
+    const auto names = method.param_names();
+
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, method);
+
+    // The paper's t_f1: (s: {null}, a: 1, b: 0, c: 1, d: 0).
+    exec::Input tf1;
+    tf1.args.emplace_back(exec::StrArrInput::of({exec::StrInput::null()}));
+    tf1.args.emplace_back(std::int64_t{1});
+    tf1.args.emplace_back(std::int64_t{0});
+    tf1.args.emplace_back(std::int64_t{1});
+    tf1.args.emplace_back(std::int64_t{0});
+    const exec::RunResult r1 = interp.run(tf1);
+    std::printf("t_f1 %s -> %s\n", tf1.to_string(method).c_str(),
+                r1.outcome.to_string().c_str());
+    std::printf("  path condition (Table I): %s\n\n",
+                core::to_string(r1.pc, names).c_str());
+
+    // The paper's t_f3: (s: {"a","a",null}, a: 1, b: 0, c: 1, d: 0).
+    exec::Input tf3;
+    tf3.args.emplace_back(exec::StrArrInput::of(
+        {exec::StrInput::of("a"), exec::StrInput::of("a"), exec::StrInput::null()}));
+    tf3.args.emplace_back(std::int64_t{1});
+    tf3.args.emplace_back(std::int64_t{0});
+    tf3.args.emplace_back(std::int64_t{1});
+    tf3.args.emplace_back(std::int64_t{0});
+    const exec::RunResult r3 = interp.run(tf3);
+    std::printf("t_f3 %s -> %s\n", tf3.to_string(method).c_str(),
+                r3.outcome.to_string().c_str());
+    std::printf("  path condition (Table II): %s\n\n",
+                core::to_string(r3.pc, names).c_str());
+
+    // Full pipeline per discovered ACL.
+    gen::Explorer explorer(pool, method);
+    const gen::TestSuite suite = explorer.explore();
+    for (const core::AclId acl : suite.failing_acls()) {
+        const gen::AclView view = view_for(suite, acl);
+        std::printf("=== ACL %s (node %d): %zu failing, %zu passing ===\n",
+                    core::exception_kind_name(acl.kind), acl.node_id,
+                    view.failing.size(), view.passing.size());
+
+        // Show pruning on the shortest failing path.
+        core::PredicatePruner pruner(pool, acl, view.failing_pcs(),
+                                     view.passing_pcs());
+        const auto reduced = pruner.prune_all();
+        const core::ReducedPath* shortest = nullptr;
+        for (const core::ReducedPath& rp : reduced) {
+            if (!shortest || rp.original->size() < shortest->original->size())
+                shortest = &rp;
+        }
+        if (shortest) {
+            std::printf("  sample pruning: %zu predicates -> %zu kept\n",
+                        shortest->original->size(), shortest->preds.size());
+            for (const core::PathPredicate& p : shortest->preds) {
+                std::printf("    kept: %s\n", sym::to_string(p.expr, names).c_str());
+            }
+        }
+
+        std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
+        std::vector<const sym::EvalEnv*> envs;
+        for (const gen::Test* t : view.passing) {
+            env_storage.push_back(
+                std::make_unique<exec::InputEvalEnv>(method, t->input));
+            envs.push_back(env_storage.back().get());
+        }
+        core::PreInfer preinfer(pool);
+        const core::InferenceResult result =
+            preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+        std::map<std::string, int> template_counts;
+        for (const std::string& t : result.template_uses) template_counts[t]++;
+        std::printf("  generalized paths: %d (", result.generalized_paths);
+        bool first = true;
+        for (const auto& [name, count] : template_counts) {
+            std::printf("%s%s x%d", first ? "" : ", ", name.c_str(), count);
+            first = false;
+        }
+        std::printf(")\n  precondition: %s\n\n",
+                    core::to_string(result.precondition, names).c_str());
+    }
+    return 0;
+}

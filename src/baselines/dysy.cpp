@@ -1,0 +1,28 @@
+#include "src/baselines/dysy.h"
+
+#include "src/core/simplify.h"
+
+namespace preinfer::baselines {
+
+DySyResult dysy_infer(sym::ExprPool& pool,
+                      std::span<const core::PathCondition* const> passing) {
+    DySyResult result;
+    if (passing.empty()) return result;
+
+    std::vector<core::PredPtr> disjuncts;
+    disjuncts.reserve(passing.size());
+    for (const core::PathCondition* pc : passing) {
+        std::vector<core::PredPtr> conj;
+        conj.reserve(pc->preds.size());
+        for (const core::PathPredicate& p : pc->preds) {
+            conj.push_back(core::make_atom(p.expr));
+        }
+        disjuncts.push_back(core::make_and(std::move(conj)));
+    }
+
+    result.precondition = core::simplify(pool, core::make_or(std::move(disjuncts)));
+    result.inferred = true;
+    return result;
+}
+
+}  // namespace preinfer::baselines

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "src/core/path_condition.h"
+#include "src/core/pred.h"
+
+namespace preinfer::baselines {
+
+/// The DySy baseline (Csallner et al., as characterized in the paper):
+/// symbolic-execution-derived preconditions with no predicate pruning and
+/// no quantifiers. The inferred precondition is the disjunction of the
+/// *full* passing path conditions — it validates exactly the passing
+/// behaviours that were observed. It therefore blocks every failing test
+/// (their path conditions are disjoint from all passing ones), works even
+/// when no failing run exists, but generalizes poorly: unobserved passing
+/// paths are blocked, and the formula's complexity grows with every path.
+struct DySyResult {
+    bool inferred = false;
+    core::PredPtr precondition;
+};
+
+[[nodiscard]] DySyResult dysy_infer(
+    sym::ExprPool& pool, std::span<const core::PathCondition* const> passing);
+
+}  // namespace preinfer::baselines

@@ -1,0 +1,25 @@
+#include "src/baselines/fixit.h"
+
+#include "src/core/simplify.h"
+
+namespace preinfer::baselines {
+
+FixItResult fixit_infer(sym::ExprPool& pool,
+                        std::span<const core::PathCondition* const> failing) {
+    FixItResult result;
+    if (failing.empty()) return result;
+
+    std::vector<core::PredPtr> disjuncts;
+    for (const core::PathCondition* pc : failing) {
+        if (pc->empty()) continue;
+        disjuncts.push_back(core::make_atom(pc->last().expr));
+    }
+    if (disjuncts.empty()) return result;
+
+    result.alpha = core::simplify(pool, core::make_or(std::move(disjuncts)));
+    result.precondition = core::simplify(pool, core::negate(pool, result.alpha));
+    result.inferred = true;
+    return result;
+}
+
+}  // namespace preinfer::baselines

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/core/path_condition.h"
+#include "src/core/pred.h"
+
+namespace preinfer::baselines {
+
+/// The FixIt baseline (as characterized in the paper's evaluation): "FixIt
+/// uses only the last-branch predicate to form a precondition. FixIt does
+/// not infer a precondition from multiple branch conditions and has no
+/// notion of a quantifier."
+///
+/// α = ⋁ last-branch predicates of the failing paths (deduplicated);
+/// precondition = ¬α. Tends to be merely necessary (it cannot express
+/// reachability constraints) and handles zero collection-element cases.
+struct FixItResult {
+    bool inferred = false;
+    core::PredPtr alpha;
+    core::PredPtr precondition;
+};
+
+[[nodiscard]] FixItResult fixit_infer(
+    sym::ExprPool& pool, std::span<const core::PathCondition* const> failing);
+
+}  // namespace preinfer::baselines

@@ -1,0 +1,284 @@
+#include "src/cli/driver.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "src/baselines/dysy.h"
+#include "src/baselines/fixit.h"
+#include "src/core/complexity.h"
+#include "src/core/guard.h"
+#include "src/core/preinfer.h"
+#include "src/eval/acl_classify.h"
+#include "src/eval/metrics.h"
+#include "src/gen/fuzzer.h"
+#include "src/gen/oracle.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/support/diagnostics.h"
+#include "src/sym/print.h"
+
+namespace preinfer::cli {
+
+std::string usage() {
+    return R"(usage: preinfer <file.mini> [options]
+
+Infers preconditions for every failing assertion location of a MiniLang
+method, from automatically generated tests.
+
+options:
+  --method NAME     analyze this method (default: the file's first method)
+  --solver-assisted use on-demand witness generation during pruning
+  --no-generalize   disable collection-element generalization templates
+  --semantic-templates
+                    match template shapes by solver-decided equivalence
+  --baselines       also run the DySy and FixIt baselines
+  --show-paths      print a sample failing path condition per location
+  --validate        judge sufficiency/necessity on a fresh validation suite
+  --max-tests N     exploration budget (default 256)
+  --guard-fuzz N    wrap the method in the inferred precondition and fuzz it
+  --help            this text
+)";
+}
+
+ParseResult parse_args(const std::vector<std::string>& args) {
+    ParseResult r;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next_int = [&](int& out) {
+            if (i + 1 >= args.size()) {
+                r.error = a + " expects a number";
+                return false;
+            }
+            try {
+                out = std::stoi(args[++i]);
+            } catch (const std::exception&) {
+                r.error = a + " expects a number";
+                return false;
+            }
+            return true;
+        };
+        if (a == "--help" || a == "-h") {
+            r.show_help = true;
+            r.ok = true;
+            return r;
+        } else if (a == "--method") {
+            if (i + 1 >= args.size()) {
+                r.error = "--method expects a name";
+                return r;
+            }
+            r.options.method = args[++i];
+        } else if (a == "--solver-assisted") {
+            r.options.solver_assisted = true;
+        } else if (a == "--no-generalize") {
+            r.options.generalize = false;
+        } else if (a == "--semantic-templates") {
+            r.options.semantic_templates = true;
+        } else if (a == "--baselines") {
+            r.options.baselines = true;
+        } else if (a == "--show-paths") {
+            r.options.show_paths = true;
+        } else if (a == "--validate") {
+            r.options.validate = true;
+        } else if (a == "--max-tests") {
+            if (!next_int(r.options.max_tests)) return r;
+        } else if (a == "--guard-fuzz") {
+            if (!next_int(r.options.guard_fuzz)) return r;
+        } else if (!a.empty() && a[0] == '-') {
+            r.error = "unknown option " + a;
+            return r;
+        } else if (r.options.source_path.empty()) {
+            r.options.source_path = a;
+        } else {
+            r.error = "multiple input files given";
+            return r;
+        }
+    }
+    if (r.options.source_path.empty()) {
+        r.error = "no input file";
+        return r;
+    }
+    r.ok = true;
+    return r;
+}
+
+namespace {
+
+void print_strength(std::ostream& out, const eval::Strength& s) {
+    out << "    validation: "
+        << (s.both() ? "sufficient AND necessary"
+                     : (s.sufficient ? "only sufficient"
+                                     : (s.necessary ? "only necessary"
+                                                    : "neither")))
+        << "  (blocked " << s.failing_blocked << "/" << s.failing_total
+        << " failing, validated " << s.passing_validated << "/" << s.passing_total
+        << " passing)\n";
+}
+
+}  // namespace
+
+int run(const Options& options, std::string source_text, std::ostream& out) {
+    lang::Program program;
+    try {
+        program = lang::parse_program(source_text);
+        if (program.methods.empty()) {
+            out << "error: no methods in input\n";
+            return 1;
+        }
+        lang::type_check(program);
+        lang::label_blocks(program);
+    } catch (const support::FrontendError& e) {
+        out << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    const lang::Method* method = options.method.empty()
+                                     ? &program.methods.front()
+                                     : program.find(options.method);
+    if (method == nullptr) {
+        out << "error: no method named '" << options.method << "'\n";
+        return 1;
+    }
+    const auto names = method->param_names();
+
+    sym::ExprPool pool;
+    gen::ExplorerConfig explore_cfg;
+    explore_cfg.max_tests = options.max_tests;
+    gen::Explorer explorer(pool, *method, explore_cfg, &program);
+    const gen::TestSuite suite = explorer.explore();
+
+    out << "method " << method->name << ": " << suite.tests.size()
+        << " tests generated, block coverage "
+        << static_cast<int>(100.0 * suite.block_coverage(method->num_blocks) + 0.5)
+        << "%\n";
+
+    const auto acls = suite.failing_acls();
+    if (acls.empty()) {
+        out << "no failing tests: nothing to infer\n";
+        return 2;
+    }
+
+    gen::Explorer oracle_explorer(pool, *method, explore_cfg, &program);
+    gen::ExplorerOracle oracle(oracle_explorer);
+
+    for (const core::AclId acl : acls) {
+        const gen::AclView view = view_for(suite, acl);
+        const lang::Method* owner = program.method_containing(acl.node_id);
+        out << "\n== " << core::exception_kind_name(acl.kind);
+        if (owner != nullptr) {
+            out << " in " << owner->name << " ("
+                << eval::loop_position_name(eval::classify_acl(*owner, acl.node_id))
+                << ")";
+        }
+        out << ": " << view.failing.size() << " failing / " << view.passing.size()
+            << " passing tests\n";
+
+        if (options.show_paths && !view.failing.empty()) {
+            out << "  sample failing path: "
+                << core::to_string(view.failing.front()->result.pc, names) << "\n";
+            out << "  sample failing input: "
+                << view.failing.front()->input.to_string(*method) << "\n";
+        }
+
+        std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
+        std::vector<const sym::EvalEnv*> envs;
+        for (const gen::Test* t : view.passing) {
+            storage.push_back(std::make_unique<exec::InputEvalEnv>(*method, t->input));
+            envs.push_back(storage.back().get());
+        }
+
+        core::PreInferConfig config;
+        config.generalization_enabled = options.generalize;
+        config.semantic_template_matching = options.semantic_templates;
+        if (options.solver_assisted) {
+            config.pruning.mode = core::PruningMode::SolverAssisted;
+        }
+        core::PreInfer preinfer(pool, config, nullptr,
+                                options.solver_assisted ? &oracle : nullptr);
+        const core::InferenceResult r =
+            preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+        if (!r.inferred) {
+            out << "  PreInfer: nothing inferred\n";
+            continue;
+        }
+        out << "  PreInfer: " << core::to_string(r.precondition, names) << "\n";
+        out << "    |psi| = " << core::complexity(r.precondition) << ", pruned "
+            << r.pruning.pruned << "/" << r.pruning.predicates_before
+            << " predicates";
+        if (r.generalized_paths > 0) {
+            std::map<std::string, int> uses;
+            for (const std::string& t : r.template_uses) uses[t]++;
+            out << ", templates:";
+            for (const auto& [name, count] : uses) out << " " << name << " x" << count;
+        }
+        out << "\n";
+
+        gen::TestSuite validation;
+        if (options.validate || options.guard_fuzz > 0) {
+            eval::ValidationConfig vcfg;
+            vcfg.explore.max_tests = options.max_tests + 128;
+            validation = eval::build_validation_suite(pool, *method, vcfg, &program);
+        }
+        if (options.validate) {
+            print_strength(out,
+                           eval::evaluate_strength(*method, acl, r.precondition,
+                                                   validation));
+        }
+
+        if (options.baselines) {
+            const baselines::FixItResult fixit =
+                baselines::fixit_infer(pool, view.failing_pcs());
+            if (fixit.inferred) {
+                out << "  FixIt:    " << core::to_string(fixit.precondition, names)
+                    << "\n";
+                if (options.validate) {
+                    print_strength(out, eval::evaluate_strength(
+                                            *method, acl, fixit.precondition,
+                                            validation));
+                }
+            }
+            const baselines::DySyResult dysy =
+                baselines::dysy_infer(pool, view.passing_pcs());
+            if (dysy.inferred) {
+                const std::string printed = core::to_string(dysy.precondition, names);
+                out << "  DySy:     "
+                    << (printed.size() > 240 ? printed.substr(0, 240) + "..." : printed)
+                    << "\n    |psi| = " << core::complexity(dysy.precondition) << "\n";
+                if (options.validate) {
+                    print_strength(out, eval::evaluate_strength(
+                                            *method, acl, dysy.precondition,
+                                            validation));
+                }
+            }
+        }
+
+        if (options.guard_fuzz > 0) {
+            core::PreconditionGuard guard(pool, *method, r.precondition, {}, &program);
+            gen::Fuzzer fuzzer(*method, 42);
+            std::vector<exec::Input> batch;
+            batch.reserve(static_cast<std::size_t>(options.guard_fuzz));
+            for (int i = 0; i < options.guard_fuzz; ++i) batch.push_back(fuzzer.next());
+            const auto stats = guard.run_batch(batch);
+            out << "  guard over " << stats.total() << " fuzz inputs: "
+                << stats.rejected << " rejected, " << stats.completed
+                << " completed, " << stats.escaped << " failures escaped\n";
+        }
+    }
+    return 0;
+}
+
+int run_file(const Options& options, std::ostream& out) {
+    std::ifstream in(options.source_path);
+    if (!in) {
+        out << "error: cannot open " << options.source_path << "\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return run(options, text.str(), out);
+}
+
+}  // namespace preinfer::cli

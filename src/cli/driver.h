@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace preinfer::cli {
+
+/// Options of the `preinfer` command-line tool (see tools/preinfer_main.cpp).
+struct Options {
+    std::string source_path;      ///< MiniLang file to analyze
+    std::string method;           ///< method under test; empty = first method
+    bool solver_assisted = false; ///< pruning mode
+    bool generalize = true;       ///< collection-element generalization
+    bool semantic_templates = false;  ///< solver-decided shape equivalence
+    bool baselines = false;       ///< also run DySy and FixIt
+    bool show_paths = false;      ///< dump failing path conditions
+    bool validate = false;        ///< judge strength on a validation suite
+    int max_tests = 256;          ///< exploration budget
+    int guard_fuzz = 0;           ///< if > 0, fuzz the guarded method N times
+};
+
+/// Parses argv (excluding argv[0]); returns nullopt + prints usage on error.
+struct ParseResult {
+    bool ok = false;
+    bool show_help = false;
+    Options options;
+    std::string error;
+};
+[[nodiscard]] ParseResult parse_args(const std::vector<std::string>& args);
+
+[[nodiscard]] std::string usage();
+
+/// Runs the whole pipeline for the options, writing a human-readable report
+/// to `out`. Returns the process exit code (0 = ok, 1 = usage/frontend
+/// error, 2 = no failing tests found).
+int run(const Options& options, std::string source_text, std::ostream& out);
+
+/// Convenience: reads the file named in options.source_path.
+int run_file(const Options& options, std::ostream& out);
+
+}  // namespace preinfer::cli

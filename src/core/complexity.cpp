@@ -1,0 +1,46 @@
+#include "src/core/complexity.h"
+
+#include <cmath>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::core {
+
+int expr_connectives(const sym::Expr* e) {
+    if (e == nullptr) return 0;
+    int count = sym::is_connective(e->kind) ? 1 : 0;
+    if (e->child0) count += expr_connectives(e->child0);
+    if (e->child1) count += expr_connectives(e->child1);
+    return count;
+}
+
+int complexity(const PredPtr& p) {
+    switch (p->kind) {
+        case PredKind::Atom:
+            return p->atom ? expr_connectives(p->atom) : 0;
+        case PredKind::And:
+        case PredKind::Or: {
+            int count = static_cast<int>(p->kids.size()) - 1;
+            for (const PredPtr& k : p->kids) count += complexity(k);
+            return count;
+        }
+        case PredKind::Not:
+            return 1 + complexity(p->kids[0]);
+        case PredKind::Forall:
+        case PredKind::Exists:
+            // One quantifier, one implicit connective joining domain and
+            // body (-> or &&), plus whatever the two parts contain.
+            return 2 + expr_connectives(p->domain) + expr_connectives(p->body);
+    }
+    PI_CHECK(false, "unhandled pred kind");
+    return 0;
+}
+
+double relative_complexity(const PredPtr& inferred, const PredPtr& ground_truth) {
+    const int got = complexity(inferred);
+    const int want = complexity(ground_truth);
+    const double denom = want == 0 ? 1.0 : static_cast<double>(want);
+    return static_cast<double>(got - want) / denom;
+}
+
+}  // namespace preinfer::core

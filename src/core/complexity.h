@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/core/pred.h"
+
+namespace preinfer::core {
+
+/// Complexity |ψ| (Definition 3): the number of logical connectives and
+/// quantifiers in ψ. Connectives inside atoms (a quantifier body like
+/// `i < s.len || s[i] == 0` contains an Or) count too; comparisons and
+/// arithmetic do not. An n-ary And/Or contributes n-1.
+[[nodiscard]] int complexity(const PredPtr& p);
+
+/// Connectives in a plain expression (used for atoms / quantifier parts).
+[[nodiscard]] int expr_connectives(const sym::Expr* e);
+
+/// Relative complexity of an inferred precondition against the ground
+/// truth (Section V-B): (|ψ| - |ψ*|) / |ψ*|. When the ground truth has
+/// complexity 0, the denominator is taken as 1 so the metric stays finite.
+[[nodiscard]] double relative_complexity(const PredPtr& inferred,
+                                         const PredPtr& ground_truth);
+
+}  // namespace preinfer::core

@@ -1,0 +1,39 @@
+#include "src/core/equiv.h"
+
+#include "src/sym/rewrite.h"
+
+namespace preinfer::core {
+
+namespace {
+
+/// Replaces every BoundVar leaf with a fresh integer parameter so the
+/// quantifier-free solver can reason about the shape.
+const sym::Expr* ground_bound_vars(sym::ExprPool& pool, const sym::Expr* e) {
+    if (!e->has_bound) return e;
+    std::unordered_map<const sym::Expr*, const sym::Expr*> map;
+    sym::for_each_node(e, [&](const sym::Expr* n) {
+        if (n->kind == sym::Kind::BoundVar) {
+            // Parameter indices of real methods are tiny; offset far away.
+            map.emplace(n, pool.param(100000 + static_cast<int>(n->a), sym::Sort::Int));
+        }
+    });
+    return sym::substitute(pool, e, map);
+}
+
+bool unsat(solver::Solver& solver, const sym::Expr* x, const sym::Expr* y) {
+    const sym::Expr* conjuncts[] = {x, y};
+    return solver.solve(conjuncts).status == solver::SolveStatus::Unsat;
+}
+
+}  // namespace
+
+bool semantically_equal(sym::ExprPool& pool, solver::Solver& solver,
+                        const sym::Expr* a, const sym::Expr* b) {
+    if (a == b) return true;
+    const sym::Expr* ga = ground_bound_vars(pool, a);
+    const sym::Expr* gb = ground_bound_vars(pool, b);
+    if (ga == gb) return true;
+    return unsat(solver, ga, pool.negate(gb)) && unsat(solver, pool.negate(ga), gb);
+}
+
+}  // namespace preinfer::core

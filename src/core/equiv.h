@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/solver/solver.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::core {
+
+/// Semantic equivalence of two boolean predicate shapes (possibly over the
+/// quantifier bound variable), decided with the constraint solver:
+/// a ≡ b iff both a ∧ ¬b and ¬a ∧ b are unsatisfiable. The bound variable
+/// is treated as a fresh unconstrained integer; Select terms indexed by it
+/// act as uninterpreted applications, which is exactly what deciding
+/// shape equivalence needs.
+///
+/// This implements the improvement the paper proposes for its template
+/// matching: "use a constraint solver to help determine predicate
+/// equivalence instead of using the raw string representations of the
+/// predicates" (Section V-C). Returns false on Unknown (conservative).
+[[nodiscard]] bool semantically_equal(sym::ExprPool& pool, solver::Solver& solver,
+                                      const sym::Expr* a, const sym::Expr* b);
+
+}  // namespace preinfer::core

@@ -1,0 +1,55 @@
+#include "src/core/generalize.h"
+
+#include <algorithm>
+
+namespace preinfer::core {
+
+GeneralizedPath generalize(sym::ExprPool& pool, const TemplateRegistry& registry,
+                           const ReducedPath& rp, solver::Solver* equivalence_solver) {
+    GeneralizedPath out;
+    out.original = rp.original;
+
+    // Best match per collection.
+    std::vector<TemplateMatch> matches;
+    for (const CollectionInfo& info : analyze_collections(pool, rp)) {
+        std::optional<TemplateMatch> best;
+        for (const auto& tmpl : registry.templates()) {
+            auto m = tmpl->try_match(pool, rp, info, equivalence_solver);
+            if (m && (!best || m->score > best->score)) best = std::move(m);
+        }
+        if (best) matches.push_back(std::move(*best));
+    }
+
+    // Greedily apply non-overlapping matches, strongest first.
+    std::sort(matches.begin(), matches.end(),
+              [](const TemplateMatch& a, const TemplateMatch& b) {
+                  return a.score > b.score;
+              });
+    std::vector<bool> consumed(rp.preds.size(), false);
+    // anchor position -> quantified predicate inserted there
+    std::vector<std::pair<std::size_t, const TemplateMatch*>> applied;
+    for (const TemplateMatch& m : matches) {
+        const bool overlaps = std::any_of(
+            m.consumed.begin(), m.consumed.end(),
+            [&consumed](std::size_t pos) { return consumed[pos]; });
+        if (overlaps) continue;
+        for (std::size_t pos : m.consumed) consumed[pos] = true;
+        applied.emplace_back(m.consumed.back(), &m);
+    }
+
+    for (std::size_t pos = 0; pos < rp.preds.size(); ++pos) {
+        for (const auto& [anchor, match] : applied) {
+            if (anchor == pos) {
+                out.items.push_back(match->quantified);
+                ++out.templates_applied;
+                out.template_names.push_back(match->template_name);
+            }
+        }
+        if (!consumed[pos]) {
+            out.items.push_back(make_atom(rp.preds[pos].expr));
+        }
+    }
+    return out;
+}
+
+}  // namespace preinfer::core

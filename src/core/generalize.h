@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/core/templates.h"
+
+namespace preinfer::core {
+
+/// A reduced path condition after collection-element generalization: an
+/// ordered mix of surviving atoms and quantified predicates that replaced
+/// runs of overly specific predicates.
+struct GeneralizedPath {
+    const PathCondition* original = nullptr;
+    std::vector<PredPtr> items;
+    int templates_applied = 0;
+    std::vector<const char*> template_names;
+
+    /// The conjunction ρ'_fi used as one disjunct of α.
+    [[nodiscard]] PredPtr to_pred() const { return make_and(items); }
+};
+
+/// Applies the registry's templates to one reduced path. Per collection,
+/// the highest-scoring match wins ("we choose a candidate C based on the
+/// number of subsumed overly specific predicates"); matches over different
+/// collections compose as long as their consumed predicate sets do not
+/// overlap. The quantified predicate replaces the consumed run at the
+/// position of its last consumed predicate, so an existential pivot stays
+/// the final (assertion-violating) item.
+[[nodiscard]] GeneralizedPath generalize(sym::ExprPool& pool,
+                                         const TemplateRegistry& registry,
+                                         const ReducedPath& rp,
+                                         solver::Solver* equivalence_solver = nullptr);
+
+}  // namespace preinfer::core

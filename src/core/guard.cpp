@@ -1,0 +1,40 @@
+#include "src/core/guard.h"
+
+#include "src/core/pred_eval.h"
+#include "src/exec/input.h"
+
+namespace preinfer::core {
+
+PreconditionGuard::PreconditionGuard(sym::ExprPool& pool, const lang::Method& method,
+                                     PredPtr precondition, exec::ExecLimits limits,
+                                     const lang::Program* program)
+    : method_(method),
+      precondition_(std::move(precondition)),
+      interpreter_(pool, method, limits, program) {}
+
+GuardedRun PreconditionGuard::invoke(const exec::Input& input) const {
+    const exec::InputEvalEnv env(method_, input);
+    if (!eval_pred(precondition_, env)) {
+        return {GuardedRun::Status::Rejected, {}};
+    }
+    GuardedRun out;
+    out.run = interpreter_.run(input);
+    out.status = out.run.outcome.failing() ? GuardedRun::Status::Escaped
+                                           : GuardedRun::Status::Completed;
+    return out;
+}
+
+PreconditionGuard::Stats PreconditionGuard::run_batch(
+    std::span<const exec::Input> inputs) const {
+    Stats stats;
+    for (const exec::Input& input : inputs) {
+        switch (invoke(input).status) {
+            case GuardedRun::Status::Rejected: ++stats.rejected; break;
+            case GuardedRun::Status::Completed: ++stats.completed; break;
+            case GuardedRun::Status::Escaped: ++stats.escaped; break;
+        }
+    }
+    return stats;
+}
+
+}  // namespace preinfer::core

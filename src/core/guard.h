@@ -1,0 +1,54 @@
+#pragma once
+
+#include "src/core/pred.h"
+#include "src/exec/concolic.h"
+
+namespace preinfer::core {
+
+/// What happened when a guarded method was invoked.
+struct GuardedRun {
+    enum class Status : std::uint8_t {
+        Rejected,   ///< the precondition invalidated the entry state
+        Completed,  ///< precondition held and the method ran normally
+        Escaped,    ///< precondition held but the method still failed
+                    ///< (the precondition was not sufficient)
+    };
+
+    Status status = Status::Completed;
+    exec::RunResult run;  ///< valid unless status == Rejected
+};
+
+/// Runtime monitor implementing the paper's deployment story: "developers
+/// can directly insert the preconditions in the method under test to
+/// improve its robustness". The guard evaluates the precondition against
+/// the entry state and only executes the method when it validates
+/// (Undef counts as a rejection — an unevaluable precondition cannot
+/// vouch for the state).
+class PreconditionGuard {
+public:
+    /// `program` is required when `method` calls other methods.
+    PreconditionGuard(sym::ExprPool& pool, const lang::Method& method,
+                      PredPtr precondition, exec::ExecLimits limits = {},
+                      const lang::Program* program = nullptr);
+
+    [[nodiscard]] GuardedRun invoke(const exec::Input& input) const;
+
+    /// Aggregate protection statistics over a batch of entry states:
+    /// how many were rejected, how many completed, and how many failures
+    /// escaped the guard.
+    struct Stats {
+        int rejected = 0;
+        int completed = 0;
+        int escaped = 0;
+
+        [[nodiscard]] int total() const { return rejected + completed + escaped; }
+    };
+    [[nodiscard]] Stats run_batch(std::span<const exec::Input> inputs) const;
+
+private:
+    const lang::Method& method_;
+    PredPtr precondition_;
+    exec::ConcolicInterpreter interpreter_;
+};
+
+}  // namespace preinfer::core

@@ -1,0 +1,50 @@
+#include "src/core/path_condition.h"
+
+#include "src/sym/print.h"
+
+namespace preinfer::core {
+
+const char* exception_kind_name(ExceptionKind k) {
+    switch (k) {
+        case ExceptionKind::None: return "None";
+        case ExceptionKind::NullReference: return "NullReference";
+        case ExceptionKind::IndexOutOfRange: return "IndexOutOfRange";
+        case ExceptionKind::DivideByZero: return "DivideByZero";
+        case ExceptionKind::AssertionViolation: return "AssertionViolation";
+    }
+    return "?";
+}
+
+bool PathCondition::reaches(AclId acl) const { return reaches_after(acl, -1); }
+
+bool PathCondition::reaches_after(AclId acl, int after) const {
+    for (const AclVisit& v : visits) {
+        if (v.acl == acl && v.position > after) return true;
+    }
+    return false;
+}
+
+std::uint64_t PathCondition::signature() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (const PathPredicate& p : preds) {
+        mix(reinterpret_cast<std::uintptr_t>(p.expr));
+        mix(static_cast<std::uint64_t>(p.site_id));
+    }
+    return h;
+}
+
+std::string to_string(const PathCondition& pc, std::span<const std::string> param_names) {
+    std::string out;
+    for (std::size_t i = 0; i < pc.preds.size(); ++i) {
+        if (i > 0) out += " && ";
+        out += sym::to_string(pc.preds[i].expr, param_names);
+    }
+    if (out.empty()) out = "true";
+    return out;
+}
+
+}  // namespace preinfer::core

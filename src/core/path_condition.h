@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+#include "src/sym/expr.h"
+
+namespace preinfer::core {
+
+/// Exception classes raised by MiniLang executions. The first three are
+/// implicit checks inserted by the runtime (as Pex does on .NET); the last
+/// is an explicitly written `assert`.
+enum class ExceptionKind : std::uint8_t {
+    None,                ///< marks ordinary program branches
+    NullReference,
+    IndexOutOfRange,
+    DivideByZero,
+    AssertionViolation,
+};
+
+[[nodiscard]] const char* exception_kind_name(ExceptionKind k);
+
+/// An assertion-containing location (Definition 2): the AST node performing
+/// a check, qualified by which check it is (one array access carries both a
+/// null check and a bounds check).
+struct AclId {
+    int node_id = -1;
+    ExceptionKind kind = ExceptionKind::None;
+
+    friend bool operator==(const AclId&, const AclId&) = default;
+    [[nodiscard]] bool valid() const { return node_id >= 0 && kind != ExceptionKind::None; }
+};
+
+struct AclIdHash {
+    std::size_t operator()(const AclId& a) const noexcept {
+        return std::hash<int>()(a.node_id) * 31u + static_cast<std::size_t>(a.kind);
+    }
+};
+
+/// One conjunct of a path condition, in "taken" polarity: the expression is
+/// true along the executed path. `site_id` identifies the branch (AST node);
+/// `check` is None for ordinary branches and names the assertion kind for
+/// check-derived predicates — a predicate with `check != None` is evidence
+/// that the path *reached* that assertion-containing location.
+struct PathPredicate {
+    const sym::Expr* expr = nullptr;
+    int site_id = -1;
+    ExceptionKind check = ExceptionKind::None;
+    support::SourceLoc loc;
+
+    [[nodiscard]] bool is_check() const { return check != ExceptionKind::None; }
+    [[nodiscard]] AclId acl() const { return {site_id, check}; }
+};
+
+/// One arrival at an assertion-containing location during execution.
+/// Recorded independently of the predicate stream because a check whose
+/// condition constant-folds (e.g. an assert over a concrete loop counter)
+/// leaves no predicate behind, yet "the path reaches the location" is
+/// exactly what the c-depend relation needs to observe.
+struct AclVisit {
+    AclId acl;
+    /// Number of predicates recorded before the check executed; a visit
+    /// happened after predicate index d iff position > d.
+    int position = 0;
+};
+
+/// A path condition (Section III): the ordered conjunction of branch
+/// predicates collected along one execution.
+struct PathCondition {
+    std::vector<PathPredicate> preds;
+    std::vector<AclVisit> visits;
+
+    [[nodiscard]] std::size_t size() const { return preds.size(); }
+    [[nodiscard]] bool empty() const { return preds.empty(); }
+    [[nodiscard]] const PathPredicate& last() const { return preds.back(); }
+
+    /// True iff the execution arrived at the given ACL at all.
+    [[nodiscard]] bool reaches(AclId acl) const;
+
+    /// True iff the execution arrived at the ACL after recording predicate
+    /// index `after` (pass -1 for "anywhere").
+    [[nodiscard]] bool reaches_after(AclId acl, int after) const;
+
+    /// Hash of the (expr, site) sequence; identical signature == same path.
+    [[nodiscard]] std::uint64_t signature() const;
+};
+
+/// Renders "p1 && p2 && ..." using the paper's notation.
+[[nodiscard]] std::string to_string(const PathCondition& pc,
+                                    std::span<const std::string> param_names = {});
+
+}  // namespace preinfer::core

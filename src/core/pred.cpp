@@ -1,0 +1,278 @@
+#include "src/core/pred.h"
+
+#include "src/support/diagnostics.h"
+#include "src/sym/print.h"
+#include "src/sym/rewrite.h"
+
+namespace preinfer::core {
+
+namespace {
+
+PredPtr make(Pred p) { return std::make_shared<const Pred>(std::move(p)); }
+
+}  // namespace
+
+PredPtr make_atom(const sym::Expr* e) {
+    PI_CHECK(e != nullptr && e->sort == sym::Sort::Bool, "atom must be a bool expression");
+    Pred p;
+    p.kind = PredKind::Atom;
+    p.atom = e;
+    return make(std::move(p));
+}
+
+namespace {
+
+// The two boolean literals need a pool-independent representation; use
+// dedicated singletons with a null atom plus a flag encoded via kids size.
+// Simpler: a process-wide tiny pool just for BoolConst atoms would leak
+// pointers across sessions, so instead literal preds carry their value in
+// bound_id (0/1) with kind Atom and atom == nullptr.
+PredPtr make_literal(bool value) {
+    Pred p;
+    p.kind = PredKind::Atom;
+    p.atom = nullptr;
+    p.bound_id = value ? 1 : 0;
+    return make(std::move(p));
+}
+
+bool is_literal(const PredPtr& p, bool value) {
+    return p->kind == PredKind::Atom && p->atom == nullptr &&
+           p->bound_id == (value ? 1 : 0);
+}
+
+}  // namespace
+
+PredPtr make_true() {
+    static const PredPtr t = make_literal(true);
+    return t;
+}
+
+PredPtr make_false() {
+    static const PredPtr f = make_literal(false);
+    return f;
+}
+
+bool is_true(const PredPtr& p) {
+    if (is_literal(p, true)) return true;
+    return p->kind == PredKind::Atom && p->atom &&
+           p->atom->kind == sym::Kind::BoolConst && p->atom->a != 0;
+}
+
+bool is_false(const PredPtr& p) {
+    if (is_literal(p, false)) return true;
+    return p->kind == PredKind::Atom && p->atom &&
+           p->atom->kind == sym::Kind::BoolConst && p->atom->a == 0;
+}
+
+PredPtr make_and(std::vector<PredPtr> kids) {
+    std::vector<PredPtr> flat;
+    for (PredPtr& k : kids) {
+        PI_CHECK(k != nullptr, "null conjunct");
+        if (is_true(k)) continue;
+        if (is_false(k)) return make_false();
+        if (k->kind == PredKind::And) {
+            for (const PredPtr& g : k->kids) flat.push_back(g);
+        } else {
+            flat.push_back(std::move(k));
+        }
+    }
+    if (flat.empty()) return make_true();
+    if (flat.size() == 1) return flat[0];
+    Pred p;
+    p.kind = PredKind::And;
+    p.kids = std::move(flat);
+    return make(std::move(p));
+}
+
+PredPtr make_or(std::vector<PredPtr> kids) {
+    std::vector<PredPtr> flat;
+    for (PredPtr& k : kids) {
+        PI_CHECK(k != nullptr, "null disjunct");
+        if (is_false(k)) continue;
+        if (is_true(k)) return make_true();
+        if (k->kind == PredKind::Or) {
+            for (const PredPtr& g : k->kids) flat.push_back(g);
+        } else {
+            flat.push_back(std::move(k));
+        }
+    }
+    if (flat.empty()) return make_false();
+    if (flat.size() == 1) return flat[0];
+    Pred p;
+    p.kind = PredKind::Or;
+    p.kids = std::move(flat);
+    return make(std::move(p));
+}
+
+PredPtr make_not(PredPtr inner) {
+    PI_CHECK(inner != nullptr, "null operand of not");
+    if (is_true(inner)) return make_false();
+    if (is_false(inner)) return make_true();
+    if (inner->kind == PredKind::Not) return inner->kids[0];
+    Pred p;
+    p.kind = PredKind::Not;
+    p.kids.push_back(std::move(inner));
+    return make(std::move(p));
+}
+
+namespace {
+
+PredPtr make_quantifier(PredKind kind, int bound_id, const sym::Expr* bound_obj,
+                        const sym::Expr* domain, const sym::Expr* body) {
+    PI_CHECK(bound_obj != nullptr && bound_obj->sort == sym::Sort::Obj,
+             "quantifier needs a collection object");
+    PI_CHECK(domain != nullptr && domain->sort == sym::Sort::Bool,
+             "quantifier domain must be boolean");
+    PI_CHECK(body != nullptr && body->sort == sym::Sort::Bool,
+             "quantifier body must be boolean");
+    Pred p;
+    p.kind = kind;
+    p.bound_id = bound_id;
+    p.bound_obj = bound_obj;
+    p.domain = domain;
+    p.body = body;
+    return make(std::move(p));
+}
+
+}  // namespace
+
+PredPtr make_forall(int bound_id, const sym::Expr* bound_obj, const sym::Expr* domain,
+                    const sym::Expr* body) {
+    return make_quantifier(PredKind::Forall, bound_id, bound_obj, domain, body);
+}
+
+PredPtr make_exists(int bound_id, const sym::Expr* bound_obj, const sym::Expr* domain,
+                    const sym::Expr* body) {
+    return make_quantifier(PredKind::Exists, bound_id, bound_obj, domain, body);
+}
+
+bool pred_equal(const PredPtr& a, const PredPtr& b) {
+    if (a == b) return true;
+    if (a->kind != b->kind) {
+        // Literal true/false vs BoolConst atoms.
+        return (is_true(a) && is_true(b)) || (is_false(a) && is_false(b));
+    }
+    switch (a->kind) {
+        case PredKind::Atom:
+            return a->atom == b->atom && a->bound_id == b->bound_id;
+        case PredKind::And:
+        case PredKind::Or: {
+            if (a->kids.size() != b->kids.size()) return false;
+            for (std::size_t i = 0; i < a->kids.size(); ++i) {
+                if (!pred_equal(a->kids[i], b->kids[i])) return false;
+            }
+            return true;
+        }
+        case PredKind::Not:
+            return pred_equal(a->kids[0], b->kids[0]);
+        case PredKind::Forall:
+        case PredKind::Exists: {
+            if (a->bound_obj != b->bound_obj) return false;
+            if (a->bound_id == b->bound_id) {
+                return a->domain == b->domain && a->body == b->body;
+            }
+            // α-equivalence would need a pool to rename; quantifiers built
+            // by the library always use bound id 0, so mismatched ids are
+            // simply unequal.
+            return false;
+        }
+    }
+    return false;
+}
+
+PredPtr negate(sym::ExprPool& pool, const PredPtr& p) {
+    if (is_true(p)) return make_false();
+    if (is_false(p)) return make_true();
+    switch (p->kind) {
+        case PredKind::Atom:
+            return make_atom(pool.negate(p->atom));
+        case PredKind::And: {
+            std::vector<PredPtr> kids;
+            kids.reserve(p->kids.size());
+            for (const PredPtr& k : p->kids) kids.push_back(negate(pool, k));
+            return make_or(std::move(kids));
+        }
+        case PredKind::Or: {
+            std::vector<PredPtr> kids;
+            kids.reserve(p->kids.size());
+            for (const PredPtr& k : p->kids) kids.push_back(negate(pool, k));
+            return make_and(std::move(kids));
+        }
+        case PredKind::Not:
+            return p->kids[0];
+        case PredKind::Forall:
+            return make_exists(p->bound_id, p->bound_obj, p->domain,
+                               pool.negate(p->body));
+        case PredKind::Exists:
+            return make_forall(p->bound_id, p->bound_obj, p->domain,
+                               pool.negate(p->body));
+    }
+    PI_CHECK(false, "unhandled pred kind in negate");
+    return nullptr;
+}
+
+namespace {
+
+void render(const PredPtr& p, std::span<const std::string> names, std::string& out,
+            int parent_prec) {
+    // Precedence: Or=1, And=2, Not/quantifier/atom=3.
+    switch (p->kind) {
+        case PredKind::Atom:
+            if (p->atom == nullptr) {
+                out += p->bound_id ? "true" : "false";
+            } else {
+                out += sym::to_string(p->atom, names);
+            }
+            return;
+        case PredKind::And: {
+            const bool parens = parent_prec > 2;
+            if (parens) out += '(';
+            for (std::size_t i = 0; i < p->kids.size(); ++i) {
+                if (i > 0) out += " && ";
+                render(p->kids[i], names, out, 3);
+            }
+            if (parens) out += ')';
+            return;
+        }
+        case PredKind::Or: {
+            const bool parens = parent_prec > 1;
+            if (parens) out += '(';
+            for (std::size_t i = 0; i < p->kids.size(); ++i) {
+                if (i > 0) out += " || ";
+                render(p->kids[i], names, out, 2);
+            }
+            if (parens) out += ')';
+            return;
+        }
+        case PredKind::Not:
+            out += "!(";
+            render(p->kids[0], names, out, 0);
+            out += ')';
+            return;
+        case PredKind::Forall:
+        case PredKind::Exists: {
+            out += p->kind == PredKind::Forall ? "forall " : "exists ";
+            // Bound variable name matches sym printing of BoundVar.
+            static const char* kNames[] = {"i", "j", "k"};
+            out += (p->bound_id >= 0 && p->bound_id < 3)
+                       ? kNames[p->bound_id]
+                       : ("i" + std::to_string(p->bound_id));
+            out += ". (";
+            out += sym::to_string(p->domain, names);
+            out += p->kind == PredKind::Forall ? ") => (" : ") && (";
+            out += sym::to_string(p->body, names);
+            out += ')';
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_string(const PredPtr& p, std::span<const std::string> param_names) {
+    std::string out;
+    render(p, param_names, out, 0);
+    return out;
+}
+
+}  // namespace preinfer::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::core {
+
+/// Precondition formulas (Definition 3). Atoms are quantifier-free symbolic
+/// expressions over method inputs; quantifiers bind one integer index
+/// variable ranging over [0, bound_obj.len):
+///
+///   Forall:  ∀ i ∈ [0, |obj|). domain(i) -> body(i)
+///   Exists:  ∃ i ∈ [0, |obj|). domain(i) && body(i)
+///
+/// which are exactly the paper's Universal / Existential template shapes
+/// (domain restricts eligible indices; body is the violated property).
+enum class PredKind : std::uint8_t { Atom, And, Or, Not, Forall, Exists };
+
+struct Pred;
+using PredPtr = std::shared_ptr<const Pred>;
+
+struct Pred {
+    PredKind kind = PredKind::Atom;
+
+    const sym::Expr* atom = nullptr;      ///< Atom
+    std::vector<PredPtr> kids;            ///< And / Or (n-ary), Not (exactly 1)
+
+    int bound_id = -1;                    ///< quantifiers: BoundVar id
+    const sym::Expr* bound_obj = nullptr; ///< quantifiers: collection whose length bounds i
+    const sym::Expr* domain = nullptr;    ///< quantifiers: Bool expr over the bound var
+    const sym::Expr* body = nullptr;      ///< quantifiers: Bool expr over the bound var
+
+    [[nodiscard]] bool is_quantifier() const {
+        return kind == PredKind::Forall || kind == PredKind::Exists;
+    }
+};
+
+// --- constructors (flatten / fold trivialities) ---------------------------
+[[nodiscard]] PredPtr make_atom(const sym::Expr* e);
+[[nodiscard]] PredPtr make_true();
+[[nodiscard]] PredPtr make_false();
+/// n-ary conjunction; flattens nested Ands, drops `true`, collapses on `false`.
+[[nodiscard]] PredPtr make_and(std::vector<PredPtr> kids);
+/// n-ary disjunction; flattens nested Ors, drops `false`, collapses on `true`.
+[[nodiscard]] PredPtr make_or(std::vector<PredPtr> kids);
+[[nodiscard]] PredPtr make_not(PredPtr p);
+[[nodiscard]] PredPtr make_forall(int bound_id, const sym::Expr* bound_obj,
+                                  const sym::Expr* domain, const sym::Expr* body);
+[[nodiscard]] PredPtr make_exists(int bound_id, const sym::Expr* bound_obj,
+                                  const sym::Expr* domain, const sym::Expr* body);
+
+/// True/false literals are Atom(BoolConst).
+[[nodiscard]] bool is_true(const PredPtr& p);
+[[nodiscard]] bool is_false(const PredPtr& p);
+
+/// Structural equality (atoms by interned pointer; quantifiers up to the
+/// bound variable id, which is α-renamed before comparison).
+[[nodiscard]] bool pred_equal(const PredPtr& a, const PredPtr& b);
+
+/// Logical negation pushed inward (De Morgan; ¬∀(D→B) = ∃(D ∧ ¬B);
+/// ¬∃(D∧B) = ∀(D→¬B); atoms via ExprPool::negate). This keeps inferred
+/// preconditions in the positive, readable form the paper prints.
+[[nodiscard]] PredPtr negate(sym::ExprPool& pool, const PredPtr& p);
+
+/// Infix rendering, paper style: quantifiers as
+/// "forall i. (i < s.len) => (s[i] != null)".
+[[nodiscard]] std::string to_string(const PredPtr& p,
+                                    std::span<const std::string> param_names = {});
+
+}  // namespace preinfer::core

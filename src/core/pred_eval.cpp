@@ -1,0 +1,102 @@
+#include "src/core/pred_eval.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::core {
+
+namespace {
+
+using sym::EvalValue;
+
+Tri from_eval(const EvalValue& v) {
+    if (v.tag != EvalValue::Tag::Bool) return Tri::Undef;
+    return v.i != 0 ? Tri::True : Tri::False;
+}
+
+Tri tri_not(Tri t) {
+    switch (t) {
+        case Tri::True: return Tri::False;
+        case Tri::False: return Tri::True;
+        case Tri::Undef: return Tri::Undef;
+    }
+    return Tri::Undef;
+}
+
+Tri eval_rec(const PredPtr& p, const sym::EvalEnv& env, sym::BoundEnv& bound) {
+    switch (p->kind) {
+        case PredKind::Atom: {
+            if (p->atom == nullptr) {
+                return p->bound_id ? Tri::True : Tri::False;  // literal true/false
+            }
+            return from_eval(sym::eval(p->atom, env, &bound));
+        }
+        case PredKind::And: {
+            Tri acc = Tri::True;
+            for (const PredPtr& k : p->kids) {
+                const Tri v = eval_rec(k, env, bound);
+                if (v == Tri::False) return Tri::False;
+                if (v == Tri::Undef) acc = Tri::Undef;
+            }
+            return acc;
+        }
+        case PredKind::Or: {
+            Tri acc = Tri::False;
+            for (const PredPtr& k : p->kids) {
+                const Tri v = eval_rec(k, env, bound);
+                if (v == Tri::True) return Tri::True;
+                if (v == Tri::Undef) acc = Tri::Undef;
+            }
+            return acc;
+        }
+        case PredKind::Not:
+            return tri_not(eval_rec(p->kids[0], env, bound));
+        case PredKind::Forall:
+        case PredKind::Exists: {
+            const bool universal = p->kind == PredKind::Forall;
+            const EvalValue obj = sym::eval(p->bound_obj, env, &bound);
+            if (obj.tag != EvalValue::Tag::Obj) {
+                // Null (or unevaluable) collection: no eligible indices.
+                return universal ? Tri::True : Tri::False;
+            }
+            const std::int64_t len = env.obj_len(obj.obj);
+            Tri acc = universal ? Tri::True : Tri::False;
+            for (std::int64_t i = 0; i < len; ++i) {
+                bound[p->bound_id] = i;
+                const Tri dom = from_eval(sym::eval(p->domain, env, &bound));
+                if (dom == Tri::False) continue;
+                const Tri body = from_eval(sym::eval(p->body, env, &bound));
+                if (universal) {
+                    // A decisive counterexample needs a definitely-eligible
+                    // index with a definitely-false body.
+                    if (dom == Tri::True && body == Tri::False) {
+                        bound.erase(p->bound_id);
+                        return Tri::False;
+                    }
+                } else {
+                    if (dom == Tri::True && body == Tri::True) {
+                        bound.erase(p->bound_id);
+                        return Tri::True;
+                    }
+                }
+                if (dom == Tri::Undef || body == Tri::Undef) acc = Tri::Undef;
+            }
+            bound.erase(p->bound_id);
+            return acc;
+        }
+    }
+    PI_CHECK(false, "unhandled pred kind");
+    return Tri::Undef;
+}
+
+}  // namespace
+
+Tri eval_pred_3v(const PredPtr& p, const sym::EvalEnv& env) {
+    sym::BoundEnv bound;
+    return eval_rec(p, env, bound);
+}
+
+bool eval_pred(const PredPtr& p, const sym::EvalEnv& env) {
+    return eval_pred_3v(p, env) == Tri::True;
+}
+
+}  // namespace preinfer::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "src/core/pred.h"
+#include "src/sym/eval.h"
+
+namespace preinfer::core {
+
+/// Kleene three-valued truth: Undef marks atoms whose evaluation is partial
+/// on this state (out-of-bounds element access, observer applied to null).
+enum class Tri : std::uint8_t { False, Undef, True };
+
+/// Three-valued evaluation of a precondition against a method-entry state:
+///  * atoms evaluate to Undef when partial;
+///  * connectives follow Kleene logic (False dominates And, True dominates
+///    Or, negation maps Undef to Undef);
+///  * quantifiers over a null collection are vacuous (Forall true, Exists
+///    false); an Undef domain or body contaminates the result to Undef
+///    unless a decisive witness exists;
+///  * the bound variable ranges over 0 <= i < obj.len beyond the explicit
+///    domain predicate.
+[[nodiscard]] Tri eval_pred_3v(const PredPtr& p, const sym::EvalEnv& env);
+
+/// Two-valued projection used by the metrics: Undef counts as FALSE — a
+/// precondition that cannot even be evaluated on a state certainly does not
+/// validate it.
+[[nodiscard]] bool eval_pred(const PredPtr& p, const sym::EvalEnv& env);
+
+}  // namespace preinfer::core

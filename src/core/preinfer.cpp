@@ -1,0 +1,133 @@
+#include "src/core/preinfer.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "src/core/pred_eval.h"
+#include "src/solver/solver.h"
+
+namespace preinfer::core {
+
+namespace {
+
+PredPtr conjunction_of(const PathCondition& pc) {
+    std::vector<PredPtr> kids;
+    kids.reserve(pc.preds.size());
+    for (const PathPredicate& p : pc.preds) kids.push_back(make_atom(p.expr));
+    return make_and(std::move(kids));
+}
+
+PredPtr conjunction_of(const ReducedPath& rp) {
+    std::vector<PredPtr> kids;
+    kids.reserve(rp.preds.size());
+    for (const PathPredicate& p : rp.preds) kids.push_back(make_atom(p.expr));
+    return make_and(std::move(kids));
+}
+
+bool admits_any(const PredPtr& pred, std::span<const sym::EvalEnv* const> envs) {
+    return std::any_of(envs.begin(), envs.end(), [&pred](const sym::EvalEnv* env) {
+        return eval_pred(pred, *env);
+    });
+}
+
+}  // namespace
+
+PreInfer::PreInfer(sym::ExprPool& pool, PreInferConfig config,
+                   const TemplateRegistry* registry, WitnessOracle* oracle)
+    : pool_(pool),
+      config_(config),
+      default_registry_(TemplateRegistry::standard()),
+      registry_(registry ? registry : &default_registry_),
+      oracle_(oracle) {}
+
+InferenceResult PreInfer::infer(AclId acl, std::vector<const PathCondition*> failing,
+                                std::vector<const PathCondition*> passing,
+                                std::span<const sym::EvalEnv* const> passing_envs) {
+    InferenceResult result;
+    result.failing_paths = static_cast<int>(failing.size());
+    if (failing.empty()) return result;
+
+    std::unique_ptr<solver::Solver> equivalence_solver;
+    if (config_.semantic_template_matching) {
+        equivalence_solver = std::make_unique<solver::Solver>(pool_);
+    }
+
+    PredicatePruner pruner(pool_, acl, failing, passing, config_.pruning, oracle_);
+    const std::vector<ReducedPath> reduced = pruner.prune_all();
+    result.pruning = pruner.stats();
+
+    std::vector<PredPtr> disjuncts;
+    disjuncts.reserve(reduced.size());
+    for (const ReducedPath& rp : reduced) {
+        // Stage 1: the pruned conjunction. If the available passing states
+        // expose an over-pruning (a passing state satisfying the disjunct),
+        // restore pruned predicates greedily — deepest-branch first, the
+        // order the pruner removed them — until no passing state satisfies
+        // the disjunct. The full original path condition (disjoint from
+        // every passing path by construction) is the last resort.
+        PredPtr stage1 = conjunction_of(rp);
+        ReducedPath effective = rp;
+        if (config_.verify_against_passing && admits_any(stage1, passing_envs)) {
+            ++result.pruning_fallbacks;
+            std::unordered_set<const sym::Expr*> keep;
+            for (const PathPredicate& p : rp.preds) keep.insert(p.expr);
+
+            bool repaired = false;
+            for (const PathPredicate& back : rp.pruned) {
+                keep.insert(back.expr);
+                // Re-project onto the original path so predicate order (and
+                // the trailing assertion-violating condition) is preserved
+                // for the generalization stage.
+                std::vector<PathPredicate> restored;
+                for (const PathPredicate& p : rp.original->preds) {
+                    if (keep.count(p.expr) > 0) restored.push_back(p);
+                }
+                std::vector<PredPtr> kids;
+                kids.reserve(restored.size());
+                for (const PathPredicate& p : restored) kids.push_back(make_atom(p.expr));
+                PredPtr candidate = make_and(std::move(kids));
+                if (!admits_any(candidate, passing_envs)) {
+                    stage1 = std::move(candidate);
+                    effective.preds = std::move(restored);
+                    repaired = true;
+                    break;
+                }
+            }
+            if (!repaired) {
+                // Last resort: the original path condition verbatim, which
+                // is disjoint from every passing path by construction.
+                stage1 = conjunction_of(*rp.original);
+                effective.preds = rp.original->preds;
+            }
+        }
+
+        // Stage 2: collection-element generalization over the (possibly
+        // restored) reduced path; revert if it captures a passing state.
+        PredPtr chosen = stage1;
+        if (config_.generalization_enabled) {
+            const GeneralizedPath gp =
+                generalize(pool_, *registry_, effective, equivalence_solver.get());
+            if (gp.templates_applied > 0) {
+                PredPtr stage2 = gp.to_pred();
+                if (config_.verify_against_passing &&
+                    admits_any(stage2, passing_envs)) {
+                    ++result.generalization_fallbacks;
+                } else {
+                    chosen = std::move(stage2);
+                    ++result.generalized_paths;
+                    for (const char* n : gp.template_names)
+                        result.template_uses.emplace_back(n);
+                }
+            }
+        }
+        disjuncts.push_back(std::move(chosen));
+    }
+
+    result.alpha = simplify(pool_, make_or(std::move(disjuncts)));
+    result.precondition = simplify(pool_, negate(pool_, result.alpha));
+    result.inferred = true;
+    return result;
+}
+
+}  // namespace preinfer::core

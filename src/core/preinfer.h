@@ -1,0 +1,65 @@
+#pragma once
+
+#include "src/core/generalize.h"
+#include "src/core/pruning.h"
+#include "src/core/simplify.h"
+#include "src/sym/eval.h"
+
+namespace preinfer::core {
+
+struct PreInferConfig {
+    PruningConfig pruning{};
+    bool generalization_enabled = true;
+    /// Let template shape-matching fall back to solver-decided semantic
+    /// equivalence (the paper's Section V-C improvement). Costs extra
+    /// solver calls on mismatching shapes.
+    bool semantic_template_matching = false;
+    /// Verify each disjunct against the passing tests and fall back to a
+    /// less-reduced form if a passing state slipped in (enforces the
+    /// "ρ_pi ∧ ρ'_fk unsatisfiable" side conditions with the evidence at
+    /// hand). On by default; the ablation bench switches it off.
+    bool verify_against_passing = true;
+};
+
+/// Everything one inference produces.
+struct InferenceResult {
+    bool inferred = false;   ///< false iff there were no failing paths
+    PredPtr alpha;           ///< generalized summary of the unsafe states
+    PredPtr precondition;    ///< ¬α — what the developer would insert
+
+    PruningStats pruning;
+    int failing_paths = 0;
+    int generalized_paths = 0;          ///< paths where ≥1 template fired
+    int pruning_fallbacks = 0;          ///< disjuncts reverted to the full PC
+    int generalization_fallbacks = 0;   ///< disjuncts reverted to the pruned PC
+    std::vector<std::string> template_uses;  ///< template name per application
+};
+
+/// The PreInfer pipeline (Section IV): per failing path condition, dynamic
+/// predicate pruning, then collection-element generalization; α is the
+/// disjunction of the resulting conditions (duplicates removed) and the
+/// inferred precondition is ¬α.
+///
+/// `passing_envs` supplies concrete passing entry states used by the
+/// verification step; they must parallel nothing in particular — any set of
+/// known-passing states works (the harness passes T_pass(e)).
+class PreInfer {
+public:
+    PreInfer(sym::ExprPool& pool, PreInferConfig config = {},
+             const TemplateRegistry* registry = nullptr,
+             WitnessOracle* oracle = nullptr);
+
+    [[nodiscard]] InferenceResult infer(
+        AclId acl, std::vector<const PathCondition*> failing,
+        std::vector<const PathCondition*> passing,
+        std::span<const sym::EvalEnv* const> passing_envs = {});
+
+private:
+    sym::ExprPool& pool_;
+    PreInferConfig config_;
+    TemplateRegistry default_registry_;
+    const TemplateRegistry* registry_;
+    WitnessOracle* oracle_;
+};
+
+}  // namespace preinfer::core

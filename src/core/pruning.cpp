@@ -1,0 +1,296 @@
+#include "src/core/pruning.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::core {
+
+namespace {
+
+using sym::Expr;
+
+/// Identity of a branch, polarity-insensitive: the site plus the canonical
+/// (lower-id) orientation of the predicate expression. Removing a key
+/// removes the branch from a path no matter which way the path took it,
+/// which is what keeps prefixes aligned across paths.
+struct PredKey {
+    int site = -1;
+    const Expr* canonical = nullptr;
+
+    friend bool operator==(const PredKey&, const PredKey&) = default;
+};
+
+struct PredKeyHash {
+    std::size_t operator()(const PredKey& k) const noexcept {
+        return std::hash<const void*>()(k.canonical) * 31u +
+               static_cast<std::size_t>(k.site);
+    }
+};
+
+/// One predicate occurrence in a working copy.
+struct Entry {
+    PathPredicate pred;
+    int orig_index = -1;
+    PredKey key;
+};
+
+struct WorkingPath {
+    const PathCondition* original = nullptr;
+    bool failing = false;  ///< failing at the target ACL
+    std::vector<Entry> entries;
+};
+
+}  // namespace
+
+PredicatePruner::PredicatePruner(sym::ExprPool& pool, AclId acl,
+                                 std::vector<const PathCondition*> failing,
+                                 std::vector<const PathCondition*> passing,
+                                 PruningConfig config, WitnessOracle* oracle)
+    : pool_(pool),
+      acl_(acl),
+      failing_(std::move(failing)),
+      passing_(std::move(passing)),
+      config_(config),
+      oracle_(oracle) {}
+
+ReducedPath PredicatePruner::prune(const PathCondition& pf) {
+    auto key_of = [this](const PathPredicate& p) {
+        const Expr* neg = pool_.negate(p.expr);
+        return PredKey{p.site_id, p.expr->id <= neg->id ? p.expr : neg};
+    };
+
+    auto build_working = [&](const PathCondition& pc, bool failing, bool strip_last) {
+        WorkingPath w;
+        w.original = &pc;
+        w.failing = failing;
+        w.entries.reserve(pc.preds.size());
+        for (std::size_t i = 0; i < pc.preds.size(); ++i) {
+            w.entries.push_back(
+                {pc.preds[i], static_cast<int>(i), key_of(pc.preds[i])});
+        }
+        // SP[p] <- Last(p); p <- p \ Last(p): the predicate moves into the
+        // slice, so the backward walk over pf starts before it. For the
+        // *other* paths the slice entry stays visible in the working copy —
+        // a passing path often deviates from pf exactly at its final
+        // predicate (a loop-exit branch), and hiding it would lose that
+        // c-depend evidence.
+        if (strip_last && !w.entries.empty()) w.entries.pop_back();
+        return w;
+    };
+
+    std::vector<WorkingPath> others;
+    for (const PathCondition* q : failing_) {
+        if (q == &pf) continue;
+        others.push_back(build_working(*q, /*failing=*/true, /*strip_last=*/false));
+    }
+    for (const PathCondition* q : passing_) {
+        others.push_back(build_working(*q, /*failing=*/false, /*strip_last=*/false));
+    }
+
+    WorkingPath wpf = build_working(pf, /*failing=*/true, /*strip_last=*/true);
+    const Expr* pf_last_expr = pf.preds.empty() ? nullptr : pf.preds.back().expr;
+
+    stats_.predicates_before += static_cast<int>(pf.preds.size());
+
+    std::vector<Entry> kept;
+    std::vector<PathPredicate> out_pruned;
+    if (!pf.preds.empty()) {
+        kept.push_back({pf.preds.back(), static_cast<int>(pf.preds.size()) - 1,
+                        key_of(pf.preds.back())});
+    }
+    std::unordered_set<PredKey, PredKeyHash> decided;
+
+    auto erase_key = [](WorkingPath& w, const PredKey& key) {
+        std::erase_if(w.entries, [&key](const Entry& e) { return e.key == key; });
+    };
+
+    while (!wpf.entries.empty()) {
+        const Entry b = wpf.entries.back();
+
+        if (decided.count(b.key) > 0) {
+            // A later duplicate of an already-decided branch (loop
+            // re-execution): its fate was decided with the duplicate set.
+            wpf.entries.pop_back();
+            continue;
+        }
+
+        // --- gather deviating prefix-sharing evidence --------------------
+        // The prefix is everything before b in pf's current working copy.
+        const std::size_t plen = wpf.entries.size() - 1;
+        const Expr* b_neg = pool_.negate(b.pred.expr);
+
+        // Each deviating prefix-sharing path that reaches the ACL reveals
+        // the symbolic expression of the p-assertion-violating condition on
+        // the other side of b. Location reachability (Definition 5) fails
+        // as soon as one such path exists; expression preservation
+        // (Definition 6, read as in the paper's running example where
+        // `a > 0` is pruned because the deviating t_f2 "does not change the
+        // symbolic expression") fails only if every deviating ACL-reaching
+        // path shows a *different* expression.
+        bool saw_reaching = false;
+        bool saw_same_expr = false;
+        bool saw_diff_expr = false;
+
+        // Expression preservation across the deviation: the deviating
+        // failing path must fail with pf's assertion-violating expression
+        // AND carry every predicate kept so far (the slice) with identical
+        // symbolic expressions. This is why Table I keeps `c > 0` (flipping
+        // it turns the kept `d + 1 > 0` into `d > 0`) yet prunes `a > 0`
+        // (flipping it only perturbs the already-pruned `b + 1 > 0`).
+        auto preserves_expressions = [&kept](const PathCondition& q) {
+            for (const Entry& e : kept) {
+                bool found = false;
+                for (const PathPredicate& pp : q.preds) {
+                    if (pp.expr == e.pred.expr) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) return false;
+            }
+            return true;
+        };
+
+        // The violating-orientation expression of a path's first arrival at
+        // the ACL beyond a given predicate index: the aborting predicate
+        // itself for a failing arrival, the negated check predicate for a
+        // passing one, nullptr when the arrival's check constant-folded
+        // (concrete condition), nullopt when the path never arrives there.
+        auto first_arrival = [this](const PathCondition& pc, int after,
+                                    bool fails_at_acl)
+            -> std::optional<const Expr*> {
+            for (std::size_t i = 0; i < pc.preds.size(); ++i) {
+                const PathPredicate& pp = pc.preds[i];
+                if (static_cast<int>(i) <= after) continue;
+                if (pp.site_id != acl_.node_id || pp.check != acl_.kind) continue;
+                const bool aborting = fails_at_acl && i + 1 == pc.preds.size();
+                return aborting ? pp.expr : pool_.negate(pp.expr);
+            }
+            if (pc.reaches_after(acl_, after)) return nullptr;  // folded arrival
+            return std::nullopt;
+        };
+
+        // Any deviating path that still reaches the ACL disproves c-depend.
+        // Expression-preservation votes: a failing deviator compares its
+        // aborting expression (and the kept slice) against pf's; a passing
+        // deviator compares the violating expression of its first arrival
+        // against pf's first arrival beyond the same branch — this is what
+        // keeps the overly specific collection predicates alive (their
+        // flipped twins arrive at the ACL with a *different* element
+        // expression) while letting genuinely irrelevant branches go.
+        const auto pf_arrival = first_arrival(pf, b.orig_index, /*fails_at_acl=*/true);
+
+        for (const WorkingPath& q : others) {
+            if (q.entries.size() < plen + 1) continue;
+            bool prefix_match = true;
+            for (std::size_t i = 0; i < plen; ++i) {
+                if (q.entries[i].pred.expr != wpf.entries[i].pred.expr) {
+                    prefix_match = false;
+                    break;
+                }
+            }
+            if (!prefix_match) continue;
+            const Entry& dev = q.entries[plen];
+            if (dev.pred.site_id != b.pred.site_id || dev.pred.expr != b_neg) continue;
+
+            if (q.failing) {
+                saw_reaching = true;
+                if (q.original->preds.empty()) continue;
+                if (q.original->preds.back().expr == pf_last_expr &&
+                    preserves_expressions(*q.original)) {
+                    saw_same_expr = true;
+                } else {
+                    saw_diff_expr = true;
+                }
+            } else if (const auto q_arrival =
+                           first_arrival(*q.original, dev.orig_index,
+                                         /*fails_at_acl=*/false)) {
+                saw_reaching = true;
+                if (!pf_arrival.has_value() || *q_arrival != *pf_arrival) {
+                    // Different violating expression on the other side.
+                    saw_diff_expr = true;
+                } else if (*q_arrival == nullptr) {
+                    // Both arrivals constant-folded: there is no symbolic
+                    // expression to preserve, so the branch is irrelevant
+                    // to the check (counted loops guarding a concrete
+                    // assert). Over-aggressive cases are repaired by the
+                    // minimal-restore verification step.
+                    saw_same_expr = true;
+                }
+                // Symbolic and equal: reachability evidence only; whether
+                // the expression is genuinely preserved is decided by
+                // failing deviators (which carry the kept slice).
+            }
+        }
+
+        if (!saw_reaching && config_.mode == PruningMode::SolverAssisted &&
+            oracle_ != nullptr && stats_.oracle_calls < config_.max_oracle_calls) {
+            std::vector<const Expr*> conjuncts;
+            conjuncts.reserve(plen + 1);
+            for (std::size_t i = 0; i < plen; ++i)
+                conjuncts.push_back(wpf.entries[i].pred.expr);
+            conjuncts.push_back(b_neg);
+            ++stats_.oracle_calls;
+            if (const auto w = oracle_->witness(conjuncts)) {
+                const bool fails_here = w->failing && w->acl == acl_;
+                if (fails_here) {
+                    saw_reaching = true;
+                    if (!w->pc->preds.empty() &&
+                        w->pc->preds.back().expr == pf_last_expr &&
+                        preserves_expressions(*w->pc)) {
+                        saw_same_expr = true;
+                    } else if (!w->pc->preds.empty()) {
+                        saw_diff_expr = true;
+                    }
+                } else if (!w->failing && w->pc->reaches(acl_)) {
+                    saw_reaching = true;
+                }
+            }
+            // No witness at all: the deviation is infeasible (or beyond the
+            // solver), i.e. every input satisfying the prefix takes b's
+            // side — with no evidence we conservatively keep the predicate.
+        }
+
+        const bool c_depend = !saw_reaching;
+        const bool d_impact = saw_diff_expr && !saw_same_expr;
+        const bool keep = c_depend || d_impact;
+        decided.insert(b.key);
+        if (keep) {
+            if (c_depend) ++stats_.kept_c_depend;
+            if (d_impact) ++stats_.kept_d_impact;
+            kept.push_back(b);
+        } else {
+            ++stats_.pruned;
+            out_pruned.push_back(b.pred);
+        }
+        // Either way the branch leaves every working copy (kept predicates
+        // move into slices; pruned ones disappear), preserving alignment.
+        erase_key(wpf, b.key);
+        for (WorkingPath& q : others) erase_key(q, b.key);
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Entry& a, const Entry& b) { return a.orig_index < b.orig_index; });
+
+    ReducedPath out;
+    out.original = &pf;
+    out.preds.reserve(kept.size());
+    for (const Entry& e : kept) out.preds.push_back(e.pred);
+    out.pruned = std::move(out_pruned);
+    stats_.predicates_after += static_cast<int>(out.preds.size());
+    return out;
+}
+
+std::vector<ReducedPath> PredicatePruner::prune_all() {
+    std::vector<ReducedPath> out;
+    out.reserve(failing_.size());
+    for (const PathCondition* pf : failing_) {
+        out.push_back(prune(*pf));
+    }
+    return out;
+}
+
+}  // namespace preinfer::core

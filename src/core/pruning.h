@@ -1,0 +1,98 @@
+#pragma once
+
+#include <optional>
+
+#include "src/core/path_condition.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::core {
+
+/// How the pruner gathers the deviating-path evidence that Definitions 5-6
+/// require.
+enum class PruningMode : std::uint8_t {
+    /// Use only the path conditions already in the test suite (the paper's
+    /// formulation: "considers another prefix-sharing path condition from
+    /// an available passing test"). Predicates with no evidence stay kept.
+    TestSuiteOnly,
+    /// Additionally ask the DSE engine to *generate* the deviating witness
+    /// on demand (what a tight Pex integration provides). Strictly more
+    /// pruning power; compared in the ablation bench.
+    SolverAssisted,
+};
+
+/// On-demand witness generation: solve `conjuncts` and execute the model.
+/// Implemented over gen::Explorer by the evaluation harness.
+class WitnessOracle {
+public:
+    struct Witness {
+        const PathCondition* pc = nullptr;  ///< stays valid for the oracle's lifetime
+        bool failing = false;
+        AclId acl;  ///< valid iff failing
+    };
+
+    virtual ~WitnessOracle() = default;
+    [[nodiscard]] virtual std::optional<Witness> witness(
+        std::span<const sym::Expr* const> conjuncts) = 0;
+};
+
+struct PruningConfig {
+    PruningMode mode = PruningMode::TestSuiteOnly;
+    int max_oracle_calls = 512;  ///< per prune_all() invocation
+};
+
+/// A failing path condition after dynamic predicate pruning; predicates
+/// keep their original order and the last one is still the
+/// assertion-violating condition. `pruned` holds the removed predicates in
+/// pruning order (deepest branch first) so that the verification step can
+/// restore them one at a time when the available evidence over-pruned.
+struct ReducedPath {
+    const PathCondition* original = nullptr;
+    std::vector<PathPredicate> preds;
+    std::vector<PathPredicate> pruned;
+};
+
+struct PruningStats {
+    int predicates_before = 0;
+    int predicates_after = 0;
+    int kept_c_depend = 0;   ///< kept because no deviating path reaches the ACL
+    int kept_d_impact = 0;   ///< kept because a deviating path changes the last expr
+    int pruned = 0;
+    int oracle_calls = 0;
+};
+
+/// Algorithm 1 (dynamic predicate pruning). For each failing path condition
+/// the predicates are examined backwards from the last-branch predicate; a
+/// predicate φ_j is kept iff it is in a c-depend relation (every observed
+/// deviating prefix-sharing path fails to reach the ACL — location
+/// reachability, Definition 5) or a d-impact relation (some deviating
+/// prefix-sharing failing path reaches the ACL with a *different*
+/// assertion-violating expression — expression preservation, Definition 6).
+/// Pruned and kept predicates are removed from all paths' working copies so
+/// prefix alignment is preserved as the walk proceeds, mirroring the SP
+/// bookkeeping in the paper's pseudocode.
+class PredicatePruner {
+public:
+    PredicatePruner(sym::ExprPool& pool, AclId acl,
+                    std::vector<const PathCondition*> failing,
+                    std::vector<const PathCondition*> passing,
+                    PruningConfig config = {}, WitnessOracle* oracle = nullptr);
+
+    /// Prunes every failing path condition (independently, one at a time).
+    [[nodiscard]] std::vector<ReducedPath> prune_all();
+
+    /// Prunes a single failing path condition (must be one of `failing`).
+    [[nodiscard]] ReducedPath prune(const PathCondition& pf);
+
+    [[nodiscard]] const PruningStats& stats() const { return stats_; }
+
+private:
+    sym::ExprPool& pool_;
+    AclId acl_;
+    std::vector<const PathCondition*> failing_;
+    std::vector<const PathCondition*> passing_;
+    PruningConfig config_;
+    WitnessOracle* oracle_;
+    PruningStats stats_;
+};
+
+}  // namespace preinfer::core

@@ -1,0 +1,302 @@
+#include "src/core/simplify.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::core {
+
+namespace {
+
+/// The members of an And/Or node (a lone pred is its own single member).
+std::vector<PredPtr> members(const PredPtr& p, PredKind kind) {
+    if (p->kind == kind) return p->kids;
+    return {p};
+}
+
+bool contains_pred(const std::vector<PredPtr>& set, const PredPtr& p) {
+    return std::any_of(set.begin(), set.end(),
+                       [&p](const PredPtr& q) { return pred_equal(p, q); });
+}
+
+/// True iff every member of `a` appears in `b`.
+bool subset_of(const std::vector<PredPtr>& a, const std::vector<PredPtr>& b) {
+    return std::all_of(a.begin(), a.end(),
+                       [&b](const PredPtr& p) { return contains_pred(b, p); });
+}
+
+std::vector<PredPtr> dedup(const std::vector<PredPtr>& kids) {
+    std::vector<PredPtr> out;
+    for (const PredPtr& k : kids) {
+        if (!contains_pred(out, k)) out.push_back(k);
+    }
+    return out;
+}
+
+bool complementary(sym::ExprPool& pool, const PredPtr& a, const PredPtr& b) {
+    if (a->kind == PredKind::Atom && b->kind == PredKind::Atom && a->atom && b->atom) {
+        return pool.negate(a->atom) == b->atom;
+    }
+    if (a->kind == PredKind::Not) return pred_equal(a->kids[0], b);
+    if (b->kind == PredKind::Not) return pred_equal(b->kids[0], a);
+    return false;
+}
+
+// --- interval arithmetic over integer terms ---------------------------------
+
+constexpr std::int64_t kNoLo = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kNoHi = std::numeric_limits<std::int64_t>::max();
+
+struct Interval {
+    std::int64_t lo = kNoLo;
+    std::int64_t hi = kNoHi;
+
+    [[nodiscard]] bool empty() const { return lo > hi; }
+    [[nodiscard]] bool unconstrained() const { return lo == kNoLo && hi == kNoHi; }
+};
+
+std::int64_t sat_inc(std::int64_t v) { return v == kNoHi ? v : v + 1; }
+std::int64_t sat_dec(std::int64_t v) { return v == kNoLo ? v : v - 1; }
+
+/// Recognizes an atom as `term REL constant`, returning the term and the
+/// integer interval of term values satisfying it. Disequalities are not
+/// intervals and pass through untouched.
+struct TermBound {
+    const sym::Expr* term = nullptr;
+    Interval iv;
+};
+
+std::optional<TermBound> atom_interval(const PredPtr& p) {
+    if (p->kind != PredKind::Atom || p->atom == nullptr) return std::nullopt;
+    const sym::Expr* e = p->atom;
+    if (!sym::is_comparison(e->kind) || e->kind == sym::Kind::Ne) return std::nullopt;
+    const sym::Expr* l = e->child0;
+    const sym::Expr* r = e->child1;
+    const bool l_const = l->kind == sym::Kind::IntConst;
+    const bool r_const = r->kind == sym::Kind::IntConst;
+    if (l_const == r_const) return std::nullopt;  // need exactly one constant side
+
+    const sym::Expr* term = l_const ? r : l;
+    const std::int64_t c = l_const ? l->a : r->a;
+    sym::Kind op = e->kind;
+    if (l_const) {
+        // c REL term  ==>  term REL' c
+        switch (op) {
+            case sym::Kind::Lt: op = sym::Kind::Gt; break;
+            case sym::Kind::Le: op = sym::Kind::Ge; break;
+            case sym::Kind::Gt: op = sym::Kind::Lt; break;
+            case sym::Kind::Ge: op = sym::Kind::Le; break;
+            default: break;
+        }
+    }
+    TermBound tb;
+    tb.term = term;
+    switch (op) {
+        case sym::Kind::Eq: tb.iv = {c, c}; break;
+        case sym::Kind::Lt: tb.iv = {kNoLo, sat_dec(c)}; break;
+        case sym::Kind::Le: tb.iv = {kNoLo, c}; break;
+        case sym::Kind::Gt: tb.iv = {sat_inc(c), kNoHi}; break;
+        case sym::Kind::Ge: tb.iv = {c, kNoHi}; break;
+        default: return std::nullopt;
+    }
+    return tb;
+}
+
+/// Emits the minimal atoms describing `term in iv` (never called on empty
+/// or unconstrained intervals).
+std::vector<PredPtr> interval_atoms(sym::ExprPool& pool, const sym::Expr* term,
+                                    const Interval& iv) {
+    std::vector<PredPtr> out;
+    if (iv.lo == iv.hi) {
+        out.push_back(make_atom(pool.eq(term, pool.int_const(iv.lo))));
+        return out;
+    }
+    if (iv.lo != kNoLo) out.push_back(make_atom(pool.ge(term, pool.int_const(iv.lo))));
+    if (iv.hi != kNoHi) out.push_back(make_atom(pool.le(term, pool.int_const(iv.hi))));
+    return out;
+}
+
+/// Intersects all interval atoms of a conjunction per term. Returns nullopt
+/// when the conjunction is untouched; make_false() when an interval empties.
+std::optional<std::vector<PredPtr>> tighten_bounds(sym::ExprPool& pool,
+                                                   const std::vector<PredPtr>& kids,
+                                                   bool& contradiction) {
+    std::vector<std::pair<const sym::Expr*, Interval>> per_term;
+    std::vector<PredPtr> rest;
+    int interval_atom_count = 0;
+    for (const PredPtr& k : kids) {
+        if (const auto tb = atom_interval(k)) {
+            ++interval_atom_count;
+            bool found = false;
+            for (auto& [term, iv] : per_term) {
+                if (term == tb->term) {
+                    iv.lo = std::max(iv.lo, tb->iv.lo);
+                    iv.hi = std::min(iv.hi, tb->iv.hi);
+                    found = true;
+                }
+            }
+            if (!found) per_term.emplace_back(tb->term, tb->iv);
+        } else {
+            rest.push_back(k);
+        }
+    }
+    if (interval_atom_count == static_cast<int>(per_term.size())) {
+        return std::nullopt;  // one atom per term: nothing to tighten
+    }
+    std::vector<PredPtr> out = std::move(rest);
+    for (const auto& [term, iv] : per_term) {
+        if (iv.empty()) {
+            contradiction = true;
+            return std::vector<PredPtr>{};
+        }
+        for (PredPtr& a : interval_atoms(pool, term, iv)) out.push_back(std::move(a));
+    }
+    return out;
+}
+
+/// Merges disjuncts that are pure intervals over one shared term
+/// (overlapping or integer-adjacent). Returns nullopt when fewer than two
+/// disjuncts merge.
+std::optional<std::vector<PredPtr>> union_intervals(sym::ExprPool& pool,
+                                                    const std::vector<PredPtr>& kids) {
+    struct Group {
+        const sym::Expr* term;
+        std::vector<Interval> ivs;
+    };
+    std::vector<Group> groups;
+    std::vector<PredPtr> rest;
+
+    for (const PredPtr& k : kids) {
+        // A disjunct qualifies when every conjunct is an interval atom on
+        // one single term.
+        const std::vector<PredPtr> members =
+            k->kind == PredKind::And ? k->kids : std::vector<PredPtr>{k};
+        const sym::Expr* term = nullptr;
+        Interval iv;
+        bool pure = !members.empty();
+        for (const PredPtr& m : members) {
+            const auto tb = atom_interval(m);
+            if (!tb || (term && tb->term != term)) {
+                pure = false;
+                break;
+            }
+            term = tb->term;
+            iv.lo = std::max(iv.lo, tb->iv.lo);
+            iv.hi = std::min(iv.hi, tb->iv.hi);
+        }
+        if (!pure || term == nullptr) {
+            rest.push_back(k);
+            continue;
+        }
+        bool found = false;
+        for (Group& g : groups) {
+            if (g.term == term) {
+                g.ivs.push_back(iv);
+                found = true;
+            }
+        }
+        if (!found) groups.push_back({term, {iv}});
+    }
+
+    bool merged_any = false;
+    std::vector<PredPtr> out = std::move(rest);
+    for (Group& g : groups) {
+        std::sort(g.ivs.begin(), g.ivs.end(),
+                  [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+        std::vector<Interval> merged;
+        for (const Interval& iv : g.ivs) {
+            if (iv.empty()) continue;
+            if (!merged.empty() && iv.lo <= sat_inc(merged.back().hi)) {
+                merged.back().hi = std::max(merged.back().hi, iv.hi);
+                merged_any = merged_any || true;
+            } else {
+                merged.push_back(iv);
+            }
+        }
+        if (merged.size() < g.ivs.size()) merged_any = true;
+        for (const Interval& iv : merged) {
+            if (iv.unconstrained()) return std::vector<PredPtr>{make_true()};
+            out.push_back(make_and(interval_atoms(pool, g.term, iv)));
+        }
+    }
+    if (!merged_any) return std::nullopt;
+    return out;
+}
+
+}  // namespace
+
+PredPtr simplify(sym::ExprPool& pool, const PredPtr& p) {
+    switch (p->kind) {
+        case PredKind::Atom:
+        case PredKind::Forall:
+        case PredKind::Exists:
+            return p;
+        case PredKind::Not:
+            return make_not(simplify(pool, p->kids[0]));
+        case PredKind::And:
+        case PredKind::Or: {
+            const bool is_and = p->kind == PredKind::And;
+            std::vector<PredPtr> kids;
+            kids.reserve(p->kids.size());
+            for (const PredPtr& k : p->kids) kids.push_back(simplify(pool, k));
+            kids = dedup(kids);
+
+            // p && !p => false;  p || !p => true.
+            for (std::size_t i = 0; i < kids.size(); ++i) {
+                for (std::size_t j = i + 1; j < kids.size(); ++j) {
+                    if (complementary(pool, kids[i], kids[j])) {
+                        return is_and ? make_false() : make_true();
+                    }
+                }
+            }
+
+            // Interval reasoning: intersect constant bounds inside a
+            // conjunction; union pure interval disjuncts.
+            if (is_and) {
+                bool contradiction = false;
+                if (auto tightened = tighten_bounds(pool, kids, contradiction)) {
+                    if (contradiction) return make_false();
+                    kids = dedup(*tightened);
+                }
+            } else {
+                if (auto unioned = union_intervals(pool, kids)) {
+                    kids = dedup(*unioned);
+                    for (const PredPtr& k : kids) {
+                        if (is_true(k)) return make_true();
+                    }
+                }
+            }
+
+            // Subsumption between composite members. In an Or, a disjunct
+            // whose conjunct set contains another disjunct's set is
+            // stronger and therefore implied: drop it. In an And, a clause
+            // whose disjunct set contains another clause's set is weaker
+            // and therefore implied: drop it. Both cases drop the superset.
+            const PredKind inner = is_and ? PredKind::Or : PredKind::And;
+            std::vector<bool> dropped(kids.size(), false);
+            for (std::size_t i = 0; i < kids.size(); ++i) {
+                if (dropped[i]) continue;
+                const auto mi = members(kids[i], inner);
+                for (std::size_t j = 0; j < kids.size(); ++j) {
+                    if (i == j || dropped[j] || dropped[i]) continue;
+                    const auto mj = members(kids[j], inner);
+                    if (mi.size() < mj.size() && subset_of(mi, mj)) {
+                        dropped[j] = true;
+                    }
+                }
+            }
+            std::vector<PredPtr> final_kids;
+            for (std::size_t i = 0; i < kids.size(); ++i) {
+                if (!dropped[i]) final_kids.push_back(kids[i]);
+            }
+            return is_and ? make_and(std::move(final_kids))
+                          : make_or(std::move(final_kids));
+        }
+    }
+    PI_CHECK(false, "unhandled pred kind");
+    return nullptr;
+}
+
+}  // namespace preinfer::core

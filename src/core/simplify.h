@@ -1,0 +1,26 @@
+#pragma once
+
+#include "src/core/pred.h"
+
+namespace preinfer::core {
+
+/// Logic-preserving cleanups that keep inferred preconditions succinct:
+///  * flattening of nested And/Or (done by the constructors already);
+///  * removal of duplicate conjuncts/disjuncts ("these duplicates are
+///    removed, further simplifying α" — Section III-A);
+///  * removal of `p && !p` / `p || !p` pairs where detectable on atoms;
+///  * subsumption: in an Or, a disjunct whose conjunct set is a superset of
+///    another disjunct's is implied by it and dropped; dually for clauses
+///    of an And;
+///  * bound tightening: within a conjunction, comparisons of one integer
+///    term against constants intersect to a single interval
+///    (`100 < n && 120 < n && n <= 161` becomes `n >= 121 && n <= 161`),
+///    and an empty interval collapses the conjunct to false;
+///  * interval union: disjuncts that are pure intervals over the same term
+///    merge when they overlap or are adjacent over the integers
+///    (`n == 100 || n == 101 || ... || n == 161` becomes
+///    `n >= 100 && n <= 161`), which is what keeps loop-counted paths from
+///    exploding the disjunction.
+[[nodiscard]] PredPtr simplify(sym::ExprPool& pool, const PredPtr& p);
+
+}  // namespace preinfer::core

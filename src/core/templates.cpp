@@ -1,0 +1,483 @@
+#include "src/core/templates.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/equiv.h"
+#include "src/support/diagnostics.h"
+#include "src/sym/rewrite.h"
+
+namespace preinfer::core {
+
+namespace {
+
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+/// Linear form of an expression in Len(obj): e == coeff * obj.len + offset.
+/// Present only when e mentions no other symbolic leaf.
+struct LenAffine {
+    std::int64_t coeff = 0;
+    std::int64_t offset = 0;
+};
+
+std::optional<LenAffine> len_affine(const Expr* e, const Expr* obj) {
+    if (e->kind == Kind::Len && e->child0 == obj) return LenAffine{1, 0};
+    if (e->kind == Kind::IntConst) return LenAffine{0, e->a};
+    switch (e->kind) {
+        case Kind::Neg: {
+            auto v = len_affine(e->child0, obj);
+            if (!v) return std::nullopt;
+            return LenAffine{-v->coeff, -v->offset};
+        }
+        case Kind::Add: case Kind::Sub: {
+            auto l = len_affine(e->child0, obj);
+            auto r = len_affine(e->child1, obj);
+            if (!l || !r) return std::nullopt;
+            const std::int64_t s = e->kind == Kind::Add ? 1 : -1;
+            return LenAffine{l->coeff + s * r->coeff, l->offset + s * r->offset};
+        }
+        case Kind::Mul: {
+            auto l = len_affine(e->child0, obj);
+            auto r = len_affine(e->child1, obj);
+            if (!l || !r) return std::nullopt;
+            if (l->coeff != 0 && r->coeff != 0) return std::nullopt;
+            return LenAffine{l->coeff * r->offset + r->coeff * l->offset,
+                             l->offset * r->offset};
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+}
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+    return q;
+}
+
+/// All distinct constant indices k such that Select(obj, k) occurs in e.
+void collect_select_indices(const Expr* e, const Expr* obj,
+                            std::unordered_set<std::int64_t>& out, bool& nonconst) {
+    if (e->kind == Kind::Select && e->child0 == obj) {
+        if (e->child1->kind == Kind::IntConst) {
+            out.insert(e->child1->a);
+        } else {
+            nonconst = true;
+        }
+    }
+    if (e->child0) collect_select_indices(e->child0, obj, out, nonconst);
+    if (e->child1) collect_select_indices(e->child1, obj, out, nonconst);
+}
+
+}  // namespace
+
+std::vector<CollectionInfo> analyze_collections(sym::ExprPool& pool,
+                                                const ReducedPath& rp) {
+    // Gather every object term selected-from anywhere in the path.
+    std::vector<const Expr*> objects;
+    std::unordered_set<const Expr*> seen;
+    for (const PathPredicate& p : rp.preds) {
+        sym::for_each_node(p.expr, [&](const Expr* n) {
+            if (n->kind == Kind::Select && seen.insert(n->child0).second)
+                objects.push_back(n->child0);
+            if (n->kind == Kind::Len && seen.insert(n->child0).second)
+                objects.push_back(n->child0);
+        });
+    }
+
+    std::vector<CollectionInfo> out;
+    for (const Expr* obj : objects) {
+        CollectionInfo info;
+        info.obj = obj;
+        for (std::size_t pos = 0; pos < rp.preds.size(); ++pos) {
+            const Expr* e = rp.preds[pos].expr;
+
+            // Element atom: all Select(obj, ·) occurrences share one
+            // constant index.
+            std::unordered_set<std::int64_t> ks;
+            bool nonconst = false;
+            collect_select_indices(e, obj, ks, nonconst);
+            if (!nonconst && ks.size() == 1) {
+                const std::int64_t k = *ks.begin();
+                const Expr* sel_int = pool.select(obj, pool.int_const(k), Sort::Int);
+                const Expr* sel_obj = pool.select(obj, pool.int_const(k), Sort::Obj);
+                const Expr* bv = pool.bound_var(0);
+                const Expr* shape = sym::substitute(
+                    pool, e,
+                    {{sel_int, pool.select(obj, bv, Sort::Int)},
+                     {sel_obj, pool.select(obj, bv, Sort::Obj)}});
+                info.elems.push_back({pos, k, shape});
+                continue;
+            }
+            if (!ks.empty() || nonconst) continue;  // mixed-index: not generalizable
+
+            // Length comparisons, normalized through the linear form
+            // coeff * obj.len + off REL 0: lower bounds `L <= len` become
+            // domain atoms (index L-1 is valid), upper bounds `len <= B`
+            // become length bounds. Covers the pinned allocation shapes
+            // like `2 * s.len + 2 == 6` too.
+            if (!sym::is_comparison(e->kind)) continue;
+            const auto la = len_affine(e->child0, obj);
+            const auto ra = len_affine(e->child1, obj);
+            if (!la || !ra) continue;
+            std::int64_t coeff = la->coeff - ra->coeff;
+            std::int64_t off = la->offset - ra->offset;
+            if (coeff == 0) continue;
+            Kind rel = e->kind;
+            if (coeff < 0) {
+                coeff = -coeff;
+                off = -off;
+                switch (rel) {
+                    case Kind::Lt: rel = Kind::Gt; break;
+                    case Kind::Le: rel = Kind::Ge; break;
+                    case Kind::Gt: rel = Kind::Lt; break;
+                    case Kind::Ge: rel = Kind::Le; break;
+                    default: break;
+                }
+            }
+            // Now: coeff * len + off REL 0 with coeff > 0.
+            switch (rel) {
+                case Kind::Eq:
+                    if (-off % coeff == 0) {
+                        const std::int64_t v = -off / coeff;
+                        info.len_bounds.push_back({pos, v});
+                        if (v >= 1) info.domains.push_back({pos, v - 1});
+                    }
+                    break;
+                case Kind::Lt:  // len < -off/coeff
+                    info.len_bounds.push_back({pos, ceil_div(-off, coeff) - 1});
+                    break;
+                case Kind::Le:  // len <= -off/coeff
+                    info.len_bounds.push_back({pos, floor_div(-off, coeff)});
+                    break;
+                case Kind::Gt:  // len > -off/coeff  =>  len >= floor+1
+                    info.domains.push_back({pos, floor_div(-off, coeff)});
+                    break;
+                case Kind::Ge:  // len >= ceil(-off/coeff)
+                    info.domains.push_back({pos, ceil_div(-off, coeff) - 1});
+                    break;
+                default:
+                    break;
+            }
+        }
+        if (!info.elems.empty()) out.push_back(std::move(info));
+    }
+    return out;
+}
+
+namespace {
+
+/// Shape comparison: interned pointer equality, optionally falling back to
+/// solver-decided semantic equivalence.
+bool shapes_match(sym::ExprPool& pool, solver::Solver* solver, const Expr* a,
+                  const Expr* b) {
+    if (a == b) return true;
+    return solver != nullptr && semantically_equal(pool, *solver, a, b);
+}
+
+/// Deduplicated element atoms by index: index -> the common shape, or
+/// nullptr if two atoms at the same index disagree in shape.
+std::map<std::int64_t, const Expr*> shapes_by_index(sym::ExprPool& pool,
+                                                    solver::Solver* solver,
+                                                    const CollectionInfo& info) {
+    std::map<std::int64_t, const Expr*> by_k;
+    for (const auto& e : info.elems) {
+        auto [it, inserted] = by_k.emplace(e.k, e.shape);
+        if (!inserted && it->second != nullptr &&
+            !shapes_match(pool, solver, it->second, e.shape)) {
+            it->second = nullptr;
+        }
+    }
+    return by_k;
+}
+
+class ExistentialTemplate final : public GeneralizationTemplate {
+public:
+    const char* name() const override { return "existential"; }
+
+    std::optional<TemplateMatch> try_match(sym::ExprPool& pool, const ReducedPath& rp,
+                                           const CollectionInfo& info,
+                                           solver::Solver* solver) const override {
+        if (rp.preds.empty()) return std::nullopt;
+        const std::size_t last = rp.preds.size() - 1;
+
+        // Pivot: the assertion-violating predicate must be an element atom
+        // of this collection.
+        const CollectionInfo::ElemAtom* pivot = nullptr;
+        for (const auto& e : info.elems) {
+            if (e.pos == last) pivot = &e;
+        }
+        if (!pivot) return std::nullopt;
+
+        const Expr* phi = pivot->shape;
+        const Expr* not_phi = pool.negate(phi);
+        const std::int64_t K = pivot->k;
+
+        // Every previously visited element must witness ¬φ (a guard on the
+        // failing element itself may re-state φ, e.g. the branch that led
+        // into the failing operation).
+        std::vector<std::size_t> consumed{pivot->pos};
+        std::vector<bool> have(static_cast<std::size_t>(std::max<std::int64_t>(K, 0)),
+                               false);
+        for (const auto& e : info.elems) {
+            if (e.pos == last) continue;
+            if (e.k == K && shapes_match(pool, solver, e.shape, phi)) {
+                consumed.push_back(e.pos);
+                continue;
+            }
+            if (e.k < 0 || e.k >= K) return std::nullopt;  // stray index
+            if (!shapes_match(pool, solver, e.shape, not_phi))
+                return std::nullopt;  // inconsistent property
+            have[static_cast<std::size_t>(e.k)] = true;
+            consumed.push_back(e.pos);
+        }
+        for (std::int64_t j = 0; j < K; ++j) {
+            if (!have[static_cast<std::size_t>(j)]) return std::nullopt;
+        }
+
+        // Domain predicates over visited indices are subsumed too.
+        for (const auto& d : info.domains) {
+            if (d.k <= K) consumed.push_back(d.pos);
+        }
+
+        const Expr* bv = pool.bound_var(0);
+        TemplateMatch m;
+        m.quantified = make_exists(0, info.obj, pool.lt(bv, pool.len(info.obj)), phi);
+        std::sort(consumed.begin(), consumed.end());
+        consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+        m.consumed = std::move(consumed);
+        m.score = static_cast<int>(m.consumed.size());
+        m.template_name = name();
+        return m;
+    }
+};
+
+class UniversalTemplate final : public GeneralizationTemplate {
+public:
+    const char* name() const override { return "universal"; }
+
+    std::optional<TemplateMatch> try_match(sym::ExprPool& pool, const ReducedPath& rp,
+                                           const CollectionInfo& info,
+                                           solver::Solver* solver) const override {
+        if (rp.preds.empty()) return std::nullopt;
+        const std::size_t last = rp.preds.size() - 1;
+
+        const auto by_k = shapes_by_index(pool, solver, info);
+        if (by_k.size() < 2) return std::nullopt;  // need repetition evidence
+
+        // One shared shape φ across every visited element. The aborting
+        // predicate may itself be the last iteration's φ-check (a whole-
+        // collection scan whose failure is control-dependent on having
+        // consumed everything), or lie after the loop entirely.
+        const Expr* phi = nullptr;
+        for (const auto& [k, shape] : by_k) {
+            if (shape == nullptr) return std::nullopt;
+            if (phi == nullptr) phi = shape;
+            if (!shapes_match(pool, solver, shape, phi)) return std::nullopt;
+        }
+
+        // Visited indices must cover 0..K contiguously.
+        std::int64_t expect = 0;
+        for (const auto& [k, shape] : by_k) {
+            (void)shape;
+            if (k != expect) return std::nullopt;
+            ++expect;
+        }
+        const std::int64_t K = expect - 1;
+
+        // The loop must have exhausted the collection: some predicate
+        // bounds the length by K+1. The bound may itself be the aborting
+        // predicate (when the assert's own condition folded to a constant,
+        // the recorded loop-exit check is the last predicate) — the
+        // quantified condition then takes its place at the end of the path.
+        bool bounded = false;
+        std::vector<std::size_t> consumed;
+        for (const auto& b : info.len_bounds) {
+            if (b.bound <= K + 1) {
+                bounded = true;
+                consumed.push_back(b.pos);
+            }
+        }
+        if (!bounded) return std::nullopt;
+
+        for (const auto& e : info.elems) consumed.push_back(e.pos);
+        for (const auto& d : info.domains) {
+            if (d.pos != last) consumed.push_back(d.pos);
+        }
+
+        const Expr* bv = pool.bound_var(0);
+        TemplateMatch m;
+        m.quantified = make_forall(0, info.obj, pool.lt(bv, pool.len(info.obj)), phi);
+        std::sort(consumed.begin(), consumed.end());
+        consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+        m.consumed = std::move(consumed);
+        m.score = static_cast<int>(m.consumed.size());
+        m.template_name = name();
+        return m;
+    }
+};
+
+class StridedExistentialTemplate final : public GeneralizationTemplate {
+public:
+    explicit StridedExistentialTemplate(std::int64_t stride) : stride_(stride) {
+        PI_CHECK(stride >= 2, "stride must be at least 2");
+    }
+
+    const char* name() const override { return "strided-existential"; }
+
+    std::optional<TemplateMatch> try_match(sym::ExprPool& pool, const ReducedPath& rp,
+                                           const CollectionInfo& info,
+                                           solver::Solver* solver) const override {
+        if (rp.preds.empty()) return std::nullopt;
+        const std::size_t last = rp.preds.size() - 1;
+
+        const CollectionInfo::ElemAtom* pivot = nullptr;
+        for (const auto& e : info.elems) {
+            if (e.pos == last) pivot = &e;
+        }
+        if (!pivot) return std::nullopt;
+        const std::int64_t K = pivot->k;
+        const std::int64_t phase = ((K % stride_) + stride_) % stride_;
+        if (K < stride_) return std::nullopt;  // indistinguishable from stride 1
+
+        const Expr* phi = pivot->shape;
+        const Expr* not_phi = pool.negate(phi);
+
+        std::vector<std::size_t> consumed{pivot->pos};
+        std::vector<bool> have(static_cast<std::size_t>(K / stride_), false);
+        for (const auto& e : info.elems) {
+            if (e.pos == last) continue;
+            if (e.k < 0 || e.k >= K || e.k % stride_ != phase) return std::nullopt;
+            if (!shapes_match(pool, solver, e.shape, not_phi)) return std::nullopt;
+            have[static_cast<std::size_t>(e.k / stride_)] = true;
+            consumed.push_back(e.pos);
+        }
+        for (std::int64_t j = phase; j < K; j += stride_) {
+            if (!have[static_cast<std::size_t>(j / stride_)]) return std::nullopt;
+        }
+
+        for (const auto& d : info.domains) {
+            if (d.k <= K) consumed.push_back(d.pos);
+        }
+
+        const Expr* bv = pool.bound_var(0);
+        const Expr* domain =
+            pool.and_(pool.lt(bv, pool.len(info.obj)),
+                      pool.eq(pool.mod(bv, pool.int_const(stride_)),
+                              pool.int_const(phase)));
+        TemplateMatch m;
+        m.quantified = make_exists(0, info.obj, domain, phi);
+        std::sort(consumed.begin(), consumed.end());
+        consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+        m.consumed = std::move(consumed);
+        m.score = static_cast<int>(m.consumed.size());
+        m.template_name = name();
+        return m;
+    }
+
+private:
+    std::int64_t stride_;
+};
+
+class StridedUniversalTemplate final : public GeneralizationTemplate {
+public:
+    explicit StridedUniversalTemplate(std::int64_t stride) : stride_(stride) {
+        PI_CHECK(stride >= 2, "stride must be at least 2");
+    }
+
+    const char* name() const override { return "strided-universal"; }
+
+    std::optional<TemplateMatch> try_match(sym::ExprPool& pool, const ReducedPath& rp,
+                                           const CollectionInfo& info,
+                                           solver::Solver* solver) const override {
+        if (rp.preds.empty()) return std::nullopt;
+
+        const auto by_k = shapes_by_index(pool, solver, info);
+        if (by_k.size() < 2) return std::nullopt;
+
+        // One shared shape over stride-aligned indices starting at 0.
+        const Expr* phi = nullptr;
+        std::int64_t expect = 0;
+        for (const auto& [k, shape] : by_k) {
+            if (shape == nullptr || k != expect) return std::nullopt;
+            if (phi == nullptr) phi = shape;
+            if (!shapes_match(pool, solver, shape, phi)) return std::nullopt;
+            expect += stride_;
+        }
+        const std::int64_t K = expect - stride_;
+        if (K < stride_) return std::nullopt;  // indistinguishable from stride 1
+
+        // The loop must have run off the end: length bounded by K+stride.
+        bool bounded = false;
+        std::vector<std::size_t> consumed;
+        for (const auto& b : info.len_bounds) {
+            if (b.bound <= K + stride_) {
+                bounded = true;
+                consumed.push_back(b.pos);
+            }
+        }
+        if (!bounded) return std::nullopt;
+
+        const std::size_t last = rp.preds.size() - 1;
+        for (const auto& e : info.elems) consumed.push_back(e.pos);
+        for (const auto& d : info.domains) {
+            if (d.pos != last) consumed.push_back(d.pos);
+        }
+
+        const Expr* bv = pool.bound_var(0);
+        const Expr* domain =
+            pool.and_(pool.lt(bv, pool.len(info.obj)),
+                      pool.eq(pool.mod(bv, pool.int_const(stride_)), pool.int_const(0)));
+        TemplateMatch m;
+        m.quantified = make_forall(0, info.obj, domain, phi);
+        std::sort(consumed.begin(), consumed.end());
+        consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+        m.consumed = std::move(consumed);
+        m.score = static_cast<int>(m.consumed.size());
+        m.template_name = name();
+        return m;
+    }
+
+private:
+    std::int64_t stride_;
+};
+
+}  // namespace
+
+std::unique_ptr<GeneralizationTemplate> existential_template() {
+    return std::make_unique<ExistentialTemplate>();
+}
+
+std::unique_ptr<GeneralizationTemplate> universal_template() {
+    return std::make_unique<UniversalTemplate>();
+}
+
+std::unique_ptr<GeneralizationTemplate> strided_existential_template(std::int64_t stride) {
+    return std::make_unique<StridedExistentialTemplate>(stride);
+}
+
+std::unique_ptr<GeneralizationTemplate> strided_universal_template(std::int64_t stride) {
+    return std::make_unique<StridedUniversalTemplate>(stride);
+}
+
+TemplateRegistry TemplateRegistry::standard() {
+    TemplateRegistry r;
+    r.add(existential_template());
+    r.add(universal_template());
+    r.add(strided_existential_template(2));
+    r.add(strided_universal_template(2));
+    return r;
+}
+
+TemplateRegistry TemplateRegistry::none() { return {}; }
+
+}  // namespace preinfer::core

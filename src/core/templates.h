@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/pred.h"
+#include "src/core/pruning.h"
+#include "src/solver/solver.h"
+
+namespace preinfer::core {
+
+/// Facts about one collection object appearing in a reduced failing path
+/// condition. Positions index into ReducedPath::preds.
+struct CollectionInfo {
+    const sym::Expr* obj = nullptr;
+
+    struct ElemAtom {
+        std::size_t pos = 0;
+        std::int64_t k = 0;       ///< the concrete element index
+        const sym::Expr* shape;   ///< predicate with Select(obj, k) -> Select(obj, i)
+    };
+    struct DomainAtom {
+        std::size_t pos = 0;
+        std::int64_t k = 0;  ///< the atom implies k < obj.len
+    };
+    struct LenBound {
+        std::size_t pos = 0;
+        std::int64_t bound = 0;  ///< the atom implies obj.len <= bound
+    };
+
+    std::vector<ElemAtom> elems;
+    std::vector<DomainAtom> domains;
+    std::vector<LenBound> len_bounds;
+};
+
+/// Scans a reduced path condition for overly specific predicates: element
+/// predicates `φ(obj[k])` (anti-unified into a shape over bound variable 0),
+/// index-domain predicates `k < obj.len`, and length upper bounds
+/// `obj.len <= B` (including pinned forms like `obj.len - 1 == 2`).
+[[nodiscard]] std::vector<CollectionInfo> analyze_collections(sym::ExprPool& pool,
+                                                              const ReducedPath& rp);
+
+/// A successful template instantiation: the quantified predicate plus the
+/// positions of the overly specific predicates it subsumes.
+struct TemplateMatch {
+    PredPtr quantified;
+    std::vector<std::size_t> consumed;
+    int score = 0;  ///< number of subsumed predicates (paper: "based on the
+                    ///< number of subsumed overly specific predicates")
+    const char* template_name = "";
+};
+
+/// One generalization template (Section IV-B). New templates "can be easily
+/// added as long as they operate over the predicates from failing path
+/// conditions" — implement this interface and register it.
+class GeneralizationTemplate {
+public:
+    virtual ~GeneralizationTemplate() = default;
+    [[nodiscard]] virtual const char* name() const = 0;
+    /// `equivalence_solver`, when non-null, lets shape comparisons fall back
+    /// to solver-decided semantic equivalence (the paper's proposed
+    /// improvement over raw-representation matching, Section V-C).
+    [[nodiscard]] virtual std::optional<TemplateMatch> try_match(
+        sym::ExprPool& pool, const ReducedPath& rp, const CollectionInfo& info,
+        solver::Solver* equivalence_solver = nullptr) const = 0;
+};
+
+/// Existential Template: only the last visited element a[K] satisfies φ,
+/// all previously visited ones satisfy ¬φ — the failure fires inside the
+/// loop. Yields  ∃i. (i < a.len) && φ(a[i]).
+[[nodiscard]] std::unique_ptr<GeneralizationTemplate> existential_template();
+
+/// Universal Template: every visited element satisfies φ and the loop ran
+/// off the end of the collection — the failure fires after the loop.
+/// Yields  ∀i. (i < a.len) -> φ(a[i]).
+[[nodiscard]] std::unique_ptr<GeneralizationTemplate> universal_template();
+
+/// Strided Existential Template: the loop visits every stride-th element
+/// and aborts at the first one satisfying φ; yields
+/// ∃i. (i < a.len && i % stride == K % stride) && φ(a[i]).
+[[nodiscard]] std::unique_ptr<GeneralizationTemplate> strided_existential_template(
+    std::int64_t stride);
+
+/// Strided Universal Template (the paper's worked extension, Section IV-B):
+/// every visited stride-th element satisfies φ and the loop exhausted the
+/// collection; yields  ∀i. (i < a.len && i % stride == 0) -> φ(a[i]).
+[[nodiscard]] std::unique_ptr<GeneralizationTemplate> strided_universal_template(
+    std::int64_t stride);
+
+/// Orders templates; first match wins among equal scores.
+class TemplateRegistry {
+public:
+    /// The default registry: Existential, Universal, StridedExistential(2),
+    /// StridedUniversal(2).
+    static TemplateRegistry standard();
+    /// No templates (generalization off — ablation).
+    static TemplateRegistry none();
+
+    void add(std::unique_ptr<GeneralizationTemplate> t) {
+        templates_.push_back(std::move(t));
+    }
+
+    [[nodiscard]] std::span<const std::unique_ptr<GeneralizationTemplate>> templates()
+        const {
+        return templates_;
+    }
+
+private:
+    std::vector<std::unique_ptr<GeneralizationTemplate>> templates_;
+};
+
+}  // namespace preinfer::core

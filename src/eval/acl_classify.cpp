@@ -1,0 +1,92 @@
+#include "src/eval/acl_classify.h"
+
+#include <optional>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::eval {
+
+namespace {
+
+using lang::ExprNode;
+using lang::SKind;
+using lang::StmtNode;
+using lang::StmtPtr;
+
+class Classifier {
+public:
+    explicit Classifier(int target) : target_(target) {}
+
+    /// Walks the method in source order, tracking loop nesting and whether
+    /// a loop has completed earlier; records the classification when the
+    /// target node id is seen.
+    std::optional<LoopPosition> walk(const std::vector<StmtPtr>& stmts) {
+        walk_list(stmts);
+        return result_;
+    }
+
+private:
+    void note(int node_id) {
+        if (node_id != target_ || result_) return;
+        if (loop_depth_ > 0) {
+            result_ = LoopPosition::InsideLoop;
+        } else if (seen_loop_) {
+            result_ = LoopPosition::AfterLoop;
+        } else {
+            result_ = LoopPosition::BeforeLoop;
+        }
+    }
+
+    void walk_expr(const ExprNode& e) {
+        note(e.node_id);
+        if (e.lhs) walk_expr(*e.lhs);
+        if (e.rhs) walk_expr(*e.rhs);
+        for (const lang::ExprPtr& a : e.args) walk_expr(*a);
+    }
+
+    void walk_stmt(const StmtNode& s) {
+        note(s.node_id);
+        if (s.kind == SKind::While) {
+            ++loop_depth_;
+            if (s.expr) walk_expr(*s.expr);  // the loop header is "inside"
+            walk_list(s.body);
+            if (s.step) walk_stmt(*s.step);
+            --loop_depth_;
+            if (loop_depth_ == 0) seen_loop_ = true;
+            return;
+        }
+        if (s.index) walk_expr(*s.index);
+        if (s.expr) walk_expr(*s.expr);
+        walk_list(s.body);
+        walk_list(s.else_body);
+    }
+
+    void walk_list(const std::vector<StmtPtr>& stmts) {
+        for (const StmtPtr& s : stmts) walk_stmt(*s);
+    }
+
+    int target_;
+    int loop_depth_ = 0;
+    bool seen_loop_ = false;
+    std::optional<LoopPosition> result_;
+};
+
+}  // namespace
+
+const char* loop_position_name(LoopPosition p) {
+    switch (p) {
+        case LoopPosition::BeforeLoop: return "Before loop";
+        case LoopPosition::InsideLoop: return "Inside loop";
+        case LoopPosition::AfterLoop: return "After loop";
+    }
+    return "?";
+}
+
+LoopPosition classify_acl(const lang::Method& method, int node_id) {
+    Classifier classifier(node_id);
+    const auto result = classifier.walk(method.body);
+    PI_CHECK(result.has_value(), "ACL node id not found in method");
+    return *result;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "src/lang/ast.h"
+
+namespace preinfer::eval {
+
+/// Where an assertion-containing location sits relative to loops in its
+/// method — the breakdown dimension of the paper's Table V. Loop headers
+/// count as inside ("overly specific predicates are those derived from
+/// conditions in branches located in loops including the loop header").
+enum class LoopPosition : std::uint8_t { BeforeLoop, InsideLoop, AfterLoop };
+
+[[nodiscard]] const char* loop_position_name(LoopPosition p);
+
+/// Classifies the AST node (statement or expression) with the given id.
+[[nodiscard]] LoopPosition classify_acl(const lang::Method& method, int node_id);
+
+}  // namespace preinfer::eval

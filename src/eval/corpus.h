@@ -1,0 +1,38 @@
+#pragma once
+
+#include "src/eval/subject.h"
+
+namespace preinfer::eval {
+
+/// The evaluation corpus: seven namespaces mirroring the paper's Table V
+/// rows, written in MiniLang with hand-derived ground-truth preconditions
+/// per assertion-containing location. The paper's C# subjects are not
+/// available (nor compilable here), so each namespace reconstructs the same
+/// exception-throwing idioms its original exercised: null arguments, bad
+/// indices, zero divisors, and quantified collection-content conditions.
+[[nodiscard]] Subject algorithmia_sorting();
+[[nodiscard]] Subject algorithmia_general_data_structures();
+[[nodiscard]] Subject dsa_algorithm();
+[[nodiscard]] Subject codecontracts_examples_puri();
+[[nodiscard]] Subject codecontracts_preinference();
+[[nodiscard]] Subject codecontracts_array_purity();
+[[nodiscard]] Subject svcomp_csharp();
+
+/// Extended method sets (corpus_extended.cpp): additional subjects per
+/// namespace, including interprocedural cases (a subject source may hold
+/// several methods; the first is the method under test).
+void add_extended_sorting(Subject& s);
+void add_extended_general_data_structures(Subject& s);
+void add_extended_dsa(Subject& s);
+void add_extended_examples_puri(Subject& s);
+void add_extended_preinference(Subject& s);
+void add_extended_array_purity(Subject& s);
+void add_extended_svcomp(Subject& s);
+/// Batch 3 (corpus_extended2.cpp): break/continue subjects and further hard
+/// shapes; dispatches on the subject's name.
+void add_extended2(Subject& s);
+
+/// All seven, in Table V order.
+[[nodiscard]] const std::vector<Subject>& corpus();
+
+}  // namespace preinfer::eval

@@ -1,0 +1,257 @@
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+Subject algorithmia_sorting() {
+    Subject s;
+    s.name = "Algorithmia.Sorting";
+    s.suite = "Algorithmia";
+
+    s.methods.push_back({"bubble_sort", R"(
+method bubble_sort(xs: int[]) : int {
+    var n = xs.len;
+    for (var i = 0; i < n - 1; i = i + 1) {
+        for (var j = 0; j < n - i - 1; j = j + 1) {
+            if (xs[j] > xs[j + 1]) {
+                var t = xs[j];
+                xs[j] = xs[j + 1];
+                xs[j + 1] = t;
+            }
+        }
+    }
+    return n;
+})",
+                         {{K::NullReference, 0, "xs != null"}}});
+
+    s.methods.push_back({"selection_min", R"(
+method selection_min(xs: int[]) : int {
+    assert(xs != null);
+    assert(xs.len > 0);
+    var min = xs[0];
+    for (var i = 1; i < xs.len; i = i + 1) {
+        if (xs[i] < min) { min = xs[i]; }
+    }
+    return min;
+})",
+                         {{K::AssertionViolation, 0, "xs != null"},
+                          {K::AssertionViolation, 1, "xs == null || xs.len > 0"}}});
+
+    s.methods.push_back(
+        {"normalize_by_first", R"(
+method normalize_by_first(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    if (xs.len == 0) { return 0; }
+    var f = xs[0];
+    var sum = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        sum = sum + xs[i] / f;
+    }
+    return sum;
+})",
+         {{K::DivideByZero, 0, "xs == null || xs.len == 0 || xs[0] != 0"}}});
+
+    s.methods.push_back(
+        {"divide_each", R"(
+method divide_each(xs: int[], d: int) : int {
+    if (xs == null) { return 0; }
+    var sum = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        sum = sum + xs[i] / d;
+    }
+    return sum;
+})",
+         {{K::DivideByZero, 0, "xs == null || xs.len == 0 || d != 0"}}});
+
+    s.methods.push_back(
+        {"kth_element", R"(
+method kth_element(xs: int[], k: int) : int {
+    assert(xs != null);
+    return xs[k];
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || (0 <= k && k < xs.len)"}}});
+
+    s.methods.push_back(
+        {"check_sorted", R"(
+method check_sorted(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    for (var i = 0; i + 1 < xs.len; i = i + 1) {
+        assert(xs[i] <= xs[i + 1]);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "xs == null || (forall i in xs: i + 1 >= xs.len || xs[i] <= xs[i + 1])"}}});
+
+    s.methods.push_back(
+        {"dot_product", R"(
+method dot_product(a: int[], b: int[]) : int {
+    var sum = 0;
+    var n = a.len;
+    for (var i = 0; i < n; i = i + 1) {
+        sum = sum + a[i] * b[i];
+    }
+    return sum;
+})",
+         {{K::NullReference, 0, "a != null"},
+          {K::NullReference, 1, "a == null || a.len == 0 || b != null"},
+          {K::IndexOutOfRange, 0, "a == null || b == null || a.len <= b.len"}}});
+
+    s.methods.push_back(
+        {"max_gap", R"(
+method max_gap(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var count = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (xs[i] > 0) { count = count + 1; }
+    }
+    return 100 / count;
+})",
+         {{K::DivideByZero, 0, "xs == null || (exists i in xs: xs[i] > 0)"}}});
+
+    s.methods.push_back(
+        {"swap_ends", R"(
+method swap_ends(xs: int[], lo: int, hi: int) : int {
+    assert(xs != null);
+    var t = xs[lo];
+    var u = xs[hi];
+    xs[lo] = u;
+    xs[hi] = t;
+    return 1;
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || (0 <= lo && lo < xs.len)"},
+          {K::IndexOutOfRange, 1,
+           "xs == null || lo < 0 || lo >= xs.len || (0 <= hi && hi < xs.len)"}}});
+
+    s.methods.push_back(
+        {"average", R"(
+method average(xs: int[]) : int {
+    var n = xs.len;
+    var sum = 0;
+    for (var i = 0; i < n; i = i + 1) { sum = sum + xs[i]; }
+    return sum / n;
+})",
+         {{K::NullReference, 0, "xs != null"},
+          {K::DivideByZero, 0, "xs == null || xs.len != 0"}}});
+
+    add_extended_sorting(s);
+    add_extended2(s);
+    return s;
+}
+
+Subject algorithmia_general_data_structures() {
+    Subject s;
+    s.name = "Algorithmia.GeneralDataStr";
+    s.suite = "Algorithmia";
+
+    s.methods.push_back(
+        {"stack_top", R"(
+method stack_top(xs: int[], size: int) : int {
+    assert(xs != null);
+    return xs[size - 1];
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || (1 <= size && size <= xs.len)"}}});
+
+    s.methods.push_back(
+        {"stack_push", R"(
+method stack_push(xs: int[], size: int, v: int) : int {
+    if (xs == null) { return -1; }
+    xs[size] = v;
+    return size + 1;
+})",
+         {{K::IndexOutOfRange, 0, "xs == null || (0 <= size && size < xs.len)"}}});
+
+    s.methods.push_back({"ring_next", R"(
+method ring_next(idx: int, cap: int) : int {
+    return (idx + 1) % cap;
+})",
+                         {{K::DivideByZero, 0, "cap != 0"}}});
+
+    s.methods.push_back(
+        {"sum_lengths", R"(
+method sum_lengths(ss: str[]) : int {
+    var sum = 0;
+    for (var i = 0; i < ss.len; i = i + 1) {
+        sum = sum + ss[i].len;
+    }
+    return sum;
+})",
+         {{K::NullReference, 0, "ss != null"},
+          {K::NullReference, 1, "ss == null || (forall i in ss: ss[i] != null)"}}});
+
+    s.methods.push_back(
+        {"contains_key", R"(
+method contains_key(xs: int[], key: int) : int {
+    if (xs == null) { return 0; }
+    var found = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (xs[i] == key) { found = 1; }
+    }
+    assert(found == 1);
+    return 1;
+})",
+         {{K::AssertionViolation, 0, "xs == null || (exists i in xs: xs[i] == key)"}}});
+
+    s.methods.push_back(
+        {"first_nonnull", R"(
+method first_nonnull(ss: str[]) : str {
+    if (ss == null) { return null; }
+    for (var i = 0; i < ss.len; i = i + 1) {
+        if (ss[i] != null) { return ss[i]; }
+    }
+    assert(false);
+    return null;
+})",
+         {{K::AssertionViolation, 0, "ss == null || (exists i in ss: ss[i] != null)"}}});
+
+    s.methods.push_back({"ensure_capacity", R"(
+method ensure_capacity(n: int) : int {
+    var buf = newintarray(n);
+    return buf.len;
+})",
+                         {{K::IndexOutOfRange, 0, "n >= 0"}}});
+
+    s.methods.push_back(
+        {"pair_get", R"(
+method pair_get(xs: int[], which: bool) : int {
+    assert(xs != null);
+    if (which) { return xs[0]; }
+    return xs[1];
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || !which || xs.len > 0"},
+          {K::IndexOutOfRange, 1, "xs == null || which || xs.len > 1"}}});
+
+    s.methods.push_back(
+        {"clear_slot", R"(
+method clear_slot(ss: str[], at: int) : int {
+    if (ss == null) { return 0; }
+    ss[at] = null;
+    return 1;
+})",
+         {{K::IndexOutOfRange, 0, "ss == null || (0 <= at && at < ss.len)"}}});
+
+    s.methods.push_back(
+        {"shift_left", R"(
+method shift_left(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    assert(xs.len > 0);
+    for (var i = 0; i + 1 < xs.len; i = i + 1) {
+        xs[i] = xs[i + 1];
+    }
+    return xs.len - 1;
+})",
+         {{K::AssertionViolation, 0, "xs == null || xs.len > 0"}}});
+
+    add_extended_general_data_structures(s);
+    add_extended2(s);
+    return s;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,352 @@
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+Subject codecontracts_examples_puri() {
+    Subject s;
+    s.name = "CodeContracts.ExamplesPuri";
+    s.suite = "CodeContracts";
+
+    s.methods.push_back({"abs_div", R"(
+method abs_div(a: int, b: int) : int {
+    return a / b;
+})",
+                         {{K::DivideByZero, 0, "b != 0"}}});
+
+    s.methods.push_back({"guarded_div", R"(
+method guarded_div(k: int, d: int) : int {
+    if (k > 0) { return 10 / d; }
+    return 0;
+})",
+                         {{K::DivideByZero, 0, "k <= 0 || d != 0"}}});
+
+    s.methods.push_back({"mod_guard", R"(
+method mod_guard(a: int, m: int) : int {
+    return a % m;
+})",
+                         {{K::DivideByZero, 0, "m != 0"}}});
+
+    s.methods.push_back({"assert_positive", R"(
+method assert_positive(x: int) : int {
+    assert(x > 0);
+    return x;
+})",
+                         {{K::AssertionViolation, 0, "x > 0"}}});
+
+    s.methods.push_back({"assert_range", R"(
+method assert_range(x: int) : int {
+    assert(0 <= x && x < 100);
+    return x;
+})",
+                         {{K::AssertionViolation, 0, "0 <= x && x < 100"}}});
+
+    s.methods.push_back(
+        {"chained", R"(
+method chained(a: int) : int {
+    if (a > 0) {
+        if (a < 10) {
+            assert(a != 5);
+        }
+    }
+    return a;
+})",
+         {{K::AssertionViolation, 0, "a <= 0 || a >= 10 || a != 5"}}});
+
+    s.methods.push_back({"bool_guarded", R"(
+method bool_guarded(flag: bool, d: int) : int {
+    if (flag) { return 100 / d; }
+    return 0;
+})",
+                         {{K::DivideByZero, 0, "!flag || d != 0"}}});
+
+    s.methods.push_back({"diff_div", R"(
+method diff_div(a: int, b: int) : int {
+    var d = a - b;
+    return 100 / d;
+})",
+                         {{K::DivideByZero, 0, "a != b"}}});
+
+    s.methods.push_back(
+        {"nested_mix", R"(
+method nested_mix(a: int, b: int, c: int) : int {
+    if (a > 0) { b = b + 2; }
+    if (b > 5) {
+        return c / (b - 6);
+    }
+    return 0;
+})",
+         {{K::DivideByZero, 0, "(a <= 0 || b != 4) && (a > 0 || b != 6)"}}});
+
+    s.methods.push_back(
+        {"triple", R"(
+method triple(x: int, y: int) : int {
+    assert(x >= 0);
+    assert(y >= 0);
+    assert(x + y < 100);
+    return x + y;
+})",
+         {{K::AssertionViolation, 0, "x >= 0"},
+          {K::AssertionViolation, 1, "x < 0 || y >= 0"},
+          {K::AssertionViolation, 2, "x < 0 || y < 0 || x + y < 100"}}});
+
+    add_extended_examples_puri(s);
+    add_extended2(s);
+    return s;
+}
+
+Subject codecontracts_preinference() {
+    Subject s;
+    s.name = "CodeContracts.PreInference";
+    s.suite = "CodeContracts";
+
+    // The paper's Figure 1 running example with its two ground-truth
+    // preconditions (paper lines 3 and 5).
+    s.methods.push_back(
+        {"figure1_example", R"(
+method figure1_example(s: str[], a: int, b: int, c: int, d: int) : int {
+    var sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (var i = 0; i < s.len; i = i + 1) {
+            sum = sum + s[i].len;
+        }
+        return sum;
+    }
+    return 0;
+})",
+         {{K::NullReference, 0,
+           "s != null || ((c <= 0 || d <= -1) && (c > 0 || d <= 0))"},
+          {K::NullReference, 1,
+           "s == null || ((c <= 0 || d <= -1) && (c > 0 || d <= 0)) || "
+           "(forall i in s: s[i] != null)"}}});
+
+    s.methods.push_back(
+        {"correlated", R"(
+method correlated(p: int, q: int) : int {
+    var x = p;
+    if (q > 0) { x = x + 1; }
+    if (x > 3) {
+        return 10 / (x - 4);
+    }
+    return 0;
+})",
+         {{K::DivideByZero, 0, "(q <= 0 || p != 3) && (q > 0 || p != 4)"}}});
+
+    s.methods.push_back({"dead_branch", R"(
+method dead_branch(a: int, d: int) : int {
+    var x = 0;
+    if (a > 0) { x = 1; }
+    return 10 / d;
+})",
+                         {{K::DivideByZero, 0, "d != 0"}}});
+
+    s.methods.push_back(
+        {"both_guards", R"(
+method both_guards(m: int, n: int) : int {
+    if (m > 0) {
+        if (n > 0) {
+            assert(m + n != 7);
+        }
+    }
+    return 0;
+})",
+         {{K::AssertionViolation, 0, "m <= 0 || n <= 0 || m + n != 7"}}});
+
+    // No passing run exists (x * x is never negative in the explored
+    // domain); the paper notes this is where DySy retains an edge.
+    s.methods.push_back({"always_fails", R"(
+method always_fails(x: int) : int {
+    var y = x * x;
+    assert(y < 0);
+    return y;
+})",
+                         {{K::AssertionViolation, 0, "false"}}});
+
+    s.methods.push_back(
+        {"min_clamp", R"(
+method min_clamp(v: int, lo: int) : int {
+    var r = v;
+    if (v < lo) { r = lo; }
+    assert(r >= 0);
+    return r;
+})",
+         {{K::AssertionViolation, 0, "(v >= lo || lo >= 0) && (v < lo || v >= 0)"}}});
+
+    s.methods.push_back({"double_div", R"(
+method double_div(a: int, b: int) : int {
+    var x = 100 / a;
+    var y = x / b;
+    return y;
+})",
+                         {{K::DivideByZero, 0, "a != 0"},
+                          {K::DivideByZero, 1, "a == 0 || b != 0"}}});
+
+    s.methods.push_back(
+        {"offset_window", R"(
+method offset_window(t: int) : int {
+    if (t > 10) {
+        if (t < 20) {
+            return 100 / (t - 15);
+        }
+    }
+    return 0;
+})",
+         {{K::DivideByZero, 0, "t <= 10 || t >= 20 || t != 15"}}});
+
+    s.methods.push_back({"negation_stress", R"(
+method negation_stress(w: int) : int {
+    if (!(w > 0)) { return 0; }
+    assert(w != 13);
+    return w;
+})",
+                         {{K::AssertionViolation, 0, "w <= 0 || w != 13"}}});
+
+    s.methods.push_back(
+        {"loop_guarded_div", R"(
+method loop_guarded_div(n: int, d: int) : int {
+    var sum = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        sum = sum + 10 / d;
+    }
+    return sum;
+})",
+         {{K::DivideByZero, 0, "n <= 0 || d != 0"}}});
+
+    add_extended_preinference(s);
+    add_extended2(s);
+    return s;
+}
+
+Subject codecontracts_array_purity() {
+    Subject s;
+    s.name = "CodeContracts.ArrayPurityI";
+    s.suite = "CodeContracts";
+
+    s.methods.push_back({"sum_all", R"(
+method sum_all(xs: int[]) : int {
+    var sum = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        sum = sum + xs[i];
+    }
+    return sum;
+})",
+                         {{K::NullReference, 0, "xs != null"}}});
+
+    s.methods.push_back(
+        {"get_clamped", R"(
+method get_clamped(xs: int[], i: int) : int {
+    if (xs == null) { return 0; }
+    if (i < 0) { return 0; }
+    return xs[i];
+})",
+         {{K::IndexOutOfRange, 0, "xs == null || i < 0 || i < xs.len"}}});
+
+    s.methods.push_back(
+        {"assert_all_positive", R"(
+method assert_all_positive(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    for (var i = 0; i < xs.len; i = i + 1) {
+        assert(xs[i] > 0);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0, "xs == null || (forall i in xs: xs[i] > 0)"}}});
+
+    s.methods.push_back(
+        {"harmonic", R"(
+method harmonic(xs: int[]) : int {
+    var total = 0;
+    var n = xs.len;
+    for (var i = 0; i < n; i = i + 1) {
+        total = total + 100 / xs[i];
+    }
+    return total;
+})",
+         {{K::NullReference, 0, "xs != null"},
+          {K::DivideByZero, 0, "xs == null || (forall i in xs: xs[i] != 0)"}}});
+
+    // The paper's strided extension template: only even indices are read.
+    s.methods.push_back(
+        {"even_slots", R"(
+method even_slots(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var sum = 0;
+    for (var i = 0; i < xs.len; i = i + 2) {
+        sum = sum + 10 / xs[i];
+    }
+    return sum;
+})",
+         {{K::DivideByZero, 0,
+           "xs == null || (forall i in xs: i % 2 != 0 || xs[i] != 0)"}}});
+
+    s.methods.push_back({"last_element", R"(
+method last_element(xs: int[]) : int {
+    assert(xs != null);
+    return xs[xs.len - 1];
+})",
+                         {{K::AssertionViolation, 0, "xs != null"},
+                          {K::IndexOutOfRange, 0, "xs == null || xs.len > 0"}}});
+
+    s.methods.push_back({"write_first", R"(
+method write_first(xs: int[], v: int) : int {
+    xs[0] = v;
+    return 1;
+})",
+                         {{K::NullReference, 0, "xs != null"},
+                          {K::IndexOutOfRange, 0, "xs == null || xs.len > 0"}}});
+
+    s.methods.push_back(
+        {"copy_into", R"(
+method copy_into(src: int[], dst: int[]) : int {
+    var n = src.len;
+    for (var i = 0; i < n; i = i + 1) {
+        dst[i] = src[i];
+    }
+    return n;
+})",
+         {{K::NullReference, 0, "src != null"},
+          {K::NullReference, 1, "src == null || src.len == 0 || dst != null"},
+          {K::IndexOutOfRange, 0, "src == null || dst == null || src.len <= dst.len"}}});
+
+    s.methods.push_back(
+        {"total_chars", R"(
+method total_chars(ss: str[]) : int {
+    var total = 0;
+    var n = ss.len;
+    for (var i = 0; i < n; i = i + 1) {
+        if (ss[i] != null) {
+            total = total + ss[i].len;
+        }
+    }
+    assert(total > 0);
+    return total;
+})",
+         {{K::NullReference, 0, "ss != null"},
+          {K::AssertionViolation, 0,
+           "ss == null || (exists i in ss: ss[i] != null && ss[i].len > 0)"}}});
+
+    s.methods.push_back(
+        {"guard_then_scan", R"(
+method guard_then_scan(xs: int[], limit: int) : int {
+    if (xs == null) { return 0; }
+    if (limit <= 0) { return 0; }
+    for (var i = 0; i < xs.len; i = i + 1) {
+        assert(xs[i] < limit);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "xs == null || limit <= 0 || (forall i in xs: xs[i] < limit)"}}});
+
+    add_extended_array_purity(s);
+    add_extended2(s);
+    return s;
+}
+
+}  // namespace preinfer::eval

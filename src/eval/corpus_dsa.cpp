@@ -1,0 +1,163 @@
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+Subject dsa_algorithm() {
+    Subject s;
+    s.name = "DSA.Algorithm";
+    s.suite = "DSA";
+
+    // The paper's Figure 2 (ReverseWords), rebuilt over a flat character
+    // buffer in place of StringBuilder: the IndexOutOfRange at the final
+    // `buf[sbLen - 1]` read corresponds to the paper's `sb[sb.Length - 1]`.
+    s.methods.push_back(
+        {"reverse_words", R"(
+method reverse_words(value: str) : int {
+    var n = value.len;
+    var buf = newintarray(n + n + 2);
+    var sbLen = 0;
+    var start = n - 1;
+    var last = start;
+    while (last >= 0) {
+        while (start >= 0 && iswhitespace(value[start])) { start = start - 1; }
+        last = start;
+        while (start >= 0 && !iswhitespace(value[start])) { start = start - 1; }
+        for (var i = start + 1; i < last + 1; i = i + 1) {
+            buf[sbLen] = value[i];
+            sbLen = sbLen + 1;
+        }
+        if (start > 0) {
+            buf[sbLen] = ' ';
+            sbLen = sbLen + 1;
+        }
+        last = start - 1;
+        start = last;
+    }
+    var lastchar = buf[sbLen - 1];
+    if (iswhitespace(lastchar)) { sbLen = sbLen - 1; }
+    return sbLen;
+})",
+         {{K::NullReference, 0, "value != null"},
+          {K::IndexOutOfRange, 0,
+           "value == null || (exists i in value: !iswhitespace(value[i]))"}}});
+
+    s.methods.push_back({"count_words", R"(
+method count_words(value: str) : int {
+    var n = value.len;
+    var count = 0;
+    var in_word = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (iswhitespace(value[i])) { in_word = 0; }
+        else {
+            if (in_word == 0) { count = count + 1; }
+            in_word = 1;
+        }
+    }
+    return count;
+})",
+                         {{K::NullReference, 0, "value != null"}}});
+
+    s.methods.push_back(
+        {"first_word_length", R"(
+method first_word_length(value: str) : int {
+    assert(value != null);
+    var i = 0;
+    while (i < value.len && !iswhitespace(value[i])) { i = i + 1; }
+    assert(i > 0);
+    return i;
+})",
+         {{K::AssertionViolation, 0, "value != null"},
+          {K::AssertionViolation, 1,
+           "value == null || (value.len > 0 && !iswhitespace(value[0]))"}}});
+
+    // Two-sided range check: the paper's syntactic template matching cannot
+    // summarize this one (both `>= '0'` and `<= '9'` witnesses per index).
+    s.methods.push_back(
+        {"parse_digits", R"(
+method parse_digits(st: str) : int {
+    if (st == null) { return -1; }
+    var v = 0;
+    for (var i = 0; i < st.len; i = i + 1) {
+        var c = st[i];
+        assert(c >= '0' && c <= '9');
+        v = v * 10 + (c - '0');
+    }
+    return v;
+})",
+         {{K::AssertionViolation, 0,
+           "st == null || (forall i in st: st[i] >= '0' && st[i] <= '9')"}}});
+
+    s.methods.push_back(
+        {"check_no_upper", R"(
+method check_no_upper(st: str) : int {
+    if (st == null) { return 0; }
+    for (var i = 0; i < st.len; i = i + 1) {
+        assert(st[i] >= 'a');
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0, "st == null || (forall i in st: st[i] >= 'a')"}}});
+
+    s.methods.push_back(
+        {"char_at", R"(
+method char_at(st: str, i: int) : int {
+    assert(st != null);
+    return st[i];
+})",
+         {{K::AssertionViolation, 0, "st != null"},
+          {K::IndexOutOfRange, 0, "st == null || (0 <= i && i < st.len)"}}});
+
+    s.methods.push_back({"last_char", R"(
+method last_char(st: str) : int {
+    var n = st.len;
+    return st[n - 1];
+})",
+                         {{K::NullReference, 0, "st != null"},
+                          {K::IndexOutOfRange, 0, "st == null || st.len > 0"}}});
+
+    s.methods.push_back(
+        {"divide_by_chars", R"(
+method divide_by_chars(st: str) : int {
+    if (st == null) { return 0; }
+    var total = 0;
+    for (var i = 0; i < st.len; i = i + 1) {
+        total = total + 1000 / st[i];
+    }
+    return total;
+})",
+         {{K::DivideByZero, 0, "st == null || (forall i in st: st[i] != 0)"}}});
+
+    s.methods.push_back(
+        {"leading_spaces", R"(
+method leading_spaces(st: str) : int {
+    if (st == null) { return -1; }
+    var i = 0;
+    while (i < st.len && iswhitespace(st[i])) { i = i + 1; }
+    assert(i < st.len);
+    return i;
+})",
+         {{K::AssertionViolation, 0,
+           "st == null || (exists i in st: !iswhitespace(st[i]))"}}});
+
+    s.methods.push_back(
+        {"index_of_char", R"(
+method index_of_char(st: str, c: int) : int {
+    if (st == null) { return -1; }
+    for (var i = 0; i < st.len; i = i + 1) {
+        if (st[i] == c) { return i; }
+    }
+    assert(false);
+    return -1;
+})",
+         {{K::AssertionViolation, 0, "st == null || (exists i in st: st[i] == c)"}}});
+
+    add_extended_dsa(s);
+    add_extended2(s);
+    return s;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,511 @@
+// Extended corpus: additional methods per namespace, growing the ACL count
+// toward the paper's scale and adding interprocedural subjects (the first
+// method of a source is the method under test; the rest are callees).
+
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+void add_extended_sorting(Subject& s) {
+    s.methods.push_back(
+        {"insertion_shift", R"(
+method insertion_shift(xs: int[], from: int) : int {
+    assert(xs != null);
+    assert(0 <= from && from < xs.len);
+    var v = xs[from];
+    return v;
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::AssertionViolation, 1, "xs == null || (0 <= from && from < xs.len)"}}});
+
+    s.methods.push_back(
+        {"min_index_from", R"(
+method min_index_from(xs: int[], start: int) : int {
+    if (xs == null) { return -1; }
+    var best = xs[start];
+    var bi = start;
+    for (var i = start + 1; i < xs.len; i = i + 1) {
+        if (xs[i] < best) { best = xs[i]; bi = i; }
+    }
+    return bi;
+})",
+         {{K::IndexOutOfRange, 0, "xs == null || (0 <= start && start < xs.len)"}}});
+
+    s.methods.push_back({"median_of_three", R"(
+method median_of_three(xs: int[]) : int {
+    var n = xs.len;
+    var a = xs[0];
+    var b = xs[n / 2];
+    var c = xs[n - 1];
+    if (a > b) { var t = a; a = b; b = t; }
+    if (b > c) { var t2 = b; b = c; c = t2; }
+    if (a > b) { var t3 = a; a = b; b = t3; }
+    return b;
+})",
+                         {{K::NullReference, 0, "xs != null"},
+                          {K::IndexOutOfRange, 0, "xs == null || xs.len > 0"}}});
+
+    s.methods.push_back(
+        {"bubble_pass_guarded", R"(
+method bubble_pass_guarded(xs: int[], n: int) : int {
+    if (xs == null) { return 0; }
+    var swaps = 0;
+    for (var j = 0; j < n - 1; j = j + 1) {
+        if (xs[j] > xs[j + 1]) {
+            var t = xs[j];
+            xs[j] = xs[j + 1];
+            xs[j + 1] = t;
+            swaps = swaps + 1;
+        }
+    }
+    return swaps;
+})",
+         {{K::IndexOutOfRange, 0, "xs == null || xs.len > 0 || n <= 1"},
+          {K::IndexOutOfRange, 1, "xs == null || xs.len == 0 || n <= xs.len"}}});
+
+    // A branch guarded by a constraint outside the solver's reach
+    // (12345 = 3*5*823 is not a sum of two squares, and the non-linear
+    // search will not prove it): the generator leaves it uncovered, which
+    // is exactly how Pex's coverage gaps arise on the paper's subjects.
+    s.methods.push_back({"hash_gate", R"(
+method hash_gate(x: int, y: int) : int {
+    var h = x * x + y * y;
+    if (h == 12345) {
+        return 1;
+    }
+    return 100 / x;
+})",
+                         {{K::DivideByZero, 0, "x != 0"}}});
+
+    // Interprocedural: the failing access sits in a callee.
+    s.methods.push_back(
+        {"select_smallest", R"(
+method select_smallest(xs: int[]) : int {
+    assert(xs != null);
+    return pick_at(xs, 0);
+}
+method pick_at(ys: int[], i: int) : int {
+    return ys[i];
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || xs.len > 0"}}});
+}
+
+void add_extended_general_data_structures(Subject& s) {
+    s.methods.push_back(
+        {"queue_peek", R"(
+method queue_peek(xs: int[], head: int, count: int) : int {
+    assert(count > 0);
+    return xs[head];
+})",
+         {{K::AssertionViolation, 0, "count > 0"},
+          {K::NullReference, 0, "count <= 0 || xs != null"},
+          {K::IndexOutOfRange, 0,
+           "count <= 0 || xs == null || (0 <= head && head < xs.len)"}}});
+
+    s.methods.push_back(
+        {"deque_back", R"(
+method deque_back(xs: int[], size: int) : int {
+    if (size == 0) { return -1; }
+    return xs[size - 1];
+})",
+         {{K::NullReference, 0, "size == 0 || xs != null"},
+          {K::IndexOutOfRange, 0,
+           "size == 0 || xs == null || (size >= 1 && size <= xs.len)"}}});
+
+    // Interprocedural + quantified: the search loop lives in the callee.
+    s.methods.push_back(
+        {"set_contains", R"(
+method set_contains(xs: int[], v: int) : int {
+    var idx = find_index(xs, v);
+    assert(idx >= 0);
+    return idx;
+}
+method find_index(ys: int[], w: int) : int {
+    if (ys == null) { return -1; }
+    for (var i = 0; i < ys.len; i = i + 1) {
+        if (ys[i] == w) { return i; }
+    }
+    return -1;
+})",
+         {{K::AssertionViolation, 0,
+           "xs != null && (exists i in xs: xs[i] == v)"}}});
+
+    s.methods.push_back(
+        {"ring_put", R"(
+method ring_put(xs: int[], idx: int, v: int) : int {
+    var next = (idx + 1) % xs.len;
+    xs[next] = v;
+    return next;
+})",
+         // The negative-remainder IndexOutOfRange ((idx+1) % len < 0) is
+         // real but needs an input shape the generator essentially never
+         // produces (index concretization pins the write index), so only
+         // the reliably-triggered locations carry ground truths.
+         {{K::NullReference, 0, "xs != null"},
+          {K::DivideByZero, 0, "xs == null || xs.len != 0"}}});
+
+    s.methods.push_back(
+        {"transfer_first", R"(
+method transfer_first(a: int[], b: int[]) : int {
+    var v = a[0];
+    b[0] = v;
+    return v;
+})",
+         {{K::NullReference, 0, "a != null"},
+          {K::NullReference, 1, "a == null || a.len == 0 || b != null"},
+          {K::IndexOutOfRange, 0, "a == null || a.len > 0"},
+          {K::IndexOutOfRange, 1,
+           "a == null || a.len == 0 || b == null || b.len > 0"}}});
+}
+
+void add_extended_dsa(Subject& s) {
+    // Two-index body: beyond the syntactic templates (paper limitation).
+    s.methods.push_back(
+        {"palindrome_assert", R"(
+method palindrome_assert(st: str) : int {
+    if (st == null) { return 0; }
+    var n = st.len;
+    for (var i = 0; i + i < n; i = i + 1) {
+        assert(st[i] == st[n - 1 - i]);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "st == null || (forall i in st: i + i >= st.len || "
+           "st[i] == st[st.len - 1 - i])"}}});
+
+    s.methods.push_back(
+        {"count_vowel_a", R"(
+method count_vowel_a(st: str) : int {
+    if (st == null) { return 0; }
+    var count = 0;
+    for (var i = 0; i < st.len; i = i + 1) {
+        if (st[i] == 'a') { count = count + 1; }
+    }
+    assert(count > 0);
+    return count;
+})",
+         {{K::AssertionViolation, 0, "st == null || (exists i in st: st[i] == 'a')"}}});
+
+    s.methods.push_back(
+        {"starts_with", R"(
+method starts_with(st: str, prefix: str) : int {
+    if (st == null) { return 0; }
+    if (prefix == null) { return 0; }
+    if (prefix.len > st.len) { return 0; }
+    for (var i = 0; i < prefix.len; i = i + 1) {
+        assert(st[i] == prefix[i]);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "st == null || prefix == null || prefix.len > st.len || "
+           "(forall i in prefix: st[i] == prefix[i])"}}});
+
+    s.methods.push_back(
+        {"char_offset_div", R"(
+method char_offset_div(st: str) : int {
+    if (st == null) { return 0; }
+    var total = 0;
+    for (var i = 0; i < st.len; i = i + 1) {
+        total = total + 1000 / (st[i] - 'a');
+    }
+    return total;
+})",
+         {{K::DivideByZero, 0, "st == null || (forall i in st: st[i] != 'a')"}}});
+
+    // Product-of-characters gate: var*var equalities defeat the bound
+    // propagation, leaving the branch uncovered (a deliberate Table IV
+    // coverage gap).
+    s.methods.push_back(
+        {"product_gate", R"(
+method product_gate(st: str) : int {
+    if (st == null) { return 0; }
+    if (st.len < 2) { return 0; }
+    if (st[0] * st[1] == 7957) {
+        return 1;
+    }
+    return 1000 / (st[0] - st[1]);
+})",
+         {{K::DivideByZero, 0, "st == null || st.len < 2 || st[0] != st[1]"}}});
+
+    // Interprocedural universal case: the scanning loop is in the callee.
+    s.methods.push_back(
+        {"first_char_of_word", R"(
+method first_char_of_word(st: str) : int {
+    var w = skip_spaces(st);
+    return st[w];
+}
+method skip_spaces(t: str) : int {
+    var i = 0;
+    while (i < t.len && iswhitespace(t[i])) { i = i + 1; }
+    return i;
+})",
+         {{K::NullReference, 0, "st != null"},
+          {K::IndexOutOfRange, 0,
+           "st == null || (exists i in st: !iswhitespace(st[i]))"}}});
+}
+
+void add_extended_examples_puri(Subject& s) {
+    s.methods.push_back({"abs_then_div", R"(
+method abs_then_div(a: int) : int {
+    if (a < 0) { a = -a; }
+    return 100 / a;
+})",
+                         {{K::DivideByZero, 0, "a != 0"}}});
+
+    s.methods.push_back({"clamp_div", R"(
+method clamp_div(v: int) : int {
+    var c = v;
+    if (c > 100) { c = 100; }
+    if (c < -100) { c = -100; }
+    return 1000 / c;
+})",
+                         {{K::DivideByZero, 0, "v != 0"}}});
+
+    s.methods.push_back({"sum_guard3", R"(
+method sum_guard3(a: int, b: int, c: int) : int {
+    assert(a + b + c != 0);
+    return a + b + c;
+})",
+                         {{K::AssertionViolation, 0, "a + b + c != 0"}}});
+
+    s.methods.push_back({"parity_gate", R"(
+method parity_gate(x: int) : int {
+    if (x % 2 == 0) {
+        assert(x != 4);
+    }
+    return x;
+})",
+                         {{K::AssertionViolation, 0, "x % 2 != 0 || x != 4"}}});
+
+    // Interprocedural: the assertion fails on a transformed argument.
+    s.methods.push_back({"outer_gate", R"(
+method outer_gate(p: int) : int {
+    return inner_gate(p + 1);
+}
+method inner_gate(q: int) : int {
+    assert(q != 10);
+    return q;
+})",
+                         {{K::AssertionViolation, 0, "p != 9"}}});
+}
+
+void add_extended_preinference(Subject& s) {
+    s.methods.push_back(
+        {"three_correlated", R"(
+method three_correlated(p: int, q: int, r: int) : int {
+    var x = p;
+    if (q > 0) { x = x + 1; }
+    if (r > 0) { x = x + 1; }
+    if (x == 5) { assert(false); }
+    return x;
+})",
+         {{K::AssertionViolation, 0,
+           "(q <= 0 || r <= 0 || p != 3) && (q <= 0 || r > 0 || p != 4) && "
+           "(q > 0 || r <= 0 || p != 4) && (q > 0 || r > 0 || p != 5)"}}});
+
+    // Counted-loop accumulation with a concrete assert: exercises the
+    // visits-based reachability + interval-union pipeline.
+    s.methods.push_back({"loop_sum_gate", R"(
+method loop_sum_gate(n: int) : int {
+    var sum = 0;
+    for (var i = 0; i < n; i = i + 1) { sum = sum + i; }
+    assert(sum < 50);
+    return sum;
+})",
+                         {{K::AssertionViolation, 0, "n <= 10"}}});
+
+    s.methods.push_back(
+        {"guarded_mod_chain", R"(
+method guarded_mod_chain(k: int, m: int) : int {
+    if (m > 0) {
+        if (k % 4 == 2) { assert(false); }
+    }
+    return k;
+})",
+         {{K::AssertionViolation, 0, "m <= 0 || k % 4 != 2"}}});
+
+    s.methods.push_back(
+        {"deep_nest", R"(
+method deep_nest(v: int) : int {
+    if (v > 0) {
+        if (v < 100) {
+            if (v % 10 == 3) {
+                if (v > 50) {
+                    assert(false);
+                }
+            }
+        }
+    }
+    return v;
+})",
+         {{K::AssertionViolation, 0,
+           "v <= 0 || v >= 100 || v % 10 != 3 || v <= 50"}}});
+}
+
+void add_extended_array_purity(Subject& s) {
+    // Nested element observer: outside the template fragment.
+    s.methods.push_back(
+        {"first_of_each", R"(
+method first_of_each(ss: str[]) : int {
+    if (ss == null) { return 0; }
+    var sum = 0;
+    for (var i = 0; i < ss.len; i = i + 1) {
+        if (ss[i] != null) {
+            sum = sum + ss[i][0];
+        }
+    }
+    return sum;
+})",
+         {{K::IndexOutOfRange, 0,
+           "ss == null || (forall i in ss: ss[i] == null || ss[i].len > 0)"}}});
+
+    s.methods.push_back(
+        {"scaled_access", R"(
+method scaled_access(xs: int[], k: int) : int {
+    if (xs == null) { return 0; }
+    return xs[2 * k];
+})",
+         {{K::IndexOutOfRange, 0,
+           "xs == null || (0 <= 2 * k && 2 * k < xs.len)"}}});
+
+    // Interprocedural exists: counting happens in the callee.
+    s.methods.push_back(
+        {"require_positive_entry", R"(
+method require_positive_entry(xs: int[]) : int {
+    var count = count_positive(xs);
+    assert(count > 0);
+    return count;
+}
+method count_positive(ys: int[]) : int {
+    if (ys == null) { return 0; }
+    var c = 0;
+    for (var i = 0; i < ys.len; i = i + 1) {
+        if (ys[i] > 0) { c = c + 1; }
+    }
+    return c;
+})",
+         {{K::AssertionViolation, 0,
+           "xs != null && (exists i in xs: xs[i] > 0)"}}});
+
+    // Guard and divisor check state the same property with flipped
+    // operand orientation ("0 != xs[i]" vs "xs[i] != 0"): syntactic
+    // template matching fails here; solver-backed equivalence (the paper's
+    // Section V-C improvement, --semantic-templates) recovers it.
+    s.methods.push_back(
+        {"guarded_divide_chain", R"(
+method guarded_divide_chain(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var total = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (0 != xs[i]) {
+            total = total + 1;
+        }
+        total = total + 100 / xs[i];
+    }
+    return total;
+})",
+         {{K::DivideByZero, 0, "xs == null || (forall i in xs: xs[i] != 0)"}}});
+
+    // The paper's worked template extension: all even-indexed elements
+    // satisfy the property and the failure fires after the loop.
+    s.methods.push_back(
+        {"even_energy", R"(
+method even_energy(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var count = 0;
+    for (var i = 0; i < xs.len; i = i + 2) {
+        if (xs[i] != 0) { count = count + 1; }
+    }
+    return 100 / count;
+})",
+         {{K::DivideByZero, 0,
+           "xs == null || (exists i in xs: i % 2 == 0 && xs[i] != 0)"}}});
+
+    s.methods.push_back(
+        {"array_min_call", R"(
+method array_min_call(xs: int[]) : int {
+    assert(xs != null);
+    return min_at_zero(xs);
+}
+method min_at_zero(ys: int[]) : int {
+    var best = ys[0];
+    for (var i = 1; i < ys.len; i = i + 1) {
+        if (ys[i] < best) { best = ys[i]; }
+    }
+    return best;
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::IndexOutOfRange, 0, "xs == null || xs.len > 0"}}});
+}
+
+void add_extended_svcomp(Subject& s) {
+    s.methods.push_back(
+        {"two_counters", R"(
+method two_counters(n: int, m: int) : int {
+    var i = 0;
+    var j = 0;
+    while (i < n) { i = i + 1; }
+    while (j < m) { j = j + 1; }
+    assert(i + j < 12);
+    return i + j;
+})",
+         {{K::AssertionViolation, 0,
+           "(n <= 0 || m <= 0 || n + m < 12) && (m > 0 || n < 12) && "
+           "(n > 0 || m < 12)"}}});
+
+    // Symmetric two-index access: beyond the syntactic templates.
+    s.methods.push_back(
+        {"mirror_check", R"(
+method mirror_check(a: int[]) : int {
+    if (a == null) { return 0; }
+    var n = a.len;
+    for (var i = 0; i < n; i = i + 1) {
+        assert(a[i] == a[n - 1 - i]);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "a == null || (forall i in a: a[i] == a[a.len - 1 - i])"}}});
+
+    s.methods.push_back(
+        {"guarded_division_loop", R"(
+method guarded_division_loop(a: int[], d: int) : int {
+    var total = 0;
+    var n = a.len;
+    for (var i = 0; i < n; i = i + 1) {
+        if (a[i] > 0) {
+            total = total + a[i] / d;
+        }
+    }
+    return total;
+})",
+         {{K::NullReference, 0, "a != null"},
+          {K::DivideByZero, 0,
+           "a == null || d != 0 || (forall i in a: a[i] <= 0)"}}});
+
+    // Interprocedural bounds: the loop drives a checked callee.
+    s.methods.push_back(
+        {"safe_sum", R"(
+method safe_sum(a: int[], upto: int) : int {
+    var s = 0;
+    for (var i = 0; i < upto; i = i + 1) {
+        s = s + get(a, i);
+    }
+    return s;
+}
+method get(b: int[], i: int) : int {
+    return b[i];
+})",
+         {{K::NullReference, 0, "upto <= 0 || a != null"},
+          {K::IndexOutOfRange, 0,
+           "upto <= 0 || a == null || upto <= a.len"}}});
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,236 @@
+// Third corpus batch: subjects exercising `break` / `continue` control flow
+// plus more hard shapes (non-linear accumulators, bounded-prefix
+// conditions), further closing the gap to the paper's 188 evaluated
+// assertion-containing locations.
+
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+void add_batch3_sorting(Subject& s) {
+    // First adjacent inversion via break: two-index body, quantified ground
+    // truth beyond the syntactic templates.
+    s.methods.push_back(
+        {"find_first_unsorted", R"(
+method find_first_unsorted(xs: int[]) : int {
+    if (xs == null) { return -1; }
+    var at = -1;
+    for (var i = 0; i + 1 < xs.len; i = i + 1) {
+        if (xs[i] > xs[i + 1]) { at = i; break; }
+    }
+    assert(at >= 0);
+    return at;
+})",
+         {{K::AssertionViolation, 0,
+           "xs == null || (exists i in xs: i + 1 < xs.len && xs[i] > xs[i + 1])"}}});
+
+    s.methods.push_back(
+        {"sum_skip_negatives", R"(
+method sum_skip_negatives(xs: int[]) : int {
+    var total = 0;
+    var n = xs.len;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] < 0) { continue; }
+        total = total + 100 / xs[i];
+    }
+    return total;
+})",
+         {{K::NullReference, 0, "xs != null"},
+          {K::DivideByZero, 0, "xs == null || (forall i in xs: xs[i] != 0)"}}});
+}
+
+void add_batch3_general_data_structures(Subject& s) {
+    s.methods.push_back(
+        {"find_slot", R"(
+method find_slot(xs: int[]) : int {
+    assert(xs != null);
+    var slot = -1;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (xs[i] == 0) { slot = i; break; }
+    }
+    assert(slot != -1);
+    xs[slot] = 7;
+    return slot;
+})",
+         {{K::AssertionViolation, 0, "xs != null"},
+          {K::AssertionViolation, 1,
+           "xs == null || (exists i in xs: xs[i] == 0)"}}});
+
+    s.methods.push_back(
+        {"drain_until", R"(
+method drain_until(xs: int[], stop: int) : int {
+    if (xs == null) { return 0; }
+    var drained = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (xs[i] == stop) { break; }
+        drained = drained + 1;
+    }
+    return 100 / (xs.len - drained);
+})",
+         {{K::DivideByZero, 0, "xs == null || (exists i in xs: xs[i] == stop)"}}});
+}
+
+void add_batch3_dsa(Subject& s) {
+    s.methods.push_back(
+        {"count_nonspace", R"(
+method count_nonspace(st: str) : int {
+    var n = st.len;
+    var count = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (iswhitespace(st[i])) { continue; }
+        count = count + 1;
+    }
+    return 1000 / count;
+})",
+         {{K::NullReference, 0, "st != null"},
+          {K::DivideByZero, 0,
+           "st == null || (exists i in st: !iswhitespace(st[i]))"}}});
+
+    // First decimal digit via break: the two-sided range check makes the
+    // per-element witnesses heterogeneous (template limitation).
+    s.methods.push_back(
+        {"first_digit", R"(
+method first_digit(st: str) : int {
+    if (st == null) { return -1; }
+    var pos = -1;
+    for (var i = 0; i < st.len; i = i + 1) {
+        if (st[i] >= '0' && st[i] <= '9') { pos = i; break; }
+    }
+    assert(pos >= 0);
+    return pos;
+})",
+         {{K::AssertionViolation, 0,
+           "st == null || (exists i in st: st[i] >= '0' && st[i] <= '9')"}}});
+}
+
+void add_batch3_examples_puri(Subject& s) {
+    s.methods.push_back(
+        {"collatz_gate", R"(
+method collatz_gate(x: int) : int {
+    if (x % 2 == 0) { x = x / 2; }
+    else { x = 3 * x + 1; }
+    assert(x != 10);
+    return x;
+})",
+         {{K::AssertionViolation, 0,
+           "(x % 2 != 0 || x != 20) && (x % 2 == 0 || x != 3)"}}});
+
+    s.methods.push_back({"double_abs", R"(
+method double_abs(v: int) : int {
+    var a = v;
+    if (a < 0) { a = -a; }
+    assert(a != 6);
+    return a;
+})",
+                         {{K::AssertionViolation, 0, "v != 6 && v != -6"}}});
+}
+
+void add_batch3_preinference(Subject& s) {
+    // Bounded-prefix condition: finitely expressible, no quantifier needed.
+    s.methods.push_back(
+        {"stop_at_negative", R"(
+method stop_at_negative(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var seen = 0;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        if (xs[i] < 0) { break; }
+        seen = seen + 1;
+    }
+    assert(seen < 5);
+    return seen;
+})",
+         {{K::AssertionViolation, 0,
+           "xs == null || xs.len < 5 || xs[0] < 0 || xs[1] < 0 || xs[2] < 0 || "
+           "xs[3] < 0 || xs[4] < 0"}}});
+
+    s.methods.push_back(
+        {"mod_ladder", R"(
+method mod_ladder(u: int) : int {
+    if (u % 3 == 0) {
+        if (u % 5 == 0) {
+            assert(u != 15);
+        }
+    }
+    return u;
+})",
+         {{K::AssertionViolation, 0, "u % 3 != 0 || u % 5 != 0 || u != 15"}}});
+}
+
+void add_batch3_array_purity(Subject& s) {
+    s.methods.push_back(
+        {"clamp_all", R"(
+method clamp_all(xs: int[], lo: int) : int {
+    var n = xs.len;
+    var changed = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (xs[i] >= lo) { continue; }
+        xs[i] = lo;
+        changed = changed + 1;
+    }
+    assert(changed < n || n == 0);
+    return changed;
+})",
+         {{K::NullReference, 0, "xs != null"},
+          {K::AssertionViolation, 0,
+           "xs == null || xs.len == 0 || (exists i in xs: xs[i] >= lo)"}}});
+
+    // Non-linear accumulator: the violating condition spans every element,
+    // so no template applies (a deliberate Table VI miss).
+    s.methods.push_back(
+        {"product_positive", R"(
+method product_positive(xs: int[]) : int {
+    if (xs == null) { return 0; }
+    var prod = 1;
+    for (var i = 0; i < xs.len; i = i + 1) {
+        prod = prod * xs[i];
+    }
+    return 100 / prod;
+})",
+         {{K::DivideByZero, 0, "xs == null || (forall i in xs: xs[i] != 0)"}}});
+}
+
+void add_batch3_svcomp(Subject& s) {
+    s.methods.push_back(
+        {"saturating_count", R"(
+method saturating_count(n: int) : int {
+    var i = 0;
+    var steps = 0;
+    while (true) {
+        if (i >= n) { break; }
+        i = i + 1;
+        steps = steps + 1;
+        if (steps > 200) { break; }
+    }
+    assert(steps < 50);
+    return steps;
+})",
+         {{K::AssertionViolation, 0, "n < 50"}}});
+
+    s.methods.push_back(
+        {"even_odd_counts", R"(
+method even_odd_counts(a: int[]) : int {
+    if (a == null) { return 0; }
+    var evens = 0;
+    for (var i = 0; i < a.len; i = i + 1) {
+        if (a[i] % 2 == 0) { evens = evens + 1; }
+    }
+    return 100 / evens;
+})",
+         {{K::DivideByZero, 0, "a == null || (exists i in a: a[i] % 2 == 0)"}}});
+}
+
+void add_extended2(Subject& s) {
+    if (s.name == "Algorithmia.Sorting") add_batch3_sorting(s);
+    if (s.name == "Algorithmia.GeneralDataStr") add_batch3_general_data_structures(s);
+    if (s.name == "DSA.Algorithm") add_batch3_dsa(s);
+    if (s.name == "CodeContracts.ExamplesPuri") add_batch3_examples_puri(s);
+    if (s.name == "CodeContracts.PreInference") add_batch3_preinference(s);
+    if (s.name == "CodeContracts.ArrayPurityI") add_batch3_array_purity(s);
+    if (s.name == "SVComp.SVCompCSharp") add_batch3_svcomp(s);
+}
+
+}  // namespace preinfer::eval

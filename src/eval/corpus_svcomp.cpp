@@ -1,0 +1,168 @@
+#include "src/eval/corpus.h"
+
+namespace preinfer::eval {
+
+namespace {
+using K = core::ExceptionKind;
+}  // namespace
+
+Subject svcomp_csharp() {
+    Subject s;
+    s.name = "SVComp.SVCompCSharp";
+    s.suite = "SVComp";
+
+    s.methods.push_back({"array_init_check", R"(
+method array_init_check(n: int) : int {
+    var a = newintarray(n);
+    for (var i = 0; i < a.len; i = i + 1) { a[i] = i; }
+    return a.len;
+})",
+                         {{K::IndexOutOfRange, 0, "n >= 0"}}});
+
+    // Element-wise comparison of two collections: the bound variable would
+    // have to index both, which the syntactic templates cannot express.
+    s.methods.push_back(
+        {"array_eq_assert", R"(
+method array_eq_assert(a: int[], b: int[]) : int {
+    if (a == null) { return 0; }
+    if (b == null) { return 0; }
+    if (a.len != b.len) { return 0; }
+    for (var i = 0; i < a.len; i = i + 1) {
+        assert(a[i] == b[i]);
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "a == null || b == null || a.len != b.len || "
+           "(forall i in a: i >= b.len || a[i] == b[i])"}}});
+
+    s.methods.push_back(
+        {"requires_nonzero", R"(
+method requires_nonzero(a: int[]) : int {
+    if (a == null) { return -1; }
+    var idx = -1;
+    for (var i = 0; i < a.len; i = i + 1) {
+        if (a[i] != 0) { idx = i; }
+    }
+    assert(idx >= 0);
+    return idx;
+})",
+         {{K::AssertionViolation, 0, "a == null || (exists i in a: a[i] != 0)"}}});
+
+    // Prefix-sum safety: no fixed-shape ground truth exists in our spec
+    // language, so the row is measured without one (strength only).
+    s.methods.push_back({"bounded_sum", R"(
+method bounded_sum(a: int[], bound: int) : int {
+    var sum = 0;
+    var n = a.len;
+    for (var i = 0; i < n; i = i + 1) {
+        sum = sum + a[i];
+        assert(sum <= bound);
+    }
+    return sum;
+})",
+                         {{K::NullReference, 0, "a != null"}}});
+
+    s.methods.push_back(
+        {"two_phase", R"(
+method two_phase(a: int[]) : int {
+    if (a == null) { return 0; }
+    var count = 0;
+    for (var i = 0; i < a.len; i = i + 1) {
+        if (a[i] > 0) { count = count + 1; }
+    }
+    var b = newintarray(count);
+    for (var j = 0; j < b.len; j = j + 1) { b[j] = j; }
+    return 100 / count;
+})",
+         {{K::DivideByZero, 0, "a == null || (exists i in a: a[i] > 0)"}}});
+
+    s.methods.push_back(
+        {"standard_find", R"(
+method standard_find(a: int[], v: int) : int {
+    var n = a.len;
+    var pos = -1;
+    for (var i = 0; i < n; i = i + 1) {
+        if (a[i] == v) { pos = i; }
+    }
+    assert(pos != -1);
+    return pos;
+})",
+         {{K::NullReference, 0, "a != null"},
+          {K::AssertionViolation, 0, "a == null || (exists i in a: a[i] == v)"}}});
+
+    s.methods.push_back(
+        {"monotonic_write", R"(
+method monotonic_write(a: int[], k: int) : int {
+    assert(a != null);
+    if (k >= 0) {
+        if (k < a.len) {
+            a[k] = k;
+            return 1;
+        }
+    }
+    assert(false);
+    return 0;
+})",
+         {{K::AssertionViolation, 0, "a != null"},
+          {K::AssertionViolation, 1, "a == null || (0 <= k && k < a.len)"}}});
+
+    s.methods.push_back({"accelerate", R"(
+method accelerate(n: int) : int {
+    var i = 0;
+    while (i < n) { i = i + 1; }
+    assert(i < 100);
+    return i;
+})",
+                         {{K::AssertionViolation, 0, "n < 100"}}});
+
+    s.methods.push_back(
+        {"matrix_diag", R"(
+method matrix_diag(a: int[], rows: int) : int {
+    if (a == null) { return 0; }
+    if (rows <= 0) { return 0; }
+    var sum = 0;
+    for (var r = 0; r < rows; r = r + 1) {
+        sum = sum + a[r * rows + r];
+    }
+    return sum;
+})",
+         {{K::IndexOutOfRange, 0, "a == null || rows <= 0 || a.len >= rows * rows"}}});
+
+    s.methods.push_back(
+        {"password_gate", R"(
+method password_gate(pw: str) : int {
+    if (pw == null) { return 0; }
+    if (pw.len != 4) { return 0; }
+    if (pw[0] == 'a') {
+        if (pw[1] == 'b') {
+            if (pw[2] == 'c') {
+                assert(pw[3] != 'd');
+            }
+        }
+    }
+    return 1;
+})",
+         {{K::AssertionViolation, 0,
+           "pw == null || pw.len != 4 || pw[0] != 'a' || pw[1] != 'b' || "
+           "pw[2] != 'c' || pw[3] != 'd'"}}});
+
+    add_extended_svcomp(s);
+    add_extended2(s);
+    return s;
+}
+
+const std::vector<Subject>& corpus() {
+    static const std::vector<Subject> all = {
+        algorithmia_sorting(),
+        algorithmia_general_data_structures(),
+        dsa_algorithm(),
+        codecontracts_examples_puri(),
+        codecontracts_preinference(),
+        codecontracts_array_purity(),
+        svcomp_csharp(),
+    };
+    return all;
+}
+
+}  // namespace preinfer::eval

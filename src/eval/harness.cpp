@@ -1,0 +1,183 @@
+#include "src/eval/harness.h"
+
+#include <memory>
+
+#include "src/baselines/dysy.h"
+#include "src/baselines/fixit.h"
+#include "src/core/complexity.h"
+#include "src/eval/spec.h"
+#include "src/gen/oracle.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+
+namespace preinfer::eval {
+
+namespace {
+
+bool contains_quantifier(const core::PredPtr& p) {
+    if (p->is_quantifier()) return true;
+    for (const core::PredPtr& k : p->kids) {
+        if (contains_quantifier(k)) return true;
+    }
+    return false;
+}
+
+/// Ground-truth lookup key: the ordinal of an ACL among the observed ACLs
+/// of the same exception kind, in AST order.
+int acl_ordinal(const std::vector<core::AclId>& observed, core::AclId acl) {
+    int ordinal = 0;
+    for (const core::AclId& other : observed) {
+        if (other == acl) return ordinal;
+        if (other.kind == acl.kind) ++ordinal;
+    }
+    return -1;
+}
+
+void fill_outcome(ApproachOutcome& out, const core::PredPtr& precondition,
+                  const lang::Method& method, core::AclId acl,
+                  const gen::TestSuite& validation, const core::PredPtr* ground_truth) {
+    out.inferred = true;
+    out.strength = evaluate_strength(method, acl, precondition, validation);
+    out.complexity = core::complexity(precondition);
+    out.printed = core::to_string(precondition, method.param_names());
+    if (ground_truth) {
+        out.has_rel_complexity = true;
+        out.rel_complexity = core::relative_complexity(precondition, *ground_truth);
+    }
+}
+
+}  // namespace
+
+HarnessConfig default_harness_config() {
+    HarnessConfig config;
+    config.validation.explore.max_tests = 384;
+    config.validation.explore.max_solver_calls = 6000;
+    config.validation.fuzz_count = 250;
+    return config;
+}
+
+std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
+                               const HarnessConfig& config, MethodRow* method_row) {
+    // The first method in the source is the method under test; any further
+    // methods are callees reachable through interprocedural execution.
+    lang::Program prog = lang::parse_program(sm.source);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& method = prog.methods.front();
+
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, method, config.explore, &prog);
+    const gen::TestSuite suite = explorer.explore();
+    const std::vector<core::AclId> observed = suite.failing_acls();
+
+    const gen::TestSuite validation =
+        build_validation_suite(pool, method, config.validation, &prog);
+
+    if (method_row) {
+        method_row->subject = subject.name;
+        method_row->suite = subject.suite;
+        method_row->method = sm.name;
+        method_row->block_coverage = suite.block_coverage(method.num_blocks);
+        method_row->tests = static_cast<int>(suite.tests.size());
+        method_row->acls = static_cast<int>(observed.size());
+    }
+
+    // A dedicated explorer backs the solver-assisted pruning oracle so its
+    // witness budget does not disturb the shared suite.
+    gen::Explorer oracle_explorer(pool, method, config.explore, &prog);
+    gen::ExplorerOracle oracle(oracle_explorer);
+    const bool want_oracle =
+        config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
+
+    std::vector<AclRow> rows;
+    for (const core::AclId acl : observed) {
+        AclRow row;
+        row.subject = subject.name;
+        row.suite = subject.suite;
+        row.method = sm.name;
+        row.acl = acl;
+        const lang::Method* owner = prog.method_containing(acl.node_id);
+        row.position = classify_acl(owner ? *owner : method, acl.node_id);
+
+        const gen::AclView view = view_for(suite, acl);
+        row.failing_tests = static_cast<int>(view.failing.size());
+        row.passing_tests = static_cast<int>(view.passing.size());
+
+        // Ground truth, if specified for this (kind, ordinal).
+        std::optional<core::PredPtr> ground_truth;
+        const int ordinal = acl_ordinal(observed, acl);
+        for (const GroundTruthSpec& gt : sm.ground_truths) {
+            if (gt.kind != acl.kind || gt.ordinal != ordinal) continue;
+            const core::PredPtr parsed = parse_spec(pool, method, gt.pred);
+            row.has_ground_truth = true;
+            row.ground_truth_quantified = contains_quantifier(parsed);
+            row.gt_complexity = core::complexity(parsed);
+            row.gt_printed = core::to_string(parsed, method.param_names());
+            const Strength gt_strength =
+                evaluate_strength(method, acl, parsed, validation);
+            row.ground_truth_consistent = gt_strength.both();
+            ground_truth = parsed;
+            break;
+        }
+        const core::PredPtr* gt_ptr = ground_truth ? &*ground_truth : nullptr;
+
+        if (config.run_preinfer) {
+            row.preinfer.attempted = true;
+            std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
+            std::vector<const sym::EvalEnv*> envs;
+            env_storage.reserve(view.passing.size());
+            for (const gen::Test* t : view.passing) {
+                env_storage.push_back(
+                    std::make_unique<exec::InputEvalEnv>(method, t->input));
+                envs.push_back(env_storage.back().get());
+            }
+            core::PreInfer preinfer(pool, config.preinfer, config.registry,
+                                    want_oracle ? &oracle : nullptr);
+            const core::InferenceResult r =
+                preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+            if (r.inferred) {
+                fill_outcome(row.preinfer, r.precondition, method, acl, validation,
+                             gt_ptr);
+                row.preinfer.generalized_paths = r.generalized_paths;
+                row.preinfer.pruning = r.pruning;
+            }
+        }
+
+        if (config.run_fixit) {
+            row.fixit.attempted = true;
+            const baselines::FixItResult r = baselines::fixit_infer(pool, view.failing_pcs());
+            if (r.inferred) {
+                fill_outcome(row.fixit, r.precondition, method, acl, validation, gt_ptr);
+            }
+        }
+
+        if (config.run_dysy) {
+            row.dysy.attempted = true;
+            const baselines::DySyResult r = baselines::dysy_infer(pool, view.passing_pcs());
+            if (r.inferred) {
+                fill_outcome(row.dysy, r.precondition, method, acl, validation, gt_ptr);
+            }
+        }
+
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+HarnessResult run_harness(const std::vector<Subject>& subjects,
+                          const HarnessConfig& config) {
+    HarnessResult result;
+    for (const Subject& subject : subjects) {
+        for (const SubjectMethod& sm : subject.methods) {
+            MethodRow method_row;
+            std::vector<AclRow> rows = run_method(subject, sm, config, &method_row);
+            result.methods.push_back(std::move(method_row));
+            for (AclRow& row : rows) result.acls.push_back(std::move(row));
+        }
+    }
+    result.census_rows = census(subjects);
+    return result;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,99 @@
+#pragma once
+
+#include "src/core/preinfer.h"
+#include "src/eval/acl_classify.h"
+#include "src/eval/metrics.h"
+#include "src/eval/subject.h"
+
+namespace preinfer::eval {
+
+/// Result of one inference approach on one ACL.
+struct ApproachOutcome {
+    bool attempted = false;
+    bool inferred = false;
+    Strength strength;
+    int complexity = 0;
+    bool has_rel_complexity = false;
+    double rel_complexity = 0.0;
+    std::string printed;
+
+    // PreInfer-only diagnostics.
+    int generalized_paths = 0;
+    core::PruningStats pruning;
+
+    /// "Correct" in the tables: sufficient and necessary on the validation
+    /// suite (the paper's automated fallback for correctness judgment).
+    [[nodiscard]] bool correct() const {
+        return inferred && strength.sufficient && strength.necessary;
+    }
+    [[nodiscard]] bool sufficient() const { return inferred && strength.sufficient; }
+    [[nodiscard]] bool necessary() const { return inferred && strength.necessary; }
+};
+
+/// Everything measured for one assertion-containing location.
+struct AclRow {
+    std::string subject;
+    std::string suite;
+    std::string method;
+    core::AclId acl;
+    LoopPosition position = LoopPosition::BeforeLoop;
+
+    int failing_tests = 0;
+    int passing_tests = 0;
+
+    bool has_ground_truth = false;
+    bool ground_truth_quantified = false;  ///< a collection-element case (Table VI)
+    bool ground_truth_consistent = false;  ///< GT itself both-valid on validation
+    int gt_complexity = 0;
+    std::string gt_printed;
+
+    ApproachOutcome preinfer;
+    ApproachOutcome fixit;
+    ApproachOutcome dysy;
+};
+
+struct MethodRow {
+    std::string subject;
+    std::string suite;
+    std::string method;
+    double block_coverage = 0.0;
+    int tests = 0;
+    int acls = 0;
+};
+
+struct HarnessConfig {
+    gen::ExplorerConfig explore{};       ///< inference-suite budget
+    ValidationConfig validation{};       ///< strength-checking budget
+    core::PreInferConfig preinfer{};
+    /// Template set for collection-element generalization; nullptr means
+    /// TemplateRegistry::standard(). Must outlive the harness call.
+    const core::TemplateRegistry* registry = nullptr;
+    bool run_preinfer = true;
+    bool run_fixit = true;
+    bool run_dysy = true;
+};
+
+/// A validation explorer budget larger than the default inference budget.
+[[nodiscard]] HarnessConfig default_harness_config();
+
+struct HarnessResult {
+    std::vector<AclRow> acls;
+    std::vector<MethodRow> methods;
+    std::vector<SuiteCensus> census_rows;
+};
+
+/// Runs the full evaluation pipeline over the given subjects: per method,
+/// generate the inference suite, infer with each enabled approach per
+/// observed ACL, and judge every candidate against a fresh validation
+/// suite. Deterministic.
+[[nodiscard]] HarnessResult run_harness(const std::vector<Subject>& subjects,
+                                        const HarnessConfig& config =
+                                            default_harness_config());
+
+/// Single-method entry point (used by tests and examples).
+[[nodiscard]] std::vector<AclRow> run_method(const Subject& subject,
+                                             const SubjectMethod& method,
+                                             const HarnessConfig& config,
+                                             MethodRow* method_row = nullptr);
+
+}  // namespace preinfer::eval

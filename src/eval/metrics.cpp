@@ -1,0 +1,56 @@
+#include "src/eval/metrics.h"
+
+#include "src/core/pred_eval.h"
+#include "src/gen/explorer.h"
+#include "src/gen/fuzzer.h"
+
+namespace preinfer::eval {
+
+Strength evaluate_strength(const lang::Method& method, core::AclId acl,
+                           const core::PredPtr& precondition,
+                           const gen::TestSuite& validation) {
+    Strength s;
+    for (const gen::Test& t : validation.tests) {
+        if (!t.usable()) continue;
+        const exec::InputEvalEnv env(method, t.input);
+        const bool validated = core::eval_pred(precondition, env);
+        const bool fails_here =
+            t.result.outcome.failing() && t.result.outcome.acl == acl;
+        if (fails_here) {
+            ++s.failing_total;
+            if (!validated) {
+                ++s.failing_blocked;
+            } else {
+                s.sufficient = false;
+            }
+        } else {
+            ++s.passing_total;
+            if (validated) {
+                ++s.passing_validated;
+            } else {
+                s.necessary = false;
+            }
+        }
+    }
+    return s;
+}
+
+gen::TestSuite build_validation_suite(sym::ExprPool& pool, const lang::Method& method,
+                                      const ValidationConfig& config,
+                                      const lang::Program* program) {
+    gen::Explorer explorer(pool, method, config.explore, program);
+    gen::TestSuite suite = explorer.explore();
+
+    gen::Fuzzer fuzzer(method, config.fuzz_seed);
+    exec::ConcolicInterpreter interp(pool, method, config.explore.exec_limits, program);
+    for (int i = 0; i < config.fuzz_count; ++i) {
+        gen::Test t;
+        t.id = -1000 - i;
+        t.input = fuzzer.next();
+        t.result = interp.run(t.input);
+        suite.tests.push_back(std::move(t));
+    }
+    return suite;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "src/core/pred.h"
+#include "src/gen/explorer.h"
+
+namespace preinfer::eval {
+
+/// Sufficiency / necessity verdict of a precondition candidate against a
+/// validation suite (Section V-B): a test counts as failing iff it aborts
+/// at the target ACL; any other usable outcome is passing. Sufficient =
+/// the candidate invalidates every failing state; necessary = it validates
+/// every passing state.
+struct Strength {
+    bool sufficient = true;
+    bool necessary = true;
+    int failing_total = 0;
+    int failing_blocked = 0;
+    int passing_total = 0;
+    int passing_validated = 0;
+
+    [[nodiscard]] bool both() const { return sufficient && necessary; }
+};
+
+[[nodiscard]] Strength evaluate_strength(const lang::Method& method, core::AclId acl,
+                                         const core::PredPtr& precondition,
+                                         const gen::TestSuite& validation);
+
+/// Builds the validation suite: a larger symbolic exploration plus random
+/// fuzz inputs — the paper's "test the strength of pred using Pex"
+/// methodology, widened so verdicts are not judged only on inference paths.
+struct ValidationConfig {
+    gen::ExplorerConfig explore{};
+    int fuzz_count = 200;
+    std::uint64_t fuzz_seed = 7;
+};
+
+[[nodiscard]] gen::TestSuite build_validation_suite(
+    sym::ExprPool& pool, const lang::Method& method, const ValidationConfig& config,
+    const lang::Program* program = nullptr);
+
+}  // namespace preinfer::eval

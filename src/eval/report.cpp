@@ -1,0 +1,85 @@
+#include "src/eval/report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace preinfer::eval {
+
+namespace {
+
+/// RFC 4180 quoting: wrap in quotes, double any embedded quote.
+std::string csv_escape(const std::string& s) {
+    bool needs_quotes = false;
+    for (const char c : s) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+const char* verdict(const ApproachOutcome& o) {
+    if (!o.attempted) return "skipped";
+    if (!o.inferred) return "none";
+    if (o.correct()) return "both";
+    if (o.sufficient()) return "sufficient";
+    if (o.necessary()) return "necessary";
+    return "neither";
+}
+
+void write_approach(std::ostream& out, const ApproachOutcome& o) {
+    out << ',' << verdict(o) << ',' << o.complexity << ','
+        << (o.has_rel_complexity ? std::to_string(o.rel_complexity) : std::string())
+        << ',' << csv_escape(o.printed);
+}
+
+}  // namespace
+
+void write_acl_csv(const HarnessResult& result, std::ostream& out) {
+    out << "subject,method,exception,position,failing_tests,passing_tests,"
+           "has_ground_truth,gt_quantified,gt_consistent,gt_complexity,"
+           "preinfer_verdict,preinfer_complexity,preinfer_rel_complexity,"
+           "preinfer_precondition,"
+           "fixit_verdict,fixit_complexity,fixit_rel_complexity,fixit_precondition,"
+           "dysy_verdict,dysy_complexity,dysy_rel_complexity,dysy_precondition\n";
+    for (const AclRow& row : result.acls) {
+        out << csv_escape(row.subject) << ',' << csv_escape(row.method) << ','
+            << core::exception_kind_name(row.acl.kind) << ','
+            << loop_position_name(row.position) << ',' << row.failing_tests << ','
+            << row.passing_tests << ',' << (row.has_ground_truth ? 1 : 0) << ','
+            << (row.ground_truth_quantified ? 1 : 0) << ','
+            << (row.ground_truth_consistent ? 1 : 0) << ',' << row.gt_complexity;
+        write_approach(out, row.preinfer);
+        write_approach(out, row.fixit);
+        write_approach(out, row.dysy);
+        out << '\n';
+    }
+}
+
+void write_method_csv(const HarnessResult& result, std::ostream& out) {
+    out << "subject,method,block_coverage,tests,acls\n";
+    for (const MethodRow& m : result.methods) {
+        out << csv_escape(m.subject) << ',' << csv_escape(m.method) << ','
+            << m.block_coverage << ',' << m.tests << ',' << m.acls << '\n';
+    }
+}
+
+bool maybe_write_csv_from_env(const HarnessResult& result, const char* env_var) {
+    const char* path = std::getenv(env_var);
+    if (path == nullptr || *path == '\0') return false;
+    std::ofstream out(path);
+    if (!out) return false;
+    write_acl_csv(result, out);
+    return true;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/eval/harness.h"
+
+namespace preinfer::eval {
+
+/// Writes one CSV row per assertion-containing location of a harness run:
+/// subject, method, exception kind, loop position, per-approach verdicts
+/// and complexities, ground-truth data. Strings are quoted/escaped per
+/// RFC 4180. Intended for external analysis of the evaluation
+/// (spreadsheets, pandas); the table benches emit it when the
+/// PREINFER_CSV environment variable names a file.
+void write_acl_csv(const HarnessResult& result, std::ostream& out);
+
+/// Per-method rows: coverage, test counts, ACL counts.
+void write_method_csv(const HarnessResult& result, std::ostream& out);
+
+/// Convenience used by the bench binaries: when the named environment
+/// variable is set, writes the ACL CSV to that path and returns true.
+bool maybe_write_csv_from_env(const HarnessResult& result,
+                              const char* env_var = "PREINFER_CSV");
+
+}  // namespace preinfer::eval

@@ -1,0 +1,358 @@
+#include "src/eval/spec.h"
+
+#include <unordered_map>
+
+#include "src/lang/lexer.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::eval {
+
+namespace {
+
+using lang::TokKind;
+using lang::Token;
+using lang::Type;
+using sym::Expr;
+using sym::Sort;
+
+/// A typed symbolic value during spec elaboration; mirrors the MiniLang
+/// type system so indexing/.len rules match the language exactly.
+struct SpecVal {
+    const Expr* expr = nullptr;
+    Type type = Type::Void;  ///< Void marks the bare null literal
+};
+
+class SpecParser {
+public:
+    SpecParser(sym::ExprPool& pool, const lang::Method& method, std::string_view text)
+        : pool_(pool), method_(method), tokens_(lang::lex(text)) {}
+
+    core::PredPtr parse() {
+        core::PredPtr p = parse_pred();
+        expect(TokKind::End, "specification");
+        return p;
+    }
+
+private:
+    // --- token plumbing ---------------------------------------------------
+    [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+    [[nodiscard]] bool at(TokKind k) const { return peek().kind == k; }
+    const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+    bool accept(TokKind k) {
+        if (!at(k)) return false;
+        advance();
+        return true;
+    }
+    const Token& expect(TokKind k, const char* what) {
+        if (!at(k)) {
+            fail(std::string("expected ") + lang::tok_kind_name(k) + " in " + what +
+                 ", found " + lang::tok_kind_name(peek().kind));
+        }
+        return advance();
+    }
+    [[noreturn]] void fail(const std::string& message) const {
+        throw support::FrontendError("spec: " + message, peek().loc);
+    }
+
+    [[nodiscard]] bool at_quantifier() const {
+        return at(TokKind::Ident) && (peek().text == "forall" || peek().text == "exists");
+    }
+
+    // --- predicate level ---------------------------------------------------
+    core::PredPtr parse_pred() {
+        std::vector<core::PredPtr> disjuncts{parse_conj()};
+        while (accept(TokKind::PipePipe)) disjuncts.push_back(parse_conj());
+        return core::make_or(std::move(disjuncts));
+    }
+
+    core::PredPtr parse_conj() {
+        std::vector<core::PredPtr> conjuncts{parse_unit()};
+        while (accept(TokKind::AmpAmp)) conjuncts.push_back(parse_unit());
+        return core::make_and(std::move(conjuncts));
+    }
+
+    core::PredPtr parse_unit() {
+        if (at_quantifier()) return parse_quantifier();
+        if (at(TokKind::Bang)) {
+            advance();
+            return core::make_not(parse_unit());
+        }
+        if (at(TokKind::LParen)) {
+            // Could be a parenthesized predicate (possibly holding a
+            // quantifier) or the start of an arithmetic expression like
+            // `(x + 1) > 0`. Try the predicate reading; backtrack if the
+            // closing paren is followed by expression syntax.
+            const std::size_t saved = pos_;
+            advance();
+            try {
+                core::PredPtr inner = parse_pred();
+                expect(TokKind::RParen, "parenthesized predicate");
+                if (expression_continues()) {
+                    pos_ = saved;
+                } else {
+                    return inner;
+                }
+            } catch (const support::FrontendError&) {
+                pos_ = saved;
+            }
+        }
+        // Atoms stop at comparison level so that top-level && / || become
+        // predicate structure (and a following quantifier is not swallowed
+        // by the expression grammar). Inside quantifier bodies parse_expr
+        // handles the full boolean grammar instead.
+        const SpecVal v = parse_cmp_expr();
+        require_bool(v, "predicate atom");
+        return core::make_atom(v.expr);
+    }
+
+    /// After a ")" that closed a predicate: tokens that mean we actually
+    /// parenthesized a sub-expression of a larger comparison/arithmetic.
+    [[nodiscard]] bool expression_continues() const {
+        switch (peek().kind) {
+            case TokKind::Plus: case TokKind::Minus: case TokKind::Star:
+            case TokKind::Slash: case TokKind::Percent:
+            case TokKind::EqEq: case TokKind::BangEq:
+            case TokKind::Lt: case TokKind::Le:
+            case TokKind::Gt: case TokKind::Ge:
+            case TokKind::LBracket: case TokKind::Dot:
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    core::PredPtr parse_quantifier() {
+        const bool universal = advance().text == "forall";
+        const std::string var = expect(TokKind::Ident, "quantifier").text;
+        const Token& kw = expect(TokKind::Ident, "quantifier");
+        if (kw.text != "in") fail("expected 'in' after quantifier variable");
+        const std::string coll = expect(TokKind::Ident, "quantifier").text;
+        expect(TokKind::Colon, "quantifier");
+
+        const SpecVal obj = resolve_name(coll);
+        if (!lang::is_indexable_type(obj.type)) {
+            fail("quantifier collection '" + coll + "' is not indexable");
+        }
+        const int bound_id = next_bound_id_++;
+        bound_.push_back({var, bound_id, obj});
+        const SpecVal body = parse_expr();
+        bound_.pop_back();
+        require_bool(body, "quantifier body");
+
+        const Expr* bv = pool_.bound_var(bound_id);
+        const Expr* domain = pool_.lt(bv, pool_.len(obj.expr));
+        return universal ? core::make_forall(bound_id, obj.expr, domain, body.expr)
+                         : core::make_exists(bound_id, obj.expr, domain, body.expr);
+    }
+
+    // --- expression level (produces sym::Expr) -------------------------------
+    void require_bool(const SpecVal& v, const char* what) {
+        if (v.type != Type::Bool) fail(std::string(what) + " must be boolean");
+    }
+    void require_int(const SpecVal& v, const char* what) {
+        if (v.type != Type::Int) fail(std::string(what) + " must be an int");
+    }
+
+    SpecVal parse_expr() { return parse_or_expr(); }
+
+    SpecVal parse_or_expr() {
+        SpecVal l = parse_and_expr();
+        while (at(TokKind::PipePipe)) {
+            advance();
+            SpecVal r = parse_and_expr();
+            require_bool(l, "'||' operand");
+            require_bool(r, "'||' operand");
+            l = {pool_.or_(l.expr, r.expr), Type::Bool};
+        }
+        return l;
+    }
+
+    SpecVal parse_and_expr() {
+        SpecVal l = parse_not_expr();
+        while (at(TokKind::AmpAmp)) {
+            advance();
+            SpecVal r = parse_not_expr();
+            require_bool(l, "'&&' operand");
+            require_bool(r, "'&&' operand");
+            l = {pool_.and_(l.expr, r.expr), Type::Bool};
+        }
+        return l;
+    }
+
+    SpecVal parse_not_expr() {
+        if (accept(TokKind::Bang)) {
+            SpecVal v = parse_not_expr();
+            require_bool(v, "'!' operand");
+            return {pool_.not_(v.expr), Type::Bool};
+        }
+        return parse_cmp_expr();
+    }
+
+    SpecVal parse_cmp_expr() {
+        SpecVal l = parse_add_expr();
+        sym::Kind op;
+        switch (peek().kind) {
+            case TokKind::EqEq: op = sym::Kind::Eq; break;
+            case TokKind::BangEq: op = sym::Kind::Ne; break;
+            case TokKind::Lt: op = sym::Kind::Lt; break;
+            case TokKind::Le: op = sym::Kind::Le; break;
+            case TokKind::Gt: op = sym::Kind::Gt; break;
+            case TokKind::Ge: op = sym::Kind::Ge; break;
+            default: return l;
+        }
+        advance();
+        SpecVal r = parse_add_expr();
+
+        // Null comparisons lower to IsNull.
+        const bool l_null = l.type == Type::Void;
+        const bool r_null = r.type == Type::Void;
+        if (l_null || r_null) {
+            if (l_null && r_null) fail("cannot compare null with null");
+            const SpecVal& ref = l_null ? r : l;
+            if (!lang::is_reference_type(ref.type)) fail("null compared with non-reference");
+            if (op != sym::Kind::Eq && op != sym::Kind::Ne) fail("null only supports == / !=");
+            const Expr* isnull = pool_.is_null(ref.expr);
+            return {op == sym::Kind::Eq ? isnull : pool_.not_(isnull), Type::Bool};
+        }
+        require_int(l, "comparison operand");
+        require_int(r, "comparison operand");
+        return {pool_.cmp(op, l.expr, r.expr), Type::Bool};
+    }
+
+    SpecVal parse_add_expr() {
+        SpecVal l = parse_mul_expr();
+        while (at(TokKind::Plus) || at(TokKind::Minus)) {
+            const bool add = advance().kind == TokKind::Plus;
+            SpecVal r = parse_mul_expr();
+            require_int(l, "arithmetic operand");
+            require_int(r, "arithmetic operand");
+            l = {add ? pool_.add(l.expr, r.expr) : pool_.sub(l.expr, r.expr), Type::Int};
+        }
+        return l;
+    }
+
+    SpecVal parse_mul_expr() {
+        SpecVal l = parse_unary_expr();
+        while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+            const TokKind k = advance().kind;
+            SpecVal r = parse_unary_expr();
+            require_int(l, "arithmetic operand");
+            require_int(r, "arithmetic operand");
+            const Expr* e = k == TokKind::Star   ? pool_.mul(l.expr, r.expr)
+                            : k == TokKind::Slash ? pool_.div(l.expr, r.expr)
+                                                  : pool_.mod(l.expr, r.expr);
+            l = {e, Type::Int};
+        }
+        return l;
+    }
+
+    SpecVal parse_unary_expr() {
+        if (accept(TokKind::Minus)) {
+            SpecVal v = parse_unary_expr();
+            require_int(v, "'-' operand");
+            return {pool_.neg(v.expr), Type::Int};
+        }
+        return parse_postfix_expr();
+    }
+
+    SpecVal parse_postfix_expr() {
+        SpecVal v = parse_primary_expr();
+        for (;;) {
+            if (at(TokKind::LBracket)) {
+                advance();
+                SpecVal idx = parse_expr();
+                expect(TokKind::RBracket, "index");
+                require_int(idx, "index");
+                if (!lang::is_indexable_type(v.type)) fail("indexing a non-collection");
+                const Type elem = lang::element_type(v.type);
+                v = {pool_.select(v.expr, idx.expr,
+                                  lang::is_reference_type(elem) ? Sort::Obj : Sort::Int),
+                     elem};
+            } else if (at(TokKind::Dot)) {
+                advance();
+                const Token& field = expect(TokKind::Ident, "member access");
+                if (field.text != "len" && field.text != "length") fail("only '.len' exists");
+                if (!lang::is_indexable_type(v.type)) fail("'.len' of a non-collection");
+                v = {pool_.len(v.expr), Type::Int};
+            } else {
+                return v;
+            }
+        }
+    }
+
+    SpecVal parse_primary_expr() {
+        const Token& t = peek();
+        switch (t.kind) {
+            case TokKind::IntLit:
+                advance();
+                return {pool_.int_const(t.int_value), Type::Int};
+            case TokKind::KwTrue:
+                advance();
+                return {pool_.true_(), Type::Bool};
+            case TokKind::KwFalse:
+                advance();
+                return {pool_.false_(), Type::Bool};
+            case TokKind::KwNull:
+                advance();
+                return {pool_.null_const(), Type::Void};
+            case TokKind::LParen: {
+                advance();
+                SpecVal v = parse_expr();
+                expect(TokKind::RParen, "parenthesized expression");
+                return v;
+            }
+            case TokKind::Ident: {
+                advance();
+                if (t.text == "iswhitespace") {
+                    expect(TokKind::LParen, "iswhitespace");
+                    SpecVal arg = parse_expr();
+                    expect(TokKind::RParen, "iswhitespace");
+                    require_int(arg, "iswhitespace argument");
+                    return {pool_.is_whitespace(arg.expr), Type::Bool};
+                }
+                return resolve_name(t.text);
+            }
+            default:
+                fail(std::string("expected an expression, found ") +
+                     lang::tok_kind_name(t.kind));
+        }
+    }
+
+    SpecVal resolve_name(const std::string& name) {
+        for (auto it = bound_.rbegin(); it != bound_.rend(); ++it) {
+            if (it->name == name) return {pool_.bound_var(it->id), Type::Int};
+        }
+        const int idx = method_.param_index(name);
+        if (idx < 0) fail("unknown name '" + name + "' in specification");
+        const Type t = method_.params[static_cast<std::size_t>(idx)].type;
+        const Sort sort = lang::is_reference_type(t)
+                              ? Sort::Obj
+                              : (t == Type::Bool ? Sort::Bool : Sort::Int);
+        return {pool_.param(idx, sort), t};
+    }
+
+    struct Bound {
+        std::string name;
+        int id;
+        SpecVal obj;
+    };
+
+    sym::ExprPool& pool_;
+    const lang::Method& method_;
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    std::vector<Bound> bound_;
+    int next_bound_id_ = 0;
+};
+
+}  // namespace
+
+core::PredPtr parse_spec(sym::ExprPool& pool, const lang::Method& method,
+                         std::string_view spec) {
+    return SpecParser(pool, method, spec).parse();
+}
+
+}  // namespace preinfer::eval

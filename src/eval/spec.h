@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string_view>
+
+#include "src/core/pred.h"
+#include "src/lang/ast.h"
+
+namespace preinfer::eval {
+
+/// Parses a ground-truth precondition specification against a method
+/// signature, producing a core::Pred over the method's parameters.
+///
+/// Syntax (C-like, whitespace-insensitive):
+///
+///   pred   := conj ("||" conj)*
+///   conj   := unit ("&&" unit)*
+///   unit   := "forall" ID "in" PARAM ":" bexpr     (domain: 0 <= i < PARAM.len)
+///           | "exists" ID "in" PARAM ":" bexpr
+///           | "!" unit
+///           | "(" pred ")"
+///           | bexpr
+///
+/// where `bexpr` is a MiniLang boolean expression over parameters and (in
+/// quantifier bodies) the bound variable: comparisons, `== null`,
+/// arithmetic, indexing, `.len`, `iswhitespace(...)`, `true`, `false`, and
+/// `&&`/`||`/`!` (which inside a bexpr become expression-level connectives;
+/// the complexity metric counts both representations identically).
+///
+/// A quantifier body extends as far right as possible; parenthesize the
+/// quantifier to conjoin it with further clauses:
+///     (forall i in s: s[i] != null) && x > 0
+///
+/// Throws support::FrontendError on syntax or type errors.
+[[nodiscard]] core::PredPtr parse_spec(sym::ExprPool& pool, const lang::Method& method,
+                                       std::string_view spec);
+
+}  // namespace preinfer::eval

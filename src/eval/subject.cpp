@@ -1,0 +1,33 @@
+#include "src/eval/subject.h"
+
+#include <algorithm>
+
+namespace preinfer::eval {
+
+int Subject::total_source_lines() const {
+    int lines = 0;
+    for (const SubjectMethod& m : methods) {
+        lines += 1 + static_cast<int>(std::count(m.source.begin(), m.source.end(), '\n'));
+    }
+    return lines;
+}
+
+std::vector<SuiteCensus> census(const std::vector<Subject>& subjects) {
+    std::vector<SuiteCensus> out;
+    for (const Subject& s : subjects) {
+        SuiteCensus* row = nullptr;
+        for (SuiteCensus& c : out) {
+            if (c.suite == s.suite) row = &c;
+        }
+        if (!row) {
+            out.push_back({s.suite, 0, 0, 0});
+            row = &out.back();
+        }
+        row->namespaces += 1;
+        row->methods += static_cast<int>(s.methods.size());
+        row->lines += s.total_source_lines();
+    }
+    return out;
+}
+
+}  // namespace preinfer::eval

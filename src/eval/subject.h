@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/path_condition.h"
+
+namespace preinfer::eval {
+
+/// Expected ground-truth precondition for one assertion-containing location
+/// of a subject method. ACLs are keyed by exception kind plus ordinal (the
+/// n-th location of that kind in AST order), which is robust against source
+/// reformatting.
+struct GroundTruthSpec {
+    core::ExceptionKind kind = core::ExceptionKind::None;
+    int ordinal = 0;
+    std::string pred;  ///< spec syntax, see eval/spec.h
+};
+
+struct SubjectMethod {
+    std::string name;
+    std::string source;  ///< MiniLang source of exactly one method
+    std::vector<GroundTruthSpec> ground_truths;
+};
+
+/// One namespace row of the paper's Table V (e.g. "Algorithmia.Sorting").
+struct Subject {
+    std::string name;   ///< namespace-style display name
+    std::string suite;  ///< owning suite for Table III / VI grouping
+    std::vector<SubjectMethod> methods;
+
+    [[nodiscard]] int total_source_lines() const;
+};
+
+/// Census used for Table III.
+struct SuiteCensus {
+    std::string suite;
+    int namespaces = 0;  ///< stands in for the paper's #Classes
+    int methods = 0;
+    int lines = 0;
+};
+
+[[nodiscard]] std::vector<SuiteCensus> census(const std::vector<Subject>& subjects);
+
+}  // namespace preinfer::eval

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "src/exec/input.h"
+#include "src/exec/outcome.h"
+#include "src/lang/ast.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::exec {
+
+/// Budgets that bound one concolic execution. MiniLang programs can loop
+/// forever; hitting a budget yields Outcome::Exhausted, which the test
+/// generator treats as "not a usable test" (Pex's timeouts behave the same).
+struct ExecLimits {
+    int max_steps = 200000;      ///< executed statements + loop iterations
+    int max_path_preds = 4096;   ///< recorded path-condition length
+    int max_call_depth = 64;     ///< nested user-method calls (recursion guard)
+    std::int64_t max_alloc = 1 << 20;  ///< largest program-created array
+};
+
+/// Concolic (concrete + symbolic) interpreter for one MiniLang method:
+/// executes an Input concretely while shadowing every value with a symbolic
+/// expression over the method inputs, recording one path predicate per
+/// executed branch — explicit branches (`if`/`while`/`&&`/`||`) and the
+/// implicit runtime checks (null dereference, array bounds, division by
+/// zero) plus explicit `assert`s, exactly the branch structure Pex sees.
+///
+/// Branch predicates whose expression constant-folds (no input dependence)
+/// are not recorded, so path conditions contain only predicates over the
+/// symbolic inputs, as in the paper's Tables I-II.
+class ConcolicInterpreter {
+public:
+    /// `method` must be type-checked and block-labeled and must outlive the
+    /// interpreter; `pool` accumulates expressions across runs so that
+    /// predicates from different tests intern to identical pointers.
+    /// `program` supplies callee methods for interprocedural execution
+    /// (required when the method calls user-defined methods; it must own
+    /// `method` or at least outlive the interpreter).
+    ConcolicInterpreter(sym::ExprPool& pool, const lang::Method& method,
+                        ExecLimits limits = {}, const lang::Program* program = nullptr);
+
+    /// Executes one method-entry state. Never throws on MiniLang-level
+    /// failures (they become Outcome::Exception).
+    [[nodiscard]] RunResult run(const Input& input) const;
+
+    [[nodiscard]] const lang::Method& method() const { return method_; }
+
+private:
+    sym::ExprPool& pool_;
+    const lang::Method& method_;
+    ExecLimits limits_;
+    const lang::Program* program_;
+};
+
+}  // namespace preinfer::exec

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/exec/value.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::exec {
+
+enum class ObjKind : std::uint8_t { Str, IntArr, StrArr };
+
+/// A heap object: a string (character cells) or an array. `symref` is the
+/// symbolic identity for objects materialized from method inputs
+/// (Param / Select chains); program-created objects have symref == nullptr.
+/// `len_sym` is the symbolic length (Len(symref) for inputs), nullptr when
+/// the length is a plain concrete constant.
+struct HeapObject {
+    ObjKind kind = ObjKind::IntArr;
+    const sym::Expr* symref = nullptr;
+    const sym::Expr* len_sym = nullptr;
+    std::vector<CValue> cells;
+
+    [[nodiscard]] std::int64_t len() const { return static_cast<std::int64_t>(cells.size()); }
+};
+
+/// Grow-only object store for one method execution.
+class Heap {
+public:
+    ObjRef alloc(HeapObject obj) {
+        objects_.push_back(std::move(obj));
+        return ObjRef{static_cast<int>(objects_.size()) - 1};
+    }
+
+    [[nodiscard]] const HeapObject& get(ObjRef r) const {
+        PI_CHECK(!r.is_null() && static_cast<std::size_t>(r.id) < objects_.size(),
+                 "dangling or null heap reference");
+        return objects_[static_cast<std::size_t>(r.id)];
+    }
+
+    [[nodiscard]] HeapObject& get_mut(ObjRef r) {
+        return const_cast<HeapObject&>(std::as_const(*this).get(r));
+    }
+
+    [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+private:
+    std::vector<HeapObject> objects_;
+};
+
+}  // namespace preinfer::exec

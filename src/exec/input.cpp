@@ -1,0 +1,224 @@
+#include "src/exec/input.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::exec {
+
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+void hash_str(std::uint64_t& h, const StrInput& s) {
+    mix(h, s.is_null ? 0 : 1);
+    mix(h, s.chars.size());
+    for (std::int64_t c : s.chars) mix(h, static_cast<std::uint64_t>(c));
+}
+
+std::string str_to_string(const StrInput& s) {
+    if (s.is_null) return "null";
+    std::string out = "\"";
+    for (std::int64_t c : s.chars) {
+        if (c >= 32 && c < 127) {
+            out += static_cast<char>(c);
+        } else {
+            out += "\\u" + std::to_string(c);
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+StrInput StrInput::of(std::string_view text) {
+    StrInput s;
+    s.is_null = false;
+    s.chars.assign(text.begin(), text.end());
+    return s;
+}
+
+IntArrInput IntArrInput::of(std::vector<std::int64_t> values) {
+    IntArrInput a;
+    a.is_null = false;
+    a.elems = std::move(values);
+    return a;
+}
+
+StrArrInput StrArrInput::of(std::vector<StrInput> values) {
+    StrArrInput a;
+    a.is_null = false;
+    a.elems = std::move(values);
+    return a;
+}
+
+std::uint64_t Input::hash() const {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (const ArgValue& a : args) {
+        mix(h, a.index());
+        std::visit(
+            [&h](const auto& v) {
+                using T = std::decay_t<decltype(v)>;
+                if constexpr (std::is_same_v<T, std::int64_t>) {
+                    mix(h, static_cast<std::uint64_t>(v));
+                } else if constexpr (std::is_same_v<T, bool>) {
+                    mix(h, v ? 1 : 0);
+                } else if constexpr (std::is_same_v<T, StrInput>) {
+                    hash_str(h, v);
+                } else if constexpr (std::is_same_v<T, IntArrInput>) {
+                    mix(h, v.is_null ? 0 : 1);
+                    mix(h, v.elems.size());
+                    for (std::int64_t e : v.elems) mix(h, static_cast<std::uint64_t>(e));
+                } else if constexpr (std::is_same_v<T, StrArrInput>) {
+                    mix(h, v.is_null ? 0 : 1);
+                    mix(h, v.elems.size());
+                    for (const StrInput& e : v.elems) hash_str(h, e);
+                }
+            },
+            a);
+    }
+    return h;
+}
+
+std::string Input::to_string(const lang::Method& method) const {
+    std::string out = "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (i < method.params.size() ? method.params[i].name : "p" + std::to_string(i));
+        out += ": ";
+        std::visit(
+            [&out](const auto& v) {
+                using T = std::decay_t<decltype(v)>;
+                if constexpr (std::is_same_v<T, std::int64_t>) {
+                    out += std::to_string(v);
+                } else if constexpr (std::is_same_v<T, bool>) {
+                    out += v ? "true" : "false";
+                } else if constexpr (std::is_same_v<T, StrInput>) {
+                    out += str_to_string(v);
+                } else if constexpr (std::is_same_v<T, IntArrInput>) {
+                    if (v.is_null) {
+                        out += "null";
+                    } else {
+                        out += "{";
+                        for (std::size_t j = 0; j < v.elems.size(); ++j) {
+                            if (j > 0) out += ", ";
+                            out += std::to_string(v.elems[j]);
+                        }
+                        out += "}";
+                    }
+                } else if constexpr (std::is_same_v<T, StrArrInput>) {
+                    if (v.is_null) {
+                        out += "null";
+                    } else {
+                        out += "{";
+                        for (std::size_t j = 0; j < v.elems.size(); ++j) {
+                            if (j > 0) out += ", ";
+                            out += str_to_string(v.elems[j]);
+                        }
+                        out += "}";
+                    }
+                }
+            },
+            args[i]);
+    }
+    out += ")";
+    return out;
+}
+
+Input default_input(const lang::Method& method) {
+    Input in;
+    in.args.reserve(method.params.size());
+    for (const lang::Param& p : method.params) {
+        switch (p.type) {
+            case lang::Type::Int: in.args.emplace_back(std::int64_t{0}); break;
+            case lang::Type::Bool: in.args.emplace_back(false); break;
+            case lang::Type::Str: in.args.emplace_back(StrInput::null()); break;
+            case lang::Type::IntArr: in.args.emplace_back(IntArrInput::null()); break;
+            case lang::Type::StrArr: in.args.emplace_back(StrArrInput::null()); break;
+            case lang::Type::Void: PI_CHECK(false, "void parameter");
+        }
+    }
+    return in;
+}
+
+InputEvalEnv::InputEvalEnv(const lang::Method& method, const Input& input)
+    : input_(input) {
+    PI_CHECK(input.args.size() == method.params.size(),
+             "input arity does not match method signature");
+    param_handles_.resize(input.args.size(), -1);
+    for (std::size_t i = 0; i < input.args.size(); ++i) {
+        const ArgValue& a = input.args[i];
+        if (const auto* s = std::get_if<StrInput>(&a); s && !s->is_null) {
+            param_handles_[i] = register_str(*s);
+        } else if (const auto* ia = std::get_if<IntArrInput>(&a); ia && !ia->is_null) {
+            param_handles_[i] = register_int_arr(*ia);
+        } else if (const auto* sa = std::get_if<StrArrInput>(&a); sa && !sa->is_null) {
+            param_handles_[i] = register_str_arr(*sa);
+        }
+    }
+}
+
+int InputEvalEnv::register_str(const StrInput& s) {
+    ObjEntry e;
+    e.str = &s;
+    objects_.push_back(std::move(e));
+    return static_cast<int>(objects_.size()) - 1;
+}
+
+int InputEvalEnv::register_int_arr(const IntArrInput& a) {
+    ObjEntry e;
+    e.int_arr = &a;
+    objects_.push_back(std::move(e));
+    return static_cast<int>(objects_.size()) - 1;
+}
+
+int InputEvalEnv::register_str_arr(const StrArrInput& a) {
+    // Register children first; objects_ may reallocate during recursion, so
+    // collect handles before creating the parent entry.
+    std::vector<int> handles;
+    handles.reserve(a.elems.size());
+    for (const StrInput& s : a.elems) {
+        handles.push_back(s.is_null ? -1 : register_str(s));
+    }
+    ObjEntry e;
+    e.str_arr = &a;
+    e.elem_handles = std::move(handles);
+    objects_.push_back(std::move(e));
+    return static_cast<int>(objects_.size()) - 1;
+}
+
+sym::EvalValue InputEvalEnv::param(int index) const {
+    if (index < 0 || static_cast<std::size_t>(index) >= input_.args.size())
+        return sym::EvalValue::undef();
+    const ArgValue& a = input_.args[static_cast<std::size_t>(index)];
+    if (const auto* i = std::get_if<std::int64_t>(&a)) return sym::EvalValue::make_int(*i);
+    if (const auto* b = std::get_if<bool>(&a)) return sym::EvalValue::make_bool(*b);
+    const int handle = param_handles_[static_cast<std::size_t>(index)];
+    if (handle < 0) return sym::EvalValue::make_null();
+    return sym::EvalValue::make_obj(handle);
+}
+
+std::int64_t InputEvalEnv::obj_len(int handle) const {
+    PI_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < objects_.size(),
+             "bad object handle");
+    const ObjEntry& e = objects_[static_cast<std::size_t>(handle)];
+    if (e.str) return static_cast<std::int64_t>(e.str->chars.size());
+    if (e.int_arr) return static_cast<std::int64_t>(e.int_arr->elems.size());
+    return static_cast<std::int64_t>(e.str_arr->elems.size());
+}
+
+sym::EvalValue InputEvalEnv::obj_elem(int handle, std::int64_t index) const {
+    PI_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < objects_.size(),
+             "bad object handle");
+    const ObjEntry& e = objects_[static_cast<std::size_t>(handle)];
+    if (index < 0 || index >= obj_len(handle)) return sym::EvalValue::undef();
+    const auto i = static_cast<std::size_t>(index);
+    if (e.str) return sym::EvalValue::make_int(e.str->chars[i]);
+    if (e.int_arr) return sym::EvalValue::make_int(e.int_arr->elems[i]);
+    const int child = e.elem_handles[i];
+    if (child < 0) return sym::EvalValue::make_null();
+    return sym::EvalValue::make_obj(child);
+}
+
+}  // namespace preinfer::exec

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/sym/eval.h"
+
+namespace preinfer::exec {
+
+/// Concrete value of a `str` parameter (nullable character sequence).
+struct StrInput {
+    bool is_null = true;
+    std::vector<std::int64_t> chars;
+
+    static StrInput null() { return {}; }
+    static StrInput of(std::string_view text);
+
+    friend bool operator==(const StrInput&, const StrInput&) = default;
+};
+
+struct IntArrInput {
+    bool is_null = true;
+    std::vector<std::int64_t> elems;
+
+    static IntArrInput null() { return {}; }
+    static IntArrInput of(std::vector<std::int64_t> values);
+
+    friend bool operator==(const IntArrInput&, const IntArrInput&) = default;
+};
+
+struct StrArrInput {
+    bool is_null = true;
+    std::vector<StrInput> elems;
+
+    static StrArrInput null() { return {}; }
+    static StrArrInput of(std::vector<StrInput> values);
+
+    friend bool operator==(const StrArrInput&, const StrArrInput&) = default;
+};
+
+using ArgValue = std::variant<std::int64_t, bool, StrInput, IntArrInput, StrArrInput>;
+
+/// A method-entry state (Definition 1): one concrete value per parameter.
+struct Input {
+    std::vector<ArgValue> args;
+
+    [[nodiscard]] std::uint64_t hash() const;
+    [[nodiscard]] std::string to_string(const lang::Method& method) const;
+
+    friend bool operator==(const Input&, const Input&) = default;
+};
+
+/// The all-default entry state for a signature: ints 0, bools false,
+/// references null (Pex's first seed looks the same).
+[[nodiscard]] Input default_input(const lang::Method& method);
+
+/// Adapts an Input to the symbolic evaluator, so preconditions (which are
+/// expressions over Param leaves) can be evaluated against entry states.
+class InputEvalEnv final : public sym::EvalEnv {
+public:
+    InputEvalEnv(const lang::Method& method, const Input& input);
+
+    [[nodiscard]] sym::EvalValue param(int index) const override;
+    [[nodiscard]] std::int64_t obj_len(int handle) const override;
+    [[nodiscard]] sym::EvalValue obj_elem(int handle, std::int64_t index) const override;
+
+private:
+    struct ObjEntry {
+        const StrInput* str = nullptr;
+        const IntArrInput* int_arr = nullptr;
+        const StrArrInput* str_arr = nullptr;
+        /// For str_arr: handle of each element object (-1 = null element).
+        std::vector<int> elem_handles;
+    };
+
+    int register_str(const StrInput& s);
+    int register_int_arr(const IntArrInput& a);
+    int register_str_arr(const StrArrInput& a);
+
+    const Input& input_;
+    std::vector<ObjEntry> objects_;
+    std::vector<int> param_handles_;  ///< handle per parameter (-1 = null / scalar)
+};
+
+}  // namespace preinfer::exec

@@ -1,0 +1,18 @@
+#include "src/exec/outcome.h"
+
+namespace preinfer::exec {
+
+std::string Outcome::to_string() const {
+    switch (tag) {
+        case Tag::Normal:
+            return "normal";
+        case Tag::Exception:
+            return std::string(core::exception_kind_name(acl.kind)) + " at node " +
+                   std::to_string(acl.node_id);
+        case Tag::Exhausted:
+            return "exhausted";
+    }
+    return "?";
+}
+
+}  // namespace preinfer::exec

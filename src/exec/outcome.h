@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "src/core/path_condition.h"
+#include "src/exec/value.h"
+
+namespace preinfer::exec {
+
+/// How a method execution ended.
+struct Outcome {
+    enum class Tag : std::uint8_t {
+        Normal,     ///< returned (or fell off the end of a void method)
+        Exception,  ///< aborted at an assertion-containing location
+        Exhausted,  ///< hit the step / path-length budget (e.g. unbounded loop)
+    };
+
+    Tag tag = Tag::Normal;
+    core::AclId acl;  ///< valid iff tag == Exception
+
+    [[nodiscard]] bool failing() const { return tag == Tag::Exception; }
+    [[nodiscard]] std::string to_string() const;
+
+    static Outcome normal() { return {}; }
+    static Outcome exception(core::AclId acl) { return {Tag::Exception, acl}; }
+    static Outcome exhausted() { return {Tag::Exhausted, {}}; }
+};
+
+/// Everything one concolic execution produces.
+struct RunResult {
+    Outcome outcome;
+    core::PathCondition pc;
+    std::vector<bool> covered_blocks;  ///< indexed by block id
+    int steps = 0;
+};
+
+}  // namespace preinfer::exec

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::exec {
+
+/// Reference into the interpreter heap; id < 0 is the null reference.
+struct ObjRef {
+    int id = -1;
+
+    [[nodiscard]] bool is_null() const { return id < 0; }
+    friend bool operator==(const ObjRef&, const ObjRef&) = default;
+
+    static ObjRef null() { return {-1}; }
+};
+
+/// A concolic value: the concrete payload the interpreter computes with,
+/// plus the symbolic expression describing it in terms of the method inputs.
+/// `sym == nullptr` means "concrete constant" (no input dependence); the
+/// literal expression is materialized on demand, which is what lets the
+/// engine skip recording input-independent branch predicates.
+struct CValue {
+    enum class Tag : std::uint8_t { Int, Bool, Ref };
+
+    Tag tag = Tag::Int;
+    std::int64_t i = 0;  ///< Int payload / Bool payload (0 or 1)
+    ObjRef ref;          ///< Ref payload
+    const sym::Expr* sym = nullptr;
+
+    static CValue make_int(std::int64_t v, const sym::Expr* s = nullptr) {
+        CValue c;
+        c.tag = Tag::Int;
+        c.i = v;
+        c.sym = s;
+        return c;
+    }
+    static CValue make_bool(bool v, const sym::Expr* s = nullptr) {
+        CValue c;
+        c.tag = Tag::Bool;
+        c.i = v ? 1 : 0;
+        c.sym = s;
+        return c;
+    }
+    static CValue make_ref(ObjRef r, const sym::Expr* s = nullptr) {
+        CValue c;
+        c.tag = Tag::Ref;
+        c.ref = r;
+        c.sym = s;
+        return c;
+    }
+
+    [[nodiscard]] bool as_bool() const { return i != 0; }
+    [[nodiscard]] bool is_symbolic() const { return sym != nullptr; }
+};
+
+}  // namespace preinfer::exec

@@ -1,0 +1,166 @@
+#include "src/gen/explorer.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "src/gen/reconstruct.h"
+
+namespace preinfer::gen {
+
+namespace {
+
+using exec::ArgValue;
+using exec::Input;
+using exec::IntArrInput;
+using exec::StrArrInput;
+using exec::StrInput;
+
+/// Canonical non-default seed inputs; variant picks one of a few shapes.
+Input make_seed(const lang::Method& method, int variant) {
+    Input in;
+    for (const lang::Param& p : method.params) {
+        switch (p.type) {
+            case lang::Type::Int:
+                in.args.emplace_back(std::int64_t{variant == 0 ? 1 : (variant == 1 ? -1 : 3)});
+                break;
+            case lang::Type::Bool:
+                in.args.emplace_back(variant != 1);
+                break;
+            case lang::Type::Str:
+                in.args.emplace_back(variant == 0   ? StrInput::of("a")
+                                     : variant == 1 ? StrInput::of(" ")
+                                                    : StrInput::of("ab "));
+                break;
+            case lang::Type::IntArr:
+                in.args.emplace_back(variant == 0   ? IntArrInput::of({1})
+                                     : variant == 1 ? IntArrInput::of({0, 1})
+                                                    : IntArrInput::of({1, 0, 3}));
+                break;
+            case lang::Type::StrArr:
+                in.args.emplace_back(
+                    variant == 0   ? StrArrInput::of({StrInput::of("a")})
+                    : variant == 1 ? StrArrInput::of({StrInput::null()})
+                                   : StrArrInput::of({StrInput::of("a"), StrInput::null()}));
+                break;
+            case lang::Type::Void:
+                break;
+        }
+    }
+    return in;
+}
+
+}  // namespace
+
+Explorer::Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config,
+                   const lang::Program* program)
+    : pool_(pool),
+      method_(method),
+      config_(config),
+      interp_(pool, method, config.exec_limits, program),
+      solver_(pool, config.solver_config) {}
+
+std::vector<exec::Input> Explorer::seed_inputs() const {
+    std::vector<exec::Input> seeds;
+    seeds.push_back(exec::default_input(method_));
+    if (config_.extra_seeds) {
+        for (int v = 0; v < 3; ++v) seeds.push_back(make_seed(method_, v));
+    }
+    return seeds;
+}
+
+TestSuite Explorer::explore() {
+    TestSuite suite;
+    std::unordered_set<std::uint64_t> seen_inputs;
+    std::unordered_set<std::uint64_t> seen_paths;
+
+    // (suite index, generation bound): children may only flip predicates at
+    // or beyond the bound.
+    std::deque<std::pair<std::size_t, int>> work;
+
+    auto execute = [&](exec::Input input, int bound) {
+        if (!seen_inputs.insert(input.hash()).second) {
+            ++stats_.duplicate_inputs;
+            return;
+        }
+        if (static_cast<int>(suite.tests.size()) >= config_.max_tests) return;
+        Test t;
+        t.id = next_test_id_++;
+        t.input = std::move(input);
+        t.result = interp_.run(t.input);
+        ++stats_.executions;
+        if (!seen_paths.insert(t.result.pc.signature()).second) {
+            ++stats_.duplicate_paths;
+            return;  // identical path: nothing new to learn or expand
+        }
+        suite.tests.push_back(std::move(t));
+        work.emplace_back(suite.tests.size() - 1, bound);
+    };
+
+    for (exec::Input& seed : seed_inputs()) execute(std::move(seed), 0);
+
+    while (!work.empty()) {
+        if (stats_.solver_calls >= config_.max_solver_calls) break;
+        if (static_cast<int>(suite.tests.size()) >= config_.max_tests) break;
+
+        const auto [idx, bound] = work.front();
+        work.pop_front();
+
+        // Copy what we need up front: suite.tests may reallocate as children
+        // are appended inside the loop.
+        const core::PathCondition pc = suite.tests[idx].result.pc;
+        const exec::Input parent_input = suite.tests[idx].input;
+        const solver::Model seed = seed_model(pool_, method_, parent_input);
+
+        const int limit =
+            std::min<int>(static_cast<int>(pc.size()), config_.max_flip_depth);
+        for (int j = bound; j < limit; ++j) {
+            if (stats_.solver_calls >= config_.max_solver_calls) break;
+            if (static_cast<int>(suite.tests.size()) >= config_.max_tests) break;
+
+            std::vector<const sym::Expr*> conjuncts;
+            conjuncts.reserve(static_cast<std::size_t>(j) + 1);
+            for (int k = 0; k < j; ++k) conjuncts.push_back(pc.preds[static_cast<std::size_t>(k)].expr);
+            conjuncts.push_back(pool_.negate(pc.preds[static_cast<std::size_t>(j)].expr));
+
+            ++stats_.solver_calls;
+            const solver::SolveResult res = solver_.solve(conjuncts, &seed);
+            switch (res.status) {
+                case solver::SolveStatus::Sat: ++stats_.sat; break;
+                case solver::SolveStatus::Unsat: ++stats_.unsat; continue;
+                case solver::SolveStatus::Unknown: ++stats_.unknown; continue;
+            }
+            exec::Input child = reconstruct_input(pool_, method_, res.model,
+                                                  &parent_input,
+                                                  config_.materialize_max_len);
+            execute(std::move(child), j + 1);
+        }
+    }
+    return suite;
+}
+
+std::optional<Test> Explorer::run_constrained(
+    std::span<const sym::Expr* const> conjuncts, const exec::Input* base) {
+    ++stats_.solver_calls;
+    std::optional<solver::Model> seed;
+    if (base) seed = seed_model(pool_, method_, *base);
+    const solver::SolveResult res =
+        solver_.solve(conjuncts, seed ? &*seed : nullptr);
+    if (!res.sat()) {
+        if (res.status == solver::SolveStatus::Unsat) {
+            ++stats_.unsat;
+        } else {
+            ++stats_.unknown;
+        }
+        return std::nullopt;
+    }
+    ++stats_.sat;
+    Test t;
+    t.id = next_test_id_++;
+    t.input = reconstruct_input(pool_, method_, res.model, base,
+                                config_.materialize_max_len);
+    t.result = interp_.run(t.input);
+    ++stats_.executions;
+    return t;
+}
+
+}  // namespace preinfer::gen

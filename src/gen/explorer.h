@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "src/exec/concolic.h"
+#include "src/gen/testsuite.h"
+#include "src/solver/solver.h"
+
+namespace preinfer::gen {
+
+/// Budgets and knobs for one exploration (one method).
+struct ExplorerConfig {
+    int max_tests = 256;          ///< executed inputs kept in the suite
+    int max_solver_calls = 4096;  ///< path-constraint flips attempted
+    int max_flip_depth = 160;     ///< only flip the first N predicates of a path
+    exec::ExecLimits exec_limits{};
+    solver::SolverConfig solver_config{};
+    std::int64_t materialize_max_len = 16;  ///< largest reconstructed collection
+    bool extra_seeds = true;  ///< start from a few canonical non-null inputs too
+};
+
+/// Pex-style generational-search test generator: run a seed input
+/// concolically, then repeatedly pick an executed path, negate one of its
+/// branch predicates, solve prefix ∧ ¬predicate for a new input (seeded with
+/// the parent's values so the child stays nearby), and execute it. Children
+/// only flip predicates at or beyond their generation bound, which prevents
+/// re-deriving ancestors. Paths and inputs are deduplicated.
+class Explorer {
+public:
+    Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config = {},
+             const lang::Program* program = nullptr);
+
+    /// Runs the generational search until budgets are exhausted.
+    [[nodiscard]] TestSuite explore();
+
+    /// Solves an arbitrary conjunction of path predicates and, when
+    /// satisfiable, executes the resulting input. This is the on-demand
+    /// entry point the solver-assisted pruning oracle uses. The returned
+    /// test is not part of any suite. `base` (optional) seeds the solver
+    /// and fills unconstrained parts of the input.
+    [[nodiscard]] std::optional<Test> run_constrained(
+        std::span<const sym::Expr* const> conjuncts, const exec::Input* base);
+
+    struct Stats {
+        int executions = 0;
+        int solver_calls = 0;
+        int sat = 0;
+        int unsat = 0;
+        int unknown = 0;
+        int duplicate_inputs = 0;
+        int duplicate_paths = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    [[nodiscard]] std::vector<exec::Input> seed_inputs() const;
+
+    sym::ExprPool& pool_;
+    const lang::Method& method_;
+    ExplorerConfig config_;
+    exec::ConcolicInterpreter interp_;
+    solver::Solver solver_;
+    Stats stats_;
+    int next_test_id_ = 0;
+};
+
+}  // namespace preinfer::gen

@@ -1,0 +1,114 @@
+#include "src/gen/fuzzer.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::gen {
+
+namespace {
+
+constexpr std::int64_t kIntPool[] = {0, 1, -1, 2, 3, -2, 4, 5, -5, 7, 100, -100, 1000};
+constexpr std::int64_t kCharPool[] = {'a', 'b', 'c', ' ', '\t', '\n', '0', 'z', 'A'};
+
+}  // namespace
+
+Fuzzer::Fuzzer(const lang::Method& method, std::uint64_t seed)
+    : method_(method), rng_(seed) {}
+
+std::int64_t Fuzzer::small_int() {
+    return kIntPool[rng_() % std::size(kIntPool)];
+}
+
+std::int64_t Fuzzer::char_value() {
+    return kCharPool[rng_() % std::size(kCharPool)];
+}
+
+exec::StrInput Fuzzer::random_str(double null_probability) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < null_probability) return exec::StrInput::null();
+    exec::StrInput s;
+    s.is_null = false;
+    // Occasionally emit a long homogeneous string (all spaces, all zeros,
+    // all 'a'): quantified preconditions are exactly about such inputs, and
+    // uniform random sampling essentially never produces them, which would
+    // let per-length disjunctions masquerade as sufficient.
+    if (coin(rng_) < 0.2) {
+        const std::int64_t c = kCharPool[rng_() % std::size(kCharPool)];
+        const std::size_t len = 6 + rng_() % 7;
+        s.chars.assign(len, c);
+        return s;
+    }
+    const std::size_t len = rng_() % 6;
+    s.chars.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) s.chars.push_back(char_value());
+    return s;
+}
+
+exec::Input Fuzzer::next() {
+    exec::Input in;
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (const lang::Param& p : method_.params) {
+        switch (p.type) {
+            case lang::Type::Int:
+                in.args.emplace_back(small_int());
+                break;
+            case lang::Type::Bool:
+                in.args.emplace_back((rng_() & 1) == 0);
+                break;
+            case lang::Type::Str:
+                in.args.emplace_back(random_str(0.25));
+                break;
+            case lang::Type::IntArr: {
+                if (coin(rng_) < 0.2) {
+                    in.args.emplace_back(exec::IntArrInput::null());
+                    break;
+                }
+                exec::IntArrInput a;
+                a.is_null = false;
+                if (coin(rng_) < 0.25) {
+                    // Long homogeneous arrays (see random_str), sometimes
+                    // with one mutated position near the end — the inputs
+                    // that expose per-length disjunctions pretending to be
+                    // quantified conditions.
+                    const std::int64_t v = static_cast<std::int64_t>(rng_() % 3);
+                    a.elems.assign(6 + rng_() % 7, v);
+                    if ((rng_() & 1) == 0) {
+                        a.elems[a.elems.size() - 1 - rng_() % 2] = v - 1;
+                    }
+                } else {
+                    const std::size_t len = rng_() % 6;
+                    for (std::size_t i = 0; i < len; ++i) a.elems.push_back(small_int());
+                }
+                in.args.emplace_back(std::move(a));
+                break;
+            }
+            case lang::Type::StrArr: {
+                if (coin(rng_) < 0.2) {
+                    in.args.emplace_back(exec::StrArrInput::null());
+                    break;
+                }
+                exec::StrArrInput a;
+                a.is_null = false;
+                if (coin(rng_) < 0.15) {
+                    // All-null / all-"a" element runs.
+                    const bool nulls = (rng_() & 1) == 0;
+                    const std::size_t len = 5 + rng_() % 6;
+                    for (std::size_t i = 0; i < len; ++i) {
+                        a.elems.push_back(nulls ? exec::StrInput::null()
+                                                : exec::StrInput::of("a"));
+                    }
+                } else {
+                    const std::size_t len = rng_() % 5;
+                    for (std::size_t i = 0; i < len; ++i)
+                        a.elems.push_back(random_str(0.3));
+                }
+                in.args.emplace_back(std::move(a));
+                break;
+            }
+            case lang::Type::Void:
+                PI_CHECK(false, "void parameter");
+        }
+    }
+    return in;
+}
+
+}  // namespace preinfer::gen

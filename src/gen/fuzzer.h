@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "src/exec/input.h"
+
+namespace preinfer::gen {
+
+/// Deterministic random entry-state generator. Used to widen validation
+/// suites beyond what symbolic exploration found, so sufficiency/necessity
+/// verdicts are not judged only on the paths the inference saw — the
+/// paper's "test the strength of pred using Pex" methodology.
+class Fuzzer {
+public:
+    Fuzzer(const lang::Method& method, std::uint64_t seed);
+
+    [[nodiscard]] exec::Input next();
+
+private:
+    [[nodiscard]] std::int64_t small_int();
+    [[nodiscard]] std::int64_t char_value();
+    [[nodiscard]] exec::StrInput random_str(double null_probability);
+
+    const lang::Method& method_;
+    std::mt19937_64 rng_;
+};
+
+}  // namespace preinfer::gen

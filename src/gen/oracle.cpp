@@ -1,0 +1,19 @@
+#include "src/gen/oracle.h"
+
+namespace preinfer::gen {
+
+std::optional<core::WitnessOracle::Witness> ExplorerOracle::witness(
+    std::span<const sym::Expr* const> conjuncts) {
+    ++calls_;
+    auto t = explorer_.run_constrained(conjuncts, nullptr);
+    if (!t || !t->usable()) return std::nullopt;
+    store_.push_back(std::move(*t));
+    const Test& kept = store_.back();
+    Witness w;
+    w.pc = &kept.result.pc;
+    w.failing = kept.result.outcome.failing();
+    if (w.failing) w.acl = kept.result.outcome.acl;
+    return w;
+}
+
+}  // namespace preinfer::gen

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <deque>
+
+#include "src/core/pruning.h"
+#include "src/gen/explorer.h"
+
+namespace preinfer::gen {
+
+/// Adapts an Explorer into the pruning stage's on-demand witness generator
+/// (core::WitnessOracle): solve the conjunction, execute the model, hand
+/// back the resulting path condition. Witness executions are owned by the
+/// oracle so their path conditions outlive the call.
+class ExplorerOracle final : public core::WitnessOracle {
+public:
+    explicit ExplorerOracle(Explorer& explorer) : explorer_(explorer) {}
+
+    std::optional<Witness> witness(
+        std::span<const sym::Expr* const> conjuncts) override;
+
+    [[nodiscard]] int calls() const { return calls_; }
+
+private:
+    Explorer& explorer_;
+    std::deque<Test> store_;
+    int calls_ = 0;
+};
+
+}  // namespace preinfer::gen

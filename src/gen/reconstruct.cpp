@@ -1,0 +1,254 @@
+#include "src/gen/reconstruct.h"
+
+#include <algorithm>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::gen {
+
+namespace {
+
+using exec::ArgValue;
+using exec::Input;
+using exec::IntArrInput;
+using exec::StrArrInput;
+using exec::StrInput;
+using solver::Model;
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+/// Element facts the model states about one object term.
+struct ObjFacts {
+    bool has_any = false;          ///< the model mentions this object at all
+    bool isnull_known = false;
+    bool isnull = false;
+    bool len_known = false;
+    std::int64_t len = 0;
+    std::int64_t max_index = -1;   ///< largest Select index mentioned
+};
+
+ObjFacts facts_for(const Model& model, sym::ExprPool& pool, const Expr* obj) {
+    ObjFacts f;
+    const Expr* isnull_term = pool.is_null(obj);
+    if (auto it = model.values.find(isnull_term); it != model.values.end()) {
+        f.has_any = true;
+        f.isnull_known = true;
+        f.isnull = it->second != 0;
+    }
+    const Expr* len_term = pool.len(obj);
+    if (auto it = model.values.find(len_term); it != model.values.end()) {
+        f.has_any = true;
+        f.len_known = true;
+        f.len = std::max<std::int64_t>(0, it->second);
+    }
+    for (const auto& [term, value] : model.values) {
+        (void)value;
+        // Select(obj, k) of either element sort, and observers of such
+        // selects (Len/IsNull of a str[] element) all imply elements exist.
+        const Expr* t = term;
+        while (t->kind == Kind::Len || t->kind == Kind::IsNull) t = t->child0;
+        if (t->kind == Kind::Select && t->child0 == obj &&
+            t->child1->kind == Kind::IntConst) {
+            f.has_any = true;
+            f.max_index = std::max(f.max_index, t->child1->a);
+        }
+    }
+    return f;
+}
+
+std::int64_t choose_len(const ObjFacts& f, std::int64_t base_len, std::int64_t max_len) {
+    std::int64_t len = f.len_known ? f.len : base_len;
+    len = std::max(len, f.max_index + 1);
+    return std::clamp<std::int64_t>(len, 0, max_len);
+}
+
+StrInput build_str(const Model& model, sym::ExprPool& pool, const Expr* obj,
+                   const StrInput* base, std::int64_t max_len) {
+    const ObjFacts f = facts_for(model, pool, obj);
+    const bool base_null = base == nullptr || base->is_null;
+    const bool isnull = f.isnull_known ? f.isnull : (f.has_any ? false : base_null);
+    if (isnull) return StrInput::null();
+
+    StrInput out;
+    out.is_null = false;
+    const std::int64_t base_len =
+        base_null ? 0 : static_cast<std::int64_t>(base->chars.size());
+    const std::int64_t len = choose_len(f, base_len, max_len);
+    out.chars.resize(static_cast<std::size_t>(len), 'a');
+    for (std::int64_t k = 0; k < len; ++k) {
+        std::int64_t v = (!base_null && k < base_len) ? base->chars[static_cast<std::size_t>(k)]
+                                                      : 'a';
+        const Expr* cell = pool.select(obj, pool.int_const(k), Sort::Int);
+        v = model.get_int(cell, v);
+        out.chars[static_cast<std::size_t>(k)] = v;
+    }
+    return out;
+}
+
+IntArrInput build_int_arr(const Model& model, sym::ExprPool& pool, const Expr* obj,
+                          const IntArrInput* base, std::int64_t max_len) {
+    const ObjFacts f = facts_for(model, pool, obj);
+    const bool base_null = base == nullptr || base->is_null;
+    const bool isnull = f.isnull_known ? f.isnull : (f.has_any ? false : base_null);
+    if (isnull) return IntArrInput::null();
+
+    IntArrInput out;
+    out.is_null = false;
+    const std::int64_t base_len =
+        base_null ? 0 : static_cast<std::int64_t>(base->elems.size());
+    const std::int64_t len = choose_len(f, base_len, max_len);
+    out.elems.resize(static_cast<std::size_t>(len), 0);
+    for (std::int64_t k = 0; k < len; ++k) {
+        std::int64_t v =
+            (!base_null && k < base_len) ? base->elems[static_cast<std::size_t>(k)] : 0;
+        const Expr* cell = pool.select(obj, pool.int_const(k), Sort::Int);
+        v = model.get_int(cell, v);
+        out.elems[static_cast<std::size_t>(k)] = v;
+    }
+    return out;
+}
+
+StrArrInput build_str_arr(const Model& model, sym::ExprPool& pool, const Expr* obj,
+                          const StrArrInput* base, std::int64_t max_len) {
+    const ObjFacts f = facts_for(model, pool, obj);
+    const bool base_null = base == nullptr || base->is_null;
+    const bool isnull = f.isnull_known ? f.isnull : (f.has_any ? false : base_null);
+    if (isnull) return StrArrInput::null();
+
+    StrArrInput out;
+    out.is_null = false;
+    const std::int64_t base_len =
+        base_null ? 0 : static_cast<std::int64_t>(base->elems.size());
+    const std::int64_t len = choose_len(f, base_len, max_len);
+    out.elems.resize(static_cast<std::size_t>(len));
+    for (std::int64_t k = 0; k < len; ++k) {
+        const StrInput* elem_base = (!base_null && k < base_len)
+                                        ? &base->elems[static_cast<std::size_t>(k)]
+                                        : nullptr;
+        const Expr* elem = pool.select(obj, pool.int_const(k), Sort::Obj);
+        const ObjFacts ef = facts_for(model, pool, elem);
+        if (!ef.has_any && elem_base == nullptr) {
+            // Nothing known and no parent value: default to a null element
+            // (the interpreter will surface it as the interesting case).
+            out.elems[static_cast<std::size_t>(k)] = StrInput::null();
+        } else {
+            out.elems[static_cast<std::size_t>(k)] =
+                build_str(model, pool, elem, elem_base, max_len);
+        }
+    }
+    return out;
+}
+
+void seed_str(Model& m, sym::ExprPool& pool, const Expr* obj, const StrInput& s) {
+    m.values[pool.is_null(obj)] = s.is_null ? 1 : 0;
+    if (s.is_null) return;
+    m.values[pool.len(obj)] = static_cast<std::int64_t>(s.chars.size());
+    for (std::size_t k = 0; k < s.chars.size(); ++k) {
+        m.values[pool.select(obj, pool.int_const(static_cast<std::int64_t>(k)),
+                             Sort::Int)] = s.chars[k];
+    }
+}
+
+}  // namespace
+
+exec::Input reconstruct_input(sym::ExprPool& pool, const lang::Method& method,
+                              const solver::Model& model, const exec::Input* base,
+                              std::int64_t max_len) {
+    Input out;
+    out.args.reserve(method.params.size());
+    for (std::size_t i = 0; i < method.params.size(); ++i) {
+        const int pi = static_cast<int>(i);
+        const ArgValue* base_arg =
+            (base && i < base->args.size()) ? &base->args[i] : nullptr;
+        switch (method.params[i].type) {
+            case lang::Type::Int: {
+                const std::int64_t fallback =
+                    base_arg ? std::get<std::int64_t>(*base_arg) : 0;
+                out.args.emplace_back(
+                    model.get_int(pool.param(pi, Sort::Int), fallback));
+                break;
+            }
+            case lang::Type::Bool: {
+                const bool fallback = base_arg ? std::get<bool>(*base_arg) : false;
+                out.args.emplace_back(
+                    model.get_bool(pool.param(pi, Sort::Bool), fallback));
+                break;
+            }
+            case lang::Type::Str: {
+                const StrInput* b = base_arg ? &std::get<StrInput>(*base_arg) : nullptr;
+                out.args.emplace_back(
+                    build_str(model, pool, pool.param(pi, Sort::Obj), b, max_len));
+                break;
+            }
+            case lang::Type::IntArr: {
+                const IntArrInput* b =
+                    base_arg ? &std::get<IntArrInput>(*base_arg) : nullptr;
+                out.args.emplace_back(
+                    build_int_arr(model, pool, pool.param(pi, Sort::Obj), b, max_len));
+                break;
+            }
+            case lang::Type::StrArr: {
+                const StrArrInput* b =
+                    base_arg ? &std::get<StrArrInput>(*base_arg) : nullptr;
+                out.args.emplace_back(
+                    build_str_arr(model, pool, pool.param(pi, Sort::Obj), b, max_len));
+                break;
+            }
+            case lang::Type::Void:
+                PI_CHECK(false, "void parameter");
+        }
+    }
+    return out;
+}
+
+solver::Model seed_model(sym::ExprPool& pool, const lang::Method& method,
+                         const exec::Input& input) {
+    Model m;
+    for (std::size_t i = 0; i < input.args.size(); ++i) {
+        const int pi = static_cast<int>(i);
+        const ArgValue& a = input.args[i];
+        switch (method.params[i].type) {
+            case lang::Type::Int:
+                m.values[pool.param(pi, Sort::Int)] = std::get<std::int64_t>(a);
+                break;
+            case lang::Type::Bool:
+                m.values[pool.param(pi, Sort::Bool)] = std::get<bool>(a) ? 1 : 0;
+                break;
+            case lang::Type::Str:
+                seed_str(m, pool, pool.param(pi, Sort::Obj), std::get<StrInput>(a));
+                break;
+            case lang::Type::IntArr: {
+                const auto& arr = std::get<IntArrInput>(a);
+                const Expr* obj = pool.param(pi, Sort::Obj);
+                m.values[pool.is_null(obj)] = arr.is_null ? 1 : 0;
+                if (arr.is_null) break;
+                m.values[pool.len(obj)] = static_cast<std::int64_t>(arr.elems.size());
+                for (std::size_t k = 0; k < arr.elems.size(); ++k) {
+                    m.values[pool.select(obj,
+                                         pool.int_const(static_cast<std::int64_t>(k)),
+                                         Sort::Int)] = arr.elems[k];
+                }
+                break;
+            }
+            case lang::Type::StrArr: {
+                const auto& arr = std::get<StrArrInput>(a);
+                const Expr* obj = pool.param(pi, Sort::Obj);
+                m.values[pool.is_null(obj)] = arr.is_null ? 1 : 0;
+                if (arr.is_null) break;
+                m.values[pool.len(obj)] = static_cast<std::int64_t>(arr.elems.size());
+                for (std::size_t k = 0; k < arr.elems.size(); ++k) {
+                    const Expr* elem = pool.select(
+                        obj, pool.int_const(static_cast<std::int64_t>(k)), Sort::Obj);
+                    seed_str(m, pool, elem, arr.elems[k]);
+                }
+                break;
+            }
+            case lang::Type::Void:
+                PI_CHECK(false, "void parameter");
+        }
+    }
+    return m;
+}
+
+}  // namespace preinfer::gen

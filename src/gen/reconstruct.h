@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/exec/input.h"
+#include "src/solver/model.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::gen {
+
+/// Builds a concrete method-entry state from a solver model. Terms the
+/// model does not mention keep their value from `base` (typically the
+/// parent test of a generational-search flip), so the new input deviates
+/// from its parent only where the constraints demand. `base == nullptr`
+/// falls back to the all-default input.
+///
+/// Collection sizes: the materialized length is the model's Len value when
+/// present, otherwise grown just enough to cover the mentioned element
+/// indices (clamped to `max_len`).
+[[nodiscard]] exec::Input reconstruct_input(sym::ExprPool& pool,
+                                            const lang::Method& method,
+                                            const solver::Model& model,
+                                            const exec::Input* base,
+                                            std::int64_t max_len = 4096);
+
+/// The inverse direction: a model holding the value of every ground term
+/// (Param / IsNull / Len / Select chains) of `input`. Used to seed the
+/// solver so flipped children stay close to their parent.
+[[nodiscard]] solver::Model seed_model(sym::ExprPool& pool, const lang::Method& method,
+                                       const exec::Input& input);
+
+}  // namespace preinfer::gen

@@ -1,0 +1,65 @@
+#include "src/gen/testsuite.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace preinfer::gen {
+
+std::vector<core::AclId> TestSuite::failing_acls() const {
+    std::vector<core::AclId> out;
+    std::unordered_set<core::AclId, core::AclIdHash> seen;
+    for (const Test& t : tests) {
+        if (t.result.outcome.failing() && seen.insert(t.result.outcome.acl).second)
+            out.push_back(t.result.outcome.acl);
+    }
+    // Deterministic order: by node id, then kind.
+    std::sort(out.begin(), out.end(), [](const core::AclId& a, const core::AclId& b) {
+        if (a.node_id != b.node_id) return a.node_id < b.node_id;
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    });
+    return out;
+}
+
+double TestSuite::block_coverage(int num_blocks) const {
+    if (num_blocks <= 0) return 1.0;
+    std::vector<bool> covered(static_cast<std::size_t>(num_blocks), false);
+    for (const Test& t : tests) {
+        if (!t.usable()) continue;
+        for (std::size_t b = 0; b < t.result.covered_blocks.size() && b < covered.size();
+             ++b) {
+            if (t.result.covered_blocks[b]) covered[b] = true;
+        }
+    }
+    const auto hit = std::count(covered.begin(), covered.end(), true);
+    return static_cast<double>(hit) / static_cast<double>(num_blocks);
+}
+
+AclView view_for(const TestSuite& suite, core::AclId acl) {
+    AclView view;
+    view.acl = acl;
+    for (const Test& t : suite.tests) {
+        if (!t.usable()) continue;
+        if (t.result.outcome.failing() && t.result.outcome.acl == acl) {
+            view.failing.push_back(&t);
+        } else {
+            view.passing.push_back(&t);
+        }
+    }
+    return view;
+}
+
+std::vector<const core::PathCondition*> AclView::failing_pcs() const {
+    std::vector<const core::PathCondition*> out;
+    out.reserve(failing.size());
+    for (const Test* t : failing) out.push_back(&t->result.pc);
+    return out;
+}
+
+std::vector<const core::PathCondition*> AclView::passing_pcs() const {
+    std::vector<const core::PathCondition*> out;
+    out.reserve(passing.size());
+    for (const Test* t : passing) out.push_back(&t->result.pc);
+    return out;
+}
+
+}  // namespace preinfer::gen

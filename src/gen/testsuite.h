@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/exec/input.h"
+#include "src/exec/outcome.h"
+
+namespace preinfer::gen {
+
+/// A generated test: an entry state together with its observed execution.
+struct Test {
+    int id = -1;
+    exec::Input input;
+    exec::RunResult result;
+
+    [[nodiscard]] bool usable() const {
+        return result.outcome.tag != exec::Outcome::Tag::Exhausted;
+    }
+};
+
+/// All tests generated for one method.
+struct TestSuite {
+    std::vector<Test> tests;
+
+    /// Distinct assertion-containing locations observed to fail.
+    [[nodiscard]] std::vector<core::AclId> failing_acls() const;
+
+    /// Fraction of the method's basic blocks covered by usable tests.
+    [[nodiscard]] double block_coverage(int num_blocks) const;
+};
+
+/// Per-ACL partition of a suite (Section V-B): T_fail(e) holds the tests
+/// aborting at e; T_pass(e) holds every other usable test — tests that never
+/// reach e, reach it without violating, or abort at a *different* location
+/// (they never reach e either).
+struct AclView {
+    core::AclId acl;
+    std::vector<const Test*> failing;
+    std::vector<const Test*> passing;
+
+    [[nodiscard]] std::vector<const core::PathCondition*> failing_pcs() const;
+    [[nodiscard]] std::vector<const core::PathCondition*> passing_pcs() const;
+};
+
+[[nodiscard]] AclView view_for(const TestSuite& suite, core::AclId acl);
+
+}  // namespace preinfer::gen

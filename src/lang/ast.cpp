@@ -1,0 +1,112 @@
+#include "src/lang/ast.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+
+const char* type_name(Type t) {
+    switch (t) {
+        case Type::Int: return "int";
+        case Type::Bool: return "bool";
+        case Type::Str: return "str";
+        case Type::IntArr: return "int[]";
+        case Type::StrArr: return "str[]";
+        case Type::Void: return "void";
+    }
+    return "?";
+}
+
+bool is_reference_type(Type t) {
+    return t == Type::Str || t == Type::IntArr || t == Type::StrArr;
+}
+
+bool is_indexable_type(Type t) { return is_reference_type(t); }
+
+Type element_type(Type t) {
+    switch (t) {
+        case Type::Str: return Type::Int;  // code points
+        case Type::IntArr: return Type::Int;
+        case Type::StrArr: return Type::Str;
+        default:
+            PI_CHECK(false, "element_type of non-indexable type");
+            return Type::Void;
+    }
+}
+
+const char* binop_name(BinOp op) {
+    switch (op) {
+        case BinOp::Add: return "+";
+        case BinOp::Sub: return "-";
+        case BinOp::Mul: return "*";
+        case BinOp::Div: return "/";
+        case BinOp::Mod: return "%";
+        case BinOp::Eq: return "==";
+        case BinOp::Ne: return "!=";
+        case BinOp::Lt: return "<";
+        case BinOp::Le: return "<=";
+        case BinOp::Gt: return ">";
+        case BinOp::Ge: return ">=";
+        case BinOp::And: return "&&";
+        case BinOp::Or: return "||";
+    }
+    return "?";
+}
+
+int Method::param_index(std::string_view param_name) const {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i].name == param_name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<std::string> Method::param_names() const {
+    std::vector<std::string> names;
+    names.reserve(params.size());
+    for (const Param& p : params) names.push_back(p.name);
+    return names;
+}
+
+const Method* Program::find(std::string_view name) const {
+    for (const Method& m : methods) {
+        if (m.name == name) return &m;
+    }
+    return nullptr;
+}
+
+const Method* Program::method_containing(int node_id) const {
+    for (const Method& m : methods) {
+        if (m.owns_node(node_id)) return &m;
+    }
+    return nullptr;
+}
+
+void for_each_stmt(const std::vector<StmtPtr>& stmts,
+                   const std::function<void(const StmtNode&)>& fn) {
+    for (const StmtPtr& s : stmts) {
+        fn(*s);
+        for_each_stmt(s->body, fn);
+        for_each_stmt(s->else_body, fn);
+        if (s->step) {
+            fn(*s->step);
+            for_each_stmt(s->step->body, fn);
+            for_each_stmt(s->step->else_body, fn);
+        }
+    }
+}
+
+void for_each_expr(const ExprNode& e, const std::function<void(const ExprNode&)>& fn) {
+    fn(e);
+    if (e.lhs) for_each_expr(*e.lhs, fn);
+    if (e.rhs) for_each_expr(*e.rhs, fn);
+    for (const ExprPtr& a : e.args) for_each_expr(*a, fn);
+}
+
+void for_each_expr_in(const std::vector<StmtPtr>& stmts,
+                      const std::function<void(const ExprNode&)>& fn) {
+    for_each_stmt(stmts, [&fn](const StmtNode& s) {
+        if (s.index) for_each_expr(*s.index, fn);
+        if (s.expr) for_each_expr(*s.expr, fn);
+    });
+}
+
+}  // namespace preinfer::lang

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace preinfer::lang {
+
+/// MiniLang surface types. `Str` is a nullable character sequence (models
+/// C# string); `IntArr`/`StrArr` are nullable arrays. These are exactly the
+/// shapes the paper's subjects exercise.
+enum class Type : std::uint8_t { Int, Bool, Str, IntArr, StrArr, Void };
+
+[[nodiscard]] const char* type_name(Type t);
+[[nodiscard]] bool is_reference_type(Type t);
+[[nodiscard]] bool is_indexable_type(Type t);
+/// Element type of an indexable type (Str -> Int code points).
+[[nodiscard]] Type element_type(Type t);
+
+enum class EKind : std::uint8_t {
+    IntLit, BoolLit, NullLit, VarRef, Binary, Unary, Index, Len, Call,
+};
+
+enum class BinOp : std::uint8_t {
+    Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+[[nodiscard]] const char* binop_name(BinOp op);
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+/// Expression AST node. `node_id` is unique within its Method and doubles
+/// as the branch-site / assertion-location identity during execution.
+struct ExprNode {
+    EKind kind;
+    int node_id = -1;
+    support::SourceLoc loc;
+    Type type = Type::Void;  ///< filled in by the type checker
+
+    std::int64_t int_value = 0;  ///< IntLit
+    bool bool_value = false;     ///< BoolLit
+    std::string name;            ///< VarRef variable / Call builtin name
+
+    BinOp bin = BinOp::Add;  ///< Binary
+    UnOp un = UnOp::Neg;     ///< Unary
+
+    ExprPtr lhs;  ///< Binary left / Unary operand / Index base / Len base
+    ExprPtr rhs;  ///< Binary right / Index subscript
+    std::vector<ExprPtr> args;  ///< Call arguments
+};
+
+enum class SKind : std::uint8_t {
+    VarDecl, Assign, If, While, Return, Assert, Block, Break, Continue,
+};
+
+struct StmtNode;
+using StmtPtr = std::unique_ptr<StmtNode>;
+
+struct StmtNode {
+    SKind kind;
+    int node_id = -1;
+    support::SourceLoc loc;
+
+    std::string name;  ///< VarDecl / Assign target variable
+    ExprPtr index;     ///< Assign: subscript when target is `name[index]`
+    ExprPtr expr;      ///< init / rhs / condition / return value / asserted expr
+
+    std::vector<StmtPtr> body;       ///< If-then / While body / Block statements
+    std::vector<StmtPtr> else_body;  ///< If-else
+    /// While only: a `for` loop's increment, executed after every iteration
+    /// (including ones cut short by `continue`; skipped by `break`).
+    StmtPtr step;
+
+    int block_id = -1;  ///< coverage basic block, filled by label_blocks()
+};
+
+struct Param {
+    std::string name;
+    Type type = Type::Int;
+};
+
+struct Method {
+    std::string name;
+    std::vector<Param> params;
+    Type ret = Type::Void;
+    std::vector<StmtPtr> body;
+    /// Node ids are unique across a whole Program (so assertion locations
+    /// in callees never collide with the caller's); this method's ids fall
+    /// in [first_node_id, first_node_id + num_nodes).
+    int first_node_id = 0;
+    int num_nodes = 0;
+    int num_blocks = 0;  ///< filled by label_blocks()
+
+    [[nodiscard]] bool owns_node(int node_id) const {
+        return node_id >= first_node_id && node_id < first_node_id + num_nodes;
+    }
+    [[nodiscard]] int param_index(std::string_view param_name) const;  ///< -1 if absent
+    [[nodiscard]] std::vector<std::string> param_names() const;
+};
+
+struct Program {
+    std::vector<Method> methods;
+
+    [[nodiscard]] const Method* find(std::string_view name) const;
+    /// The method whose node-id range contains `node_id` (nullptr if none).
+    [[nodiscard]] const Method* method_containing(int node_id) const;
+};
+
+/// Statement-tree walk (pre-order), visiting nested bodies.
+void for_each_stmt(const std::vector<StmtPtr>& stmts,
+                   const std::function<void(const StmtNode&)>& fn);
+
+/// Expression-tree walk (pre-order).
+void for_each_expr(const ExprNode& e, const std::function<void(const ExprNode&)>& fn);
+
+/// Walk every expression appearing anywhere in a statement list.
+void for_each_expr_in(const std::vector<StmtPtr>& stmts,
+                      const std::function<void(const ExprNode&)>& fn);
+
+}  // namespace preinfer::lang

@@ -1,0 +1,95 @@
+#include "src/lang/blocks.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace preinfer::lang {
+
+namespace {
+
+class Labeler {
+public:
+    int run(std::vector<StmtPtr>& body) {
+        current_ = fresh();
+        label_list(body);
+        return next_;
+    }
+
+private:
+    int fresh() { return next_++; }
+
+    void label_list(std::vector<StmtPtr>& stmts) {
+        for (StmtPtr& s : stmts) label_stmt(*s);
+    }
+
+    void label_stmt(StmtNode& s) {
+        s.block_id = current_;
+        switch (s.kind) {
+            case SKind::VarDecl:
+            case SKind::Assign:
+            case SKind::Assert:
+                break;
+            case SKind::Return:
+            case SKind::Break:
+            case SKind::Continue:
+                // Whatever syntactically follows starts a new block (it is
+                // reachable only via another path).
+                current_ = fresh();
+                break;
+            case SKind::If: {
+                const int join = fresh();
+                current_ = fresh();
+                label_list(s.body);
+                if (!s.else_body.empty()) {
+                    current_ = fresh();
+                    label_list(s.else_body);
+                }
+                current_ = join;
+                break;
+            }
+            case SKind::While: {
+                const int exit = fresh();
+                current_ = fresh();
+                label_list(s.body);
+                if (s.step) label_stmt(*s.step);
+                current_ = exit;
+                break;
+            }
+            case SKind::Block:
+                // Transparent grouping: no new block.
+                label_list(s.body);
+                break;
+        }
+    }
+
+    int next_ = 0;
+    int current_ = 0;
+};
+
+}  // namespace
+
+void label_blocks(Method& method) {
+    Labeler labeler;
+    labeler.run(method.body);
+
+    // Join/exit blocks that ended up holding no statement would inflate the
+    // denominator of block coverage; renumber the used ids densely.
+    std::unordered_map<int, int> remap;
+    const std::function<void(std::vector<StmtPtr>&)> renumber =
+        [&](std::vector<StmtPtr>& stmts) {
+            for (StmtPtr& s : stmts) {
+                auto [it, _] = remap.emplace(s->block_id, static_cast<int>(remap.size()));
+                s->block_id = it->second;
+                renumber(s->body);
+                renumber(s->else_body);
+            }
+        };
+    renumber(method.body);
+    method.num_blocks = static_cast<int>(remap.size());
+}
+
+void label_blocks(Program& program) {
+    for (Method& m : program.methods) label_blocks(m);
+}
+
+}  // namespace preinfer::lang

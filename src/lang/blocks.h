@@ -1,0 +1,17 @@
+#pragma once
+
+#include "src/lang/ast.h"
+
+namespace preinfer::lang {
+
+/// Labels every statement with the basic block it belongs to and sets
+/// Method::num_blocks. A block is a maximal straight-line statement run;
+/// each branch arm and loop body starts a fresh block, and so does the code
+/// following an `if`/`while`/`return`. The concolic interpreter marks the
+/// block of every executed statement; block coverage (Table IV) is
+/// |covered| / num_blocks.
+void label_blocks(Method& method);
+
+void label_blocks(Program& program);
+
+}  // namespace preinfer::lang

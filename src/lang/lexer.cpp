@@ -1,0 +1,222 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keyword_table() {
+    static const std::unordered_map<std::string_view, TokKind> table = {
+        {"method", TokKind::KwMethod}, {"var", TokKind::KwVar},
+        {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+        {"while", TokKind::KwWhile},   {"for", TokKind::KwFor},
+        {"return", TokKind::KwReturn}, {"assert", TokKind::KwAssert},
+        {"break", TokKind::KwBreak},   {"continue", TokKind::KwContinue},
+        {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+        {"null", TokKind::KwNull},     {"int", TokKind::KwInt},
+        {"bool", TokKind::KwBool},     {"str", TokKind::KwStr},
+        {"void", TokKind::KwVoid},
+    };
+    return table;
+}
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view src) : src_(src) {}
+
+    [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char advance() {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+    [[nodiscard]] support::SourceLoc loc() const { return {line_, col_}; }
+
+private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto simple = [&out](TokKind k, support::SourceLoc loc) {
+        Token t;
+        t.kind = k;
+        t.loc = loc;
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        const support::SourceLoc loc = cur.loc();
+        const char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n') cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.advance();
+            if (cur.done()) throw support::FrontendError("unterminated block comment", loc);
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::int64_t value = 0;
+            while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+                value = value * 10 + (cur.advance() - '0');
+            }
+            Token t;
+            t.kind = TokKind::IntLit;
+            t.int_value = value;
+            t.loc = loc;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\'') {
+            cur.advance();
+            if (cur.done()) throw support::FrontendError("unterminated character literal", loc);
+            char ch = cur.advance();
+            if (ch == '\\') {
+                if (cur.done()) throw support::FrontendError("unterminated escape", loc);
+                const char esc = cur.advance();
+                switch (esc) {
+                    case 'n': ch = '\n'; break;
+                    case 't': ch = '\t'; break;
+                    case 'r': ch = '\r'; break;
+                    case '\\': ch = '\\'; break;
+                    case '\'': ch = '\''; break;
+                    case '0': ch = '\0'; break;
+                    default:
+                        throw support::FrontendError("unknown escape in character literal", loc);
+                }
+            }
+            if (cur.peek() != '\'')
+                throw support::FrontendError("unterminated character literal", loc);
+            cur.advance();
+            Token t;
+            t.kind = TokKind::IntLit;
+            t.int_value = static_cast<unsigned char>(ch);
+            t.loc = loc;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_') {
+                text += cur.advance();
+            }
+            Token t;
+            t.loc = loc;
+            if (auto it = keyword_table().find(text); it != keyword_table().end()) {
+                t.kind = it->second;
+            } else {
+                t.kind = TokKind::Ident;
+                t.text = std::move(text);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        cur.advance();
+        switch (c) {
+            case '(': simple(TokKind::LParen, loc); break;
+            case ')': simple(TokKind::RParen, loc); break;
+            case '{': simple(TokKind::LBrace, loc); break;
+            case '}': simple(TokKind::RBrace, loc); break;
+            case '[': simple(TokKind::LBracket, loc); break;
+            case ']': simple(TokKind::RBracket, loc); break;
+            case ',': simple(TokKind::Comma, loc); break;
+            case ';': simple(TokKind::Semi, loc); break;
+            case ':': simple(TokKind::Colon, loc); break;
+            case '.': simple(TokKind::Dot, loc); break;
+            case '+': simple(TokKind::Plus, loc); break;
+            case '-': simple(TokKind::Minus, loc); break;
+            case '*': simple(TokKind::Star, loc); break;
+            case '/': simple(TokKind::Slash, loc); break;
+            case '%': simple(TokKind::Percent, loc); break;
+            case '=':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    simple(TokKind::EqEq, loc);
+                } else {
+                    simple(TokKind::Assign, loc);
+                }
+                break;
+            case '!':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    simple(TokKind::BangEq, loc);
+                } else {
+                    simple(TokKind::Bang, loc);
+                }
+                break;
+            case '<':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    simple(TokKind::Le, loc);
+                } else {
+                    simple(TokKind::Lt, loc);
+                }
+                break;
+            case '>':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    simple(TokKind::Ge, loc);
+                } else {
+                    simple(TokKind::Gt, loc);
+                }
+                break;
+            case '&':
+                if (cur.peek() == '&') {
+                    cur.advance();
+                    simple(TokKind::AmpAmp, loc);
+                } else {
+                    throw support::FrontendError("expected '&&'", loc);
+                }
+                break;
+            case '|':
+                if (cur.peek() == '|') {
+                    cur.advance();
+                    simple(TokKind::PipePipe, loc);
+                } else {
+                    throw support::FrontendError("expected '||'", loc);
+                }
+                break;
+            default:
+                throw support::FrontendError(std::string("unexpected character '") + c + "'", loc);
+        }
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.loc = cur.loc();
+    out.push_back(std::move(end));
+    return out;
+}
+
+}  // namespace preinfer::lang

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+
+namespace preinfer::lang {
+
+/// Tokenizes MiniLang source. Supports `//` line comments and `/* */` block
+/// comments and single-quoted character literals ('a', ' ') which lex as
+/// integer literals holding the code point.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace preinfer::lang

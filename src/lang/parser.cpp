@@ -1,0 +1,473 @@
+#include "src/lang/parser.h"
+
+#include "src/lang/lexer.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program parse_unit() {
+        Program prog;
+        while (!at(TokKind::End)) {
+            prog.methods.push_back(parse_method());
+        }
+        return prog;
+    }
+
+private:
+    // --- token plumbing ---------------------------------------------------
+    [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+    [[nodiscard]] bool at(TokKind k) const { return peek().kind == k; }
+    const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+    bool accept(TokKind k) {
+        if (!at(k)) return false;
+        advance();
+        return true;
+    }
+    const Token& expect(TokKind k, const char* context) {
+        if (!at(k)) {
+            throw support::FrontendError(std::string("expected ") + tok_kind_name(k) +
+                                             " in " + context + ", found " +
+                                             tok_kind_name(peek().kind),
+                                         peek().loc);
+        }
+        return advance();
+    }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw support::FrontendError(message, peek().loc);
+    }
+
+    int fresh_id() { return next_id_++; }
+
+    ExprPtr make_expr(EKind kind, support::SourceLoc loc) {
+        auto e = std::make_unique<ExprNode>();
+        e->kind = kind;
+        e->node_id = fresh_id();
+        e->loc = loc;
+        return e;
+    }
+
+    StmtPtr make_stmt(SKind kind, support::SourceLoc loc) {
+        auto s = std::make_unique<StmtNode>();
+        s->kind = kind;
+        s->node_id = fresh_id();
+        s->loc = loc;
+        return s;
+    }
+
+    // --- declarations -----------------------------------------------------
+    Method parse_method() {
+        // Node ids keep counting across methods so that ids (and thus
+        // assertion-location identities) are unique program-wide.
+        const int first_id = next_id_;
+        expect(TokKind::KwMethod, "method declaration");
+        Method m;
+        m.first_node_id = first_id;
+        m.name = expect(TokKind::Ident, "method name").text;
+        expect(TokKind::LParen, "parameter list");
+        if (!at(TokKind::RParen)) {
+            do {
+                Param p;
+                p.name = expect(TokKind::Ident, "parameter name").text;
+                expect(TokKind::Colon, "parameter type");
+                p.type = parse_type();
+                m.params.push_back(std::move(p));
+            } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen, "parameter list");
+        if (accept(TokKind::Colon)) {
+            m.ret = parse_type(/*allow_void=*/true);
+        }
+        m.body = parse_block();
+        m.num_nodes = next_id_ - first_id;
+        return m;
+    }
+
+    Type parse_type(bool allow_void = false) {
+        const Token& t = advance();
+        Type base;
+        switch (t.kind) {
+            case TokKind::KwInt: base = Type::Int; break;
+            case TokKind::KwBool: base = Type::Bool; break;
+            case TokKind::KwStr: base = Type::Str; break;
+            case TokKind::KwVoid:
+                if (!allow_void)
+                    throw support::FrontendError("'void' only allowed as return type", t.loc);
+                return Type::Void;
+            default:
+                throw support::FrontendError(
+                    std::string("expected a type, found ") + tok_kind_name(t.kind), t.loc);
+        }
+        if (accept(TokKind::LBracket)) {
+            expect(TokKind::RBracket, "array type");
+            switch (base) {
+                case Type::Int: return Type::IntArr;
+                case Type::Str: return Type::StrArr;
+                default:
+                    throw support::FrontendError("only int[] and str[] array types exist", t.loc);
+            }
+        }
+        return base;
+    }
+
+    // --- statements -------------------------------------------------------
+    std::vector<StmtPtr> parse_block() {
+        expect(TokKind::LBrace, "block");
+        std::vector<StmtPtr> stmts;
+        while (!at(TokKind::RBrace)) {
+            if (at(TokKind::End)) fail("unterminated block");
+            stmts.push_back(parse_stmt());
+        }
+        expect(TokKind::RBrace, "block");
+        return stmts;
+    }
+
+    StmtPtr parse_stmt() {
+        switch (peek().kind) {
+            case TokKind::KwVar: return parse_var_decl();
+            case TokKind::KwIf: return parse_if();
+            case TokKind::KwWhile: return parse_while();
+            case TokKind::KwFor: return parse_for();
+            case TokKind::KwReturn: return parse_return();
+            case TokKind::KwAssert: return parse_assert();
+            case TokKind::KwBreak: {
+                const support::SourceLoc loc = advance().loc;
+                StmtPtr s = make_stmt(SKind::Break, loc);
+                expect(TokKind::Semi, "break statement");
+                return s;
+            }
+            case TokKind::KwContinue: {
+                const support::SourceLoc loc = advance().loc;
+                StmtPtr s = make_stmt(SKind::Continue, loc);
+                expect(TokKind::Semi, "continue statement");
+                return s;
+            }
+            case TokKind::LBrace: {
+                StmtPtr s = make_stmt(SKind::Block, peek().loc);
+                s->body = parse_block();
+                return s;
+            }
+            case TokKind::Ident: return parse_assign();
+            default:
+                fail(std::string("expected a statement, found ") + tok_kind_name(peek().kind));
+        }
+    }
+
+    StmtPtr parse_var_decl() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwVar, "variable declaration");
+        StmtPtr s = make_stmt(SKind::VarDecl, loc);
+        s->name = expect(TokKind::Ident, "variable declaration").text;
+        expect(TokKind::Assign, "variable declaration");
+        s->expr = parse_expr();
+        expect(TokKind::Semi, "variable declaration");
+        return s;
+    }
+
+    /// `x = e;` or `a[i] = e;`
+    StmtPtr parse_assign_no_semi() {
+        const support::SourceLoc loc = peek().loc;
+        StmtPtr s = make_stmt(SKind::Assign, loc);
+        s->name = expect(TokKind::Ident, "assignment").text;
+        if (accept(TokKind::LBracket)) {
+            s->index = parse_expr();
+            expect(TokKind::RBracket, "assignment subscript");
+        }
+        expect(TokKind::Assign, "assignment");
+        s->expr = parse_expr();
+        return s;
+    }
+
+    StmtPtr parse_assign() {
+        StmtPtr s = parse_assign_no_semi();
+        expect(TokKind::Semi, "assignment");
+        return s;
+    }
+
+    StmtPtr parse_if() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwIf, "if statement");
+        StmtPtr s = make_stmt(SKind::If, loc);
+        expect(TokKind::LParen, "if condition");
+        s->expr = parse_expr();
+        expect(TokKind::RParen, "if condition");
+        s->body = parse_block();
+        if (accept(TokKind::KwElse)) {
+            if (at(TokKind::KwIf)) {
+                s->else_body.push_back(parse_if());
+            } else {
+                s->else_body = parse_block();
+            }
+        }
+        return s;
+    }
+
+    StmtPtr parse_while() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwWhile, "while statement");
+        StmtPtr s = make_stmt(SKind::While, loc);
+        expect(TokKind::LParen, "while condition");
+        s->expr = parse_expr();
+        expect(TokKind::RParen, "while condition");
+        s->body = parse_block();
+        return s;
+    }
+
+    /// `for (init; cond; step) body` desugars into
+    /// `{ init; while (cond) step-after-iteration { body } }` — the loop
+    /// node carries the step so `continue` still increments (the branch
+    /// structure Pex sees after compilation). The init may be omitted:
+    /// `for (; cond; step)`.
+    StmtPtr parse_for() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwFor, "for statement");
+        expect(TokKind::LParen, "for header");
+
+        StmtPtr init;
+        if (at(TokKind::KwVar)) {
+            init = make_stmt(SKind::VarDecl, peek().loc);
+            advance();
+            init->name = expect(TokKind::Ident, "for initializer").text;
+            expect(TokKind::Assign, "for initializer");
+            init->expr = parse_expr();
+        } else if (!at(TokKind::Semi)) {
+            init = parse_assign_no_semi_for_header();
+        }
+        expect(TokKind::Semi, "for header");
+
+        StmtPtr loop = make_stmt(SKind::While, loc);
+        loop->expr = parse_expr();
+        expect(TokKind::Semi, "for header");
+
+        loop->step = parse_assign_no_semi_for_header();
+        expect(TokKind::RParen, "for header");
+        loop->body = parse_block();
+
+        if (!init) return loop;
+        StmtPtr outer = make_stmt(SKind::Block, loc);
+        outer->body.push_back(std::move(init));
+        outer->body.push_back(std::move(loop));
+        return outer;
+    }
+
+    StmtPtr parse_assign_no_semi_for_header() {
+        if (!at(TokKind::Ident)) fail("expected assignment in for header");
+        return parse_assign_no_semi();
+    }
+
+    StmtPtr parse_return() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwReturn, "return statement");
+        StmtPtr s = make_stmt(SKind::Return, loc);
+        if (!at(TokKind::Semi)) s->expr = parse_expr();
+        expect(TokKind::Semi, "return statement");
+        return s;
+    }
+
+    StmtPtr parse_assert() {
+        const support::SourceLoc loc = peek().loc;
+        expect(TokKind::KwAssert, "assert statement");
+        StmtPtr s = make_stmt(SKind::Assert, loc);
+        expect(TokKind::LParen, "assert statement");
+        s->expr = parse_expr();
+        expect(TokKind::RParen, "assert statement");
+        expect(TokKind::Semi, "assert statement");
+        return s;
+    }
+
+    // --- expressions (precedence climbing) ---------------------------------
+    ExprPtr parse_expr() { return parse_or(); }
+
+    ExprPtr binary(BinOp op, support::SourceLoc loc, ExprPtr lhs, ExprPtr rhs) {
+        ExprPtr e = make_expr(EKind::Binary, loc);
+        e->bin = op;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        return e;
+    }
+
+    ExprPtr parse_or() {
+        ExprPtr lhs = parse_and();
+        while (at(TokKind::PipePipe)) {
+            const support::SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::Or, loc, std::move(lhs), parse_and());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_and() {
+        ExprPtr lhs = parse_not();
+        while (at(TokKind::AmpAmp)) {
+            const support::SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::And, loc, std::move(lhs), parse_not());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_not() {
+        if (at(TokKind::Bang)) {
+            const support::SourceLoc loc = advance().loc;
+            ExprPtr e = make_expr(EKind::Unary, loc);
+            e->un = UnOp::Not;
+            e->lhs = parse_not();
+            return e;
+        }
+        return parse_cmp();
+    }
+
+    ExprPtr parse_cmp() {
+        ExprPtr lhs = parse_add();
+        BinOp op;
+        switch (peek().kind) {
+            case TokKind::EqEq: op = BinOp::Eq; break;
+            case TokKind::BangEq: op = BinOp::Ne; break;
+            case TokKind::Lt: op = BinOp::Lt; break;
+            case TokKind::Le: op = BinOp::Le; break;
+            case TokKind::Gt: op = BinOp::Gt; break;
+            case TokKind::Ge: op = BinOp::Ge; break;
+            default: return lhs;
+        }
+        const support::SourceLoc loc = advance().loc;
+        return binary(op, loc, std::move(lhs), parse_add());
+    }
+
+    ExprPtr parse_add() {
+        ExprPtr lhs = parse_mul();
+        while (at(TokKind::Plus) || at(TokKind::Minus)) {
+            const BinOp op = at(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+            const support::SourceLoc loc = advance().loc;
+            lhs = binary(op, loc, std::move(lhs), parse_mul());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_mul() {
+        ExprPtr lhs = parse_unary();
+        while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+            BinOp op = BinOp::Mul;
+            if (at(TokKind::Slash)) op = BinOp::Div;
+            if (at(TokKind::Percent)) op = BinOp::Mod;
+            const support::SourceLoc loc = advance().loc;
+            lhs = binary(op, loc, std::move(lhs), parse_unary());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_unary() {
+        if (at(TokKind::Minus)) {
+            const support::SourceLoc loc = advance().loc;
+            ExprPtr e = make_expr(EKind::Unary, loc);
+            e->un = UnOp::Neg;
+            e->lhs = parse_unary();
+            return e;
+        }
+        return parse_postfix();
+    }
+
+    ExprPtr parse_postfix() {
+        ExprPtr e = parse_primary();
+        for (;;) {
+            if (at(TokKind::LBracket)) {
+                const support::SourceLoc loc = advance().loc;
+                ExprPtr idx = make_expr(EKind::Index, loc);
+                idx->lhs = std::move(e);
+                idx->rhs = parse_expr();
+                expect(TokKind::RBracket, "index expression");
+                e = std::move(idx);
+            } else if (at(TokKind::Dot)) {
+                const support::SourceLoc loc = advance().loc;
+                const Token& field = expect(TokKind::Ident, "member access");
+                if (field.text != "len" && field.text != "length") {
+                    throw support::FrontendError("only '.len' / '.length' member exists",
+                                                 field.loc);
+                }
+                ExprPtr len = make_expr(EKind::Len, loc);
+                len->lhs = std::move(e);
+                e = std::move(len);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr parse_primary() {
+        const Token& t = peek();
+        switch (t.kind) {
+            case TokKind::IntLit: {
+                advance();
+                ExprPtr e = make_expr(EKind::IntLit, t.loc);
+                e->int_value = t.int_value;
+                return e;
+            }
+            case TokKind::KwTrue:
+            case TokKind::KwFalse: {
+                advance();
+                ExprPtr e = make_expr(EKind::BoolLit, t.loc);
+                e->bool_value = t.kind == TokKind::KwTrue;
+                return e;
+            }
+            case TokKind::KwNull: {
+                advance();
+                return make_expr(EKind::NullLit, t.loc);
+            }
+            case TokKind::LParen: {
+                advance();
+                ExprPtr e = parse_expr();
+                expect(TokKind::RParen, "parenthesized expression");
+                return e;
+            }
+            case TokKind::Ident: {
+                advance();
+                if (at(TokKind::LParen)) {
+                    ExprPtr call = make_expr(EKind::Call, t.loc);
+                    call->name = t.text;
+                    advance();
+                    if (!at(TokKind::RParen)) {
+                        do {
+                            call->args.push_back(parse_expr());
+                        } while (accept(TokKind::Comma));
+                    }
+                    expect(TokKind::RParen, "call");
+                    return call;
+                }
+                ExprPtr e = make_expr(EKind::VarRef, t.loc);
+                e->name = t.text;
+                return e;
+            }
+            default:
+                fail(std::string("expected an expression, found ") + tok_kind_name(t.kind));
+        }
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    int next_id_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+    Parser parser(lex(source));
+    return parser.parse_unit();
+}
+
+Program parse_single_method(std::string_view source) {
+    Program prog = parse_program(source);
+    if (prog.methods.size() != 1) {
+        throw support::FrontendError(
+            "expected exactly one method, found " + std::to_string(prog.methods.size()),
+            {1, 1});
+    }
+    return prog;
+}
+
+}  // namespace preinfer::lang

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+
+namespace preinfer::lang {
+
+/// Parses a MiniLang compilation unit:
+///
+///   method name(p: int, s: str[]) : int { ... }
+///
+/// Statements: `var x = e;`, assignment (`x = e;`, `a[i] = e;`), `if/else`,
+/// `while`, `for(init; cond; step)` (desugared into a block + while),
+/// `return e;`, `assert(e);`.
+/// Expressions: `+ - * / %`, comparisons, `&& || !` (short-circuit),
+/// indexing `a[i]`, `.len`/`.length`, `null`, char literals, and the
+/// builtins `iswhitespace(e)` and `newintarray(n)`.
+///
+/// Throws support::FrontendError on syntax errors. The returned program is
+/// parsed but not yet type-checked (see type_check.h).
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Convenience: parse a unit that must contain exactly one method.
+[[nodiscard]] Program parse_single_method(std::string_view source);
+
+}  // namespace preinfer::lang

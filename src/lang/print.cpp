@@ -1,0 +1,218 @@
+#include "src/lang/print.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+
+namespace {
+
+int precedence(const ExprNode& e) {
+    switch (e.kind) {
+        case EKind::Binary:
+            switch (e.bin) {
+                case BinOp::Or: return 1;
+                case BinOp::And: return 2;
+                case BinOp::Eq: case BinOp::Ne: case BinOp::Lt:
+                case BinOp::Le: case BinOp::Gt: case BinOp::Ge: return 3;
+                case BinOp::Add: case BinOp::Sub: return 4;
+                case BinOp::Mul: case BinOp::Div: case BinOp::Mod: return 5;
+            }
+            return 0;
+        case EKind::Unary: return 6;
+        default: return 7;
+    }
+}
+
+void render_expr(const ExprNode& e, std::string& out);
+
+void render_child(const ExprNode& child, int parent_prec, std::string& out) {
+    const bool parens = precedence(child) < parent_prec;
+    if (parens) out += '(';
+    render_expr(child, out);
+    if (parens) out += ')';
+}
+
+void render_expr(const ExprNode& e, std::string& out) {
+    switch (e.kind) {
+        case EKind::IntLit:
+            out += std::to_string(e.int_value);
+            return;
+        case EKind::BoolLit:
+            out += e.bool_value ? "true" : "false";
+            return;
+        case EKind::NullLit:
+            out += "null";
+            return;
+        case EKind::VarRef:
+            out += e.name;
+            return;
+        case EKind::Unary:
+            out += e.un == UnOp::Neg ? "-" : "!";
+            render_child(*e.lhs, precedence(e) + 1, out);
+            return;
+        case EKind::Binary: {
+            const int prec = precedence(e);
+            render_child(*e.lhs, prec, out);
+            out += ' ';
+            out += binop_name(e.bin);
+            out += ' ';
+            render_child(*e.rhs, prec + 1, out);
+            return;
+        }
+        case EKind::Index:
+            render_child(*e.lhs, 7, out);
+            out += '[';
+            render_expr(*e.rhs, out);
+            out += ']';
+            return;
+        case EKind::Len:
+            render_child(*e.lhs, 7, out);
+            out += ".len";
+            return;
+        case EKind::Call: {
+            out += e.name;
+            out += '(';
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                if (i > 0) out += ", ";
+                render_expr(*e.args[i], out);
+            }
+            out += ')';
+            return;
+        }
+    }
+    PI_CHECK(false, "unhandled expression kind");
+}
+
+void indent(int depth, std::string& out) { out.append(static_cast<std::size_t>(depth) * 4, ' '); }
+
+void render_block(const std::vector<StmtPtr>& stmts, int depth, std::string& out);
+
+void render_stmt(const StmtNode& s, int depth, std::string& out) {
+    indent(depth, out);
+    switch (s.kind) {
+        case SKind::VarDecl:
+            out += "var " + s.name + " = ";
+            render_expr(*s.expr, out);
+            out += ";\n";
+            return;
+        case SKind::Assign:
+            out += s.name;
+            if (s.index) {
+                out += '[';
+                render_expr(*s.index, out);
+                out += ']';
+            }
+            out += " = ";
+            render_expr(*s.expr, out);
+            out += ";\n";
+            return;
+        case SKind::If:
+            out += "if (";
+            render_expr(*s.expr, out);
+            out += ") {\n";
+            render_block(s.body, depth + 1, out);
+            indent(depth, out);
+            out += "}";
+            if (!s.else_body.empty()) {
+                out += " else {\n";
+                render_block(s.else_body, depth + 1, out);
+                indent(depth, out);
+                out += "}";
+            }
+            out += '\n';
+            return;
+        case SKind::While:
+            if (s.step) {
+                // Step-carrying loops print in `for` form so `continue`
+                // semantics survive a round trip.
+                out += "for (; ";
+                render_expr(*s.expr, out);
+                out += "; ";
+                out += s.step->name;
+                if (s.step->index) {
+                    out += '[';
+                    render_expr(*s.step->index, out);
+                    out += ']';
+                }
+                out += " = ";
+                render_expr(*s.step->expr, out);
+                out += ") {\n";
+            } else {
+                out += "while (";
+                render_expr(*s.expr, out);
+                out += ") {\n";
+            }
+            render_block(s.body, depth + 1, out);
+            indent(depth, out);
+            out += "}\n";
+            return;
+        case SKind::Return:
+            out += "return";
+            if (s.expr) {
+                out += ' ';
+                render_expr(*s.expr, out);
+            }
+            out += ";\n";
+            return;
+        case SKind::Assert:
+            out += "assert(";
+            render_expr(*s.expr, out);
+            out += ");\n";
+            return;
+        case SKind::Block:
+            out += "{\n";
+            render_block(s.body, depth + 1, out);
+            indent(depth, out);
+            out += "}\n";
+            return;
+        case SKind::Break:
+            out += "break;\n";
+            return;
+        case SKind::Continue:
+            out += "continue;\n";
+            return;
+    }
+    PI_CHECK(false, "unhandled statement kind");
+}
+
+void render_block(const std::vector<StmtPtr>& stmts, int depth, std::string& out) {
+    for (const StmtPtr& s : stmts) render_stmt(*s, depth, out);
+}
+
+}  // namespace
+
+std::string to_string(const ExprNode& e) {
+    std::string out;
+    render_expr(e, out);
+    return out;
+}
+
+std::string to_string(const Method& method) {
+    std::string out = "method " + method.name + "(";
+    for (std::size_t i = 0; i < method.params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += method.params[i].name;
+        out += ": ";
+        out += type_name(method.params[i].type);
+    }
+    out += ")";
+    if (method.ret != Type::Void) {
+        out += " : ";
+        out += type_name(method.ret);
+    }
+    out += " {\n";
+    render_block(method.body, 1, out);
+    out += "}\n";
+    return out;
+}
+
+std::string to_string(const Program& program) {
+    std::string out;
+    for (std::size_t i = 0; i < program.methods.size(); ++i) {
+        if (i > 0) out += '\n';
+        out += to_string(program.methods[i]);
+    }
+    return out;
+}
+
+}  // namespace preinfer::lang

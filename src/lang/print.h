@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace preinfer::lang {
+
+/// Renders an expression in MiniLang surface syntax.
+[[nodiscard]] std::string to_string(const ExprNode& e);
+
+/// Renders a method (or a whole program) in MiniLang surface syntax. The
+/// output re-parses to an equivalent AST (`for` loops print in their
+/// desugared block+while form), which the round-trip tests rely on.
+[[nodiscard]] std::string to_string(const Method& method);
+[[nodiscard]] std::string to_string(const Program& program);
+
+}  // namespace preinfer::lang

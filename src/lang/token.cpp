@@ -1,0 +1,56 @@
+#include "src/lang/token.h"
+
+namespace preinfer::lang {
+
+const char* tok_kind_name(TokKind k) {
+    switch (k) {
+        case TokKind::End: return "end of input";
+        case TokKind::Ident: return "identifier";
+        case TokKind::IntLit: return "integer literal";
+        case TokKind::KwMethod: return "'method'";
+        case TokKind::KwVar: return "'var'";
+        case TokKind::KwIf: return "'if'";
+        case TokKind::KwElse: return "'else'";
+        case TokKind::KwWhile: return "'while'";
+        case TokKind::KwFor: return "'for'";
+        case TokKind::KwReturn: return "'return'";
+        case TokKind::KwAssert: return "'assert'";
+        case TokKind::KwBreak: return "'break'";
+        case TokKind::KwContinue: return "'continue'";
+        case TokKind::KwTrue: return "'true'";
+        case TokKind::KwFalse: return "'false'";
+        case TokKind::KwNull: return "'null'";
+        case TokKind::KwInt: return "'int'";
+        case TokKind::KwBool: return "'bool'";
+        case TokKind::KwStr: return "'str'";
+        case TokKind::KwVoid: return "'void'";
+        case TokKind::LParen: return "'('";
+        case TokKind::RParen: return "')'";
+        case TokKind::LBrace: return "'{'";
+        case TokKind::RBrace: return "'}'";
+        case TokKind::LBracket: return "'['";
+        case TokKind::RBracket: return "']'";
+        case TokKind::Comma: return "','";
+        case TokKind::Semi: return "';'";
+        case TokKind::Colon: return "':'";
+        case TokKind::Dot: return "'.'";
+        case TokKind::Assign: return "'='";
+        case TokKind::Plus: return "'+'";
+        case TokKind::Minus: return "'-'";
+        case TokKind::Star: return "'*'";
+        case TokKind::Slash: return "'/'";
+        case TokKind::Percent: return "'%'";
+        case TokKind::Bang: return "'!'";
+        case TokKind::AmpAmp: return "'&&'";
+        case TokKind::PipePipe: return "'||'";
+        case TokKind::EqEq: return "'=='";
+        case TokKind::BangEq: return "'!='";
+        case TokKind::Lt: return "'<'";
+        case TokKind::Le: return "'<='";
+        case TokKind::Gt: return "'>'";
+        case TokKind::Ge: return "'>='";
+    }
+    return "?";
+}
+
+}  // namespace preinfer::lang

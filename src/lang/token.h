@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace preinfer::lang {
+
+enum class TokKind : std::uint8_t {
+    End,
+    Ident,
+    IntLit,
+    // Keywords
+    KwMethod, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwAssert,
+    KwBreak, KwContinue,
+    KwTrue, KwFalse, KwNull,
+    KwInt, KwBool, KwStr, KwVoid,
+    // Punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Colon, Dot,
+    Assign,                         // =
+    Plus, Minus, Star, Slash, Percent,
+    Bang,                           // !
+    AmpAmp, PipePipe,
+    EqEq, BangEq, Lt, Le, Gt, Ge,
+};
+
+[[nodiscard]] const char* tok_kind_name(TokKind k);
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;        ///< identifier spelling
+    std::int64_t int_value = 0;
+    support::SourceLoc loc;
+};
+
+}  // namespace preinfer::lang

@@ -1,0 +1,295 @@
+#include "src/lang/type_check.h"
+
+#include <unordered_map>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+
+namespace {
+
+class Checker {
+public:
+    Checker(Method& m, const Program* program) : method_(m), program_(program) {}
+
+    void run() {
+        scopes_.emplace_back();
+        for (const Param& p : method_.params) {
+            if (p.type == Type::Void)
+                throw support::FrontendError("parameter '" + p.name + "' cannot be void", {});
+            if (!declare(p.name, p.type))
+                throw support::FrontendError("duplicate parameter '" + p.name + "'", {});
+        }
+        check_block(method_.body);
+        scopes_.pop_back();
+    }
+
+private:
+    [[noreturn]] static void fail(const std::string& message, support::SourceLoc loc) {
+        throw support::FrontendError(message, loc);
+    }
+
+    bool declare(const std::string& name, Type t) {
+        return scopes_.back().emplace(name, t).second;
+    }
+
+    [[nodiscard]] const Type* lookup(const std::string& name) const {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            if (auto f = it->find(name); f != it->end()) return &f->second;
+        }
+        return nullptr;
+    }
+
+    void check_block(const std::vector<StmtPtr>& stmts) {
+        scopes_.emplace_back();
+        for (const StmtPtr& s : stmts) check_stmt(*s);
+        scopes_.pop_back();
+    }
+
+    void check_stmt(StmtNode& s) {
+        switch (s.kind) {
+            case SKind::VarDecl: {
+                const Type t = check_expr(*s.expr);
+                if (t == Type::Void) {
+                    if (s.expr->kind == EKind::NullLit)
+                        fail("cannot infer type of 'var " + s.name + " = null'", s.loc);
+                    fail("void initializer for '" + s.name + "'", s.loc);
+                }
+                if (!declare(s.name, t))
+                    fail("redeclaration of '" + s.name + "'", s.loc);
+                break;
+            }
+            case SKind::Assign: {
+                const Type* target = lookup(s.name);
+                if (!target) fail("assignment to undeclared variable '" + s.name + "'", s.loc);
+                if (s.index) {
+                    if (!is_indexable_type(*target))
+                        fail("cannot index variable '" + s.name + "' of type " +
+                                 type_name(*target),
+                             s.loc);
+                    if (*target == Type::Str)
+                        fail("str is immutable; cannot assign to its elements", s.loc);
+                    require(*s.index, Type::Int, "index");
+                    require_assignable(*s.expr, element_type(*target));
+                } else {
+                    require_assignable(*s.expr, *target);
+                }
+                break;
+            }
+            case SKind::If:
+                require(*s.expr, Type::Bool, "if condition");
+                check_block(s.body);
+                check_block(s.else_body);
+                break;
+            case SKind::While:
+                require(*s.expr, Type::Bool, "while condition");
+                ++loop_depth_;
+                check_block(s.body);
+                if (s.step) check_stmt(*s.step);
+                --loop_depth_;
+                break;
+            case SKind::Return:
+                if (method_.ret == Type::Void) {
+                    if (s.expr) fail("void method cannot return a value", s.loc);
+                } else {
+                    if (!s.expr) fail("missing return value", s.loc);
+                    require_assignable(*s.expr, method_.ret);
+                }
+                break;
+            case SKind::Assert:
+                require(*s.expr, Type::Bool, "assert condition");
+                break;
+            case SKind::Block:
+                check_block(s.body);
+                break;
+            case SKind::Break:
+                if (loop_depth_ == 0) fail("'break' outside a loop", s.loc);
+                break;
+            case SKind::Continue:
+                if (loop_depth_ == 0) fail("'continue' outside a loop", s.loc);
+                break;
+        }
+    }
+
+    void require(ExprNode& e, Type expected, const char* what) {
+        const Type t = check_expr(e);
+        if (t != expected) {
+            fail(std::string(what) + " must be " + type_name(expected) + ", found " +
+                     type_name(t),
+                 e.loc);
+        }
+    }
+
+    /// Checks `e` against a known target type, allowing `null` for
+    /// reference targets (the null literal adopts the target type).
+    void require_assignable(ExprNode& e, Type target) {
+        if (e.kind == EKind::NullLit) {
+            if (!is_reference_type(target))
+                fail(std::string("null cannot be assigned to ") + type_name(target), e.loc);
+            e.type = target;
+            return;
+        }
+        const Type t = check_expr(e);
+        if (t != target) {
+            fail(std::string("expected ") + type_name(target) + ", found " + type_name(t),
+                 e.loc);
+        }
+    }
+
+    Type check_expr(ExprNode& e) {
+        e.type = infer_expr(e);
+        return e.type;
+    }
+
+    Type infer_expr(ExprNode& e) {
+        switch (e.kind) {
+            case EKind::IntLit: return Type::Int;
+            case EKind::BoolLit: return Type::Bool;
+            case EKind::NullLit:
+                // Stand-alone null only appears in comparison / assignment
+                // contexts, which assign its type; reaching here means the
+                // context could not determine one.
+                fail("null literal in a context where its type cannot be inferred", e.loc);
+            case EKind::VarRef: {
+                const Type* t = lookup(e.name);
+                if (!t) fail("use of undeclared variable '" + e.name + "'", e.loc);
+                return *t;
+            }
+            case EKind::Unary:
+                if (e.un == UnOp::Neg) {
+                    require(*e.lhs, Type::Int, "operand of unary '-'");
+                    return Type::Int;
+                }
+                require(*e.lhs, Type::Bool, "operand of '!'");
+                return Type::Bool;
+            case EKind::Binary: return infer_binary(e);
+            case EKind::Index: {
+                const Type base = check_expr(*e.lhs);
+                if (!is_indexable_type(base))
+                    fail(std::string("cannot index a value of type ") + type_name(base), e.loc);
+                require(*e.rhs, Type::Int, "index");
+                return element_type(base);
+            }
+            case EKind::Len: {
+                const Type base = check_expr(*e.lhs);
+                if (!is_indexable_type(base))
+                    fail(std::string("'.len' applied to ") + type_name(base), e.loc);
+                return Type::Int;
+            }
+            case EKind::Call: return infer_call(e);
+        }
+        PI_CHECK(false, "unhandled expression kind");
+    }
+
+    Type infer_binary(ExprNode& e) {
+        switch (e.bin) {
+            case BinOp::Add: case BinOp::Sub: case BinOp::Mul:
+            case BinOp::Div: case BinOp::Mod:
+                require(*e.lhs, Type::Int, "arithmetic operand");
+                require(*e.rhs, Type::Int, "arithmetic operand");
+                return Type::Int;
+            case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+                require(*e.lhs, Type::Int, "comparison operand");
+                require(*e.rhs, Type::Int, "comparison operand");
+                return Type::Bool;
+            case BinOp::And: case BinOp::Or:
+                require(*e.lhs, Type::Bool, "logical operand");
+                require(*e.rhs, Type::Bool, "logical operand");
+                return Type::Bool;
+            case BinOp::Eq: case BinOp::Ne: {
+                // Resolve null literals against the other operand.
+                if (e.lhs->kind == EKind::NullLit && e.rhs->kind == EKind::NullLit)
+                    fail("cannot compare null with null", e.loc);
+                if (e.lhs->kind == EKind::NullLit) {
+                    const Type rt = check_expr(*e.rhs);
+                    if (!is_reference_type(rt))
+                        fail(std::string("cannot compare null with ") + type_name(rt), e.loc);
+                    e.lhs->type = rt;
+                    return Type::Bool;
+                }
+                const Type lt = check_expr(*e.lhs);
+                if (e.rhs->kind == EKind::NullLit) {
+                    if (!is_reference_type(lt))
+                        fail(std::string("cannot compare ") + type_name(lt) + " with null",
+                             e.loc);
+                    e.rhs->type = lt;
+                    return Type::Bool;
+                }
+                const Type rt = check_expr(*e.rhs);
+                if (lt != rt)
+                    fail(std::string("cannot compare ") + type_name(lt) + " with " +
+                             type_name(rt),
+                         e.loc);
+                if (is_reference_type(lt))
+                    fail("reference equality between two non-null references is not "
+                         "supported; compare against null",
+                         e.loc);
+                return Type::Bool;
+            }
+        }
+        PI_CHECK(false, "unhandled binary operator");
+    }
+
+    Type infer_call(ExprNode& e) {
+        auto arity = [&](std::size_t n) {
+            if (e.args.size() != n)
+                fail("builtin '" + e.name + "' expects " + std::to_string(n) + " argument(s)",
+                     e.loc);
+        };
+        if (e.name == "iswhitespace") {
+            arity(1);
+            require(*e.args[0], Type::Int, "iswhitespace argument");
+            return Type::Bool;
+        }
+        if (e.name == "newintarray") {
+            arity(1);
+            require(*e.args[0], Type::Int, "newintarray argument");
+            return Type::IntArr;
+        }
+        if (e.name == "newstrarray") {
+            arity(1);
+            require(*e.args[0], Type::Int, "newstrarray argument");
+            return Type::StrArr;
+        }
+        // User-defined method call (interprocedural analysis support).
+        if (program_ != nullptr) {
+            if (const Method* callee = program_->find(e.name)) {
+                if (callee->ret == Type::Void)
+                    fail("void method '" + e.name + "' cannot be used in an expression",
+                         e.loc);
+                if (e.args.size() != callee->params.size())
+                    fail("call to '" + e.name + "' expects " +
+                             std::to_string(callee->params.size()) + " argument(s)",
+                         e.loc);
+                for (std::size_t i = 0; i < e.args.size(); ++i) {
+                    require_assignable(*e.args[i], callee->params[i].type);
+                }
+                return callee->ret;
+            }
+        }
+        fail("unknown method or builtin '" + e.name + "'", e.loc);
+    }
+
+    Method& method_;
+    const Program* program_;
+    int loop_depth_ = 0;
+    std::vector<std::unordered_map<std::string, Type>> scopes_;
+};
+
+}  // namespace
+
+void type_check_method(Method& method) { Checker(method, nullptr).run(); }
+
+void type_check(Program& program) {
+    for (std::size_t i = 0; i < program.methods.size(); ++i) {
+        for (std::size_t j = i + 1; j < program.methods.size(); ++j) {
+            if (program.methods[i].name == program.methods[j].name) {
+                throw support::FrontendError(
+                    "duplicate method '" + program.methods[i].name + "'", {});
+            }
+        }
+    }
+    for (Method& m : program.methods) Checker(m, &program).run();
+}
+
+}  // namespace preinfer::lang

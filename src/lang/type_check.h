@@ -1,0 +1,24 @@
+#pragma once
+
+#include "src/lang/ast.h"
+
+namespace preinfer::lang {
+
+/// Type-checks every method of the program, filling in ExprNode::type
+/// annotations in place. Throws support::FrontendError on the first error.
+///
+/// Rules (C#-like):
+///  - arithmetic and ordering comparisons over int;
+///  - `==`/`!=` over int, over bool, and between a reference (str / int[] /
+///    str[]) and `null` (or another reference of the same type);
+///  - `&&`, `||`, `!` over bool (short-circuit semantics at runtime);
+///  - `a[i]` and `.len` over str / int[] / str[]; element writes allowed for
+///    int[] and str[] (str is immutable, like C# string);
+///  - builtins: `iswhitespace(int) : bool`, `newintarray(int) : int[]`,
+///    `newstrarray(int) : str[]`.
+void type_check(Program& program);
+
+/// Type-checks a single method (used by unit tests).
+void type_check_method(Method& method);
+
+}  // namespace preinfer::lang

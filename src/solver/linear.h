@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::solver {
+
+/// Sum of coeff * var + constant over solver variables; variables are
+/// identified by dense indices handed out by the solver's variable table.
+struct LinearExpr {
+    std::map<int, std::int64_t> coeffs;  ///< var index -> coefficient (non-zero)
+    std::int64_t constant = 0;
+
+    void add_term(int var, std::int64_t coeff) {
+        if (coeff == 0) return;
+        auto [it, inserted] = coeffs.emplace(var, coeff);
+        if (!inserted) {
+            it->second += coeff;
+            if (it->second == 0) coeffs.erase(it);
+        }
+    }
+
+    void add(const LinearExpr& other, std::int64_t scale) {
+        for (const auto& [v, c] : other.coeffs) add_term(v, c * scale);
+        constant += other.constant * scale;
+    }
+
+    [[nodiscard]] bool is_constant() const { return coeffs.empty(); }
+    [[nodiscard]] bool single_var() const { return coeffs.size() == 1; }
+};
+
+/// Relation of a normalized linear constraint `expr REL 0`.
+enum class LinRel : std::uint8_t { Le, Eq, Ne };
+
+struct LinearConstraint {
+    LinearExpr expr;
+    LinRel rel = LinRel::Le;
+};
+
+}  // namespace preinfer::solver

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::solver {
+
+/// A satisfying assignment: maps each ground term (an interned expression —
+/// Param, Len(t), IsNull(t), Select(t, k)) to its integer value (booleans
+/// are 0/1). Terms absent from the model are unconstrained; callers pick
+/// defaults when reconstructing inputs.
+struct Model {
+    std::unordered_map<const sym::Expr*, std::int64_t> values;
+
+    [[nodiscard]] bool has(const sym::Expr* term) const { return values.count(term) > 0; }
+
+    [[nodiscard]] std::int64_t get_int(const sym::Expr* term, std::int64_t fallback) const {
+        auto it = values.find(term);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    [[nodiscard]] bool get_bool(const sym::Expr* term, bool fallback) const {
+        auto it = values.find(term);
+        return it == values.end() ? fallback : it->second != 0;
+    }
+};
+
+enum class SolveStatus : std::uint8_t {
+    Sat,      ///< model found
+    Unsat,    ///< proven unsatisfiable
+    Unknown,  ///< budget exhausted (treated as Unsat by the explorer)
+};
+
+struct SolveResult {
+    SolveStatus status = SolveStatus::Unknown;
+    Model model;  ///< valid iff status == Sat
+
+    [[nodiscard]] bool sat() const { return status == SolveStatus::Sat; }
+};
+
+}  // namespace preinfer::solver

@@ -1,0 +1,683 @@
+#include "src/solver/solver.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/solver/linear.h"
+#include "src/support/diagnostics.h"
+#include "src/sym/rewrite.h"
+
+namespace preinfer::solver {
+
+namespace {
+
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+using I128 = __int128;
+
+constexpr std::int64_t kWsLo = 9;   // '\t'
+constexpr std::int64_t kWsHi = 32;  // ' ' (hull; exact set checked at leaves)
+
+struct BudgetExceeded {};
+
+struct VarState {
+    const Expr* term = nullptr;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    bool is_bool = false;
+    bool is_len = false;
+    bool ws_member = false;  ///< must be a whitespace code point
+    bool ws_not = false;     ///< must not be a whitespace code point
+
+    [[nodiscard]] bool assigned() const { return lo == hi; }
+    [[nodiscard]] std::uint64_t width() const {
+        return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    }
+};
+
+/// `result_var == eval(node)` once every input of `node` is assigned.
+struct NonLinConstraint {
+    const Expr* node = nullptr;
+    int result_var = -1;
+};
+
+class Search {
+public:
+    Search(sym::ExprPool& pool, const SolverConfig& config, const Model* seed)
+        : pool_(pool), config_(config), seed_(seed) {}
+
+    SolveResult run(std::span<const Expr* const> conjuncts, Solver::Stats& stats) {
+        for (const Expr* e : conjuncts) {
+            if (!load_atom(e, /*polarity=*/true)) {
+                stats.num_vars = static_cast<int>(vars_.size());
+                stats.num_constraints = static_cast<int>(linear_.size());
+                if (unsupported_) return {SolveStatus::Unknown, {}};
+                return {SolveStatus::Unsat, {}};
+            }
+        }
+        // Observers imply non-null: a model must make every atom true under
+        // the partial evaluation semantics, and Len(t) / Select(t, k) are
+        // undefined on a null object. Collect every object some variable's
+        // term dereferences — Len(t)/Select(t, .) dereference t and all
+        // objects inside t's chain; IsNull(x) dereferences only the objects
+        // strictly inside x — then force each one's IsNull variable to
+        // false (creating it if needed, so models are complete enough for
+        // input reconstruction). Conflict => Unsat.
+        {
+            std::vector<const Expr*> dereferenced;
+            const auto note = [&dereferenced](const Expr* obj) {
+                dereferenced.push_back(obj);
+            };
+            const std::size_t initial_vars = vars_.size();
+            for (std::size_t i = 0; i < initial_vars; ++i) {
+                const Expr* term = vars_[i].term;
+                const Kind k = term->kind;
+                if (k != Kind::Len && k != Kind::Select && k != Kind::IsNull) continue;
+                const Expr* base = term->child0;
+                if (k != Kind::IsNull) note(base);
+                // Anything selected-from inside the base chain is also
+                // dereferenced (e.g. IsNull(s[0]) or Len(s[0]) deref s).
+                sym::for_each_node(base, [&](const Expr* n) {
+                    if (n->kind == Kind::Select) note(n->child0);
+                });
+            }
+            for (const Expr* obj : dereferenced) {
+                const int v = var_for_term(pool_.is_null(obj), /*is_bool=*/true,
+                                           /*is_len=*/false);
+                if (!assign_bool(v, false)) {
+                    stats.num_vars = static_cast<int>(vars_.size());
+                    stats.num_constraints = static_cast<int>(linear_.size());
+                    return {SolveStatus::Unsat, {}};
+                }
+            }
+        }
+
+        // Element access implies sufficient length: Select(t, k) is defined
+        // only when k < Len(t). (Path conditions carry the bounds-check
+        // predicates explicitly; arbitrary conjunctions need the axiom.)
+        {
+            std::vector<const Expr*> selects;
+            for (const VarState& v : vars_) {
+                if (v.term->kind == Kind::Select &&
+                    v.term->child1->kind == Kind::IntConst) {
+                    selects.push_back(v.term);
+                }
+            }
+            for (const Expr* sel : selects) {
+                const int len_var =
+                    var_for_term(pool_.len(sel->child0), /*is_bool=*/false,
+                                 /*is_len=*/true);
+                // k + 1 - len <= 0
+                LinearConstraint c;
+                c.rel = LinRel::Le;
+                c.expr.constant = sel->child1->a + 1;
+                c.expr.add_term(len_var, -1);
+                linear_.push_back(std::move(c));
+            }
+        }
+
+        stats.num_vars = static_cast<int>(vars_.size());
+        stats.num_constraints = static_cast<int>(linear_.size());
+
+        SolveResult result;
+        try {
+            if (dfs(0)) {
+                result.status = SolveStatus::Sat;
+                for (const VarState& v : vars_) result.model.values[v.term] = v.lo;
+            } else {
+                result.status = SolveStatus::Unsat;
+            }
+        } catch (const BudgetExceeded&) {
+            result.status = SolveStatus::Unknown;
+        }
+        stats.nodes = nodes_;
+        stats.propagation_rounds = propagation_rounds_;
+        return result;
+    }
+
+private:
+    // --- variable table ------------------------------------------------------
+    int var_for_term(const Expr* term, bool is_bool, bool is_len) {
+        if (auto it = var_index_.find(term); it != var_index_.end()) return it->second;
+        VarState v;
+        v.term = term;
+        v.is_bool = is_bool;
+        v.is_len = is_len;
+        if (is_bool) {
+            v.lo = 0;
+            v.hi = 1;
+        } else if (is_len) {
+            v.lo = 0;
+            v.hi = config_.len_max;
+        } else {
+            v.lo = config_.int_min;
+            v.hi = config_.int_max;
+        }
+        vars_.push_back(v);
+        const int idx = static_cast<int>(vars_.size()) - 1;
+        var_index_.emplace(term, idx);
+        return idx;
+    }
+
+    /// True for terms that are solver variables as-is.
+    static bool is_ground_int_term(const Expr* e) {
+        switch (e->kind) {
+            case Kind::Param: return e->sort == Sort::Int;
+            case Kind::Len: return true;
+            case Kind::Select: return e->sort == Sort::Int;
+            default: return false;
+        }
+    }
+
+    // --- linearization -------------------------------------------------------
+    /// Rewrites an integer expression into a linear form over solver
+    /// variables, introducing auxiliary variables for non-linear subterms.
+    /// Returns false on unsupported structure (BoundVar leaks etc.).
+    bool linearize(const Expr* e, LinearExpr& out, std::int64_t scale) {
+        switch (e->kind) {
+            case Kind::IntConst:
+                out.constant += e->a * scale;
+                return true;
+            case Kind::Neg:
+                return linearize(e->child0, out, -scale);
+            case Kind::Add:
+                return linearize(e->child0, out, scale) &&
+                       linearize(e->child1, out, scale);
+            case Kind::Sub:
+                return linearize(e->child0, out, scale) &&
+                       linearize(e->child1, out, -scale);
+            case Kind::Mul:
+                if (e->child1->kind == Kind::IntConst)
+                    return linearize(e->child0, out, scale * e->child1->a);
+                if (e->child0->kind == Kind::IntConst)
+                    return linearize(e->child1, out, scale * e->child0->a);
+                out.add_term(aux_var_for(e), scale);
+                return true;
+            case Kind::Div:
+            case Kind::Mod:
+                out.add_term(aux_var_for(e), scale);
+                return true;
+            default:
+                if (is_ground_int_term(e)) {
+                    out.add_term(var_for_term(e, /*is_bool=*/false,
+                                              /*is_len=*/e->kind == Kind::Len),
+                                 scale);
+                    return true;
+                }
+                unsupported_ = true;
+                return false;
+        }
+    }
+
+    /// Auxiliary variable equal to a non-linear node; its argument terms are
+    /// registered so the constraint can fire once they are assigned.
+    int aux_var_for(const Expr* node) {
+        if (auto it = var_index_.find(node); it != var_index_.end()) return it->second;
+        const int v = var_for_term(node, /*is_bool=*/false, /*is_len=*/false);
+        // Ensure every ground term inside the node has a variable, so
+        // "arguments assigned" is a well-defined trigger.
+        register_subterms(node);
+        nonlinear_.push_back({node, v});
+        return v;
+    }
+
+    void register_subterms(const Expr* node) {
+        if (is_ground_int_term(node)) {
+            var_for_term(node, false, node->kind == Kind::Len);
+            return;
+        }
+        if (node->child0) register_subterms(node->child0);
+        if (node->child1) register_subterms(node->child1);
+    }
+
+    /// Evaluates an integer term under the current partial assignment;
+    /// nullopt when it depends on an unassigned variable (or divides by 0).
+    std::optional<std::int64_t> eval_term(const Expr* e) const {
+        if (auto it = var_index_.find(e); it != var_index_.end()) {
+            const VarState& v = vars_[static_cast<std::size_t>(it->second)];
+            // Only use the variable's value when it denotes a ground term;
+            // for aux (non-linear) nodes fall through and evaluate
+            // structurally so the constraint actually constrains.
+            if (is_ground_int_term(e)) {
+                if (!v.assigned()) return std::nullopt;
+                return v.lo;
+            }
+        }
+        switch (e->kind) {
+            case Kind::IntConst: return e->a;
+            case Kind::Neg: {
+                auto v = eval_term(e->child0);
+                if (!v) return std::nullopt;
+                return -*v;
+            }
+            case Kind::Add: case Kind::Sub: case Kind::Mul:
+            case Kind::Div: case Kind::Mod: {
+                auto l = eval_term(e->child0);
+                auto r = eval_term(e->child1);
+                if (!l || !r) return std::nullopt;
+                switch (e->kind) {
+                    case Kind::Add: return *l + *r;
+                    case Kind::Sub: return *l - *r;
+                    case Kind::Mul: return *l * *r;
+                    case Kind::Div:
+                        if (*r == 0) return std::nullopt;
+                        if (*r == -1) return -*l;
+                        return *l / *r;
+                    case Kind::Mod:
+                        if (*r == 0) return std::nullopt;
+                        if (*r == -1) return 0;
+                        return *l % *r;
+                    default: break;
+                }
+                return std::nullopt;
+            }
+            default:
+                return std::nullopt;  // unassigned ground term
+        }
+    }
+
+    // --- atom loading ----------------------------------------------------------
+    bool load_atom(const Expr* e, bool polarity) {
+        switch (e->kind) {
+            case Kind::BoolConst:
+                return (e->a != 0) == polarity;
+            case Kind::Not:
+                return load_atom(e->child0, !polarity);
+            case Kind::And:
+                if (polarity)
+                    return load_atom(e->child0, true) && load_atom(e->child1, true);
+                unsupported_ = true;
+                return false;
+            case Kind::Or:
+                if (!polarity)
+                    return load_atom(e->child0, false) && load_atom(e->child1, false);
+                unsupported_ = true;
+                return false;
+            case Kind::Param: {
+                PI_CHECK(e->sort == Sort::Bool, "non-bool param as atom");
+                return assign_bool(var_for_term(e, true, false), polarity);
+            }
+            case Kind::IsNull:
+                return assign_bool(var_for_term(e, true, false), polarity);
+            case Kind::IsWhitespace: {
+                LinearExpr lin;
+                if (!linearize(e->child0, lin, 1)) return false;
+                const int v = alias_var(lin);
+                if (v < 0) {
+                    // Constant argument: decide immediately.
+                    return sym::ExprPool::whitespace_code_point(lin.constant) == polarity;
+                }
+                if (polarity) {
+                    vars_[static_cast<std::size_t>(v)].ws_member = true;
+                } else {
+                    vars_[static_cast<std::size_t>(v)].ws_not = true;
+                }
+                return true;
+            }
+            case Kind::Eq: case Kind::Ne: case Kind::Lt:
+            case Kind::Le: case Kind::Gt: case Kind::Ge:
+                return load_comparison(e, polarity);
+            default:
+                unsupported_ = true;
+                return false;
+        }
+    }
+
+    bool assign_bool(int var, bool value) {
+        VarState& v = vars_[static_cast<std::size_t>(var)];
+        const std::int64_t want = value ? 1 : 0;
+        if (v.assigned()) return v.lo == want;
+        v.lo = v.hi = want;
+        return true;
+    }
+
+    /// Variable equal to an arbitrary linear expression (for IsWhitespace
+    /// arguments); -1 when the expression is constant. Single-variable
+    /// `1*x + 0` maps straight to x.
+    int alias_var(const LinearExpr& lin) {
+        if (lin.is_constant()) return -1;
+        if (lin.single_var() && lin.coeffs.begin()->second == 1 && lin.constant == 0)
+            return lin.coeffs.begin()->first;
+        // Fresh alias v with constraint v - lin == 0. Alias variables are
+        // keyed by nothing (they never appear in models' useful parts), so
+        // fabricate a unique term via a fresh pool expression.
+        const Expr* key = pool_.bound_var(100000 + static_cast<int>(vars_.size()));
+        const int v = var_for_term(key, false, false);
+        LinearConstraint c;
+        c.expr = lin;
+        c.expr.add_term(v, -1);
+        c.rel = LinRel::Eq;
+        linear_.push_back(std::move(c));
+        return v;
+    }
+
+    bool load_comparison(const Expr* e, bool polarity) {
+        Kind op = e->kind;
+        if (!polarity) {
+            switch (op) {
+                case Kind::Eq: op = Kind::Ne; break;
+                case Kind::Ne: op = Kind::Eq; break;
+                case Kind::Lt: op = Kind::Ge; break;
+                case Kind::Le: op = Kind::Gt; break;
+                case Kind::Gt: op = Kind::Le; break;
+                case Kind::Ge: op = Kind::Lt; break;
+                default: break;
+            }
+        }
+        LinearExpr lin;
+        if (!linearize(e->child0, lin, 1)) return false;
+        if (!linearize(e->child1, lin, -1)) return false;
+
+        LinearConstraint c;
+        switch (op) {
+            case Kind::Eq: c.rel = LinRel::Eq; break;
+            case Kind::Ne: c.rel = LinRel::Ne; break;
+            case Kind::Le: c.rel = LinRel::Le; break;
+            case Kind::Lt: c.rel = LinRel::Le; lin.constant += 1; break;
+            case Kind::Ge: {
+                LinearExpr flipped;
+                flipped.add(lin, -1);
+                lin = std::move(flipped);
+                c.rel = LinRel::Le;
+                break;
+            }
+            case Kind::Gt: {
+                LinearExpr flipped;
+                flipped.add(lin, -1);
+                lin = std::move(flipped);
+                lin.constant += 1;
+                c.rel = LinRel::Le;
+                break;
+            }
+            default: PI_CHECK(false, "non-comparison in load_comparison");
+        }
+        if (lin.is_constant()) {
+            switch (c.rel) {
+                case LinRel::Le: return lin.constant <= 0;
+                case LinRel::Eq: return lin.constant == 0;
+                case LinRel::Ne: return lin.constant != 0;
+            }
+        }
+        c.expr = std::move(lin);
+        linear_.push_back(std::move(c));
+        return true;
+    }
+
+    // --- propagation ------------------------------------------------------------
+    /// Tightens every variable bound implied by `expr <= 0`; false on conflict.
+    bool propagate_le(const LinearExpr& lin, bool& changed) {
+        // Minimum possible value of the whole expression.
+        I128 min_sum = lin.constant;
+        for (const auto& [vi, c] : lin.coeffs) {
+            const VarState& v = vars_[static_cast<std::size_t>(vi)];
+            min_sum += c > 0 ? I128(c) * v.lo : I128(c) * v.hi;
+        }
+        if (min_sum > 0) return false;
+
+        for (const auto& [vi, c] : lin.coeffs) {
+            VarState& v = vars_[static_cast<std::size_t>(vi)];
+            // Contribution of all *other* terms at their minimum.
+            const I128 others =
+                min_sum - (c > 0 ? I128(c) * v.lo : I128(c) * v.hi);
+            // c * x <= -others
+            const I128 bound = -others;
+            if (c > 0) {
+                const I128 max_x = bound >= 0 ? bound / c : -((-bound + c - 1) / c);
+                if (max_x < v.hi) {
+                    if (max_x < v.lo) return false;
+                    v.hi = static_cast<std::int64_t>(max_x);
+                    changed = true;
+                }
+            } else {
+                const std::int64_t cp = -c;
+                const I128 min_x = bound >= 0 ? -(bound / cp) : ((-bound) + cp - 1) / cp;
+                if (min_x > v.lo) {
+                    if (min_x > v.hi) return false;
+                    v.lo = static_cast<std::int64_t>(min_x);
+                    changed = true;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool propagate_ne(const LinearConstraint& c, bool& changed) {
+        // Only act when a single unit-coefficient variable remains.
+        int free_var = -1;
+        std::int64_t free_coeff = 0;
+        I128 rest = c.expr.constant;
+        for (const auto& [vi, coeff] : c.expr.coeffs) {
+            const VarState& v = vars_[static_cast<std::size_t>(vi)];
+            if (v.assigned()) {
+                rest += I128(coeff) * v.lo;
+            } else if (free_var < 0) {
+                free_var = vi;
+                free_coeff = coeff;
+            } else {
+                return true;  // two free vars: nothing to do yet
+            }
+        }
+        if (free_var < 0) return rest != 0;
+        if (free_coeff != 1 && free_coeff != -1) return true;
+        const I128 forbidden128 = free_coeff == 1 ? -rest : rest;
+        if (forbidden128 < config_.int_min || forbidden128 > config_.int_max) return true;
+        const auto forbidden = static_cast<std::int64_t>(forbidden128);
+        VarState& v = vars_[static_cast<std::size_t>(free_var)];
+        if (v.lo == forbidden) {
+            ++v.lo;
+            changed = true;
+        }
+        if (v.hi == forbidden) {
+            --v.hi;
+            changed = true;
+        }
+        return v.lo <= v.hi;
+    }
+
+    bool propagate_nonlinear(bool& changed) {
+        for (const NonLinConstraint& nl : nonlinear_) {
+            const auto value = eval_term(nl.node);
+            if (!value) continue;
+            VarState& v = vars_[static_cast<std::size_t>(nl.result_var)];
+            if (*value < v.lo || *value > v.hi) return false;
+            if (!v.assigned()) {
+                v.lo = v.hi = *value;
+                changed = true;
+            }
+        }
+        return true;
+    }
+
+    bool propagate() {
+        // Whitespace hull.
+        for (VarState& v : vars_) {
+            if (v.ws_member) {
+                if (v.lo < kWsLo) v.lo = kWsLo;
+                if (v.hi > kWsHi) v.hi = kWsHi;
+                if (v.lo > v.hi) return false;
+            }
+        }
+        for (int round = 0; round < config_.max_propagation_rounds; ++round) {
+            ++propagation_rounds_;
+            bool changed = false;
+            for (const LinearConstraint& c : linear_) {
+                switch (c.rel) {
+                    case LinRel::Le:
+                        if (!propagate_le(c.expr, changed)) return false;
+                        break;
+                    case LinRel::Eq: {
+                        if (!propagate_le(c.expr, changed)) return false;
+                        LinearExpr flipped;
+                        flipped.add(c.expr, -1);
+                        if (!propagate_le(flipped, changed)) return false;
+                        break;
+                    }
+                    case LinRel::Ne:
+                        if (!propagate_ne(c, changed)) return false;
+                        break;
+                }
+            }
+            if (!propagate_nonlinear(changed)) return false;
+            if (!changed) return true;
+        }
+        return true;
+    }
+
+    // --- leaf verification --------------------------------------------------------
+    bool all_assigned() const {
+        return std::all_of(vars_.begin(), vars_.end(),
+                           [](const VarState& v) { return v.assigned(); });
+    }
+
+    bool verify_leaf() const {
+        for (const VarState& v : vars_) {
+            const bool ws = sym::ExprPool::whitespace_code_point(v.lo);
+            if (v.ws_member && !ws) return false;
+            if (v.ws_not && ws) return false;
+        }
+        for (const LinearConstraint& c : linear_) {
+            I128 sum = c.expr.constant;
+            for (const auto& [vi, coeff] : c.expr.coeffs)
+                sum += I128(coeff) * vars_[static_cast<std::size_t>(vi)].lo;
+            switch (c.rel) {
+                case LinRel::Le: if (sum > 0) return false; break;
+                case LinRel::Eq: if (sum != 0) return false; break;
+                case LinRel::Ne: if (sum == 0) return false; break;
+            }
+        }
+        for (const NonLinConstraint& nl : nonlinear_) {
+            const auto value = eval_term(nl.node);
+            if (!value) return false;  // e.g. division by zero at the leaf
+            if (*value != vars_[static_cast<std::size_t>(nl.result_var)].lo) return false;
+        }
+        return true;
+    }
+
+    // --- search -------------------------------------------------------------------
+    int pick_var() const {
+        int best = -1;
+        std::uint64_t best_width = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < vars_.size(); ++i) {
+            const VarState& v = vars_[i];
+            if (v.assigned()) continue;
+            // Prefer booleans, then lengths, then narrow domains: sizing
+            // collections early makes everything downstream concrete.
+            const std::uint64_t weight =
+                v.is_bool ? 0 : (v.is_len ? 1 + v.width() : (1 << 20) + v.width());
+            if (weight < best_width) {
+                best_width = weight;
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+
+    std::int64_t preferred_value(const VarState& v) const {
+        if (seed_) {
+            if (auto it = seed_->values.find(v.term); it != seed_->values.end()) {
+                if (it->second >= v.lo && it->second <= v.hi) return it->second;
+            }
+        }
+        if (v.ws_member && 32 >= v.lo && 32 <= v.hi) return 32;
+        if (v.is_len) return v.lo;
+        if (0 >= v.lo && 0 <= v.hi) return 0;
+        if (1 >= v.lo && 1 <= v.hi) return 1;
+        return (v.lo >= 0 || -v.lo <= v.hi) ? v.lo : v.hi;
+    }
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> snapshot() const {
+        std::vector<std::pair<std::int64_t, std::int64_t>> s;
+        s.reserve(vars_.size());
+        for (const VarState& v : vars_) s.emplace_back(v.lo, v.hi);
+        return s;
+    }
+
+    void restore(const std::vector<std::pair<std::int64_t, std::int64_t>>& s) {
+        // New alias variables are never created during search, so sizes match.
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            vars_[i].lo = s[i].first;
+            vars_[i].hi = s[i].second;
+        }
+    }
+
+    bool dfs(int depth) {
+        if (++nodes_ > config_.max_nodes) throw BudgetExceeded{};
+        if (depth > kMaxDepth) throw BudgetExceeded{};
+        if (!propagate()) return false;
+        const int vi = pick_var();
+        if (vi < 0) return verify_leaf();
+        VarState& v = vars_[static_cast<std::size_t>(vi)];
+
+        const auto saved = snapshot();
+        const std::int64_t lo = v.lo;
+        const std::int64_t hi = v.hi;
+
+        const std::int64_t pv = preferred_value(v);
+        if (v.width() <= 32) {
+            // Small domain: enumerate, preferred value first.
+            v.lo = v.hi = pv;
+            if (dfs(depth + 1)) return true;
+            restore(saved);
+            for (std::int64_t value = lo; value <= hi; ++value) {
+                if (value == pv) continue;
+                v.lo = v.hi = value;
+                if (dfs(depth + 1)) return true;
+                restore(saved);
+            }
+            return false;
+        }
+
+        // Wide domain: try the preferred value as a point, then bisect the
+        // interval (the half containing pv first). Bisection keeps the
+        // search-tree depth logarithmic in the domain width; descending one
+        // value at a time would recurse billions deep on constraints like
+        // `x > 0` whose solutions sit far from the preferred value.
+        v.lo = v.hi = pv;
+        if (dfs(depth + 1)) return true;
+        restore(saved);
+
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        const bool pv_low = pv <= mid;
+        for (int half = 0; half < 2; ++half) {
+            const bool low_half = (half == 0) == pv_low;
+            v.lo = low_half ? lo : mid + 1;
+            v.hi = low_half ? mid : hi;
+            if (v.lo <= v.hi && !(v.lo == pv && v.hi == pv)) {
+                if (dfs(depth + 1)) return true;
+                restore(saved);
+            }
+        }
+        return false;
+    }
+
+    static constexpr int kMaxDepth = 6000;
+
+    sym::ExprPool& pool_;
+    const SolverConfig& config_;
+    const Model* seed_;
+
+    std::vector<VarState> vars_;
+    std::unordered_map<const Expr*, int> var_index_;
+    std::vector<LinearConstraint> linear_;
+    std::vector<NonLinConstraint> nonlinear_;
+    bool unsupported_ = false;
+
+    int nodes_ = 0;
+    int propagation_rounds_ = 0;
+};
+
+}  // namespace
+
+Solver::Solver(sym::ExprPool& pool, SolverConfig config)
+    : pool_(pool), config_(config) {}
+
+SolveResult Solver::solve(std::span<const sym::Expr* const> conjuncts,
+                          const Model* seed) {
+    stats_ = {};
+    Search search(pool_, config_, seed);
+    return search.run(conjuncts, stats_);
+}
+
+}  // namespace preinfer::solver

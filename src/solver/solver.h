@@ -1,0 +1,66 @@
+#pragma once
+
+#include <span>
+
+#include "src/solver/model.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::solver {
+
+/// Tunables for one solve() call.
+struct SolverConfig {
+    std::int64_t int_min = -(std::int64_t{1} << 31);
+    std::int64_t int_max = (std::int64_t{1} << 31);
+    std::int64_t len_max = 64;  ///< collection lengths live in [0, len_max]
+    /// Search-tree node budget. Generational-search flips are seeded with
+    /// the parent test's values and almost always resolve within a handful
+    /// of nodes; a conjunction that is still open after this many nodes is
+    /// reported Unknown and the explorer just moves on.
+    int max_nodes = 800;
+    int max_propagation_rounds = 32;
+};
+
+/// Decides satisfiability of a conjunction of quantifier-free predicates
+/// over method inputs — the exact fragment concolic path conditions live in:
+///
+///   * (in)equalities between integer terms built from Param ints,
+///     Len(object), Select(object, const-index), + - * / % and constants;
+///   * IsNull(object) literals and boolean Params;
+///   * IsWhitespace(int-term) literals;
+///   * negations of all of the above.
+///
+/// Implementation: every ground term becomes a finite-domain variable;
+/// linear atoms are normalized to `sum coeff*var + c {<=,==,!=} 0` and
+/// drive interval propagation; non-linear subterms (var*var, /, %) get
+/// auxiliary variables checked once their arguments are assigned.
+/// Systematic branch-and-propagate search with a node budget; a `seed`
+/// model (typically term values observed in the parent concrete run)
+/// orders value choices so that flipped path constraints resolve near the
+/// parent input, which is the generational-search fast path.
+///
+/// Sound and complete within the configured bounds: Sat results are always
+/// genuine models; Unsat means no model exists with ints in
+/// [int_min, int_max] and lengths in [0, len_max].
+class Solver {
+public:
+    explicit Solver(sym::ExprPool& pool, SolverConfig config = {});
+
+    [[nodiscard]] SolveResult solve(std::span<const sym::Expr* const> conjuncts,
+                                    const Model* seed = nullptr);
+
+    /// Statistics of the most recent solve() call.
+    struct Stats {
+        int nodes = 0;
+        int propagation_rounds = 0;
+        int num_vars = 0;
+        int num_constraints = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    sym::ExprPool& pool_;
+    SolverConfig config_;
+    Stats stats_;
+};
+
+}  // namespace preinfer::solver

@@ -1,0 +1,10 @@
+#include "src/support/diagnostics.h"
+
+namespace preinfer::support {
+
+void internal_fail(const char* file, int line, const std::string& message) {
+    throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                        ": internal invariant violated: " + message);
+}
+
+}  // namespace preinfer::support

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace preinfer::support {
+
+/// Error in MiniLang source handed to the frontend (lexer/parser/checker).
+class FrontendError : public std::runtime_error {
+public:
+    FrontendError(std::string message, SourceLoc loc)
+        : std::runtime_error(loc.to_string() + ": " + message), loc_(loc) {}
+
+    [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+private:
+    SourceLoc loc_;
+};
+
+/// Violation of an internal invariant of the library itself; indicates a bug
+/// in this codebase, never in user input.
+class InternalError : public std::logic_error {
+public:
+    explicit InternalError(const std::string& message) : std::logic_error(message) {}
+};
+
+[[noreturn]] void internal_fail(const char* file, int line, const std::string& message);
+
+}  // namespace preinfer::support
+
+/// Invariant check used throughout the library. Unlike assert(), it is active
+/// in all build types: silently corrupt analysis results are worse than a
+/// crash in this domain.
+#define PI_CHECK(cond, msg)                                               \
+    do {                                                                  \
+        if (!(cond)) ::preinfer::support::internal_fail(__FILE__, __LINE__, (msg)); \
+    } while (false)

@@ -1,0 +1,10 @@
+#include "src/support/source_location.h"
+
+namespace preinfer::support {
+
+std::string SourceLoc::to_string() const {
+    if (!known()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(col);
+}
+
+}  // namespace preinfer::support

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace preinfer::support {
+
+/// A position in MiniLang source text. Lines and columns are 1-based;
+/// line 0 means "unknown / synthesized".
+struct SourceLoc {
+    int line = 0;
+    int col = 0;
+
+    [[nodiscard]] bool known() const { return line > 0; }
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace preinfer::support

@@ -1,0 +1,122 @@
+#include "src/sym/eval.h"
+
+#include "src/sym/expr_pool.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::sym {
+
+namespace {
+
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+}  // namespace
+
+EvalValue eval(const Expr* e, const EvalEnv& env, const BoundEnv* bound) {
+    using Tag = EvalValue::Tag;
+    switch (e->kind) {
+        case Kind::IntConst: return EvalValue::make_int(e->a);
+        case Kind::BoolConst: return EvalValue::make_bool(e->a != 0);
+        case Kind::NullConst: return EvalValue::make_null();
+        case Kind::Param: return env.param(static_cast<int>(e->a));
+        case Kind::BoundVar: {
+            if (!bound) return EvalValue::undef();
+            auto it = bound->find(static_cast<int>(e->a));
+            if (it == bound->end()) return EvalValue::undef();
+            return EvalValue::make_int(it->second);
+        }
+        case Kind::Len: {
+            EvalValue o = eval(e->child0, env, bound);
+            if (o.tag != Tag::Obj) return EvalValue::undef();
+            return EvalValue::make_int(env.obj_len(o.obj));
+        }
+        case Kind::IsNull: {
+            EvalValue o = eval(e->child0, env, bound);
+            if (o.tag == Tag::Null) return EvalValue::make_bool(true);
+            if (o.tag == Tag::Obj) return EvalValue::make_bool(false);
+            return EvalValue::undef();
+        }
+        case Kind::Select: {
+            EvalValue o = eval(e->child0, env, bound);
+            EvalValue idx = eval(e->child1, env, bound);
+            if (o.tag != Tag::Obj || idx.tag != Tag::Int) return EvalValue::undef();
+            return env.obj_elem(o.obj, idx.i);
+        }
+        case Kind::Neg: {
+            EvalValue v = eval(e->child0, env, bound);
+            if (v.tag != Tag::Int) return EvalValue::undef();
+            return EvalValue::make_int(wrap_sub(0, v.i));
+        }
+        case Kind::Add: case Kind::Sub: case Kind::Mul:
+        case Kind::Div: case Kind::Mod: {
+            EvalValue l = eval(e->child0, env, bound);
+            EvalValue r = eval(e->child1, env, bound);
+            if (l.tag != Tag::Int || r.tag != Tag::Int) return EvalValue::undef();
+            switch (e->kind) {
+                case Kind::Add: return EvalValue::make_int(wrap_add(l.i, r.i));
+                case Kind::Sub: return EvalValue::make_int(wrap_sub(l.i, r.i));
+                case Kind::Mul: return EvalValue::make_int(wrap_mul(l.i, r.i));
+                case Kind::Div:
+                    if (r.i == 0) return EvalValue::undef();
+                    return EvalValue::make_int(l.i / r.i);
+                case Kind::Mod:
+                    if (r.i == 0) return EvalValue::undef();
+                    return EvalValue::make_int(l.i % r.i);
+                default: break;
+            }
+            return EvalValue::undef();
+        }
+        case Kind::Eq: case Kind::Ne: case Kind::Lt:
+        case Kind::Le: case Kind::Gt: case Kind::Ge: {
+            EvalValue l = eval(e->child0, env, bound);
+            EvalValue r = eval(e->child1, env, bound);
+            if (l.tag != Tag::Int || r.tag != Tag::Int) return EvalValue::undef();
+            switch (e->kind) {
+                case Kind::Eq: return EvalValue::make_bool(l.i == r.i);
+                case Kind::Ne: return EvalValue::make_bool(l.i != r.i);
+                case Kind::Lt: return EvalValue::make_bool(l.i < r.i);
+                case Kind::Le: return EvalValue::make_bool(l.i <= r.i);
+                case Kind::Gt: return EvalValue::make_bool(l.i > r.i);
+                case Kind::Ge: return EvalValue::make_bool(l.i >= r.i);
+                default: break;
+            }
+            return EvalValue::undef();
+        }
+        case Kind::Not: {
+            EvalValue v = eval(e->child0, env, bound);
+            if (v.tag != Tag::Bool) return EvalValue::undef();
+            return EvalValue::make_bool(v.i == 0);
+        }
+        case Kind::And: case Kind::Or: case Kind::Implies: {
+            // Short-circuit so that guard idioms like
+            // `s != null && s[i] == 0` evaluate without Undef.
+            EvalValue l = eval(e->child0, env, bound);
+            if (l.tag != Tag::Bool) return EvalValue::undef();
+            const bool lv = l.i != 0;
+            if (e->kind == Kind::And && !lv) return EvalValue::make_bool(false);
+            if (e->kind == Kind::Or && lv) return EvalValue::make_bool(true);
+            if (e->kind == Kind::Implies && !lv) return EvalValue::make_bool(true);
+            EvalValue r = eval(e->child1, env, bound);
+            if (r.tag != Tag::Bool) return EvalValue::undef();
+            return EvalValue::make_bool(r.i != 0);
+        }
+        case Kind::IsWhitespace: {
+            EvalValue v = eval(e->child0, env, bound);
+            if (v.tag != Tag::Int) return EvalValue::undef();
+            return EvalValue::make_bool(ExprPool::whitespace_code_point(v.i));
+        }
+    }
+    return EvalValue::undef();
+}
+
+}  // namespace preinfer::sym

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::sym {
+
+/// Result of concretely evaluating a symbolic expression.
+/// Undef models partial operations (division by zero, out-of-bounds element,
+/// observer applied to null): callers decide what Undef means for them
+/// (the precondition evaluator maps undefined atoms to "false").
+struct EvalValue {
+    enum class Tag : std::uint8_t { Int, Bool, Obj, Null, Undef };
+
+    Tag tag = Tag::Undef;
+    std::int64_t i = 0;  ///< Int payload / Bool payload (0/1)
+    int obj = -1;        ///< environment-defined object handle for Tag::Obj
+
+    static EvalValue make_int(std::int64_t v) { return {Tag::Int, v, -1}; }
+    static EvalValue make_bool(bool v) { return {Tag::Bool, v ? 1 : 0, -1}; }
+    static EvalValue make_obj(int handle) { return {Tag::Obj, 0, handle}; }
+    static EvalValue make_null() { return {Tag::Null, 0, -1}; }
+    static EvalValue undef() { return {Tag::Undef, 0, -1}; }
+
+    [[nodiscard]] bool is_undef() const { return tag == Tag::Undef; }
+};
+
+/// Supplies concrete values for the method inputs an expression refers to.
+/// Implemented over gen::Input (precondition checking) and over the concolic
+/// interpreter's materialized heap (runtime assertions in tests).
+class EvalEnv {
+public:
+    virtual ~EvalEnv() = default;
+
+    /// Value of method parameter `index` (Int, Bool, Obj or Null).
+    [[nodiscard]] virtual EvalValue param(int index) const = 0;
+
+    [[nodiscard]] virtual std::int64_t obj_len(int handle) const = 0;
+
+    /// Element of a collection; Undef when out of bounds.
+    [[nodiscard]] virtual EvalValue obj_elem(int handle, std::int64_t index) const = 0;
+};
+
+/// Maps BoundVar ids to concrete index values during quantifier expansion.
+using BoundEnv = std::unordered_map<int, std::int64_t>;
+
+/// Concrete bottom-up evaluation; never throws on partial operations
+/// (returns Undef instead). Undef is sticky through every operator.
+[[nodiscard]] EvalValue eval(const Expr* e, const EvalEnv& env,
+                             const BoundEnv* bound = nullptr);
+
+}  // namespace preinfer::sym

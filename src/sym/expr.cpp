@@ -1,0 +1,93 @@
+#include "src/sym/expr.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::sym {
+
+const char* kind_name(Kind k) {
+    switch (k) {
+        case Kind::IntConst: return "IntConst";
+        case Kind::BoolConst: return "BoolConst";
+        case Kind::NullConst: return "NullConst";
+        case Kind::Param: return "Param";
+        case Kind::BoundVar: return "BoundVar";
+        case Kind::Len: return "Len";
+        case Kind::IsNull: return "IsNull";
+        case Kind::Select: return "Select";
+        case Kind::Neg: return "Neg";
+        case Kind::Add: return "Add";
+        case Kind::Sub: return "Sub";
+        case Kind::Mul: return "Mul";
+        case Kind::Div: return "Div";
+        case Kind::Mod: return "Mod";
+        case Kind::Eq: return "Eq";
+        case Kind::Ne: return "Ne";
+        case Kind::Lt: return "Lt";
+        case Kind::Le: return "Le";
+        case Kind::Gt: return "Gt";
+        case Kind::Ge: return "Ge";
+        case Kind::Not: return "Not";
+        case Kind::And: return "And";
+        case Kind::Or: return "Or";
+        case Kind::Implies: return "Implies";
+        case Kind::IsWhitespace: return "IsWhitespace";
+    }
+    return "?";
+}
+
+bool is_comparison(Kind k) {
+    switch (k) {
+        case Kind::Eq: case Kind::Ne: case Kind::Lt:
+        case Kind::Le: case Kind::Gt: case Kind::Ge:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool is_arith(Kind k) {
+    switch (k) {
+        case Kind::Neg: case Kind::Add: case Kind::Sub:
+        case Kind::Mul: case Kind::Div: case Kind::Mod:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool is_connective(Kind k) {
+    switch (k) {
+        case Kind::Not: case Kind::And: case Kind::Or: case Kind::Implies:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::int64_t Expr::int_value() const {
+    PI_CHECK(kind == Kind::IntConst, "int_value on non-IntConst");
+    return a;
+}
+
+bool Expr::bool_value() const {
+    PI_CHECK(kind == Kind::BoolConst, "bool_value on non-BoolConst");
+    return a != 0;
+}
+
+std::size_t ExprKeyHash::operator()(const ExprKey& k) const noexcept {
+    // FNV-style mix; child pointers are interned so their addresses are
+    // stable identities within one pool.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(k.kind));
+    mix(static_cast<std::uint64_t>(k.sort));
+    mix(static_cast<std::uint64_t>(k.a));
+    mix(reinterpret_cast<std::uintptr_t>(k.child0));
+    mix(reinterpret_cast<std::uintptr_t>(k.child1));
+    return static_cast<std::size_t>(h);
+}
+
+}  // namespace preinfer::sym

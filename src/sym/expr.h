@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace preinfer::sym {
+
+/// Sort (type) of a symbolic expression.
+///  - Int:  mathematical integers (program ints, chars, lengths, indices)
+///  - Bool: truth values
+///  - Obj:  nullable heap references (arrays and strings)
+enum class Sort : std::uint8_t { Int, Bool, Obj };
+
+enum class Kind : std::uint8_t {
+    // Leaves
+    IntConst,   ///< value in `a`
+    BoolConst,  ///< value in `a` (0/1)
+    NullConst,  ///< the null reference (Obj)
+    Param,      ///< method parameter; index in `a`, sort per signature
+    BoundVar,   ///< quantifier-bound index variable; id in `a` (Int)
+
+    // Object observers
+    Len,     ///< length of child0 (Obj) -> Int
+    IsNull,  ///< child0 (Obj) is null   -> Bool
+    Select,  ///< child0 (Obj) [ child1 (Int) ] -> element; sort Int or Obj
+
+    // Integer arithmetic
+    Neg, Add, Sub, Mul, Div, Mod,
+
+    // Integer comparisons -> Bool
+    Eq, Ne, Lt, Le, Gt, Ge,
+
+    // Boolean connectives
+    Not, And, Or, Implies,
+
+    // Domain predicate: child0 (Int) is a whitespace code point -> Bool
+    IsWhitespace,
+};
+
+[[nodiscard]] const char* kind_name(Kind k);
+[[nodiscard]] bool is_comparison(Kind k);
+[[nodiscard]] bool is_arith(Kind k);
+[[nodiscard]] bool is_connective(Kind k);
+
+/// An immutable, hash-consed symbolic expression node. Nodes are created
+/// only by ExprPool; two structurally equal expressions are the same
+/// pointer, so pointer equality is structural equality.
+struct Expr {
+    Kind kind;
+    Sort sort;
+    std::int64_t a = 0;  ///< payload for leaves (constant / param index / bound id)
+    const Expr* child0 = nullptr;
+    const Expr* child1 = nullptr;
+
+    std::uint32_t id = 0;       ///< creation-ordered id, stable within a pool
+    bool has_param = false;     ///< any Param leaf below (inclusive)
+    bool has_bound = false;     ///< any BoundVar leaf below (inclusive)
+
+    [[nodiscard]] bool is_const() const { return !has_param && !has_bound; }
+    [[nodiscard]] int arity() const { return child1 ? 2 : (child0 ? 1 : 0); }
+
+    [[nodiscard]] std::int64_t int_value() const;   ///< requires kind == IntConst
+    [[nodiscard]] bool bool_value() const;          ///< requires kind == BoolConst
+};
+
+/// Structural key used by the pool's intern table.
+struct ExprKey {
+    Kind kind;
+    Sort sort;
+    std::int64_t a;
+    const Expr* child0;
+    const Expr* child1;
+
+    friend bool operator==(const ExprKey&, const ExprKey&) = default;
+};
+
+struct ExprKeyHash {
+    std::size_t operator()(const ExprKey& k) const noexcept;
+};
+
+}  // namespace preinfer::sym

@@ -1,0 +1,225 @@
+#include "src/sym/expr_pool.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::sym {
+
+namespace {
+
+/// Wrapping 64-bit arithmetic: the concrete interpreter uses the same
+/// semantics, so folding must match it exactly.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+}  // namespace
+
+bool ExprPool::whitespace_code_point(std::int64_t c) {
+    return c == ' ' || (c >= 9 && c <= 13);
+}
+
+const Expr* ExprPool::intern(Kind kind, Sort sort, std::int64_t a, const Expr* c0,
+                             const Expr* c1) {
+    ExprKey key{kind, sort, a, c0, c1};
+    if (auto it = table_.find(key); it != table_.end()) return it->second;
+    Expr node;
+    node.kind = kind;
+    node.sort = sort;
+    node.a = a;
+    node.child0 = c0;
+    node.child1 = c1;
+    node.id = static_cast<std::uint32_t>(nodes_.size());
+    node.has_param = kind == Kind::Param || (c0 && c0->has_param) || (c1 && c1->has_param);
+    node.has_bound = kind == Kind::BoundVar || (c0 && c0->has_bound) || (c1 && c1->has_bound);
+    nodes_.push_back(node);
+    const Expr* p = &nodes_.back();
+    table_.emplace(key, p);
+    return p;
+}
+
+const Expr* ExprPool::int_const(std::int64_t v) {
+    return intern(Kind::IntConst, Sort::Int, v, nullptr, nullptr);
+}
+
+const Expr* ExprPool::bool_const(bool v) {
+    return intern(Kind::BoolConst, Sort::Bool, v ? 1 : 0, nullptr, nullptr);
+}
+
+const Expr* ExprPool::null_const() {
+    return intern(Kind::NullConst, Sort::Obj, 0, nullptr, nullptr);
+}
+
+const Expr* ExprPool::param(int index, Sort sort) {
+    PI_CHECK(index >= 0, "negative parameter index");
+    return intern(Kind::Param, sort, index, nullptr, nullptr);
+}
+
+const Expr* ExprPool::bound_var(int id) {
+    PI_CHECK(id >= 0, "negative bound-variable id");
+    return intern(Kind::BoundVar, Sort::Int, id, nullptr, nullptr);
+}
+
+const Expr* ExprPool::len(const Expr* obj) {
+    PI_CHECK(obj->sort == Sort::Obj, "len of non-object");
+    return intern(Kind::Len, Sort::Int, 0, obj, nullptr);
+}
+
+const Expr* ExprPool::is_null(const Expr* obj) {
+    PI_CHECK(obj->sort == Sort::Obj, "is_null of non-object");
+    if (obj->kind == Kind::NullConst) return true_();
+    return intern(Kind::IsNull, Sort::Bool, 0, obj, nullptr);
+}
+
+const Expr* ExprPool::select(const Expr* obj, const Expr* index, Sort element_sort) {
+    PI_CHECK(obj->sort == Sort::Obj, "select base must be an object");
+    PI_CHECK(index->sort == Sort::Int, "select index must be an int");
+    PI_CHECK(element_sort != Sort::Bool, "no bool-element collections in MiniLang");
+    return intern(Kind::Select, element_sort, 0, obj, index);
+}
+
+const Expr* ExprPool::neg(const Expr* e) {
+    PI_CHECK(e->sort == Sort::Int, "neg of non-int");
+    if (e->kind == Kind::IntConst) return int_const(wrap_sub(0, e->a));
+    if (e->kind == Kind::Neg) return e->child0;
+    return intern(Kind::Neg, Sort::Int, 0, e, nullptr);
+}
+
+const Expr* ExprPool::add(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "add of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst)
+        return int_const(wrap_add(l->a, r->a));
+    if (l->kind == Kind::IntConst && l->a == 0) return r;
+    if (r->kind == Kind::IntConst && r->a == 0) return l;
+    // Canonicalize constants to the right so `x + 1` and `1 + x` intern to
+    // the same node; template matching relies on this normalization.
+    if (l->kind == Kind::IntConst) return intern(Kind::Add, Sort::Int, 0, r, l);
+    return intern(Kind::Add, Sort::Int, 0, l, r);
+}
+
+const Expr* ExprPool::sub(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "sub of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst)
+        return int_const(wrap_sub(l->a, r->a));
+    if (r->kind == Kind::IntConst && r->a == 0) return l;
+    if (l == r) return int_const(0);
+    // x - c  ==>  x + (-c): one canonical shape for constant offsets.
+    if (r->kind == Kind::IntConst) return add(l, int_const(wrap_sub(0, r->a)));
+    return intern(Kind::Sub, Sort::Int, 0, l, r);
+}
+
+const Expr* ExprPool::mul(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "mul of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst)
+        return int_const(wrap_mul(l->a, r->a));
+    if (l->kind == Kind::IntConst && l->a == 1) return r;
+    if (r->kind == Kind::IntConst && r->a == 1) return l;
+    if ((l->kind == Kind::IntConst && l->a == 0) || (r->kind == Kind::IntConst && r->a == 0))
+        return int_const(0);
+    if (l->kind == Kind::IntConst) return intern(Kind::Mul, Sort::Int, 0, r, l);
+    return intern(Kind::Mul, Sort::Int, 0, l, r);
+}
+
+const Expr* ExprPool::div(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "div of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst && r->a != 0)
+        return int_const(l->a / r->a);
+    if (r->kind == Kind::IntConst && r->a == 1) return l;
+    return intern(Kind::Div, Sort::Int, 0, l, r);
+}
+
+const Expr* ExprPool::mod(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "mod of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst && r->a != 0)
+        return int_const(l->a % r->a);
+    return intern(Kind::Mod, Sort::Int, 0, l, r);
+}
+
+const Expr* ExprPool::cmp(Kind op, const Expr* l, const Expr* r) {
+    PI_CHECK(is_comparison(op), "cmp with non-comparison kind");
+    PI_CHECK(l->sort == Sort::Int && r->sort == Sort::Int, "comparison of non-ints");
+    if (l->kind == Kind::IntConst && r->kind == Kind::IntConst) {
+        switch (op) {
+            case Kind::Eq: return bool_const(l->a == r->a);
+            case Kind::Ne: return bool_const(l->a != r->a);
+            case Kind::Lt: return bool_const(l->a < r->a);
+            case Kind::Le: return bool_const(l->a <= r->a);
+            case Kind::Gt: return bool_const(l->a > r->a);
+            case Kind::Ge: return bool_const(l->a >= r->a);
+            default: break;
+        }
+    }
+    if (l == r) {
+        switch (op) {
+            case Kind::Eq: case Kind::Le: case Kind::Ge: return true_();
+            case Kind::Ne: case Kind::Lt: case Kind::Gt: return false_();
+            default: break;
+        }
+    }
+    return intern(op, Sort::Bool, 0, l, r);
+}
+
+const Expr* ExprPool::not_(const Expr* e) {
+    PI_CHECK(e->sort == Sort::Bool, "not of non-bool");
+    if (e->kind == Kind::BoolConst) return bool_const(e->a == 0);
+    if (e->kind == Kind::Not) return e->child0;
+    return intern(Kind::Not, Sort::Bool, 0, e, nullptr);
+}
+
+const Expr* ExprPool::and_(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Bool && r->sort == Sort::Bool, "and of non-bools");
+    if (l->kind == Kind::BoolConst) return l->a ? r : false_();
+    if (r->kind == Kind::BoolConst) return r->a ? l : false_();
+    if (l == r) return l;
+    return intern(Kind::And, Sort::Bool, 0, l, r);
+}
+
+const Expr* ExprPool::or_(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Bool && r->sort == Sort::Bool, "or of non-bools");
+    if (l->kind == Kind::BoolConst) return l->a ? true_() : r;
+    if (r->kind == Kind::BoolConst) return r->a ? true_() : l;
+    if (l == r) return l;
+    return intern(Kind::Or, Sort::Bool, 0, l, r);
+}
+
+const Expr* ExprPool::implies(const Expr* l, const Expr* r) {
+    PI_CHECK(l->sort == Sort::Bool && r->sort == Sort::Bool, "implies of non-bools");
+    if (l->kind == Kind::BoolConst) return l->a ? r : true_();
+    if (r->kind == Kind::BoolConst && r->a) return true_();
+    if (l == r) return true_();
+    return intern(Kind::Implies, Sort::Bool, 0, l, r);
+}
+
+const Expr* ExprPool::is_whitespace(const Expr* e) {
+    PI_CHECK(e->sort == Sort::Int, "is_whitespace of non-int");
+    if (e->kind == Kind::IntConst) return bool_const(whitespace_code_point(e->a));
+    return intern(Kind::IsWhitespace, Sort::Bool, 0, e, nullptr);
+}
+
+const Expr* ExprPool::negate(const Expr* e) {
+    PI_CHECK(e->sort == Sort::Bool, "negate of non-bool");
+    switch (e->kind) {
+        case Kind::BoolConst: return bool_const(e->a == 0);
+        case Kind::Not: return e->child0;
+        case Kind::Eq: return cmp(Kind::Ne, e->child0, e->child1);
+        case Kind::Ne: return cmp(Kind::Eq, e->child0, e->child1);
+        case Kind::Lt: return cmp(Kind::Ge, e->child0, e->child1);
+        case Kind::Le: return cmp(Kind::Gt, e->child0, e->child1);
+        case Kind::Gt: return cmp(Kind::Le, e->child0, e->child1);
+        case Kind::Ge: return cmp(Kind::Lt, e->child0, e->child1);
+        case Kind::And: return or_(negate(e->child0), negate(e->child1));
+        case Kind::Or: return and_(negate(e->child0), negate(e->child1));
+        case Kind::Implies: return and_(e->child0, negate(e->child1));
+        default: return not_(e);
+    }
+}
+
+}  // namespace preinfer::sym

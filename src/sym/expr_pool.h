@@ -1,0 +1,79 @@
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::sym {
+
+/// Owns and interns all Expr nodes of one analysis session. Construction
+/// constant-folds aggressively: an expression with no Param/BoundVar leaves
+/// always folds to a constant node. This is what lets the concolic engine
+/// skip recording branch predicates that carry no symbolic content (the
+/// paper's path conditions contain only input-dependent predicates).
+///
+/// Not thread-safe; one pool per analysis session.
+class ExprPool {
+public:
+    ExprPool() = default;
+    ExprPool(const ExprPool&) = delete;
+    ExprPool& operator=(const ExprPool&) = delete;
+
+    // --- Leaves ---------------------------------------------------------
+    const Expr* int_const(std::int64_t v);
+    const Expr* bool_const(bool v);
+    const Expr* true_() { return bool_const(true); }
+    const Expr* false_() { return bool_const(false); }
+    const Expr* null_const();
+    const Expr* param(int index, Sort sort);
+    const Expr* bound_var(int id);
+
+    // --- Object observers -------------------------------------------------
+    const Expr* len(const Expr* obj);
+    const Expr* is_null(const Expr* obj);
+    const Expr* select(const Expr* obj, const Expr* index, Sort element_sort);
+
+    // --- Arithmetic -------------------------------------------------------
+    const Expr* neg(const Expr* e);
+    const Expr* add(const Expr* l, const Expr* r);
+    const Expr* sub(const Expr* l, const Expr* r);
+    const Expr* mul(const Expr* l, const Expr* r);
+    const Expr* div(const Expr* l, const Expr* r);  ///< folds only when divisor != 0
+    const Expr* mod(const Expr* l, const Expr* r);
+
+    // --- Comparisons ------------------------------------------------------
+    const Expr* cmp(Kind op, const Expr* l, const Expr* r);
+    const Expr* eq(const Expr* l, const Expr* r) { return cmp(Kind::Eq, l, r); }
+    const Expr* ne(const Expr* l, const Expr* r) { return cmp(Kind::Ne, l, r); }
+    const Expr* lt(const Expr* l, const Expr* r) { return cmp(Kind::Lt, l, r); }
+    const Expr* le(const Expr* l, const Expr* r) { return cmp(Kind::Le, l, r); }
+    const Expr* gt(const Expr* l, const Expr* r) { return cmp(Kind::Gt, l, r); }
+    const Expr* ge(const Expr* l, const Expr* r) { return cmp(Kind::Ge, l, r); }
+
+    // --- Connectives ------------------------------------------------------
+    const Expr* not_(const Expr* e);
+    const Expr* and_(const Expr* l, const Expr* r);
+    const Expr* or_(const Expr* l, const Expr* r);
+    const Expr* implies(const Expr* l, const Expr* r);
+    const Expr* is_whitespace(const Expr* e);
+
+    /// Logical negation with comparison flipping: Lt <-> Ge, Eq <-> Ne, ...
+    /// Produces atoms of the same shape the paper prints (no leading Not on
+    /// comparisons).
+    const Expr* negate(const Expr* e);
+
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+    /// True iff the integer code point is MiniLang whitespace (tab .. CR, space).
+    static bool whitespace_code_point(std::int64_t c);
+
+private:
+    const Expr* intern(Kind kind, Sort sort, std::int64_t a, const Expr* c0,
+                       const Expr* c1);
+
+    std::deque<Expr> nodes_;
+    std::unordered_map<ExprKey, const Expr*, ExprKeyHash> table_;
+};
+
+}  // namespace preinfer::sym

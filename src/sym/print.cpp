@@ -1,0 +1,134 @@
+#include "src/sym/print.h"
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::sym {
+
+namespace {
+
+/// Precedence levels, loosest binding first.
+int precedence(Kind k) {
+    switch (k) {
+        case Kind::Implies: return 1;
+        case Kind::Or: return 2;
+        case Kind::And: return 3;
+        case Kind::Eq: case Kind::Ne: case Kind::Lt:
+        case Kind::Le: case Kind::Gt: case Kind::Ge: return 4;
+        case Kind::Add: case Kind::Sub: return 5;
+        case Kind::Mul: case Kind::Div: case Kind::Mod: return 6;
+        case Kind::Neg: case Kind::Not: return 7;
+        default: return 8;  // atoms and call-like forms
+    }
+}
+
+const char* op_token(Kind k) {
+    switch (k) {
+        case Kind::Implies: return " => ";
+        case Kind::Or: return " || ";
+        case Kind::And: return " && ";
+        case Kind::Eq: return " == ";
+        case Kind::Ne: return " != ";
+        case Kind::Lt: return " < ";
+        case Kind::Le: return " <= ";
+        case Kind::Gt: return " > ";
+        case Kind::Ge: return " >= ";
+        case Kind::Add: return " + ";
+        case Kind::Sub: return " - ";
+        case Kind::Mul: return " * ";
+        case Kind::Div: return " / ";
+        case Kind::Mod: return " % ";
+        default: return " ? ";
+    }
+}
+
+std::string bound_name(std::int64_t id) {
+    static const char* kNames[] = {"i", "j", "k"};
+    if (id >= 0 && id < 3) return kNames[id];
+    return "i" + std::to_string(id);
+}
+
+void render(const Expr* e, std::span<const std::string> names, std::string& out);
+
+void render_child(const Expr* child, int parent_prec,
+                  std::span<const std::string> names, std::string& out) {
+    const bool parens = precedence(child->kind) < parent_prec;
+    if (parens) out += '(';
+    render(child, names, out);
+    if (parens) out += ')';
+}
+
+void render(const Expr* e, std::span<const std::string> names, std::string& out) {
+    switch (e->kind) {
+        case Kind::IntConst:
+            out += std::to_string(e->a);
+            return;
+        case Kind::BoolConst:
+            out += e->a ? "true" : "false";
+            return;
+        case Kind::NullConst:
+            out += "null";
+            return;
+        case Kind::Param:
+            if (static_cast<std::size_t>(e->a) < names.size())
+                out += names[static_cast<std::size_t>(e->a)];
+            else
+                out += "p" + std::to_string(e->a);
+            return;
+        case Kind::BoundVar:
+            out += bound_name(e->a);
+            return;
+        case Kind::Len:
+            render_child(e->child0, precedence(Kind::Len), names, out);
+            out += ".len";
+            return;
+        case Kind::IsNull:
+            render_child(e->child0, 4, names, out);
+            out += " == null";
+            return;
+        case Kind::Select:
+            render_child(e->child0, precedence(Kind::Select), names, out);
+            out += '[';
+            render(e->child1, names, out);
+            out += ']';
+            return;
+        case Kind::Neg:
+            out += '-';
+            render_child(e->child0, precedence(Kind::Neg) + 1, names, out);
+            return;
+        case Kind::Not:
+            // Pretty-print !(x == null) as x != null.
+            if (e->child0->kind == Kind::IsNull) {
+                render_child(e->child0->child0, 4, names, out);
+                out += " != null";
+                return;
+            }
+            out += '!';
+            render_child(e->child0, precedence(Kind::Not) + 1, names, out);
+            return;
+        case Kind::IsWhitespace:
+            out += "iswhitespace(";
+            render(e->child0, names, out);
+            out += ')';
+            return;
+        default: {
+            PI_CHECK(e->arity() == 2, "binary renderer on non-binary node");
+            const int prec = precedence(e->kind);
+            render_child(e->child0, prec, names, out);
+            out += op_token(e->kind);
+            // Right operand needs parens at equal precedence for the
+            // non-associative / left-associative operators.
+            render_child(e->child1, prec + 1, names, out);
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_string(const Expr* e, std::span<const std::string> param_names) {
+    std::string out;
+    render(e, param_names, out);
+    return out;
+}
+
+}  // namespace preinfer::sym

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::sym {
+
+/// Renders an expression in the paper's infix notation, e.g.
+/// `s[0] == null`, `0 < s.len`, `iswhitespace(value[i])`, `d + 1 > 0`.
+/// `param_names[i]` names Param(i); missing names print as `p<i>`.
+/// Bound variables print as `i`, `j`, `k`, `i3`, ...
+[[nodiscard]] std::string to_string(const Expr* e,
+                                    std::span<const std::string> param_names = {});
+
+}  // namespace preinfer::sym

@@ -1,0 +1,100 @@
+#include "src/sym/rewrite.h"
+
+#include <algorithm>
+
+#include "src/support/diagnostics.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::sym {
+
+namespace {
+
+const Expr* rebuild(ExprPool& pool, Kind kind, Sort sort, std::int64_t a,
+                    const Expr* c0, const Expr* c1) {
+    switch (kind) {
+        case Kind::IntConst: return pool.int_const(a);
+        case Kind::BoolConst: return pool.bool_const(a != 0);
+        case Kind::NullConst: return pool.null_const();
+        case Kind::Param: return pool.param(static_cast<int>(a), sort);
+        case Kind::BoundVar: return pool.bound_var(static_cast<int>(a));
+        case Kind::Len: return pool.len(c0);
+        case Kind::IsNull: return pool.is_null(c0);
+        case Kind::Select: return pool.select(c0, c1, sort);
+        case Kind::Neg: return pool.neg(c0);
+        case Kind::Add: return pool.add(c0, c1);
+        case Kind::Sub: return pool.sub(c0, c1);
+        case Kind::Mul: return pool.mul(c0, c1);
+        case Kind::Div: return pool.div(c0, c1);
+        case Kind::Mod: return pool.mod(c0, c1);
+        case Kind::Eq: case Kind::Ne: case Kind::Lt:
+        case Kind::Le: case Kind::Gt: case Kind::Ge:
+            return pool.cmp(kind, c0, c1);
+        case Kind::Not: return pool.not_(c0);
+        case Kind::And: return pool.and_(c0, c1);
+        case Kind::Or: return pool.or_(c0, c1);
+        case Kind::Implies: return pool.implies(c0, c1);
+        case Kind::IsWhitespace: return pool.is_whitespace(c0);
+    }
+    PI_CHECK(false, "unhandled kind in rebuild");
+    return nullptr;
+}
+
+const Expr* substitute_rec(ExprPool& pool, const Expr* e,
+                           const std::unordered_map<const Expr*, const Expr*>& map,
+                           std::unordered_map<const Expr*, const Expr*>& memo) {
+    if (auto it = map.find(e); it != map.end()) return it->second;
+    if (e->arity() == 0) return e;
+    if (auto it = memo.find(e); it != memo.end()) return it->second;
+    const Expr* c0 = e->child0 ? substitute_rec(pool, e->child0, map, memo) : nullptr;
+    const Expr* c1 = e->child1 ? substitute_rec(pool, e->child1, map, memo) : nullptr;
+    const Expr* result =
+        (c0 == e->child0 && c1 == e->child1)
+            ? e
+            : rebuild(pool, e->kind, e->sort, e->a, c0, c1);
+    memo.emplace(e, result);
+    return result;
+}
+
+}  // namespace
+
+const Expr* substitute(ExprPool& pool, const Expr* e,
+                       const std::unordered_map<const Expr*, const Expr*>& map) {
+    std::unordered_map<const Expr*, const Expr*> memo;
+    return substitute_rec(pool, e, map, memo);
+}
+
+void for_each_node(const Expr* e, const std::function<void(const Expr*)>& fn) {
+    fn(e);
+    if (e->child0) for_each_node(e->child0, fn);
+    if (e->child1) for_each_node(e->child1, fn);
+}
+
+bool contains(const Expr* haystack, const Expr* needle) {
+    if (haystack == needle) return true;
+    if (haystack->child0 && contains(haystack->child0, needle)) return true;
+    if (haystack->child1 && contains(haystack->child1, needle)) return true;
+    return false;
+}
+
+std::vector<int> collect_params(const Expr* e) {
+    std::unordered_set<int> seen;
+    std::vector<int> out;
+    for_each_node(e, [&](const Expr* n) {
+        if (n->kind == Kind::Param && seen.insert(static_cast<int>(n->a)).second)
+            out.push_back(static_cast<int>(n->a));
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<const Expr*> collect_object_terms(const Expr* e) {
+    std::unordered_set<const Expr*> seen;
+    std::vector<const Expr*> out;
+    for_each_node(e, [&](const Expr* n) {
+        if (n->sort == Sort::Obj && n->kind != Kind::NullConst && seen.insert(n).second)
+            out.push_back(n);
+    });
+    return out;
+}
+
+}  // namespace preinfer::sym

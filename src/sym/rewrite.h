@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sym/expr.h"
+
+namespace preinfer::sym {
+
+class ExprPool;
+
+/// Rebuilds `e` replacing every node that appears as a key in `map` (matched
+/// by interned pointer identity, i.e. structurally) with its mapped value.
+/// Replacement is not re-applied inside replaced values. Children of
+/// non-replaced nodes are rewritten recursively and the node is re-interned,
+/// so pool simplifications re-fire on the rewritten tree.
+[[nodiscard]] const Expr* substitute(
+    ExprPool& pool, const Expr* e,
+    const std::unordered_map<const Expr*, const Expr*>& map);
+
+/// Pre-order visit of every node of `e` (including `e` itself).
+void for_each_node(const Expr* e, const std::function<void(const Expr*)>& fn);
+
+/// True iff `needle` occurs as a (structural) subterm of `haystack`.
+[[nodiscard]] bool contains(const Expr* haystack, const Expr* needle);
+
+/// All Param indices appearing in `e`.
+[[nodiscard]] std::vector<int> collect_params(const Expr* e);
+
+/// All maximal object terms (Param/Select of sort Obj) appearing in `e`.
+[[nodiscard]] std::vector<const Expr*> collect_object_terms(const Expr* e);
+
+}  // namespace preinfer::sym

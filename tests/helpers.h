@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared helpers for PreInfer tests: compile MiniLang snippets, run the
+// explorer, and adapt gen::Explorer into the pruning oracle.
+
+#include <optional>
+
+#include "src/core/pruning.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+
+namespace preinfer::testing_helpers {
+
+inline lang::Method compile_method(std::string_view src) {
+    lang::Program prog = lang::parse_single_method(src);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    return std::move(prog.methods[0]);
+}
+
+/// WitnessOracle over an Explorer; owns the witness path conditions.
+class ExplorerOracle final : public core::WitnessOracle {
+public:
+    explicit ExplorerOracle(gen::Explorer& explorer) : explorer_(explorer) {}
+
+    std::optional<Witness> witness(
+        std::span<const sym::Expr* const> conjuncts) override {
+        auto t = explorer_.run_constrained(conjuncts, nullptr);
+        if (!t || !t->usable()) return std::nullopt;
+        store_.push_back(std::move(*t));
+        const gen::Test& kept = store_.back();
+        Witness w;
+        w.pc = &kept.result.pc;
+        w.failing = kept.result.outcome.failing();
+        if (w.failing) w.acl = kept.result.outcome.acl;
+        return w;
+    }
+
+private:
+    gen::Explorer& explorer_;
+    std::deque<gen::Test> store_;
+};
+
+}  // namespace preinfer::testing_helpers

@@ -1,0 +1,149 @@
+// break / continue: parsing, checking, execution semantics (including
+// inside nested loops and interaction with path recording), and the
+// downstream inference pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "helpers.h"
+#include "src/core/preinfer.h"
+#include "src/lang/print.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer {
+namespace {
+
+using testing_helpers::compile_method;
+
+TEST(BreakContinue, ParseAndPrint) {
+    lang::Program p = lang::parse_single_method(R"(
+        method m(n: int) : int {
+            var count = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 7) { break; }
+                count = count + 1;
+            }
+            return count;
+        })");
+    lang::type_check(p);
+    const std::string printed = lang::to_string(p);
+    EXPECT_NE(printed.find("continue;"), std::string::npos);
+    EXPECT_NE(printed.find("break;"), std::string::npos);
+    // Round-trip.
+    lang::Program again = lang::parse_program(printed);
+    EXPECT_EQ(lang::to_string(again), printed);
+}
+
+TEST(BreakContinue, RejectedOutsideLoops) {
+    EXPECT_THROW(
+        {
+            lang::Program p = lang::parse_single_method("method m() { break; }");
+            lang::type_check(p);
+        },
+        support::FrontendError);
+    EXPECT_THROW(
+        {
+            lang::Program p = lang::parse_single_method(
+                "method m(c: bool) { if (c) { continue; } }");
+            lang::type_check(p);
+        },
+        support::FrontendError);
+}
+
+TEST(BreakContinue, ExecutionSemantics) {
+    const lang::Method m = compile_method(R"(
+        method m(n: int) : int {
+            var count = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                if (i == 1) { continue; }
+                if (i == 3) { break; }
+                count = count + 1;
+            }
+            assert(count != 2);
+            return count;
+        })");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, m);
+    // n=5: i=0 count, i=1 skip, i=2 count, i=3 break => count==2 => assert fails.
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{5});
+    const exec::RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, core::ExceptionKind::AssertionViolation);
+
+    // n=2: i=0 count, i=1 skip => count==1 passes.
+    exec::Input ok;
+    ok.args.emplace_back(std::int64_t{2});
+    EXPECT_EQ(interp.run(ok).outcome.tag, exec::Outcome::Tag::Normal);
+}
+
+TEST(BreakContinue, BreakOnlyExitsInnermostLoop) {
+    const lang::Method m = compile_method(R"(
+        method m(n: int) : int {
+            var total = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                for (var j = 0; j < 10; j = j + 1) {
+                    if (j == 2) { break; }
+                    total = total + 1;
+                }
+            }
+            return total;
+        })");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, m);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{3});
+    const exec::RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, exec::Outcome::Tag::Normal);
+    // 3 outer iterations x 2 inner increments each = 6; verify via assert
+    // in a sibling method instead: here just check it terminated normally
+    // and recorded the outer-loop predicates.
+    const std::string pc = core::to_string(r.pc, m.param_names());
+    EXPECT_NE(pc.find("2 < n"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("3 >= n"), std::string::npos) << pc;
+}
+
+TEST(BreakContinue, EarlyExitScanInference) {
+    // find-first with break: the inferred precondition must still be the
+    // existential condition over the collection.
+    const lang::Method m = compile_method(R"(
+        method m(xs: int[]) : int {
+            if (xs == null) { return 0; }
+            var found = 0;
+            for (var i = 0; i < xs.len; i = i + 1) {
+                if (xs[i] == 0) {
+                    found = 1;
+                    break;
+                }
+            }
+            return 10 / found;
+        })");
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, m);
+    const gen::TestSuite suite = explorer.explore();
+    core::AclId div_acl;
+    for (const core::AclId acl : suite.failing_acls()) {
+        if (acl.kind == core::ExceptionKind::DivideByZero) div_acl = acl;
+    }
+    ASSERT_TRUE(div_acl.valid());
+    const gen::AclView view = view_for(suite, div_acl);
+
+    std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
+    std::vector<const sym::EvalEnv*> envs;
+    for (const gen::Test* t : view.passing) {
+        storage.push_back(std::make_unique<exec::InputEvalEnv>(m, t->input));
+        envs.push_back(storage.back().get());
+    }
+    core::PreInfer preinfer(pool);
+    const core::InferenceResult r =
+        preinfer.infer(div_acl, view.failing_pcs(), view.passing_pcs(), envs);
+    ASSERT_TRUE(r.inferred);
+    // Fails iff no zero element: precondition demands one exists.
+    const std::string printed = core::to_string(r.precondition, m.param_names());
+    EXPECT_NE(printed.find("exists i."), std::string::npos) << printed;
+    EXPECT_NE(printed.find("xs[i] == 0"), std::string::npos) << printed;
+}
+
+}  // namespace
+}  // namespace preinfer

@@ -1,0 +1,134 @@
+#include "src/cli/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace preinfer::cli {
+namespace {
+
+ParseResult parse(std::vector<std::string> args) { return parse_args(args); }
+
+TEST(CliArgs, DefaultsAndFile) {
+    const ParseResult r = parse({"prog.mini"});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.options.source_path, "prog.mini");
+    EXPECT_TRUE(r.options.generalize);
+    EXPECT_FALSE(r.options.solver_assisted);
+    EXPECT_EQ(r.options.max_tests, 256);
+}
+
+TEST(CliArgs, AllFlags) {
+    const ParseResult r =
+        parse({"p.mini", "--method", "m", "--solver-assisted", "--no-generalize",
+               "--baselines", "--show-paths", "--validate", "--max-tests", "32",
+               "--guard-fuzz", "100"});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.options.method, "m");
+    EXPECT_TRUE(r.options.solver_assisted);
+    EXPECT_FALSE(r.options.generalize);
+    EXPECT_TRUE(r.options.baselines);
+    EXPECT_TRUE(r.options.show_paths);
+    EXPECT_TRUE(r.options.validate);
+    EXPECT_EQ(r.options.max_tests, 32);
+    EXPECT_EQ(r.options.guard_fuzz, 100);
+}
+
+TEST(CliArgs, Errors) {
+    EXPECT_FALSE(parse({}).ok);
+    EXPECT_FALSE(parse({"--max-tests"}).ok);
+    EXPECT_FALSE(parse({"a.mini", "--max-tests", "abc"}).ok);
+    EXPECT_FALSE(parse({"a.mini", "--bogus"}).ok);
+    EXPECT_FALSE(parse({"a.mini", "b.mini"}).ok);
+    EXPECT_TRUE(parse({"--help"}).show_help);
+}
+
+TEST(CliRun, EndToEndReport) {
+    Options options;
+    options.source_path = "inline.mini";
+    options.baselines = true;
+    std::ostringstream out;
+    const int code = run(options, R"(
+        method m(k: int, d: int) : int {
+            if (k > 0) { return 10 / d; }
+            return 0;
+        })",
+                         out);
+    EXPECT_EQ(code, 0);
+    const std::string report = out.str();
+    EXPECT_NE(report.find("DivideByZero"), std::string::npos) << report;
+    EXPECT_NE(report.find("PreInfer: k <= 0 || d != 0"), std::string::npos) << report;
+    EXPECT_NE(report.find("FixIt:    d != 0"), std::string::npos) << report;
+    EXPECT_NE(report.find("DySy:"), std::string::npos) << report;
+}
+
+TEST(CliRun, SelectsMethodByName) {
+    Options options;
+    options.source_path = "inline.mini";
+    options.method = "second";
+    std::ostringstream out;
+    const int code = run(options, R"(
+        method first(a: int) : int { return a; }
+        method second(b: int) : int { return 1 / b; }
+    )",
+                         out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.str().find("method second"), std::string::npos);
+}
+
+TEST(CliRun, InterproceduralAttribution) {
+    Options options;
+    options.source_path = "inline.mini";
+    std::ostringstream out;
+    const int code = run(options, R"(
+        method check(x: int) : int { assert(x > 0); return x; }
+        method m(a: int) : int { return check(a); }
+    )",
+                         out);
+    // Analyzes `check` itself (first method); run again targeting m.
+    EXPECT_EQ(code, 0);
+
+    options.method = "m";
+    std::ostringstream out2;
+    EXPECT_EQ(run(options, R"(
+        method check(x: int) : int { assert(x > 0); return x; }
+        method m(a: int) : int { return check(a); }
+    )",
+                  out2),
+              0);
+    EXPECT_NE(out2.str().find("AssertionViolation in check"), std::string::npos)
+        << out2.str();
+    EXPECT_NE(out2.str().find("a > 0"), std::string::npos) << out2.str();
+}
+
+TEST(CliRun, NoFailuresExitCode) {
+    Options options;
+    options.source_path = "inline.mini";
+    std::ostringstream out;
+    EXPECT_EQ(run(options, "method m(a: int) : int { return a + 1; }", out), 2);
+}
+
+TEST(CliRun, FrontendErrorExitCode) {
+    Options options;
+    options.source_path = "inline.mini";
+    std::ostringstream out;
+    EXPECT_EQ(run(options, "method m( { }", out), 1);
+    EXPECT_NE(out.str().find("error:"), std::string::npos);
+    std::ostringstream out2;
+    options.method = "nope";
+    EXPECT_EQ(run(options, "method m(a: int) { }", out2), 1);
+}
+
+TEST(CliRun, GuardFuzzReports) {
+    Options options;
+    options.source_path = "inline.mini";
+    options.guard_fuzz = 50;
+    std::ostringstream out;
+    EXPECT_EQ(run(options, "method m(a: int, b: int) : int { return a / b; }", out), 0);
+    EXPECT_NE(out.str().find("guard over 50 fuzz inputs"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("0 failures escaped"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace preinfer::cli

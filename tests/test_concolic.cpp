@@ -1,0 +1,326 @@
+#include "src/exec/concolic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/path_condition.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/print.h"
+
+namespace preinfer::exec {
+namespace {
+
+using core::ExceptionKind;
+
+class ConcolicTest : public ::testing::Test {
+protected:
+    lang::Method compile(std::string_view src) {
+        lang::Program prog = lang::parse_single_method(src);
+        lang::type_check(prog);
+        lang::label_blocks(prog);
+        return std::move(prog.methods[0]);
+    }
+
+    std::string pc_string(const RunResult& r, const lang::Method& m) {
+        const auto names = m.param_names();
+        return core::to_string(r.pc, names);
+    }
+
+    sym::ExprPool pool;
+};
+
+// The paper's Figure 1 example.
+constexpr const char* kFigure1 = R"(
+method example(s: str[], a: int, b: int, c: int, d: int) : int {
+    var sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (var i = 0; i < s.len; i = i + 1) {
+            sum = sum + s[i].len;
+        }
+        return sum;
+    }
+    return 0;
+})";
+
+TEST_F(ConcolicTest, Figure1FailingTestTf1) {
+    const lang::Method m = compile(kFigure1);
+    ConcolicInterpreter interp(pool, m);
+
+    // t_f1: (s: {null}, a: 1, b: 0, c: 1, d: 0) — NullReference on s[0].len.
+    Input in;
+    in.args.emplace_back(StrArrInput::of({StrInput::null()}));
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+
+    const RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, ExceptionKind::NullReference);
+
+    // Path condition matches the paper's Table I (modulo the s != null
+    // check being attached to the s.len read in our loop header):
+    // a > 0, c > 0, b + 1 > 0, d + 1 > 0, s != null, 0 < s.len, s[0] == null
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("a > 0"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("c > 0"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("b + 1 > 0"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("d + 1 > 0"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("s != null"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("0 < s.len"), std::string::npos) << pc;
+    // Last predicate is the assertion-violating condition.
+    EXPECT_EQ(sym::to_string(r.pc.last().expr, m.param_names()), "s[0] == null") << pc;
+    EXPECT_EQ(r.pc.last().check, ExceptionKind::NullReference);
+}
+
+TEST_F(ConcolicTest, Figure1FailingTestTf3) {
+    const lang::Method m = compile(kFigure1);
+    ConcolicInterpreter interp(pool, m);
+
+    // t_f3: (s: {"a", "a", null}, a: 1, b: 0, c: 1, d: 0) — fails on s[2].
+    Input in;
+    in.args.emplace_back(
+        StrArrInput::of({StrInput::of("a"), StrInput::of("a"), StrInput::null()}));
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+
+    const RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    const auto names = m.param_names();
+    EXPECT_EQ(sym::to_string(r.pc.last().expr, names), "s[2] == null");
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("s[0] != null"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("1 < s.len"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("s[1] != null"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("2 < s.len"), std::string::npos) << pc;
+}
+
+TEST_F(ConcolicTest, Figure1PassingRun) {
+    const lang::Method m = compile(kFigure1);
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(StrArrInput::of({StrInput::of("ab")}));
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("a <= 0"), std::string::npos) << pc;
+}
+
+TEST_F(ConcolicTest, NullArrayDereferenceFailsAtLen) {
+    const lang::Method m = compile("method m(xs: int[]) : int { return xs.len; }");
+    ConcolicInterpreter interp(pool, m);
+    const RunResult r = interp.run(default_input(m));
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, ExceptionKind::NullReference);
+    EXPECT_EQ(sym::to_string(r.pc.last().expr, m.param_names()), "xs == null");
+}
+
+TEST_F(ConcolicTest, IndexOutOfRangeLowAndHigh) {
+    const lang::Method m =
+        compile("method m(xs: int[], i: int) : int { return xs[i]; }");
+    ConcolicInterpreter interp(pool, m);
+
+    Input low;
+    low.args.emplace_back(IntArrInput::of({1, 2}));
+    low.args.emplace_back(std::int64_t{-1});
+    const RunResult r1 = interp.run(low);
+    ASSERT_TRUE(r1.outcome.failing());
+    EXPECT_EQ(r1.outcome.acl.kind, ExceptionKind::IndexOutOfRange);
+
+    Input high;
+    high.args.emplace_back(IntArrInput::of({1, 2}));
+    high.args.emplace_back(std::int64_t{5});
+    const RunResult r2 = interp.run(high);
+    ASSERT_TRUE(r2.outcome.failing());
+    EXPECT_EQ(r2.outcome.acl.kind, ExceptionKind::IndexOutOfRange);
+
+    Input ok;
+    ok.args.emplace_back(IntArrInput::of({1, 2}));
+    ok.args.emplace_back(std::int64_t{1});
+    EXPECT_EQ(interp.run(ok).outcome.tag, Outcome::Tag::Normal);
+}
+
+TEST_F(ConcolicTest, DivideByZero) {
+    const lang::Method m = compile("method m(a: int, b: int) : int { return a / b; }");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{10});
+    in.args.emplace_back(std::int64_t{0});
+    const RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, ExceptionKind::DivideByZero);
+    EXPECT_EQ(sym::to_string(r.pc.last().expr, m.param_names()), "b == 0");
+
+    Input ok;
+    ok.args.emplace_back(std::int64_t{10});
+    ok.args.emplace_back(std::int64_t{2});
+    const RunResult r2 = interp.run(ok);
+    EXPECT_EQ(r2.outcome.tag, Outcome::Tag::Normal);
+    EXPECT_EQ(sym::to_string(r2.pc.last().expr, m.param_names()), "b != 0");
+}
+
+TEST_F(ConcolicTest, ExplicitAssert) {
+    const lang::Method m = compile("method m(a: int) { assert(a > 10); }");
+    ConcolicInterpreter interp(pool, m);
+    Input bad;
+    bad.args.emplace_back(std::int64_t{3});
+    const RunResult r = interp.run(bad);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, ExceptionKind::AssertionViolation);
+    EXPECT_EQ(sym::to_string(r.pc.last().expr, m.param_names()), "a <= 10");
+}
+
+TEST_F(ConcolicTest, ShortCircuitOperandsRecordSeparatePredicates) {
+    const lang::Method m =
+        compile("method m(a: int, b: int) { if (a > 0 && b > 0) { } }");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{1});
+    in.args.emplace_back(std::int64_t{0});
+    const RunResult r = interp.run(in);
+    ASSERT_EQ(r.pc.size(), 2u);
+    const auto names = m.param_names();
+    EXPECT_EQ(sym::to_string(r.pc.preds[0].expr, names), "a > 0");
+    EXPECT_EQ(sym::to_string(r.pc.preds[1].expr, names), "b <= 0");
+}
+
+TEST_F(ConcolicTest, ShortCircuitSkipsRight) {
+    const lang::Method m =
+        compile("method m(s: str) { if (s != null && s.len > 0) { } }");
+    ConcolicInterpreter interp(pool, m);
+    // With s null, the right operand (which would throw) is never evaluated.
+    const RunResult r = interp.run(default_input(m));
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    ASSERT_EQ(r.pc.size(), 1u);
+    EXPECT_EQ(sym::to_string(r.pc.preds[0].expr, m.param_names()), "s == null");
+}
+
+TEST_F(ConcolicTest, ConstantBranchesNotRecorded) {
+    const lang::Method m = compile(R"(
+        method m(a: int) {
+            var x = 3;
+            if (x > 1) { x = 2; }
+            if (a > 1) { x = 4; }
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    const RunResult r = interp.run(in);
+    // Only the input-dependent branch appears.
+    ASSERT_EQ(r.pc.size(), 1u);
+    EXPECT_EQ(sym::to_string(r.pc.preds[0].expr, m.param_names()), "a <= 1");
+}
+
+TEST_F(ConcolicTest, LoopRecordsPerIterationPredicates) {
+    const lang::Method m = compile(R"(
+        method m(xs: int[]) : int {
+            var sum = 0;
+            for (var i = 0; i < xs.len; i = i + 1) { sum = sum + xs[i]; }
+            return sum;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(IntArrInput::of({5, 6}));
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("0 < xs.len"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("1 < xs.len"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("2 >= xs.len"), std::string::npos) << pc;
+}
+
+TEST_F(ConcolicTest, InfiniteLoopExhausts) {
+    const lang::Method m = compile("method m(a: int) { while (a == a) { } }");
+    ConcolicInterpreter interp(pool, m, {.max_steps = 1000});
+    const RunResult r = interp.run(default_input(m));
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Exhausted);
+}
+
+TEST_F(ConcolicTest, CreatedArraysAreConcrete) {
+    const lang::Method m = compile(R"(
+        method m(n: int) : int {
+            var buf = newintarray(3);
+            buf[0] = n;
+            buf[1] = buf[0] + 1;
+            return buf[1];
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{9});
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    // No bounds predicates on the concrete buffer appear in the path.
+    EXPECT_TRUE(r.pc.empty()) << pc_string(r, m);
+}
+
+TEST_F(ConcolicTest, SymbolicAllocationSizeIsPinned) {
+    const lang::Method m = compile(R"(
+        method m(n: int) : int {
+            var buf = newintarray(n);
+            return buf.len;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{4});
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("n == 4"), std::string::npos) << pc;
+}
+
+TEST_F(ConcolicTest, SymbolicIndexIsConcretized) {
+    const lang::Method m = compile("method m(xs: int[], i: int) : int { return xs[i]; }");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(IntArrInput::of({7, 8, 9}));
+    in.args.emplace_back(std::int64_t{2});
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = pc_string(r, m);
+    EXPECT_NE(pc.find("i == 2"), std::string::npos) << pc;
+}
+
+TEST_F(ConcolicTest, BlockCoverageTracked) {
+    const lang::Method m = compile(R"(
+        method m(a: int) : int {
+            if (a > 0) { return 1; }
+            return 0;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input pos;
+    pos.args.emplace_back(std::int64_t{5});
+    const RunResult r = interp.run(pos);
+    const auto covered = std::count(r.covered_blocks.begin(), r.covered_blocks.end(), true);
+    EXPECT_GT(covered, 0);
+    EXPECT_LT(covered, m.num_blocks);  // the a<=0 return is uncovered
+}
+
+TEST_F(ConcolicTest, ParamMutationIsLocal) {
+    // b++ mutates the local copy; the symbolic expression tracks b + 1.
+    const lang::Method m = compile(R"(
+        method m(b: int) {
+            b = b + 1;
+            if (b > 0) { }
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    const RunResult r = interp.run(in);
+    ASSERT_EQ(r.pc.size(), 1u);
+    EXPECT_EQ(sym::to_string(r.pc.preds[0].expr, m.param_names()), "b + 1 > 0");
+}
+
+}  // namespace
+}  // namespace preinfer::exec

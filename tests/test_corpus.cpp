@@ -1,0 +1,141 @@
+// Corpus sanity: every subject method must compile, its expected ACLs must
+// actually be triggered by the explorer, and every hand-written ground
+// truth must itself be sufficient AND necessary on a validation suite — a
+// wrong ground truth would silently corrupt every downstream table.
+#include <gtest/gtest.h>
+
+#include "src/eval/corpus.h"
+#include "src/eval/harness.h"
+#include "src/eval/spec.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+
+namespace preinfer::eval {
+namespace {
+
+struct Case {
+    const Subject* subject;
+    const SubjectMethod* method;
+};
+
+std::vector<Case> all_cases() {
+    std::vector<Case> out;
+    for (const Subject& s : corpus()) {
+        for (const SubjectMethod& m : s.methods) out.push_back({&s, &m});
+    }
+    return out;
+}
+
+class CorpusTest : public ::testing::TestWithParam<Case> {};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+    return info.param.method->name;
+}
+
+TEST_P(CorpusTest, CompilesAndGroundTruthsHold) {
+    const Case& c = GetParam();
+    lang::Program prog = lang::parse_program(c.method->source);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& method = prog.methods.front();
+
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, method, {}, &prog);
+    const gen::TestSuite suite = explorer.explore();
+    const auto observed = suite.failing_acls();
+
+    // Count observed ACLs per exception kind.
+    std::map<core::ExceptionKind, int> per_kind;
+    for (const core::AclId acl : observed) per_kind[acl.kind]++;
+
+    ValidationConfig vconfig;
+    vconfig.explore.max_tests = 384;
+    vconfig.explore.max_solver_calls = 6000;
+    const gen::TestSuite validation =
+        build_validation_suite(pool, method, vconfig, &prog);
+
+    ASSERT_FALSE(c.method->ground_truths.empty());
+    for (const GroundTruthSpec& gt : c.method->ground_truths) {
+        ASSERT_LT(gt.ordinal, per_kind[gt.kind])
+            << "expected ACL (" << core::exception_kind_name(gt.kind) << ", #"
+            << gt.ordinal << ") was never triggered";
+
+        // Locate the (kind, ordinal) ACL.
+        int ordinal = 0;
+        core::AclId acl;
+        for (const core::AclId a : observed) {
+            if (a.kind != gt.kind) continue;
+            if (ordinal == gt.ordinal) {
+                acl = a;
+                break;
+            }
+            ++ordinal;
+        }
+        ASSERT_TRUE(acl.valid());
+
+        const core::PredPtr parsed = parse_spec(pool, method, gt.pred);
+        const Strength s = evaluate_strength(method, acl, parsed, validation);
+        EXPECT_TRUE(s.sufficient)
+            << c.method->name << ": ground truth '" << gt.pred
+            << "' fails to block " << (s.failing_total - s.failing_blocked) << "/"
+            << s.failing_total << " failing tests";
+        EXPECT_TRUE(s.necessary)
+            << c.method->name << ": ground truth '" << gt.pred << "' blocks "
+            << (s.passing_total - s.passing_validated) << "/" << s.passing_total
+            << " passing tests";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubjects, CorpusTest, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+TEST(Corpus, SevenNamespacesInTableOrder) {
+    const auto& all = corpus();
+    ASSERT_EQ(all.size(), 7u);
+    EXPECT_EQ(all[0].name, "Algorithmia.Sorting");
+    EXPECT_EQ(all[1].name, "Algorithmia.GeneralDataStr");
+    EXPECT_EQ(all[2].name, "DSA.Algorithm");
+    EXPECT_EQ(all[3].name, "CodeContracts.ExamplesPuri");
+    EXPECT_EQ(all[4].name, "CodeContracts.PreInference");
+    EXPECT_EQ(all[5].name, "CodeContracts.ArrayPurityI");
+    EXPECT_EQ(all[6].name, "SVComp.SVCompCSharp");
+}
+
+TEST(Corpus, CensusCoversFourSuites) {
+    const auto rows = census(corpus());
+    ASSERT_EQ(rows.size(), 4u);
+    int methods = 0;
+    for (const SuiteCensus& r : rows) {
+        EXPECT_GT(r.methods, 0);
+        EXPECT_GT(r.lines, r.methods);
+        methods += r.methods;
+    }
+    EXPECT_GE(methods, 60);
+}
+
+TEST(Corpus, CollectionCasesPresent) {
+    // Table VI needs a healthy share of quantified ground truths.
+    sym::ExprPool pool;
+    int quantified = 0, total = 0;
+    for (const Subject& s : corpus()) {
+        for (const SubjectMethod& m : s.methods) {
+            lang::Program prog = lang::parse_program(m.source);
+            lang::type_check(prog);
+            for (const GroundTruthSpec& gt : m.ground_truths) {
+                ++total;
+                const std::string& p = gt.pred;
+                if (p.find("forall") != std::string::npos ||
+                    p.find("exists") != std::string::npos) {
+                    ++quantified;
+                }
+            }
+        }
+    }
+    EXPECT_GE(total, 80);
+    EXPECT_GE(quantified, 15);
+}
+
+}  // namespace
+}  // namespace preinfer::eval

@@ -1,0 +1,113 @@
+#include "src/core/equiv.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/generalize.h"
+
+namespace preinfer::core {
+namespace {
+
+using sym::Expr;
+using sym::Sort;
+
+class EquivTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+    solver::Solver solver{pool};
+    const Expr* x = pool.param(0, Sort::Int);
+    const Expr* xs = pool.param(1, Sort::Obj);
+    const Expr* bv = pool.bound_var(0);
+};
+
+TEST_F(EquivTest, SyntacticallyIdenticalIsEqual) {
+    const Expr* a = pool.gt(x, pool.int_const(0));
+    EXPECT_TRUE(semantically_equal(pool, solver, a, a));
+}
+
+TEST_F(EquivTest, FlippedComparisonOperands) {
+    // 0 != x  vs  x != 0: distinct interned nodes, same meaning.
+    const Expr* a = pool.ne(pool.int_const(0), x);
+    const Expr* b = pool.ne(x, pool.int_const(0));
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(semantically_equal(pool, solver, a, b));
+}
+
+TEST_F(EquivTest, ShiftedBounds) {
+    // x > 1  ===  x >= 2 over the integers.
+    EXPECT_TRUE(semantically_equal(pool, solver, pool.gt(x, pool.int_const(1)),
+                                   pool.ge(x, pool.int_const(2))));
+    EXPECT_FALSE(semantically_equal(pool, solver, pool.gt(x, pool.int_const(1)),
+                                    pool.ge(x, pool.int_const(1))));
+}
+
+TEST_F(EquivTest, RearrangedArithmetic) {
+    // x + 1 > 3  ===  x > 2.
+    const Expr* a = pool.gt(pool.add(x, pool.int_const(1)), pool.int_const(3));
+    const Expr* b = pool.gt(x, pool.int_const(2));
+    EXPECT_TRUE(semantically_equal(pool, solver, a, b));
+}
+
+TEST_F(EquivTest, InequivalentPredicates) {
+    EXPECT_FALSE(semantically_equal(pool, solver, pool.gt(x, pool.int_const(0)),
+                                    pool.lt(x, pool.int_const(0))));
+    EXPECT_FALSE(semantically_equal(pool, solver, pool.eq(x, pool.int_const(1)),
+                                    pool.ne(x, pool.int_const(1))));
+}
+
+TEST_F(EquivTest, BoundVariableShapes) {
+    // Shapes over the quantifier bound variable: 0 != xs[i] vs xs[i] != 0.
+    const Expr* sel = pool.select(xs, bv, Sort::Int);
+    const Expr* a = pool.ne(pool.int_const(0), sel);
+    const Expr* b = pool.ne(sel, pool.int_const(0));
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(semantically_equal(pool, solver, a, b));
+    EXPECT_FALSE(semantically_equal(pool, solver, a, pool.eq(sel, pool.int_const(0))));
+}
+
+TEST_F(EquivTest, ExistentialTemplateAcceptsEquivalentGuardShapes) {
+    // A failing path whose prior witnesses mix the divisor check's
+    // `xs[k] != 0` with a guard's `0 != xs[k]`: syntactic matching must
+    // fail, solver-backed matching must fire (the paper's Section V-C
+    // improvement).
+    PathCondition backing;
+    ReducedPath rp;
+    rp.original = &backing;
+    auto pred = [&](const Expr* e, ExceptionKind check = ExceptionKind::None) {
+        rp.preds.push_back({e, 1, check, {}});
+    };
+    const Expr* sel0 = pool.select(xs, pool.int_const(0), Sort::Int);
+    const Expr* sel1 = pool.select(xs, pool.int_const(1), Sort::Int);
+    pred(pool.lt(pool.int_const(0), pool.len(xs)));
+    pred(pool.ne(pool.int_const(0), sel0));  // guard orientation
+    pred(pool.ne(sel0, pool.int_const(0)));  // divisor-check orientation
+    pred(pool.lt(pool.int_const(1), pool.len(xs)));
+    pred(pool.eq(pool.int_const(0), sel1));  // guard took the zero side
+    pred(pool.eq(sel1, pool.int_const(0)), ExceptionKind::DivideByZero);  // abort
+
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    const auto tmpl = existential_template();
+    EXPECT_FALSE(tmpl->try_match(pool, rp, infos[0], nullptr).has_value());
+    const auto m = tmpl->try_match(pool, rp, infos[0], &solver);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->quantified->kind, PredKind::Exists);
+    EXPECT_EQ(m->consumed.size(), rp.preds.size());
+}
+
+TEST_F(EquivTest, GeneralizeThreadsEquivalenceSolver) {
+    PathCondition backing;
+    ReducedPath rp;
+    rp.original = &backing;
+    const Expr* sel0 = pool.select(xs, pool.int_const(0), Sort::Int);
+    rp.preds.push_back({pool.lt(pool.int_const(0), pool.len(xs)), 1, {}, {}});
+    rp.preds.push_back(
+        {pool.eq(pool.int_const(0), sel0), 1, ExceptionKind::DivideByZero, {}});
+    // k == 0 pivot with a mirrored orientation — matches either way here,
+    // but the call must accept and thread the solver without issue.
+    const GeneralizedPath gp =
+        generalize(pool, TemplateRegistry::standard(), rp, &solver);
+    EXPECT_GE(gp.templates_applied, 0);
+}
+
+}  // namespace
+}  // namespace preinfer::core

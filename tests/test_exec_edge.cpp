@@ -1,0 +1,174 @@
+// Edge cases of the concolic execution layer: mutation of input arrays,
+// str[] element writes, nested character reads, arithmetic wrapping, and
+// allocation limits.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "src/sym/print.h"
+
+namespace preinfer::exec {
+namespace {
+
+using testing_helpers::compile_method;
+
+class ExecEdgeTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+};
+
+TEST_F(ExecEdgeTest, WritesToInputArraysUpdateSymbolicState) {
+    // After xs[0] = xs[1], a branch on xs[0] must use xs[1]'s expression
+    // (strongest-postcondition style store).
+    const lang::Method m = compile_method(R"(
+        method m(xs: int[]) : int {
+            xs[0] = xs[1];
+            if (xs[0] > 5) { return 1; }
+            return 0;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(IntArrInput::of({1, 9}));
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = core::to_string(r.pc, m.param_names());
+    EXPECT_NE(pc.find("xs[1] > 5"), std::string::npos) << pc;
+    EXPECT_EQ(pc.find("xs[0] > 5"), std::string::npos) << pc;
+}
+
+TEST_F(ExecEdgeTest, StrArrayElementWriteStoresNull) {
+    const lang::Method m = compile_method(R"(
+        method m(ss: str[]) : int {
+            ss[0] = null;
+            if (ss[0] == null) { return 1; }
+            return 0;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(StrArrInput::of({StrInput::of("x")}));
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    // The comparison folds (the stored null is concrete), so the path
+    // condition holds only the write's bounds check.
+    const std::string pc = core::to_string(r.pc, m.param_names());
+    EXPECT_EQ(pc.find("ss[0] == null"), std::string::npos) << pc;
+}
+
+TEST_F(ExecEdgeTest, NestedCharacterReads) {
+    const lang::Method m = compile_method(R"(
+        method m(ss: str[]) : int {
+            return ss[0][1];
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(StrArrInput::of({StrInput::of("ab")}));
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    const std::string pc = core::to_string(r.pc, m.param_names());
+    EXPECT_NE(pc.find("ss[0] != null"), std::string::npos) << pc;
+    EXPECT_NE(pc.find("1 < ss[0].len"), std::string::npos) << pc;
+
+    // Element string too short -> IndexOutOfRange on the inner access.
+    Input shorty;
+    shorty.args.emplace_back(StrArrInput::of({StrInput::of("a")}));
+    const RunResult r2 = interp.run(shorty);
+    ASSERT_TRUE(r2.outcome.failing());
+    EXPECT_EQ(r2.outcome.acl.kind, core::ExceptionKind::IndexOutOfRange);
+    EXPECT_EQ(sym::to_string(r2.pc.last().expr, m.param_names()), "1 >= ss[0].len");
+}
+
+TEST_F(ExecEdgeTest, ArithmeticWrapsLikeTheFoldingRules) {
+    // INT64 wrap-around must agree between interpreter and expression pool
+    // (the property tests rely on it); exercise MIN/-1 and overflow adds.
+    const lang::Method m = compile_method(R"(
+        method m(a: int) : int {
+            var x = a + a;
+            var y = x / -1;
+            return y % 7;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{4611686018427387904});  // 2^62
+    const RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);  // no UB, no crash
+}
+
+TEST_F(ExecEdgeTest, HugeAllocationExhausts) {
+    const lang::Method m = compile_method(R"(
+        method m(n: int) : int {
+            var buf = newintarray(n);
+            return buf.len;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{100000000});
+    EXPECT_EQ(interp.run(in).outcome.tag, Outcome::Tag::Exhausted);
+}
+
+TEST_F(ExecEdgeTest, NewStrArrayElementsStartNull) {
+    const lang::Method m = compile_method(R"(
+        method m() : int {
+            var a = newstrarray(2);
+            if (a[0] == null) { return 1; }
+            return 0;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    const RunResult r = interp.run(Input{});
+    EXPECT_EQ(r.outcome.tag, Outcome::Tag::Normal);
+    EXPECT_TRUE(r.pc.empty());  // fully concrete
+}
+
+TEST_F(ExecEdgeTest, ShadowedVariablesResolveInnermost) {
+    const lang::Method m = compile_method(R"(
+        method m(a: int) : int {
+            var x = a;
+            if (a > 0) {
+                var inner = x + 1;
+                if (inner > 5) { return 2; }
+            }
+            return 0;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(std::int64_t{7});
+    const RunResult r = interp.run(in);
+    const std::string pc = core::to_string(r.pc, m.param_names());
+    EXPECT_NE(pc.find("a + 1 > 5"), std::string::npos) << pc;
+}
+
+TEST_F(ExecEdgeTest, VisitPositionsAreMonotonic) {
+    const lang::Method m = compile_method(R"(
+        method m(xs: int[]) : int {
+            var s = 0;
+            for (var i = 0; i < xs.len; i = i + 1) { s = s + xs[i]; }
+            return s;
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(IntArrInput::of({1, 2, 3}));
+    const RunResult r = interp.run(in);
+    int prev = -1;
+    for (const core::AclVisit& v : r.pc.visits) {
+        EXPECT_GE(v.position, prev);
+        prev = v.position;
+        EXPECT_LE(v.position, static_cast<int>(r.pc.preds.size()));
+    }
+    EXPECT_GE(r.pc.visits.size(), 6u);  // null+bounds per iteration
+}
+
+TEST_F(ExecEdgeTest, ElementWriteBoundsFailBeforeStore) {
+    const lang::Method m = compile_method(R"(
+        method m(xs: int[], v: int) : int {
+            xs[5] = v;
+            return xs[5];
+        })");
+    ConcolicInterpreter interp(pool, m);
+    Input in;
+    in.args.emplace_back(IntArrInput::of({1}));
+    in.args.emplace_back(std::int64_t{9});
+    const RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, core::ExceptionKind::IndexOutOfRange);
+}
+
+}  // namespace
+}  // namespace preinfer::exec

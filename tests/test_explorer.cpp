@@ -1,0 +1,230 @@
+#include "src/gen/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/print.h"
+
+namespace preinfer::gen {
+namespace {
+
+using core::ExceptionKind;
+using GenTest = preinfer::gen::Test;
+
+class ExplorerTest : public ::testing::Test {
+protected:
+    lang::Method compile(std::string_view src) {
+        lang::Program prog = lang::parse_single_method(src);
+        lang::type_check(prog);
+        lang::label_blocks(prog);
+        return std::move(prog.methods[0]);
+    }
+
+    sym::ExprPool pool;
+};
+
+TEST_F(ExplorerTest, CoversBothSidesOfASimpleBranch) {
+    const lang::Method m = compile(R"(
+        method m(a: int) : int {
+            if (a > 41) { return 1; }
+            return 0;
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    EXPECT_GE(suite.tests.size(), 2u);
+    EXPECT_DOUBLE_EQ(suite.block_coverage(m.num_blocks), 1.0);
+}
+
+TEST_F(ExplorerTest, FindsDeepNestedCondition) {
+    // Requires solving three related constraints; random testing would
+    // essentially never find it.
+    const lang::Method m = compile(R"(
+        method m(a: int, b: int) {
+            if (a * 2 == b) {
+                if (b > 100) {
+                    if (a < 60) {
+                        assert(false == true);
+                    }
+                }
+            }
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 1u);
+    EXPECT_EQ(acls[0].kind, ExceptionKind::AssertionViolation);
+}
+
+TEST_F(ExplorerTest, FindsNullReferenceFailure) {
+    const lang::Method m = compile("method m(xs: int[]) : int { return xs.len; }");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 1u);
+    EXPECT_EQ(acls[0].kind, ExceptionKind::NullReference);
+
+    const AclView view = view_for(suite, acls[0]);
+    EXPECT_GE(view.failing.size(), 1u);
+    EXPECT_GE(view.passing.size(), 1u);
+}
+
+TEST_F(ExplorerTest, FindsDivideByZeroThroughArithmetic) {
+    const lang::Method m = compile(R"(
+        method m(a: int, b: int) : int {
+            var d = b - 7;
+            return a / d;
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 1u);
+    EXPECT_EQ(acls[0].kind, ExceptionKind::DivideByZero);
+    // The failing test must have b == 7.
+    const AclView view = view_for(suite, acls[0]);
+    for (const GenTest* t : view.failing) {
+        EXPECT_EQ(std::get<std::int64_t>(t->input.args[1]), 7);
+    }
+}
+
+TEST_F(ExplorerTest, ExploresCollectionContents) {
+    // Fails only when some element is zero.
+    const lang::Method m = compile(R"(
+        method m(xs: int[]) : int {
+            var sum = 0;
+            if (xs != null) {
+                for (var i = 0; i < xs.len; i = i + 1) {
+                    sum = sum + 100 / xs[i];
+                }
+            }
+            return sum;
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    bool found_div_zero = false;
+    for (const auto acl : suite.failing_acls()) {
+        if (acl.kind == ExceptionKind::DivideByZero) found_div_zero = true;
+    }
+    EXPECT_TRUE(found_div_zero);
+}
+
+TEST_F(ExplorerTest, ExploresStringElementNullness) {
+    const lang::Method m = compile(R"(
+        method m(ss: str[]) : int {
+            var sum = 0;
+            if (ss != null) {
+                for (var i = 0; i < ss.len; i = i + 1) {
+                    sum = sum + ss[i].len;
+                }
+            }
+            return sum;
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    // Expect a NullReference on an element access (ss[i].len with ss[i] null).
+    int null_refs = 0;
+    for (const auto acl : suite.failing_acls()) {
+        if (acl.kind == ExceptionKind::NullReference) ++null_refs;
+    }
+    EXPECT_GE(null_refs, 1);
+}
+
+TEST_F(ExplorerTest, GenerationalBoundPreventsDuplicateWork) {
+    const lang::Method m = compile(R"(
+        method m(a: int, b: int, c: int) {
+            if (a > 0) { }
+            if (b > 0) { }
+            if (c > 0) { }
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    // 8 path shapes exist; the suite must include all of them and little more.
+    EXPECT_GE(suite.tests.size(), 8u);
+    EXPECT_LE(explorer.stats().solver_calls, 64);
+}
+
+TEST_F(ExplorerTest, WhitespaceConstraintsSolved) {
+    const lang::Method m = compile(R"(
+        method m(s: str) {
+            if (s != null && s.len > 0 && iswhitespace(s[0])) {
+                assert(1 == 2);
+            }
+        })");
+    Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 1u);
+    const AclView view = view_for(suite, acls[0]);
+    ASSERT_GE(view.failing.size(), 1u);
+    const auto& s = std::get<exec::StrInput>(view.failing[0]->input.args[0]);
+    ASSERT_FALSE(s.is_null);
+    ASSERT_GE(s.chars.size(), 1u);
+    EXPECT_TRUE(sym::ExprPool::whitespace_code_point(s.chars[0]));
+}
+
+TEST_F(ExplorerTest, RunConstrainedProducesWitness) {
+    const lang::Method m = compile(R"(
+        method m(a: int, b: int) : int {
+            if (a > 10) { return b / (b - 3); }
+            return 0;
+        })");
+    Explorer explorer(pool, m);
+    const sym::Expr* a = pool.param(0, sym::Sort::Int);
+    const sym::Expr* b = pool.param(1, sym::Sort::Int);
+    std::vector<const sym::Expr*> conjuncts{pool.gt(a, pool.int_const(10)),
+                                            pool.eq(b, pool.int_const(3))};
+    const auto t = explorer.run_constrained(conjuncts, nullptr);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_TRUE(t->result.outcome.failing());
+    EXPECT_EQ(t->result.outcome.acl.kind, ExceptionKind::DivideByZero);
+}
+
+TEST_F(ExplorerTest, RunConstrainedUnsatReturnsNothing) {
+    const lang::Method m = compile("method m(a: int) { }");
+    Explorer explorer(pool, m);
+    const sym::Expr* a = pool.param(0, sym::Sort::Int);
+    std::vector<const sym::Expr*> conjuncts{pool.gt(a, pool.int_const(10)),
+                                            pool.lt(a, pool.int_const(5))};
+    EXPECT_FALSE(explorer.run_constrained(conjuncts, nullptr).has_value());
+}
+
+TEST_F(ExplorerTest, SuiteIsDeterministic) {
+    const lang::Method m = compile(R"(
+        method m(a: int, xs: int[]) : int {
+            if (a > 3) { return xs[a]; }
+            return 0;
+        })");
+    sym::ExprPool pool1, pool2;
+    Explorer e1(pool1, m), e2(pool2, m);
+    const TestSuite s1 = e1.explore();
+    const TestSuite s2 = e2.explore();
+    ASSERT_EQ(s1.tests.size(), s2.tests.size());
+    for (std::size_t i = 0; i < s1.tests.size(); ++i) {
+        EXPECT_EQ(s1.tests[i].input, s2.tests[i].input);
+    }
+}
+
+TEST_F(ExplorerTest, ExhaustedRunsAreNotUsable) {
+    const lang::Method m = compile(R"(
+        method m(a: int) {
+            while (a > 0) { }
+        })");
+    ExplorerConfig cfg;
+    cfg.exec_limits.max_steps = 500;
+    Explorer explorer(pool, m, cfg);
+    const TestSuite suite = explorer.explore();
+    bool has_exhausted = false;
+    for (const GenTest& t : suite.tests) {
+        if (!t.usable()) has_exhausted = true;
+    }
+    EXPECT_TRUE(has_exhausted);
+    // Exhausted runs never appear in ACL views.
+    for (const auto acl : suite.failing_acls()) {
+        const AclView v = view_for(suite, acl);
+        for (const GenTest* t : v.passing) EXPECT_TRUE(t->usable());
+    }
+}
+
+}  // namespace
+}  // namespace preinfer::gen

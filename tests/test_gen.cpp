@@ -1,0 +1,186 @@
+// Unit tests for the generation layer: model->input reconstruction,
+// input->model seeding, suite partitioning, and the witness oracle.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "src/gen/oracle.h"
+#include "src/gen/reconstruct.h"
+
+namespace preinfer::gen {
+namespace {
+
+using exec::Input;
+using exec::IntArrInput;
+using exec::StrArrInput;
+using exec::StrInput;
+using sym::Expr;
+using sym::Sort;
+using testing_helpers::compile_method;
+
+class ReconstructTest : public ::testing::Test {
+protected:
+    ReconstructTest()
+        : prog(lang::parse_program(
+              "method m(a: int, flag: bool, xs: int[], ss: str[], st: str) {}")),
+          m(prog.methods[0]) {}
+
+    lang::Program prog;
+    const lang::Method& m;
+    sym::ExprPool pool;
+    const Expr* a = pool.param(0, Sort::Int);
+    const Expr* flag = pool.param(1, Sort::Bool);
+    const Expr* xs = pool.param(2, Sort::Obj);
+    const Expr* ss = pool.param(3, Sort::Obj);
+    const Expr* st = pool.param(4, Sort::Obj);
+};
+
+TEST_F(ReconstructTest, DefaultsWithoutBaseAreNullAndZero) {
+    const Input in = reconstruct_input(pool, m, {}, nullptr);
+    EXPECT_EQ(std::get<std::int64_t>(in.args[0]), 0);
+    EXPECT_FALSE(std::get<bool>(in.args[1]));
+    EXPECT_TRUE(std::get<IntArrInput>(in.args[2]).is_null);
+    EXPECT_TRUE(std::get<StrArrInput>(in.args[3]).is_null);
+    EXPECT_TRUE(std::get<StrInput>(in.args[4]).is_null);
+}
+
+TEST_F(ReconstructTest, ModelValuesOverrideBase) {
+    Input base;
+    base.args.emplace_back(std::int64_t{7});
+    base.args.emplace_back(true);
+    base.args.emplace_back(IntArrInput::of({1, 2}));
+    base.args.emplace_back(StrArrInput::null());
+    base.args.emplace_back(StrInput::of("xy"));
+
+    solver::Model model;
+    model.values[a] = 42;
+    model.values[pool.select(xs, pool.int_const(1), Sort::Int)] = 99;
+
+    const Input in = reconstruct_input(pool, m, model, &base);
+    EXPECT_EQ(std::get<std::int64_t>(in.args[0]), 42);
+    EXPECT_TRUE(std::get<bool>(in.args[1]));  // untouched
+    const auto& arr = std::get<IntArrInput>(in.args[2]);
+    ASSERT_EQ(arr.elems.size(), 2u);
+    EXPECT_EQ(arr.elems[0], 1);   // kept from base
+    EXPECT_EQ(arr.elems[1], 99);  // from model
+    EXPECT_EQ(std::get<StrInput>(in.args[4]).chars.size(), 2u);
+}
+
+TEST_F(ReconstructTest, LengthGrowsToCoverMentionedIndices) {
+    solver::Model model;
+    model.values[pool.is_null(xs)] = 0;
+    model.values[pool.select(xs, pool.int_const(4), Sort::Int)] = 5;
+    const Input in = reconstruct_input(pool, m, model, nullptr);
+    const auto& arr = std::get<IntArrInput>(in.args[2]);
+    ASSERT_FALSE(arr.is_null);
+    ASSERT_EQ(arr.elems.size(), 5u);
+    EXPECT_EQ(arr.elems[4], 5);
+}
+
+TEST_F(ReconstructTest, ExplicitNullWinsOverBase) {
+    Input base;
+    base.args.emplace_back(std::int64_t{0});
+    base.args.emplace_back(false);
+    base.args.emplace_back(IntArrInput::of({1}));
+    base.args.emplace_back(StrArrInput::null());
+    base.args.emplace_back(StrInput::null());
+    solver::Model model;
+    model.values[pool.is_null(xs)] = 1;
+    const Input in = reconstruct_input(pool, m, model, &base);
+    EXPECT_TRUE(std::get<IntArrInput>(in.args[2]).is_null);
+}
+
+TEST_F(ReconstructTest, NestedStrArrayElements) {
+    solver::Model model;
+    const Expr* e0 = pool.select(ss, pool.int_const(0), Sort::Obj);
+    const Expr* e1 = pool.select(ss, pool.int_const(1), Sort::Obj);
+    model.values[pool.is_null(ss)] = 0;
+    model.values[pool.len(ss)] = 2;
+    model.values[pool.is_null(e0)] = 1;
+    model.values[pool.is_null(e1)] = 0;
+    model.values[pool.select(e1, pool.int_const(0), Sort::Int)] = 'q';
+    const Input in = reconstruct_input(pool, m, model, nullptr);
+    const auto& arr = std::get<StrArrInput>(in.args[3]);
+    ASSERT_FALSE(arr.is_null);
+    ASSERT_EQ(arr.elems.size(), 2u);
+    EXPECT_TRUE(arr.elems[0].is_null);
+    ASSERT_FALSE(arr.elems[1].is_null);
+    ASSERT_EQ(arr.elems[1].chars.size(), 1u);
+    EXPECT_EQ(arr.elems[1].chars[0], 'q');
+}
+
+TEST_F(ReconstructTest, MaterializationClampsAtMaxLen) {
+    solver::Model model;
+    model.values[pool.is_null(xs)] = 0;
+    model.values[pool.len(xs)] = 1000;
+    const Input in = reconstruct_input(pool, m, model, nullptr, /*max_len=*/8);
+    EXPECT_EQ(std::get<IntArrInput>(in.args[2]).elems.size(), 8u);
+}
+
+TEST_F(ReconstructTest, SeedModelRoundTrips) {
+    Input in;
+    in.args.emplace_back(std::int64_t{-3});
+    in.args.emplace_back(true);
+    in.args.emplace_back(IntArrInput::of({10, 20}));
+    in.args.emplace_back(StrArrInput::of({StrInput::null(), StrInput::of("a")}));
+    in.args.emplace_back(StrInput::of("hi"));
+
+    const solver::Model model = seed_model(pool, m, in);
+    const Input back = reconstruct_input(pool, m, model, nullptr);
+    EXPECT_EQ(back, in);
+}
+
+TEST(TestSuiteTest, FailingAclsSortedAndDeduped) {
+    sym::ExprPool pool;
+    const lang::Method m = compile_method(R"(
+        method m(a: int, b: int) : int {
+            var x = 10 / a;
+            return x / b;
+        })");
+    gen::Explorer explorer(pool, m);
+    const TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 2u);
+    EXPECT_LT(acls[0].node_id, acls[1].node_id);
+
+    // Partition: a test failing at the SECOND divide counts as passing for
+    // the first ACL's view (it never failed there).
+    const AclView v0 = view_for(suite, acls[0]);
+    const AclView v1 = view_for(suite, acls[1]);
+    EXPECT_EQ(v0.failing.size() + v0.passing.size(),
+              v1.failing.size() + v1.passing.size());
+    for (const gen::Test* t : v0.passing) {
+        EXPECT_FALSE(t->result.outcome.failing() &&
+                     t->result.outcome.acl == acls[0]);
+    }
+}
+
+TEST(OracleTest, WitnessesAreStableAcrossCalls) {
+    sym::ExprPool pool;
+    const lang::Method m = compile_method(
+        "method m(a: int, b: int) : int { return a / b; }");
+    gen::Explorer explorer(pool, m);
+    gen::ExplorerOracle oracle(explorer);
+    const sym::Expr* b = pool.param(1, sym::Sort::Int);
+
+    std::vector<const sym::Expr*> zero{pool.eq(b, pool.int_const(0))};
+    const auto w1 = oracle.witness(zero);
+    ASSERT_TRUE(w1.has_value());
+    EXPECT_TRUE(w1->failing);
+    const core::PathCondition* first = w1->pc;
+
+    std::vector<const sym::Expr*> nonzero{pool.ne(b, pool.int_const(0))};
+    const auto w2 = oracle.witness(nonzero);
+    ASSERT_TRUE(w2.has_value());
+    EXPECT_FALSE(w2->failing);
+
+    // The first witness's path condition must remain valid (oracle owns it).
+    EXPECT_FALSE(first->empty());
+    EXPECT_EQ(oracle.calls(), 2);
+
+    std::vector<const sym::Expr*> unsat{pool.eq(b, pool.int_const(0)),
+                                        pool.ne(b, pool.int_const(0))};
+    EXPECT_FALSE(oracle.witness(unsat).has_value());
+}
+
+}  // namespace
+}  // namespace preinfer::gen

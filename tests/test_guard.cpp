@@ -1,0 +1,126 @@
+#include "src/core/guard.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "helpers.h"
+#include "src/core/preinfer.h"
+#include "src/eval/spec.h"
+#include "src/gen/fuzzer.h"
+
+namespace preinfer::core {
+namespace {
+
+using testing_helpers::compile_method;
+
+class GuardTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+};
+
+TEST_F(GuardTest, RejectsBlockedStatesAndRunsValidatedOnes) {
+    lang::Program prog = lang::parse_single_method(
+        "method m(a: int, b: int) : int { return a / b; }");
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& m = prog.methods[0];
+
+    const PredPtr pre = eval::parse_spec(pool, m, "b != 0");
+    const PreconditionGuard guard(pool, m, pre);
+
+    exec::Input bad;
+    bad.args.emplace_back(std::int64_t{1});
+    bad.args.emplace_back(std::int64_t{0});
+    EXPECT_EQ(guard.invoke(bad).status, GuardedRun::Status::Rejected);
+
+    exec::Input good;
+    good.args.emplace_back(std::int64_t{10});
+    good.args.emplace_back(std::int64_t{2});
+    const GuardedRun r = guard.invoke(good);
+    EXPECT_EQ(r.status, GuardedRun::Status::Completed);
+    EXPECT_EQ(r.run.outcome.tag, exec::Outcome::Tag::Normal);
+}
+
+TEST_F(GuardTest, InsufficientPreconditionLetsFailuresEscape) {
+    lang::Program prog = lang::parse_single_method(
+        "method m(a: int, b: int) : int { return a / b; }");
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& m = prog.methods[0];
+
+    // "a > 0" says nothing about the divisor.
+    const PredPtr weak = eval::parse_spec(pool, m, "a > 0");
+    const PreconditionGuard guard(pool, m, weak);
+
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{5});
+    in.args.emplace_back(std::int64_t{0});
+    EXPECT_EQ(guard.invoke(in).status, GuardedRun::Status::Escaped);
+}
+
+TEST_F(GuardTest, InferredPreconditionProtectsAgainstFuzzing) {
+    // End-to-end deployment story: infer, guard, fuzz. The inferred
+    // precondition must stop every DivideByZero at this ACL.
+    const lang::Method m = compile_method(R"(
+        method m(k: int, d: int) : int {
+            if (k > 0) { return 10 / d; }
+            return 0;
+        })");
+    gen::Explorer explorer(pool, m);
+    const gen::TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_EQ(acls.size(), 1u);
+    const gen::AclView view = view_for(suite, acls[0]);
+
+    std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
+    std::vector<const sym::EvalEnv*> envs;
+    for (const gen::Test* t : view.passing) {
+        storage.push_back(std::make_unique<exec::InputEvalEnv>(m, t->input));
+        envs.push_back(storage.back().get());
+    }
+    PreInfer preinfer(pool);
+    const InferenceResult r =
+        preinfer.infer(acls[0], view.failing_pcs(), view.passing_pcs(), envs);
+    ASSERT_TRUE(r.inferred);
+
+    const PreconditionGuard guard(pool, m, r.precondition);
+    gen::Fuzzer fuzzer(m, 1234);
+    std::vector<exec::Input> batch;
+    for (int i = 0; i < 500; ++i) batch.push_back(fuzzer.next());
+    const PreconditionGuard::Stats stats = guard.run_batch(batch);
+    EXPECT_EQ(stats.escaped, 0);
+    EXPECT_GT(stats.rejected, 0);
+    EXPECT_GT(stats.completed, 0);
+    EXPECT_EQ(stats.total(), 500);
+}
+
+TEST_F(GuardTest, QuantifiedPreconditionGuardsCollections) {
+    const lang::Method m = compile_method(R"(
+        method m(ss: str[]) : int {
+            var sum = 0;
+            for (var i = 0; i < ss.len; i = i + 1) {
+                sum = sum + ss[i].len;
+            }
+            return sum;
+        })");
+    const PredPtr pre = eval::parse_spec(
+        pool, m, "ss != null && (forall i in ss: ss[i] != null)");
+    const PreconditionGuard guard(pool, m, pre);
+
+    exec::Input ok;
+    ok.args.emplace_back(exec::StrArrInput::of({exec::StrInput::of("ab")}));
+    EXPECT_EQ(guard.invoke(ok).status, GuardedRun::Status::Completed);
+
+    exec::Input holey;
+    holey.args.emplace_back(
+        exec::StrArrInput::of({exec::StrInput::of("a"), exec::StrInput::null()}));
+    EXPECT_EQ(guard.invoke(holey).status, GuardedRun::Status::Rejected);
+
+    exec::Input null_arr;
+    null_arr.args.emplace_back(exec::StrArrInput::null());
+    EXPECT_EQ(guard.invoke(null_arr).status, GuardedRun::Status::Rejected);
+}
+
+}  // namespace
+}  // namespace preinfer::core

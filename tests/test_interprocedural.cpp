@@ -1,0 +1,239 @@
+// Interprocedural analysis: the paper collects path predicates "from the
+// executed branch conditions in m and its (direct and indirect) callee
+// methods"; assertion-containing locations inside callees are first-class.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/preinfer.h"
+#include "src/core/pred_eval.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/support/diagnostics.h"
+#include "src/sym/print.h"
+
+namespace preinfer {
+namespace {
+
+lang::Program compile(std::string_view src) {
+    lang::Program prog = lang::parse_program(src);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    return prog;
+}
+
+TEST(InterproceduralTypeCheck, CallsResolveAcrossMethods) {
+    const lang::Program p = compile(R"(
+        method helper(x: int) : int { return x + 1; }
+        method m(a: int) : int { return helper(helper(a)); }
+    )");
+    EXPECT_EQ(p.methods.size(), 2u);
+}
+
+TEST(InterproceduralTypeCheck, ForwardReferencesAllowed) {
+    compile(R"(
+        method m(a: int) : int { return later(a); }
+        method later(x: int) : int { return x; }
+    )");
+}
+
+TEST(InterproceduralTypeCheck, MutualRecursionAllowed) {
+    compile(R"(
+        method even(n: int) : bool { if (n == 0) { return true; } return odd(n - 1); }
+        method odd(n: int) : bool { if (n == 0) { return false; } return even(n - 1); }
+    )");
+}
+
+TEST(InterproceduralTypeCheck, Rejections) {
+    EXPECT_THROW(compile("method m() : int { return nosuch(1); }"),
+                 support::FrontendError);
+    EXPECT_THROW(compile(R"(
+        method h(x: int) : int { return x; }
+        method m() : int { return h(); }
+    )"),
+                 support::FrontendError);
+    EXPECT_THROW(compile(R"(
+        method h(x: int) : int { return x; }
+        method m(s: str) : int { return h(s); }
+    )"),
+                 support::FrontendError);
+    EXPECT_THROW(compile(R"(
+        method v(x: int) : void { return; }
+        method m() : int { return v(1); }
+    )"),
+                 support::FrontendError);
+    EXPECT_THROW(compile("method a() {} method a() {}"), support::FrontendError);
+}
+
+TEST(InterproceduralTypeCheck, NullLiteralArgumentsAdoptParamType) {
+    compile(R"(
+        method len_or_zero(s: str) : int { if (s == null) { return 0; } return s.len; }
+        method m() : int { return len_or_zero(null); }
+    )");
+}
+
+TEST(Interprocedural, NodeIdsAreProgramUnique) {
+    const lang::Program p = compile(R"(
+        method h(x: int) : int { return x + 1; }
+        method m(a: int) : int { return h(a); }
+    )");
+    EXPECT_EQ(p.methods[0].first_node_id, 0);
+    EXPECT_GT(p.methods[1].first_node_id, 0);
+    EXPECT_TRUE(p.methods[0].owns_node(0));
+    EXPECT_FALSE(p.methods[1].owns_node(0));
+    EXPECT_EQ(p.method_containing(p.methods[1].first_node_id), &p.methods[1]);
+}
+
+TEST(Interprocedural, CalleeBranchPredicatesJoinCallerPath) {
+    const lang::Program p = compile(R"(
+        method is_big(x: int) : bool {
+            if (x > 100) { return true; }
+            return false;
+        }
+        method m(a: int) : int {
+            if (is_big(a)) { return 1; }
+            return 0;
+        }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{200});
+    const exec::RunResult r = interp.run(in);
+    EXPECT_EQ(r.outcome.tag, exec::Outcome::Tag::Normal);
+    const std::string pc = core::to_string(r.pc, p.find("m")->param_names());
+    // The callee's branch over its own parameter appears in terms of the
+    // caller's symbolic input.
+    EXPECT_NE(pc.find("a > 100"), std::string::npos) << pc;
+}
+
+TEST(Interprocedural, CalleeFailureIsAnAclOfTheCallee) {
+    const lang::Program p = compile(R"(
+        method divide(x: int, y: int) : int { return x / y; }
+        method m(a: int) : int { return divide(100, a); }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{0});
+    const exec::RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, core::ExceptionKind::DivideByZero);
+    EXPECT_TRUE(p.find("divide")->owns_node(r.outcome.acl.node_id));
+    EXPECT_EQ(core::to_string(r.pc, p.find("m")->param_names()), "a == 0");
+}
+
+TEST(Interprocedural, ReturnValuesFlowSymbolically) {
+    const lang::Program p = compile(R"(
+        method twice(x: int) : int { return x + x; }
+        method m(a: int) : int {
+            var t = twice(a);
+            if (t > 10) { assert(false); }
+            return t;
+        }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{6});
+    const exec::RunResult r = interp.run(in);
+    ASSERT_TRUE(r.outcome.failing());
+    const std::string pc = core::to_string(r.pc, p.find("m")->param_names());
+    EXPECT_NE(pc.find("a + a > 10"), std::string::npos) << pc;
+}
+
+TEST(Interprocedural, RecursionComputesAndRecords) {
+    const lang::Program p = compile(R"(
+        method sum_to(n: int) : int {
+            if (n <= 0) { return 0; }
+            return n + sum_to(n - 1);
+        }
+        method m(a: int) : int {
+            assert(sum_to(a) < 10);
+            return 0;
+        }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input ok;
+    ok.args.emplace_back(std::int64_t{3});
+    EXPECT_EQ(interp.run(ok).outcome.tag, exec::Outcome::Tag::Normal);  // 6 < 10
+    exec::Input bad;
+    bad.args.emplace_back(std::int64_t{4});
+    const exec::RunResult r = interp.run(bad);  // 10 < 10 fails
+    ASSERT_TRUE(r.outcome.failing());
+    EXPECT_EQ(r.outcome.acl.kind, core::ExceptionKind::AssertionViolation);
+}
+
+TEST(Interprocedural, UnboundedRecursionExhausts) {
+    const lang::Program p = compile(R"(
+        method spin(n: int) : int { return spin(n); }
+        method m(a: int) : int { return spin(a); }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{1});
+    EXPECT_EQ(interp.run(in).outcome.tag, exec::Outcome::Tag::Exhausted);
+}
+
+TEST(Interprocedural, FallthroughNonVoidYieldsDefault) {
+    const lang::Program p = compile(R"(
+        method weird(x: int) : int { if (x > 0) { return 7; } }
+        method m(a: int) : int { return weird(a); }
+    )");
+    sym::ExprPool pool;
+    exec::ConcolicInterpreter interp(pool, *p.find("m"), {}, &p);
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{-3});
+    EXPECT_EQ(interp.run(in).outcome.tag, exec::Outcome::Tag::Normal);
+}
+
+TEST(Interprocedural, EndToEndInferenceThroughCallee) {
+    // The precondition of the caller's ACL (inside the callee) must be
+    // expressed over the caller's inputs.
+    const lang::Program p = compile(R"(
+        method checked_get(xs: int[], i: int) : int {
+            assert(xs != null);
+            return xs[i];
+        }
+        method m(xs: int[], k: int) : int {
+            if (k < 0) { return 0; }
+            return checked_get(xs, k);
+        }
+    )");
+    const lang::Method& m = *p.find("m");
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, m, {}, &p);
+    const gen::TestSuite suite = explorer.explore();
+    const auto acls = suite.failing_acls();
+    ASSERT_GE(acls.size(), 2u);  // the callee assert + the callee index OOR
+
+    for (const core::AclId acl : acls) {
+        EXPECT_TRUE(p.find("checked_get")->owns_node(acl.node_id));
+        const gen::AclView view = view_for(suite, acl);
+        std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
+        std::vector<const sym::EvalEnv*> envs;
+        for (const gen::Test* t : view.passing) {
+            storage.push_back(std::make_unique<exec::InputEvalEnv>(m, t->input));
+            envs.push_back(storage.back().get());
+        }
+        core::PreInfer preinfer(pool);
+        const auto r = preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+        ASSERT_TRUE(r.inferred);
+        // Every inferred condition evaluates over m's entry state.
+        for (const gen::Test* t : view.failing) {
+            exec::InputEvalEnv env(m, t->input);
+            EXPECT_FALSE(core::eval_pred(r.precondition, env));
+        }
+        for (const gen::Test* t : view.passing) {
+            exec::InputEvalEnv env(m, t->input);
+            EXPECT_TRUE(core::eval_pred(r.precondition, env));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace preinfer

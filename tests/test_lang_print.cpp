@@ -1,0 +1,103 @@
+// MiniLang pretty-printer: printed source must re-parse, re-print to a
+// fixpoint, and behave identically under concolic execution — verified
+// across the whole evaluation corpus.
+#include "src/lang/print.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/corpus.h"
+#include "src/gen/explorer.h"
+#include "src/gen/fuzzer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+
+namespace preinfer::lang {
+namespace {
+
+TEST(LangPrint, SimpleShapes) {
+    Program p = parse_program(R"(
+        method m(a: int, xs: int[]) : int {
+            var x = a * (a + 1);
+            if (a > 0 && xs != null) {
+                xs[0] = -x;
+                return xs[0];
+            }
+            assert(!(a == 3));
+            return 0;
+        })");
+    type_check(p);
+    const std::string printed = to_string(p);
+    EXPECT_NE(printed.find("var x = a * (a + 1);"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("if (a > 0 && xs != null) {"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("xs[0] = -x;"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("assert(!(a == 3));"), std::string::npos) << printed;
+}
+
+TEST(LangPrint, PrecedenceParenthesization) {
+    Program p = parse_program(R"(
+        method m(a: int, b: int) : int {
+            var x = (a + b) * 2;
+            var y = a + b * 2;
+            var z = (a + b) % (a - b + 1);
+            return x + y + z;
+        })");
+    const std::string printed = to_string(p);
+    EXPECT_NE(printed.find("(a + b) * 2"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("a + b * 2"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("(a + b) % (a - b + 1)"), std::string::npos) << printed;
+}
+
+TEST(LangPrint, RoundTripIsAFixpoint) {
+    for (const eval::Subject& subject : eval::corpus()) {
+        for (const eval::SubjectMethod& sm : subject.methods) {
+            Program original = parse_program(sm.source);
+            const std::string once = to_string(original);
+            Program reparsed = parse_program(once);
+            const std::string twice = to_string(reparsed);
+            EXPECT_EQ(once, twice) << sm.name;
+        }
+    }
+}
+
+TEST(LangPrint, RoundTripPreservesBehaviorOnCorpus) {
+    // Execute original and re-parsed versions on identical fuzz inputs and
+    // require identical outcomes and path-condition shapes.
+    int methods_checked = 0;
+    for (const eval::Subject& subject : eval::corpus()) {
+        for (const eval::SubjectMethod& sm : subject.methods) {
+            if (++methods_checked % 3 != 0) continue;  // sample for speed
+
+            Program original = parse_program(sm.source);
+            type_check(original);
+            label_blocks(original);
+            Program reparsed = parse_program(to_string(original));
+            type_check(reparsed);
+            label_blocks(reparsed);
+
+            sym::ExprPool pool;
+            exec::ConcolicInterpreter interp_a(pool, original.methods.front(), {},
+                                               &original);
+            exec::ConcolicInterpreter interp_b(pool, reparsed.methods.front(), {},
+                                               &reparsed);
+            gen::Fuzzer fuzzer(original.methods.front(), 5);
+            for (int i = 0; i < 25; ++i) {
+                const exec::Input in = fuzzer.next();
+                const exec::RunResult ra = interp_a.run(in);
+                const exec::RunResult rb = interp_b.run(in);
+                ASSERT_EQ(ra.outcome.tag, rb.outcome.tag)
+                    << sm.name << " on " << in.to_string(original.methods.front());
+                ASSERT_EQ(ra.outcome.acl.kind, rb.outcome.acl.kind) << sm.name;
+                ASSERT_EQ(ra.pc.size(), rb.pc.size()) << sm.name;
+                for (std::size_t k = 0; k < ra.pc.size(); ++k) {
+                    // Node ids differ but the interned expressions must not.
+                    ASSERT_EQ(ra.pc.preds[k].expr, rb.pc.preds[k].expr) << sm.name;
+                }
+            }
+        }
+    }
+    EXPECT_GT(methods_checked, 50);
+}
+
+}  // namespace
+}  // namespace preinfer::lang

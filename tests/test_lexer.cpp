@@ -1,0 +1,105 @@
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+namespace {
+
+std::vector<TokKind> kinds(std::string_view src) {
+    std::vector<TokKind> out;
+    for (const Token& t : lex(src)) out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+    EXPECT_EQ(kinds(""), std::vector<TokKind>{TokKind::End});
+}
+
+TEST(Lexer, Keywords) {
+    const auto ks = kinds("method var if else while for return assert true false null");
+    const std::vector<TokKind> want = {
+        TokKind::KwMethod, TokKind::KwVar,    TokKind::KwIf,    TokKind::KwElse,
+        TokKind::KwWhile,  TokKind::KwFor,    TokKind::KwReturn, TokKind::KwAssert,
+        TokKind::KwTrue,   TokKind::KwFalse,  TokKind::KwNull,   TokKind::End};
+    EXPECT_EQ(ks, want);
+}
+
+TEST(Lexer, TypesAndIdentifiers) {
+    const auto toks = lex("int bool str void foo _bar x9");
+    EXPECT_EQ(toks[0].kind, TokKind::KwInt);
+    EXPECT_EQ(toks[1].kind, TokKind::KwBool);
+    EXPECT_EQ(toks[2].kind, TokKind::KwStr);
+    EXPECT_EQ(toks[3].kind, TokKind::KwVoid);
+    EXPECT_EQ(toks[4].kind, TokKind::Ident);
+    EXPECT_EQ(toks[4].text, "foo");
+    EXPECT_EQ(toks[5].text, "_bar");
+    EXPECT_EQ(toks[6].text, "x9");
+}
+
+TEST(Lexer, IntegerLiterals) {
+    const auto toks = lex("0 42 1234567");
+    EXPECT_EQ(toks[0].int_value, 0);
+    EXPECT_EQ(toks[1].int_value, 42);
+    EXPECT_EQ(toks[2].int_value, 1234567);
+}
+
+TEST(Lexer, CharLiteralsLexAsIntegers) {
+    const auto toks = lex("'a' ' ' '\\t' '\\n' '\\\\' '\\''");
+    EXPECT_EQ(toks[0].kind, TokKind::IntLit);
+    EXPECT_EQ(toks[0].int_value, 'a');
+    EXPECT_EQ(toks[1].int_value, ' ');
+    EXPECT_EQ(toks[2].int_value, '\t');
+    EXPECT_EQ(toks[3].int_value, '\n');
+    EXPECT_EQ(toks[4].int_value, '\\');
+    EXPECT_EQ(toks[5].int_value, '\'');
+}
+
+TEST(Lexer, OperatorsTwoChar) {
+    const auto ks = kinds("== != <= >= && ||");
+    const std::vector<TokKind> want = {TokKind::EqEq, TokKind::BangEq, TokKind::Le,
+                                       TokKind::Ge,   TokKind::AmpAmp, TokKind::PipePipe,
+                                       TokKind::End};
+    EXPECT_EQ(ks, want);
+}
+
+TEST(Lexer, OperatorsOneChar) {
+    const auto ks = kinds("+ - * / % ! < > = . , ; :");
+    const std::vector<TokKind> want = {
+        TokKind::Plus,  TokKind::Minus, TokKind::Star, TokKind::Slash, TokKind::Percent,
+        TokKind::Bang,  TokKind::Lt,    TokKind::Gt,   TokKind::Assign, TokKind::Dot,
+        TokKind::Comma, TokKind::Semi,  TokKind::Colon, TokKind::End};
+    EXPECT_EQ(ks, want);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+    EXPECT_EQ(kinds("x // comment\ny"),
+              (std::vector<TokKind>{TokKind::Ident, TokKind::Ident, TokKind::End}));
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+    EXPECT_EQ(kinds("x /* a\nb\nc */ y"),
+              (std::vector<TokKind>{TokKind::Ident, TokKind::Ident, TokKind::End}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+    EXPECT_THROW(lex("/* never closed"), support::FrontendError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+    EXPECT_THROW(lex("@"), support::FrontendError);
+    EXPECT_THROW(lex("x & y"), support::FrontendError);
+    EXPECT_THROW(lex("x | y"), support::FrontendError);
+}
+
+TEST(Lexer, SourceLocationsTracked) {
+    const auto toks = lex("a\n  b");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.col, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+}  // namespace
+}  // namespace preinfer::lang

@@ -1,0 +1,195 @@
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+namespace {
+
+TEST(Parser, EmptyMethod) {
+    const Program p = parse_program("method m() { }");
+    ASSERT_EQ(p.methods.size(), 1u);
+    EXPECT_EQ(p.methods[0].name, "m");
+    EXPECT_TRUE(p.methods[0].params.empty());
+    EXPECT_EQ(p.methods[0].ret, Type::Void);
+    EXPECT_TRUE(p.methods[0].body.empty());
+}
+
+TEST(Parser, ParametersAndReturnType) {
+    const Program p =
+        parse_program("method m(a: int, b: bool, s: str, xs: int[], ss: str[]) : int { }");
+    const Method& m = p.methods[0];
+    ASSERT_EQ(m.params.size(), 5u);
+    EXPECT_EQ(m.params[0].type, Type::Int);
+    EXPECT_EQ(m.params[1].type, Type::Bool);
+    EXPECT_EQ(m.params[2].type, Type::Str);
+    EXPECT_EQ(m.params[3].type, Type::IntArr);
+    EXPECT_EQ(m.params[4].type, Type::StrArr);
+    EXPECT_EQ(m.ret, Type::Int);
+    EXPECT_EQ(m.param_index("xs"), 3);
+    EXPECT_EQ(m.param_index("zz"), -1);
+}
+
+TEST(Parser, StatementsKinds) {
+    const Program p = parse_program(R"(
+        method m(a: int) : int {
+            var x = 1;
+            x = x + a;
+            if (x > 0) { x = 0; } else { x = 1; }
+            while (x < 3) { x = x + 1; }
+            assert(x == 3);
+            return x;
+        })");
+    const auto& body = p.methods[0].body;
+    ASSERT_EQ(body.size(), 6u);
+    EXPECT_EQ(body[0]->kind, SKind::VarDecl);
+    EXPECT_EQ(body[1]->kind, SKind::Assign);
+    EXPECT_EQ(body[2]->kind, SKind::If);
+    EXPECT_EQ(body[3]->kind, SKind::While);
+    EXPECT_EQ(body[4]->kind, SKind::Assert);
+    EXPECT_EQ(body[5]->kind, SKind::Return);
+}
+
+TEST(Parser, ElseIfChains) {
+    const Program p = parse_program(R"(
+        method m(a: int) {
+            if (a > 0) { a = 1; } else if (a < 0) { a = 2; } else { a = 3; }
+        })");
+    const StmtNode& ifs = *p.methods[0].body[0];
+    ASSERT_EQ(ifs.else_body.size(), 1u);
+    const StmtNode& elif = *ifs.else_body[0];
+    EXPECT_EQ(elif.kind, SKind::If);
+    ASSERT_EQ(elif.body.size(), 1u);
+    ASSERT_EQ(elif.else_body.size(), 1u);
+    EXPECT_EQ(elif.else_body[0]->kind, SKind::Assign);
+}
+
+TEST(Parser, ForDesugarsToWhile) {
+    const Program p = parse_program(R"(
+        method m(xs: int[]) {
+            for (var i = 0; i < xs.len; i = i + 1) {
+                var v = xs[i];
+            }
+        })");
+    const StmtNode& outer = *p.methods[0].body[0];
+    ASSERT_EQ(outer.kind, SKind::Block);
+    ASSERT_EQ(outer.body.size(), 2u);
+    EXPECT_EQ(outer.body[0]->kind, SKind::VarDecl);
+    const StmtNode& loop = *outer.body[1];
+    ASSERT_EQ(loop.kind, SKind::While);
+    // Body holds the original statement; the increment rides on the loop
+    // node so `continue` still executes it.
+    ASSERT_EQ(loop.body.size(), 1u);
+    EXPECT_EQ(loop.body[0]->kind, SKind::VarDecl);
+    ASSERT_NE(loop.step, nullptr);
+    EXPECT_EQ(loop.step->kind, SKind::Assign);
+    EXPECT_EQ(loop.step->name, "i");
+}
+
+TEST(Parser, ForWithoutInitializer) {
+    const Program p = parse_program(R"(
+        method m(n: int) {
+            var i = 0;
+            for (; i < n; i = i + 1) { }
+        })");
+    const StmtNode& loop = *p.methods[0].body[1];
+    EXPECT_EQ(loop.kind, SKind::While);
+    ASSERT_NE(loop.step, nullptr);
+}
+
+TEST(Parser, IndexAndLenPostfix) {
+    const Program p = parse_program("method m(ss: str[]) { var n = ss[0].len; }");
+    const ExprNode& e = *p.methods[0].body[0]->expr;
+    EXPECT_EQ(e.kind, EKind::Len);
+    EXPECT_EQ(e.lhs->kind, EKind::Index);
+    EXPECT_EQ(e.lhs->lhs->kind, EKind::VarRef);
+}
+
+TEST(Parser, LengthAliasAccepted) {
+    const Program p = parse_program("method m(s: str) { var n = s.length; }");
+    EXPECT_EQ(p.methods[0].body[0]->expr->kind, EKind::Len);
+}
+
+TEST(Parser, ElementAssignment) {
+    const Program p = parse_program("method m(xs: int[]) { xs[2] = 5; }");
+    const StmtNode& s = *p.methods[0].body[0];
+    EXPECT_EQ(s.kind, SKind::Assign);
+    EXPECT_EQ(s.name, "xs");
+    ASSERT_NE(s.index, nullptr);
+    EXPECT_EQ(s.index->int_value, 2);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+    const Program p = parse_program("method m(a: int) { var x = 1 + a * 2; }");
+    const ExprNode& e = *p.methods[0].body[0]->expr;
+    ASSERT_EQ(e.kind, EKind::Binary);
+    EXPECT_EQ(e.bin, BinOp::Add);
+    EXPECT_EQ(e.rhs->bin, BinOp::Mul);
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+    const Program p = parse_program("method m(a: int) { var x = a > 0 || a < 5 && a != 2; }");
+    const ExprNode& e = *p.methods[0].body[0]->expr;
+    EXPECT_EQ(e.bin, BinOp::Or);
+    EXPECT_EQ(e.rhs->bin, BinOp::And);
+}
+
+TEST(Parser, CallsWithArguments) {
+    const Program p = parse_program("method m(c: int) { var w = iswhitespace(c); }");
+    const ExprNode& e = *p.methods[0].body[0]->expr;
+    EXPECT_EQ(e.kind, EKind::Call);
+    EXPECT_EQ(e.name, "iswhitespace");
+    ASSERT_EQ(e.args.size(), 1u);
+}
+
+TEST(Parser, NodeIdsUniqueWithinMethod) {
+    const Program p = parse_program(R"(
+        method m(a: int) {
+            if (a > 0) { a = a - 1; }
+            while (a < 10) { a = a + 2; }
+        })");
+    const Method& m = p.methods[0];
+    std::vector<bool> seen(static_cast<std::size_t>(m.num_nodes), false);
+    int count = 0;
+    for_each_stmt(m.body, [&](const StmtNode& s) {
+        ASSERT_GE(s.node_id, 0);
+        ASSERT_LT(s.node_id, m.num_nodes);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(s.node_id)]);
+        seen[static_cast<std::size_t>(s.node_id)] = true;
+        ++count;
+    });
+    for_each_expr_in(m.body, [&](const ExprNode& e) {
+        ASSERT_GE(e.node_id, 0);
+        ASSERT_LT(e.node_id, m.num_nodes);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(e.node_id)]);
+        seen[static_cast<std::size_t>(e.node_id)] = true;
+        ++count;
+    });
+    EXPECT_GT(count, 10);
+}
+
+TEST(Parser, MultipleMethods) {
+    const Program p = parse_program("method a() {} method b() {}");
+    ASSERT_EQ(p.methods.size(), 2u);
+    EXPECT_NE(p.find("a"), nullptr);
+    EXPECT_NE(p.find("b"), nullptr);
+    EXPECT_EQ(p.find("c"), nullptr);
+}
+
+TEST(Parser, SingleMethodHelperRejectsMultiple) {
+    EXPECT_THROW(parse_single_method("method a() {} method b() {}"),
+                 support::FrontendError);
+}
+
+TEST(Parser, SyntaxErrors) {
+    EXPECT_THROW(parse_program("method m( { }"), support::FrontendError);
+    EXPECT_THROW(parse_program("method m() { var x = ; }"), support::FrontendError);
+    EXPECT_THROW(parse_program("method m() { if a > 0 { } }"), support::FrontendError);
+    EXPECT_THROW(parse_program("method m() { x = 1 }"), support::FrontendError);
+    EXPECT_THROW(parse_program("method m() { return 1; "), support::FrontendError);
+    EXPECT_THROW(parse_program("method m() { var s = x.foo; }"), support::FrontendError);
+}
+
+}  // namespace
+}  // namespace preinfer::lang

@@ -1,0 +1,239 @@
+#include "src/core/pred.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/complexity.h"
+#include "src/core/pred_eval.h"
+#include "src/exec/input.h"
+#include "src/lang/parser.h"
+
+namespace preinfer::core {
+namespace {
+
+using exec::Input;
+using exec::InputEvalEnv;
+using exec::IntArrInput;
+using exec::StrInput;
+using sym::Expr;
+using sym::Sort;
+
+class PredTest : public ::testing::Test {
+protected:
+    PredTest() : prog(lang::parse_program("method m(a: int, xs: int[], s: str) {}")) {}
+
+    lang::Program prog;
+    sym::ExprPool pool;
+    const Expr* a = pool.param(0, Sort::Int);
+    const Expr* xs = pool.param(1, Sort::Obj);
+    const Expr* s = pool.param(2, Sort::Obj);
+    std::vector<std::string> names{"a", "xs", "s"};
+
+    bool eval_on(const PredPtr& p, const Input& in) {
+        InputEvalEnv env(prog.methods[0], in);
+        return eval_pred(p, env);
+    }
+};
+
+TEST_F(PredTest, AndFlattensAndFolds) {
+    const PredPtr p1 = make_atom(pool.gt(a, pool.int_const(0)));
+    const PredPtr p2 = make_atom(pool.lt(a, pool.int_const(9)));
+    const PredPtr nested = make_and({p1, make_and({p2, make_true()})});
+    EXPECT_EQ(nested->kind, PredKind::And);
+    EXPECT_EQ(nested->kids.size(), 2u);
+    EXPECT_TRUE(is_false(make_and({p1, make_false()})));
+    EXPECT_TRUE(is_true(make_and({})));
+    EXPECT_EQ(make_and({p1}), p1);
+}
+
+TEST_F(PredTest, OrFlattensAndFolds) {
+    const PredPtr p1 = make_atom(pool.gt(a, pool.int_const(0)));
+    const PredPtr p2 = make_atom(pool.lt(a, pool.int_const(-5)));
+    const PredPtr nested = make_or({p1, make_or({p2, make_false()})});
+    EXPECT_EQ(nested->kind, PredKind::Or);
+    EXPECT_EQ(nested->kids.size(), 2u);
+    EXPECT_TRUE(is_true(make_or({p1, make_true()})));
+    EXPECT_TRUE(is_false(make_or({})));
+}
+
+TEST_F(PredTest, NotCancels) {
+    const PredPtr p = make_atom(pool.gt(a, pool.int_const(0)));
+    EXPECT_EQ(make_not(make_not(p)), p);
+    EXPECT_TRUE(is_false(make_not(make_true())));
+}
+
+TEST_F(PredTest, PredEqualStructural) {
+    const PredPtr p1 = make_atom(pool.gt(a, pool.int_const(0)));
+    const PredPtr p2 = make_atom(pool.gt(a, pool.int_const(0)));
+    EXPECT_TRUE(pred_equal(p1, p2));
+    const PredPtr and1 = make_and({p1, make_atom(pool.lt(a, pool.int_const(9)))});
+    const PredPtr and2 = make_and({p2, make_atom(pool.lt(a, pool.int_const(9)))});
+    EXPECT_TRUE(pred_equal(and1, and2));
+    EXPECT_FALSE(pred_equal(and1, p1));
+
+    const Expr* bv = pool.bound_var(0);
+    const Expr* dom = pool.lt(bv, pool.len(xs));
+    const Expr* body = pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0));
+    EXPECT_TRUE(pred_equal(make_exists(0, xs, dom, body), make_exists(0, xs, dom, body)));
+    EXPECT_FALSE(pred_equal(make_exists(0, xs, dom, body), make_forall(0, xs, dom, body)));
+}
+
+TEST_F(PredTest, NegatePushesInward) {
+    const PredPtr p1 = make_atom(pool.gt(a, pool.int_const(0)));
+    const PredPtr p2 = make_atom(pool.is_null(s));
+    const PredPtr n = negate(pool, make_and({p1, p2}));
+    ASSERT_EQ(n->kind, PredKind::Or);
+    EXPECT_EQ(to_string(n, names), "a <= 0 || s != null");
+}
+
+TEST_F(PredTest, NegateSwapsQuantifiers) {
+    const Expr* bv = pool.bound_var(0);
+    const Expr* dom = pool.lt(bv, pool.len(xs));
+    const Expr* body = pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0));
+    const PredPtr ex = make_exists(0, xs, dom, body);
+    const PredPtr n = negate(pool, ex);
+    ASSERT_EQ(n->kind, PredKind::Forall);
+    EXPECT_EQ(n->domain, dom);
+    EXPECT_EQ(n->body, pool.ne(pool.select(xs, bv, Sort::Int), pool.int_const(0)));
+    // Double negation restores the original.
+    EXPECT_TRUE(pred_equal(negate(pool, n), ex));
+}
+
+TEST_F(PredTest, PrintingQuantifiers) {
+    const Expr* bv = pool.bound_var(0);
+    const PredPtr ex =
+        make_exists(0, s, pool.lt(bv, pool.len(s)),
+                    pool.is_null(pool.select(s, bv, Sort::Obj)));
+    EXPECT_EQ(to_string(ex, names), "exists i. (i < s.len) && (s[i] == null)");
+    const PredPtr fa =
+        make_forall(0, s, pool.lt(bv, pool.len(s)),
+                    pool.is_whitespace(pool.select(s, bv, Sort::Int)));
+    EXPECT_EQ(to_string(fa, names), "forall i. (i < s.len) => (iswhitespace(s[i]))");
+}
+
+TEST_F(PredTest, ComplexityCountsConnectivesAndQuantifiers) {
+    const PredPtr atom = make_atom(pool.gt(a, pool.int_const(0)));
+    EXPECT_EQ(complexity(atom), 0);
+
+    const PredPtr conj = make_and({atom, make_atom(pool.lt(a, pool.int_const(9)))});
+    EXPECT_EQ(complexity(conj), 1);
+
+    const PredPtr disj = make_or({conj, atom});
+    EXPECT_EQ(complexity(disj), 2);
+
+    const Expr* bv = pool.bound_var(0);
+    const PredPtr ex = make_exists(0, xs, pool.lt(bv, pool.len(xs)),
+                                   pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0)));
+    EXPECT_EQ(complexity(ex), 2);  // quantifier + implicit &&
+
+    // Connectives inside atoms count as well.
+    const PredPtr fat = make_atom(
+        pool.or_(pool.gt(a, pool.int_const(0)), pool.lt(a, pool.int_const(-4))));
+    EXPECT_EQ(complexity(fat), 1);
+}
+
+TEST_F(PredTest, RelativeComplexity) {
+    const PredPtr atom = make_atom(pool.gt(a, pool.int_const(0)));
+    const PredPtr conj = make_and({atom, make_atom(pool.lt(a, pool.int_const(9)))});
+    const PredPtr big = make_and({conj, make_atom(pool.ne(a, pool.int_const(5)))});
+    EXPECT_DOUBLE_EQ(relative_complexity(conj, conj), 0.0);
+    EXPECT_DOUBLE_EQ(relative_complexity(big, conj), 1.0);
+    EXPECT_DOUBLE_EQ(relative_complexity(atom, conj), -1.0);
+    // Zero ground-truth complexity uses denominator 1.
+    EXPECT_DOUBLE_EQ(relative_complexity(conj, atom), 1.0);
+}
+
+TEST_F(PredTest, EvalAtomsAndConnectives) {
+    Input in;
+    in.args.emplace_back(std::int64_t{5});
+    in.args.emplace_back(IntArrInput::of({1, 2, 0}));
+    in.args.emplace_back(StrInput::of("ok"));
+
+    EXPECT_TRUE(eval_on(make_atom(pool.gt(a, pool.int_const(0))), in));
+    EXPECT_FALSE(eval_on(make_atom(pool.gt(a, pool.int_const(10))), in));
+    EXPECT_TRUE(eval_on(make_and({make_atom(pool.gt(a, pool.int_const(0))),
+                                  make_atom(pool.not_(pool.is_null(s)))}),
+                        in));
+    EXPECT_TRUE(eval_on(make_not(make_atom(pool.is_null(s))), in));
+}
+
+TEST_F(PredTest, EvalExistsOverArray) {
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(IntArrInput::of({1, 2, 0}));
+    in.args.emplace_back(StrInput::null());
+
+    const Expr* bv = pool.bound_var(0);
+    const PredPtr ex = make_exists(0, xs, pool.lt(bv, pool.len(xs)),
+                                   pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0)));
+    EXPECT_TRUE(eval_on(ex, in));
+
+    Input none = in;
+    none.args[1] = IntArrInput::of({1, 2, 3});
+    EXPECT_FALSE(eval_on(ex, none));
+}
+
+TEST_F(PredTest, EvalForallOverArray) {
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(IntArrInput::of({2, 4, 6}));
+    in.args.emplace_back(StrInput::null());
+
+    const Expr* bv = pool.bound_var(0);
+    const PredPtr fa = make_forall(
+        0, xs, pool.lt(bv, pool.len(xs)),
+        pool.eq(pool.mod(pool.select(xs, bv, Sort::Int), pool.int_const(2)),
+                pool.int_const(0)));
+    EXPECT_TRUE(eval_on(fa, in));
+
+    Input odd = in;
+    odd.args[1] = IntArrInput::of({2, 3, 6});
+    EXPECT_FALSE(eval_on(fa, odd));
+}
+
+TEST_F(PredTest, EvalQuantifiersOverNullCollection) {
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(IntArrInput::null());
+    in.args.emplace_back(StrInput::null());
+
+    const Expr* bv = pool.bound_var(0);
+    const Expr* dom = pool.lt(bv, pool.len(xs));
+    const Expr* body = pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0));
+    EXPECT_TRUE(eval_on(make_forall(0, xs, dom, body), in));   // vacuous
+    EXPECT_FALSE(eval_on(make_exists(0, xs, dom, body), in));  // no witness
+}
+
+TEST_F(PredTest, EvalUndefAtomIsKleene) {
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(IntArrInput::null());
+    in.args.emplace_back(StrInput::null());
+    // xs.len > 0 with xs null is Undef; both it and its negation project to
+    // false (Kleene: Not(Undef) == Undef).
+    const PredPtr p = make_atom(pool.gt(pool.len(xs), pool.int_const(0)));
+    InputEvalEnv env(prog.methods[0], in);
+    EXPECT_EQ(eval_pred_3v(p, env), Tri::Undef);
+    EXPECT_EQ(eval_pred_3v(make_not(p), env), Tri::Undef);
+    EXPECT_FALSE(eval_on(p, in));
+    EXPECT_FALSE(eval_on(make_not(p), in));
+    // Kleene dominance: False kills And, True kills Or, despite Undef.
+    EXPECT_EQ(eval_pred_3v(make_and({p, make_false()}), env), Tri::False);
+    EXPECT_EQ(eval_pred_3v(make_or({p, make_true()}), env), Tri::True);
+    EXPECT_EQ(eval_pred_3v(make_and({p, make_true()}), env), Tri::Undef);
+}
+
+TEST_F(PredTest, EvalDomainRestrictsQuantifier) {
+    Input in;
+    in.args.emplace_back(std::int64_t{0});
+    in.args.emplace_back(IntArrInput::of({0, 7, 0, 9}));  // odd indices nonzero
+    in.args.emplace_back(StrInput::null());
+
+    const Expr* bv = pool.bound_var(0);
+    const Expr* even = pool.and_(pool.lt(bv, pool.len(xs)),
+                                 pool.eq(pool.mod(bv, pool.int_const(2)), pool.int_const(0)));
+    const Expr* is_zero = pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(0));
+    EXPECT_TRUE(eval_on(make_forall(0, xs, even, is_zero), in));
+}
+
+}  // namespace
+}  // namespace preinfer::core

@@ -1,0 +1,312 @@
+#include "src/core/preinfer.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "src/core/complexity.h"
+#include "src/core/pred_eval.h"
+#include "src/gen/fuzzer.h"
+
+namespace preinfer::core {
+namespace {
+
+using testing_helpers::compile_method;
+using testing_helpers::ExplorerOracle;
+
+class PreInferTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+
+    struct Setup {
+        lang::Method method;
+        gen::TestSuite suite;
+        std::vector<AclId> acls;
+    };
+
+    Setup explore(std::string_view src) {
+        Setup s{compile_method(src), {}, {}};
+        gen::Explorer explorer(pool, s.method);
+        s.suite = explorer.explore();
+        s.acls = s.suite.failing_acls();
+        return s;
+    }
+
+    InferenceResult infer_for(const Setup& s, AclId acl,
+                              PreInferConfig config = {}) {
+        const gen::AclView view = view_for(s.suite, acl);
+        std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
+        std::vector<const sym::EvalEnv*> envs;
+        for (const gen::Test* t : view.passing) {
+            env_storage.push_back(
+                std::make_unique<exec::InputEvalEnv>(s.method, t->input));
+            envs.push_back(env_storage.back().get());
+        }
+        PreInfer preinfer(pool, config);
+        return preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+    }
+
+    /// Validates a precondition against a fresh validation set: it must be
+    /// false on every failing state and true on every passing state seen by
+    /// a bigger exploration plus fuzzing.
+    struct Strength {
+        bool sufficient = true;
+        bool necessary = true;
+    };
+    Strength check_strength(const lang::Method& m, AclId acl, const PredPtr& pre) {
+        gen::ExplorerConfig big;
+        big.max_tests = 400;
+        big.max_solver_calls = 6000;
+        gen::Explorer explorer(pool, m, big);
+        gen::TestSuite validation = explorer.explore();
+        gen::Fuzzer fuzzer(m, 99);
+        exec::ConcolicInterpreter interp(pool, m);
+        for (int i = 0; i < 300; ++i) {
+            gen::Test t;
+            t.input = fuzzer.next();
+            t.result = interp.run(t.input);
+            validation.tests.push_back(std::move(t));
+        }
+        Strength out;
+        for (const gen::Test& t : validation.tests) {
+            if (!t.usable()) continue;
+            exec::InputEvalEnv env(m, t.input);
+            const bool validated = eval_pred(pre, env);
+            const bool fails_here =
+                t.result.outcome.failing() && t.result.outcome.acl == acl;
+            if (fails_here && validated) out.sufficient = false;
+            if (!fails_here && !validated) out.necessary = false;
+        }
+        return out;
+    }
+};
+
+constexpr const char* kFigure1 = R"(
+method example(s: str[], a: int, b: int, c: int, d: int) : int {
+    var sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (var i = 0; i < s.len; i = i + 1) {
+            sum = sum + s[i].len;
+        }
+        return sum;
+    }
+    return 0;
+})";
+
+TEST_F(PreInferTest, Figure1ElementCaseInfersQuantifiedPrecondition) {
+    const Setup s = explore(kFigure1);
+    ASSERT_EQ(s.acls.size(), 2u);  // s == null at the header; s[i] == null inside
+
+    // Identify the element ACL: its failing tests have non-null s.
+    AclId elem_acl;
+    for (const AclId acl : s.acls) {
+        const gen::AclView v = view_for(s.suite, acl);
+        bool elem = false;
+        for (const gen::Test* t : v.failing) {
+            if (!std::get<exec::StrArrInput>(t->input.args[0]).is_null) elem = true;
+        }
+        if (elem) elem_acl = acl;
+    }
+    ASSERT_TRUE(elem_acl.valid());
+
+    const InferenceResult r = infer_for(s, elem_acl);
+    ASSERT_TRUE(r.inferred);
+    EXPECT_GT(r.generalized_paths, 0);
+
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    // The quantified condition from the paper's ground truth (negated form
+    // appears in the precondition).
+    EXPECT_NE(printed.find("forall i."), std::string::npos) << printed;
+    EXPECT_NE(printed.find("s[i] != null"), std::string::npos) << printed;
+
+    const Strength strength = check_strength(s.method, elem_acl, r.precondition);
+    EXPECT_TRUE(strength.sufficient);
+    EXPECT_TRUE(strength.necessary);
+}
+
+TEST_F(PreInferTest, Figure1NullCaseIsSufficientAndNecessary) {
+    const Setup s = explore(kFigure1);
+    AclId null_acl;
+    for (const AclId acl : s.acls) {
+        const gen::AclView v = view_for(s.suite, acl);
+        bool all_null = !v.failing.empty();
+        for (const gen::Test* t : v.failing) {
+            if (!std::get<exec::StrArrInput>(t->input.args[0]).is_null) all_null = false;
+        }
+        if (all_null) null_acl = acl;
+    }
+    ASSERT_TRUE(null_acl.valid());
+
+    const InferenceResult r = infer_for(s, null_acl);
+    ASSERT_TRUE(r.inferred);
+    const Strength strength = check_strength(s.method, null_acl, r.precondition);
+    EXPECT_TRUE(strength.sufficient);
+    EXPECT_TRUE(strength.necessary);
+    // Shape check: mentions the d-guard chain and s == null.
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    EXPECT_NE(printed.find("s != null"), std::string::npos) << printed;
+}
+
+TEST_F(PreInferTest, SimpleDivideByZero) {
+    const Setup s = explore(R"(
+        method m(a: int, b: int) : int {
+            return a / b;
+        })");
+    ASSERT_EQ(s.acls.size(), 1u);
+    const InferenceResult r = infer_for(s, s.acls[0]);
+    ASSERT_TRUE(r.inferred);
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    EXPECT_EQ(printed, "b != 0");
+    const Strength strength = check_strength(s.method, s.acls[0], r.precondition);
+    EXPECT_TRUE(strength.sufficient);
+    EXPECT_TRUE(strength.necessary);
+}
+
+TEST_F(PreInferTest, GuardedFailureKeepsGuard) {
+    const Setup s = explore(R"(
+        method m(k: int, d: int) : int {
+            if (k > 0) { return 10 / d; }
+            return 0;
+        })");
+    ASSERT_EQ(s.acls.size(), 1u);
+    const InferenceResult r = infer_for(s, s.acls[0]);
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    // ¬(k > 0 && d == 0) = k <= 0 || d != 0.
+    EXPECT_NE(printed.find("k <= 0"), std::string::npos) << printed;
+    EXPECT_NE(printed.find("d != 0"), std::string::npos) << printed;
+    const Strength strength = check_strength(s.method, s.acls[0], r.precondition);
+    EXPECT_TRUE(strength.sufficient);
+    EXPECT_TRUE(strength.necessary);
+}
+
+TEST_F(PreInferTest, ArrayElementZeroDivisorQuantified) {
+    const Setup s = explore(R"(
+        method m(xs: int[]) : int {
+            var sum = 0;
+            if (xs == null) { return 0; }
+            for (var i = 0; i < xs.len; i = i + 1) {
+                sum = sum + 100 / xs[i];
+            }
+            return sum;
+        })");
+    AclId div_acl;
+    for (const AclId acl : s.acls) {
+        if (acl.kind == ExceptionKind::DivideByZero) div_acl = acl;
+    }
+    ASSERT_TRUE(div_acl.valid());
+    const InferenceResult r = infer_for(s, div_acl);
+    ASSERT_TRUE(r.inferred);
+    EXPECT_GT(r.generalized_paths, 0);
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    EXPECT_NE(printed.find("xs[i] != 0"), std::string::npos) << printed;
+    const Strength strength = check_strength(s.method, div_acl, r.precondition);
+    EXPECT_TRUE(strength.sufficient);
+    EXPECT_TRUE(strength.necessary);
+}
+
+TEST_F(PreInferTest, NoFailingPathsNothingInferred) {
+    const Setup s = explore("method m(a: int) : int { return a + 1; }");
+    EXPECT_TRUE(s.acls.empty());
+    PreInfer preinfer(pool);
+    const InferenceResult r =
+        preinfer.infer(AclId{0, ExceptionKind::DivideByZero}, {}, {});
+    EXPECT_FALSE(r.inferred);
+}
+
+TEST_F(PreInferTest, GeneralizationOffFallsBackToReducedPaths) {
+    const Setup s = explore(R"(
+        method m(xs: int[]) : int {
+            var sum = 0;
+            if (xs == null) { return 0; }
+            for (var i = 0; i < xs.len; i = i + 1) {
+                sum = sum + 100 / xs[i];
+            }
+            return sum;
+        })");
+    AclId div_acl;
+    for (const AclId acl : s.acls) {
+        if (acl.kind == ExceptionKind::DivideByZero) div_acl = acl;
+    }
+    ASSERT_TRUE(div_acl.valid());
+    PreInferConfig config;
+    config.generalization_enabled = false;
+    const InferenceResult r = infer_for(s, div_acl, config);
+    ASSERT_TRUE(r.inferred);
+    EXPECT_EQ(r.generalized_paths, 0);
+    const std::string printed = to_string(r.precondition, s.method.param_names());
+    EXPECT_EQ(printed.find("exists"), std::string::npos) << printed;
+    EXPECT_EQ(printed.find("forall"), std::string::npos) << printed;
+    // Without quantifiers the candidate is typically only necessary: it
+    // cannot block unseen longer arrays.
+    const Strength strength = check_strength(s.method, div_acl, r.precondition);
+    EXPECT_TRUE(strength.necessary);
+}
+
+TEST_F(PreInferTest, LoopCountedFailureCollapsesToInterval) {
+    // assert(i < 100) after a counted loop: the per-n exact disjuncts must
+    // union into one interval, keeping |psi| tiny instead of ~8000.
+    const Setup s = explore(R"(
+        method accelerate(n: int) : int {
+            var i = 0;
+            while (i < n) { i = i + 1; }
+            assert(i < 100);
+            return i;
+        })");
+    ASSERT_EQ(s.acls.size(), 1u);
+    const InferenceResult r = infer_for(s, s.acls[0]);
+    ASSERT_TRUE(r.inferred);
+    EXPECT_LE(complexity(r.precondition), 4)
+        << to_string(r.precondition, s.method.param_names());
+    // Necessary over the explored+fuzzed domain: blocks only n >= 100.
+    exec::Input low;
+    low.args.emplace_back(std::int64_t{42});
+    exec::InputEvalEnv low_env(s.method, low);
+    EXPECT_TRUE(eval_pred(r.precondition, low_env));
+    exec::Input high;
+    high.args.emplace_back(std::int64_t{120});
+    exec::InputEvalEnv high_env(s.method, high);
+    EXPECT_FALSE(eval_pred(r.precondition, high_env));
+}
+
+TEST_F(PreInferTest, MinimalRestoreRepairsOverPruning) {
+    // The whole loop prefix gets pruned (every deviation reaches the
+    // folded assert); the verify step must restore just enough to stop
+    // admitting passing states — not the entire 100-predicate path.
+    const Setup s = explore(R"(
+        method accelerate(n: int) : int {
+            var i = 0;
+            while (i < n) { i = i + 1; }
+            assert(i < 100);
+            return i;
+        })");
+    ASSERT_EQ(s.acls.size(), 1u);
+    const InferenceResult r = infer_for(s, s.acls[0]);
+    ASSERT_TRUE(r.inferred);
+    EXPECT_GT(r.pruning_fallbacks, 0);  // repair fired ...
+    // ... and stayed minimal: far fewer predicates than the full paths.
+    EXPECT_LT(complexity(r.alpha), 200);
+}
+
+TEST_F(PreInferTest, AlphaBlocksExactlyTheFailingSuite) {
+    // Internal consistency on the inference suite itself: α validates every
+    // failing test and no passing test.
+    const Setup s = explore(kFigure1);
+    for (const AclId acl : s.acls) {
+        const InferenceResult r = infer_for(s, acl);
+        ASSERT_TRUE(r.inferred);
+        const gen::AclView view = view_for(s.suite, acl);
+        for (const gen::Test* t : view.failing) {
+            exec::InputEvalEnv env(s.method, t->input);
+            EXPECT_TRUE(eval_pred(r.alpha, env)) << t->input.to_string(s.method);
+        }
+        for (const gen::Test* t : view.passing) {
+            exec::InputEvalEnv env(s.method, t->input);
+            EXPECT_FALSE(eval_pred(r.alpha, env)) << t->input.to_string(s.method);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace preinfer::core

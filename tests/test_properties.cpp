@@ -1,0 +1,315 @@
+// Property-based sweeps over the pipeline's core invariants, parameterized
+// over deterministic random seeds.
+//
+//  * Path-condition soundness: every recorded predicate evaluates to true
+//    under the very input that produced it (the assumption Section III
+//    makes explicit: "we assume that a path condition is sound").
+//  * Solver soundness: Sat models satisfy the conjunction; Unsat answers
+//    survive brute-force search over a small box domain.
+//  * negate/simplify preserve semantics under concrete evaluation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/pred_eval.h"
+#include "src/core/simplify.h"
+#include "src/eval/corpus.h"
+#include "src/gen/explorer.h"
+#include "src/gen/fuzzer.h"
+#include "src/gen/reconstruct.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/print.h"
+
+namespace preinfer {
+namespace {
+
+using sym::Expr;
+using sym::Sort;
+
+// ---------------------------------------------------------------------------
+// Path-condition soundness over the whole corpus.
+// ---------------------------------------------------------------------------
+
+struct MethodCase {
+    const eval::Subject* subject;
+    const eval::SubjectMethod* method;
+};
+
+std::vector<MethodCase> corpus_cases() {
+    std::vector<MethodCase> out;
+    for (const eval::Subject& s : eval::corpus()) {
+        for (const eval::SubjectMethod& m : s.methods) out.push_back({&s, &m});
+    }
+    return out;
+}
+
+class PathSoundness : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(PathSoundness, EveryPredicateHoldsOnItsOwnInput) {
+    lang::Program prog = lang::parse_program(GetParam().method->source);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& m = prog.methods.front();
+
+    sym::ExprPool pool;
+    gen::ExplorerConfig cfg;
+    cfg.max_tests = 96;
+    cfg.max_solver_calls = 1024;
+    gen::Explorer explorer(pool, m, cfg, &prog);
+    const gen::TestSuite suite = explorer.explore();
+
+    int checked = 0;
+    for (const gen::Test& t : suite.tests) {
+        if (!t.usable()) continue;
+        const exec::InputEvalEnv env(m, t.input);
+        for (const core::PathPredicate& p : t.result.pc.preds) {
+            const sym::EvalValue v = sym::eval(p.expr, env);
+            ASSERT_EQ(v.tag, sym::EvalValue::Tag::Bool)
+                << sym::to_string(p.expr, m.param_names()) << " on "
+                << t.input.to_string(m);
+            EXPECT_EQ(v.i, 1) << sym::to_string(p.expr, m.param_names()) << " on "
+                              << t.input.to_string(m);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PathSoundness, ::testing::ValuesIn(corpus_cases()),
+                         [](const ::testing::TestParamInfo<MethodCase>& info) {
+                             return info.param.method->name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Solver soundness on random conjunction families.
+// ---------------------------------------------------------------------------
+
+class RandomAtoms {
+public:
+    RandomAtoms(sym::ExprPool& pool, std::uint64_t seed) : pool_(pool), rng_(seed) {}
+
+    /// A random linear-ish atom over (a: int, b: int, xs: int[]).
+    const Expr* atom() {
+        const Expr* a = pool_.param(0, Sort::Int);
+        const Expr* b = pool_.param(1, Sort::Int);
+        const Expr* xs = pool_.param(2, Sort::Obj);
+        const Expr* terms[] = {
+            a,
+            b,
+            pool_.add(a, b),
+            pool_.sub(a, b),
+            pool_.add(a, pool_.int_const(pick(-3, 3))),
+            pool_.mul(a, pool_.int_const(pick(1, 3))),
+            pool_.len(xs),
+            pool_.select(xs, pool_.int_const(pick(0, 2)), Sort::Int),
+        };
+        const Expr* l = terms[rng_() % std::size(terms)];
+        const Expr* r = (rng_() % 2 == 0) ? terms[rng_() % std::size(terms)]
+                                          : pool_.int_const(pick(-4, 4));
+        const sym::Kind ops[] = {sym::Kind::Eq, sym::Kind::Ne, sym::Kind::Lt,
+                                 sym::Kind::Le, sym::Kind::Gt, sym::Kind::Ge};
+        const Expr* e = pool_.cmp(ops[rng_() % std::size(ops)], l, r);
+        if (e->kind == sym::Kind::BoolConst) return pool_.gt(a, pool_.int_const(0));
+        if (rng_() % 8 == 0) {
+            // Mix in a null atom occasionally.
+            const Expr* isnull = pool_.is_null(xs);
+            return rng_() % 2 == 0 ? isnull : pool_.not_(isnull);
+        }
+        return e;
+    }
+
+    std::int64_t pick(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(rng_() % (hi - lo + 1));
+    }
+
+    std::mt19937_64& rng() { return rng_; }
+
+private:
+    sym::ExprPool& pool_;
+    std::mt19937_64 rng_;
+};
+
+/// Concrete check of a conjunction over the small box domain:
+/// a, b in [-4, 4], xs null or length 0..3 with elements in [-2, 2].
+bool box_satisfiable(const lang::Method& m,
+                     const std::vector<const Expr*>& conjuncts) {
+    auto holds = [&](const exec::Input& in) {
+        const exec::InputEvalEnv env(m, in);
+        for (const Expr* e : conjuncts) {
+            const sym::EvalValue v = sym::eval(e, env);
+            if (v.tag != sym::EvalValue::Tag::Bool || v.i != 1) return false;
+        }
+        return true;
+    };
+    for (std::int64_t a = -4; a <= 4; ++a) {
+        for (std::int64_t b = -4; b <= 4; ++b) {
+            // xs = null
+            {
+                exec::Input in;
+                in.args.emplace_back(a);
+                in.args.emplace_back(b);
+                in.args.emplace_back(exec::IntArrInput::null());
+                if (holds(in)) return true;
+            }
+            // xs of lengths 0..3 with a couple of element patterns
+            for (int len = 0; len <= 3; ++len) {
+                for (std::int64_t fill : {-2, 0, 2}) {
+                    exec::Input in;
+                    in.args.emplace_back(a);
+                    in.args.emplace_back(b);
+                    in.args.emplace_back(exec::IntArrInput::of(
+                        std::vector<std::int64_t>(static_cast<std::size_t>(len), fill)));
+                    if (holds(in)) return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, SatModelsSatisfyAndUnsatSurvivesBruteForce) {
+    lang::Program prog =
+        lang::parse_program("method m(a: int, b: int, xs: int[]) {}");
+    const lang::Method& m = prog.methods[0];
+
+    sym::ExprPool pool;
+    RandomAtoms gen(pool, static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+    for (int round = 0; round < 40; ++round) {
+        std::vector<const Expr*> conjuncts;
+        const int n = 1 + static_cast<int>(gen.rng()() % 5);
+        for (int i = 0; i < n; ++i) conjuncts.push_back(gen.atom());
+
+        solver::Solver solver(pool);
+        const solver::SolveResult res = solver.solve(conjuncts);
+        if (res.status == solver::SolveStatus::Sat) {
+            const exec::Input in =
+                gen::reconstruct_input(pool, m, res.model, nullptr);
+            const exec::InputEvalEnv env(m, in);
+            for (const Expr* e : conjuncts) {
+                const sym::EvalValue v = sym::eval(e, env);
+                ASSERT_EQ(v.tag, sym::EvalValue::Tag::Bool)
+                    << sym::to_string(e, m.param_names());
+                EXPECT_EQ(v.i, 1) << sym::to_string(e, m.param_names()) << " under "
+                                  << in.to_string(m);
+            }
+        } else if (res.status == solver::SolveStatus::Unsat) {
+            EXPECT_FALSE(box_satisfiable(m, conjuncts))
+                << "solver said Unsat but the box domain has a model";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Pred algebra: negation and simplification preserve concrete semantics.
+// ---------------------------------------------------------------------------
+
+core::PredPtr random_pred(RandomAtoms& gen, sym::ExprPool& pool, int depth) {
+    if (depth == 0) return core::make_atom(gen.atom());
+    switch (gen.rng()() % 4) {
+        case 0: {
+            std::vector<core::PredPtr> kids;
+            const int n = 2 + static_cast<int>(gen.rng()() % 2);
+            for (int i = 0; i < n; ++i) kids.push_back(random_pred(gen, pool, depth - 1));
+            return core::make_and(std::move(kids));
+        }
+        case 1: {
+            std::vector<core::PredPtr> kids;
+            const int n = 2 + static_cast<int>(gen.rng()() % 2);
+            for (int i = 0; i < n; ++i) kids.push_back(random_pred(gen, pool, depth - 1));
+            return core::make_or(std::move(kids));
+        }
+        case 2:
+            return core::make_not(random_pred(gen, pool, depth - 1));
+        default: {
+            const sym::Expr* xs = pool.param(2, Sort::Obj);
+            const sym::Expr* bv = pool.bound_var(0);
+            const sym::Expr* body =
+                pool.cmp(gen.rng()() % 2 == 0 ? sym::Kind::Eq : sym::Kind::Ge,
+                         pool.select(xs, bv, Sort::Int),
+                         pool.int_const(gen.pick(-2, 2)));
+            const sym::Expr* domain = pool.lt(bv, pool.len(xs));
+            return gen.rng()() % 2 == 0 ? core::make_forall(0, xs, domain, body)
+                                        : core::make_exists(0, xs, domain, body);
+        }
+    }
+}
+
+class PredAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredAlgebraProperty, NegateAndSimplifyPreserveSemantics) {
+    lang::Program prog =
+        lang::parse_program("method m(a: int, b: int, xs: int[]) {}");
+    const lang::Method& m = prog.methods[0];
+
+    sym::ExprPool pool;
+    RandomAtoms gen(pool, static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    gen::Fuzzer fuzzer(m, static_cast<std::uint64_t>(GetParam()));
+
+    for (int round = 0; round < 25; ++round) {
+        const core::PredPtr p = random_pred(gen, pool, 2);
+        const core::PredPtr np = core::negate(pool, p);
+        const core::PredPtr sp = core::simplify(pool, p);
+        const core::PredPtr nnp = core::negate(pool, np);
+        for (int probe = 0; probe < 20; ++probe) {
+            const exec::Input in = fuzzer.next();
+            const exec::InputEvalEnv env(m, in);
+            const core::Tri v3 = core::eval_pred_3v(p, env);
+            // The classical laws hold wherever evaluation is total; Undef
+            // states are exactly where p and ¬p may both project to false.
+            if (v3 == core::Tri::Undef) continue;
+            const bool v = v3 == core::Tri::True;
+            EXPECT_EQ(core::eval_pred(np, env), !v)
+                << core::to_string(p, m.param_names()) << " on " << in.to_string(m);
+            EXPECT_EQ(core::eval_pred(nnp, env), v);
+            if (core::eval_pred_3v(sp, env) != core::Tri::Undef) {
+                EXPECT_EQ(core::eval_pred(sp, env), v)
+                    << core::to_string(p, m.param_names()) << " simplified to "
+                    << core::to_string(sp, m.param_names()) << " on "
+                    << in.to_string(m);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredAlgebraProperty, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Explorer: larger budgets never lose coverage.
+// ---------------------------------------------------------------------------
+
+TEST(ExplorerProperty, CoverageMonotonicInBudget) {
+    lang::Program prog = lang::parse_single_method(R"(
+        method m(a: int, b: int, xs: int[]) : int {
+            var r = 0;
+            if (a > 3) { r = r + 1; }
+            if (b < -2) { r = r + 1; }
+            if (xs != null && xs.len > 1 && xs[0] == 7) { r = r + 1; }
+            return r;
+        })");
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    const lang::Method& m = prog.methods[0];
+
+    double prev = -1.0;
+    for (int budget : {2, 8, 64, 256}) {
+        sym::ExprPool pool;
+        gen::ExplorerConfig cfg;
+        cfg.max_tests = budget;
+        gen::Explorer explorer(pool, m, cfg);
+        const double cov = explorer.explore().block_coverage(m.num_blocks);
+        EXPECT_GE(cov, prev);
+        prev = cov;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace preinfer

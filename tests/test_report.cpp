@@ -1,0 +1,91 @@
+#include "src/eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace preinfer::eval {
+namespace {
+
+HarnessResult tiny_result() {
+    HarnessResult r;
+    AclRow row;
+    row.subject = "Ns.A";
+    row.method = "m, with comma";
+    row.acl = {7, core::ExceptionKind::DivideByZero};
+    row.position = LoopPosition::InsideLoop;
+    row.failing_tests = 3;
+    row.passing_tests = 9;
+    row.has_ground_truth = true;
+    row.ground_truth_quantified = true;
+    row.ground_truth_consistent = true;
+    row.gt_complexity = 2;
+    row.preinfer.attempted = true;
+    row.preinfer.inferred = true;
+    row.preinfer.strength.sufficient = true;
+    row.preinfer.strength.necessary = true;
+    row.preinfer.complexity = 3;
+    row.preinfer.has_rel_complexity = true;
+    row.preinfer.rel_complexity = 0.5;
+    row.preinfer.printed = "a != 0 && b > \"q\"";
+    row.fixit.attempted = true;  // not inferred
+    row.dysy.attempted = true;
+    row.dysy.inferred = true;
+    row.dysy.strength.sufficient = true;
+    row.dysy.strength.necessary = false;
+    row.dysy.complexity = 40;
+    r.acls.push_back(std::move(row));
+
+    MethodRow m;
+    m.subject = "Ns.A";
+    m.method = "m";
+    m.block_coverage = 0.75;
+    m.tests = 12;
+    m.acls = 1;
+    r.methods.push_back(m);
+    return r;
+}
+
+TEST(Report, AclCsvRowsAndEscaping) {
+    std::ostringstream out;
+    write_acl_csv(tiny_result(), out);
+    const std::string csv = out.str();
+    // Header + one row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find("subject,method,exception,position"), std::string::npos);
+    EXPECT_NE(csv.find("\"m, with comma\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("DivideByZero,Inside loop,3,9,1,1,1,2"), std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find(",both,3,0.5"), std::string::npos) << csv;
+    EXPECT_NE(csv.find(",none,0,"), std::string::npos) << csv;        // FixIt
+    EXPECT_NE(csv.find(",sufficient,40,"), std::string::npos) << csv; // DySy
+    // Embedded quotes are doubled.
+    EXPECT_NE(csv.find("b > \"\"q\"\""), std::string::npos) << csv;
+}
+
+TEST(Report, MethodCsv) {
+    std::ostringstream out;
+    write_method_csv(tiny_result(), out);
+    EXPECT_NE(out.str().find("Ns.A,m,0.75,12,1"), std::string::npos) << out.str();
+}
+
+TEST(Report, EnvVarWritesFile) {
+    const char* path = "/tmp/preinfer_report_test.csv";
+    ::setenv("PREINFER_CSV_TEST", path, 1);
+    EXPECT_TRUE(maybe_write_csv_from_env(tiny_result(), "PREINFER_CSV_TEST"));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("preinfer_verdict"), std::string::npos);
+    ::unsetenv("PREINFER_CSV_TEST");
+    std::remove(path);
+
+    EXPECT_FALSE(maybe_write_csv_from_env(tiny_result(), "PREINFER_CSV_UNSET_VAR"));
+}
+
+}  // namespace
+}  // namespace preinfer::eval

@@ -1,0 +1,189 @@
+#include "src/core/simplify.h"
+
+#include <gtest/gtest.h>
+
+namespace preinfer::core {
+namespace {
+
+using sym::Expr;
+using sym::Sort;
+
+class SimplifyTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+    const Expr* a = pool.param(0, Sort::Int);
+    const Expr* b = pool.param(1, Sort::Int);
+
+    PredPtr atom_gt(const Expr* e, int c) { return make_atom(pool.gt(e, pool.int_const(c))); }
+    PredPtr atom_lt(const Expr* e, int c) { return make_atom(pool.lt(e, pool.int_const(c))); }
+};
+
+TEST_F(SimplifyTest, DedupConjuncts) {
+    const PredPtr p = make_and({atom_gt(a, 0), atom_gt(a, 0), atom_lt(b, 9)});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::And);
+    EXPECT_EQ(s->kids.size(), 2u);
+}
+
+TEST_F(SimplifyTest, DedupDisjuncts) {
+    const PredPtr p = make_or({atom_gt(a, 0), atom_gt(a, 0)});
+    const PredPtr s = simplify(pool, p);
+    EXPECT_EQ(s->kind, PredKind::Atom);
+}
+
+TEST_F(SimplifyTest, ComplementaryConjunctsAreFalse) {
+    const PredPtr p = make_and({atom_gt(a, 0), make_atom(pool.le(a, pool.int_const(0)))});
+    EXPECT_TRUE(is_false(simplify(pool, p)));
+}
+
+TEST_F(SimplifyTest, ComplementaryDisjunctsAreTrue) {
+    const PredPtr p = make_or({atom_gt(a, 0), make_atom(pool.le(a, pool.int_const(0)))});
+    EXPECT_TRUE(is_true(simplify(pool, p)));
+}
+
+TEST_F(SimplifyTest, OrSubsumptionDropsStrongerDisjunct) {
+    // (a>0) || (a>0 && b<9)  ==>  a>0
+    const PredPtr strong = make_and({atom_gt(a, 0), atom_lt(b, 9)});
+    const PredPtr s = simplify(pool, make_or({atom_gt(a, 0), strong}));
+    EXPECT_EQ(s->kind, PredKind::Atom);
+    EXPECT_EQ(s->atom, pool.gt(a, pool.int_const(0)));
+}
+
+TEST_F(SimplifyTest, AndSubsumptionDropsWeakerClause) {
+    // (a>0) && (a>0 || b<9)  ==>  a>0
+    const PredPtr weak = make_or({atom_gt(a, 0), atom_lt(b, 9)});
+    const PredPtr s = simplify(pool, make_and({atom_gt(a, 0), weak}));
+    EXPECT_EQ(s->kind, PredKind::Atom);
+    EXPECT_EQ(s->atom, pool.gt(a, pool.int_const(0)));
+}
+
+TEST_F(SimplifyTest, NoSubsumptionBetweenUnrelatedDisjuncts) {
+    const PredPtr d1 = make_and({atom_gt(a, 0), atom_lt(b, 9)});
+    const PredPtr d2 = make_and({atom_lt(a, -3), atom_gt(b, 20)});
+    const PredPtr s = simplify(pool, make_or({d1, d2}));
+    ASSERT_EQ(s->kind, PredKind::Or);
+    EXPECT_EQ(s->kids.size(), 2u);
+}
+
+TEST_F(SimplifyTest, RecursesIntoNestedStructure) {
+    const PredPtr inner = make_or({atom_gt(a, 0), atom_gt(a, 0)});
+    const PredPtr p = make_and({make_not(inner), atom_lt(b, 9)});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::And);
+    EXPECT_EQ(s->kids[0]->kind, PredKind::Not);
+    EXPECT_EQ(s->kids[0]->kids[0]->kind, PredKind::Atom);
+}
+
+TEST_F(SimplifyTest, BoundTighteningInConjunction) {
+    // 100 < a && 120 < a && a <= 161  ==>  a >= 121 && a <= 161
+    const PredPtr p = make_and({make_atom(pool.lt(pool.int_const(100), a)),
+                                make_atom(pool.lt(pool.int_const(120), a)),
+                                make_atom(pool.le(a, pool.int_const(161)))});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::And);
+    EXPECT_EQ(s->kids.size(), 2u);
+    std::vector<std::string> names{"a", "b"};
+    EXPECT_EQ(to_string(s, names), "a >= 121 && a <= 161");
+}
+
+TEST_F(SimplifyTest, BoundTighteningDetectsEmptyInterval) {
+    const PredPtr p = make_and({make_atom(pool.gt(a, pool.int_const(10))),
+                                make_atom(pool.lt(a, pool.int_const(11))),
+                                make_atom(pool.gt(b, pool.int_const(0)))});
+    // 10 < a < 11 has no integer solution.
+    EXPECT_TRUE(is_false(simplify(pool, p)));
+}
+
+TEST_F(SimplifyTest, BoundTighteningCollapsesToEquality) {
+    const PredPtr p = make_and({make_atom(pool.ge(a, pool.int_const(5))),
+                                make_atom(pool.le(a, pool.int_const(5)))});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::Atom);
+    EXPECT_EQ(s->atom, pool.eq(a, pool.int_const(5)));
+}
+
+TEST_F(SimplifyTest, BoundTighteningLeavesOtherTermsAlone) {
+    // Bounds on a.len-style terms and unrelated atoms must coexist.
+    const Expr* obj = pool.param(2, Sort::Obj);
+    const Expr* len = pool.len(obj);
+    const PredPtr p = make_and({make_atom(pool.gt(len, pool.int_const(0))),
+                                make_atom(pool.gt(len, pool.int_const(3))),
+                                make_atom(pool.not_(pool.is_null(obj)))});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::And);
+    EXPECT_EQ(s->kids.size(), 2u);
+}
+
+TEST_F(SimplifyTest, IntervalUnionMergesAdjacentDisjuncts) {
+    // a == 100 || a == 101 || a == 102  ==>  a >= 100 && a <= 102
+    const PredPtr p = make_or({make_atom(pool.eq(a, pool.int_const(100))),
+                               make_atom(pool.eq(a, pool.int_const(101))),
+                               make_atom(pool.eq(a, pool.int_const(102)))});
+    const PredPtr s = simplify(pool, p);
+    std::vector<std::string> names{"a", "b"};
+    EXPECT_EQ(to_string(s, names), "a >= 100 && a <= 102");
+}
+
+TEST_F(SimplifyTest, IntervalUnionMergesOverlappingRanges) {
+    const PredPtr r1 = make_and({make_atom(pool.ge(a, pool.int_const(0))),
+                                 make_atom(pool.le(a, pool.int_const(10)))});
+    const PredPtr r2 = make_and({make_atom(pool.ge(a, pool.int_const(5))),
+                                 make_atom(pool.le(a, pool.int_const(20)))});
+    const PredPtr s = simplify(pool, make_or({r1, r2}));
+    std::vector<std::string> names{"a", "b"};
+    EXPECT_EQ(to_string(s, names), "a >= 0 && a <= 20");
+}
+
+TEST_F(SimplifyTest, IntervalUnionKeepsDisjointRanges) {
+    const PredPtr s = simplify(pool, make_or({make_atom(pool.eq(a, pool.int_const(0))),
+                                              make_atom(pool.eq(a, pool.int_const(7)))}));
+    ASSERT_EQ(s->kind, PredKind::Or);
+    EXPECT_EQ(s->kids.size(), 2u);
+}
+
+TEST_F(SimplifyTest, IntervalUnionIgnoresMixedDisjuncts) {
+    // A disjunct mentioning two terms is not a pure interval; untouched.
+    const PredPtr mixed = make_and({make_atom(pool.eq(a, pool.int_const(1))),
+                                    make_atom(pool.eq(b, pool.int_const(2)))});
+    const PredPtr s =
+        simplify(pool, make_or({mixed, make_atom(pool.eq(a, pool.int_const(2)))}));
+    ASSERT_EQ(s->kind, PredKind::Or);
+    EXPECT_EQ(s->kids.size(), 2u);
+}
+
+TEST_F(SimplifyTest, IntervalUnionToUnconstrainedIsTrue) {
+    const PredPtr s = simplify(pool, make_or({make_atom(pool.le(a, pool.int_const(5))),
+                                              make_atom(pool.ge(a, pool.int_const(5)))}));
+    EXPECT_TRUE(is_true(s));
+}
+
+TEST_F(SimplifyTest, DisequalitiesAreNotIntervals) {
+    // a != 5 must survive untouched next to bounds.
+    const PredPtr p = make_and({make_atom(pool.ne(a, pool.int_const(5))),
+                                make_atom(pool.ge(a, pool.int_const(0))),
+                                make_atom(pool.ge(a, pool.int_const(2)))});
+    const PredPtr s = simplify(pool, p);
+    ASSERT_EQ(s->kind, PredKind::And);
+    bool has_ne = false;
+    for (const PredPtr& k : s->kids) {
+        if (k->kind == PredKind::Atom && k->atom == pool.ne(a, pool.int_const(5)))
+            has_ne = true;
+    }
+    EXPECT_TRUE(has_ne);
+}
+
+TEST_F(SimplifyTest, QuantifiersPassThrough) {
+    const Expr* bv = pool.bound_var(0);
+    const Expr* obj = pool.param(2, Sort::Obj);
+    const PredPtr q = make_exists(0, obj, pool.lt(bv, pool.len(obj)),
+                                  pool.is_null(pool.select(obj, bv, Sort::Obj)));
+    EXPECT_EQ(simplify(pool, q), q);
+    // And duplicate quantified disjuncts dedup.
+    const PredPtr q2 = make_exists(0, obj, pool.lt(bv, pool.len(obj)),
+                                   pool.is_null(pool.select(obj, bv, Sort::Obj)));
+    const PredPtr s = simplify(pool, make_or({q, q2}));
+    EXPECT_TRUE(s->is_quantifier());
+}
+
+}  // namespace
+}  // namespace preinfer::core

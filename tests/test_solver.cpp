@@ -1,0 +1,281 @@
+#include "src/solver/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace preinfer::solver {
+namespace {
+
+using sym::Expr;
+using sym::ExprPool;
+using sym::Sort;
+
+class SolverTest : public ::testing::Test {
+protected:
+    SolveResult solve(std::vector<const Expr*> conjuncts, const Model* seed = nullptr) {
+        Solver solver(pool);
+        return solver.solve(conjuncts, seed);
+    }
+
+    /// Checks a Sat result satisfies all conjuncts under the model by
+    /// plugging assigned values back in (only for pure-linear int atoms).
+    ExprPool pool;
+    const Expr* x = pool.param(0, Sort::Int);
+    const Expr* y = pool.param(1, Sort::Int);
+    const Expr* z = pool.param(2, Sort::Int);
+    const Expr* flag = pool.param(3, Sort::Bool);
+    const Expr* s = pool.param(4, Sort::Obj);
+};
+
+TEST_F(SolverTest, TrivialSat) {
+    const auto r = solve({pool.gt(x, pool.int_const(0))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_GT(r.model.get_int(x, 0), 0);
+}
+
+TEST_F(SolverTest, TrivialUnsat) {
+    const auto r = solve({pool.gt(x, pool.int_const(0)), pool.lt(x, pool.int_const(0))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, EqualityChains) {
+    const auto r = solve({pool.eq(x, pool.int_const(5)), pool.eq(y, pool.add(x, pool.int_const(2))),
+                          pool.eq(z, pool.add(y, y))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, -1), 5);
+    EXPECT_EQ(r.model.get_int(y, -1), 7);
+    EXPECT_EQ(r.model.get_int(z, -1), 14);
+}
+
+TEST_F(SolverTest, StrictInequalitiesOnIntegers) {
+    // x > 3 && x < 5 pins x == 4 over the integers.
+    const auto r = solve({pool.gt(x, pool.int_const(3)), pool.lt(x, pool.int_const(5))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, -1), 4);
+}
+
+TEST_F(SolverTest, EmptyIntegerGapUnsat) {
+    const auto r = solve({pool.gt(x, pool.int_const(3)), pool.lt(x, pool.int_const(4))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, Disequalities) {
+    const auto r = solve({pool.ge(x, pool.int_const(0)), pool.le(x, pool.int_const(1)),
+                          pool.ne(x, pool.int_const(0))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, -1), 1);
+}
+
+TEST_F(SolverTest, DisequalitiesExhaustDomain) {
+    const auto r = solve({pool.ge(x, pool.int_const(0)), pool.le(x, pool.int_const(1)),
+                          pool.ne(x, pool.int_const(0)), pool.ne(x, pool.int_const(1))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, CoefficientConstraints) {
+    // 2x + 3y == 12 && x >= 0 && y >= 1
+    const Expr* lhs = pool.add(pool.mul(x, pool.int_const(2)), pool.mul(y, pool.int_const(3)));
+    const auto r = solve({pool.eq(lhs, pool.int_const(12)), pool.ge(x, pool.int_const(0)),
+                          pool.ge(y, pool.int_const(1))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t xv = r.model.get_int(x, -1);
+    const std::int64_t yv = r.model.get_int(y, -1);
+    EXPECT_EQ(2 * xv + 3 * yv, 12);
+    EXPECT_GE(xv, 0);
+    EXPECT_GE(yv, 1);
+}
+
+TEST_F(SolverTest, BooleanLiterals) {
+    const auto r = solve({flag});
+    ASSERT_TRUE(r.sat());
+    EXPECT_TRUE(r.model.get_bool(flag, false));
+    const auto r2 = solve({pool.not_(flag)});
+    ASSERT_TRUE(r2.sat());
+    EXPECT_FALSE(r2.model.get_bool(flag, true));
+    const auto r3 = solve({flag, pool.not_(flag)});
+    EXPECT_EQ(r3.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, NullFlags) {
+    const Expr* isnull = pool.is_null(s);
+    const auto r = solve({pool.not_(isnull), pool.gt(pool.len(s), pool.int_const(2))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_FALSE(r.model.get_bool(isnull, true));
+    EXPECT_GT(r.model.get_int(pool.len(s), 0), 2);
+}
+
+TEST_F(SolverTest, LengthsAreNonNegative) {
+    const auto r = solve({pool.lt(pool.len(s), pool.int_const(0))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, SelectElementConstraints) {
+    const Expr* e0 = pool.select(s, pool.int_const(0), Sort::Int);
+    const Expr* e1 = pool.select(s, pool.int_const(1), Sort::Int);
+    const auto r = solve({pool.gt(pool.len(s), pool.int_const(1)),
+                          pool.eq(e0, pool.int_const(65)), pool.lt(e1, e0)});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(e0, -1), 65);
+    EXPECT_LT(r.model.get_int(e1, 1000), 65);
+}
+
+TEST_F(SolverTest, WhitespacePositive) {
+    const auto r = solve({pool.is_whitespace(x)});
+    ASSERT_TRUE(r.sat());
+    EXPECT_TRUE(sym::ExprPool::whitespace_code_point(r.model.get_int(x, 0)));
+}
+
+TEST_F(SolverTest, WhitespaceNegative) {
+    const auto r = solve({pool.not_(pool.is_whitespace(x)), pool.ge(x, pool.int_const(9)),
+                          pool.le(x, pool.int_const(32))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t v = r.model.get_int(x, 9);
+    EXPECT_FALSE(sym::ExprPool::whitespace_code_point(v));
+    EXPECT_GE(v, 9);
+    EXPECT_LE(v, 32);
+}
+
+TEST_F(SolverTest, WhitespaceHoleUnsat) {
+    // Whitespace and in [33, 100] is impossible.
+    const auto r = solve({pool.is_whitespace(x), pool.ge(x, pool.int_const(33)),
+                          pool.le(x, pool.int_const(100))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, NonlinearMultiplication) {
+    const auto r = solve({pool.eq(pool.mul(x, y), pool.int_const(6)),
+                          pool.ge(x, pool.int_const(2)), pool.le(x, pool.int_const(3)),
+                          pool.ge(y, pool.int_const(0)), pool.le(y, pool.int_const(5))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, 0) * r.model.get_int(y, 0), 6);
+}
+
+TEST_F(SolverTest, NonlinearModulo) {
+    const auto r = solve({pool.eq(pool.mod(x, pool.int_const(3)), pool.int_const(2)),
+                          pool.ge(x, pool.int_const(10)), pool.le(x, pool.int_const(20))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, 0) % 3, 2);
+}
+
+TEST_F(SolverTest, DivisionConstraint) {
+    const auto r = solve({pool.eq(pool.div(x, y), pool.int_const(3)),
+                          pool.ne(y, pool.int_const(0)), pool.ge(y, pool.int_const(1)),
+                          pool.le(y, pool.int_const(4)), pool.ge(x, pool.int_const(0)),
+                          pool.le(x, pool.int_const(50))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t xv = r.model.get_int(x, 0);
+    const std::int64_t yv = r.model.get_int(y, 1);
+    EXPECT_EQ(xv / yv, 3);
+}
+
+TEST_F(SolverTest, SeedSteersModel) {
+    Model seed;
+    seed.values[x] = 42;
+    const auto r = solve({pool.gt(x, pool.int_const(10))}, &seed);
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, 0), 42);
+}
+
+TEST_F(SolverTest, SeedOutsideConstraintsIsIgnored) {
+    Model seed;
+    seed.values[x] = -5;
+    const auto r = solve({pool.gt(x, pool.int_const(10))}, &seed);
+    ASSERT_TRUE(r.sat());
+    EXPECT_GT(r.model.get_int(x, 0), 10);
+}
+
+TEST_F(SolverTest, ContradictingConstantsUnsat) {
+    const auto r = solve({pool.eq(pool.int_const(1), pool.int_const(2))});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, TrueConstantConjunctIsSkipped) {
+    const auto r = solve({pool.true_(), pool.gt(x, pool.int_const(0))});
+    EXPECT_TRUE(r.sat());
+}
+
+TEST_F(SolverTest, NegatedConjuncts) {
+    const auto r = solve({pool.negate(pool.le(x, pool.int_const(10))),
+                          pool.negate(pool.ge(x, pool.int_const(12)))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, 0), 11);
+}
+
+TEST_F(SolverTest, ManyVariableChain) {
+    // x < y < z with tight bounds.
+    const auto r = solve({pool.lt(x, y), pool.lt(y, z), pool.ge(x, pool.int_const(0)),
+                          pool.le(z, pool.int_const(2))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, -1), 0);
+    EXPECT_EQ(r.model.get_int(y, -1), 1);
+    EXPECT_EQ(r.model.get_int(z, -1), 2);
+}
+
+TEST_F(SolverTest, ObserversImplyNonNull) {
+    // IsNull(s) together with any Len/Select observer of s is unsat under
+    // the partial-evaluation semantics.
+    const auto r1 = solve({pool.is_null(s), pool.ge(pool.len(s), pool.int_const(0))});
+    EXPECT_EQ(r1.status, SolveStatus::Unsat);
+    const auto r2 = solve({pool.is_null(s),
+                           pool.eq(pool.select(s, pool.int_const(0), Sort::Int),
+                                   pool.int_const(1))});
+    EXPECT_EQ(r2.status, SolveStatus::Unsat);
+    // IsNull alone is satisfiable both ways.
+    EXPECT_TRUE(solve({pool.is_null(s)}).sat());
+    EXPECT_TRUE(solve({pool.not_(pool.is_null(s))}).sat());
+}
+
+TEST_F(SolverTest, NestedObserversImplyOuterNonNull) {
+    // IsNull(s[0]) dereferences s, so s itself cannot be null.
+    const Expr* elem = pool.select(s, pool.int_const(0), Sort::Obj);
+    const auto r = solve({pool.is_null(s), pool.is_null(elem)});
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+    // But the element's own nullness stays free.
+    const auto r2 = solve({pool.is_null(elem)});
+    ASSERT_TRUE(r2.sat());
+    EXPECT_FALSE(r2.model.get_bool(pool.is_null(s), true));
+}
+
+TEST_F(SolverTest, SelectImpliesSufficientLength) {
+    const Expr* e3 = pool.select(s, pool.int_const(3), Sort::Int);
+    const auto r = solve({pool.eq(e3, pool.int_const(5))});
+    ASSERT_TRUE(r.sat());
+    EXPECT_GE(r.model.get_int(pool.len(s), 0), 4);
+
+    const auto r2 = solve({pool.eq(e3, pool.int_const(5)),
+                           pool.le(pool.len(s), pool.int_const(3))});
+    EXPECT_EQ(r2.status, SolveStatus::Unsat);
+}
+
+TEST_F(SolverTest, WideDomainConstraintsTerminate) {
+    // Requires bisection rather than linear descent from the preferred
+    // value (the regression behind a 2^31-deep recursion).
+    const auto r = solve({pool.gt(x, pool.int_const(1000000)),
+                          pool.lt(x, pool.int_const(1000003))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t v = r.model.get_int(x, 0);
+    EXPECT_TRUE(v == 1000001 || v == 1000002);
+}
+
+TEST_F(SolverTest, ModuloByConstantSolvable) {
+    const auto r = solve({pool.eq(pool.mod(x, pool.int_const(7)), pool.int_const(3)),
+                          pool.gt(x, pool.int_const(0))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t v = r.model.get_int(x, 0);
+    EXPECT_GT(v, 0);
+    EXPECT_EQ(v % 7, 3);
+}
+
+TEST_F(SolverTest, StatsPopulated) {
+    Solver solver(pool);
+    std::vector<const Expr*> cs{pool.lt(x, y), pool.lt(y, z)};
+    const auto r = solver.solve(cs);
+    ASSERT_TRUE(r.sat());
+    EXPECT_GE(solver.stats().num_vars, 3);
+    EXPECT_GE(solver.stats().num_constraints, 2);
+    EXPECT_GT(solver.stats().nodes, 0);
+}
+
+}  // namespace
+}  // namespace preinfer::solver

@@ -1,0 +1,157 @@
+#include "src/eval/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/complexity.h"
+#include "src/core/pred_eval.h"
+#include "src/exec/input.h"
+#include "src/lang/parser.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::eval {
+namespace {
+
+class SpecTest : public ::testing::Test {
+protected:
+    SpecTest()
+        : prog(lang::parse_program(
+              "method m(a: int, flag: bool, st: str, xs: int[], ss: str[]) {}")) {}
+
+    core::PredPtr parse(std::string_view spec) {
+        return parse_spec(pool, prog.methods[0], spec);
+    }
+
+    std::string roundtrip(std::string_view spec) {
+        return core::to_string(parse(spec), prog.methods[0].param_names());
+    }
+
+    lang::Program prog;
+    sym::ExprPool pool;
+};
+
+TEST_F(SpecTest, SimpleComparisons) {
+    EXPECT_EQ(roundtrip("a > 0"), "a > 0");
+    EXPECT_EQ(roundtrip("a + 1 <= 10"), "a + 1 <= 10");
+    EXPECT_EQ(roundtrip("a != 0"), "a != 0");
+}
+
+TEST_F(SpecTest, NullComparisons) {
+    EXPECT_EQ(roundtrip("st == null"), "st == null");
+    EXPECT_EQ(roundtrip("xs != null"), "xs != null");
+    EXPECT_EQ(roundtrip("null != ss"), "ss != null");
+}
+
+TEST_F(SpecTest, ConnectivesBecomePredStructure) {
+    const core::PredPtr p = parse("a > 0 && a < 10 || flag");
+    EXPECT_EQ(p->kind, core::PredKind::Or);
+    EXPECT_EQ(roundtrip("a > 0 && a < 10 || flag"), "a > 0 && a < 10 || flag");
+}
+
+TEST_F(SpecTest, NegationOfParenthesizedPred) {
+    EXPECT_EQ(roundtrip("!(a > 0 && flag)"), "!(a > 0 && flag)");
+    EXPECT_EQ(roundtrip("!flag"), "!(flag)");  // pred-level Not always parenthesizes
+}
+
+TEST_F(SpecTest, ParenthesizedArithmeticIsNotAPred) {
+    // "(a + 1) > 0" must parse as a comparison, not a parenthesized pred.
+    EXPECT_EQ(roundtrip("(a + 1) * 2 > 0"), "(a + 1) * 2 > 0");
+    // Subtraction of a constant canonicalizes to addition of its negation.
+    EXPECT_EQ(roundtrip("(a - 1) % 2 == 0"), "(a + -1) % 2 == 0");
+}
+
+TEST_F(SpecTest, IndexingAndLen) {
+    EXPECT_EQ(roundtrip("xs.len > 0"), "xs.len > 0");
+    EXPECT_EQ(roundtrip("xs[0] != 0"), "xs[0] != 0");
+    EXPECT_EQ(roundtrip("ss[1] == null"), "ss[1] == null");
+    EXPECT_EQ(roundtrip("st[0] >= 'a'"), "st[0] >= 97");
+}
+
+TEST_F(SpecTest, ForallOverArray) {
+    const core::PredPtr p = parse("forall i in xs: xs[i] > 0");
+    ASSERT_EQ(p->kind, core::PredKind::Forall);
+    EXPECT_EQ(roundtrip("forall i in xs: xs[i] > 0"),
+              "forall i. (i < xs.len) => (xs[i] > 0)");
+}
+
+TEST_F(SpecTest, ExistsOverStrArray) {
+    EXPECT_EQ(roundtrip("exists i in ss: ss[i] == null"),
+              "exists i. (i < ss.len) && (ss[i] == null)");
+}
+
+TEST_F(SpecTest, QuantifierBodyIsGreedy) {
+    // The && binds inside the body.
+    const core::PredPtr p = parse("forall i in st: st[i] >= '0' && st[i] <= '9'");
+    ASSERT_EQ(p->kind, core::PredKind::Forall);
+    EXPECT_EQ(core::complexity(p), 3);  // quantifier + implicit -> + body &&
+}
+
+TEST_F(SpecTest, ParenthesizedQuantifierComposes) {
+    const core::PredPtr p = parse("(forall i in xs: xs[i] > 0) && a > 0");
+    ASSERT_EQ(p->kind, core::PredKind::And);
+    EXPECT_EQ(p->kids[0]->kind, core::PredKind::Forall);
+}
+
+TEST_F(SpecTest, DisjunctionWithQuantifier) {
+    const core::PredPtr p = parse("xs == null || (exists i in xs: xs[i] == 0)");
+    ASSERT_EQ(p->kind, core::PredKind::Or);
+    EXPECT_EQ(p->kids[1]->kind, core::PredKind::Exists);
+}
+
+TEST_F(SpecTest, BoundVariableArithmeticInBody) {
+    EXPECT_EQ(roundtrip("forall i in xs: i + 1 >= xs.len || xs[i] <= xs[i + 1]"),
+              "forall i. (i < xs.len) => (i + 1 >= xs.len || xs[i] <= xs[i + 1])");
+}
+
+TEST_F(SpecTest, ModuloDomainInBody) {
+    EXPECT_EQ(roundtrip("forall i in xs: i % 2 != 0 || xs[i] != 0"),
+              "forall i. (i < xs.len) => (i % 2 != 0 || xs[i] != 0)");
+}
+
+TEST_F(SpecTest, BooleanLiteralsAndParams) {
+    EXPECT_EQ(roundtrip("false"), "false");
+    EXPECT_EQ(roundtrip("true"), "true");
+    EXPECT_EQ(roundtrip("flag || a > 0"), "flag || a > 0");
+}
+
+TEST_F(SpecTest, UnaryMinus) {
+    EXPECT_EQ(roundtrip("a <= -1"), "a <= -1");
+}
+
+TEST_F(SpecTest, IsWhitespaceBuiltin) {
+    EXPECT_EQ(roundtrip("exists i in st: !iswhitespace(st[i])"),
+              "exists i. (i < st.len) && (!iswhitespace(st[i]))");
+}
+
+TEST_F(SpecTest, NestedElementObservers) {
+    EXPECT_EQ(roundtrip("exists i in ss: ss[i] != null && ss[i].len > 0"),
+              "exists i. (i < ss.len) && (ss[i] != null && ss[i].len > 0)");
+}
+
+TEST_F(SpecTest, EvaluatesAgainstInputs) {
+    exec::Input in;
+    in.args.emplace_back(std::int64_t{5});
+    in.args.emplace_back(true);
+    in.args.emplace_back(exec::StrInput::of("ab"));
+    in.args.emplace_back(exec::IntArrInput::of({1, 2, 0}));
+    in.args.emplace_back(exec::StrArrInput::of({exec::StrInput::null()}));
+    exec::InputEvalEnv env(prog.methods[0], in);
+
+    EXPECT_TRUE(core::eval_pred(parse("a == 5 && flag"), env));
+    EXPECT_TRUE(core::eval_pred(parse("exists i in xs: xs[i] == 0"), env));
+    EXPECT_FALSE(core::eval_pred(parse("forall i in xs: xs[i] > 0"), env));
+    EXPECT_TRUE(core::eval_pred(parse("exists i in ss: ss[i] == null"), env));
+    EXPECT_TRUE(core::eval_pred(parse("st != null && st.len == 2"), env));
+}
+
+TEST_F(SpecTest, Errors) {
+    EXPECT_THROW(parse("bogus > 0"), support::FrontendError);
+    EXPECT_THROW(parse("a > "), support::FrontendError);
+    EXPECT_THROW(parse("a > 0 extra"), support::FrontendError);
+    EXPECT_THROW(parse("forall i in a: i > 0"), support::FrontendError);  // a not indexable
+    EXPECT_THROW(parse("st == 0"), support::FrontendError);
+    EXPECT_THROW(parse("null == null"), support::FrontendError);
+    EXPECT_THROW(parse("a && flag"), support::FrontendError);
+}
+
+}  // namespace
+}  // namespace preinfer::eval

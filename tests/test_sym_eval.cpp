@@ -1,0 +1,141 @@
+#include "src/sym/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/input.h"
+#include "src/lang/parser.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::sym {
+namespace {
+
+using exec::Input;
+using exec::InputEvalEnv;
+using exec::IntArrInput;
+using exec::StrArrInput;
+using exec::StrInput;
+
+class SymEvalTest : public ::testing::Test {
+protected:
+    SymEvalTest()
+        : method(parse("method m(a: int, b: bool, s: str, xs: int[], ss: str[]) {}")) {}
+
+    static lang::Program parse(std::string_view src) {
+        return lang::parse_program(src);
+    }
+
+    EvalValue eval_on(const Expr* e, const Input& in, const BoundEnv* bound = nullptr) {
+        InputEvalEnv env(method.methods[0], in);
+        return eval(e, env, bound);
+    }
+
+    Input make_input() {
+        Input in;
+        in.args.emplace_back(std::int64_t{7});
+        in.args.emplace_back(true);
+        in.args.emplace_back(StrInput::of("ab"));
+        in.args.emplace_back(IntArrInput::of({10, 20, 30}));
+        in.args.emplace_back(StrArrInput::of({StrInput::of("x"), StrInput::null()}));
+        return in;
+    }
+
+    lang::Program method;
+    ExprPool pool;
+    const Expr* a = pool.param(0, Sort::Int);
+    const Expr* b = pool.param(1, Sort::Bool);
+    const Expr* s = pool.param(2, Sort::Obj);
+    const Expr* xs = pool.param(3, Sort::Obj);
+    const Expr* ss = pool.param(4, Sort::Obj);
+};
+
+TEST_F(SymEvalTest, Params) {
+    const Input in = make_input();
+    EXPECT_EQ(eval_on(a, in).i, 7);
+    EXPECT_EQ(eval_on(b, in).i, 1);
+    EXPECT_EQ(eval_on(s, in).tag, EvalValue::Tag::Obj);
+}
+
+TEST_F(SymEvalTest, ArithmeticAndComparison) {
+    const Input in = make_input();
+    EXPECT_EQ(eval_on(pool.add(a, pool.int_const(3)), in).i, 10);
+    EXPECT_EQ(eval_on(pool.mul(a, a), in).i, 49);
+    EXPECT_EQ(eval_on(pool.lt(a, pool.int_const(10)), in).i, 1);
+    EXPECT_EQ(eval_on(pool.eq(a, pool.int_const(7)), in).i, 1);
+    EXPECT_EQ(eval_on(pool.mod(a, pool.int_const(2)), in).i, 1);
+}
+
+TEST_F(SymEvalTest, DivisionByZeroIsUndef) {
+    const Input in = make_input();
+    EXPECT_TRUE(eval_on(pool.div(a, pool.sub(a, pool.int_const(7))), in).is_undef());
+}
+
+TEST_F(SymEvalTest, LenAndSelect) {
+    const Input in = make_input();
+    EXPECT_EQ(eval_on(pool.len(s), in).i, 2);
+    EXPECT_EQ(eval_on(pool.len(xs), in).i, 3);
+    EXPECT_EQ(eval_on(pool.select(xs, pool.int_const(1), Sort::Int), in).i, 20);
+    EXPECT_EQ(eval_on(pool.select(s, pool.int_const(0), Sort::Int), in).i, 'a');
+}
+
+TEST_F(SymEvalTest, SelectOutOfBoundsIsUndef) {
+    const Input in = make_input();
+    EXPECT_TRUE(eval_on(pool.select(xs, pool.int_const(5), Sort::Int), in).is_undef());
+    EXPECT_TRUE(eval_on(pool.select(xs, pool.int_const(-1), Sort::Int), in).is_undef());
+}
+
+TEST_F(SymEvalTest, IsNullOnObjectsAndElements) {
+    const Input in = make_input();
+    EXPECT_EQ(eval_on(pool.is_null(s), in).i, 0);
+    const Expr* e0 = pool.select(ss, pool.int_const(0), Sort::Obj);
+    const Expr* e1 = pool.select(ss, pool.int_const(1), Sort::Obj);
+    EXPECT_EQ(eval_on(pool.is_null(e0), in).i, 0);
+    EXPECT_EQ(eval_on(pool.is_null(e1), in).i, 1);
+    EXPECT_EQ(eval_on(pool.len(e0), in).i, 1);
+    EXPECT_TRUE(eval_on(pool.len(e1), in).is_undef());
+}
+
+TEST_F(SymEvalTest, NullParamIsNull) {
+    Input in = make_input();
+    in.args[2] = StrInput::null();
+    EXPECT_EQ(eval_on(pool.is_null(s), in).i, 1);
+    EXPECT_TRUE(eval_on(pool.len(s), in).is_undef());
+}
+
+TEST_F(SymEvalTest, ShortCircuitAvoidsUndef) {
+    Input in = make_input();
+    in.args[2] = StrInput::null();
+    // s != null && s.len > 0  — must be false, not undef.
+    const Expr* guard = pool.and_(pool.not_(pool.is_null(s)),
+                                  pool.gt(pool.len(s), pool.int_const(0)));
+    EXPECT_EQ(eval_on(guard, in).i, 0);
+    // s == null || s.len > 0 — true via the left side.
+    const Expr* alt =
+        pool.or_(pool.is_null(s), pool.gt(pool.len(s), pool.int_const(0)));
+    EXPECT_EQ(eval_on(alt, in).i, 1);
+    // s == null => s.len > 9 is an implication with false... true antecedent.
+    const Expr* imp = pool.implies(pool.not_(pool.is_null(s)), pool.gt(pool.len(s), pool.int_const(9)));
+    EXPECT_EQ(eval_on(imp, in).i, 1);
+}
+
+TEST_F(SymEvalTest, BoundVariables) {
+    const Input in = make_input();
+    const Expr* bv = pool.bound_var(0);
+    const Expr* body = pool.eq(pool.select(xs, bv, Sort::Int), pool.int_const(20));
+    BoundEnv bound{{0, 1}};
+    EXPECT_EQ(eval(body, InputEvalEnv(method.methods[0], in), &bound).i, 1);
+    BoundEnv bound2{{0, 0}};
+    EXPECT_EQ(eval(body, InputEvalEnv(method.methods[0], in), &bound2).i, 0);
+    EXPECT_TRUE(eval(body, InputEvalEnv(method.methods[0], in), nullptr).is_undef());
+}
+
+TEST_F(SymEvalTest, IsWhitespace) {
+    Input in = make_input();
+    in.args[2] = StrInput::of(" x");
+    const Expr* c0 = pool.select(s, pool.int_const(0), Sort::Int);
+    const Expr* c1 = pool.select(s, pool.int_const(1), Sort::Int);
+    EXPECT_EQ(eval_on(pool.is_whitespace(c0), in).i, 1);
+    EXPECT_EQ(eval_on(pool.is_whitespace(c1), in).i, 0);
+}
+
+}  // namespace
+}  // namespace preinfer::sym

@@ -1,0 +1,159 @@
+#include "src/sym/expr_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sym/print.h"
+#include "src/sym/rewrite.h"
+
+namespace preinfer::sym {
+namespace {
+
+class SymExprTest : public ::testing::Test {
+protected:
+    ExprPool pool;
+    const Expr* x = pool.param(0, Sort::Int);
+    const Expr* y = pool.param(1, Sort::Int);
+    const Expr* s = pool.param(2, Sort::Obj);
+    std::vector<std::string> names{"x", "y", "s"};
+};
+
+TEST_F(SymExprTest, HashConsingGivesPointerEquality) {
+    EXPECT_EQ(pool.add(x, y), pool.add(x, y));
+    EXPECT_EQ(pool.lt(x, pool.int_const(3)), pool.lt(x, pool.int_const(3)));
+    EXPECT_NE(pool.lt(x, pool.int_const(3)), pool.lt(x, pool.int_const(4)));
+    EXPECT_EQ(pool.select(s, pool.int_const(0), Sort::Int),
+              pool.select(s, pool.int_const(0), Sort::Int));
+}
+
+TEST_F(SymExprTest, ConstantFoldingArithmetic) {
+    EXPECT_EQ(pool.add(pool.int_const(2), pool.int_const(3)), pool.int_const(5));
+    EXPECT_EQ(pool.sub(pool.int_const(2), pool.int_const(3)), pool.int_const(-1));
+    EXPECT_EQ(pool.mul(pool.int_const(4), pool.int_const(3)), pool.int_const(12));
+    EXPECT_EQ(pool.div(pool.int_const(7), pool.int_const(2)), pool.int_const(3));
+    EXPECT_EQ(pool.mod(pool.int_const(7), pool.int_const(2)), pool.int_const(1));
+}
+
+TEST_F(SymExprTest, IdentitySimplifications) {
+    EXPECT_EQ(pool.add(x, pool.int_const(0)), x);
+    EXPECT_EQ(pool.mul(x, pool.int_const(1)), x);
+    EXPECT_EQ(pool.mul(x, pool.int_const(0)), pool.int_const(0));
+    EXPECT_EQ(pool.sub(x, x), pool.int_const(0));
+    EXPECT_EQ(pool.neg(pool.neg(x)), x);
+}
+
+TEST_F(SymExprTest, SubNormalizesToAddOfNegatedConstant) {
+    // x - 1 and x + (-1) must intern to the same node for template matching.
+    EXPECT_EQ(pool.sub(x, pool.int_const(1)), pool.add(x, pool.int_const(-1)));
+}
+
+TEST_F(SymExprTest, AddCanonicalizesConstantToRight) {
+    EXPECT_EQ(pool.add(pool.int_const(1), x), pool.add(x, pool.int_const(1)));
+}
+
+TEST_F(SymExprTest, ComparisonFolding) {
+    EXPECT_EQ(pool.lt(pool.int_const(1), pool.int_const(2)), pool.true_());
+    EXPECT_EQ(pool.ge(pool.int_const(1), pool.int_const(2)), pool.false_());
+    EXPECT_EQ(pool.eq(x, x), pool.true_());
+    EXPECT_EQ(pool.ne(x, x), pool.false_());
+    EXPECT_EQ(pool.le(x, x), pool.true_());
+}
+
+TEST_F(SymExprTest, BooleanFolding) {
+    const Expr* p = pool.lt(x, y);
+    EXPECT_EQ(pool.and_(pool.true_(), p), p);
+    EXPECT_EQ(pool.and_(pool.false_(), p), pool.false_());
+    EXPECT_EQ(pool.or_(pool.true_(), p), pool.true_());
+    EXPECT_EQ(pool.or_(p, pool.false_()), p);
+    EXPECT_EQ(pool.not_(pool.not_(p)), p);
+    EXPECT_EQ(pool.implies(pool.false_(), p), pool.true_());
+    EXPECT_EQ(pool.and_(p, p), p);
+}
+
+TEST_F(SymExprTest, NegateFlipsComparisons) {
+    EXPECT_EQ(pool.negate(pool.lt(x, y)), pool.ge(x, y));
+    EXPECT_EQ(pool.negate(pool.le(x, y)), pool.gt(x, y));
+    EXPECT_EQ(pool.negate(pool.eq(x, y)), pool.ne(x, y));
+    EXPECT_EQ(pool.negate(pool.negate(pool.lt(x, y))), pool.lt(x, y));
+}
+
+TEST_F(SymExprTest, NegateDeMorgan) {
+    const Expr* a = pool.lt(x, y);
+    const Expr* b = pool.gt(x, pool.int_const(0));
+    EXPECT_EQ(pool.negate(pool.and_(a, b)),
+              pool.or_(pool.ge(x, y), pool.le(x, pool.int_const(0))));
+}
+
+TEST_F(SymExprTest, IsNullOfNullFolds) {
+    EXPECT_EQ(pool.is_null(pool.null_const()), pool.true_());
+}
+
+TEST_F(SymExprTest, HasParamHasBoundPropagate) {
+    EXPECT_TRUE(x->has_param);
+    EXPECT_FALSE(x->has_bound);
+    const Expr* bv = pool.bound_var(0);
+    EXPECT_TRUE(bv->has_bound);
+    const Expr* mix = pool.add(x, bv);
+    EXPECT_TRUE(mix->has_param);
+    EXPECT_TRUE(mix->has_bound);
+    EXPECT_FALSE(mix->is_const());
+    EXPECT_TRUE(pool.int_const(5)->is_const());
+}
+
+TEST_F(SymExprTest, PrintingMatchesPaperNotation) {
+    EXPECT_EQ(to_string(pool.gt(x, pool.int_const(0)), names), "x > 0");
+    EXPECT_EQ(to_string(pool.is_null(s), names), "s == null");
+    EXPECT_EQ(to_string(pool.not_(pool.is_null(s)), names), "s != null");
+    EXPECT_EQ(to_string(pool.lt(pool.int_const(0), pool.len(s)), names), "0 < s.len");
+    const Expr* sel = pool.select(s, pool.int_const(2), Sort::Obj);
+    EXPECT_EQ(to_string(pool.is_null(sel), names), "s[2] == null");
+    EXPECT_EQ(to_string(pool.add(x, pool.int_const(1)), names), "x + 1");
+    EXPECT_EQ(to_string(pool.is_whitespace(pool.select(s, pool.bound_var(0), Sort::Int)),
+                        names),
+              "iswhitespace(s[i])");
+}
+
+TEST_F(SymExprTest, PrintingParenthesizesByPrecedence) {
+    const Expr* e = pool.mul(pool.add(x, pool.int_const(1)), y);
+    EXPECT_EQ(to_string(e, names), "(x + 1) * y");
+    const Expr* c = pool.and_(pool.or_(pool.lt(x, y), pool.gt(x, y)), pool.ne(x, pool.int_const(0)));
+    EXPECT_EQ(to_string(c, names), "(x < y || x > y) && x != 0");
+}
+
+TEST_F(SymExprTest, SubstituteReplacesStructurally) {
+    const Expr* sel0 = pool.select(s, pool.int_const(0), Sort::Int);
+    const Expr* pred = pool.eq(sel0, pool.int_const(0));
+    const Expr* bv = pool.bound_var(0);
+    const Expr* seli = pool.select(s, bv, Sort::Int);
+    const Expr* out = substitute(pool, pred, {{sel0, seli}});
+    EXPECT_EQ(out, pool.eq(seli, pool.int_const(0)));
+}
+
+TEST_F(SymExprTest, SubstituteRefoldsAfterRewrite) {
+    // (x + 1) with x -> 2 must fold to the constant 3.
+    const Expr* e = pool.add(x, pool.int_const(1));
+    EXPECT_EQ(substitute(pool, e, {{x, pool.int_const(2)}}), pool.int_const(3));
+}
+
+TEST_F(SymExprTest, ContainsAndCollect) {
+    const Expr* e = pool.lt(pool.add(x, pool.int_const(1)), pool.len(s));
+    EXPECT_TRUE(contains(e, x));
+    EXPECT_TRUE(contains(e, s));
+    EXPECT_FALSE(contains(e, y));
+    EXPECT_EQ(collect_params(e), (std::vector<int>{0, 2}));
+    const auto objs = collect_object_terms(e);
+    ASSERT_EQ(objs.size(), 1u);
+    EXPECT_EQ(objs[0], s);
+}
+
+TEST_F(SymExprTest, WhitespaceCodePoints) {
+    EXPECT_TRUE(ExprPool::whitespace_code_point(' '));
+    EXPECT_TRUE(ExprPool::whitespace_code_point('\t'));
+    EXPECT_TRUE(ExprPool::whitespace_code_point('\n'));
+    EXPECT_FALSE(ExprPool::whitespace_code_point('a'));
+    EXPECT_FALSE(ExprPool::whitespace_code_point(0));
+    EXPECT_EQ(pool.is_whitespace(pool.int_const(' ')), pool.true_());
+    EXPECT_EQ(pool.is_whitespace(pool.int_const('x')), pool.false_());
+}
+
+}  // namespace
+}  // namespace preinfer::sym

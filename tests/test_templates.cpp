@@ -1,0 +1,289 @@
+#include "src/core/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/generalize.h"
+
+namespace preinfer::core {
+namespace {
+
+using sym::Expr;
+using sym::Sort;
+
+class TemplateTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+    const Expr* s = pool.param(0, Sort::Obj);
+    std::vector<std::string> names{"s"};
+    PathCondition backing;  // keeps ReducedPath::original valid
+
+    PathPredicate pred(const Expr* e, int site = 1,
+                       ExceptionKind check = ExceptionKind::None) {
+        return PathPredicate{e, site, check, {}};
+    }
+
+    /// s[k] == null (element predicate over a str[]).
+    const Expr* elem_null(std::int64_t k) {
+        return pool.is_null(pool.select(s, pool.int_const(k), Sort::Obj));
+    }
+    const Expr* elem_not_null(std::int64_t k) {
+        return pool.not_(elem_null(k));
+    }
+    /// k < s.len
+    const Expr* dom(std::int64_t k) {
+        return pool.lt(pool.int_const(k), pool.len(s));
+    }
+
+    ReducedPath make_path(std::vector<PathPredicate> preds) {
+        ReducedPath rp;
+        rp.original = &backing;
+        rp.preds = std::move(preds);
+        return rp;
+    }
+};
+
+TEST_F(TemplateTest, AnalyzeFindsElementAndDomainAtoms) {
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(elem_not_null(0)),
+        pred(dom(1)), pred(elem_not_null(1)),
+        pred(dom(2)), pred(elem_null(2), 1, ExceptionKind::NullReference),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].obj, s);
+    EXPECT_EQ(infos[0].elems.size(), 3u);
+    EXPECT_EQ(infos[0].domains.size(), 3u);
+    // Shapes anti-unify to the bound variable.
+    const Expr* bv = pool.bound_var(0);
+    EXPECT_EQ(infos[0].elems[2].shape,
+              pool.is_null(pool.select(s, bv, Sort::Obj)));
+    EXPECT_EQ(infos[0].elems[2].k, 2);
+}
+
+TEST_F(TemplateTest, AnalyzeLenBoundForms) {
+    // s.len <= 3, s.len - 1 == 2, 4 > s.len all imply upper bounds.
+    const ReducedPath rp = make_path({
+        pred(pool.le(pool.len(s), pool.int_const(3))),
+        pred(pool.eq(pool.add(pool.len(s), pool.int_const(-1)), pool.int_const(2))),
+        pred(pool.gt(pool.int_const(4), pool.len(s))),
+        pred(elem_null(0)),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    ASSERT_EQ(infos[0].len_bounds.size(), 3u);
+    EXPECT_EQ(infos[0].len_bounds[0].bound, 3);
+    EXPECT_EQ(infos[0].len_bounds[1].bound, 3);
+    EXPECT_EQ(infos[0].len_bounds[2].bound, 3);
+}
+
+TEST_F(TemplateTest, ExistentialMatchesPaperExample) {
+    // Table II's reduced tail: 0<s.len, s[0]!=null, 1<s.len, s[1]!=null,
+    // 2<s.len, s[2]==null.
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(elem_not_null(0)),
+        pred(dom(1)), pred(elem_not_null(1)),
+        pred(dom(2)), pred(elem_null(2), 1, ExceptionKind::NullReference),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    const auto t = existential_template();
+    const auto m = t->try_match(pool, rp, infos[0]);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->consumed.size(), rp.preds.size());  // everything subsumed
+    ASSERT_EQ(m->quantified->kind, PredKind::Exists);
+    EXPECT_EQ(to_string(m->quantified, names),
+              "exists i. (i < s.len) && (s[i] == null)");
+}
+
+TEST_F(TemplateTest, ExistentialRequiresNegatedPrefix) {
+    // s[1] is missing the ¬φ witness: the syntactic match must fail
+    // (paper's stated limitation).
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(elem_not_null(0)),
+        pred(dom(2)), pred(elem_null(2), 1, ExceptionKind::NullReference),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_FALSE(existential_template()->try_match(pool, rp, infos[0]).has_value());
+}
+
+TEST_F(TemplateTest, ExistentialRequiresElementPivot) {
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(elem_not_null(0)),
+        pred(pool.gt(pool.len(s), pool.int_const(5))),  // pivot not an element atom
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_FALSE(existential_template()->try_match(pool, rp, infos[0]).has_value());
+}
+
+TEST_F(TemplateTest, ExistentialFirstElementFailure) {
+    // Failure at s[0]: no prefix needed.
+    const ReducedPath rp = make_path({
+        pred(dom(0)),
+        pred(elem_null(0), 1, ExceptionKind::NullReference),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    const auto m = existential_template()->try_match(pool, rp, infos[0]);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(to_string(m->quantified, names),
+              "exists i. (i < s.len) && (s[i] == null)");
+}
+
+TEST_F(TemplateTest, UniversalMatchesWholeArrayScan) {
+    // All visited chars are whitespace and the loop exhausted the string
+    // (len bound); failure is after the loop (pivot not an element atom).
+    const Expr* ws = [&](std::int64_t k) {
+        return pool.is_whitespace(pool.select(s, pool.int_const(k), Sort::Int));
+    }(0);
+    const Expr* ws1 = pool.is_whitespace(pool.select(s, pool.int_const(1), Sort::Int));
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(ws),
+        pred(dom(1)), pred(ws1),
+        pred(pool.le(pool.len(s), pool.int_const(2))),  // loop exit
+        pred(pool.gt(pool.int_const(1), pool.int_const(0)),  // placeholder pivot
+             9, ExceptionKind::IndexOutOfRange),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    const auto m = universal_template()->try_match(pool, rp, infos[0]);
+    ASSERT_TRUE(m.has_value());
+    ASSERT_EQ(m->quantified->kind, PredKind::Forall);
+    EXPECT_EQ(to_string(m->quantified, names),
+              "forall i. (i < s.len) => (iswhitespace(s[i]))");
+    // The pivot survives (it is not consumed).
+    EXPECT_EQ(std::count(m->consumed.begin(), m->consumed.end(), rp.preds.size() - 1),
+              0);
+}
+
+TEST_F(TemplateTest, UniversalNeedsLenBound) {
+    // Without evidence the loop exhausted the collection, no match.
+    const Expr* ws0 = pool.is_whitespace(pool.select(s, pool.int_const(0), Sort::Int));
+    const Expr* ws1 = pool.is_whitespace(pool.select(s, pool.int_const(1), Sort::Int));
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(ws0), pred(dom(1)), pred(ws1),
+        pred(pool.gt(pool.int_const(1), pool.int_const(0)), 9,
+             ExceptionKind::IndexOutOfRange),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_FALSE(universal_template()->try_match(pool, rp, infos[0]).has_value());
+}
+
+TEST_F(TemplateTest, UniversalNeedsTwoElements) {
+    const Expr* ws0 = pool.is_whitespace(pool.select(s, pool.int_const(0), Sort::Int));
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(ws0),
+        pred(pool.le(pool.len(s), pool.int_const(1))),
+        pred(pool.gt(pool.int_const(1), pool.int_const(0)), 9,
+             ExceptionKind::IndexOutOfRange),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_FALSE(universal_template()->try_match(pool, rp, infos[0]).has_value());
+}
+
+TEST_F(TemplateTest, StridedExistentialEvenIndices) {
+    // The paper's extension: elements at even indices checked; odd skipped.
+    const Expr* z2 = pool.eq(pool.select(s, pool.int_const(2), Sort::Int), pool.int_const(0));
+    const Expr* nz0 =
+        pool.ne(pool.select(s, pool.int_const(0), Sort::Int), pool.int_const(0));
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(nz0),
+        pred(dom(2)), pred(z2, 1, ExceptionKind::DivideByZero),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    // Plain existential fails (index 1 missing).
+    EXPECT_FALSE(existential_template()->try_match(pool, rp, infos[0]).has_value());
+    const auto m = strided_existential_template(2)->try_match(pool, rp, infos[0]);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(to_string(m->quantified, names),
+              "exists i. (i < s.len && i % 2 == 0) && (s[i] == 0)");
+}
+
+TEST_F(TemplateTest, StridedUniversalEvenIndices) {
+    // The paper's worked extension: every even-indexed element satisfies
+    // the property; the failure is after the loop (pivot non-element).
+    const Expr* z = [&](std::int64_t k) {
+        return pool.eq(pool.select(s, pool.int_const(k), Sort::Int), pool.int_const(0));
+    }(0);
+    const Expr* z2 = pool.eq(pool.select(s, pool.int_const(2), Sort::Int), pool.int_const(0));
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(z),
+        pred(dom(2)), pred(z2),
+        pred(pool.le(pool.len(s), pool.int_const(4))),  // loop exhausted
+        pred(pool.gt(pool.param(1, Sort::Int), pool.int_const(0)), 9,
+             ExceptionKind::DivideByZero),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    // Plain universal requires contiguous indices and must not fire.
+    EXPECT_FALSE(universal_template()->try_match(pool, rp, infos[0]).has_value());
+    const auto m = strided_universal_template(2)->try_match(pool, rp, infos[0]);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(to_string(m->quantified, names),
+              "forall i. (i < s.len && i % 2 == 0) => (s[i] == 0)");
+}
+
+TEST_F(TemplateTest, StridedUniversalRejectsMisalignedIndices) {
+    const Expr* z1 = pool.eq(pool.select(s, pool.int_const(1), Sort::Int), pool.int_const(0));
+    const Expr* z3 = pool.eq(pool.select(s, pool.int_const(3), Sort::Int), pool.int_const(0));
+    const ReducedPath rp = make_path({
+        pred(dom(1)), pred(z1), pred(dom(3)), pred(z3),
+        pred(pool.le(pool.len(s), pool.int_const(5))),
+        pred(pool.gt(pool.param(1, Sort::Int), pool.int_const(0)), 9,
+             ExceptionKind::DivideByZero),
+    });
+    const auto infos = analyze_collections(pool, rp);
+    ASSERT_EQ(infos.size(), 1u);
+    // Phase 1 (odd indices) is not the paper's i % 2 == 0 template.
+    EXPECT_FALSE(strided_universal_template(2)->try_match(pool, rp, infos[0]).has_value());
+}
+
+TEST_F(TemplateTest, GeneralizeAppliesBestTemplateAndKeepsRest) {
+    const Expr* guard = pool.gt(pool.param(1, Sort::Int), pool.int_const(0));
+    const ReducedPath rp = make_path({
+        pred(guard),
+        pred(dom(0)), pred(elem_not_null(0)),
+        pred(dom(1)), pred(elem_null(1), 1, ExceptionKind::NullReference),
+    });
+    const TemplateRegistry registry = TemplateRegistry::standard();
+    const GeneralizedPath gp = generalize(pool, registry, rp);
+    EXPECT_EQ(gp.templates_applied, 1);
+    ASSERT_EQ(gp.items.size(), 2u);
+    EXPECT_EQ(gp.items[0]->kind, PredKind::Atom);
+    EXPECT_EQ(gp.items[0]->atom, guard);
+    EXPECT_EQ(gp.items[1]->kind, PredKind::Exists);
+}
+
+TEST_F(TemplateTest, GeneralizeWithEmptyRegistryIsIdentity) {
+    const ReducedPath rp = make_path({
+        pred(dom(0)), pred(elem_null(0), 1, ExceptionKind::NullReference),
+    });
+    const TemplateRegistry registry = TemplateRegistry::none();
+    const GeneralizedPath gp = generalize(pool, registry, rp);
+    EXPECT_EQ(gp.templates_applied, 0);
+    EXPECT_EQ(gp.items.size(), rp.preds.size());
+}
+
+TEST_F(TemplateTest, GeneralizeHandlesTwoCollections) {
+    const Expr* t = pool.param(1, Sort::Obj);
+    const Expr* t_dom0 = pool.lt(pool.int_const(0), pool.len(t));
+    const Expr* t_elem0 =
+        pool.eq(pool.select(t, pool.int_const(0), Sort::Int), pool.int_const(0));
+    // Collection t fails existentially at its first element; collection s
+    // contributes untouched atoms.
+    const ReducedPath rp = make_path({
+        pred(pool.not_(pool.is_null(s))),
+        pred(t_dom0),
+        pred(t_elem0, 4, ExceptionKind::DivideByZero),
+    });
+    const TemplateRegistry registry = TemplateRegistry::standard();
+    const GeneralizedPath gp = generalize(pool, registry, rp);
+    EXPECT_EQ(gp.templates_applied, 1);
+}
+
+}  // namespace
+}  // namespace preinfer::core

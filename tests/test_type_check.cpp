@@ -1,0 +1,125 @@
+#include "src/lang/type_check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::lang {
+namespace {
+
+Program checked(std::string_view src) {
+    Program p = parse_program(src);
+    type_check(p);
+    return p;
+}
+
+void expect_rejected(std::string_view src) {
+    Program p = parse_program(src);
+    EXPECT_THROW(type_check(p), support::FrontendError) << src;
+}
+
+TEST(TypeCheck, AcceptsWellTypedMethod) {
+    const Program p = checked(R"(
+        method m(a: int, s: str, xs: int[]) : int {
+            var sum = 0;
+            if (s != null) {
+                for (var i = 0; i < s.len; i = i + 1) {
+                    if (iswhitespace(s[i])) { sum = sum + 1; }
+                }
+            }
+            if (xs != null && xs.len > 0) { sum = sum + xs[0]; }
+            return sum + a;
+        })");
+    EXPECT_EQ(p.methods[0].body[0]->expr->type, Type::Int);
+}
+
+TEST(TypeCheck, InfersExpressionTypes) {
+    const Program p = checked("method m(a: int) { var b = a > 0; var c = a + 1; }");
+    EXPECT_EQ(p.methods[0].body[0]->expr->type, Type::Bool);
+    EXPECT_EQ(p.methods[0].body[1]->expr->type, Type::Int);
+}
+
+TEST(TypeCheck, NullComparableOnlyWithReferences) {
+    checked("method m(s: str) { var b = s == null; }");
+    checked("method m(xs: str[]) { var b = null != xs; }");
+    expect_rejected("method m(a: int) { var b = a == null; }");
+    expect_rejected("method m() { var b = null == null; }");
+}
+
+TEST(TypeCheck, ReferenceEqualityBetweenReferencesRejected) {
+    expect_rejected("method m(a: str, b: str) { var x = a == b; }");
+}
+
+TEST(TypeCheck, ConditionsMustBeBool) {
+    expect_rejected("method m(a: int) { if (a) { } }");
+    expect_rejected("method m(a: int) { while (a + 1) { } }");
+    expect_rejected("method m(a: int) { assert(a); }");
+}
+
+TEST(TypeCheck, ArithmeticRequiresInts) {
+    expect_rejected("method m(b: bool) { var x = b + 1; }");
+    expect_rejected("method m(s: str) { var x = s * 2; }");
+}
+
+TEST(TypeCheck, IndexingRules) {
+    checked("method m(s: str) { var c = s[0]; }");
+    checked("method m(ss: str[]) { var s = ss[0]; var c = ss[0][1]; }");
+    expect_rejected("method m(a: int) { var x = a[0]; }");
+    expect_rejected("method m(s: str) { var x = s[true]; }");
+}
+
+TEST(TypeCheck, StrIsImmutable) {
+    expect_rejected("method m(s: str) { s[0] = 'a'; }");
+    checked("method m(xs: int[]) { xs[0] = 1; }");
+}
+
+TEST(TypeCheck, ElementAssignmentTypes) {
+    expect_rejected("method m(xs: int[], s: str) { xs[0] = s; }");
+    checked("method m(ss: str[], s: str) { ss[0] = s; ss[1] = null; }");
+}
+
+TEST(TypeCheck, UndeclaredAndRedeclared) {
+    expect_rejected("method m() { x = 1; }");
+    expect_rejected("method m() { var y = z; }");
+    expect_rejected("method m() { var x = 1; var x = 2; }");
+    expect_rejected("method m(a: int, a: int) { }");
+}
+
+TEST(TypeCheck, ShadowingInInnerScopeAllowed) {
+    checked("method m(a: int) { if (a > 0) { var a = 1; a = a + 1; } }");
+}
+
+TEST(TypeCheck, ScopesDoNotLeak) {
+    expect_rejected("method m(c: bool) { if (c) { var x = 1; } x = 2; }");
+}
+
+TEST(TypeCheck, ReturnTypes) {
+    checked("method m() : void { return; }");
+    checked("method m(s: str) : str { return null; }");
+    expect_rejected("method m() : int { return; }");
+    expect_rejected("method m() : void { return 3; }");
+    expect_rejected("method m() : int { return true; }");
+    expect_rejected("method m() : int { return null; }");
+}
+
+TEST(TypeCheck, Builtins) {
+    checked("method m(c: int) { var w = iswhitespace(c); }");
+    checked("method m(n: int) { var a = newintarray(n); a[0] = 1; }");
+    checked("method m(n: int) { var a = newstrarray(n); var s = a[0]; }");
+    expect_rejected("method m(s: str) { var w = iswhitespace(s); }");
+    expect_rejected("method m() { var w = iswhitespace(1, 2); }");
+    expect_rejected("method m() { var w = frobnicate(1); }");
+}
+
+TEST(TypeCheck, VarNullNeedsContext) {
+    expect_rejected("method m() { var x = null; }");
+}
+
+TEST(TypeCheck, AssignNullToReferenceVariable) {
+    checked("method m(s: str) { s = null; }");
+    expect_rejected("method m(a: int) { a = null; }");
+}
+
+}  // namespace
+}  // namespace preinfer::lang

@@ -1,0 +1,24 @@
+// The `preinfer` command-line tool: point it at a MiniLang file and it
+// generates tests, finds the failing assertion locations, and prints the
+// inferred preconditions (optionally with baselines, validation verdicts,
+// and a guarded fuzzing demonstration).
+//
+//   ./build/tools/preinfer program.mini --baselines --validate
+
+#include <iostream>
+
+#include "src/cli/driver.h"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const preinfer::cli::ParseResult parsed = preinfer::cli::parse_args(args);
+    if (parsed.show_help) {
+        std::cout << preinfer::cli::usage();
+        return 0;
+    }
+    if (!parsed.ok) {
+        std::cerr << "error: " << parsed.error << "\n\n" << preinfer::cli::usage();
+        return 1;
+    }
+    return preinfer::cli::run_file(parsed.options, std::cout);
+}
