@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_templates.dir/ablation_templates.cpp.o"
+  "CMakeFiles/ablation_templates.dir/ablation_templates.cpp.o.d"
+  "ablation_templates"
+  "ablation_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_subjects.dir/table3_subjects.cpp.o"
+  "CMakeFiles/table3_subjects.dir/table3_subjects.cpp.o.d"
+  "table3_subjects"
+  "table3_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

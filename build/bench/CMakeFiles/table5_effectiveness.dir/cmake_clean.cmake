@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_effectiveness.dir/table5_effectiveness.cpp.o"
+  "CMakeFiles/table5_effectiveness.dir/table5_effectiveness.cpp.o.d"
+  "table5_effectiveness"
+  "table5_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_collection.dir/table6_collection.cpp.o"
+  "CMakeFiles/table6_collection.dir/table6_collection.cpp.o.d"
+  "table6_collection"
+  "table6_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_template.dir/custom_template.cpp.o"
+  "CMakeFiles/custom_template.dir/custom_template.cpp.o.d"
+  "custom_template"
+  "custom_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

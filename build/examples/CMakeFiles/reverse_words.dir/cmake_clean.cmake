@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_words.dir/reverse_words.cpp.o"
+  "CMakeFiles/reverse_words.dir/reverse_words.cpp.o.d"
+  "reverse_words"
+  "reverse_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dysy.cpp" "src/CMakeFiles/preinfer.dir/baselines/dysy.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/baselines/dysy.cpp.o.d"
+  "/root/repo/src/baselines/fixit.cpp" "src/CMakeFiles/preinfer.dir/baselines/fixit.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/baselines/fixit.cpp.o.d"
+  "/root/repo/src/cli/driver.cpp" "src/CMakeFiles/preinfer.dir/cli/driver.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/cli/driver.cpp.o.d"
+  "/root/repo/src/core/complexity.cpp" "src/CMakeFiles/preinfer.dir/core/complexity.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/complexity.cpp.o.d"
+  "/root/repo/src/core/equiv.cpp" "src/CMakeFiles/preinfer.dir/core/equiv.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/equiv.cpp.o.d"
+  "/root/repo/src/core/generalize.cpp" "src/CMakeFiles/preinfer.dir/core/generalize.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/generalize.cpp.o.d"
+  "/root/repo/src/core/guard.cpp" "src/CMakeFiles/preinfer.dir/core/guard.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/guard.cpp.o.d"
+  "/root/repo/src/core/path_condition.cpp" "src/CMakeFiles/preinfer.dir/core/path_condition.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/path_condition.cpp.o.d"
+  "/root/repo/src/core/pred.cpp" "src/CMakeFiles/preinfer.dir/core/pred.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/pred.cpp.o.d"
+  "/root/repo/src/core/pred_eval.cpp" "src/CMakeFiles/preinfer.dir/core/pred_eval.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/pred_eval.cpp.o.d"
+  "/root/repo/src/core/preinfer.cpp" "src/CMakeFiles/preinfer.dir/core/preinfer.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/preinfer.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/CMakeFiles/preinfer.dir/core/pruning.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/pruning.cpp.o.d"
+  "/root/repo/src/core/simplify.cpp" "src/CMakeFiles/preinfer.dir/core/simplify.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/simplify.cpp.o.d"
+  "/root/repo/src/core/templates.cpp" "src/CMakeFiles/preinfer.dir/core/templates.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/core/templates.cpp.o.d"
+  "/root/repo/src/eval/acl_classify.cpp" "src/CMakeFiles/preinfer.dir/eval/acl_classify.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/acl_classify.cpp.o.d"
+  "/root/repo/src/eval/corpus_algorithmia.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_algorithmia.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_algorithmia.cpp.o.d"
+  "/root/repo/src/eval/corpus_codecontracts.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_codecontracts.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_codecontracts.cpp.o.d"
+  "/root/repo/src/eval/corpus_dsa.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_dsa.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_dsa.cpp.o.d"
+  "/root/repo/src/eval/corpus_extended.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_extended.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_extended.cpp.o.d"
+  "/root/repo/src/eval/corpus_extended2.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_extended2.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_extended2.cpp.o.d"
+  "/root/repo/src/eval/corpus_svcomp.cpp" "src/CMakeFiles/preinfer.dir/eval/corpus_svcomp.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/corpus_svcomp.cpp.o.d"
+  "/root/repo/src/eval/harness.cpp" "src/CMakeFiles/preinfer.dir/eval/harness.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/harness.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/preinfer.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/preinfer.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/spec.cpp" "src/CMakeFiles/preinfer.dir/eval/spec.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/spec.cpp.o.d"
+  "/root/repo/src/eval/subject.cpp" "src/CMakeFiles/preinfer.dir/eval/subject.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/eval/subject.cpp.o.d"
+  "/root/repo/src/exec/concolic.cpp" "src/CMakeFiles/preinfer.dir/exec/concolic.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/exec/concolic.cpp.o.d"
+  "/root/repo/src/exec/input.cpp" "src/CMakeFiles/preinfer.dir/exec/input.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/exec/input.cpp.o.d"
+  "/root/repo/src/exec/outcome.cpp" "src/CMakeFiles/preinfer.dir/exec/outcome.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/exec/outcome.cpp.o.d"
+  "/root/repo/src/gen/explorer.cpp" "src/CMakeFiles/preinfer.dir/gen/explorer.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/gen/explorer.cpp.o.d"
+  "/root/repo/src/gen/fuzzer.cpp" "src/CMakeFiles/preinfer.dir/gen/fuzzer.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/gen/fuzzer.cpp.o.d"
+  "/root/repo/src/gen/oracle.cpp" "src/CMakeFiles/preinfer.dir/gen/oracle.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/gen/oracle.cpp.o.d"
+  "/root/repo/src/gen/reconstruct.cpp" "src/CMakeFiles/preinfer.dir/gen/reconstruct.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/gen/reconstruct.cpp.o.d"
+  "/root/repo/src/gen/testsuite.cpp" "src/CMakeFiles/preinfer.dir/gen/testsuite.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/gen/testsuite.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/preinfer.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/blocks.cpp" "src/CMakeFiles/preinfer.dir/lang/blocks.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/blocks.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/preinfer.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/preinfer.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/print.cpp" "src/CMakeFiles/preinfer.dir/lang/print.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/print.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/preinfer.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/token.cpp.o.d"
+  "/root/repo/src/lang/type_check.cpp" "src/CMakeFiles/preinfer.dir/lang/type_check.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/lang/type_check.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/CMakeFiles/preinfer.dir/solver/solver.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/solver/solver.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/preinfer.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/source_location.cpp" "src/CMakeFiles/preinfer.dir/support/source_location.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/support/source_location.cpp.o.d"
+  "/root/repo/src/sym/eval.cpp" "src/CMakeFiles/preinfer.dir/sym/eval.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/sym/eval.cpp.o.d"
+  "/root/repo/src/sym/expr.cpp" "src/CMakeFiles/preinfer.dir/sym/expr.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/sym/expr.cpp.o.d"
+  "/root/repo/src/sym/expr_pool.cpp" "src/CMakeFiles/preinfer.dir/sym/expr_pool.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/sym/expr_pool.cpp.o.d"
+  "/root/repo/src/sym/print.cpp" "src/CMakeFiles/preinfer.dir/sym/print.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/sym/print.cpp.o.d"
+  "/root/repo/src/sym/rewrite.cpp" "src/CMakeFiles/preinfer.dir/sym/rewrite.cpp.o" "gcc" "src/CMakeFiles/preinfer.dir/sym/rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

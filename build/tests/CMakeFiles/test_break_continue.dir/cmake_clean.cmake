@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_break_continue.dir/test_break_continue.cpp.o"
+  "CMakeFiles/test_break_continue.dir/test_break_continue.cpp.o.d"
+  "test_break_continue"
+  "test_break_continue.pdb"
+  "test_break_continue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_break_continue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interprocedural.dir/test_interprocedural.cpp.o"
+  "CMakeFiles/test_interprocedural.dir/test_interprocedural.cpp.o.d"
+  "test_interprocedural"
+  "test_interprocedural.pdb"
+  "test_interprocedural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interprocedural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_print.dir/test_lang_print.cpp.o"
+  "CMakeFiles/test_lang_print.dir/test_lang_print.cpp.o.d"
+  "test_lang_print"
+  "test_lang_print.pdb"
+  "test_lang_print[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_print.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

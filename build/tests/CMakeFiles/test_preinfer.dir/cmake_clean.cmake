@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preinfer.dir/test_preinfer.cpp.o"
+  "CMakeFiles/test_preinfer.dir/test_preinfer.cpp.o.d"
+  "test_preinfer"
+  "test_preinfer.pdb"
+  "test_preinfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

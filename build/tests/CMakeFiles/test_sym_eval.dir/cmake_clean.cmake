@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym_eval.dir/test_sym_eval.cpp.o"
+  "CMakeFiles/test_sym_eval.dir/test_sym_eval.cpp.o.d"
+  "test_sym_eval"
+  "test_sym_eval.pdb"
+  "test_sym_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym_expr.dir/test_sym_expr.cpp.o"
+  "CMakeFiles/test_sym_expr.dir/test_sym_expr.cpp.o.d"
+  "test_sym_expr"
+  "test_sym_expr.pdb"
+  "test_sym_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

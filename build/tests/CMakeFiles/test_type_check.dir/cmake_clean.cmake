@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_check.dir/test_type_check.cpp.o"
+  "CMakeFiles/test_type_check.dir/test_type_check.cpp.o.d"
+  "test_type_check"
+  "test_type_check.pdb"
+  "test_type_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_type_check[1]_include.cmake")
+include("/root/repo/build/tests/test_sym_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_sym_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_concolic[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_pred[1]_include.cmake")
+include("/root/repo/build/tests/test_simplify[1]_include.cmake")
+include("/root/repo/build/tests/test_pruning[1]_include.cmake")
+include("/root/repo/build/tests/test_templates[1]_include.cmake")
+include("/root/repo/build/tests/test_preinfer[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_interprocedural[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_guard[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_exec_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_lang_print[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_equiv[1]_include.cmake")
+include("/root/repo/build/tests/test_break_continue[1]_include.cmake")

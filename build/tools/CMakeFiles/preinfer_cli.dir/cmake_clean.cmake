@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preinfer_cli.dir/preinfer_main.cpp.o"
+  "CMakeFiles/preinfer_cli.dir/preinfer_main.cpp.o.d"
+  "preinfer"
+  "preinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preinfer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
