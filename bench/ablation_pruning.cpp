@@ -44,7 +44,7 @@ int main() {
 
     std::puts("Ablation A1 — predicate-pruning modes (PreInfer only)\n");
 
-    eval::HarnessConfig base = eval::default_harness_config();
+    eval::HarnessConfig base = bench::parallel_harness_config();
     base.run_fixit = false;
     base.run_dysy = false;
 

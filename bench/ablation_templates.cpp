@@ -14,7 +14,7 @@ int main() {
     std::puts("Ablation A2 — generalization templates on the collection-element "
               "cases\n");
 
-    eval::HarnessConfig base = eval::default_harness_config();
+    eval::HarnessConfig base = bench::parallel_harness_config();
     base.run_fixit = false;
     base.run_dysy = false;
 

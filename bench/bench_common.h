@@ -2,6 +2,8 @@
 
 // Shared aggregation helpers over eval::HarnessResult for the table benches.
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <numeric>
 
@@ -10,6 +12,34 @@
 #include "table_format.h"
 
 namespace preinfer::bench {
+
+/// Worker-thread override for the table benches: PREINFER_JOBS=N pins the
+/// harness pool width (result rows are identical for any N); unset or <= 0
+/// means hardware concurrency.
+inline int env_jobs() {
+    const char* v = std::getenv("PREINFER_JOBS");
+    if (v == nullptr || *v == '\0') return 0;
+    const int n = std::atoi(v);
+    return n > 0 ? n : 0;
+}
+
+/// default_harness_config() with the PREINFER_JOBS override applied — the
+/// standard config for the parallel table benches.
+inline eval::HarnessConfig parallel_harness_config() {
+    eval::HarnessConfig config = eval::default_harness_config();
+    config.jobs = env_jobs();
+    return config;
+}
+
+/// One-line wall-time + solver-cache summary of a harness run.
+inline void print_perf_summary(const eval::HarnessResult& result) {
+    std::printf("\n[harness: %d jobs, %.0f ms wall; solver cache: %lld hits / "
+                "%lld misses, %.1f%% hit rate]\n",
+                result.jobs, result.wall_ms,
+                static_cast<long long>(result.total_cache_hits()),
+                static_cast<long long>(result.total_cache_misses()),
+                100.0 * result.cache_hit_rate());
+}
 
 /// Only-sufficient / only-necessary / both, per the paper's Table V columns.
 struct SnbCounts {

@@ -12,7 +12,8 @@ int main() {
     std::puts("Figure 3 — average relative complexity (|psi| - |psi*|) / |psi*| "
               "of inferred preconditions, by correctness category\n");
 
-    const eval::HarnessResult result = eval::run_harness(eval::corpus());
+    const eval::HarnessResult result =
+        eval::run_harness(eval::corpus(), bench::parallel_harness_config());
 
     // Categories over ACLs that have a ground truth and where both
     // approaches produced a candidate:
@@ -64,5 +65,6 @@ int main() {
     std::puts("Expected shape (paper): PreInfer sits near 0 for all-correct "
               "cases; DySy's complexity is far larger in every category; "
               "FixIt's correct preconditions average about 0.19.");
+    bench::print_perf_summary(result);
     return 0;
 }

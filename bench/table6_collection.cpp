@@ -14,7 +14,8 @@ int main() {
 
     std::puts("Table VI — preconditions for the collection-element cases\n");
 
-    const eval::HarnessResult result = eval::run_harness(eval::corpus());
+    const eval::HarnessResult result =
+        eval::run_harness(eval::corpus(), bench::parallel_harness_config());
 
     struct Bucket {
         int acl = 0;
@@ -59,5 +60,6 @@ int main() {
                 total.generalized, total.acl, total.preinfer.both, total.acl);
     std::puts("Expected shape (paper, Table VI): FixIt handles 0 of the "
               "collection cases; PreInfer handles roughly half (17/33).");
+    bench::print_perf_summary(result);
     return 0;
 }

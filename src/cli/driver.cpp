@@ -19,6 +19,7 @@
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
 #include "src/support/diagnostics.h"
+#include "src/support/thread_pool.h"
 #include "src/sym/print.h"
 
 namespace preinfer::cli {
@@ -40,6 +41,10 @@ options:
   --validate        judge sufficiency/necessity on a fresh validation suite
   --max-tests N     exploration budget (default 256)
   --guard-fuzz N    wrap the method in the inferred precondition and fuzz it
+  --all-methods     analyze every method in the file, not just the first
+  --jobs N          worker threads for --all-methods
+                    (default: hardware concurrency; output is identical
+                    for any N, methods are reported in source order)
   --help            this text
 )";
 }
@@ -87,6 +92,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
             if (!next_int(r.options.max_tests)) return r;
         } else if (a == "--guard-fuzz") {
             if (!next_int(r.options.guard_fuzz)) return r;
+        } else if (a == "--all-methods") {
+            r.options.all_methods = true;
+        } else if (a == "--jobs") {
+            if (!next_int(r.options.jobs)) return r;
         } else if (!a.empty() && a[0] == '-') {
             r.error = "unknown option " + a;
             return r;
@@ -118,9 +127,53 @@ void print_strength(std::ostream& out, const eval::Strength& s) {
         << " passing)\n";
 }
 
+/// Fans every method of the file out to a thread pool; each worker runs the
+/// single-method pipeline against its own parse of the source (one ExprPool
+/// per worker, nothing shared), and the buffered reports are emitted in
+/// source order so the output is independent of scheduling.
+int run_all_methods(const Options& options, const std::string& source_text,
+                    std::ostream& out) {
+    std::vector<std::string> names;
+    try {
+        const lang::Program program = lang::parse_program(source_text);
+        if (program.methods.empty()) {
+            out << "error: no methods in input\n";
+            return 1;
+        }
+        for (const lang::Method& m : program.methods) names.push_back(m.name);
+    } catch (const support::FrontendError& e) {
+        out << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    const int jobs =
+        options.jobs > 0 ? options.jobs : support::ThreadPool::default_jobs();
+    std::vector<std::ostringstream> reports(names.size());
+    std::vector<int> codes(names.size(), 0);
+    support::parallel_for(jobs, names.size(), [&](std::size_t i) {
+        Options per_method = options;
+        per_method.all_methods = false;
+        per_method.method = names[i];
+        codes[i] = run(per_method, source_text, reports[i]);
+    });
+
+    int exit_code = 2;  // "no failing tests anywhere" unless contradicted
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0) out << "\n";
+        out << reports[i].str();
+        if (codes[i] == 1) {
+            exit_code = 1;
+        } else if (codes[i] == 0 && exit_code != 1) {
+            exit_code = 0;
+        }
+    }
+    return exit_code;
+}
+
 }  // namespace
 
 int run(const Options& options, std::string source_text, std::ostream& out) {
+    if (options.all_methods) return run_all_methods(options, source_text, out);
     lang::Program program;
     try {
         program = lang::parse_program(source_text);

@@ -18,6 +18,12 @@ struct Options {
     bool validate = false;        ///< judge strength on a validation suite
     int max_tests = 256;          ///< exploration budget
     int guard_fuzz = 0;           ///< if > 0, fuzz the guarded method N times
+    bool all_methods = false;     ///< analyze every method in the file
+    /// Worker threads for --all-methods fan-out; 0 = hardware_concurrency().
+    /// Each worker re-parses the program and owns its own expression pool,
+    /// and per-method reports are emitted in source order, so output is
+    /// identical for every jobs value.
+    int jobs = 0;
 };
 
 /// Parses argv (excluding argv[0]); returns nullopt + prints usage on error.

@@ -31,7 +31,11 @@ std::uint64_t PathCondition::signature() const {
         h *= 1099511628211ULL;
     };
     for (const PathPredicate& p : preds) {
-        mix(reinterpret_cast<std::uintptr_t>(p.expr));
+        // Hash the pool's structural id, never the pointer: node addresses
+        // change across processes (ASLR) and across pools, which would make
+        // duplicate-path statistics irreproducible and the signature
+        // useless as a cache key.
+        mix(p.expr->id);
         mix(static_cast<std::uint64_t>(p.site_id));
     }
     return h;

@@ -84,7 +84,9 @@ struct PathCondition {
     /// index `after` (pass -1 for "anywhere").
     [[nodiscard]] bool reaches_after(AclId acl, int after) const;
 
-    /// Hash of the (expr, site) sequence; identical signature == same path.
+    /// Hash of the (expr id, site) sequence; identical signature == same
+    /// path. Built from structural expression ids, so it is reproducible
+    /// across processes and pools that intern the same expression sequence.
     [[nodiscard]] std::uint64_t signature() const;
 };
 

@@ -1,5 +1,6 @@
 #include "src/eval/harness.h"
 
+#include <chrono>
 #include <memory>
 
 #include "src/baselines/dysy.h"
@@ -10,6 +11,8 @@
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
+#include "src/solver/solve_cache.h"
+#include "src/support/thread_pool.h"
 
 namespace preinfer::eval {
 
@@ -67,12 +70,21 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     const lang::Method& method = prog.methods.front();
 
     sym::ExprPool pool;
-    gen::Explorer explorer(pool, method, config.explore, &prog);
+    // One memoization cache per (worker, method): shared by every explorer
+    // built against this pool, including the validation explorer, which
+    // replays the inference exploration under a larger budget and therefore
+    // hits on nearly all of its early queries.
+    solver::SolveCache solve_cache;
+    gen::Explorer explorer(pool, method, config.explore, &prog, &solve_cache);
     const gen::TestSuite suite = explorer.explore();
     const std::vector<core::AclId> observed = suite.failing_acls();
 
+    // Cached results are only valid under identical solver bounds.
+    const bool validation_shares_cache =
+        config.validation.explore.solver_config == config.explore.solver_config;
     const gen::TestSuite validation =
-        build_validation_suite(pool, method, config.validation, &prog);
+        build_validation_suite(pool, method, config.validation, &prog,
+                               validation_shares_cache ? &solve_cache : nullptr);
 
     if (method_row) {
         method_row->subject = subject.name;
@@ -85,7 +97,7 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
 
     // A dedicated explorer backs the solver-assisted pruning oracle so its
     // witness budget does not disturb the shared suite.
-    gen::Explorer oracle_explorer(pool, method, config.explore, &prog);
+    gen::Explorer oracle_explorer(pool, method, config.explore, &prog, &solve_cache);
     gen::ExplorerOracle oracle(oracle_explorer);
     const bool want_oracle =
         config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
@@ -162,21 +174,74 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
 
         rows.push_back(std::move(row));
     }
+
+    if (method_row) {
+        method_row->cache_hits = solve_cache.stats().hits;
+        method_row->cache_misses = solve_cache.stats().misses;
+    }
     return rows;
+}
+
+std::int64_t HarnessResult::total_cache_hits() const {
+    std::int64_t hits = 0;
+    for (const MethodRow& m : methods) hits += m.cache_hits;
+    return hits;
+}
+
+std::int64_t HarnessResult::total_cache_misses() const {
+    std::int64_t misses = 0;
+    for (const MethodRow& m : methods) misses += m.cache_misses;
+    return misses;
+}
+
+double HarnessResult::cache_hit_rate() const {
+    const std::int64_t hits = total_cache_hits();
+    const std::int64_t total = hits + total_cache_misses();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
 }
 
 HarnessResult run_harness(const std::vector<Subject>& subjects,
                           const HarnessConfig& config) {
-    HarnessResult result;
+    using clock = std::chrono::steady_clock;
+    const auto to_ms = [](clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+    };
+
+    struct Unit {
+        const Subject* subject;
+        const SubjectMethod* method;
+    };
+    std::vector<Unit> units;
     for (const Subject& subject : subjects) {
         for (const SubjectMethod& sm : subject.methods) {
-            MethodRow method_row;
-            std::vector<AclRow> rows = run_method(subject, sm, config, &method_row);
-            result.methods.push_back(std::move(method_row));
-            for (AclRow& row : rows) result.acls.push_back(std::move(row));
+            units.push_back({&subject, &sm});
         }
     }
+
+    // Each unit runs wholly on one worker with its own pool, explorers, and
+    // solve cache; per-index result slots plus in-order merging below make
+    // the output independent of scheduling.
+    const int jobs =
+        config.jobs > 0 ? config.jobs : support::ThreadPool::default_jobs();
+    std::vector<MethodRow> method_rows(units.size());
+    std::vector<std::vector<AclRow>> acl_rows(units.size());
+    const auto start = clock::now();
+    support::parallel_for(jobs, units.size(), [&](std::size_t i) {
+        const auto unit_start = clock::now();
+        acl_rows[i] =
+            run_method(*units[i].subject, *units[i].method, config, &method_rows[i]);
+        method_rows[i].wall_ms = to_ms(clock::now() - unit_start);
+    });
+
+    HarnessResult result;
+    result.jobs = jobs;
+    result.methods.reserve(units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        result.methods.push_back(std::move(method_rows[i]));
+        for (AclRow& row : acl_rows[i]) result.acls.push_back(std::move(row));
+    }
     result.census_rows = census(subjects);
+    result.wall_ms = to_ms(clock::now() - start);
     return result;
 }
 

@@ -59,6 +59,19 @@ struct MethodRow {
     double block_coverage = 0.0;
     int tests = 0;
     int acls = 0;
+
+    /// Wall-clock time of the whole per-method pipeline (exploration,
+    /// inference, validation). The only nondeterministic report column.
+    double wall_ms = 0.0;
+    /// Solver-memoization accounting for this method's shared cache.
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+
+    [[nodiscard]] double cache_hit_rate() const {
+        const std::int64_t total = cache_hits + cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cache_hits) / static_cast<double>(total);
+    }
 };
 
 struct HarnessConfig {
@@ -71,6 +84,10 @@ struct HarnessConfig {
     bool run_preinfer = true;
     bool run_fixit = true;
     bool run_dysy = true;
+    /// Worker threads for run_harness; 0 = std::thread::hardware_concurrency().
+    /// Every (subject, method) unit runs on exactly one worker with its own
+    /// ExprPool, so any jobs value yields identical result rows.
+    int jobs = 0;
 };
 
 /// A validation explorer budget larger than the default inference budget.
@@ -80,12 +97,22 @@ struct HarnessResult {
     std::vector<AclRow> acls;
     std::vector<MethodRow> methods;
     std::vector<SuiteCensus> census_rows;
+    double wall_ms = 0.0;  ///< end-to-end harness wall-clock time
+    int jobs = 1;          ///< worker count the run actually used
+
+    /// Cache accounting summed over all method rows.
+    [[nodiscard]] std::int64_t total_cache_hits() const;
+    [[nodiscard]] std::int64_t total_cache_misses() const;
+    [[nodiscard]] double cache_hit_rate() const;
 };
 
 /// Runs the full evaluation pipeline over the given subjects: per method,
 /// generate the inference suite, infer with each enabled approach per
 /// observed ACL, and judge every candidate against a fresh validation
-/// suite. Deterministic.
+/// suite. (subject, method) units fan out to a fixed-size thread pool
+/// (config.jobs workers); each worker owns its ExprPool, explorers, and
+/// solve cache, and results are merged in input order, so rows are
+/// deterministic and identical for every jobs value (wall_ms aside).
 [[nodiscard]] HarnessResult run_harness(const std::vector<Subject>& subjects,
                                         const HarnessConfig& config =
                                             default_harness_config());

@@ -37,8 +37,9 @@ Strength evaluate_strength(const lang::Method& method, core::AclId acl,
 
 gen::TestSuite build_validation_suite(sym::ExprPool& pool, const lang::Method& method,
                                       const ValidationConfig& config,
-                                      const lang::Program* program) {
-    gen::Explorer explorer(pool, method, config.explore, program);
+                                      const lang::Program* program,
+                                      solver::SolveCache* cache) {
+    gen::Explorer explorer(pool, method, config.explore, program, cache);
     gen::TestSuite suite = explorer.explore();
 
     gen::Fuzzer fuzzer(method, config.fuzz_seed);

@@ -34,8 +34,13 @@ struct ValidationConfig {
     std::uint64_t fuzz_seed = 7;
 };
 
+/// `cache`, when non-null, memoizes the validation explorer's solver
+/// queries; because validation replays the inference exploration with a
+/// larger budget, sharing the inference run's cache skips most of the
+/// re-solving. Only pass a cache built against the same pool and solver
+/// config.
 [[nodiscard]] gen::TestSuite build_validation_suite(
     sym::ExprPool& pool, const lang::Method& method, const ValidationConfig& config,
-    const lang::Program* program = nullptr);
+    const lang::Program* program = nullptr, solver::SolveCache* cache = nullptr);
 
 }  // namespace preinfer::eval

@@ -66,10 +66,13 @@ void write_acl_csv(const HarnessResult& result, std::ostream& out) {
 }
 
 void write_method_csv(const HarnessResult& result, std::ostream& out) {
-    out << "subject,method,block_coverage,tests,acls\n";
+    out << "subject,method,block_coverage,tests,acls,wall_ms,cache_hits,"
+           "cache_misses,cache_hit_rate\n";
     for (const MethodRow& m : result.methods) {
         out << csv_escape(m.subject) << ',' << csv_escape(m.method) << ','
-            << m.block_coverage << ',' << m.tests << ',' << m.acls << '\n';
+            << m.block_coverage << ',' << m.tests << ',' << m.acls << ','
+            << m.wall_ms << ',' << m.cache_hits << ',' << m.cache_misses << ','
+            << m.cache_hit_rate() << '\n';
     }
 }
 

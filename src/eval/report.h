@@ -14,7 +14,9 @@ namespace preinfer::eval {
 /// PREINFER_CSV environment variable names a file.
 void write_acl_csv(const HarnessResult& result, std::ostream& out);
 
-/// Per-method rows: coverage, test counts, ACL counts.
+/// Per-method rows: coverage, test counts, ACL counts, per-method wall time
+/// and solver-cache hit accounting. wall_ms is the only column that varies
+/// between otherwise identical runs.
 void write_method_csv(const HarnessResult& result, std::ostream& out);
 
 /// Convenience used by the bench binaries: when the named environment

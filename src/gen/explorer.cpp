@@ -52,12 +52,28 @@ Input make_seed(const lang::Method& method, int variant) {
 }  // namespace
 
 Explorer::Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config,
-                   const lang::Program* program)
+                   const lang::Program* program, solver::SolveCache* cache)
     : pool_(pool),
       method_(method),
       config_(config),
       interp_(pool, method, config.exec_limits, program),
-      solver_(pool, config.solver_config) {}
+      solver_(pool, config.solver_config),
+      cache_(cache) {}
+
+solver::SolveResult Explorer::solve_conjuncts(
+    std::span<const sym::Expr* const> conjuncts, const solver::Model* seed) {
+    if (cache_ != nullptr) {
+        if (const solver::SolveResult* cached = cache_->lookup(conjuncts)) {
+            ++stats_.cache_hits;
+            return *cached;
+        }
+        ++stats_.cache_misses;
+    }
+    ++stats_.solver_calls;
+    solver::SolveResult res = solver_.solve(conjuncts, seed);
+    if (cache_ != nullptr) cache_->insert(conjuncts, res);
+    return res;
+}
 
 std::vector<exec::Input> Explorer::seed_inputs() const {
     std::vector<exec::Input> seeds;
@@ -78,13 +94,15 @@ TestSuite Explorer::explore() {
     std::deque<std::pair<std::size_t, int>> work;
 
     auto execute = [&](exec::Input input, int bound) {
+        // Budget before dedup bookkeeping: an input rejected purely because
+        // the suite is full must not enter seen_inputs, or it would be
+        // permanently poisoned for runs that interleave budget checks.
+        if (static_cast<int>(suite.tests.size()) >= config_.max_tests) return;
         if (!seen_inputs.insert(input.hash()).second) {
             ++stats_.duplicate_inputs;
             return;
         }
-        if (static_cast<int>(suite.tests.size()) >= config_.max_tests) return;
         Test t;
-        t.id = next_test_id_++;
         t.input = std::move(input);
         t.result = interp_.run(t.input);
         ++stats_.executions;
@@ -92,6 +110,9 @@ TestSuite Explorer::explore() {
             ++stats_.duplicate_paths;
             return;  // identical path: nothing new to learn or expand
         }
+        // Ids are assigned only to retained tests, keeping suite ids
+        // contiguous regardless of how many duplicates were discarded.
+        t.id = next_test_id_++;
         suite.tests.push_back(std::move(t));
         work.emplace_back(suite.tests.size() - 1, bound);
     };
@@ -122,8 +143,7 @@ TestSuite Explorer::explore() {
             for (int k = 0; k < j; ++k) conjuncts.push_back(pc.preds[static_cast<std::size_t>(k)].expr);
             conjuncts.push_back(pool_.negate(pc.preds[static_cast<std::size_t>(j)].expr));
 
-            ++stats_.solver_calls;
-            const solver::SolveResult res = solver_.solve(conjuncts, &seed);
+            const solver::SolveResult res = solve_conjuncts(conjuncts, &seed);
             switch (res.status) {
                 case solver::SolveStatus::Sat: ++stats_.sat; break;
                 case solver::SolveStatus::Unsat: ++stats_.unsat; continue;
@@ -140,11 +160,14 @@ TestSuite Explorer::explore() {
 
 std::optional<Test> Explorer::run_constrained(
     std::span<const sym::Expr* const> conjuncts, const exec::Input* base) {
-    ++stats_.solver_calls;
+    // On-demand oracles share max_solver_calls with the generational
+    // search; once the budget is spent, refuse further witness queries
+    // instead of silently blowing past the cap.
+    if (stats_.solver_calls >= config_.max_solver_calls) return std::nullopt;
     std::optional<solver::Model> seed;
     if (base) seed = seed_model(pool_, method_, *base);
     const solver::SolveResult res =
-        solver_.solve(conjuncts, seed ? &*seed : nullptr);
+        solve_conjuncts(conjuncts, seed ? &*seed : nullptr);
     if (!res.sat()) {
         if (res.status == solver::SolveStatus::Unsat) {
             ++stats_.unsat;

@@ -5,6 +5,7 @@
 
 #include "src/exec/concolic.h"
 #include "src/gen/testsuite.h"
+#include "src/solver/solve_cache.h"
 #include "src/solver/solver.h"
 
 namespace preinfer::gen {
@@ -28,8 +29,13 @@ struct ExplorerConfig {
 /// re-deriving ancestors. Paths and inputs are deduplicated.
 class Explorer {
 public:
+    /// `cache`, when given, memoizes solver queries across this explorer and
+    /// any other explorer sharing the same pool and solver config (the
+    /// harness shares one cache per (worker, method)); pass nullptr to solve
+    /// every query. The cache must outlive the explorer.
     Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config = {},
-             const lang::Program* program = nullptr);
+             const lang::Program* program = nullptr,
+             solver::SolveCache* cache = nullptr);
 
     /// Runs the generational search until budgets are exhausted.
     [[nodiscard]] TestSuite explore();
@@ -44,23 +50,36 @@ public:
 
     struct Stats {
         int executions = 0;
+        /// Actual Solver::solve invocations (cache hits excluded), the
+        /// quantity max_solver_calls budgets.
         int solver_calls = 0;
+        /// Query outcomes, counted for hits and misses alike; with a cache
+        /// attached sat + unsat + unknown can exceed solver_calls.
         int sat = 0;
         int unsat = 0;
         int unknown = 0;
         int duplicate_inputs = 0;
         int duplicate_paths = 0;
+        /// Memoized-solver accounting; both stay 0 without a cache.
+        int cache_hits = 0;
+        int cache_misses = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
 private:
     [[nodiscard]] std::vector<exec::Input> seed_inputs() const;
 
+    /// Cache-aware solver entry point: consults the memoization cache (when
+    /// attached) before paying for a Solver::solve call.
+    [[nodiscard]] solver::SolveResult solve_conjuncts(
+        std::span<const sym::Expr* const> conjuncts, const solver::Model* seed);
+
     sym::ExprPool& pool_;
     const lang::Method& method_;
     ExplorerConfig config_;
     exec::ConcolicInterpreter interp_;
     solver::Solver solver_;
+    solver::SolveCache* cache_ = nullptr;
     Stats stats_;
     int next_test_id_ = 0;
 };

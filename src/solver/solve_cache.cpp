@@ -1,0 +1,49 @@
+#include "src/solver/solve_cache.h"
+
+#include <algorithm>
+
+namespace preinfer::solver {
+
+std::size_t SolveCache::KeyHash::operator()(const Key& key) const noexcept {
+    // FNV-1a over the id sequence; the key is already canonical (sorted,
+    // deduplicated), so equal conjunct sets hash equally.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint32_t id : key) {
+        h ^= id;
+        h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+SolveCache::Key SolveCache::canonical_key(
+    std::span<const sym::Expr* const> conjuncts) {
+    Key key;
+    key.reserve(conjuncts.size());
+    for (const sym::Expr* e : conjuncts) key.push_back(e->id);
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    return key;
+}
+
+const SolveResult* SolveCache::lookup(
+    std::span<const sym::Expr* const> conjuncts) {
+    const auto it = entries_.find(canonical_key(conjuncts));
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+}
+
+void SolveCache::insert(std::span<const sym::Expr* const> conjuncts,
+                        const SolveResult& result) {
+    entries_.emplace(canonical_key(conjuncts), result);
+}
+
+void SolveCache::clear() {
+    entries_.clear();
+    stats_ = {};
+}
+
+}  // namespace preinfer::solver

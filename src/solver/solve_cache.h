@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/model.h"
+
+namespace preinfer::solver {
+
+/// Memoizes Solver::solve results, keyed on the *canonical signature* of a
+/// conjunct set: the sorted, deduplicated sequence of structural expression
+/// ids (sym::Expr::id). Ids — never pointers — make the key stable across
+/// processes and independent of conjunct order, so `{a, b}` and `{b, a}`
+/// hit the same entry. The evaluation pipeline re-solves the same
+/// conjunctions constantly (sibling path flips share prefixes, and the
+/// validation suite replays the inference suite's exploration), which is
+/// where the hits come from.
+///
+/// The cached value is the full SolveResult (status + model). Seed models
+/// only steer the solver's search order, never satisfiability, so a cached
+/// result is returned regardless of the seed a later query carries; with
+/// deterministic insertion order this keeps whole-pipeline runs
+/// reproducible.
+///
+/// Scope and safety:
+///  - Entries hold Expr pointers from one ExprPool; never share a cache
+///    across pools.
+///  - Results depend on SolverConfig bounds; only share a cache between
+///    solvers with equal configs.
+///  - Not thread-safe. The harness keeps one cache per worker (alongside
+///    that worker's ExprPool), so no locking is needed.
+class SolveCache {
+public:
+    struct Stats {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+
+        [[nodiscard]] double hit_rate() const {
+            const std::int64_t total = hits + misses;
+            return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+        }
+    };
+
+    /// Returns the cached result, or nullptr on a miss. Counts the lookup
+    /// in stats(). The pointer stays valid until clear() (node-based map).
+    [[nodiscard]] const SolveResult* lookup(
+        std::span<const sym::Expr* const> conjuncts);
+
+    /// Stores the result for the conjunct set; first insertion wins.
+    void insert(std::span<const sym::Expr* const> conjuncts,
+                const SolveResult& result);
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    void clear();
+
+private:
+    using Key = std::vector<std::uint32_t>;
+
+    struct KeyHash {
+        std::size_t operator()(const Key& key) const noexcept;
+    };
+
+    [[nodiscard]] static Key canonical_key(
+        std::span<const sym::Expr* const> conjuncts);
+
+    std::unordered_map<Key, SolveResult, KeyHash> entries_;
+    Stats stats_;
+};
+
+}  // namespace preinfer::solver

@@ -18,6 +18,10 @@ struct SolverConfig {
     /// reported Unknown and the explorer just moves on.
     int max_nodes = 800;
     int max_propagation_rounds = 32;
+
+    /// Equality gates SolveCache sharing: results are only reusable between
+    /// solvers operating under identical bounds and budgets.
+    friend bool operator==(const SolverConfig&, const SolverConfig&) = default;
 };
 
 /// Decides satisfiability of a conjunction of quantifier-free predicates

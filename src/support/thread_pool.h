@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Clang's -Wthread-safety annotations; no-ops elsewhere. The standard
+// library's mutex types are not annotated as capabilities under libstdc++,
+// so annotations stay opt-in: define PREINFER_THREAD_SAFETY_ANALYSIS when
+// building with an annotated standard library to turn the analysis on.
+#if defined(__clang__) && defined(PREINFER_THREAD_SAFETY_ANALYSIS)
+#define PI_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define PI_REQUIRES(x) __attribute__((requires_capability(x)))
+#else
+#define PI_GUARDED_BY(x)
+#define PI_REQUIRES(x)
+#endif
+
+namespace preinfer::support {
+
+/// A fixed-size pool of std::thread workers draining a FIFO task queue.
+/// Tasks are plain closures; the pool makes no ordering promise beyond FIFO
+/// dispatch, so callers that need deterministic output must write results
+/// into per-task slots and merge in submission order (see parallel_for).
+///
+/// Tasks must not throw — wrap bodies that can fail and stash the
+/// std::exception_ptr; parallel_for does exactly that.
+class ThreadPool {
+public:
+    /// Spawns max(1, threads) workers.
+    explicit ThreadPool(int threads);
+    /// Drains the queue, then joins all workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task for execution by some worker.
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and no task is running.
+    void wait_idle();
+
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Default worker count: hardware_concurrency(), clamped to >= 1 (the
+    /// function may return 0 on exotic platforms).
+    [[nodiscard]] static int default_jobs();
+
+private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_ PI_GUARDED_BY(mu_);
+    int active_ PI_GUARDED_BY(mu_) = 0;
+    bool stopping_ PI_GUARDED_BY(mu_) = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) across up to `jobs` pool workers and blocks
+/// until all calls finished. jobs <= 1 (or n <= 1) runs inline on the
+/// calling thread, making sequential and parallel execution byte-identical
+/// for callers that only write per-index state. fn must be safe to invoke
+/// concurrently on distinct indices. If any call throws, the first (lowest
+/// index) exception is rethrown on the calling thread after all tasks
+/// finished.
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace preinfer::support

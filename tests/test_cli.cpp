@@ -40,7 +40,17 @@ TEST(CliArgs, Errors) {
     EXPECT_FALSE(parse({"a.mini", "--max-tests", "abc"}).ok);
     EXPECT_FALSE(parse({"a.mini", "--bogus"}).ok);
     EXPECT_FALSE(parse({"a.mini", "b.mini"}).ok);
+    EXPECT_FALSE(parse({"a.mini", "--jobs"}).ok);
     EXPECT_TRUE(parse({"--help"}).show_help);
+}
+
+TEST(CliArgs, JobsAndAllMethods) {
+    const ParseResult r = parse({"p.mini", "--all-methods", "--jobs", "4"});
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.options.all_methods);
+    EXPECT_EQ(r.options.jobs, 4);
+    EXPECT_FALSE(parse({"p.mini"}).options.all_methods);
+    EXPECT_EQ(parse({"p.mini"}).options.jobs, 0);
 }
 
 TEST(CliRun, EndToEndReport) {
@@ -99,6 +109,51 @@ TEST(CliRun, InterproceduralAttribution) {
     EXPECT_NE(out2.str().find("AssertionViolation in check"), std::string::npos)
         << out2.str();
     EXPECT_NE(out2.str().find("a > 0"), std::string::npos) << out2.str();
+}
+
+TEST(CliRun, AllMethodsReportsEveryMethodInSourceOrder) {
+    const char* source = R"(
+        method first(a: int) : int { return 10 / a; }
+        method clean(b: int) : int { return b + 1; }
+        method second(xs: int[]) : int { return xs.len; }
+    )";
+    Options options;
+    options.source_path = "inline.mini";
+    options.all_methods = true;
+
+    // The per-method reports must be identical and in source order for any
+    // worker count.
+    std::string reports[2];
+    const int jobs[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        options.jobs = jobs[i];
+        std::ostringstream out;
+        EXPECT_EQ(run(options, source, out), 0);
+        reports[i] = out.str();
+    }
+    EXPECT_EQ(reports[0], reports[1]);
+
+    const std::size_t first = reports[0].find("method first");
+    const std::size_t clean = reports[0].find("method clean");
+    const std::size_t second = reports[0].find("method second");
+    EXPECT_NE(first, std::string::npos);
+    EXPECT_NE(clean, std::string::npos);
+    EXPECT_NE(second, std::string::npos);
+    EXPECT_LT(first, clean);
+    EXPECT_LT(clean, second);
+    EXPECT_NE(reports[0].find("DivideByZero"), std::string::npos);
+    EXPECT_NE(reports[0].find("NullReference"), std::string::npos);
+}
+
+TEST(CliRun, AllMethodsExitCodes) {
+    Options options;
+    options.source_path = "inline.mini";
+    options.all_methods = true;
+    std::ostringstream out;
+    // No method fails anywhere -> 2, matching the single-method contract.
+    EXPECT_EQ(run(options, "method a(x: int) : int { return x; }", out), 2);
+    std::ostringstream out2;
+    EXPECT_EQ(run(options, "method a( {", out2), 1);
 }
 
 TEST(CliRun, NoFailuresExitCode) {

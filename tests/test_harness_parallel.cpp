@@ -1,0 +1,291 @@
+// Determinism and memoization guarantees of the parallel evaluation
+// harness: any jobs value must produce byte-identical result rows, fresh
+// explorations must report reproducible path statistics (the old
+// pointer-hashed path signature broke this across processes), and the
+// solver memoization cache must count hits/misses and return results
+// equivalent to uncached solving.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/eval/harness.h"
+#include "src/eval/report.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/solver/solve_cache.h"
+#include "src/support/thread_pool.h"
+
+namespace preinfer::eval {
+namespace {
+
+using K = core::ExceptionKind;
+
+std::vector<Subject> tiny_corpus() {
+    Subject arith;
+    arith.name = "Test.Arith";
+    arith.suite = "Test";
+    arith.methods.push_back(
+        {"div", "method div(a: int, b: int) : int { return a / b; }",
+         {{K::DivideByZero, 0, "b != 0"}}});
+    arith.methods.push_back({"mix", R"(
+method mix(a: int, b: int) : int {
+    if (a > 10) { return b / (b - 3); }
+    return a;
+})",
+                             {{K::DivideByZero, 0, "a <= 10 || b != 3"}}});
+
+    Subject arrays;
+    arrays.name = "Test.Arrays";
+    arrays.suite = "Test";
+    arrays.methods.push_back(
+        {"get", "method get(xs: int[], i: int) : int { return xs[i]; }",
+         {{K::NullReference, 0, "xs != null"}}});
+    arrays.methods.push_back({"sum", R"(
+method sum(xs: int[]) : int {
+    var s = 0;
+    for (var i = 0; i < xs.len; i = i + 1) { s = s + xs[i]; }
+    return s;
+})",
+                              {{K::NullReference, 0, "xs != null"}}});
+    return {arith, arrays};
+}
+
+HarnessConfig small_config(int jobs) {
+    HarnessConfig config = default_harness_config();
+    config.explore.max_tests = 48;
+    config.explore.max_solver_calls = 600;
+    config.validation.explore.max_tests = 80;
+    config.validation.explore.max_solver_calls = 900;
+    config.validation.fuzz_count = 40;
+    config.jobs = jobs;
+    return config;
+}
+
+/// Serializes every deterministic report column. wall_ms is zeroed first:
+/// it is the one column documented to vary between runs.
+std::string serialize(HarnessResult result) {
+    for (MethodRow& m : result.methods) m.wall_ms = 0.0;
+    std::ostringstream out;
+    write_acl_csv(result, out);
+    write_method_csv(result, out);
+    return out.str();
+}
+
+TEST(HarnessParallel, JobsOneAndFourProduceIdenticalRows) {
+    const HarnessResult sequential = run_harness(tiny_corpus(), small_config(1));
+    const HarnessResult parallel = run_harness(tiny_corpus(), small_config(4));
+    EXPECT_EQ(sequential.jobs, 1);
+    EXPECT_EQ(parallel.jobs, 4);
+    ASSERT_EQ(sequential.acls.size(), parallel.acls.size());
+    ASSERT_EQ(sequential.methods.size(), parallel.methods.size());
+    EXPECT_EQ(serialize(sequential), serialize(parallel));
+}
+
+TEST(HarnessParallel, HarnessReportsNonzeroCacheHitRate) {
+    // The validation suite replays the inference exploration, so the shared
+    // per-method cache must see plenty of hits.
+    const HarnessResult result = run_harness(tiny_corpus(), small_config(2));
+    EXPECT_GT(result.total_cache_hits(), 0);
+    EXPECT_GT(result.total_cache_misses(), 0);
+    EXPECT_GT(result.cache_hit_rate(), 0.0);
+    for (const MethodRow& m : result.methods) {
+        EXPECT_GE(m.wall_ms, 0.0);
+        EXPECT_GT(m.cache_hits + m.cache_misses, 0) << m.method;
+    }
+}
+
+TEST(HarnessParallel, MethodCsvCarriesPerfColumns) {
+    const HarnessResult result = run_harness(tiny_corpus(), small_config(1));
+    std::ostringstream out;
+    write_method_csv(result, out);
+    EXPECT_NE(out.str().find("wall_ms,cache_hits,cache_misses,cache_hit_rate"),
+              std::string::npos)
+        << out.str();
+}
+
+class ExplorerRegressionTest : public ::testing::Test {
+protected:
+    lang::Program compile(std::string_view src) {
+        lang::Program prog = lang::parse_single_method(src);
+        lang::type_check(prog);
+        lang::label_blocks(prog);
+        return prog;
+    }
+};
+
+TEST_F(ExplorerRegressionTest, FreshRunsReportIdenticalDuplicatePathCounts) {
+    // Two fresh explorations with unrelated pools intern expressions at
+    // different addresses; the structural-id path signature must still
+    // produce identical duplicate-path accounting.
+    const lang::Program prog = compile(R"(
+        method m(a: int, xs: int[]) : int {
+            var s = 0;
+            for (var i = 0; i < xs.len; i = i + 1) {
+                if (xs[i] > a) { s = s + 1; }
+            }
+            return s;
+        })");
+    sym::ExprPool pool1, pool2;
+    gen::Explorer e1(pool1, prog.methods[0]);
+    gen::Explorer e2(pool2, prog.methods[0]);
+    const gen::TestSuite s1 = e1.explore();
+    const gen::TestSuite s2 = e2.explore();
+    EXPECT_EQ(s1.tests.size(), s2.tests.size());
+    EXPECT_EQ(e1.stats().duplicate_paths, e2.stats().duplicate_paths);
+    EXPECT_EQ(e1.stats().duplicate_inputs, e2.stats().duplicate_inputs);
+    EXPECT_EQ(e1.stats().executions, e2.stats().executions);
+    EXPECT_EQ(e1.stats().solver_calls, e2.stats().solver_calls);
+}
+
+TEST_F(ExplorerRegressionTest, RetainedTestIdsAreContiguous) {
+    // The canonical seeds all take the a <= 41 path, so several executions
+    // are discarded as duplicate paths; discarded executions must not
+    // consume test ids.
+    const lang::Program prog = compile(R"(
+        method m(a: int) : int {
+            if (a > 41) { return 1; }
+            return 0;
+        })");
+    sym::ExprPool pool;
+    gen::Explorer explorer(pool, prog.methods[0]);
+    const gen::TestSuite suite = explorer.explore();
+    EXPECT_GT(explorer.stats().duplicate_paths, 0);
+    for (std::size_t i = 0; i < suite.tests.size(); ++i) {
+        EXPECT_EQ(suite.tests[i].id, static_cast<int>(i));
+    }
+}
+
+TEST_F(ExplorerRegressionTest, RunConstrainedRespectsSolverBudget) {
+    const lang::Program prog = compile("method m(a: int) : int { return a; }");
+    sym::ExprPool pool;
+    gen::ExplorerConfig cfg;
+    cfg.max_solver_calls = 0;
+    gen::Explorer explorer(pool, prog.methods[0], cfg);
+    const sym::Expr* a = pool.param(0, sym::Sort::Int);
+    std::vector<const sym::Expr*> conjuncts{pool.gt(a, pool.int_const(10))};
+    EXPECT_FALSE(explorer.run_constrained(conjuncts, nullptr).has_value());
+    EXPECT_EQ(explorer.stats().solver_calls, 0);
+    EXPECT_EQ(explorer.stats().executions, 0);
+}
+
+TEST(SolveCacheTest, CountsHitsAndMissesAndCanonicalizesOrder) {
+    sym::ExprPool pool;
+    const sym::Expr* a = pool.gt(pool.param(0, sym::Sort::Int), pool.int_const(5));
+    const sym::Expr* b = pool.lt(pool.param(1, sym::Sort::Int), pool.int_const(3));
+    solver::SolveCache cache;
+
+    std::vector<const sym::Expr*> ab{a, b};
+    EXPECT_EQ(cache.lookup(ab), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1);
+
+    solver::SolveResult res;
+    res.status = solver::SolveStatus::Sat;
+    res.model.values[a] = 1;
+    cache.insert(ab, res);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Conjunct order must not matter: {a, b} and {b, a} share one entry.
+    std::vector<const sym::Expr*> ba{b, a};
+    const solver::SolveResult* hit = cache.lookup(ba);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->status, solver::SolveStatus::Sat);
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+
+    // A different conjunct set is a distinct entry.
+    std::vector<const sym::Expr*> just_a{a};
+    EXPECT_EQ(cache.lookup(just_a), nullptr);
+    EXPECT_EQ(cache.stats().misses, 2);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(SolveCacheTest, SeededAndUnseededQueriesShareResults) {
+    // A cached result is returned regardless of the seed a later query
+    // carries: seeds steer search order, never satisfiability.
+    lang::Program prog = lang::parse_single_method(
+        "method m(a: int, b: int) : int { return a + b; }");
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+
+    sym::ExprPool pool;
+    solver::SolveCache cache;
+    gen::Explorer explorer(pool, prog.methods[0], {}, nullptr, &cache);
+
+    const sym::Expr* a = pool.param(0, sym::Sort::Int);
+    std::vector<const sym::Expr*> conjuncts{pool.gt(a, pool.int_const(100))};
+
+    const auto unseeded = explorer.run_constrained(conjuncts, nullptr);
+    ASSERT_TRUE(unseeded.has_value());
+    EXPECT_EQ(explorer.stats().cache_misses, 1);
+
+    exec::Input seed_input;
+    seed_input.args.emplace_back(std::int64_t{7});
+    seed_input.args.emplace_back(std::int64_t{7});
+    const auto seeded = explorer.run_constrained(conjuncts, &seed_input);
+    ASSERT_TRUE(seeded.has_value());
+    EXPECT_EQ(explorer.stats().cache_hits, 1);
+    EXPECT_EQ(explorer.stats().solver_calls, 1);  // second query was free
+    EXPECT_EQ(std::get<std::int64_t>(unseeded->input.args[0]),
+              std::get<std::int64_t>(seeded->input.args[0]));
+}
+
+TEST(SolveCacheTest, SharedCacheReplaysExplorationWithHits) {
+    lang::Program prog = lang::parse_single_method(R"(
+        method m(a: int, b: int) : int {
+            if (a * 2 == b) {
+                if (b > 100) { return a / (a - 60); }
+            }
+            return 0;
+        })");
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+
+    sym::ExprPool pool;
+    solver::SolveCache cache;
+    gen::Explorer first(pool, prog.methods[0], {}, nullptr, &cache);
+    const gen::TestSuite s1 = first.explore();
+    EXPECT_EQ(first.stats().cache_hits, 0);
+    EXPECT_GT(first.stats().cache_misses, 0);
+
+    // A second explorer over the same pool re-issues the same query
+    // sequence; every solve must now be served from the cache, and the
+    // resulting suite must be identical.
+    gen::Explorer second(pool, prog.methods[0], {}, nullptr, &cache);
+    const gen::TestSuite s2 = second.explore();
+    EXPECT_GT(second.stats().cache_hits, 0);
+    EXPECT_EQ(second.stats().solver_calls, 0);
+    ASSERT_EQ(s1.tests.size(), s2.tests.size());
+    for (std::size_t i = 0; i < s1.tests.size(); ++i) {
+        EXPECT_EQ(s1.tests[i].input, s2.tests[i].input);
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesAndPropagatesErrors) {
+    std::vector<int> out(100, 0);
+    support::parallel_for(4, out.size(), [&](std::size_t i) {
+        out[i] = static_cast<int>(i) * 2;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+    }
+
+    EXPECT_THROW(
+        support::parallel_for(3, 8,
+                              [](std::size_t i) {
+                                  if (i == 5) throw std::runtime_error("boom");
+                              }),
+        std::runtime_error);
+
+    EXPECT_GE(support::ThreadPool::default_jobs(), 1);
+}
+
+}  // namespace
+}  // namespace preinfer::eval

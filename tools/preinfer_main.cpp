@@ -1,9 +1,12 @@
 // The `preinfer` command-line tool: point it at a MiniLang file and it
 // generates tests, finds the failing assertion locations, and prints the
 // inferred preconditions (optionally with baselines, validation verdicts,
-// and a guarded fuzzing demonstration).
+// and a guarded fuzzing demonstration). With --all-methods, every method in
+// the file is analyzed on a thread pool (--jobs N workers; reports stay in
+// source order regardless of N).
 //
 //   ./build/tools/preinfer program.mini --baselines --validate
+//   ./build/tools/preinfer program.mini --all-methods --jobs 8
 
 #include <iostream>
 
