@@ -88,5 +88,6 @@ int main() {
     std::puts("\nExpected shape: SolverAssisted keeps fewer predicates (more "
               "pruning evidence) at the cost of extra solver work; NoVerify "
               "trades necessity for occasional over-pruned candidates.");
+    bench::print_metrics_summary();
     return 0;
 }

@@ -64,5 +64,6 @@ int main() {
     std::puts("\nExpected shape: without templates the quantified cases are at "
               "best only-necessary; each added template unlocks more "
               "both-sufficient-and-necessary cases.");
+    bench::print_metrics_summary();
     return 0;
 }

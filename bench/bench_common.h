@@ -4,11 +4,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <numeric>
 
 #include "src/eval/corpus.h"
 #include "src/eval/harness.h"
+#include "src/support/metrics.h"
 #include "table_format.h"
 
 namespace preinfer::bench {
@@ -24,14 +26,36 @@ inline int env_jobs() {
 }
 
 /// default_harness_config() with the PREINFER_JOBS override applied — the
-/// standard config for the parallel table benches.
+/// standard config for the parallel table benches. Also turns the metrics
+/// registry on (the benches print its summary block) and, when
+/// PREINFER_TRACE=FILE is set, enables structured tracing for the run.
 inline eval::HarnessConfig parallel_harness_config() {
     eval::HarnessConfig config = eval::default_harness_config();
     config.jobs = env_jobs();
+    support::MetricsRegistry::global().set_enabled(true);
+    const char* trace_path = std::getenv("PREINFER_TRACE");
+    if (trace_path != nullptr && *trace_path != '\0') {
+        config.trace.enabled = true;
+    }
     return config;
 }
 
-/// One-line wall-time + solver-cache summary of a harness run.
+/// PREINFER_TRACE=FILE target, when requested via the environment.
+inline const char* env_trace_path() {
+    const char* v = std::getenv("PREINFER_TRACE");
+    return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+/// The metrics-registry block alone — for benches that run several harness
+/// configurations and report the aggregate once at the end.
+inline void print_metrics_summary() {
+    const std::string metrics = support::MetricsRegistry::global().summary();
+    if (!metrics.empty()) std::printf("%s", metrics.c_str());
+}
+
+/// One-line wall-time + solver-cache summary of a harness run, followed by
+/// the metrics-registry summary block ([metrics] ...), and — when
+/// PREINFER_TRACE=FILE is set — the run's merged JSONL trace written to FILE.
 inline void print_perf_summary(const eval::HarnessResult& result) {
     std::printf("\n[harness: %d jobs, %.0f ms wall; solver cache: %lld hits / "
                 "%lld misses, %.1f%% hit rate]\n",
@@ -39,6 +63,17 @@ inline void print_perf_summary(const eval::HarnessResult& result) {
                 static_cast<long long>(result.total_cache_hits()),
                 static_cast<long long>(result.total_cache_misses()),
                 100.0 * result.cache_hit_rate());
+    print_metrics_summary();
+    if (const char* trace_path = env_trace_path()) {
+        std::ofstream out(trace_path, std::ios::binary);
+        if (out) {
+            out << result.trace;
+            std::printf("[trace: %zu bytes -> %s]\n", result.trace.size(),
+                        trace_path);
+        } else {
+            std::printf("[trace: cannot write %s]\n", trace_path);
+        }
+    }
 }
 
 /// Only-sufficient / only-necessary / both, per the paper's Table V columns.

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -19,7 +20,9 @@
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
 #include "src/support/diagnostics.h"
+#include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 #include "src/sym/print.h"
 
 namespace preinfer::cli {
@@ -45,6 +48,12 @@ options:
   --jobs N          worker threads for --all-methods
                     (default: hardware concurrency; output is identical
                     for any N, methods are reported in source order)
+  --trace FILE      write a structured JSONL trace of every pipeline
+                    decision to FILE (schema: docs/OBSERVABILITY.md;
+                    byte-identical for any --jobs value)
+  --trace-timings   attach wall-clock fields to trace events (makes the
+                    trace nondeterministic; prefer --metrics for timing)
+  --metrics         print the aggregate metrics-registry summary block
   --help            this text
 )";
 }
@@ -96,6 +105,16 @@ ParseResult parse_args(const std::vector<std::string>& args) {
             r.options.all_methods = true;
         } else if (a == "--jobs") {
             if (!next_int(r.options.jobs)) return r;
+        } else if (a == "--trace") {
+            if (i + 1 >= args.size()) {
+                r.error = "--trace expects a file path";
+                return r;
+            }
+            r.options.trace_path = args[++i];
+        } else if (a == "--trace-timings") {
+            r.options.trace_timings = true;
+        } else if (a == "--metrics") {
+            r.options.metrics = true;
         } else if (!a.empty() && a[0] == '-') {
             r.error = "unknown option " + a;
             return r;
@@ -115,6 +134,9 @@ ParseResult parse_args(const std::vector<std::string>& args) {
 }
 
 namespace {
+
+int run_single(const Options& options, const std::string& source_text,
+               std::ostream& out);
 
 void print_strength(std::ostream& out, const eval::Strength& s) {
     out << "    validation: "
@@ -148,13 +170,19 @@ int run_all_methods(const Options& options, const std::string& source_text,
 
     const int jobs =
         options.jobs > 0 ? options.jobs : support::ThreadPool::default_jobs();
+    // run() installed a TraceScope on this thread when --trace was given;
+    // workers trace into per-method buffers spliced back in source order.
+    const bool tracing = support::trace_active();
+    std::vector<support::TraceBuffer> trace_buffers(tracing ? names.size() : 0);
     std::vector<std::ostringstream> reports(names.size());
     std::vector<int> codes(names.size(), 0);
     support::parallel_for(jobs, names.size(), [&](std::size_t i) {
+        std::optional<support::TraceScope> trace_scope;
+        if (tracing) trace_scope.emplace(trace_buffers[i], options.trace_timings);
         Options per_method = options;
         per_method.all_methods = false;
         per_method.method = names[i];
-        codes[i] = run(per_method, source_text, reports[i]);
+        codes[i] = run_single(per_method, source_text, reports[i]);
     });
 
     int exit_code = 2;  // "no failing tests anywhere" unless contradicted
@@ -167,13 +195,18 @@ int run_all_methods(const Options& options, const std::string& source_text,
             exit_code = 0;
         }
     }
+    if (tracing) {
+        support::TraceBuffer* merged = support::active_trace_buffer();
+        for (const support::TraceBuffer& b : trace_buffers) merged->append(b.data());
+    }
     return exit_code;
 }
 
-}  // namespace
-
-int run(const Options& options, std::string source_text, std::ostream& out) {
-    if (options.all_methods) return run_all_methods(options, source_text, out);
+/// The single-method pipeline behind run(): explore, then infer (and
+/// optionally validate / guard-fuzz) per observed ACL. Tracing, when on,
+/// is already installed on the calling thread.
+int run_single(const Options& options, const std::string& source_text,
+               std::ostream& out) {
     lang::Program program;
     try {
         program = lang::parse_program(source_text);
@@ -196,6 +229,18 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
         return 1;
     }
     const auto names = method->param_names();
+    support::TraceNameScope trace_names(names);
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::MethodBegin)
+            .field("subject", options.source_path.empty() ? "<stdin>"
+                                                          : options.source_path)
+            .field("method", method->name)
+            .field("params", method->params.size())
+            .emit();
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "explore")
+            .emit();
+    }
 
     sym::ExprPool pool;
     gen::ExplorerConfig explore_cfg;
@@ -209,16 +254,39 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
         << "%\n";
 
     const auto acls = suite.failing_acls();
+    const auto emit_method_end = [&] {
+        if (!support::trace_active()) return;
+        support::TraceEvent(support::TraceEventKind::MethodEnd)
+            .field("method", method->name)
+            .field("tests", suite.tests.size())
+            .field("acls", acls.size())
+            .emit();
+    };
     if (acls.empty()) {
         out << "no failing tests: nothing to infer\n";
+        emit_method_end();
         return 2;
     }
 
     gen::Explorer oracle_explorer(pool, *method, explore_cfg, &program);
     gen::ExplorerOracle oracle(oracle_explorer);
 
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "infer")
+            .emit();
+    }
+
     for (const core::AclId acl : acls) {
         const gen::AclView view = view_for(suite, acl);
+        if (support::trace_active()) {
+            support::TraceEvent(support::TraceEventKind::AclBegin)
+                .field("acl_kind", core::exception_kind_name(acl.kind))
+                .field("acl_node", acl.node_id)
+                .field("failing", view.failing.size())
+                .field("passing", view.passing.size())
+                .emit();
+        }
         const lang::Method* owner = program.method_containing(acl.node_id);
         out << "\n== " << core::exception_kind_name(acl.kind);
         if (owner != nullptr) {
@@ -320,7 +388,44 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
                 << " completed, " << stats.escaped << " failures escaped\n";
         }
     }
+    emit_method_end();
     return 0;
+}
+
+}  // namespace
+
+int run(const Options& options, std::string source_text, std::ostream& out) {
+    // Metrics: global and cumulative by design; the CLI resets the registry
+    // per invocation so the summary covers exactly this run.
+    if (options.metrics) {
+        auto& registry = support::MetricsRegistry::global();
+        registry.reset();
+        registry.set_enabled(true);
+    }
+
+    support::TraceBuffer trace;
+    const bool tracing = !options.trace_path.empty();
+    int code;
+    {
+        std::optional<support::TraceScope> trace_scope;
+        if (tracing) trace_scope.emplace(trace, options.trace_timings);
+        code = options.all_methods ? run_all_methods(options, source_text, out)
+                                   : run_single(options, source_text, out);
+    }
+
+    if (tracing) {
+        std::ofstream trace_out(options.trace_path, std::ios::binary);
+        if (!trace_out) {
+            out << "error: cannot write trace file " << options.trace_path << "\n";
+            if (code != 1) code = 1;
+        } else {
+            trace_out << trace.data();
+        }
+    }
+    if (options.metrics) {
+        out << "\n" << support::MetricsRegistry::global().summary();
+    }
+    return code;
 }
 
 int run_file(const Options& options, std::ostream& out) {

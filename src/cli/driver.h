@@ -24,6 +24,12 @@ struct Options {
     /// and per-method reports are emitted in source order, so output is
     /// identical for every jobs value.
     int jobs = 0;
+    /// Structured-trace JSONL output file (docs/OBSERVABILITY.md); empty =
+    /// tracing off. Per-method buffers are merged in source order, so the
+    /// file is byte-identical for every --jobs value.
+    std::string trace_path;
+    bool trace_timings = false;   ///< attach wall-clock fields to trace events
+    bool metrics = false;         ///< print the metrics-registry summary block
 };
 
 /// Parses argv (excluding argv[0]); returns nullopt + prints usage on error.

@@ -2,20 +2,56 @@
 
 #include <algorithm>
 
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
 namespace preinfer::core {
+
+namespace {
+
+void count_template_decision(bool applied) {
+    if (!support::metrics_enabled()) return;
+    auto& registry = support::MetricsRegistry::global();
+    static auto& m_applied = registry.counter("generalize.templates_applied");
+    static auto& m_rejected = registry.counter("generalize.templates_rejected");
+    (applied ? m_applied : m_rejected).add();
+}
+
+}  // namespace
 
 GeneralizedPath generalize(sym::ExprPool& pool, const TemplateRegistry& registry,
                            const ReducedPath& rp, solver::Solver* equivalence_solver) {
     GeneralizedPath out;
     out.original = rp.original;
 
-    // Best match per collection.
+    // Best match per collection. Templates that do not match at all are not
+    // traced (no candidate existed); candidates beaten on score are.
     std::vector<TemplateMatch> matches;
     for (const CollectionInfo& info : analyze_collections(pool, rp)) {
         std::optional<TemplateMatch> best;
         for (const auto& tmpl : registry.templates()) {
             auto m = tmpl->try_match(pool, rp, info, equivalence_solver);
-            if (m && (!best || m->score > best->score)) best = std::move(m);
+            if (!m) continue;
+            if (!best || m->score > best->score) {
+                if (best && support::trace_active()) {
+                    support::TraceEvent(support::TraceEventKind::TemplateRejected)
+                        .field("template", best->template_name)
+                        .field("reason", "score")
+                        .field("score", best->score)
+                        .emit();
+                }
+                if (best) count_template_decision(/*applied=*/false);
+                best = std::move(m);
+            } else {
+                if (support::trace_active()) {
+                    support::TraceEvent(support::TraceEventKind::TemplateRejected)
+                        .field("template", m->template_name)
+                        .field("reason", "score")
+                        .field("score", m->score)
+                        .emit();
+                }
+                count_template_decision(/*applied=*/false);
+            }
         }
         if (best) matches.push_back(std::move(*best));
     }
@@ -32,8 +68,28 @@ GeneralizedPath generalize(sym::ExprPool& pool, const TemplateRegistry& registry
         const bool overlaps = std::any_of(
             m.consumed.begin(), m.consumed.end(),
             [&consumed](std::size_t pos) { return consumed[pos]; });
-        if (overlaps) continue;
+        if (overlaps) {
+            if (support::trace_active()) {
+                support::TraceEvent(support::TraceEventKind::TemplateRejected)
+                    .field("template", m.template_name)
+                    .field("reason", "overlap")
+                    .field("score", m.score)
+                    .emit();
+            }
+            count_template_decision(/*applied=*/false);
+            continue;
+        }
         for (std::size_t pos : m.consumed) consumed[pos] = true;
+        if (support::trace_active()) {
+            support::TraceEvent(support::TraceEventKind::TemplateApplied)
+                .field("template", m.template_name)
+                .field("score", m.score)
+                .field("consumed", m.consumed.size())
+                .field("pred",
+                       to_string(m.quantified, support::trace_param_names()))
+                .emit();
+        }
+        count_template_decision(/*applied=*/true);
         applied.emplace_back(m.consumed.back(), &m);
     }
 

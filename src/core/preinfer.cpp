@@ -6,6 +6,8 @@
 
 #include "src/core/pred_eval.h"
 #include "src/solver/solver.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace preinfer::core {
 
@@ -74,8 +76,10 @@ InferenceResult PreInfer::infer(AclId acl, std::vector<const PathCondition*> fai
             for (const PathPredicate& p : rp.preds) keep.insert(p.expr);
 
             bool repaired = false;
+            int restored_count = 0;
             for (const PathPredicate& back : rp.pruned) {
                 keep.insert(back.expr);
+                ++restored_count;
                 // Re-project onto the original path so predicate order (and
                 // the trailing assertion-violating condition) is preserved
                 // for the generalization stage.
@@ -100,6 +104,20 @@ InferenceResult PreInfer::infer(AclId acl, std::vector<const PathCondition*> fai
                 stage1 = conjunction_of(*rp.original);
                 effective.preds = rp.original->preds;
             }
+            if (support::trace_active()) {
+                support::TraceEvent(support::TraceEventKind::PruningFallback)
+                    .field("disjunct", disjuncts.size())
+                    .field("repair", repaired ? "restored" : "original")
+                    .field("restored",
+                           repaired ? restored_count
+                                    : static_cast<int>(rp.pruned.size()))
+                    .emit();
+            }
+            if (support::metrics_enabled()) {
+                static auto& m_fallbacks = support::MetricsRegistry::global().counter(
+                    "preinfer.pruning_fallbacks");
+                m_fallbacks.add();
+            }
         }
 
         // Stage 2: collection-element generalization over the (possibly
@@ -113,6 +131,18 @@ InferenceResult PreInfer::infer(AclId acl, std::vector<const PathCondition*> fai
                 if (config_.verify_against_passing &&
                     admits_any(stage2, passing_envs)) {
                     ++result.generalization_fallbacks;
+                    if (support::trace_active()) {
+                        support::TraceEvent(
+                            support::TraceEventKind::GeneralizationFallback)
+                            .field("disjunct", disjuncts.size())
+                            .emit();
+                    }
+                    if (support::metrics_enabled()) {
+                        static auto& m_gen_fallbacks =
+                            support::MetricsRegistry::global().counter(
+                                "preinfer.generalization_fallbacks");
+                        m_gen_fallbacks.add();
+                    }
                 } else {
                     chosen = std::move(stage2);
                     ++result.generalized_paths;
@@ -121,9 +151,41 @@ InferenceResult PreInfer::infer(AclId acl, std::vector<const PathCondition*> fai
                 }
             }
         }
+        if (support::trace_active()) {
+            // The simplifier removes duplicate disjuncts when building
+            // alpha; record here which disjunct survives and which merely
+            // repeats an earlier one, so the trace explains the final
+            // disjunct count.
+            std::size_t duplicate_of = disjuncts.size();
+            for (std::size_t d = 0; d < disjuncts.size(); ++d) {
+                if (pred_equal(disjuncts[d], chosen)) {
+                    duplicate_of = d;
+                    break;
+                }
+            }
+            if (duplicate_of < disjuncts.size()) {
+                support::TraceEvent(support::TraceEventKind::DisjunctDuplicate)
+                    .field("disjunct", disjuncts.size())
+                    .field("duplicate_of", duplicate_of)
+                    .emit();
+            } else {
+                support::TraceEvent(support::TraceEventKind::DisjunctEmitted)
+                    .field("disjunct", disjuncts.size())
+                    .field("pred",
+                           to_string(chosen, support::trace_param_names()))
+                    .emit();
+            }
+        }
         disjuncts.push_back(std::move(chosen));
     }
 
+    if (support::metrics_enabled()) {
+        auto& registry = support::MetricsRegistry::global();
+        static auto& m_inferences = registry.counter("preinfer.inferences");
+        static auto& m_disjuncts = registry.counter("preinfer.disjuncts");
+        m_inferences.add();
+        m_disjuncts.add(static_cast<std::int64_t>(disjuncts.size()));
+    }
     result.alpha = simplify(pool_, make_or(std::move(disjuncts)));
     result.precondition = simplify(pool_, negate(pool_, result.alpha));
     result.inferred = true;

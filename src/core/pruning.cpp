@@ -5,6 +5,9 @@
 #include <unordered_set>
 
 #include "src/support/diagnostics.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+#include "src/sym/print.h"
 
 namespace preinfer::core {
 
@@ -42,6 +45,19 @@ struct WorkingPath {
     bool failing = false;  ///< failing at the target ACL
     std::vector<Entry> entries;
 };
+
+/// Starts a predicate_{kept,pruned,duplicate} record with the shared
+/// context fields. Only call when tracing is active.
+support::TraceEvent predicate_event(support::TraceEventKind kind, AclId acl,
+                                    const Entry& e) {
+    support::TraceEvent event(kind);
+    event.field("acl_kind", exception_kind_name(acl.kind))
+        .field("acl_node", acl.node_id)
+        .field("index", e.orig_index)
+        .field("site", e.pred.site_id)
+        .field("pred", sym::to_string(e.pred.expr, support::trace_param_names()));
+    return event;
+}
 
 }  // namespace
 
@@ -100,6 +116,14 @@ ReducedPath PredicatePruner::prune(const PathCondition& pf) {
     if (!pf.preds.empty()) {
         kept.push_back({pf.preds.back(), static_cast<int>(pf.preds.size()) - 1,
                         key_of(pf.preds.back())});
+        if (support::trace_active()) {
+            // The assertion-violating condition is kept unconditionally; it
+            // is the expression Definitions 5-6 preserve, not a candidate.
+            predicate_event(support::TraceEventKind::PredicateKept, acl_,
+                            kept.back())
+                .field("justification", "last-branch")
+                .emit();
+        }
     }
     std::unordered_set<PredKey, PredKeyHash> decided;
 
@@ -113,6 +137,10 @@ ReducedPath PredicatePruner::prune(const PathCondition& pf) {
         if (decided.count(b.key) > 0) {
             // A later duplicate of an already-decided branch (loop
             // re-execution): its fate was decided with the duplicate set.
+            if (support::trace_active()) {
+                predicate_event(support::TraceEventKind::PredicateDuplicate, acl_, b)
+                    .emit();
+            }
             wpf.entries.pop_back();
             continue;
         }
@@ -234,6 +262,11 @@ ReducedPath PredicatePruner::prune(const PathCondition& pf) {
                 conjuncts.push_back(wpf.entries[i].pred.expr);
             conjuncts.push_back(b_neg);
             ++stats_.oracle_calls;
+            if (support::metrics_enabled()) {
+                static auto& m_oracle_calls =
+                    support::MetricsRegistry::global().counter("pruning.oracle_calls");
+                m_oracle_calls.add();
+            }
             if (const auto w = oracle_->witness(conjuncts)) {
                 const bool fails_here = w->failing && w->acl == acl_;
                 if (fails_here) {
@@ -258,6 +291,34 @@ ReducedPath PredicatePruner::prune(const PathCondition& pf) {
         const bool d_impact = saw_diff_expr && !saw_same_expr;
         const bool keep = c_depend || d_impact;
         decided.insert(b.key);
+        if (support::trace_active()) {
+            // The Definition-5/6 verdict plus the raw evidence that produced
+            // it, so a trace reader can audit the decision.
+            const char* justification =
+                keep ? (c_depend && d_impact ? "both"
+                                             : (c_depend ? "c-depend" : "d-impact"))
+                     : "deviation";
+            predicate_event(keep ? support::TraceEventKind::PredicateKept
+                                 : support::TraceEventKind::PredicatePruned,
+                            acl_, b)
+                .field("justification", justification)
+                .field("reaching", saw_reaching)
+                .field("same_expr", saw_same_expr)
+                .field("diff_expr", saw_diff_expr)
+                .emit();
+        }
+        if (support::metrics_enabled()) {
+            auto& registry = support::MetricsRegistry::global();
+            static auto& m_c_depend = registry.counter("pruning.kept_c_depend");
+            static auto& m_d_impact = registry.counter("pruning.kept_d_impact");
+            static auto& m_pruned = registry.counter("pruning.pruned");
+            if (keep) {
+                if (c_depend) m_c_depend.add();
+                if (d_impact) m_d_impact.add();
+            } else {
+                m_pruned.add();
+            }
+        }
         if (keep) {
             if (c_depend) ++stats_.kept_c_depend;
             if (d_impact) ++stats_.kept_d_impact;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "src/baselines/dysy.h"
 #include "src/baselines/fixit.h"
@@ -12,7 +13,9 @@
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
 #include "src/solver/solve_cache.h"
+#include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace preinfer::eval {
 
@@ -69,6 +72,20 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     lang::label_blocks(prog);
     const lang::Method& method = prog.methods.front();
 
+    // Predicates in trace events print with the method's parameter names
+    // for the rest of this unit's pipeline.
+    support::TraceNameScope trace_names(method.param_names());
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::MethodBegin)
+            .field("subject", subject.name)
+            .field("method", sm.name)
+            .field("params", method.params.size())
+            .emit();
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "explore")
+            .emit();
+    }
+
     sym::ExprPool pool;
     // One memoization cache per (worker, method): shared by every explorer
     // built against this pool, including the validation explorer, which
@@ -79,12 +96,20 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     const gen::TestSuite suite = explorer.explore();
     const std::vector<core::AclId> observed = suite.failing_acls();
 
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "validation")
+            .emit();
+    }
+
     // Cached results are only valid under identical solver bounds.
     const bool validation_shares_cache =
         config.validation.explore.solver_config == config.explore.solver_config;
+    gen::Explorer::Stats validation_stats;
     const gen::TestSuite validation =
         build_validation_suite(pool, method, config.validation, &prog,
-                               validation_shares_cache ? &solve_cache : nullptr);
+                               validation_shares_cache ? &solve_cache : nullptr,
+                               &validation_stats);
 
     if (method_row) {
         method_row->subject = subject.name;
@@ -102,6 +127,12 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     const bool want_oracle =
         config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
 
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "infer")
+            .emit();
+    }
+
     std::vector<AclRow> rows;
     for (const core::AclId acl : observed) {
         AclRow row;
@@ -115,6 +146,15 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
         const gen::AclView view = view_for(suite, acl);
         row.failing_tests = static_cast<int>(view.failing.size());
         row.passing_tests = static_cast<int>(view.passing.size());
+
+        if (support::trace_active()) {
+            support::TraceEvent(support::TraceEventKind::AclBegin)
+                .field("acl_kind", core::exception_kind_name(acl.kind))
+                .field("acl_node", acl.node_id)
+                .field("failing", row.failing_tests)
+                .field("passing", row.passing_tests)
+                .emit();
+        }
 
         // Ground truth, if specified for this (kind, ordinal).
         std::optional<core::PredPtr> ground_truth;
@@ -178,6 +218,32 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     if (method_row) {
         method_row->cache_hits = solve_cache.stats().hits;
         method_row->cache_misses = solve_cache.stats().misses;
+        // Phase attribution: every lookup on the shared cache flows through
+        // exactly one explorer, so the per-explorer Stats partition the
+        // cache totals (asserted by tests/test_harness_parallel.cpp).
+        method_row->cache_explore = {explorer.stats().cache_hits,
+                                     explorer.stats().cache_misses};
+        method_row->cache_oracle = {oracle_explorer.stats().cache_hits,
+                                    oracle_explorer.stats().cache_misses};
+        method_row->cache_validation =
+            validation_shares_cache
+                ? MethodRow::PhaseCacheStats{validation_stats.cache_hits,
+                                             validation_stats.cache_misses}
+                : MethodRow::PhaseCacheStats{};
+    }
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::MethodEnd)
+            .field("method", sm.name)
+            .field("tests", suite.tests.size())
+            .field("acls", observed.size())
+            .emit();
+    }
+    if (support::metrics_enabled()) {
+        auto& registry = support::MetricsRegistry::global();
+        static auto& m_methods = registry.counter("harness.methods");
+        static auto& m_acls = registry.counter("harness.acls");
+        m_methods.add();
+        m_acls.add(static_cast<std::int64_t>(observed.size()));
     }
     return rows;
 }
@@ -225,12 +291,29 @@ HarnessResult run_harness(const std::vector<Subject>& subjects,
         config.jobs > 0 ? config.jobs : support::ThreadPool::default_jobs();
     std::vector<MethodRow> method_rows(units.size());
     std::vector<std::vector<AclRow>> acl_rows(units.size());
+    // One trace buffer per unit: each worker traces into the buffer of the
+    // unit it runs, and the buffers are concatenated in input order below,
+    // so the merged trace never depends on the schedule.
+    std::vector<support::TraceBuffer> trace_buffers(
+        config.trace.enabled ? units.size() : 0);
     const auto start = clock::now();
     support::parallel_for(jobs, units.size(), [&](std::size_t i) {
+        std::optional<support::TraceScope> trace_scope;
+        if (config.trace.enabled) {
+            trace_scope.emplace(trace_buffers[i], config.trace.timings);
+        }
         const auto unit_start = clock::now();
         acl_rows[i] =
             run_method(*units[i].subject, *units[i].method, config, &method_rows[i]);
-        method_rows[i].wall_ms = to_ms(clock::now() - unit_start);
+        const auto unit_wall = clock::now() - unit_start;
+        method_rows[i].wall_ms = to_ms(unit_wall);
+        if (support::metrics_enabled()) {
+            static auto& m_method_us = support::MetricsRegistry::global().histogram(
+                "harness.method_us");
+            m_method_us.observe(
+                std::chrono::duration_cast<std::chrono::microseconds>(unit_wall)
+                    .count());
+        }
     });
 
     HarnessResult result;
@@ -239,6 +322,9 @@ HarnessResult run_harness(const std::vector<Subject>& subjects,
     for (std::size_t i = 0; i < units.size(); ++i) {
         result.methods.push_back(std::move(method_rows[i]));
         for (AclRow& row : acl_rows[i]) result.acls.push_back(std::move(row));
+    }
+    for (const support::TraceBuffer& buffer : trace_buffers) {
+        result.trace.append(buffer.data());
     }
     result.census_rows = census(subjects);
     result.wall_ms = to_ms(clock::now() - start);

@@ -4,6 +4,7 @@
 #include "src/eval/acl_classify.h"
 #include "src/eval/metrics.h"
 #include "src/eval/subject.h"
+#include "src/support/trace.h"
 
 namespace preinfer::eval {
 
@@ -67,6 +68,23 @@ struct MethodRow {
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
 
+    /// Cache accounting of one pipeline phase, read from that phase's
+    /// explorer (zero when the phase ran without the shared cache).
+    struct PhaseCacheStats {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+    };
+    /// Per-phase split of the shared cache's lookups: the inference
+    /// exploration, the solver-assisted pruning oracle, and the validation
+    /// exploration. The cache-level totals above must equal the phase sums
+    /// (each lookup is attributed to exactly one phase; enforced by
+    /// tests/test_harness_parallel.cpp). `cache_validation` stays zero when
+    /// the validation solver config differs from the inference config — the
+    /// cache is not shared then and validation queries are not counted.
+    PhaseCacheStats cache_explore;
+    PhaseCacheStats cache_oracle;
+    PhaseCacheStats cache_validation;
+
     [[nodiscard]] double cache_hit_rate() const {
         const std::int64_t total = cache_hits + cache_misses;
         return total == 0 ? 0.0
@@ -88,6 +106,12 @@ struct HarnessConfig {
     /// Every (subject, method) unit runs on exactly one worker with its own
     /// ExprPool, so any jobs value yields identical result rows.
     int jobs = 0;
+    /// Structured-trace collection (docs/OBSERVABILITY.md). When enabled,
+    /// every pipeline unit records its events into a per-unit buffer;
+    /// run_harness merges the buffers in input order into
+    /// HarnessResult::trace, so the merged trace is byte-identical for
+    /// every jobs value (unless trace.timings asks for wall-clock fields).
+    support::TraceOptions trace{};
 };
 
 /// A validation explorer budget larger than the default inference budget.
@@ -99,6 +123,10 @@ struct HarnessResult {
     std::vector<SuiteCensus> census_rows;
     double wall_ms = 0.0;  ///< end-to-end harness wall-clock time
     int jobs = 1;          ///< worker count the run actually used
+
+    /// Merged JSONL trace of the whole run (empty unless config.trace.enabled);
+    /// unit buffers concatenated in input order regardless of scheduling.
+    std::string trace;
 
     /// Cache accounting summed over all method rows.
     [[nodiscard]] std::int64_t total_cache_hits() const;

@@ -38,9 +38,11 @@ Strength evaluate_strength(const lang::Method& method, core::AclId acl,
 gen::TestSuite build_validation_suite(sym::ExprPool& pool, const lang::Method& method,
                                       const ValidationConfig& config,
                                       const lang::Program* program,
-                                      solver::SolveCache* cache) {
+                                      solver::SolveCache* cache,
+                                      gen::Explorer::Stats* explorer_stats) {
     gen::Explorer explorer(pool, method, config.explore, program, cache);
     gen::TestSuite suite = explorer.explore();
+    if (explorer_stats) *explorer_stats = explorer.stats();
 
     gen::Fuzzer fuzzer(method, config.fuzz_seed);
     exec::ConcolicInterpreter interp(pool, method, config.explore.exec_limits, program);

@@ -1,9 +1,12 @@
 #include "src/gen/explorer.h"
 
+#include <chrono>
 #include <deque>
 #include <unordered_set>
 
 #include "src/gen/reconstruct.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace preinfer::gen {
 
@@ -60,17 +63,80 @@ Explorer::Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConf
       solver_(pool, config.solver_config),
       cache_(cache) {}
 
+namespace {
+
+const char* status_name(solver::SolveStatus status) {
+    switch (status) {
+        case solver::SolveStatus::Sat: return "sat";
+        case solver::SolveStatus::Unsat: return "unsat";
+        case solver::SolveStatus::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
+                         const char* cache_state, std::int64_t micros) {
+    if (support::trace_active()) {
+        support::TraceEvent event(support::TraceEventKind::SolverQuery);
+        event.field("conjuncts", conjuncts)
+            .field("status", status_name(status))
+            .field("cache", cache_state);
+        if (support::trace_timings() && micros >= 0) event.field("micros", micros);
+        event.emit();
+    }
+    if (support::metrics_enabled()) {
+        auto& registry = support::MetricsRegistry::global();
+        static auto& queries = registry.counter("solver.queries");
+        static auto& hits = registry.counter("solver.cache_hits");
+        static auto& misses = registry.counter("solver.cache_misses");
+        static auto& sat = registry.counter("solver.sat");
+        static auto& unsat = registry.counter("solver.unsat");
+        static auto& unknown = registry.counter("solver.unknown");
+        static auto& solve_us = registry.histogram("solver.solve_us");
+        queries.add();
+        if (cache_state[0] == 'h') hits.add();
+        if (cache_state[0] == 'm') misses.add();
+        switch (status) {
+            case solver::SolveStatus::Sat: sat.add(); break;
+            case solver::SolveStatus::Unsat: unsat.add(); break;
+            case solver::SolveStatus::Unknown: unknown.add(); break;
+        }
+        if (micros >= 0) solve_us.observe(micros);
+    }
+}
+
+}  // namespace
+
 solver::SolveResult Explorer::solve_conjuncts(
     std::span<const sym::Expr* const> conjuncts, const solver::Model* seed) {
+    // Observability: the clock is read only when a timing consumer is
+    // active, so the common (untraced, unmetered) path stays clock-free.
+    const bool observed = support::trace_active() || support::metrics_enabled();
+    const bool timed = support::metrics_enabled() ||
+                       (support::trace_active() && support::trace_timings());
     if (cache_ != nullptr) {
         if (const solver::SolveResult* cached = cache_->lookup(conjuncts)) {
             ++stats_.cache_hits;
+            if (observed) {
+                record_solver_query(conjuncts.size(), cached->status, "hit", -1);
+            }
             return *cached;
         }
         ++stats_.cache_misses;
     }
     ++stats_.solver_calls;
+    using clock = std::chrono::steady_clock;
+    const clock::time_point start = timed ? clock::now() : clock::time_point{};
     solver::SolveResult res = solver_.solve(conjuncts, seed);
+    if (observed) {
+        const std::int64_t micros =
+            timed ? std::chrono::duration_cast<std::chrono::microseconds>(
+                        clock::now() - start)
+                        .count()
+                  : -1;
+        record_solver_query(conjuncts.size(), res.status,
+                            cache_ != nullptr ? "miss" : "off", micros);
+    }
     if (cache_ != nullptr) cache_->insert(conjuncts, res);
     return res;
 }
@@ -93,6 +159,12 @@ TestSuite Explorer::explore() {
     // or beyond the bound.
     std::deque<std::pair<std::size_t, int>> work;
 
+    auto& registry = support::MetricsRegistry::global();
+    static auto& m_executions = registry.counter("explorer.executions");
+    static auto& m_retained = registry.counter("explorer.paths_retained");
+    static auto& m_dup_inputs = registry.counter("explorer.duplicate_inputs");
+    static auto& m_dup_paths = registry.counter("explorer.duplicate_paths");
+
     auto execute = [&](exec::Input input, int bound) {
         // Budget before dedup bookkeeping: an input rejected purely because
         // the suite is full must not enter seen_inputs, or it would be
@@ -100,19 +172,46 @@ TestSuite Explorer::explore() {
         if (static_cast<int>(suite.tests.size()) >= config_.max_tests) return;
         if (!seen_inputs.insert(input.hash()).second) {
             ++stats_.duplicate_inputs;
+            if (support::metrics_enabled()) m_dup_inputs.add();
+            if (support::trace_active()) {
+                support::TraceEvent(support::TraceEventKind::PathDuplicate)
+                    .field("reason", "input")
+                    .emit();
+            }
             return;
         }
         Test t;
         t.input = std::move(input);
         t.result = interp_.run(t.input);
         ++stats_.executions;
+        if (support::metrics_enabled()) m_executions.add();
         if (!seen_paths.insert(t.result.pc.signature()).second) {
             ++stats_.duplicate_paths;
+            if (support::metrics_enabled()) m_dup_paths.add();
+            if (support::trace_active()) {
+                support::TraceEvent(support::TraceEventKind::PathDuplicate)
+                    .field("reason", "path")
+                    .emit();
+            }
             return;  // identical path: nothing new to learn or expand
         }
         // Ids are assigned only to retained tests, keeping suite ids
         // contiguous regardless of how many duplicates were discarded.
         t.id = next_test_id_++;
+        if (support::metrics_enabled()) m_retained.add();
+        if (support::trace_active()) {
+            support::TraceEvent event(support::TraceEventKind::PathRetained);
+            event.field("test", t.id)
+                .field("preds", t.result.pc.size())
+                .field("failing", t.result.outcome.failing());
+            if (t.result.outcome.failing()) {
+                event
+                    .field("acl_kind",
+                           core::exception_kind_name(t.result.outcome.acl.kind))
+                    .field("acl_node", t.result.outcome.acl.node_id);
+            }
+            event.emit();
+        }
         suite.tests.push_back(std::move(t));
         work.emplace_back(suite.tests.size() - 1, bound);
     };

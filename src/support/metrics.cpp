@@ -1,0 +1,141 @@
+#include "src/support/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace preinfer::support {
+
+namespace {
+
+/// Lock-free monotone update: keep the extremum of `current` and `sample`.
+template <typename Cmp>
+void update_extremum(std::atomic<std::int64_t>& slot, std::int64_t sample, Cmp better) {
+    std::int64_t current = slot.load(std::memory_order_relaxed);
+    while (better(sample, current) &&
+           !slot.compare_exchange_weak(current, sample, std::memory_order_relaxed)) {
+    }
+}
+
+int bucket_of(std::int64_t sample) {
+    if (sample <= 0) return 0;
+    const int width = std::bit_width(static_cast<std::uint64_t>(sample));
+    return std::min(width, MetricHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void MetricHistogram::observe(std::int64_t sample) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    update_extremum(min_, sample, std::less<>());
+    update_extremum(max_, sample, std::greater<>());
+    buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t MetricHistogram::min() const {
+    const std::int64_t v = min_.load(std::memory_order_relaxed);
+    return v == INT64_MAX ? 0 : v;
+}
+
+std::int64_t MetricHistogram::max() const {
+    const std::int64_t v = max_.load(std::memory_order_relaxed);
+    return v == INT64_MIN ? 0 : v;
+}
+
+double MetricHistogram::mean() const {
+    const std::int64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::int64_t MetricHistogram::quantile_bound(double q) const {
+    const std::int64_t n = count();
+    if (n == 0) return 0;
+    const auto rank = static_cast<std::int64_t>(q * static_cast<double>(n - 1));
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b].load(std::memory_order_relaxed);
+        if (seen > rank) {
+            // Bucket b holds samples with bit_width b: upper bound 2^b - 1.
+            return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+        }
+    }
+    return max();
+}
+
+void MetricHistogram::reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(INT64_MAX, std::memory_order_relaxed);
+    max_.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    return counters_[std::string(name)];
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_[std::string(name)];
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<CounterRow> rows;
+    rows.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) rows.push_back({name, c.value()});
+    return rows;  // std::map iteration order is already sorted by name
+}
+
+std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::histograms() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<HistogramRow> rows;
+    rows.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        rows.push_back({name, h.count(), h.sum(), h.min(), h.max(), h.mean(),
+                        h.quantile_bound(0.5), h.quantile_bound(0.99)});
+    }
+    return rows;
+}
+
+std::string MetricsRegistry::summary() const {
+    std::string out = "[metrics]\n";
+    for (const CounterRow& row : counters()) {
+        if (row.value == 0) continue;
+        char line[160];
+        std::snprintf(line, sizeof(line), "  %-38s %lld\n", row.name.c_str(),
+                      static_cast<long long>(row.value));
+        out += line;
+    }
+    for (const HistogramRow& row : histograms()) {
+        if (row.count == 0) continue;
+        char line[240];
+        std::snprintf(line, sizeof(line),
+                      "  %-38s count=%lld mean=%.1f min=%lld max=%lld "
+                      "p50<=%lld p99<=%lld\n",
+                      row.name.c_str(), static_cast<long long>(row.count), row.mean,
+                      static_cast<long long>(row.min), static_cast<long long>(row.max),
+                      static_cast<long long>(row.p50), static_cast<long long>(row.p99));
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace preinfer::support

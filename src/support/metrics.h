@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace preinfer::support {
+
+namespace metrics_detail {
+/// Global on/off switch, read on every hot-path update. A relaxed atomic
+/// load compiles to a plain load; instrumented code checks it before doing
+/// any work, so the disabled cost is one predictable branch.
+inline std::atomic<bool> g_metrics_enabled{false};
+}  // namespace metrics_detail
+
+[[nodiscard]] inline bool metrics_enabled() {
+    return metrics_detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// A monotonically increasing named count. Thread-safe; updates are relaxed
+/// atomics (aggregates have no ordering requirement).
+class MetricCounter {
+public:
+    void add(std::int64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// A named distribution of non-negative integer samples (microseconds,
+/// sizes). Tracks count / sum / min / max exactly plus power-of-two buckets
+/// for percentile estimates. Thread-safe, lock-free.
+class MetricHistogram {
+public:
+    static constexpr int kBuckets = 32;  ///< bucket b holds samples with bit_width b
+
+    void observe(std::int64_t sample);
+
+    [[nodiscard]] std::int64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t min() const;  ///< 0 when empty
+    [[nodiscard]] std::int64_t max() const;  ///< 0 when empty
+    [[nodiscard]] double mean() const;
+
+    /// Upper bound of the bucket containing the q-th quantile (q in [0,1]);
+    /// 0 when empty. Power-of-two resolution — good enough for "is p99 a
+    /// millisecond or a second" summaries.
+    [[nodiscard]] std::int64_t quantile_bound(double q) const;
+
+    void reset();
+
+private:
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<std::int64_t> sum_{0};
+    std::atomic<std::int64_t> min_{INT64_MAX};
+    std::atomic<std::int64_t> max_{INT64_MIN};
+    std::atomic<std::int64_t> buckets_[kBuckets]{};
+};
+
+/// Process-wide registry of named counters and histograms. Lookup interns
+/// the name under a mutex and returns a stable reference, so hot paths
+/// should look up once (function-local static) and then update lock-free:
+///
+///   static auto& queries = MetricsRegistry::global().counter("solver.queries");
+///   if (support::metrics_enabled()) queries.add();
+///
+/// The registry itself is always available; `set_enabled` only flips the
+/// flag instrumented code consults. Metric names are dotted paths
+/// ("layer.metric", catalogued in docs/OBSERVABILITY.md).
+class MetricsRegistry {
+public:
+    static MetricsRegistry& global();
+
+    void set_enabled(bool enabled) {
+        metrics_detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] MetricCounter& counter(std::string_view name);
+    [[nodiscard]] MetricHistogram& histogram(std::string_view name);
+
+    /// Zeroes every registered metric (entries stay registered).
+    void reset();
+
+    struct CounterRow {
+        std::string name;
+        std::int64_t value = 0;
+    };
+    struct HistogramRow {
+        std::string name;
+        std::int64_t count = 0;
+        std::int64_t sum = 0;
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+        double mean = 0.0;
+        std::int64_t p50 = 0;
+        std::int64_t p99 = 0;
+    };
+
+    /// Point-in-time copies, sorted by name (deterministic output order).
+    [[nodiscard]] std::vector<CounterRow> counters() const;
+    [[nodiscard]] std::vector<HistogramRow> histograms() const;
+
+    /// The human-readable `[metrics]` block the CLI's --metrics flag and the
+    /// bench binaries print: one line per non-zero metric, sorted by name.
+    [[nodiscard]] std::string summary() const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, MetricCounter, std::less<>> counters_;
+    std::map<std::string, MetricHistogram, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer: on destruction, records the elapsed microseconds
+/// into the histogram — but only when metrics were enabled at construction
+/// (the disabled path never reads the clock).
+class ScopedTimer {
+public:
+    explicit ScopedTimer(MetricHistogram& histogram)
+        : histogram_(metrics_enabled() ? &histogram : nullptr) {
+        if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer() {
+        if (histogram_ == nullptr) return;
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        histogram_->observe(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    MetricHistogram* histogram_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace preinfer::support

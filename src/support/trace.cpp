@@ -1,0 +1,71 @@
+#include "src/support/trace.h"
+
+namespace preinfer::support {
+
+void json_escape_to(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char kHex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += kHex[(c >> 4) & 0xf];
+                    out += kHex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+TraceEvent::TraceEvent(TraceEventKind kind) {
+    line_.reserve(96);
+    line_ += "{\"event\":\"";
+    line_ += trace_event_name(kind);
+    line_ += '"';
+}
+
+TraceEvent::~TraceEvent() {
+    if (!emitted_) emit();
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::string_view value) {
+    line_ += ",\"";
+    json_escape_to(line_, key);
+    line_ += "\":\"";
+    json_escape_to(line_, value);
+    line_ += '"';
+    return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::int64_t value) {
+    line_ += ",\"";
+    json_escape_to(line_, key);
+    line_ += "\":";
+    line_ += std::to_string(value);
+    return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, bool value) {
+    line_ += ",\"";
+    json_escape_to(line_, key);
+    line_ += "\":";
+    line_ += value ? "true" : "false";
+    return *this;
+}
+
+void TraceEvent::emit() {
+    if (emitted_) return;
+    emitted_ = true;
+    line_ += "}\n";
+    if (TraceBuffer* buffer = trace_detail::g_trace_tls.buffer) {
+        buffer->append(line_);
+    }
+}
+
+}  // namespace preinfer::support

@@ -1,0 +1,224 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace preinfer::support {
+
+/// Every structured-trace event kind the pipeline can emit. The numeric
+/// values index kTraceEventNames; the names are the `"event"` field of the
+/// JSONL records and the authoritative schema vocabulary documented in
+/// docs/OBSERVABILITY.md (the two are kept in sync by tools/docs_check,
+/// wired into ctest as `preinfer_docs_check`).
+enum class TraceEventKind : std::uint8_t {
+    MethodBegin,             ///< one pipeline unit (subject, method) starts
+    MethodEnd,               ///< ... and ends, with suite-level totals
+    PhaseBegin,              ///< explore / validation / infer phase boundary
+    AclBegin,                ///< inference for one ACL starts
+    PathRetained,            ///< explorer kept a new test in the suite
+    PathDuplicate,           ///< explorer discarded a duplicate input/path
+    SolverQuery,             ///< one memoized-or-solved conjunction query
+    PredicateKept,           ///< Algorithm 1 kept a predicate (Def. 5/6)
+    PredicatePruned,         ///< Algorithm 1 pruned a predicate
+    PredicateDuplicate,      ///< later occurrence of an already-decided branch
+    TemplateApplied,         ///< a generalization template fired
+    TemplateRejected,        ///< a candidate match lost (score or overlap)
+    PruningFallback,         ///< disjunct restored pruned predicates
+    GeneralizationFallback,  ///< disjunct reverted to its pruned form
+    DisjunctEmitted,         ///< one disjunct of alpha, as inferred
+    DisjunctDuplicate,       ///< disjunct dropped: duplicates an earlier one
+};
+
+/// JSONL `"event"` names, indexed by TraceEventKind. tools/docs_check
+/// extracts the quoted strings between the braces below and diffs them
+/// against the event catalog in docs/OBSERVABILITY.md — keep the list flat
+/// and literal.
+inline constexpr const char* kTraceEventNames[] = {
+    "method_begin",
+    "method_end",
+    "phase_begin",
+    "acl_begin",
+    "path_retained",
+    "path_duplicate",
+    "solver_query",
+    "predicate_kept",
+    "predicate_pruned",
+    "predicate_duplicate",
+    "template_applied",
+    "template_rejected",
+    "pruning_fallback",
+    "generalization_fallback",
+    "disjunct_emitted",
+    "disjunct_duplicate",
+};
+
+inline constexpr std::size_t kTraceEventCount =
+    sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]);
+
+[[nodiscard]] constexpr const char* trace_event_name(TraceEventKind kind) {
+    return kTraceEventNames[static_cast<std::size_t>(kind)];
+}
+
+/// Knobs for one trace collection.
+struct TraceOptions {
+    bool enabled = false;
+    /// Attach wall-clock fields (`micros` on solver_query). Off by default:
+    /// timing fields are the only nondeterministic record content, and the
+    /// byte-identity guarantee across --jobs values (and across runs) only
+    /// holds without them. Aggregate timing belongs to the metrics registry.
+    bool timings = false;
+};
+
+/// Serialized JSONL lines of one pipeline unit. One buffer per
+/// (subject, method) unit: the harness merges buffers in input order after
+/// the parallel fan-out, which is what makes whole-run traces byte-identical
+/// for every --jobs value.
+class TraceBuffer {
+public:
+    void append(std::string_view bytes) { data_.append(bytes); }
+    [[nodiscard]] const std::string& data() const { return data_; }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+    void clear() { data_.clear(); }
+
+private:
+    std::string data_;
+};
+
+namespace trace_detail {
+
+/// Thread-local emission slot. A null buffer means tracing is off for this
+/// thread, so the disabled fast path is a single thread-local load compare
+/// (see trace_active()) and instrumented code never evaluates its event
+/// arguments. Parallel pipelines get per-worker isolation for free: each
+/// unit installs its own buffer on the worker running it.
+struct TraceTls {
+    TraceBuffer* buffer = nullptr;
+    bool timings = false;
+    const std::vector<std::string>* param_names = nullptr;
+};
+
+inline thread_local TraceTls g_trace_tls;
+
+}  // namespace trace_detail
+
+/// True iff a TraceScope is installed on this thread. Instrumentation must
+/// check this before building event payloads (strings in particular).
+[[nodiscard]] inline bool trace_active() {
+    return trace_detail::g_trace_tls.buffer != nullptr;
+}
+
+/// True iff the active scope asked for wall-clock fields.
+[[nodiscard]] inline bool trace_timings() {
+    return trace_detail::g_trace_tls.timings;
+}
+
+/// The buffer events on this thread currently append to (nullptr when
+/// tracing is off). Orchestration code uses this to splice per-worker
+/// buffers into an enclosing scope's buffer in deterministic order.
+[[nodiscard]] inline TraceBuffer* active_trace_buffer() {
+    return trace_detail::g_trace_tls.buffer;
+}
+
+/// Parameter names of the method currently being traced (empty span when
+/// none are installed); used to print predicate expressions with their
+/// source names instead of positional p0/p1/...
+[[nodiscard]] inline std::span<const std::string> trace_param_names() {
+    const auto* names = trace_detail::g_trace_tls.param_names;
+    return names ? std::span<const std::string>(*names)
+                 : std::span<const std::string>();
+}
+
+/// RAII activation of tracing on the current thread: events emitted between
+/// construction and destruction are appended to `buffer`. Scopes nest; the
+/// previous slot is restored on destruction.
+class TraceScope {
+public:
+    explicit TraceScope(TraceBuffer& buffer, bool timings = false)
+        : prev_(trace_detail::g_trace_tls) {
+        trace_detail::g_trace_tls.buffer = &buffer;
+        trace_detail::g_trace_tls.timings = timings;
+    }
+    ~TraceScope() { trace_detail::g_trace_tls = prev_; }
+
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+    trace_detail::TraceTls prev_;
+};
+
+/// RAII installation of the method parameter names events should print
+/// predicates with. Install once per pipeline unit, after parsing.
+class TraceNameScope {
+public:
+    explicit TraceNameScope(std::vector<std::string> names)
+        : names_(std::move(names)),
+          prev_(trace_detail::g_trace_tls.param_names) {
+        trace_detail::g_trace_tls.param_names = &names_;
+    }
+    ~TraceNameScope() { trace_detail::g_trace_tls.param_names = prev_; }
+
+    TraceNameScope(const TraceNameScope&) = delete;
+    TraceNameScope& operator=(const TraceNameScope&) = delete;
+
+private:
+    std::vector<std::string> names_;
+    const std::vector<std::string>* prev_;
+};
+
+/// Builder for one JSONL record. Construct only when trace_active(): the
+/// constructor unconditionally writes into the thread-local buffer.
+///
+///   if (support::trace_active()) {
+///       support::TraceEvent(support::TraceEventKind::PathRetained)
+///           .field("test", id)
+///           .field("preds", n)
+///           .emit();
+///   }
+///
+/// Fields appear in insertion order after the leading `"event"` key; values
+/// are strings (JSON-escaped), integers, or booleans. emit() terminates the
+/// record; a destructed-but-unemitted event is completed automatically so
+/// the buffer never holds a torn line.
+class TraceEvent {
+public:
+    explicit TraceEvent(TraceEventKind kind);
+    ~TraceEvent();
+
+    TraceEvent(const TraceEvent&) = delete;
+    TraceEvent& operator=(const TraceEvent&) = delete;
+    /// Movable so helpers can prefill shared context fields and return the
+    /// builder; the moved-from event is defused (it will not emit).
+    TraceEvent(TraceEvent&& other) noexcept
+        : line_(std::move(other.line_)), emitted_(other.emitted_) {
+        other.emitted_ = true;
+    }
+
+    TraceEvent& field(std::string_view key, std::string_view value);
+    TraceEvent& field(std::string_view key, const char* value) {
+        return field(key, std::string_view(value));
+    }
+    TraceEvent& field(std::string_view key, std::int64_t value);
+    TraceEvent& field(std::string_view key, int value) {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    TraceEvent& field(std::string_view key, std::size_t value) {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    TraceEvent& field(std::string_view key, bool value);
+
+    void emit();
+
+private:
+    std::string line_;
+    bool emitted_ = false;
+};
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Exposed for the trace reader's round-trip tests.
+void json_escape_to(std::string& out, std::string_view s);
+
+}  // namespace preinfer::support

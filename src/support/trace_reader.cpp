@@ -1,0 +1,221 @@
+#include "src/support/trace_reader.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+
+#include "src/support/trace.h"
+
+namespace preinfer::support {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+    if (error != nullptr) *error = std::move(message);
+}
+
+/// Cursor over one line; the grammar is the flat-object subset TraceEvent
+/// writes: {"key":"string", "key":-123, "key":true|false}.
+struct Cursor {
+    std::string_view s;
+    std::size_t pos = 0;
+
+    [[nodiscard]] bool done() const { return pos >= s.size(); }
+    [[nodiscard]] char peek() const { return s[pos]; }
+    bool eat(char c) {
+        if (done() || s[pos] != c) return false;
+        ++pos;
+        return true;
+    }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+    if (!c.eat('"')) return false;
+    while (!c.done()) {
+        const char ch = c.s[c.pos++];
+        if (ch == '"') return true;
+        if (ch != '\\') {
+            out += ch;
+            continue;
+        }
+        if (c.done()) return false;
+        const char esc = c.s[c.pos++];
+        switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (c.pos + 4 > c.s.size()) return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = c.s[c.pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        return false;
+                    }
+                }
+                // The emitter only produces \u00XX control escapes.
+                out += static_cast<char>(code & 0xff);
+                break;
+            }
+            default: return false;
+        }
+    }
+    return false;
+}
+
+/// Number / true / false literals are kept verbatim.
+bool parse_literal(Cursor& c, std::string& out) {
+    const std::size_t start = c.pos;
+    while (!c.done()) {
+        const char ch = c.peek();
+        if (ch == ',' || ch == '}') break;
+        ++c.pos;
+    }
+    if (c.pos == start) return false;
+    out.assign(c.s.substr(start, c.pos - start));
+    if (out == "true" || out == "false") return true;
+    char* end = nullptr;
+    const std::string copy = out;
+    (void)std::strtoll(copy.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+const std::string* TraceRecord::find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+std::int64_t TraceRecord::find_int(std::string_view key, std::int64_t fallback) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return fallback;
+    return parsed;
+}
+
+std::optional<TraceRecord> parse_trace_line(std::string_view line, std::string* error) {
+    Cursor c{line};
+    if (!c.eat('{')) {
+        set_error(error, "record does not start with '{'");
+        return std::nullopt;
+    }
+    TraceRecord record;
+    bool first = true;
+    while (true) {
+        if (c.eat('}')) break;
+        if (!first && !c.eat(',')) {
+            set_error(error, "expected ',' or '}' between fields");
+            return std::nullopt;
+        }
+        std::string key;
+        if (!parse_string(c, key)) {
+            set_error(error, "malformed field key");
+            return std::nullopt;
+        }
+        if (!c.eat(':')) {
+            set_error(error, "expected ':' after key \"" + key + "\"");
+            return std::nullopt;
+        }
+        std::string value;
+        if (!c.done() && c.peek() == '"') {
+            if (!parse_string(c, value)) {
+                set_error(error, "malformed string value for \"" + key + "\"");
+                return std::nullopt;
+            }
+        } else if (!parse_literal(c, value)) {
+            set_error(error, "malformed value for \"" + key + "\"");
+            return std::nullopt;
+        }
+        if (first) {
+            if (key != "event") {
+                set_error(error, "first field must be \"event\", got \"" + key + "\"");
+                return std::nullopt;
+            }
+            record.event = std::move(value);
+        } else {
+            record.fields.emplace_back(std::move(key), std::move(value));
+        }
+        first = false;
+    }
+    if (first) {
+        set_error(error, "empty record");
+        return std::nullopt;
+    }
+    if (c.pos != line.size()) {
+        set_error(error, "trailing bytes after record");
+        return std::nullopt;
+    }
+    return record;
+}
+
+std::vector<std::string_view> required_trace_fields(std::string_view event) {
+    if (event == "method_begin") return {"method"};
+    if (event == "method_end") return {"method", "tests", "acls"};
+    if (event == "phase_begin") return {"phase"};
+    if (event == "acl_begin") return {"acl_kind", "acl_node", "failing", "passing"};
+    if (event == "path_retained") return {"test", "preds", "failing"};
+    if (event == "path_duplicate") return {"reason"};
+    if (event == "solver_query") return {"conjuncts", "status", "cache"};
+    if (event == "predicate_kept") {
+        return {"acl_kind", "acl_node", "index", "site", "pred", "justification"};
+    }
+    if (event == "predicate_pruned") {
+        return {"acl_kind", "acl_node", "index", "site", "pred", "justification"};
+    }
+    if (event == "predicate_duplicate") {
+        return {"acl_kind", "acl_node", "index", "site", "pred"};
+    }
+    if (event == "template_applied") return {"template", "score", "consumed"};
+    if (event == "template_rejected") return {"template", "reason"};
+    if (event == "pruning_fallback") return {"disjunct", "repair", "restored"};
+    if (event == "generalization_fallback") return {"disjunct"};
+    if (event == "disjunct_emitted") return {"disjunct", "pred"};
+    if (event == "disjunct_duplicate") return {"disjunct", "duplicate_of"};
+    return {};
+}
+
+long validate_trace(std::istream& in, std::string* error) {
+    long records = 0;
+    long line_no = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        std::string parse_error;
+        const std::optional<TraceRecord> record = parse_trace_line(line, &parse_error);
+        const auto fail = [&](const std::string& why) {
+            set_error(error, "line " + std::to_string(line_no) + ": " + why);
+            return -1;
+        };
+        if (!record) return fail(parse_error);
+        const bool known = std::any_of(
+            std::begin(kTraceEventNames), std::end(kTraceEventNames),
+            [&](const char* name) { return record->event == name; });
+        if (!known) return fail("unknown event \"" + record->event + "\"");
+        for (const std::string_view field : required_trace_fields(record->event)) {
+            if (record->find(field) == nullptr) {
+                return fail("event \"" + record->event + "\" missing field \"" +
+                            std::string(field) + "\"");
+            }
+        }
+        ++records;
+    }
+    return records;
+}
+
+}  // namespace preinfer::support

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace preinfer::support {
+
+/// One parsed trace record: the event kind plus the remaining fields in
+/// file order, with string values unescaped and numbers/booleans kept as
+/// their literal spelling.
+struct TraceRecord {
+    std::string event;
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    /// The value of a field, or nullptr when absent.
+    [[nodiscard]] const std::string* find(std::string_view key) const;
+    /// Integer value of a field; `fallback` when absent or non-numeric.
+    [[nodiscard]] std::int64_t find_int(std::string_view key,
+                                        std::int64_t fallback = 0) const;
+};
+
+/// Parses one JSONL trace line (the flat-object subset TraceEvent emits:
+/// string, integer, and boolean values; no nesting). Returns nullopt and
+/// fills `error` (when given) on malformed input or when the leading field
+/// is not `"event"`.
+[[nodiscard]] std::optional<TraceRecord> parse_trace_line(
+    std::string_view line, std::string* error = nullptr);
+
+/// Validates a whole trace stream against the schema contract documented in
+/// docs/OBSERVABILITY.md: every line parses, names a known event kind, and
+/// carries that kind's required fields. Returns the number of valid records;
+/// on failure returns -1 and describes the first offending line in `error`.
+[[nodiscard]] long validate_trace(std::istream& in, std::string* error = nullptr);
+
+/// Required field names for one event kind (empty for unknown kinds); the
+/// validator and docs/OBSERVABILITY.md agree on these.
+[[nodiscard]] std::vector<std::string_view> required_trace_fields(
+    std::string_view event);
+
+}  // namespace preinfer::support

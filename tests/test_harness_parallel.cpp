@@ -105,6 +105,54 @@ TEST(HarnessParallel, MethodCsvCarriesPerfColumns) {
     EXPECT_NE(out.str().find("wall_ms,cache_hits,cache_misses,cache_hit_rate"),
               std::string::npos)
         << out.str();
+    EXPECT_NE(out.str().find("explore_hits,explore_misses,oracle_hits,"
+                             "oracle_misses,validation_hits,validation_misses"),
+              std::string::npos)
+        << out.str();
+}
+
+TEST(HarnessParallel, PhaseCacheStatsPartitionTheSharedCacheTotals) {
+    // Regression: one solve cache is shared by the inference explorer, the
+    // pruning-oracle explorer, and (under equal solver configs) the
+    // validation explorer. Every lookup flows through exactly one of them,
+    // so the per-phase split must sum to the cache-level totals — no lookup
+    // double-counted, none lost (the validation explorer's stats used to be
+    // discarded inside build_validation_suite).
+    const HarnessResult result = run_harness(tiny_corpus(), small_config(2));
+    ASSERT_FALSE(result.methods.empty());
+    for (const MethodRow& m : result.methods) {
+        EXPECT_EQ(m.cache_hits, m.cache_explore.hits + m.cache_oracle.hits +
+                                    m.cache_validation.hits)
+            << m.method;
+        EXPECT_EQ(m.cache_misses, m.cache_explore.misses + m.cache_oracle.misses +
+                                      m.cache_validation.misses)
+            << m.method;
+        // default_harness_config keeps the validation solver config equal to
+        // the inference config, so validation shares the cache and replays
+        // the inference exploration: its lookups must show up as hits.
+        EXPECT_GT(m.cache_validation.hits, 0) << m.method;
+        // The inference exploration runs first against an empty cache.
+        EXPECT_GT(m.cache_explore.misses, 0) << m.method;
+    }
+}
+
+TEST(HarnessParallel, UnsharedValidationCacheCountsNoValidationLookups) {
+    // When the validation solver config differs, its explorer must not touch
+    // the shared cache (cached results are only valid under identical
+    // bounds), and the validation phase split stays zero.
+    HarnessConfig config = small_config(1);
+    config.validation.explore.solver_config.max_nodes =
+        config.explore.solver_config.max_nodes + 1;
+    const HarnessResult result = run_harness(tiny_corpus(), config);
+    ASSERT_FALSE(result.methods.empty());
+    for (const MethodRow& m : result.methods) {
+        EXPECT_EQ(m.cache_validation.hits, 0) << m.method;
+        EXPECT_EQ(m.cache_validation.misses, 0) << m.method;
+        EXPECT_EQ(m.cache_hits, m.cache_explore.hits + m.cache_oracle.hits)
+            << m.method;
+        EXPECT_EQ(m.cache_misses, m.cache_explore.misses + m.cache_oracle.misses)
+            << m.method;
+    }
 }
 
 class ExplorerRegressionTest : public ::testing::Test {

@@ -1,0 +1,328 @@
+// Contracts of the observability layer: traces are schema-valid JSONL,
+// byte-identical across --jobs values, absent (and free) when disabled;
+// the metrics registry aggregates correctly under concurrency; the CLI
+// wires --trace and --metrics end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/cli/driver.h"
+#include "src/eval/harness.h"
+#include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
+#include "src/support/trace.h"
+#include "src/support/trace_reader.h"
+
+namespace preinfer::support {
+namespace {
+
+TEST(TraceEventTest, EmitsOneFlatJsonObjectPerEvent) {
+    TraceBuffer buffer;
+    {
+        TraceScope scope(buffer);
+        ASSERT_TRUE(trace_active());
+        TraceEvent(TraceEventKind::SolverQuery)
+            .field("conjuncts", 3)
+            .field("status", "sat")
+            .field("cache", "hit")
+            .emit();
+        TraceEvent(TraceEventKind::PathDuplicate).field("reason", "path").emit();
+    }
+    EXPECT_FALSE(trace_active());
+    EXPECT_EQ(buffer.data(),
+              "{\"event\":\"solver_query\",\"conjuncts\":3,\"status\":\"sat\","
+              "\"cache\":\"hit\"}\n"
+              "{\"event\":\"path_duplicate\",\"reason\":\"path\"}\n");
+}
+
+TEST(TraceEventTest, EscapesStringsAndSurvivesRoundTrip) {
+    TraceBuffer buffer;
+    {
+        TraceScope scope(buffer);
+        TraceEvent(TraceEventKind::DisjunctEmitted)
+            .field("disjunct", 0)
+            .field("pred", "a \"quoted\" \\ back\nslash\tand\x01control")
+            .emit();
+    }
+    auto record = parse_trace_line(
+        buffer.data().substr(0, buffer.data().size() - 1));  // strip newline
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->event, "disjunct_emitted");
+    const std::string* pred = record->find("pred");
+    ASSERT_NE(pred, nullptr);
+    EXPECT_EQ(*pred, "a \"quoted\" \\ back\nslash\tand\x01control");
+}
+
+TEST(TraceEventTest, DestructorCompletesUnemittedEvents) {
+    TraceBuffer buffer;
+    {
+        TraceScope scope(buffer);
+        { TraceEvent e(TraceEventKind::PhaseBegin); e.field("phase", "explore"); }
+    }
+    std::istringstream in(buffer.data());
+    std::string error;
+    EXPECT_EQ(validate_trace(in, &error), 1) << error;
+}
+
+TEST(TraceEventTest, ScopesNestAndRestoreThePreviousSlot) {
+    TraceBuffer outer_buffer, inner_buffer;
+    TraceScope outer(outer_buffer);
+    {
+        TraceScope inner(inner_buffer);
+        TraceEvent(TraceEventKind::PhaseBegin).field("phase", "infer").emit();
+    }
+    TraceEvent(TraceEventKind::PhaseBegin).field("phase", "explore").emit();
+    EXPECT_NE(inner_buffer.data().find("infer"), std::string::npos);
+    EXPECT_NE(outer_buffer.data().find("explore"), std::string::npos);
+    EXPECT_EQ(outer_buffer.data().find("infer"), std::string::npos);
+}
+
+TEST(TraceReaderTest, RejectsMalformedLinesAndUnknownEvents) {
+    std::string error;
+    EXPECT_FALSE(parse_trace_line("", &error).has_value());
+    EXPECT_FALSE(parse_trace_line("not json", &error).has_value());
+    EXPECT_FALSE(parse_trace_line("{\"event\":\"x\"", &error).has_value());
+    EXPECT_FALSE(parse_trace_line("{\"first\":\"solver_query\"}", &error)
+                     .has_value());  // leading key must be "event"
+
+    // Unknown kinds and missing required fields parse but do not validate.
+    std::istringstream unknown("{\"event\":\"no_such_event\"}\n");
+    EXPECT_EQ(validate_trace(unknown, &error), -1);
+    std::istringstream missing("{\"event\":\"solver_query\",\"status\":\"sat\"}\n");
+    EXPECT_EQ(validate_trace(missing, &error), -1);
+    EXPECT_NE(error.find("conjuncts"), std::string::npos) << error;
+}
+
+TEST(TraceReaderTest, EveryEventKindHasRequiredFieldsListed) {
+    // The validator's schema table must cover the full vocabulary; an event
+    // added to trace.h without a validator entry would silently validate.
+    for (std::size_t i = 0; i < kTraceEventCount; ++i) {
+        EXPECT_FALSE(required_trace_fields(kTraceEventNames[i]).empty())
+            << kTraceEventNames[i];
+    }
+    EXPECT_TRUE(required_trace_fields("no_such_event").empty());
+}
+
+class HarnessTraceTest : public ::testing::Test {
+protected:
+    static std::vector<eval::Subject> corpus() {
+        eval::Subject subject;
+        subject.name = "Trace.Test";
+        subject.suite = "Trace";
+        subject.methods.push_back(
+            {"div", "method div(a: int, b: int) : int { return a / b; }",
+             {{core::ExceptionKind::DivideByZero, 0, "b != 0"}}});
+        subject.methods.push_back({"sum", R"(
+method sum(xs: int[]) : int {
+    var s = 0;
+    for (var i = 0; i < xs.len; i = i + 1) { s = s + xs[i]; }
+    return s;
+})",
+                                   {{core::ExceptionKind::NullReference, 0,
+                                     "xs != null"}}});
+        return {subject};
+    }
+
+    static eval::HarnessConfig config(int jobs, bool tracing) {
+        eval::HarnessConfig c = eval::default_harness_config();
+        c.explore.max_tests = 48;
+        c.explore.max_solver_calls = 600;
+        c.validation.explore.max_tests = 80;
+        c.validation.explore.max_solver_calls = 900;
+        c.validation.fuzz_count = 40;
+        c.jobs = jobs;
+        c.trace.enabled = tracing;
+        return c;
+    }
+};
+
+TEST_F(HarnessTraceTest, TraceIsSchemaValidJsonl) {
+    const eval::HarnessResult result =
+        eval::run_harness(corpus(), config(2, /*tracing=*/true));
+    ASSERT_FALSE(result.trace.empty());
+    std::istringstream in(result.trace);
+    std::string error;
+    const long records = validate_trace(in, &error);
+    ASSERT_GT(records, 0) << error;
+
+    // The pipeline-shape events all appear, one unit per method.
+    EXPECT_NE(result.trace.find("\"event\":\"method_begin\""), std::string::npos);
+    EXPECT_NE(result.trace.find("\"event\":\"path_retained\""), std::string::npos);
+    EXPECT_NE(result.trace.find("\"event\":\"solver_query\""), std::string::npos);
+    EXPECT_NE(result.trace.find("\"event\":\"predicate_kept\""),
+              std::string::npos);
+    EXPECT_NE(result.trace.find("\"event\":\"disjunct_emitted\""),
+              std::string::npos);
+    EXPECT_NE(result.trace.find("\"event\":\"method_end\""), std::string::npos);
+}
+
+TEST_F(HarnessTraceTest, TraceIsByteIdenticalForAnyJobsValue) {
+    const eval::HarnessResult one =
+        eval::run_harness(corpus(), config(1, /*tracing=*/true));
+    const eval::HarnessResult four =
+        eval::run_harness(corpus(), config(4, /*tracing=*/true));
+    const eval::HarnessResult eight =
+        eval::run_harness(corpus(), config(8, /*tracing=*/true));
+    ASSERT_FALSE(one.trace.empty());
+    EXPECT_EQ(one.trace, four.trace);
+    EXPECT_EQ(one.trace, eight.trace);
+}
+
+TEST_F(HarnessTraceTest, DisabledTracingProducesNoBytes) {
+    EXPECT_FALSE(trace_active());  // nothing may leak a scope into the suite
+    const eval::HarnessResult result =
+        eval::run_harness(corpus(), config(2, /*tracing=*/false));
+    EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(MetricsTest, CountersAndHistogramsAggregateAcrossThreads) {
+    auto& registry = MetricsRegistry::global();
+    registry.set_enabled(true);
+    registry.reset();
+    auto& counter = registry.counter("test.concurrent_counter");
+    auto& histogram = registry.histogram("test.concurrent_histogram");
+
+    constexpr int kPerIndex = 1000;
+    support::parallel_for(8, 16, [&](std::size_t i) {
+        for (int n = 0; n < kPerIndex; ++n) {
+            counter.add();
+            histogram.observe(static_cast<std::int64_t>(i));
+        }
+    });
+    registry.set_enabled(false);
+
+    EXPECT_EQ(counter.value(), 16 * kPerIndex);
+    EXPECT_EQ(histogram.count(), 16 * kPerIndex);
+    EXPECT_EQ(histogram.min(), 0);
+    EXPECT_EQ(histogram.max(), 15);
+    const std::int64_t expected_sum = kPerIndex * (15 * 16 / 2);
+    EXPECT_EQ(histogram.sum(), expected_sum);
+}
+
+TEST(MetricsTest, RegistryLookupIsStableAndResetZeroes) {
+    auto& registry = MetricsRegistry::global();
+    auto& a = registry.counter("test.stable");
+    auto& b = registry.counter("test.stable");
+    EXPECT_EQ(&a, &b);
+    a.add(41);
+    registry.reset();
+    EXPECT_EQ(b.value(), 0);
+}
+
+TEST(MetricsTest, ScopedTimerOnlyRecordsWhenEnabled) {
+    auto& registry = MetricsRegistry::global();
+    auto& histogram = registry.histogram("test.scoped_timer");
+    registry.reset();
+
+    registry.set_enabled(false);
+    { ScopedTimer t(histogram); }
+    EXPECT_EQ(histogram.count(), 0);
+
+    registry.set_enabled(true);
+    { ScopedTimer t(histogram); }
+    registry.set_enabled(false);
+    EXPECT_EQ(histogram.count(), 1);
+}
+
+TEST(MetricsTest, SummaryListsNonZeroMetricsSorted) {
+    auto& registry = MetricsRegistry::global();
+    registry.reset();
+    registry.counter("test.zzz").add(2);
+    registry.counter("test.aaa").add(1);
+    const std::string summary = registry.summary();
+    EXPECT_NE(summary.find("[metrics]"), std::string::npos);
+    const auto aaa = summary.find("test.aaa");
+    const auto zzz = summary.find("test.zzz");
+    ASSERT_NE(aaa, std::string::npos);
+    ASSERT_NE(zzz, std::string::npos);
+    EXPECT_LT(aaa, zzz);
+    registry.reset();
+}
+
+class CliTraceTest : public ::testing::Test {
+protected:
+    static constexpr const char* kSource =
+        "method div(a: int, b: int) : int { return a / b; }\n"
+        "method half(a: int) : int { return a / 2; }\n";
+
+    static std::string temp_path(const char* name) {
+        return testing::TempDir() + name;
+    }
+
+    static std::string read_file(const std::string& path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    }
+};
+
+TEST_F(CliTraceTest, ParseArgsAcceptsObservabilityFlags) {
+    const cli::ParseResult parsed = cli::parse_args(
+        {"file.mini", "--trace", "out.jsonl", "--trace-timings", "--metrics"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.options.trace_path, "out.jsonl");
+    EXPECT_TRUE(parsed.options.trace_timings);
+    EXPECT_TRUE(parsed.options.metrics);
+    EXPECT_FALSE(cli::parse_args({"file.mini", "--trace"}).ok);
+}
+
+TEST_F(CliTraceTest, TraceFlagWritesAValidatableFile) {
+    const std::string path = temp_path("cli_trace.jsonl");
+    cli::Options options;
+    options.source_path = path;  // subject label only; source passed inline
+    options.trace_path = path;
+    std::ostringstream out;
+    EXPECT_EQ(cli::run(options, kSource, out), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string error;
+    EXPECT_GT(validate_trace(in, &error), 0) << error;
+    std::remove(path.c_str());
+}
+
+TEST_F(CliTraceTest, AllMethodsTraceIsByteIdenticalForAnyJobsValue) {
+    const std::string path1 = temp_path("cli_trace_j1.jsonl");
+    const std::string path4 = temp_path("cli_trace_j4.jsonl");
+    cli::Options options;
+    options.all_methods = true;
+    std::ostringstream out1, out4;
+
+    options.trace_path = path1;
+    options.jobs = 1;
+    EXPECT_EQ(cli::run(options, kSource, out1), 0);
+    options.trace_path = path4;
+    options.jobs = 4;
+    EXPECT_EQ(cli::run(options, kSource, out4), 0);
+
+    EXPECT_EQ(out1.str(), out4.str());
+    const std::string trace1 = read_file(path1);
+    EXPECT_FALSE(trace1.empty());
+    EXPECT_EQ(trace1, read_file(path4));
+    // Both methods appear, in source order.
+    const auto div_pos = trace1.find("\"method\":\"div\"");
+    const auto half_pos = trace1.find("\"method\":\"half\"");
+    ASSERT_NE(div_pos, std::string::npos);
+    ASSERT_NE(half_pos, std::string::npos);
+    EXPECT_LT(div_pos, half_pos);
+    std::remove(path1.c_str());
+    std::remove(path4.c_str());
+}
+
+TEST_F(CliTraceTest, MetricsFlagPrintsTheSummaryBlock) {
+    cli::Options options;
+    options.metrics = true;
+    std::ostringstream out;
+    EXPECT_EQ(cli::run(options, kSource, out), 0);
+    EXPECT_NE(out.str().find("[metrics]"), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("solver.queries"), std::string::npos) << out.str();
+    MetricsRegistry::global().set_enabled(false);
+    MetricsRegistry::global().reset();
+}
+
+}  // namespace
+}  // namespace preinfer::support

@@ -1,0 +1,139 @@
+// Keeps docs/OBSERVABILITY.md honest: the event vocabulary documented there
+// must match the kTraceEventNames table in src/support/trace.h exactly, in
+// both directions. Wired into ctest as `preinfer_docs_check`, so adding an
+// event without documenting it (or documenting one that does not exist)
+// fails the suite.
+//
+//   docs_check <path/to/trace.h> <path/to/OBSERVABILITY.md>
+//
+// From the header it takes every quoted string between the braces of the
+// `kTraceEventNames[] = { ... };` initializer; from the document, every
+// `### `event_name`` heading. No JSON or markdown parser — both files keep
+// these shapes deliberately (the header says so next to the table).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string read_file(const std::string& path, bool& ok) {
+    std::ifstream in(path);
+    if (!in) {
+        ok = false;
+        return {};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    ok = true;
+    return text.str();
+}
+
+/// Quoted strings between the braces following `kTraceEventNames`.
+std::vector<std::string> header_events(const std::string& text, std::string& error) {
+    // Anchor on the declarator (not the first mention, which is a comment).
+    const std::size_t anchor = text.find("kTraceEventNames[]");
+    if (anchor == std::string::npos) {
+        error = "no kTraceEventNames[] table in header";
+        return {};
+    }
+    const std::size_t open = text.find('{', anchor);
+    const std::size_t close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) {
+        error = "kTraceEventNames initializer braces not found";
+        return {};
+    }
+    std::vector<std::string> events;
+    std::size_t pos = open;
+    while (true) {
+        const std::size_t quote = text.find('"', pos);
+        if (quote == std::string::npos || quote > close) break;
+        const std::size_t end = text.find('"', quote + 1);
+        if (end == std::string::npos || end > close) {
+            error = "unterminated string in kTraceEventNames";
+            return {};
+        }
+        events.push_back(text.substr(quote + 1, end - quote - 1));
+        pos = end + 1;
+    }
+    if (events.empty()) error = "kTraceEventNames table is empty";
+    return events;
+}
+
+/// Event headings: lines of the exact shape "### `event_name`".
+std::vector<std::string> doc_events(const std::string& text) {
+    std::vector<std::string> events;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string prefix = "### `";
+        if (line.rfind(prefix, 0) != 0) continue;
+        const std::size_t end = line.find('`', prefix.size());
+        if (end == std::string::npos) continue;
+        events.push_back(line.substr(prefix.size(), end - prefix.size()));
+    }
+    return events;
+}
+
+/// Elements of `have` missing from `want` (order preserved, duplicates kept).
+std::vector<std::string> missing_from(const std::vector<std::string>& have,
+                                      const std::vector<std::string>& want) {
+    std::vector<std::string> missing;
+    for (const std::string& e : have) {
+        if (std::find(want.begin(), want.end(), e) == want.end()) {
+            missing.push_back(e);
+        }
+    }
+    return missing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::cerr << "usage: docs_check <trace.h> <OBSERVABILITY.md>\n";
+        return 2;
+    }
+    bool ok = false;
+    const std::string header = read_file(argv[1], ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << argv[1] << "\n";
+        return 2;
+    }
+    const std::string doc = read_file(argv[2], ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << argv[2] << "\n";
+        return 2;
+    }
+
+    std::string error;
+    const std::vector<std::string> in_header = header_events(header, error);
+    if (in_header.empty()) {
+        std::cerr << "error: " << argv[1] << ": " << error << "\n";
+        return 2;
+    }
+    const std::vector<std::string> in_doc = doc_events(doc);
+    if (in_doc.empty()) {
+        std::cerr << "error: " << argv[2]
+                  << ": no `### \\`event\\`` headings found\n";
+        return 2;
+    }
+
+    int failures = 0;
+    for (const std::string& e : missing_from(in_header, in_doc)) {
+        std::cerr << "undocumented event: \"" << e << "\" is in " << argv[1]
+                  << " but has no heading in " << argv[2] << "\n";
+        ++failures;
+    }
+    for (const std::string& e : missing_from(in_doc, in_header)) {
+        std::cerr << "stale documentation: \"" << e << "\" has a heading in "
+                  << argv[2] << " but is not in " << argv[1] << "\n";
+        ++failures;
+    }
+    if (failures > 0) return 1;
+    std::cout << in_header.size() << " events documented and in sync\n";
+    return 0;
+}

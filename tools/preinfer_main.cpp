@@ -3,10 +3,14 @@
 // inferred preconditions (optionally with baselines, validation verdicts,
 // and a guarded fuzzing demonstration). With --all-methods, every method in
 // the file is analyzed on a thread pool (--jobs N workers; reports stay in
-// source order regardless of N).
+// source order regardless of N). --trace FILE records every pipeline
+// decision as JSONL (schema: docs/OBSERVABILITY.md; inspect with
+// `trace_inspect`), and --metrics prints the aggregate counter/histogram
+// summary; both are off — and cost nothing — by default.
 //
 //   ./build/tools/preinfer program.mini --baselines --validate
 //   ./build/tools/preinfer program.mini --all-methods --jobs 8
+//   ./build/tools/preinfer program.mini --trace trace.jsonl --metrics
 
 #include <iostream>
 

@@ -1,0 +1,263 @@
+// Reads a structured trace produced by `preinfer --trace FILE` (or by the
+// evaluation harness) and answers the questions the raw JSONL is awkward
+// for: what ran, what the solver did, and — the headline use case — why a
+// given predicate was kept or pruned for a given method.
+//
+//   trace_inspect trace.jsonl                  # per-run summary
+//   trace_inspect trace.jsonl --method binarySearch
+//   trace_inspect trace.jsonl --why "arr.Length"
+//   trace_inspect trace.jsonl --events predicate_pruned
+//   trace_inspect trace.jsonl --validate       # schema check, exit 1 on error
+//
+// The event vocabulary and every field printed here are documented in
+// docs/OBSERVABILITY.md.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/trace_reader.h"
+
+namespace {
+
+using preinfer::support::TraceRecord;
+
+struct InspectOptions {
+    std::string path;
+    std::string method;   ///< restrict to one method's records
+    std::string why;      ///< substring of a predicate to explain
+    std::string events;   ///< print raw records of this kind
+    bool validate = false;
+};
+
+const char* kUsage =
+    "usage: trace_inspect <trace.jsonl> [--method NAME] [--why SUBSTR]\n"
+    "                     [--events KIND] [--validate]\n"
+    "\n"
+    "  (no flags)     summary: events, methods, solver and pruning totals\n"
+    "  --method NAME  summarize only the named method's records\n"
+    "  --why SUBSTR   explain every keep/prune decision whose predicate\n"
+    "                 (or branch site) contains SUBSTR\n"
+    "  --events KIND  print records of one event kind, readably\n"
+    "  --validate     check the file against the documented schema;\n"
+    "                 prints the record count, exits 1 on the first error\n";
+
+/// One record plus the method context it occurred under.
+struct Located {
+    TraceRecord record;
+    std::string method;
+};
+
+std::string field_or(const TraceRecord& r, std::string_view key,
+                     const std::string& fallback = "?") {
+    const std::string* v = r.find(key);
+    return v ? *v : fallback;
+}
+
+void print_record(std::ostream& out, const Located& l) {
+    out << l.record.event;
+    if (!l.method.empty()) out << "  [" << l.method << "]";
+    for (const auto& [key, value] : l.record.fields) {
+        out << "  " << key << "=" << value;
+    }
+    out << "\n";
+}
+
+/// Streams the file once, tracking the enclosing method of each record
+/// (method_begin/method_end bracket a unit; units never interleave within
+/// one buffer because each unit owns its buffer).
+int load(const InspectOptions& options, std::vector<Located>& out,
+         std::ostream& err) {
+    std::ifstream in(options.path);
+    if (!in) {
+        err << "error: cannot open " << options.path << "\n";
+        return 1;
+    }
+    std::string line;
+    std::string method;
+    long line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        std::string error;
+        auto record = preinfer::support::parse_trace_line(line, &error);
+        if (!record) {
+            err << "error: " << options.path << ":" << line_no << ": " << error
+                << "\n";
+            return 1;
+        }
+        if (record->event == "method_begin") method = field_or(*record, "method");
+        Located located{std::move(*record), method};
+        if (located.record.event == "method_end") method.clear();
+        if (!options.method.empty() && located.method != options.method) continue;
+        out.push_back(std::move(located));
+    }
+    return 0;
+}
+
+void summarize(const std::vector<Located>& records, std::ostream& out) {
+    std::map<std::string, long> event_counts;
+    std::map<std::string, long> justifications;  // of predicate_kept/pruned
+    std::map<std::string, long> templates;       // applied only
+    long methods = 0, tests = 0, acls = 0;
+    long solver_hits = 0, solver_misses = 0, solver_uncached = 0;
+    std::map<std::string, long> solver_status;
+
+    for (const Located& l : records) {
+        const TraceRecord& r = l.record;
+        ++event_counts[r.event];
+        if (r.event == "method_end") {
+            ++methods;
+            tests += r.find_int("tests");
+            acls += r.find_int("acls");
+        } else if (r.event == "solver_query") {
+            const std::string cache = field_or(r, "cache");
+            if (cache == "hit") {
+                ++solver_hits;
+            } else if (cache == "miss") {
+                ++solver_misses;
+            } else {
+                ++solver_uncached;
+            }
+            ++solver_status[field_or(r, "status")];
+        } else if (r.event == "predicate_kept" || r.event == "predicate_pruned") {
+            ++justifications[r.event + "/" + field_or(r, "justification")];
+        } else if (r.event == "template_applied") {
+            ++templates[field_or(r, "template")];
+        }
+    }
+
+    out << "records: " << records.size() << "\n";
+    out << "methods: " << methods << "  (tests " << tests << ", acls " << acls
+        << ")\n\n";
+
+    out << "events:\n";
+    for (const auto& [event, count] : event_counts) {
+        out << "  " << event << ": " << count << "\n";
+    }
+
+    const long queries = solver_hits + solver_misses + solver_uncached;
+    if (queries > 0) {
+        out << "\nsolver queries: " << queries << "  (cache hit " << solver_hits
+            << ", miss " << solver_misses << ", uncached " << solver_uncached
+            << ")\n";
+        for (const auto& [status, count] : solver_status) {
+            out << "  " << status << ": " << count << "\n";
+        }
+    }
+    if (!justifications.empty()) {
+        out << "\npredicate decisions:\n";
+        for (const auto& [key, count] : justifications) {
+            out << "  " << key << ": " << count << "\n";
+        }
+    }
+    if (!templates.empty()) {
+        out << "\ntemplates applied:\n";
+        for (const auto& [name, count] : templates) {
+            out << "  " << name << ": " << count << "\n";
+        }
+    }
+}
+
+/// The "why was this predicate pruned?" query: every keep/prune/duplicate
+/// decision whose predicate text or branch site mentions the substring,
+/// with the Definition-5/6 justification the pruner recorded.
+void explain(const std::vector<Located>& records, const std::string& needle,
+             std::ostream& out) {
+    long shown = 0;
+    for (const Located& l : records) {
+        const TraceRecord& r = l.record;
+        if (r.event != "predicate_kept" && r.event != "predicate_pruned" &&
+            r.event != "predicate_duplicate") {
+            continue;
+        }
+        const std::string pred = field_or(r, "pred", "");
+        const std::string site = field_or(r, "site", "");
+        if (pred.find(needle) == std::string::npos &&
+            site.find(needle) == std::string::npos) {
+            continue;
+        }
+        ++shown;
+        print_record(out, l);
+    }
+    if (shown == 0) {
+        out << "no predicate decision mentions \"" << needle << "\"\n";
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    InspectOptions options;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&](std::string& out) {
+            if (i + 1 >= args.size()) {
+                std::cerr << "error: " << a << " expects a value\n" << kUsage;
+                return false;
+            }
+            out = args[++i];
+            return true;
+        };
+        if (a == "--help" || a == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (a == "--method") {
+            if (!next(options.method)) return 1;
+        } else if (a == "--why") {
+            if (!next(options.why)) return 1;
+        } else if (a == "--events") {
+            if (!next(options.events)) return 1;
+        } else if (a == "--validate") {
+            options.validate = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "error: unknown option " << a << "\n" << kUsage;
+            return 1;
+        } else if (options.path.empty()) {
+            options.path = a;
+        } else {
+            std::cerr << "error: multiple trace files given\n" << kUsage;
+            return 1;
+        }
+    }
+    if (options.path.empty()) {
+        std::cerr << kUsage;
+        return 1;
+    }
+
+    if (options.validate) {
+        std::ifstream in(options.path);
+        if (!in) {
+            std::cerr << "error: cannot open " << options.path << "\n";
+            return 1;
+        }
+        std::string error;
+        const long count = preinfer::support::validate_trace(in, &error);
+        if (count < 0) {
+            std::cerr << "invalid trace: " << error << "\n";
+            return 1;
+        }
+        std::cout << count << " valid records\n";
+        return 0;
+    }
+
+    std::vector<Located> records;
+    if (load(options, records, std::cerr) != 0) return 1;
+
+    if (!options.events.empty()) {
+        for (const Located& l : records) {
+            if (l.record.event == options.events) print_record(std::cout, l);
+        }
+        return 0;
+    }
+    if (!options.why.empty()) {
+        explain(records, options.why, std::cout);
+        return 0;
+    }
+    summarize(records, std::cout);
+    return 0;
+}
