@@ -36,6 +36,10 @@ inline eval::HarnessConfig parallel_harness_config() {
     const char* trace_path = std::getenv("PREINFER_TRACE");
     if (trace_path != nullptr && *trace_path != '\0') {
         config.trace.enabled = true;
+        // Opt-in wall-clock fields; these make the trace nondeterministic,
+        // so byte-identity comparisons must leave this unset.
+        const char* timings = std::getenv("PREINFER_TRACE_TIMINGS");
+        config.trace.timings = timings != nullptr && *timings != '\0';
     }
     return config;
 }

@@ -1,0 +1,159 @@
+// Solver/explorer micro-benchmark over the table-3 corpus.
+//
+// Runs the full inference pipeline (the workload whose solver traffic the
+// paper's tables depend on) with the metrics registry enabled, then reports
+// where the solver time went: total solve wall time, actual Solver::solve
+// invocations, and the exact / model-reuse / unsat-subsumption cache splits.
+// Alongside the human table it writes a machine-readable BENCH_solver.json
+// so the repo's perf trajectory is tracked across PRs (the committed file
+// keeps the pre-PR baseline next to the current numbers).
+//
+//   bench_solver [--smoke] [--json PATH] [--jobs N]
+//
+// --smoke runs a two-subject slice in a few seconds and skips the JSON
+// write unless --json is given; it is registered as a ctest so this binary
+// cannot rot. The preconditions fingerprint hashes every inferred
+// precondition string in row order — equal fingerprints across two builds
+// mean the solver changes did not disturb a single inference result.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "src/eval/report.h"
+
+namespace {
+
+using namespace preinfer;
+
+/// FNV-1a over every approach's verdict and printed precondition, in row
+/// order. Stable across runs and jobs values; changes iff some inference
+/// outcome changed.
+std::uint64_t preconditions_fingerprint(const eval::HarnessResult& result) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](const std::string& s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+        h ^= 0xffU;  // field separator
+        h *= 1099511628211ULL;
+    };
+    for (const eval::AclRow& row : result.acls) {
+        mix(row.subject);
+        mix(row.method);
+        for (const eval::ApproachOutcome* o :
+             {&row.preinfer, &row.fixit, &row.dysy}) {
+            mix(o->inferred ? o->printed : std::string("<none>"));
+            mix(std::to_string(o->inferred ? (o->sufficient() ? 2 : 0) +
+                                                 (o->necessary() ? 1 : 0)
+                                           : -1));
+        }
+    }
+    return h;
+}
+
+std::int64_t counter_value(const char* name) {
+    return support::MetricsRegistry::global().counter(name).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    const char* json_path = nullptr;
+    int jobs_override = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs_override = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_solver [--smoke] [--json PATH] [--jobs N]\n");
+            return 2;
+        }
+    }
+    if (json_path == nullptr && !smoke) json_path = "BENCH_solver.json";
+
+    std::puts("Solver benchmark — generational search over the table-3 corpus");
+
+    eval::HarnessConfig config = bench::parallel_harness_config();
+    if (jobs_override > 0) config.jobs = jobs_override;
+    support::MetricsRegistry::global().reset();
+
+    std::vector<eval::Subject> subjects = eval::corpus();
+    if (smoke) {
+        subjects.resize(std::min<std::size_t>(subjects.size(), 2));
+        std::printf("(smoke slice: %zu subjects)\n", subjects.size());
+    }
+
+    const eval::HarnessResult result = eval::run_harness(subjects, config);
+
+    const auto& solve_us =
+        support::MetricsRegistry::global().histogram("solver.solve_us");
+    const std::int64_t queries = counter_value("solver.queries");
+    const std::int64_t hits = counter_value("solver.cache_hits");
+    const std::int64_t misses = counter_value("solver.cache_misses");
+    const std::int64_t model_reuse = counter_value("solver.cache_model_reuse");
+    const std::int64_t subsumed = counter_value("solver.cache_unsat_subsumed");
+    const std::uint64_t fingerprint = preconditions_fingerprint(result);
+
+    bench::Table table({"Metric", "Value"});
+    table.add_row({"methods", std::to_string(result.methods.size())});
+    table.add_row({"harness wall ms", bench::fmt_f(result.wall_ms, 0)});
+    table.add_row({"solver queries", std::to_string(queries)});
+    table.add_row({"solver solve calls", std::to_string(solve_us.count())});
+    table.add_row({"solver wall ms (sum)",
+                   bench::fmt_f(static_cast<double>(solve_us.sum()) / 1000.0, 1)});
+    table.add_row({"cache exact hits", std::to_string(hits)});
+    table.add_row({"cache model-reuse hits", std::to_string(model_reuse)});
+    table.add_row({"cache unsat-subsumed", std::to_string(subsumed)});
+    table.add_row({"cache misses", std::to_string(misses)});
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    table.add_row({"preconditions fingerprint", fp});
+    table.print();
+    bench::print_perf_summary(result);
+
+    if (json_path != nullptr) {
+        std::FILE* out = std::fopen(json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"bench\": \"solver\",\n"
+                     "  \"smoke\": %s,\n"
+                     "  \"jobs\": %d,\n"
+                     "  \"methods\": %zu,\n"
+                     "  \"harness_wall_ms\": %.1f,\n"
+                     "  \"solver_wall_ms\": %.3f,\n"
+                     "  \"solver_queries\": %lld,\n"
+                     "  \"solver_solve_calls\": %lld,\n"
+                     "  \"cache_exact_hits\": %lld,\n"
+                     "  \"cache_model_reuse\": %lld,\n"
+                     "  \"cache_unsat_subsumed\": %lld,\n"
+                     "  \"cache_misses\": %lld,\n"
+                     "  \"preconditions_fingerprint\": \"%016llx\"\n"
+                     "}\n",
+                     smoke ? "true" : "false", result.jobs,
+                     result.methods.size(), result.wall_ms,
+                     static_cast<double>(solve_us.sum()) / 1000.0,
+                     static_cast<long long>(queries),
+                     static_cast<long long>(solve_us.count()),
+                     static_cast<long long>(hits),
+                     static_cast<long long>(model_reuse),
+                     static_cast<long long>(subsumed),
+                     static_cast<long long>(misses),
+                     static_cast<unsigned long long>(fingerprint));
+        std::fclose(out);
+        std::printf("[json -> %s]\n", json_path);
+    }
+    return 0;
+}

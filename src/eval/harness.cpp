@@ -12,6 +12,7 @@
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
+#include "src/solver/atom_index.h"
 #include "src/solver/solve_cache.h"
 #include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
@@ -91,8 +92,14 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     // built against this pool, including the validation explorer, which
     // replays the inference exploration under a larger budget and therefore
     // hits on nearly all of its early queries.
-    solver::SolveCache solve_cache;
-    gen::Explorer explorer(pool, method, config.explore, &prog, &solve_cache);
+    solver::SolveCache solve_cache(config.cache);
+    // One atom-normalization index per (worker, method): every solver on
+    // this pool replays its records instead of re-normalizing shared path
+    // predicates. Unlike the cache, sharing is safe across differing solver
+    // configs, so the validation explorer always gets it.
+    solver::AtomIndex atom_index(pool);
+    gen::Explorer explorer(pool, method, config.explore, &prog, &solve_cache,
+                           &atom_index);
     const gen::TestSuite suite = explorer.explore();
     const std::vector<core::AclId> observed = suite.failing_acls();
 
@@ -109,7 +116,7 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     const gen::TestSuite validation =
         build_validation_suite(pool, method, config.validation, &prog,
                                validation_shares_cache ? &solve_cache : nullptr,
-                               &validation_stats);
+                               &validation_stats, &atom_index);
 
     if (method_row) {
         method_row->subject = subject.name;
@@ -122,7 +129,8 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
 
     // A dedicated explorer backs the solver-assisted pruning oracle so its
     // witness budget does not disturb the shared suite.
-    gen::Explorer oracle_explorer(pool, method, config.explore, &prog, &solve_cache);
+    gen::Explorer oracle_explorer(pool, method, config.explore, &prog,
+                                  &solve_cache, &atom_index);
     gen::ExplorerOracle oracle(oracle_explorer);
     const bool want_oracle =
         config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
@@ -218,18 +226,21 @@ std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
     if (method_row) {
         method_row->cache_hits = solve_cache.stats().hits;
         method_row->cache_misses = solve_cache.stats().misses;
+        method_row->cache_model_reuse = solve_cache.stats().model_reuse;
+        method_row->cache_unsat_subsumed = solve_cache.stats().unsat_subsumed;
         // Phase attribution: every lookup on the shared cache flows through
         // exactly one explorer, so the per-explorer Stats partition the
         // cache totals (asserted by tests/test_harness_parallel.cpp).
-        method_row->cache_explore = {explorer.stats().cache_hits,
-                                     explorer.stats().cache_misses};
-        method_row->cache_oracle = {oracle_explorer.stats().cache_hits,
-                                    oracle_explorer.stats().cache_misses};
-        method_row->cache_validation =
-            validation_shares_cache
-                ? MethodRow::PhaseCacheStats{validation_stats.cache_hits,
-                                             validation_stats.cache_misses}
-                : MethodRow::PhaseCacheStats{};
+        const auto phase_stats = [](const gen::Explorer::Stats& s) {
+            return MethodRow::PhaseCacheStats{s.cache_hits, s.cache_misses,
+                                              s.cache_model_reuse,
+                                              s.cache_unsat_subsumed};
+        };
+        method_row->cache_explore = phase_stats(explorer.stats());
+        method_row->cache_oracle = phase_stats(oracle_explorer.stats());
+        method_row->cache_validation = validation_shares_cache
+                                           ? phase_stats(validation_stats)
+                                           : MethodRow::PhaseCacheStats{};
     }
     if (support::trace_active()) {
         support::TraceEvent(support::TraceEventKind::MethodEnd)
@@ -261,9 +272,12 @@ std::int64_t HarnessResult::total_cache_misses() const {
 }
 
 double HarnessResult::cache_hit_rate() const {
-    const std::int64_t hits = total_cache_hits();
-    const std::int64_t total = hits + total_cache_misses();
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    std::int64_t served = 0;
+    for (const MethodRow& m : methods) {
+        served += m.cache_hits + m.cache_model_reuse + m.cache_unsat_subsumed;
+    }
+    const std::int64_t total = served + total_cache_misses();
+    return total == 0 ? 0.0 : static_cast<double>(served) / static_cast<double>(total);
 }
 
 HarnessResult run_harness(const std::vector<Subject>& subjects,

@@ -4,6 +4,7 @@
 #include "src/eval/acl_classify.h"
 #include "src/eval/metrics.h"
 #include "src/eval/subject.h"
+#include "src/solver/solve_cache.h"
 #include "src/support/trace.h"
 
 namespace preinfer::eval {
@@ -65,14 +66,22 @@ struct MethodRow {
     /// inference, validation). The only nondeterministic report column.
     double wall_ms = 0.0;
     /// Solver-memoization accounting for this method's shared cache.
+    /// cache_hits counts exact-key hits; the semantic paths — Sat answered
+    /// by re-checking a recent model, Unsat answered by a subsumed cached
+    /// key — are broken out separately, and cache_misses counts only
+    /// lookups that fell through to a real solve.
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
+    std::int64_t cache_model_reuse = 0;
+    std::int64_t cache_unsat_subsumed = 0;
 
     /// Cache accounting of one pipeline phase, read from that phase's
     /// explorer (zero when the phase ran without the shared cache).
     struct PhaseCacheStats {
         std::int64_t hits = 0;
         std::int64_t misses = 0;
+        std::int64_t model_reuse = 0;
+        std::int64_t unsat_subsumed = 0;
     };
     /// Per-phase split of the shared cache's lookups: the inference
     /// exploration, the solver-assisted pruning oracle, and the validation
@@ -86,9 +95,11 @@ struct MethodRow {
     PhaseCacheStats cache_validation;
 
     [[nodiscard]] double cache_hit_rate() const {
-        const std::int64_t total = cache_hits + cache_misses;
+        const std::int64_t served =
+            cache_hits + cache_model_reuse + cache_unsat_subsumed;
+        const std::int64_t total = served + cache_misses;
         return total == 0 ? 0.0
-                          : static_cast<double>(cache_hits) / static_cast<double>(total);
+                          : static_cast<double>(served) / static_cast<double>(total);
     }
 };
 
@@ -96,6 +107,10 @@ struct HarnessConfig {
     gen::ExplorerConfig explore{};       ///< inference-suite budget
     ValidationConfig validation{};       ///< strength-checking budget
     core::PreInferConfig preinfer{};
+    /// Options for each worker's per-method solve cache. The defaults keep
+    /// the semantic fast paths that preserve deterministic output enabled;
+    /// tests toggle them off to prove end-to-end equivalence.
+    solver::SolveCache::Options cache{};
     /// Template set for collection-element generalization; nullptr means
     /// TemplateRegistry::standard(). Must outlive the harness call.
     const core::TemplateRegistry* registry = nullptr;
@@ -128,7 +143,8 @@ struct HarnessResult {
     /// unit buffers concatenated in input order regardless of scheduling.
     std::string trace;
 
-    /// Cache accounting summed over all method rows.
+    /// Cache accounting summed over all method rows. The hit rate counts
+    /// semantic answers (model reuse, unsat subsumption) as served lookups.
     [[nodiscard]] std::int64_t total_cache_hits() const;
     [[nodiscard]] std::int64_t total_cache_misses() const;
     [[nodiscard]] double cache_hit_rate() const;

@@ -39,8 +39,9 @@ gen::TestSuite build_validation_suite(sym::ExprPool& pool, const lang::Method& m
                                       const ValidationConfig& config,
                                       const lang::Program* program,
                                       solver::SolveCache* cache,
-                                      gen::Explorer::Stats* explorer_stats) {
-    gen::Explorer explorer(pool, method, config.explore, program, cache);
+                                      gen::Explorer::Stats* explorer_stats,
+                                      solver::AtomIndex* index) {
+    gen::Explorer explorer(pool, method, config.explore, program, cache, index);
     gen::TestSuite suite = explorer.explore();
     if (explorer_stats) *explorer_stats = explorer.stats();
 

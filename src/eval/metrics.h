@@ -38,13 +38,16 @@ struct ValidationConfig {
 /// queries; because validation replays the inference exploration with a
 /// larger budget, sharing the inference run's cache skips most of the
 /// re-solving. Only pass a cache built against the same pool and solver
-/// config. `explorer_stats`, when non-null, receives the validation
+/// config. `index`, when non-null, shares atom-normalization records with
+/// the other explorers on the pool (safe even across differing solver
+/// configs). `explorer_stats`, when non-null, receives the validation
 /// explorer's own Stats — the only way the caller can attribute the
 /// shared cache's lookups to the validation phase (the explorer dies
 /// inside this function).
 [[nodiscard]] gen::TestSuite build_validation_suite(
     sym::ExprPool& pool, const lang::Method& method, const ValidationConfig& config,
     const lang::Program* program = nullptr, solver::SolveCache* cache = nullptr,
-    gen::Explorer::Stats* explorer_stats = nullptr);
+    gen::Explorer::Stats* explorer_stats = nullptr,
+    solver::AtomIndex* index = nullptr);
 
 }  // namespace preinfer::eval

@@ -67,12 +67,14 @@ void write_acl_csv(const HarnessResult& result, std::ostream& out) {
 
 void write_method_csv(const HarnessResult& result, std::ostream& out) {
     out << "subject,method,block_coverage,tests,acls,wall_ms,cache_hits,"
-           "cache_misses,cache_hit_rate,explore_hits,explore_misses,"
+           "cache_misses,cache_model_reuse,cache_unsat_subsumed,"
+           "cache_hit_rate,explore_hits,explore_misses,"
            "oracle_hits,oracle_misses,validation_hits,validation_misses\n";
     for (const MethodRow& m : result.methods) {
         out << csv_escape(m.subject) << ',' << csv_escape(m.method) << ','
             << m.block_coverage << ',' << m.tests << ',' << m.acls << ','
             << m.wall_ms << ',' << m.cache_hits << ',' << m.cache_misses << ','
+            << m.cache_model_reuse << ',' << m.cache_unsat_subsumed << ','
             << m.cache_hit_rate() << ',' << m.cache_explore.hits << ','
             << m.cache_explore.misses << ',' << m.cache_oracle.hits << ','
             << m.cache_oracle.misses << ',' << m.cache_validation.hits << ','

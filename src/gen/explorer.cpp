@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <deque>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/gen/reconstruct.h"
@@ -55,12 +56,14 @@ Input make_seed(const lang::Method& method, int variant) {
 }  // namespace
 
 Explorer::Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config,
-                   const lang::Program* program, solver::SolveCache* cache)
+                   const lang::Program* program, solver::SolveCache* cache,
+                   solver::AtomIndex* index)
     : pool_(pool),
       method_(method),
       config_(config),
       interp_(pool, method, config.exec_limits, program),
-      solver_(pool, config.solver_config),
+      solver_(pool, config.solver_config, index),
+      ctx_(solver_),
       cache_(cache) {}
 
 namespace {
@@ -89,13 +92,19 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
         static auto& queries = registry.counter("solver.queries");
         static auto& hits = registry.counter("solver.cache_hits");
         static auto& misses = registry.counter("solver.cache_misses");
+        static auto& model_reuse = registry.counter("solver.cache_model_reuse");
+        static auto& subsumed = registry.counter("solver.cache_unsat_subsumed");
         static auto& sat = registry.counter("solver.sat");
         static auto& unsat = registry.counter("solver.unsat");
         static auto& unknown = registry.counter("solver.unknown");
         static auto& solve_us = registry.histogram("solver.solve_us");
         queries.add();
-        if (cache_state[0] == 'h') hits.add();
-        if (cache_state[0] == 'm') misses.add();
+        // Full-string compare: "miss" and "model" share a first letter.
+        const std::string_view state = cache_state;
+        if (state == "hit") hits.add();
+        if (state == "miss") misses.add();
+        if (state == "model") model_reuse.add();
+        if (state == "subsume") subsumed.add();
         switch (status) {
             case solver::SolveStatus::Sat: sat.add(); break;
             case solver::SolveStatus::Unsat: unsat.add(); break;
@@ -107,27 +116,51 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
 
 }  // namespace
 
-solver::SolveResult Explorer::solve_conjuncts(
-    std::span<const sym::Expr* const> conjuncts, const solver::Model* seed) {
+template <typename SolveFn>
+solver::SolveResult Explorer::solve_with_cache(
+    std::span<const sym::Expr* const> conjuncts, SolveFn&& solve) {
     // Observability: the clock is read only when a timing consumer is
     // active, so the common (untraced, unmetered) path stays clock-free.
     const bool observed = support::trace_active() || support::metrics_enabled();
     const bool timed = support::metrics_enabled() ||
                        (support::trace_active() && support::trace_timings());
     if (cache_ != nullptr) {
-        if (const solver::SolveResult* cached = cache_->lookup(conjuncts)) {
-            ++stats_.cache_hits;
-            if (observed) {
-                record_solver_query(conjuncts.size(), cached->status, "hit", -1);
+        const solver::SolveCache::LookupResult cached = cache_->lookup(conjuncts);
+        if (cached.result != nullptr) {
+            const char* state = "hit";
+            switch (cached.kind) {
+                case solver::SolveCache::HitKind::Exact:
+                    ++stats_.cache_hits;
+                    break;
+                // Semantic answers substitute for the Solver::solve call the
+                // query would otherwise have made, so they charge the solver
+                // budget like one. This keeps the exploration trajectory —
+                // which paths get expanded before max_solver_calls runs out —
+                // independent of the cache's semantic options.
+                case solver::SolveCache::HitKind::ModelReuse:
+                    ++stats_.cache_model_reuse;
+                    ++stats_.solver_calls;
+                    state = "model";
+                    break;
+                case solver::SolveCache::HitKind::Subsumed:
+                    ++stats_.cache_unsat_subsumed;
+                    ++stats_.solver_calls;
+                    state = "subsume";
+                    break;
+                case solver::SolveCache::HitKind::Miss: break;  // unreachable
             }
-            return *cached;
+            if (observed) {
+                record_solver_query(conjuncts.size(), cached.result->status,
+                                    state, -1);
+            }
+            return *cached.result;
         }
         ++stats_.cache_misses;
     }
     ++stats_.solver_calls;
     using clock = std::chrono::steady_clock;
     const clock::time_point start = timed ? clock::now() : clock::time_point{};
-    solver::SolveResult res = solver_.solve(conjuncts, seed);
+    solver::SolveResult res = solve();
     if (observed) {
         const std::int64_t micros =
             timed ? std::chrono::duration_cast<std::chrono::microseconds>(
@@ -139,6 +172,12 @@ solver::SolveResult Explorer::solve_conjuncts(
     }
     if (cache_ != nullptr) cache_->insert(conjuncts, res);
     return res;
+}
+
+solver::SolveResult Explorer::solve_conjuncts(
+    std::span<const sym::Expr* const> conjuncts, const solver::Model* seed) {
+    return solve_with_cache(conjuncts,
+                            [&] { return solver_.solve(conjuncts, seed); });
 }
 
 std::vector<exec::Input> Explorer::seed_inputs() const {
@@ -233,6 +272,12 @@ TestSuite Explorer::explore() {
 
         const int limit =
             std::min<int>(static_cast<int>(pc.size()), config_.max_flip_depth);
+        // Sibling flips share the path prefix p0..p_{j-1}, which only grows
+        // with j — the incremental context keeps it loaded and each query
+        // pushes/pops just the flipped predicate. The prefix is synced
+        // lazily, so fully cache-served parents never touch the solver.
+        if (config_.incremental) ctx_.clear();
+        std::size_t synced = 0;
         for (int j = bound; j < limit; ++j) {
             if (stats_.solver_calls >= config_.max_solver_calls) break;
             if (static_cast<int>(suite.tests.size()) >= config_.max_tests) break;
@@ -242,7 +287,20 @@ TestSuite Explorer::explore() {
             for (int k = 0; k < j; ++k) conjuncts.push_back(pc.preds[static_cast<std::size_t>(k)].expr);
             conjuncts.push_back(pool_.negate(pc.preds[static_cast<std::size_t>(j)].expr));
 
-            const solver::SolveResult res = solve_conjuncts(conjuncts, &seed);
+            const solver::SolveResult res =
+                config_.incremental
+                    ? solve_with_cache(conjuncts,
+                                       [&] {
+                                           while (synced < static_cast<std::size_t>(j)) {
+                                               ctx_.push(pc.preds[synced].expr);
+                                               ++synced;
+                                           }
+                                           ctx_.push(conjuncts.back());
+                                           const solver::SolveResult r = ctx_.solve(&seed);
+                                           ctx_.pop();
+                                           return r;
+                                       })
+                    : solve_conjuncts(conjuncts, &seed);
             switch (res.status) {
                 case solver::SolveStatus::Sat: ++stats_.sat; break;
                 case solver::SolveStatus::Unsat: ++stats_.unsat; continue;

@@ -19,6 +19,11 @@ struct ExplorerConfig {
     solver::SolverConfig solver_config{};
     std::int64_t materialize_max_len = 16;  ///< largest reconstructed collection
     bool extra_seeds = true;  ///< start from a few canonical non-null inputs too
+    /// Solve sibling flips of one parent path through an incremental
+    /// solver context that keeps the shared prefix loaded, instead of
+    /// reloading it per query. Results are bit-for-bit identical either
+    /// way (the off position exists for equivalence testing).
+    bool incremental = true;
 };
 
 /// Pex-style generational-search test generator: run a seed input
@@ -32,10 +37,14 @@ public:
     /// `cache`, when given, memoizes solver queries across this explorer and
     /// any other explorer sharing the same pool and solver config (the
     /// harness shares one cache per (worker, method)); pass nullptr to solve
-    /// every query. The cache must outlive the explorer.
+    /// every query. `index`, when given, shares atom-normalization records
+    /// across every solver on the same pool — unlike the cache it is safe
+    /// to share between differing solver configs. Both must outlive the
+    /// explorer.
     Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConfig config = {},
              const lang::Program* program = nullptr,
-             solver::SolveCache* cache = nullptr);
+             solver::SolveCache* cache = nullptr,
+             solver::AtomIndex* index = nullptr);
 
     /// Runs the generational search until budgets are exhausted.
     [[nodiscard]] TestSuite explore();
@@ -50,8 +59,12 @@ public:
 
     struct Stats {
         int executions = 0;
-        /// Actual Solver::solve invocations (cache hits excluded), the
-        /// quantity max_solver_calls budgets.
+        /// Budget-charged queries, the quantity max_solver_calls bounds:
+        /// actual Solver::solve invocations plus semantic cache answers
+        /// (model reuse, unsat subsumption), which substitute for a solve.
+        /// Charging the semantic answers keeps the exploration trajectory
+        /// identical whether or not those fast paths are enabled; exact-key
+        /// hits stay free.
         int solver_calls = 0;
         /// Query outcomes, counted for hits and misses alike; with a cache
         /// attached sat + unsat + unknown can exceed solver_calls.
@@ -60,9 +73,15 @@ public:
         int unknown = 0;
         int duplicate_inputs = 0;
         int duplicate_paths = 0;
-        /// Memoized-solver accounting; both stay 0 without a cache.
+        /// Memoized-solver accounting; all stay 0 without a cache.
+        /// cache_hits counts exact-key hits only; the two semantic paths
+        /// (witness reuse from recent models, Unsat by subsumed key) are
+        /// counted separately. cache_misses counts only lookups that fell
+        /// through to a real solve.
         int cache_hits = 0;
         int cache_misses = 0;
+        int cache_model_reuse = 0;
+        int cache_unsat_subsumed = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -74,11 +93,19 @@ private:
     [[nodiscard]] solver::SolveResult solve_conjuncts(
         std::span<const sym::Expr* const> conjuncts, const solver::Model* seed);
 
+    /// Shared cache-then-solve skeleton: lookup, stats, tracing, insert;
+    /// `solve` runs only on a miss (from scratch or via ctx_).
+    template <typename SolveFn>
+    [[nodiscard]] solver::SolveResult solve_with_cache(
+        std::span<const sym::Expr* const> conjuncts, SolveFn&& solve);
+
     sym::ExprPool& pool_;
     const lang::Method& method_;
     ExplorerConfig config_;
     exec::ConcolicInterpreter interp_;
     solver::Solver solver_;
+    /// Incremental conjunction reused across one parent path's flips.
+    solver::Solver::Context ctx_;
     solver::SolveCache* cache_ = nullptr;
     Stats stats_;
     int next_test_id_ = 0;

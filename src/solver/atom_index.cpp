@@ -1,0 +1,300 @@
+#include "src/solver/atom_index.h"
+
+#include "src/support/diagnostics.h"
+#include "src/sym/expr_pool.h"
+#include "src/sym/rewrite.h"
+
+namespace preinfer::solver {
+
+namespace {
+
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+/// True for terms that are solver variables as-is.
+bool is_ground_int_term(const Expr* e) {
+    switch (e->kind) {
+        case Kind::Param: return e->sort == Sort::Int;
+        case Kind::Len: return true;
+        case Kind::Select: return e->sort == Sort::Int;
+        default: return false;
+    }
+}
+
+}  // namespace
+
+int AtomIndex::var_for_term(const Expr* term, bool is_bool, bool is_len) {
+    if (auto it = var_index_.find(term); it != var_index_.end()) return it->second;
+    VarInfo info;
+    info.term = term;
+    info.is_bool = is_bool;
+    info.is_len = is_len;
+    info.is_nonlinear_aux =
+        term->kind == Kind::Mul || term->kind == Kind::Div || term->kind == Kind::Mod;
+    // Implied structural facts, precomputed once so query loads never walk
+    // term trees: observers dereference their base object (and everything
+    // selected-from inside it); IsNull dereferences only objects strictly
+    // inside its argument. A constant-index Select additionally bounds the
+    // base's length. The note order below must match the solver's original
+    // implied-fact pass exactly — replayed queries depend on it.
+    const Kind k = term->kind;
+    if (k == Kind::Len || k == Kind::Select || k == Kind::IsNull) {
+        const Expr* base = term->child0;
+        if (k != Kind::IsNull) {
+            info.deref_null_terms.push_back(pool_.is_null(base));
+        }
+        sym::for_each_node(base, [&](const Expr* n) {
+            if (n->kind == Kind::Select) {
+                info.deref_null_terms.push_back(pool_.is_null(n->child0));
+            }
+        });
+        if (k == Kind::Select && term->child1->kind == Kind::IntConst) {
+            info.select_len_term = pool_.len(term->child0);
+            info.select_index_plus1 = term->child1->a + 1;
+        }
+    }
+    vars_.push_back(std::move(info));
+    const int idx = static_cast<int>(vars_.size()) - 1;
+    var_index_.emplace(term, idx);
+    return idx;
+}
+
+/// One atom's normalization pass. Mirrors the original per-query
+/// `Search::load_atom` step for step, but writes variable mentions,
+/// assignments, and constraints into a Record (against the session
+/// registry) instead of into per-query tables. Deduplication happens per
+/// record — replaying records sequentially then reproduces exactly the
+/// state a from-scratch sequential load would have built.
+struct AtomIndex::Builder {
+    AtomIndex& index;
+    sym::ExprPool& pool;
+    Record rec;
+
+    explicit Builder(AtomIndex& idx) : index(idx), pool(idx.pool_) {}
+
+    /// Session var for `term`, recorded in the mention list on first
+    /// in-record mention.
+    int mention(const Expr* term, bool is_bool, bool is_len) {
+        const int v = index.var_for_term(term, is_bool, is_len);
+        for (const std::int32_t seen : rec.vars) {
+            if (seen == v) return v;
+        }
+        rec.vars.push_back(v);
+        return v;
+    }
+
+    [[nodiscard]] bool mentioned(int v) const {
+        for (const std::int32_t seen : rec.vars) {
+            if (seen == v) return true;
+        }
+        return false;
+    }
+
+    /// Mirrors Search::aux_var_for: an auxiliary variable equal to a
+    /// non-linear node, with every ground term inside registered so
+    /// "arguments assigned" is a well-defined propagation trigger. The
+    /// NonLin constraint itself is implied by VarInfo::is_nonlinear_aux at
+    /// replay time (created exactly when the variable is created, as
+    /// before).
+    int aux_var_for(const Expr* node) {
+        const bool fresh = !mentioned(index.var_for_term(node, false, false));
+        const int v = mention(node, /*is_bool=*/false, /*is_len=*/false);
+        if (fresh) register_subterms(node);
+        return v;
+    }
+
+    void register_subterms(const Expr* node) {
+        if (is_ground_int_term(node)) {
+            mention(node, false, node->kind == Kind::Len);
+            return;
+        }
+        if (node->child0) register_subterms(node->child0);
+        if (node->child1) register_subterms(node->child1);
+    }
+
+    bool linearize(const Expr* e, LinearExpr& out, std::int64_t scale) {
+        switch (e->kind) {
+            case Kind::IntConst:
+                out.constant += e->a * scale;
+                return true;
+            case Kind::Neg:
+                return linearize(e->child0, out, -scale);
+            case Kind::Add:
+                return linearize(e->child0, out, scale) &&
+                       linearize(e->child1, out, scale);
+            case Kind::Sub:
+                return linearize(e->child0, out, scale) &&
+                       linearize(e->child1, out, -scale);
+            case Kind::Mul:
+                if (e->child1->kind == Kind::IntConst)
+                    return linearize(e->child0, out, scale * e->child1->a);
+                if (e->child0->kind == Kind::IntConst)
+                    return linearize(e->child1, out, scale * e->child0->a);
+                out.add_term(aux_var_for(e), scale);
+                return true;
+            case Kind::Div:
+            case Kind::Mod:
+                out.add_term(aux_var_for(e), scale);
+                return true;
+            default:
+                if (is_ground_int_term(e)) {
+                    out.add_term(mention(e, /*is_bool=*/false,
+                                         /*is_len=*/e->kind == Kind::Len),
+                                 scale);
+                    return true;
+                }
+                rec.outcome = Outcome::Unsupported;
+                return false;
+        }
+    }
+
+    /// Record-local boolean assignment; false on an in-record conflict.
+    bool assign_bool(int var, bool value) {
+        for (const BoolAssign& b : rec.bools) {
+            if (b.var == var) return b.value == value;
+        }
+        rec.bools.push_back({static_cast<std::int32_t>(var), value});
+        return true;
+    }
+
+    /// Variable equal to an arbitrary linear expression (for IsWhitespace
+    /// arguments); -1 when the expression is constant. Single-variable
+    /// `1*x + 0` maps straight to x. Unlike the pre-memo solver, the alias
+    /// is created once per atom (not once per query occurrence) — the
+    /// second occurrence's alias was an unconstrained duplicate anyway.
+    int alias_var(const LinearExpr& lin) {
+        if (lin.is_constant()) return -1;
+        if (lin.single_var() && lin.coeffs.begin()->second == 1 && lin.constant == 0)
+            return lin.coeffs.begin()->first;
+        const Expr* key =
+            pool.bound_var(100000 + static_cast<int>(index.vars_.size()));
+        const int v = mention(key, false, false);
+        LinearConstraint c;
+        c.expr = lin;
+        c.expr.add_term(v, -1);
+        c.rel = LinRel::Eq;
+        rec.linear.push_back(std::move(c));
+        return v;
+    }
+
+    bool load_atom(const Expr* e, bool polarity) {
+        switch (e->kind) {
+            case Kind::BoolConst:
+                if ((e->a != 0) == polarity) return true;
+                rec.outcome = Outcome::False;
+                return false;
+            case Kind::Not:
+                return load_atom(e->child0, !polarity);
+            case Kind::And:
+                if (polarity)
+                    return load_atom(e->child0, true) && load_atom(e->child1, true);
+                rec.outcome = Outcome::Unsupported;
+                return false;
+            case Kind::Or:
+                if (!polarity)
+                    return load_atom(e->child0, false) && load_atom(e->child1, false);
+                rec.outcome = Outcome::Unsupported;
+                return false;
+            case Kind::Param: {
+                PI_CHECK(e->sort == Sort::Bool, "non-bool param as atom");
+                if (assign_bool(mention(e, true, false), polarity)) return true;
+                rec.outcome = Outcome::False;
+                return false;
+            }
+            case Kind::IsNull:
+                if (assign_bool(mention(e, true, false), polarity)) return true;
+                rec.outcome = Outcome::False;
+                return false;
+            case Kind::IsWhitespace: {
+                LinearExpr lin;
+                if (!linearize(e->child0, lin, 1)) return false;
+                const int v = alias_var(lin);
+                if (v < 0) {
+                    // Constant argument: decide immediately.
+                    if (sym::ExprPool::whitespace_code_point(lin.constant) == polarity)
+                        return true;
+                    rec.outcome = Outcome::False;
+                    return false;
+                }
+                rec.ws.push_back({static_cast<std::int32_t>(v), polarity});
+                return true;
+            }
+            case Kind::Eq: case Kind::Ne: case Kind::Lt:
+            case Kind::Le: case Kind::Gt: case Kind::Ge:
+                return load_comparison(e, polarity);
+            default:
+                rec.outcome = Outcome::Unsupported;
+                return false;
+        }
+    }
+
+    bool load_comparison(const Expr* e, bool polarity) {
+        Kind op = e->kind;
+        if (!polarity) {
+            switch (op) {
+                case Kind::Eq: op = Kind::Ne; break;
+                case Kind::Ne: op = Kind::Eq; break;
+                case Kind::Lt: op = Kind::Ge; break;
+                case Kind::Le: op = Kind::Gt; break;
+                case Kind::Gt: op = Kind::Le; break;
+                case Kind::Ge: op = Kind::Lt; break;
+                default: break;
+            }
+        }
+        LinearExpr lin;
+        if (!linearize(e->child0, lin, 1)) return false;
+        if (!linearize(e->child1, lin, -1)) return false;
+
+        LinearConstraint c;
+        switch (op) {
+            case Kind::Eq: c.rel = LinRel::Eq; break;
+            case Kind::Ne: c.rel = LinRel::Ne; break;
+            case Kind::Le: c.rel = LinRel::Le; break;
+            case Kind::Lt: c.rel = LinRel::Le; lin.constant += 1; break;
+            case Kind::Ge: {
+                LinearExpr flipped;
+                flipped.add(lin, -1);
+                lin = std::move(flipped);
+                c.rel = LinRel::Le;
+                break;
+            }
+            case Kind::Gt: {
+                LinearExpr flipped;
+                flipped.add(lin, -1);
+                lin = std::move(flipped);
+                lin.constant += 1;
+                c.rel = LinRel::Le;
+                break;
+            }
+            default: PI_CHECK(false, "non-comparison in load_comparison");
+        }
+        if (lin.is_constant()) {
+            bool holds = false;
+            switch (c.rel) {
+                case LinRel::Le: holds = lin.constant <= 0; break;
+                case LinRel::Eq: holds = lin.constant == 0; break;
+                case LinRel::Ne: holds = lin.constant != 0; break;
+            }
+            if (holds) return true;
+            rec.outcome = Outcome::False;
+            return false;
+        }
+        c.expr = std::move(lin);
+        rec.linear.push_back(std::move(c));
+        return true;
+    }
+};
+
+const AtomIndex::Record& AtomIndex::record(const sym::Expr* atom) {
+    if (auto it = records_.find(atom->id); it != records_.end()) return it->second;
+    Builder builder(*this);
+    if (builder.load_atom(atom, /*polarity=*/true)) {
+        builder.rec.outcome = Outcome::Constrain;
+    }
+    // On False/Unsupported the partially recorded state is kept but ignored
+    // by replays: a query containing the atom is decided without search.
+    return records_.emplace(atom->id, std::move(builder.rec)).first->second;
+}
+
+}  // namespace preinfer::solver

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/linear.h"
+#include "src/sym/expr.h"
+
+namespace preinfer::sym {
+class ExprPool;
+}  // namespace preinfer::sym
+
+namespace preinfer::solver {
+
+/// Session-lived atom-normalization memo: every predicate atom the solver
+/// ever sees is lowered to its linear normal form exactly once per pool
+/// session, instead of once per query. Generational search solves
+/// `prefix + flipped-predicate` conjunctions whose atoms overlap almost
+/// completely between consecutive queries, so re-walking every atom's term
+/// tree and rebuilding the term -> variable table per query (what the
+/// pre-incremental solver did) was the dominant non-search cost.
+///
+/// The index owns two session-global structures:
+///
+///  * a *variable registry* mapping each ground term (Param, Len, Select,
+///    IsNull, non-linear auxiliary node, whitespace alias) to a dense
+///    session variable id, with per-variable metadata: sort flags and the
+///    structural facts the solver's implied-constraint pass needs
+///    (which objects the term dereferences, the Len bound a constant-index
+///    Select implies);
+///  * an *atom record* per normalized atom (memoized on `sym::Expr::id`):
+///    the outcome when the atom constant-folds, else its boolean
+///    assignments, whitespace marks, linear constraints, and the session
+///    variables it mentions in first-mention order.
+///
+/// Queries replay records into query-local state (see Solver), translating
+/// session variable ids to query-local dense ids by walking each record's
+/// mention list — reproducing bit-for-bit the variable numbering, constraint
+/// order, and therefore search behavior of from-scratch atom loading.
+///
+/// Records are independent of SolverConfig bounds (domains are applied at
+/// query-load time), so one index can back solvers with different budgets —
+/// but entries hold Expr pointers, so never share an index across pools.
+/// Not thread-safe; one index per (pool, worker) session, like SolveCache.
+class AtomIndex {
+public:
+    explicit AtomIndex(sym::ExprPool& pool) : pool_(pool) {}
+    AtomIndex(const AtomIndex&) = delete;
+    AtomIndex& operator=(const AtomIndex&) = delete;
+
+    /// Session variable metadata, shared by every query that mentions it.
+    struct VarInfo {
+        const sym::Expr* term = nullptr;
+        bool is_bool = false;
+        bool is_len = false;
+        /// The term is a non-linear node (Mul/Div/Mod); loading it creates
+        /// a NonLin constraint tying the variable to the node's evaluation.
+        bool is_nonlinear_aux = false;
+        /// `IsNull(obj)` terms for every object this term dereferences, in
+        /// the solver's implied-fact order (the base object first, then
+        /// objects selected-from inside the base chain, pre-order).
+        std::vector<const sym::Expr*> deref_null_terms;
+        /// For `Select(t, k)` with constant k: the `Len(t)` term and k+1,
+        /// carrying the element-access-implies-length axiom.
+        const sym::Expr* select_len_term = nullptr;
+        std::int64_t select_index_plus1 = 0;
+    };
+
+    enum class Outcome : std::uint8_t {
+        True,         ///< constant-folded: holds under every assignment
+        False,        ///< constant-folded: can never hold
+        Unsupported,  ///< outside the solver fragment; the query is Unknown
+        Constrain,    ///< contributes the recorded constraints
+    };
+
+    struct BoolAssign {
+        std::int32_t var;
+        bool value;
+    };
+    struct WsMark {
+        std::int32_t var;
+        bool member;  ///< true: must be whitespace; false: must not be
+    };
+
+    /// The normal form of one atom (taken at positive polarity; negations
+    /// are distinct atoms).
+    struct Record {
+        Outcome outcome = Outcome::Constrain;
+        /// Session vars in first-mention order during this atom's load.
+        /// Query replay walks this list to create its local variables, which
+        /// is what keeps replayed variable numbering identical to a
+        /// from-scratch load.
+        std::vector<std::int32_t> vars;
+        std::vector<BoolAssign> bools;
+        std::vector<WsMark> ws;
+        std::vector<LinearConstraint> linear;  ///< coeffs keyed by session var
+    };
+
+    /// Memoized normal form of `atom`; normalizes on first sight.
+    const Record& record(const sym::Expr* atom);
+
+    /// Session variable for a ground term, created (with its VarInfo facts)
+    /// on first sight. The solver's derived-fact passes use this directly
+    /// for the IsNull/Len terms they introduce.
+    int var_for_term(const sym::Expr* term, bool is_bool, bool is_len);
+
+    /// Session variable for `term`, or -1 if no query ever mentioned it.
+    [[nodiscard]] int find_var(const sym::Expr* term) const {
+        const auto it = var_index_.find(term);
+        return it == var_index_.end() ? -1 : it->second;
+    }
+
+    [[nodiscard]] const VarInfo& var_info(int var) const {
+        return vars_[static_cast<std::size_t>(var)];
+    }
+    [[nodiscard]] std::size_t num_vars() const { return vars_.size(); }
+    [[nodiscard]] std::size_t num_atoms() const { return records_.size(); }
+    [[nodiscard]] sym::ExprPool& pool() { return pool_; }
+
+private:
+    struct Builder;
+
+    sym::ExprPool& pool_;
+    std::vector<VarInfo> vars_;
+    std::unordered_map<const sym::Expr*, int> var_index_;
+    std::unordered_map<std::uint32_t, Record> records_;  ///< keyed on Expr::id
+};
+
+}  // namespace preinfer::solver

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "src/sym/eval.h"
+
 namespace preinfer::solver {
+
+SolveCache::SolveCache() : SolveCache(Options{}) {}
+
+SolveCache::SolveCache(Options options) : options_(options) {}
 
 std::size_t SolveCache::KeyHash::operator()(const Key& key) const noexcept {
     // FNV-1a over the id sequence; the key is already canonical (sorted,
@@ -15,34 +21,141 @@ std::size_t SolveCache::KeyHash::operator()(const Key& key) const noexcept {
     return static_cast<std::size_t>(h);
 }
 
-SolveCache::Key SolveCache::canonical_key(
-    std::span<const sym::Expr* const> conjuncts) {
-    Key key;
-    key.reserve(conjuncts.size());
-    for (const sym::Expr* e : conjuncts) key.push_back(e->id);
-    std::sort(key.begin(), key.end());
-    key.erase(std::unique(key.begin(), key.end()), key.end());
-    return key;
+void SolveCache::canonical_key_into(Key& out,
+                                    std::span<const sym::Expr* const> conjuncts) {
+    out.clear();
+    out.reserve(conjuncts.size());
+    for (const sym::Expr* e : conjuncts) out.push_back(e->id);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-const SolveResult* SolveCache::lookup(
-    std::span<const sym::Expr* const> conjuncts) {
-    const auto it = entries_.find(canonical_key(conjuncts));
-    if (it == entries_.end()) {
-        ++stats_.misses;
-        return nullptr;
+void SolveCache::sync_scratch_key(std::span<const sym::Expr* const> conjuncts) {
+    // A key is never trusted across two lookups: a later query's vector can
+    // be reallocated at the exact address and size of an earlier, destroyed
+    // one, so span identity only proves reuse within one lookup→insert pair
+    // (insert() clears the remembered span after consuming it).
+    if (conjuncts.data() == scratch_span_data_ &&
+        conjuncts.size() == scratch_span_size_) {
+        return;  // key already built by the immediately preceding lookup
     }
-    ++stats_.hits;
+    canonical_key_into(scratch_key_, conjuncts);
+}
+
+const SolveResult* SolveCache::find_witness(
+    std::span<const sym::Expr* const> conjuncts) const {
+    for (const SolveResult* cached : model_window_) {
+        const sym::TermEnv& values = cached->model.values;
+        bool witness = true;
+        for (const sym::Expr* e : conjuncts) {
+            const auto v = sym::eval_with_terms(e, values);
+            if (!v || *v == 0) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness) return cached;
+    }
+    return nullptr;
+}
+
+bool SolveCache::subsumed_unsat() const {
+    // A cached Unsat key K subsumes the query key Q when K ⊆ Q. Since keys
+    // are sorted, K.back() (its largest id) must be one of Q's ids, so only
+    // the index buckets of Q's own ids can hold candidates.
+    int budget = options_.max_subsumption_candidates;
+    for (const std::uint32_t id : scratch_key_) {
+        const auto bucket = unsat_index_.find(id);
+        if (bucket == unsat_index_.end()) continue;
+        for (const Key* candidate : bucket->second) {
+            if (budget-- <= 0) return false;
+            if (candidate->size() > scratch_key_.size()) continue;
+            // Two-pointer subset test over the sorted sequences.
+            auto q = scratch_key_.begin();
+            bool subset = true;
+            for (const std::uint32_t k : *candidate) {
+                while (q != scratch_key_.end() && *q < k) ++q;
+                if (q == scratch_key_.end() || *q != k) {
+                    subset = false;
+                    break;
+                }
+                ++q;
+            }
+            if (subset) return true;
+        }
+    }
+    return false;
+}
+
+const SolveResult* SolveCache::insert_scratch(const SolveResult& result,
+                                              bool index_unsat) {
+    const auto [it, inserted] = entries_.emplace(scratch_key_, result);
+    if (inserted) {
+        if (it->second.status == SolveStatus::Unsat && index_unsat &&
+            options_.unsat_subsumption && !it->first.empty()) {
+            unsat_index_[it->first.back()].push_back(&it->first);
+        }
+        if (it->second.status == SolveStatus::Sat && options_.model_window > 0) {
+            model_window_.insert(model_window_.begin(), &it->second);
+            if (model_window_.size() > static_cast<std::size_t>(options_.model_window)) {
+                model_window_.pop_back();
+            }
+        }
+    }
     return &it->second;
+}
+
+SolveCache::LookupResult SolveCache::lookup(
+    std::span<const sym::Expr* const> conjuncts) {
+    canonical_key_into(scratch_key_, conjuncts);
+    scratch_span_data_ = conjuncts.data();
+    scratch_span_size_ = conjuncts.size();
+    const auto it = entries_.find(scratch_key_);
+    if (it != entries_.end()) {
+        scratch_span_data_ = nullptr;  // no insert follows a hit
+        scratch_span_size_ = 0;
+        ++stats_.hits;
+        return {&it->second, HitKind::Exact};
+    }
+    if (options_.model_window > 0) {
+        if (const SolveResult* witness = find_witness(conjuncts)) {
+            ++stats_.model_reuse;
+            // Re-keyed under the query so a repeat is an exact hit. The
+            // witness is Sat, so this also refreshes it in the window.
+            const SolveResult* stored = insert_scratch(*witness, /*index_unsat=*/true);
+            scratch_span_data_ = nullptr;
+            scratch_span_size_ = 0;
+            return {stored, HitKind::ModelReuse};
+        }
+    }
+    if (options_.unsat_subsumption && subsumed_unsat()) {
+        ++stats_.unsat_subsumed;
+        static const SolveResult kUnsat{SolveStatus::Unsat, {}};
+        // Not indexed: the subsuming (smaller) key already covers every
+        // superset this entry could ever answer for.
+        const SolveResult* stored = insert_scratch(kUnsat, /*index_unsat=*/false);
+        scratch_span_data_ = nullptr;
+        scratch_span_size_ = 0;
+        return {stored, HitKind::Subsumed};
+    }
+    ++stats_.misses;
+    return {};
 }
 
 void SolveCache::insert(std::span<const sym::Expr* const> conjuncts,
                         const SolveResult& result) {
-    entries_.emplace(canonical_key(conjuncts), result);
+    sync_scratch_key(conjuncts);
+    scratch_span_data_ = nullptr;
+    scratch_span_size_ = 0;
+    insert_scratch(result, /*index_unsat=*/true);
 }
 
 void SolveCache::clear() {
     entries_.clear();
+    unsat_index_.clear();
+    model_window_.clear();
+    scratch_span_data_ = nullptr;
+    scratch_span_size_ = 0;
     stats_ = {};
 }
 

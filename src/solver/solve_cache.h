@@ -16,7 +16,24 @@ namespace preinfer::solver {
 /// hit the same entry. The evaluation pipeline re-solves the same
 /// conjunctions constantly (sibling path flips share prefixes, and the
 /// validation suite replays the inference suite's exploration), which is
-/// where the hits come from.
+/// where the exact hits come from.
+///
+/// On an exact miss the cache tries two *semantic* answers before giving up:
+///
+///  - Model reuse: every conjunct is concretely evaluated against a bounded
+///    window of recently cached Sat models (newest first). A model that
+///    defines and satisfies all of them is a witness, so the query is Sat
+///    with that model — pure evaluation, no search. Sound because
+///    evaluation is strict: a model that does not mention a conjunct's
+///    terms never vouches for it.
+///  - Unsat subsumption: a conjunction is Unsat whenever some cached Unsat
+///    entry's key is a subset of the query's key (adding conjuncts can only
+///    shrink the solution set). This can answer Unsat where a from-scratch
+///    solve would exhaust its budget and return Unknown — a strictly more
+///    precise result.
+///
+/// Semantic hits are re-inserted under the query's exact key, so repeats
+/// become exact hits.
 ///
 /// The cached value is the full SolveResult (status + model). Seed models
 /// only steer the solver's search order, never satisfiability, so a cached
@@ -28,30 +45,63 @@ namespace preinfer::solver {
 ///  - Entries hold Expr pointers from one ExprPool; never share a cache
 ///    across pools.
 ///  - Results depend on SolverConfig bounds; only share a cache between
-///    solvers with equal configs.
+///    solvers with equal configs. (Unsat subsumption is bound-independent,
+///    but cached Sat/Unknown entries are not.)
 ///  - Not thread-safe. The harness keeps one cache per worker (alongside
 ///    that worker's ExprPool), so no locking is needed.
 class SolveCache {
 public:
+    struct Options {
+        /// How many recent Sat models the semantic lookup tests as
+        /// candidate witnesses; 0 disables model reuse. Reused witnesses
+        /// are real models but generally differ from what a fresh search
+        /// would have produced, so downstream inputs (and anything
+        /// fingerprinted from them) can shift when this is on.
+        int model_window = 0;
+        /// Answer Unsat from cached Unsat subsets of the query key.
+        bool unsat_subsumption = true;
+        /// Cap on subset tests per lookup, bounding worst-case cost when
+        /// many cached Unsat keys share ids with the query.
+        int max_subsumption_candidates = 32;
+    };
+
+    /// How a lookup was answered; Miss means "go solve".
+    enum class HitKind : std::uint8_t { Miss, Exact, ModelReuse, Subsumed };
+
+    struct LookupResult {
+        const SolveResult* result = nullptr;  ///< null iff kind == Miss
+        HitKind kind = HitKind::Miss;
+    };
+
     struct Stats {
-        std::int64_t hits = 0;
-        std::int64_t misses = 0;
+        std::int64_t hits = 0;    ///< exact-key hits only
+        std::int64_t misses = 0;  ///< lookups that fell through to Miss
+        std::int64_t model_reuse = 0;
+        std::int64_t unsat_subsumed = 0;
 
         [[nodiscard]] double hit_rate() const {
-            const std::int64_t total = hits + misses;
-            return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+            const std::int64_t served = hits + model_reuse + unsat_subsumed;
+            const std::int64_t total = served + misses;
+            return total == 0 ? 0.0 : static_cast<double>(served) / static_cast<double>(total);
         }
     };
 
-    /// Returns the cached result, or nullptr on a miss. Counts the lookup
-    /// in stats(). The pointer stays valid until clear() (node-based map).
-    [[nodiscard]] const SolveResult* lookup(
-        std::span<const sym::Expr* const> conjuncts);
+    SolveCache();
+    explicit SolveCache(Options options);
 
-    /// Stores the result for the conjunct set; first insertion wins.
+    /// Answers from the exact map, then the semantic paths (see class
+    /// comment). Counts the lookup in stats(). The result pointer stays
+    /// valid until clear() (node-based map).
+    [[nodiscard]] LookupResult lookup(std::span<const sym::Expr* const> conjuncts);
+
+    /// Stores the result for the conjunct set; first insertion wins. When
+    /// called right after lookup() with the same span (the intended
+    /// miss-then-solve-then-insert pattern), the canonical key computed by
+    /// the lookup is reused instead of being rebuilt.
     void insert(std::span<const sym::Expr* const> conjuncts,
                 const SolveResult& result);
 
+    [[nodiscard]] const Options& options() const { return options_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
     void clear();
@@ -63,10 +113,42 @@ private:
         std::size_t operator()(const Key& key) const noexcept;
     };
 
-    [[nodiscard]] static Key canonical_key(
-        std::span<const sym::Expr* const> conjuncts);
+    /// Sorted, deduplicated Expr::id sequence for the conjunct set, built
+    /// into `out` (reused scratch storage).
+    static void canonical_key_into(Key& out,
+                                   std::span<const sym::Expr* const> conjuncts);
 
+    /// Ensures scratch_key_ holds the canonical key for `conjuncts`,
+    /// skipping the rebuild when the span is the one the last lookup keyed.
+    void sync_scratch_key(std::span<const sym::Expr* const> conjuncts);
+
+    /// Stores `result` under scratch_key_ (first insertion wins) and
+    /// maintains the semantic indexes. `index_unsat` is false for
+    /// subsumption self-inserts: their Unsat fact is already covered by the
+    /// (smaller, more general) subsuming key.
+    const SolveResult* insert_scratch(const SolveResult& result, bool index_unsat);
+
+    [[nodiscard]] const SolveResult* find_witness(
+        std::span<const sym::Expr* const> conjuncts) const;
+    [[nodiscard]] bool subsumed_unsat() const;
+
+    Options options_;
     std::unordered_map<Key, SolveResult, KeyHash> entries_;
+    /// Cached Unsat keys bucketed by their largest id (keys are sorted, so
+    /// that is key.back()): a subset's largest id must appear in the query,
+    /// which limits the candidate scan to the query's own ids. Pointers
+    /// into entries_ keys (stable).
+    std::unordered_map<std::uint32_t, std::vector<const Key*>> unsat_index_;
+    /// Recently inserted Sat results, newest first, capped at
+    /// options_.model_window. Pointers into entries_ values (stable).
+    std::vector<const SolveResult*> model_window_;
+
+    Key scratch_key_;
+    /// Identity of the span scratch_key_ was built from; insert() reuses
+    /// the key only when its span matches exactly.
+    const sym::Expr* const* scratch_span_data_ = nullptr;
+    std::size_t scratch_span_size_ = 0;
+
     Stats stats_;
 };
 

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/solver/atom_index.h"
 #include "src/solver/linear.h"
 #include "src/support/diagnostics.h"
-#include "src/sym/rewrite.h"
 
 namespace preinfer::solver {
-
-namespace {
+namespace detail {
 
 using sym::Expr;
 using sym::Kind;
@@ -43,52 +42,262 @@ struct NonLinConstraint {
     int result_var = -1;
 };
 
-class Search {
-public:
-    Search(sym::ExprPool& pool, const SolverConfig& config, const Model* seed)
-        : pool_(pool), config_(config), seed_(seed) {}
+/// One (variable, coefficient) pair of a compiled linear constraint.
+struct FlatTerm {
+    std::int32_t var;
+    std::int64_t coeff;
+};
 
-    SolveResult run(std::span<const Expr* const> conjuncts, Solver::Stats& stats) {
-        for (const Expr* e : conjuncts) {
-            if (!load_atom(e, /*polarity=*/true)) {
-                stats.num_vars = static_cast<int>(vars_.size());
-                stats.num_constraints = static_cast<int>(linear_.size());
-                if (unsupported_) return {SolveStatus::Unknown, {}};
-                return {SolveStatus::Unsat, {}};
-            }
+/// A linear constraint compiled for the search hot path: coefficients are
+/// a contiguous [begin, end) slice of a term arena instead of a std::map.
+struct FlatLin {
+    LinRel rel = LinRel::Le;
+    std::int64_t constant = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    /// For Eq only: start of the negated coefficient run (same length).
+    std::uint32_t flipped_begin = 0;
+    /// Write-stamp counter value when this constraint last started an
+    /// evaluation; 0 = never evaluated. Propagation skips a constraint iff
+    /// none of its variables were written since then — such a re-evaluation
+    /// is provably a no-op, so skipping is bit-exact (including the round
+    /// count and the `changed` fixpoint flag).
+    std::uint32_t last_stamp = 0;
+};
+
+VarState make_var_state(const AtomIndex::VarInfo& info, const SolverConfig& config) {
+    VarState v;
+    v.term = info.term;
+    v.is_bool = info.is_bool;
+    v.is_len = info.is_len;
+    if (info.is_bool) {
+        v.lo = 0;
+        v.hi = 1;
+    } else if (info.is_len) {
+        v.lo = 0;
+        v.hi = config.len_max;
+    } else {
+        v.lo = config.int_min;
+        v.hi = config.int_max;
+    }
+    return v;
+}
+
+/// True for terms that are solver variables as-is.
+bool is_ground_int_term(const Expr* e) {
+    switch (e->kind) {
+        case Kind::Param: return e->sort == Sort::Int;
+        case Kind::Len: return true;
+        case Kind::Select: return e->sort == Sort::Int;
+        default: return false;
+    }
+}
+
+/// The loaded (pre-search) form of a conjunction, built by replaying
+/// memoized AtomIndex records and mutated only through push/pop so a trail
+/// can undo any suffix. Variables are query-local and dense, numbered in
+/// first-mention order exactly as a from-scratch atom load would number
+/// them; `local_of_global_` translates session (AtomIndex) variables.
+///
+/// Search never runs in place: solve() hands a copy of the domains to a
+/// Runner, so propagation, the derived-fact passes, and DFS leave the
+/// pushed state untouched.
+class IncrementalState {
+public:
+    IncrementalState(sym::ExprPool& pool, const SolverConfig& config, AtomIndex& index)
+        : pool_(pool), config_(config), index_(index) {}
+
+    void push(const Expr* atom) {
+        frames_.push_back({vars_.size(), linear_.size(), nonlinear_.size(),
+                           dom_undo_.size(), ws_undo_.size(), failed_, unknown_});
+        // Once the conjunction is decided, later conjuncts are not loaded
+        // (matching the from-scratch loader, which stops at the first
+        // failing atom); the frame still exists so pop() stays symmetric.
+        if (failed_ || unknown_) return;
+        const AtomIndex::Record& rec = index_.record(atom);
+        if (local_of_global_.size() < index_.num_vars()) {
+            local_of_global_.resize(index_.num_vars(), -1);
         }
+        for (const std::int32_t sv : rec.vars) {
+            if (local_of_global_[static_cast<std::size_t>(sv)] >= 0) continue;
+            const AtomIndex::VarInfo& info = index_.var_info(sv);
+            const int lv = static_cast<int>(vars_.size());
+            vars_.push_back(make_var_state(info, config_));
+            global_of_local_.push_back(sv);
+            local_of_global_[static_cast<std::size_t>(sv)] = lv;
+            if (info.is_nonlinear_aux) nonlinear_.push_back({info.term, lv});
+        }
+        for (const AtomIndex::BoolAssign& b : rec.bools) {
+            VarState& v = local(b.var);
+            const std::int64_t want = b.value ? 1 : 0;
+            if (v.assigned()) {
+                if (v.lo != want) {
+                    // Conflict with an earlier conjunct: the rest of this
+                    // atom is not loaded, as in the from-scratch path.
+                    failed_ = true;
+                    return;
+                }
+                continue;
+            }
+            dom_undo_.push_back({local_index(b.var), v.lo, v.hi});
+            v.lo = v.hi = want;
+        }
+        for (const AtomIndex::WsMark& w : rec.ws) {
+            VarState& v = local(w.var);
+            ws_undo_.push_back({local_index(w.var), v.ws_member, v.ws_not});
+            (w.member ? v.ws_member : v.ws_not) = true;
+        }
+        for (const LinearConstraint& c : rec.linear) {
+            LinearConstraint lc;
+            lc.rel = c.rel;
+            lc.expr.constant = c.expr.constant;
+            for (const auto& [sv, coeff] : c.expr.coeffs) {
+                lc.expr.coeffs.emplace(local_of_global_[static_cast<std::size_t>(sv)],
+                                       coeff);
+            }
+            linear_.push_back(std::move(lc));
+        }
+        if (rec.outcome == AtomIndex::Outcome::False) {
+            failed_ = true;
+        } else if (rec.outcome == AtomIndex::Outcome::Unsupported) {
+            unknown_ = true;
+        }
+    }
+
+    void pop() {
+        PI_CHECK(!frames_.empty(), "pop on empty solver context");
+        const Frame f = frames_.back();
+        frames_.pop_back();
+        while (ws_undo_.size() > f.n_ws_undo) {
+            const WsUndo& u = ws_undo_.back();
+            vars_[static_cast<std::size_t>(u.var)].ws_member = u.member;
+            vars_[static_cast<std::size_t>(u.var)].ws_not = u.ws_not;
+            ws_undo_.pop_back();
+        }
+        while (dom_undo_.size() > f.n_dom_undo) {
+            const DomUndo& u = dom_undo_.back();
+            vars_[static_cast<std::size_t>(u.var)].lo = u.lo;
+            vars_[static_cast<std::size_t>(u.var)].hi = u.hi;
+            dom_undo_.pop_back();
+        }
+        while (vars_.size() > f.n_vars) {
+            local_of_global_[static_cast<std::size_t>(global_of_local_.back())] = -1;
+            global_of_local_.pop_back();
+            vars_.pop_back();
+        }
+        linear_.resize(f.n_linear);
+        nonlinear_.resize(f.n_nonlinear);
+        failed_ = f.was_failed;
+        unknown_ = f.was_unknown;
+    }
+
+    void clear() {
+        for (const std::int32_t sv : global_of_local_) {
+            local_of_global_[static_cast<std::size_t>(sv)] = -1;
+        }
+        vars_.clear();
+        global_of_local_.clear();
+        linear_.clear();
+        nonlinear_.clear();
+        frames_.clear();
+        dom_undo_.clear();
+        ws_undo_.clear();
+        failed_ = false;
+        unknown_ = false;
+    }
+
+    [[nodiscard]] std::size_t depth() const { return frames_.size(); }
+
+    [[nodiscard]] SolveResult solve(const Model* seed, Solver::Stats& stats) const;
+
+private:
+    friend class Runner;
+
+    struct Frame {
+        std::size_t n_vars;
+        std::size_t n_linear;
+        std::size_t n_nonlinear;
+        std::size_t n_dom_undo;
+        std::size_t n_ws_undo;
+        bool was_failed;
+        bool was_unknown;
+    };
+    struct DomUndo {
+        std::int32_t var;
+        std::int64_t lo, hi;
+    };
+    struct WsUndo {
+        std::int32_t var;
+        bool member, ws_not;
+    };
+
+    [[nodiscard]] std::int32_t local_index(std::int32_t session_var) const {
+        return local_of_global_[static_cast<std::size_t>(session_var)];
+    }
+    [[nodiscard]] VarState& local(std::int32_t session_var) {
+        return vars_[static_cast<std::size_t>(local_index(session_var))];
+    }
+
+    sym::ExprPool& pool_;
+    const SolverConfig& config_;
+    AtomIndex& index_;
+
+    std::vector<VarState> vars_;
+    std::vector<std::int32_t> global_of_local_;
+    /// Session var -> local var or -1; sized to the index on demand.
+    std::vector<std::int32_t> local_of_global_;
+    std::vector<LinearConstraint> linear_;
+    std::vector<NonLinConstraint> nonlinear_;
+    bool failed_ = false;    ///< some conjunct refuted the conjunction
+    bool unknown_ = false;   ///< some conjunct fell outside the fragment
+
+    std::vector<Frame> frames_;
+    std::vector<DomUndo> dom_undo_;
+    std::vector<WsUndo> ws_undo_;
+};
+
+/// One solve over a snapshot of an IncrementalState: runs the derived-fact
+/// passes (observer-implies-non-null, element-access-implies-length) and the
+/// branch-and-propagate search on copied domains, leaving the pushed state
+/// reusable. The search itself is unchanged from the pre-incremental
+/// solver; only where variables and constraints come from differs.
+class Runner {
+public:
+    Runner(const IncrementalState& state, const Model* seed)
+        : config_(state.config_),
+          index_(state.index_),
+          seed_(seed),
+          vars_(state.vars_),
+          global_of_local_(state.global_of_local_),
+          local_of_global_(state.local_of_global_),
+          loaded_linear_(state.linear_),
+          nonlinear_(state.nonlinear_) {}
+
+    SolveResult run(Solver::Stats& stats) {
         // Observers imply non-null: a model must make every atom true under
         // the partial evaluation semantics, and Len(t) / Select(t, k) are
-        // undefined on a null object. Collect every object some variable's
-        // term dereferences — Len(t)/Select(t, .) dereference t and all
-        // objects inside t's chain; IsNull(x) dereferences only the objects
-        // strictly inside x — then force each one's IsNull variable to
-        // false (creating it if needed, so models are complete enough for
-        // input reconstruction). Conflict => Unsat.
+        // undefined on a null object. Each variable's dereferenced-object
+        // set is precomputed in its VarInfo (in the original pass's note
+        // order); force each one's IsNull variable to false (creating it if
+        // needed, so models are complete enough for input reconstruction).
+        // Conflict => Unsat.
         {
             std::vector<const Expr*> dereferenced;
-            const auto note = [&dereferenced](const Expr* obj) {
-                dereferenced.push_back(obj);
-            };
             const std::size_t initial_vars = vars_.size();
             for (std::size_t i = 0; i < initial_vars; ++i) {
-                const Expr* term = vars_[i].term;
-                const Kind k = term->kind;
-                if (k != Kind::Len && k != Kind::Select && k != Kind::IsNull) continue;
-                const Expr* base = term->child0;
-                if (k != Kind::IsNull) note(base);
-                // Anything selected-from inside the base chain is also
-                // dereferenced (e.g. IsNull(s[0]) or Len(s[0]) deref s).
-                sym::for_each_node(base, [&](const Expr* n) {
-                    if (n->kind == Kind::Select) note(n->child0);
-                });
+                const AtomIndex::VarInfo& info =
+                    index_.var_info(global_of_local_[i]);
+                for (const Expr* t : info.deref_null_terms) {
+                    dereferenced.push_back(t);
+                }
             }
-            for (const Expr* obj : dereferenced) {
-                const int v = var_for_term(pool_.is_null(obj), /*is_bool=*/true,
-                                           /*is_len=*/false);
+            for (const Expr* t : dereferenced) {
+                const int v = local_var(index_.var_for_term(t, /*is_bool=*/true,
+                                                            /*is_len=*/false));
                 if (!assign_bool(v, false)) {
                     stats.num_vars = static_cast<int>(vars_.size());
-                    stats.num_constraints = static_cast<int>(linear_.size());
+                    stats.num_constraints = static_cast<int>(
+                        loaded_linear_.size() + derived_linear_.size());
                     return {SolveStatus::Unsat, {}};
                 }
             }
@@ -98,28 +307,64 @@ public:
         // only when k < Len(t). (Path conditions carry the bounds-check
         // predicates explicitly; arbitrary conjunctions need the axiom.)
         {
-            std::vector<const Expr*> selects;
-            for (const VarState& v : vars_) {
-                if (v.term->kind == Kind::Select &&
-                    v.term->child1->kind == Kind::IntConst) {
-                    selects.push_back(v.term);
+            std::vector<std::pair<const Expr*, std::int64_t>> selects;
+            for (std::size_t i = 0; i < vars_.size(); ++i) {
+                const AtomIndex::VarInfo& info =
+                    index_.var_info(global_of_local_[i]);
+                if (info.select_len_term != nullptr) {
+                    selects.emplace_back(info.select_len_term,
+                                         info.select_index_plus1);
                 }
             }
-            for (const Expr* sel : selects) {
-                const int len_var =
-                    var_for_term(pool_.len(sel->child0), /*is_bool=*/false,
-                                 /*is_len=*/true);
+            for (const auto& [len_term, index_plus1] : selects) {
+                const int len_var = local_var(
+                    index_.var_for_term(len_term, /*is_bool=*/false, /*is_len=*/true));
                 // k + 1 - len <= 0
                 LinearConstraint c;
                 c.rel = LinRel::Le;
-                c.expr.constant = sel->child1->a + 1;
+                c.expr.constant = index_plus1;
                 c.expr.add_term(len_var, -1);
-                linear_.push_back(std::move(c));
+                derived_linear_.push_back(std::move(c));
             }
         }
 
+        // Compile the constraints (loaded then derived, preserving the
+        // from-scratch loader's append order) into flat coefficient arrays:
+        // propagation and leaf checks iterate them thousands of times per
+        // search, and walking std::map nodes — or, worse, materializing the
+        // negated map of every Eq constraint on every propagation round, as
+        // the pre-incremental solver did — dominated exhaustive searches.
+        // Term order inside each constraint is the map's key order, so the
+        // arithmetic sequence is unchanged.
+        std::size_t num_constraints = 0;
+        const auto compile = [this, &num_constraints](const LinearConstraint& c) {
+            FlatLin f;
+            f.rel = c.rel;
+            f.constant = c.expr.constant;
+            f.begin = static_cast<std::uint32_t>(terms_.size());
+            for (const auto& [vi, coeff] : c.expr.coeffs) {
+                terms_.push_back({vi, coeff});
+            }
+            f.end = static_cast<std::uint32_t>(terms_.size());
+            if (c.rel == LinRel::Eq) {
+                // Pre-negated form for the `>= 0` direction of equalities.
+                f.flipped_begin = static_cast<std::uint32_t>(flipped_terms_.size());
+                for (const auto& [vi, coeff] : c.expr.coeffs) {
+                    flipped_terms_.push_back({vi, -coeff});
+                }
+            }
+            flat_.push_back(f);
+            ++num_constraints;
+        };
+        for (const LinearConstraint& c : loaded_linear_) compile(c);
+        for (const LinearConstraint& c : derived_linear_) compile(c);
+
+        // Every variable starts "just written" (stamp 1 > any last_stamp of
+        // 0), so the first propagation pass evaluates every constraint.
+        stamps_.assign(vars_.size(), 1);
+
         stats.num_vars = static_cast<int>(vars_.size());
-        stats.num_constraints = static_cast<int>(linear_.size());
+        stats.num_constraints = static_cast<int>(num_constraints);
 
         SolveResult result;
         try {
@@ -138,112 +383,43 @@ public:
     }
 
 private:
-    // --- variable table ------------------------------------------------------
-    int var_for_term(const Expr* term, bool is_bool, bool is_len) {
-        if (auto it = var_index_.find(term); it != var_index_.end()) return it->second;
-        VarState v;
-        v.term = term;
-        v.is_bool = is_bool;
-        v.is_len = is_len;
-        if (is_bool) {
-            v.lo = 0;
-            v.hi = 1;
-        } else if (is_len) {
-            v.lo = 0;
-            v.hi = config_.len_max;
-        } else {
-            v.lo = config_.int_min;
-            v.hi = config_.int_max;
+    /// Local variable for a session variable, created on first use (only
+    /// the derived-fact passes create variables here).
+    int local_var(int session_var) {
+        if (static_cast<std::size_t>(session_var) >= local_of_global_.size()) {
+            local_of_global_.resize(index_.num_vars(), -1);
         }
-        vars_.push_back(v);
-        const int idx = static_cast<int>(vars_.size()) - 1;
-        var_index_.emplace(term, idx);
-        return idx;
+        int lv = local_of_global_[static_cast<std::size_t>(session_var)];
+        if (lv >= 0) return lv;
+        lv = static_cast<int>(vars_.size());
+        vars_.push_back(make_var_state(index_.var_info(session_var), config_));
+        global_of_local_.push_back(session_var);
+        local_of_global_[static_cast<std::size_t>(session_var)] = lv;
+        return lv;
     }
 
-    /// True for terms that are solver variables as-is.
-    static bool is_ground_int_term(const Expr* e) {
-        switch (e->kind) {
-            case Kind::Param: return e->sort == Sort::Int;
-            case Kind::Len: return true;
-            case Kind::Select: return e->sort == Sort::Int;
-            default: return false;
-        }
-    }
-
-    // --- linearization -------------------------------------------------------
-    /// Rewrites an integer expression into a linear form over solver
-    /// variables, introducing auxiliary variables for non-linear subterms.
-    /// Returns false on unsupported structure (BoundVar leaks etc.).
-    bool linearize(const Expr* e, LinearExpr& out, std::int64_t scale) {
-        switch (e->kind) {
-            case Kind::IntConst:
-                out.constant += e->a * scale;
-                return true;
-            case Kind::Neg:
-                return linearize(e->child0, out, -scale);
-            case Kind::Add:
-                return linearize(e->child0, out, scale) &&
-                       linearize(e->child1, out, scale);
-            case Kind::Sub:
-                return linearize(e->child0, out, scale) &&
-                       linearize(e->child1, out, -scale);
-            case Kind::Mul:
-                if (e->child1->kind == Kind::IntConst)
-                    return linearize(e->child0, out, scale * e->child1->a);
-                if (e->child0->kind == Kind::IntConst)
-                    return linearize(e->child1, out, scale * e->child0->a);
-                out.add_term(aux_var_for(e), scale);
-                return true;
-            case Kind::Div:
-            case Kind::Mod:
-                out.add_term(aux_var_for(e), scale);
-                return true;
-            default:
-                if (is_ground_int_term(e)) {
-                    out.add_term(var_for_term(e, /*is_bool=*/false,
-                                              /*is_len=*/e->kind == Kind::Len),
-                                 scale);
-                    return true;
-                }
-                unsupported_ = true;
-                return false;
-        }
-    }
-
-    /// Auxiliary variable equal to a non-linear node; its argument terms are
-    /// registered so the constraint can fire once they are assigned.
-    int aux_var_for(const Expr* node) {
-        if (auto it = var_index_.find(node); it != var_index_.end()) return it->second;
-        const int v = var_for_term(node, /*is_bool=*/false, /*is_len=*/false);
-        // Ensure every ground term inside the node has a variable, so
-        // "arguments assigned" is a well-defined trigger.
-        register_subterms(node);
-        nonlinear_.push_back({node, v});
-        return v;
-    }
-
-    void register_subterms(const Expr* node) {
-        if (is_ground_int_term(node)) {
-            var_for_term(node, false, node->kind == Kind::Len);
-            return;
-        }
-        if (node->child0) register_subterms(node->child0);
-        if (node->child1) register_subterms(node->child1);
+    bool assign_bool(int var, bool value) {
+        VarState& v = vars_[static_cast<std::size_t>(var)];
+        const std::int64_t want = value ? 1 : 0;
+        if (v.assigned()) return v.lo == want;
+        v.lo = v.hi = want;
+        return true;
     }
 
     /// Evaluates an integer term under the current partial assignment;
     /// nullopt when it depends on an unassigned variable (or divides by 0).
     std::optional<std::int64_t> eval_term(const Expr* e) const {
-        if (auto it = var_index_.find(e); it != var_index_.end()) {
-            const VarState& v = vars_[static_cast<std::size_t>(it->second)];
-            // Only use the variable's value when it denotes a ground term;
-            // for aux (non-linear) nodes fall through and evaluate
-            // structurally so the constraint actually constrains.
-            if (is_ground_int_term(e)) {
-                if (!v.assigned()) return std::nullopt;
-                return v.lo;
+        if (is_ground_int_term(e)) {
+            const int sv = index_.find_var(e);
+            if (sv >= 0 && static_cast<std::size_t>(sv) < local_of_global_.size()) {
+                const int lv = local_of_global_[static_cast<std::size_t>(sv)];
+                if (lv >= 0) {
+                    const VarState& v = vars_[static_cast<std::size_t>(lv)];
+                    if (!v.assigned()) return std::nullopt;
+                    return v.lo;
+                }
             }
+            return std::nullopt;  // ground term without a query variable
         }
         switch (e->kind) {
             case Kind::IntConst: return e->a;
@@ -274,150 +450,26 @@ private:
                 return std::nullopt;
             }
             default:
-                return std::nullopt;  // unassigned ground term
+                return std::nullopt;
         }
-    }
-
-    // --- atom loading ----------------------------------------------------------
-    bool load_atom(const Expr* e, bool polarity) {
-        switch (e->kind) {
-            case Kind::BoolConst:
-                return (e->a != 0) == polarity;
-            case Kind::Not:
-                return load_atom(e->child0, !polarity);
-            case Kind::And:
-                if (polarity)
-                    return load_atom(e->child0, true) && load_atom(e->child1, true);
-                unsupported_ = true;
-                return false;
-            case Kind::Or:
-                if (!polarity)
-                    return load_atom(e->child0, false) && load_atom(e->child1, false);
-                unsupported_ = true;
-                return false;
-            case Kind::Param: {
-                PI_CHECK(e->sort == Sort::Bool, "non-bool param as atom");
-                return assign_bool(var_for_term(e, true, false), polarity);
-            }
-            case Kind::IsNull:
-                return assign_bool(var_for_term(e, true, false), polarity);
-            case Kind::IsWhitespace: {
-                LinearExpr lin;
-                if (!linearize(e->child0, lin, 1)) return false;
-                const int v = alias_var(lin);
-                if (v < 0) {
-                    // Constant argument: decide immediately.
-                    return sym::ExprPool::whitespace_code_point(lin.constant) == polarity;
-                }
-                if (polarity) {
-                    vars_[static_cast<std::size_t>(v)].ws_member = true;
-                } else {
-                    vars_[static_cast<std::size_t>(v)].ws_not = true;
-                }
-                return true;
-            }
-            case Kind::Eq: case Kind::Ne: case Kind::Lt:
-            case Kind::Le: case Kind::Gt: case Kind::Ge:
-                return load_comparison(e, polarity);
-            default:
-                unsupported_ = true;
-                return false;
-        }
-    }
-
-    bool assign_bool(int var, bool value) {
-        VarState& v = vars_[static_cast<std::size_t>(var)];
-        const std::int64_t want = value ? 1 : 0;
-        if (v.assigned()) return v.lo == want;
-        v.lo = v.hi = want;
-        return true;
-    }
-
-    /// Variable equal to an arbitrary linear expression (for IsWhitespace
-    /// arguments); -1 when the expression is constant. Single-variable
-    /// `1*x + 0` maps straight to x.
-    int alias_var(const LinearExpr& lin) {
-        if (lin.is_constant()) return -1;
-        if (lin.single_var() && lin.coeffs.begin()->second == 1 && lin.constant == 0)
-            return lin.coeffs.begin()->first;
-        // Fresh alias v with constraint v - lin == 0. Alias variables are
-        // keyed by nothing (they never appear in models' useful parts), so
-        // fabricate a unique term via a fresh pool expression.
-        const Expr* key = pool_.bound_var(100000 + static_cast<int>(vars_.size()));
-        const int v = var_for_term(key, false, false);
-        LinearConstraint c;
-        c.expr = lin;
-        c.expr.add_term(v, -1);
-        c.rel = LinRel::Eq;
-        linear_.push_back(std::move(c));
-        return v;
-    }
-
-    bool load_comparison(const Expr* e, bool polarity) {
-        Kind op = e->kind;
-        if (!polarity) {
-            switch (op) {
-                case Kind::Eq: op = Kind::Ne; break;
-                case Kind::Ne: op = Kind::Eq; break;
-                case Kind::Lt: op = Kind::Ge; break;
-                case Kind::Le: op = Kind::Gt; break;
-                case Kind::Gt: op = Kind::Le; break;
-                case Kind::Ge: op = Kind::Lt; break;
-                default: break;
-            }
-        }
-        LinearExpr lin;
-        if (!linearize(e->child0, lin, 1)) return false;
-        if (!linearize(e->child1, lin, -1)) return false;
-
-        LinearConstraint c;
-        switch (op) {
-            case Kind::Eq: c.rel = LinRel::Eq; break;
-            case Kind::Ne: c.rel = LinRel::Ne; break;
-            case Kind::Le: c.rel = LinRel::Le; break;
-            case Kind::Lt: c.rel = LinRel::Le; lin.constant += 1; break;
-            case Kind::Ge: {
-                LinearExpr flipped;
-                flipped.add(lin, -1);
-                lin = std::move(flipped);
-                c.rel = LinRel::Le;
-                break;
-            }
-            case Kind::Gt: {
-                LinearExpr flipped;
-                flipped.add(lin, -1);
-                lin = std::move(flipped);
-                lin.constant += 1;
-                c.rel = LinRel::Le;
-                break;
-            }
-            default: PI_CHECK(false, "non-comparison in load_comparison");
-        }
-        if (lin.is_constant()) {
-            switch (c.rel) {
-                case LinRel::Le: return lin.constant <= 0;
-                case LinRel::Eq: return lin.constant == 0;
-                case LinRel::Ne: return lin.constant != 0;
-            }
-        }
-        c.expr = std::move(lin);
-        linear_.push_back(std::move(c));
-        return true;
     }
 
     // --- propagation ------------------------------------------------------------
-    /// Tightens every variable bound implied by `expr <= 0`; false on conflict.
-    bool propagate_le(const LinearExpr& lin, bool& changed) {
+    /// Tightens every variable bound implied by `constant + Σ terms <= 0`;
+    /// false on conflict.
+    bool propagate_le(std::int64_t constant, const FlatTerm* t, const FlatTerm* t_end,
+                      bool& changed) {
         // Minimum possible value of the whole expression.
-        I128 min_sum = lin.constant;
-        for (const auto& [vi, c] : lin.coeffs) {
-            const VarState& v = vars_[static_cast<std::size_t>(vi)];
-            min_sum += c > 0 ? I128(c) * v.lo : I128(c) * v.hi;
+        I128 min_sum = constant;
+        for (const FlatTerm* p = t; p != t_end; ++p) {
+            const VarState& v = vars_[static_cast<std::size_t>(p->var)];
+            min_sum += p->coeff > 0 ? I128(p->coeff) * v.lo : I128(p->coeff) * v.hi;
         }
         if (min_sum > 0) return false;
 
-        for (const auto& [vi, c] : lin.coeffs) {
-            VarState& v = vars_[static_cast<std::size_t>(vi)];
+        for (const FlatTerm* p = t; p != t_end; ++p) {
+            const std::int64_t c = p->coeff;
+            VarState& v = vars_[static_cast<std::size_t>(p->var)];
             // Contribution of all *other* terms at their minimum.
             const I128 others =
                 min_sum - (c > 0 ? I128(c) * v.lo : I128(c) * v.hi);
@@ -428,6 +480,7 @@ private:
                 if (max_x < v.hi) {
                     if (max_x < v.lo) return false;
                     v.hi = static_cast<std::int64_t>(max_x);
+                    touch(p->var);
                     changed = true;
                 }
             } else {
@@ -436,6 +489,7 @@ private:
                 if (min_x > v.lo) {
                     if (min_x > v.hi) return false;
                     v.lo = static_cast<std::int64_t>(min_x);
+                    touch(p->var);
                     changed = true;
                 }
             }
@@ -443,17 +497,20 @@ private:
         return true;
     }
 
-    bool propagate_ne(const LinearConstraint& c, bool& changed) {
+    bool propagate_ne(const FlatLin& f, bool& changed) {
         // Only act when a single unit-coefficient variable remains.
         int free_var = -1;
         std::int64_t free_coeff = 0;
-        I128 rest = c.expr.constant;
-        for (const auto& [vi, coeff] : c.expr.coeffs) {
-            const VarState& v = vars_[static_cast<std::size_t>(vi)];
+        I128 rest = f.constant;
+        for (const FlatTerm* p = terms_.data() + f.begin,
+                            * e = terms_.data() + f.end;
+             p != e; ++p) {
+            const std::int64_t coeff = p->coeff;
+            const VarState& v = vars_[static_cast<std::size_t>(p->var)];
             if (v.assigned()) {
                 rest += I128(coeff) * v.lo;
             } else if (free_var < 0) {
-                free_var = vi;
+                free_var = p->var;
                 free_coeff = coeff;
             } else {
                 return true;  // two free vars: nothing to do yet
@@ -467,10 +524,12 @@ private:
         VarState& v = vars_[static_cast<std::size_t>(free_var)];
         if (v.lo == forbidden) {
             ++v.lo;
+            touch(free_var);
             changed = true;
         }
         if (v.hi == forbidden) {
             --v.hi;
+            touch(free_var);
             changed = true;
         }
         return v.lo <= v.hi;
@@ -484,6 +543,7 @@ private:
             if (*value < v.lo || *value > v.hi) return false;
             if (!v.assigned()) {
                 v.lo = v.hi = *value;
+                touch(nl.result_var);
                 changed = true;
             }
         }
@@ -492,30 +552,57 @@ private:
 
     bool propagate() {
         // Whitespace hull.
-        for (VarState& v : vars_) {
+        for (std::size_t i = 0; i < vars_.size(); ++i) {
+            VarState& v = vars_[i];
             if (v.ws_member) {
-                if (v.lo < kWsLo) v.lo = kWsLo;
-                if (v.hi > kWsHi) v.hi = kWsHi;
+                if (v.lo < kWsLo) {
+                    v.lo = kWsLo;
+                    touch(static_cast<std::int32_t>(i));
+                }
+                if (v.hi > kWsHi) {
+                    v.hi = kWsHi;
+                    touch(static_cast<std::int32_t>(i));
+                }
                 if (v.lo > v.hi) return false;
             }
         }
         for (int round = 0; round < config_.max_propagation_rounds; ++round) {
             ++propagation_rounds_;
             bool changed = false;
-            for (const LinearConstraint& c : linear_) {
-                switch (c.rel) {
+            for (FlatLin& f : flat_) {
+                const FlatTerm* t = terms_.data() + f.begin;
+                const FlatTerm* t_end = terms_.data() + f.end;
+                // Dirty check: re-evaluating a constraint none of whose
+                // variables were written since its last evaluation started
+                // is a provable no-op (interval tightening is monotone in
+                // its inputs), so skipping it changes neither domains nor
+                // the `changed` flag. last_stamp is taken *before* the
+                // evaluation so the constraint's own writes re-dirty it for
+                // the next round — Eq propagation needs the second direction
+                // to see the first direction's tightenings, exactly as the
+                // always-evaluate baseline replays them next round.
+                std::uint32_t newest = 0;
+                for (const FlatTerm* p = t; p != t_end; ++p) {
+                    newest = std::max(
+                        newest, stamps_[static_cast<std::size_t>(p->var)]);
+                }
+                if (f.last_stamp != 0 && newest <= f.last_stamp) continue;
+                f.last_stamp = stamp_counter_;
+                switch (f.rel) {
                     case LinRel::Le:
-                        if (!propagate_le(c.expr, changed)) return false;
+                        if (!propagate_le(f.constant, t, t_end, changed)) return false;
                         break;
                     case LinRel::Eq: {
-                        if (!propagate_le(c.expr, changed)) return false;
-                        LinearExpr flipped;
-                        flipped.add(c.expr, -1);
-                        if (!propagate_le(flipped, changed)) return false;
+                        if (!propagate_le(f.constant, t, t_end, changed)) return false;
+                        const FlatTerm* ft = flipped_terms_.data() + f.flipped_begin;
+                        if (!propagate_le(-f.constant, ft, ft + (f.end - f.begin),
+                                          changed)) {
+                            return false;
+                        }
                         break;
                     }
                     case LinRel::Ne:
-                        if (!propagate_ne(c, changed)) return false;
+                        if (!propagate_ne(f, changed)) return false;
                         break;
                 }
             }
@@ -526,22 +613,19 @@ private:
     }
 
     // --- leaf verification --------------------------------------------------------
-    bool all_assigned() const {
-        return std::all_of(vars_.begin(), vars_.end(),
-                           [](const VarState& v) { return v.assigned(); });
-    }
-
     bool verify_leaf() const {
         for (const VarState& v : vars_) {
             const bool ws = sym::ExprPool::whitespace_code_point(v.lo);
             if (v.ws_member && !ws) return false;
             if (v.ws_not && ws) return false;
         }
-        for (const LinearConstraint& c : linear_) {
-            I128 sum = c.expr.constant;
-            for (const auto& [vi, coeff] : c.expr.coeffs)
-                sum += I128(coeff) * vars_[static_cast<std::size_t>(vi)].lo;
-            switch (c.rel) {
+        for (const FlatLin& f : flat_) {
+            I128 sum = f.constant;
+            for (const FlatTerm* p = terms_.data() + f.begin,
+                                * e = terms_.data() + f.end;
+                 p != e; ++p)
+                sum += I128(p->coeff) * vars_[static_cast<std::size_t>(p->var)].lo;
+            switch (f.rel) {
                 case LinRel::Le: if (sum > 0) return false; break;
                 case LinRel::Eq: if (sum != 0) return false; break;
                 case LinRel::Ne: if (sum == 0) return false; break;
@@ -587,19 +671,41 @@ private:
         return (v.lo >= 0 || -v.lo <= v.hi) ? v.lo : v.hi;
     }
 
-    std::vector<std::pair<std::int64_t, std::int64_t>> snapshot() const {
-        std::vector<std::pair<std::int64_t, std::int64_t>> s;
-        s.reserve(vars_.size());
-        for (const VarState& v : vars_) s.emplace_back(v.lo, v.hi);
-        return s;
+    /// Domain snapshot into a per-depth reusable buffer (a fresh allocation
+    /// per search node is measurable on budget-exhausting searches). Deeper
+    /// recursion may grow the pool, so callers re-index per restore instead
+    /// of holding a reference.
+    void snapshot(int depth) {
+        if (snap_pool_.size() <= static_cast<std::size_t>(depth)) {
+            snap_pool_.resize(static_cast<std::size_t>(depth) + 1);
+        }
+        auto& s = snap_pool_[static_cast<std::size_t>(depth)];
+        s.resize(vars_.size());
+        for (std::size_t i = 0; i < vars_.size(); ++i) {
+            s[i] = {vars_[i].lo, vars_[i].hi};
+        }
     }
 
-    void restore(const std::vector<std::pair<std::int64_t, std::int64_t>>& s) {
-        // New alias variables are never created during search, so sizes match.
+    void restore(int depth) {
+        // New variables are never created during search, so sizes match.
+        // Only actually-changed variables are written (and stamped): a
+        // restore that rewinds nothing must not dirty constraints, or the
+        // cross-node skip would never fire.
+        const auto& s = snap_pool_[static_cast<std::size_t>(depth)];
         for (std::size_t i = 0; i < s.size(); ++i) {
-            vars_[i].lo = s[i].first;
-            vars_[i].hi = s[i].second;
+            VarState& v = vars_[i];
+            if (v.lo != s[i].first || v.hi != s[i].second) {
+                v.lo = s[i].first;
+                v.hi = s[i].second;
+                touch(static_cast<std::int32_t>(i));
+            }
         }
+    }
+
+    /// Records a domain write to variable `vi` for the dirty-constraint
+    /// check in propagate().
+    void touch(std::int32_t vi) {
+        stamps_[static_cast<std::size_t>(vi)] = ++stamp_counter_;
     }
 
     bool dfs(int depth) {
@@ -610,7 +716,7 @@ private:
         if (vi < 0) return verify_leaf();
         VarState& v = vars_[static_cast<std::size_t>(vi)];
 
-        const auto saved = snapshot();
+        snapshot(depth);
         const std::int64_t lo = v.lo;
         const std::int64_t hi = v.hi;
 
@@ -618,13 +724,15 @@ private:
         if (v.width() <= 32) {
             // Small domain: enumerate, preferred value first.
             v.lo = v.hi = pv;
+            touch(vi);
             if (dfs(depth + 1)) return true;
-            restore(saved);
+            restore(depth);
             for (std::int64_t value = lo; value <= hi; ++value) {
                 if (value == pv) continue;
                 v.lo = v.hi = value;
+                touch(vi);
                 if (dfs(depth + 1)) return true;
-                restore(saved);
+                restore(depth);
             }
             return false;
         }
@@ -635,8 +743,9 @@ private:
         // value at a time would recurse billions deep on constraints like
         // `x > 0` whose solutions sit far from the preferred value.
         v.lo = v.hi = pv;
+        touch(vi);
         if (dfs(depth + 1)) return true;
-        restore(saved);
+        restore(depth);
 
         const std::int64_t mid = lo + (hi - lo) / 2;
         const bool pv_low = pv <= mid;
@@ -644,9 +753,10 @@ private:
             const bool low_half = (half == 0) == pv_low;
             v.lo = low_half ? lo : mid + 1;
             v.hi = low_half ? mid : hi;
+            touch(vi);
             if (v.lo <= v.hi && !(v.lo == pv && v.hi == pv)) {
                 if (dfs(depth + 1)) return true;
-                restore(saved);
+                restore(depth);
             }
         }
         return false;
@@ -654,30 +764,85 @@ private:
 
     static constexpr int kMaxDepth = 6000;
 
-    sym::ExprPool& pool_;
     const SolverConfig& config_;
+    AtomIndex& index_;
     const Model* seed_;
 
     std::vector<VarState> vars_;
-    std::unordered_map<const Expr*, int> var_index_;
-    std::vector<LinearConstraint> linear_;
-    std::vector<NonLinConstraint> nonlinear_;
-    bool unsupported_ = false;
+    std::vector<std::int32_t> global_of_local_;
+    std::vector<std::int32_t> local_of_global_;
+    const std::vector<LinearConstraint>& loaded_linear_;
+    const std::vector<NonLinConstraint>& nonlinear_;
+    std::vector<LinearConstraint> derived_linear_;
+    /// Compiled constraints — loaded then derived, the exact order the
+    /// from-scratch loader appended them in. Coefficients live in flat
+    /// arenas; `flipped_terms_` holds the pre-negated coefficients of Eq
+    /// constraints.
+    std::vector<FlatLin> flat_;
+    std::vector<FlatTerm> terms_;
+    std::vector<FlatTerm> flipped_terms_;
+    std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> snap_pool_;
+    /// Per-variable write stamps for the dirty-constraint check; every
+    /// domain write during search records ++stamp_counter_ so "was any of
+    /// this constraint's variables written since stamp S" is one compare.
+    std::vector<std::uint32_t> stamps_;
+    std::uint32_t stamp_counter_ = 1;
 
     int nodes_ = 0;
     int propagation_rounds_ = 0;
 };
 
-}  // namespace
+SolveResult IncrementalState::solve(const Model* seed, Solver::Stats& stats) const {
+    stats = {};
+    if (failed_ || unknown_) {
+        stats.num_vars = static_cast<int>(vars_.size());
+        stats.num_constraints = static_cast<int>(linear_.size());
+        if (unknown_) return {SolveStatus::Unknown, {}};
+        return {SolveStatus::Unsat, {}};
+    }
+    Runner runner(*this, seed);
+    return runner.run(stats);
+}
 
-Solver::Solver(sym::ExprPool& pool, SolverConfig config)
-    : pool_(pool), config_(config) {}
+}  // namespace detail
+
+Solver::Solver(sym::ExprPool& pool, SolverConfig config, AtomIndex* index)
+    : pool_(pool), config_(config), index_(index) {
+    if (index_ == nullptr) {
+        owned_index_ = std::make_unique<AtomIndex>(pool_);
+        index_ = owned_index_.get();
+    } else {
+        PI_CHECK(&index_->pool() == &pool_, "AtomIndex shared across pools");
+    }
+    scratch_ = std::make_unique<detail::IncrementalState>(pool_, config_, *index_);
+}
+
+Solver::~Solver() = default;
 
 SolveResult Solver::solve(std::span<const sym::Expr* const> conjuncts,
                           const Model* seed) {
-    stats_ = {};
-    Search search(pool_, config_, seed);
-    return search.run(conjuncts, stats_);
+    scratch_->clear();
+    for (const sym::Expr* e : conjuncts) scratch_->push(e);
+    return scratch_->solve(seed, stats_);
+}
+
+Solver::Context::Context(Solver& solver)
+    : solver_(solver),
+      state_(std::make_unique<detail::IncrementalState>(solver.pool_, solver.config_,
+                                                        *solver.index_)) {}
+
+Solver::Context::~Context() = default;
+
+void Solver::Context::push(const sym::Expr* conjunct) { state_->push(conjunct); }
+
+void Solver::Context::pop() { state_->pop(); }
+
+void Solver::Context::clear() { state_->clear(); }
+
+std::size_t Solver::Context::depth() const { return state_->depth(); }
+
+SolveResult Solver::Context::solve(const Model* seed) {
+    return state_->solve(seed, solver_.stats_);
 }
 
 }  // namespace preinfer::solver

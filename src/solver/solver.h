@@ -1,11 +1,18 @@
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "src/solver/model.h"
 #include "src/sym/expr_pool.h"
 
 namespace preinfer::solver {
+
+class AtomIndex;
+
+namespace detail {
+class IncrementalState;
+}  // namespace detail
 
 /// Tunables for one solve() call.
 struct SolverConfig {
@@ -42,17 +49,68 @@ struct SolverConfig {
 /// orders value choices so that flipped path constraints resolve near the
 /// parent input, which is the generational-search fast path.
 ///
+/// Atom normalization is memoized in an AtomIndex (owned by the solver
+/// unless one is injected): each distinct atom is lowered to linear normal
+/// form once per session and queries merely replay the memoized records,
+/// reproducing bit-for-bit the variable numbering and constraint order a
+/// from-scratch load would build. Callers that solve many queries sharing a
+/// conjunct prefix should use a Context, which keeps the replayed prefix
+/// alive across queries (push/pop with an undo trail) instead of reloading
+/// it per call.
+///
 /// Sound and complete within the configured bounds: Sat results are always
 /// genuine models; Unsat means no model exists with ints in
 /// [int_min, int_max] and lengths in [0, len_max].
 class Solver {
 public:
-    explicit Solver(sym::ExprPool& pool, SolverConfig config = {});
+    /// `index`, when given, shares atom-normalization work with every other
+    /// solver on the same pool (records are config-independent; domain
+    /// bounds are applied at query-load time). It must outlive the solver.
+    /// Without one the solver owns a private index, so repeated solve()
+    /// calls still normalize each distinct atom only once.
+    explicit Solver(sym::ExprPool& pool, SolverConfig config = {},
+                    AtomIndex* index = nullptr);
+    ~Solver();
+    Solver(Solver&&) = delete;
+    Solver& operator=(Solver&&) = delete;
 
     [[nodiscard]] SolveResult solve(std::span<const sym::Expr* const> conjuncts,
                                     const Model* seed = nullptr);
 
-    /// Statistics of the most recent solve() call.
+    /// An incremental conjunction: push conjuncts one at a time, solve the
+    /// current conjunction as often as needed, pop back to any prefix.
+    /// solve() here is bit-for-bit identical to Solver::solve over the same
+    /// pushed sequence — pushes replay the same memoized atom records a
+    /// from-scratch load replays, and each solve() runs the search on a
+    /// throwaway copy of the loaded state (derived-fact passes and domain
+    /// narrowing never leak back into the trail). The generational explorer
+    /// keeps one context per parent path and re-pushes only the flipped
+    /// predicate per child query.
+    class Context {
+    public:
+        explicit Context(Solver& solver);
+        ~Context();
+        Context(const Context&) = delete;
+        Context& operator=(const Context&) = delete;
+
+        void push(const sym::Expr* conjunct);
+        /// Undoes the most recent push (trail-based, O(size of that push)).
+        void pop();
+        /// Pops everything.
+        void clear();
+        [[nodiscard]] std::size_t depth() const;
+
+        /// Solves the conjunction of every pushed conjunct. Updates the
+        /// owning solver's stats() like Solver::solve does.
+        [[nodiscard]] SolveResult solve(const Model* seed = nullptr);
+
+    private:
+        Solver& solver_;
+        std::unique_ptr<detail::IncrementalState> state_;
+    };
+
+    /// Statistics of the most recent solve() call (through either entry
+    /// point).
     struct Stats {
         int nodes = 0;
         int propagation_rounds = 0;
@@ -61,9 +119,15 @@ public:
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
+    [[nodiscard]] AtomIndex& atom_index() { return *index_; }
+
 private:
     sym::ExprPool& pool_;
     SolverConfig config_;
+    AtomIndex* index_;
+    std::unique_ptr<AtomIndex> owned_index_;
+    /// Reusable from-scratch state for solve(): cleared, loaded, solved.
+    std::unique_ptr<detail::IncrementalState> scratch_;
     Stats stats_;
 };
 

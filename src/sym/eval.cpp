@@ -119,4 +119,96 @@ EvalValue eval(const Expr* e, const EvalEnv& env, const BoundEnv* bound) {
     return EvalValue::undef();
 }
 
+std::optional<std::int64_t> eval_with_terms(const Expr* e, const TermEnv& env) {
+    // Solver-model nodes are looked up whole: the table defines Param, Len,
+    // Select and IsNull as atomic terms, so decomposing them would ask the
+    // table questions it cannot answer.
+    switch (e->kind) {
+        case Kind::Param:
+        case Kind::Len:
+        case Kind::Select:
+        case Kind::IsNull: {
+            const auto it = env.find(e);
+            if (it == env.end()) return std::nullopt;
+            return it->second;
+        }
+        default: break;
+    }
+    switch (e->kind) {
+        case Kind::IntConst: return e->a;
+        case Kind::BoolConst: return e->a;
+        case Kind::Neg: {
+            const auto v = eval_with_terms(e->child0, env);
+            if (!v) return std::nullopt;
+            return -*v;
+        }
+        case Kind::Add: case Kind::Sub: case Kind::Mul:
+        case Kind::Div: case Kind::Mod: {
+            const auto l = eval_with_terms(e->child0, env);
+            const auto r = eval_with_terms(e->child1, env);
+            if (!l || !r) return std::nullopt;
+            switch (e->kind) {
+                case Kind::Add: return *l + *r;
+                case Kind::Sub: return *l - *r;
+                case Kind::Mul: return *l * *r;
+                case Kind::Div:
+                    if (*r == 0) return std::nullopt;
+                    if (*r == -1) return -*l;
+                    return *l / *r;
+                case Kind::Mod:
+                    if (*r == 0) return std::nullopt;
+                    if (*r == -1) return 0;
+                    return *l % *r;
+                default: break;
+            }
+            return std::nullopt;
+        }
+        case Kind::Eq: case Kind::Ne: case Kind::Lt:
+        case Kind::Le: case Kind::Gt: case Kind::Ge: {
+            const auto l = eval_with_terms(e->child0, env);
+            const auto r = eval_with_terms(e->child1, env);
+            if (!l || !r) return std::nullopt;
+            switch (e->kind) {
+                case Kind::Eq: return *l == *r ? 1 : 0;
+                case Kind::Ne: return *l != *r ? 1 : 0;
+                case Kind::Lt: return *l < *r ? 1 : 0;
+                case Kind::Le: return *l <= *r ? 1 : 0;
+                case Kind::Gt: return *l > *r ? 1 : 0;
+                case Kind::Ge: return *l >= *r ? 1 : 0;
+                default: break;
+            }
+            return std::nullopt;
+        }
+        case Kind::Not: {
+            const auto v = eval_with_terms(e->child0, env);
+            if (!v) return std::nullopt;
+            return *v == 0 ? 1 : 0;
+        }
+        case Kind::And: case Kind::Or: case Kind::Implies: {
+            // Strict in both operands (no short-circuit): a conjunct whose
+            // subterms the model does not mention is "not witnessed", even
+            // when the other side would decide the connective.
+            const auto l = eval_with_terms(e->child0, env);
+            const auto r = eval_with_terms(e->child1, env);
+            if (!l || !r) return std::nullopt;
+            const bool lv = *l != 0;
+            const bool rv = *r != 0;
+            switch (e->kind) {
+                case Kind::And: return lv && rv ? 1 : 0;
+                case Kind::Or: return lv || rv ? 1 : 0;
+                case Kind::Implies: return !lv || rv ? 1 : 0;
+                default: break;
+            }
+            return std::nullopt;
+        }
+        case Kind::IsWhitespace: {
+            const auto v = eval_with_terms(e->child0, env);
+            if (!v) return std::nullopt;
+            return ExprPool::whitespace_code_point(*v) ? 1 : 0;
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
 }  // namespace preinfer::sym

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "src/sym/expr.h"
@@ -50,5 +51,24 @@ using BoundEnv = std::unordered_map<int, std::int64_t>;
 /// (returns Undef instead). Undef is sticky through every operator.
 [[nodiscard]] EvalValue eval(const Expr* e, const EvalEnv& env,
                              const BoundEnv* bound = nullptr);
+
+/// A term table: concrete values for ground terms, keyed by hash-consed
+/// node. Booleans (Param:Bool, IsNull) are stored as 0/1. This is exactly
+/// the shape of a solver model's value map, which is the intended source.
+using TermEnv = std::unordered_map<const Expr*, std::int64_t>;
+
+/// Strict evaluation of an expression against a term table: Param, Len,
+/// Select, and IsNull nodes are looked up directly (never decomposed), all
+/// other operators evaluate structurally with the solver's arithmetic
+/// semantics (division by zero is undefined; x/-1 == -x and x%-1 == 0 avoid
+/// the INT64_MIN overflow). Returns nullopt — strictly, through every
+/// operator — when any needed term is absent from the table or a partial
+/// operation is undefined. Booleans come back as 0/1.
+///
+/// SolveCache uses this to test whether a previously found model satisfies
+/// a new query: nullopt or 0 for any conjunct means "not a witness", so
+/// strictness is always sound there.
+[[nodiscard]] std::optional<std::int64_t> eval_with_terms(const Expr* e,
+                                                          const TermEnv& env);
 
 }  // namespace preinfer::sym

@@ -102,7 +102,8 @@ TEST(HarnessParallel, MethodCsvCarriesPerfColumns) {
     const HarnessResult result = run_harness(tiny_corpus(), small_config(1));
     std::ostringstream out;
     write_method_csv(result, out);
-    EXPECT_NE(out.str().find("wall_ms,cache_hits,cache_misses,cache_hit_rate"),
+    EXPECT_NE(out.str().find("wall_ms,cache_hits,cache_misses,cache_model_reuse,"
+                             "cache_unsat_subsumed,cache_hit_rate"),
               std::string::npos)
         << out.str();
     EXPECT_NE(out.str().find("explore_hits,explore_misses,oracle_hits,"
@@ -127,6 +128,14 @@ TEST(HarnessParallel, PhaseCacheStatsPartitionTheSharedCacheTotals) {
         EXPECT_EQ(m.cache_misses, m.cache_explore.misses + m.cache_oracle.misses +
                                       m.cache_validation.misses)
             << m.method;
+        EXPECT_EQ(m.cache_model_reuse,
+                  m.cache_explore.model_reuse + m.cache_oracle.model_reuse +
+                      m.cache_validation.model_reuse)
+            << m.method;
+        EXPECT_EQ(m.cache_unsat_subsumed,
+                  m.cache_explore.unsat_subsumed + m.cache_oracle.unsat_subsumed +
+                      m.cache_validation.unsat_subsumed)
+            << m.method;
         // default_harness_config keeps the validation solver config equal to
         // the inference config, so validation shares the cache and replays
         // the inference exploration: its lookups must show up as hits.
@@ -134,6 +143,77 @@ TEST(HarnessParallel, PhaseCacheStatsPartitionTheSharedCacheTotals) {
         // The inference exploration runs first against an empty cache.
         EXPECT_GT(m.cache_explore.misses, 0) << m.method;
     }
+}
+
+TEST(HarnessParallel, IncrementalSolvingOffIsByteIdenticalIncludingTraces) {
+    // The incremental prefix context is a pure fast path: every answer is
+    // bit-for-bit what a from-scratch solve returns, so disabling it must
+    // leave every deterministic output — rows AND the merged trace —
+    // byte-identical.
+    HarnessConfig on = small_config(2);
+    on.trace.enabled = true;
+    HarnessConfig off = on;
+    off.explore.incremental = false;
+    off.validation.explore.incremental = false;
+    const HarnessResult with_ctx = run_harness(tiny_corpus(), on);
+    const HarnessResult scratch = run_harness(tiny_corpus(), off);
+    EXPECT_EQ(serialize(with_ctx), serialize(scratch));
+    ASSERT_FALSE(with_ctx.trace.empty());
+    EXPECT_EQ(with_ctx.trace, scratch.trace);
+}
+
+TEST(HarnessParallel, SemanticCacheAnswersPreserveEndToEndResults) {
+    // Unsat subsumption substitutes cached answers for real solves, so the
+    // cache accounting columns legitimately shift — but everything the
+    // pipeline infers (ACL rows, preconditions, coverage, test counts) and
+    // every trace record except the solver-query `cache` attribution must
+    // be unchanged.
+    HarnessConfig fast = small_config(2);
+    fast.trace.enabled = true;
+    HarnessConfig plain = fast;
+    plain.cache.unsat_subsumption = false;
+    const HarnessResult a = run_harness(tiny_corpus(), fast);
+    const HarnessResult b = run_harness(tiny_corpus(), plain);
+
+    std::ostringstream acl_a, acl_b;
+    write_acl_csv(a, acl_a);
+    write_acl_csv(b, acl_b);
+    EXPECT_EQ(acl_a.str(), acl_b.str());
+
+    ASSERT_EQ(a.methods.size(), b.methods.size());
+    std::int64_t subsumed = 0;
+    for (std::size_t i = 0; i < a.methods.size(); ++i) {
+        const MethodRow& ma = a.methods[i];
+        const MethodRow& mb = b.methods[i];
+        EXPECT_EQ(ma.block_coverage, mb.block_coverage) << ma.method;
+        EXPECT_EQ(ma.tests, mb.tests) << ma.method;
+        EXPECT_EQ(ma.acls, mb.acls) << ma.method;
+        // A subsumed lookup is a miss without the fast path; exact hits and
+        // the budget-charged query count are unaffected either way.
+        EXPECT_EQ(ma.cache_hits, mb.cache_hits) << ma.method;
+        EXPECT_EQ(ma.cache_misses + ma.cache_unsat_subsumed, mb.cache_misses)
+            << ma.method;
+        EXPECT_EQ(mb.cache_unsat_subsumed, 0) << mb.method;
+        subsumed += ma.cache_unsat_subsumed;
+    }
+    EXPECT_GT(subsumed, 0) << "corpus never exercised the subsumption path";
+
+    // Trace equality modulo the per-query cache attribution: a query the
+    // fast run answered by subsumption is a solved miss in the plain run,
+    // with the same status (the cached subset proves Unsat; the plain solve
+    // finds it within budget on this corpus).
+    auto normalize = [](std::string trace) {
+        const std::string from = "\"cache\":\"subsume\"";
+        const std::string to = "\"cache\":\"miss\"";
+        std::size_t pos = 0;
+        while ((pos = trace.find(from, pos)) != std::string::npos) {
+            trace.replace(pos, from.size(), to);
+            pos += to.size();
+        }
+        return trace;
+    };
+    ASSERT_FALSE(a.trace.empty());
+    EXPECT_EQ(normalize(a.trace), normalize(b.trace));
 }
 
 TEST(HarnessParallel, UnsharedValidationCacheCountsNoValidationLookups) {
@@ -227,7 +307,7 @@ TEST(SolveCacheTest, CountsHitsAndMissesAndCanonicalizesOrder) {
     solver::SolveCache cache;
 
     std::vector<const sym::Expr*> ab{a, b};
-    EXPECT_EQ(cache.lookup(ab), nullptr);
+    EXPECT_EQ(cache.lookup(ab).result, nullptr);
     EXPECT_EQ(cache.stats().misses, 1);
 
     solver::SolveResult res;
@@ -238,21 +318,101 @@ TEST(SolveCacheTest, CountsHitsAndMissesAndCanonicalizesOrder) {
 
     // Conjunct order must not matter: {a, b} and {b, a} share one entry.
     std::vector<const sym::Expr*> ba{b, a};
-    const solver::SolveResult* hit = cache.lookup(ba);
-    ASSERT_NE(hit, nullptr);
-    EXPECT_EQ(hit->status, solver::SolveStatus::Sat);
+    const solver::SolveCache::LookupResult hit = cache.lookup(ba);
+    ASSERT_NE(hit.result, nullptr);
+    EXPECT_EQ(hit.kind, solver::SolveCache::HitKind::Exact);
+    EXPECT_EQ(hit.result->status, solver::SolveStatus::Sat);
     EXPECT_EQ(cache.stats().hits, 1);
     EXPECT_EQ(cache.stats().misses, 1);
     EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
 
     // A different conjunct set is a distinct entry.
     std::vector<const sym::Expr*> just_a{a};
-    EXPECT_EQ(cache.lookup(just_a), nullptr);
+    EXPECT_EQ(cache.lookup(just_a).result, nullptr);
     EXPECT_EQ(cache.stats().misses, 2);
 
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(SolveCacheTest, UnsatSubsumptionAnswersSupersetsWithoutSolving) {
+    sym::ExprPool pool;
+    const sym::Expr* p = pool.param(0, sym::Sort::Int);
+    const sym::Expr* a = pool.gt(p, pool.int_const(5));
+    const sym::Expr* b = pool.lt(p, pool.int_const(0));
+    const sym::Expr* c = pool.eq(p, pool.int_const(7));
+    solver::SolveCache cache;
+
+    solver::SolveResult unsat;
+    unsat.status = solver::SolveStatus::Unsat;
+    std::vector<const sym::Expr*> ab{a, b};
+    cache.insert(ab, unsat);
+
+    // {a, b} ⊆ {a, b, c}: adding conjuncts can only shrink the solution
+    // set, so the superset is Unsat without a solve.
+    std::vector<const sym::Expr*> abc{a, b, c};
+    const auto hit = cache.lookup(abc);
+    ASSERT_NE(hit.result, nullptr);
+    EXPECT_EQ(hit.kind, solver::SolveCache::HitKind::Subsumed);
+    EXPECT_EQ(hit.result->status, solver::SolveStatus::Unsat);
+    EXPECT_EQ(cache.stats().unsat_subsumed, 1);
+
+    // The semantic hit is re-keyed under the query, so a repeat is exact.
+    EXPECT_EQ(cache.lookup(abc).kind, solver::SolveCache::HitKind::Exact);
+    EXPECT_EQ(cache.stats().hits, 1);
+
+    // A subset of the cached key is not subsumed by it.
+    std::vector<const sym::Expr*> just_a{a};
+    EXPECT_EQ(cache.lookup(just_a).result, nullptr);
+
+    // The knob exists: with subsumption off, the superset is a plain miss.
+    solver::SolveCache plain({.unsat_subsumption = false});
+    plain.insert(ab, unsat);
+    EXPECT_EQ(plain.lookup(abc).result, nullptr);
+    EXPECT_EQ(plain.stats().unsat_subsumed, 0);
+}
+
+TEST(SolveCacheTest, ModelWindowServesConcreteWitnesses) {
+    sym::ExprPool pool;
+    const sym::Expr* p0 = pool.param(0, sym::Sort::Int);
+    const sym::Expr* p1 = pool.param(1, sym::Sort::Int);
+    const sym::Expr* a = pool.gt(p0, pool.int_const(5));
+    const sym::Expr* b = pool.lt(p1, pool.int_const(3));
+    solver::SolveCache cache({.model_window = 4});
+
+    solver::SolveResult sat;
+    sat.status = solver::SolveStatus::Sat;
+    sat.model.values[p0] = 6;
+    sat.model.values[p1] = 0;
+    std::vector<const sym::Expr*> just_a{a};
+    cache.insert(just_a, sat);
+
+    // The cached model defines and satisfies both conjuncts, so {a, b} is
+    // Sat by pure evaluation.
+    std::vector<const sym::Expr*> ab{a, b};
+    const auto hit = cache.lookup(ab);
+    ASSERT_NE(hit.result, nullptr);
+    EXPECT_EQ(hit.kind, solver::SolveCache::HitKind::ModelReuse);
+    EXPECT_EQ(hit.result->model.get_int(p0, -1), 6);
+    EXPECT_EQ(cache.stats().model_reuse, 1);
+
+    // Strictness: a conjunct over a term the model does not define is never
+    // vouched for, even though any value of p2 > p2 - 1 would satisfy it.
+    const sym::Expr* p2 = pool.param(2, sym::Sort::Int);
+    std::vector<const sym::Expr*> with_unknown{
+        a, pool.gt(p2, pool.sub(p2, pool.int_const(1)))};
+    EXPECT_EQ(cache.lookup(with_unknown).result, nullptr);
+
+    // A model that falsifies a conjunct is no witness.
+    std::vector<const sym::Expr*> contradicting{a, pool.gt(p1, pool.int_const(3))};
+    EXPECT_EQ(cache.lookup(contradicting).result, nullptr);
+
+    // Model reuse is off by default: the same setup misses.
+    solver::SolveCache plain;
+    plain.insert(just_a, sat);
+    EXPECT_EQ(plain.lookup(ab).result, nullptr);
+    EXPECT_EQ(plain.stats().model_reuse, 0);
 }
 
 TEST(SolveCacheTest, SeededAndUnseededQueriesShareResults) {

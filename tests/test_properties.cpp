@@ -7,6 +7,8 @@
 //  * Solver soundness: Sat models satisfy the conjunction; Unsat answers
 //    survive brute-force search over a small box domain.
 //  * negate/simplify preserve semantics under concrete evaluation.
+//  * Incremental Context push/pop solving is bit-identical to from-scratch
+//    solving, and semantic solve-cache answers are sound against it.
 
 #include <gtest/gtest.h>
 
@@ -21,6 +23,8 @@
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
+#include "src/solver/solve_cache.h"
+#include "src/sym/eval.h"
 #include "src/sym/print.h"
 
 namespace preinfer {
@@ -310,6 +314,90 @@ TEST(ExplorerProperty, CoverageMonotonicInBudget) {
     }
     EXPECT_DOUBLE_EQ(prev, 1.0);
 }
+
+// ---------------------------------------------------------------------------
+// Incremental contexts and the semantic solve cache agree with from-scratch
+// solving across random conjunct prefixes.
+// ---------------------------------------------------------------------------
+
+/// Every conjunct must evaluate to true (1) under the model's term values.
+/// eval_with_terms is strict, so a model that fails to define a conjunct's
+/// terms fails this check — exactly the cache's witness criterion.
+void expect_model_witnesses(const std::vector<const Expr*>& conjuncts,
+                            const solver::Model& model) {
+    for (const Expr* e : conjuncts) {
+        const auto v = sym::eval_with_terms(e, model.values);
+        ASSERT_TRUE(v.has_value()) << "model does not define " << sym::to_string(e);
+        EXPECT_EQ(*v, 1) << "model falsifies " << sym::to_string(e);
+    }
+}
+
+class IncrementalAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalAgreement, ContextAndCacheAgreeWithScratchSolves) {
+    sym::ExprPool pool;
+    RandomAtoms gen(pool, static_cast<std::uint64_t>(GetParam()) * 1299709 + 31);
+
+    solver::Solver scratch(pool);
+    solver::Solver incremental(pool);
+    solver::Solver::Context ctx(incremental);
+    solver::SolveCache cache({.model_window = 4, .unsat_subsumption = true});
+
+    // The context evolves across rounds exactly like the explorer's parent
+    // prefix: pop back to a random depth, push a few fresh atoms, solve.
+    std::vector<const Expr*> conjuncts;
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t keep = conjuncts.empty()
+                                     ? 0
+                                     : gen.rng()() % (conjuncts.size() + 1);
+        while (ctx.depth() > keep) {
+            ctx.pop();
+            conjuncts.pop_back();
+        }
+        const int fresh = 1 + static_cast<int>(gen.rng()() % 3);
+        for (int i = 0; i < fresh; ++i) {
+            const Expr* e = gen.atom();
+            conjuncts.push_back(e);
+            ctx.push(e);
+        }
+
+        // Incremental solving over the pushed sequence is bit-for-bit the
+        // from-scratch solve of the same conjunct vector.
+        const solver::SolveResult from_scratch = scratch.solve(conjuncts);
+        const solver::SolveResult via_context = ctx.solve();
+        ASSERT_EQ(via_context.status, from_scratch.status);
+        EXPECT_EQ(via_context.model.values, from_scratch.model.values);
+        if (from_scratch.status == solver::SolveStatus::Sat) {
+            expect_model_witnesses(conjuncts, from_scratch.model);
+        }
+
+        // The cache may answer semantically (a recent model witnesses the
+        // query, or a cached Unsat key subsumes it). Those answers need not
+        // be bitwise equal to the scratch result — subsumption can even
+        // answer Unsat where a budgeted search gives up with Unknown — but
+        // they must be semantically sound.
+        const solver::SolveCache::LookupResult looked = cache.lookup(conjuncts);
+        switch (looked.kind) {
+            case solver::SolveCache::HitKind::Miss:
+                cache.insert(conjuncts, from_scratch);
+                break;
+            case solver::SolveCache::HitKind::Exact:
+            case solver::SolveCache::HitKind::ModelReuse:
+            case solver::SolveCache::HitKind::Subsumed:
+                ASSERT_NE(looked.result, nullptr);
+                if (looked.result->status == solver::SolveStatus::Sat) {
+                    expect_model_witnesses(conjuncts, looked.result->model);
+                }
+                if (looked.result->status == solver::SolveStatus::Unsat) {
+                    EXPECT_NE(from_scratch.status, solver::SolveStatus::Sat)
+                        << "cache answered Unsat for a satisfiable conjunction";
+                }
+                break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalAgreement, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace preinfer
