@@ -1,0 +1,147 @@
+// Throughput benchmark for the differential fuzzing harness (src/fuzz).
+//
+// Runs the full per-iteration fuzz workload — generate a program, run the
+// healthy oracle (soundness theorems + determinism battery), re-run it
+// under one cycled fault mode — and reports how many programs, generated
+// tests and replayed solver models the harness pushes per second. Alongside
+// the human table it writes BENCH_fuzz.json so fuzzing throughput is
+// tracked across PRs like the solver numbers are.
+//
+//   fuzz_throughput [--smoke] [--seed S] [--iters N] [--json PATH]
+//
+// --smoke runs a short fixed-seed slice and skips the JSON write unless
+// --json is given; it is registered as a ctest (`bench_fuzz_smoke`) so this
+// binary cannot rot. Any oracle violation makes the bench fail — throughput
+// of an unsound harness is not a number worth recording.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/fuzz/diff_oracle.h"
+#include "src/fuzz/gen_program.h"
+#include "table_format.h"
+
+namespace {
+
+using namespace preinfer;
+
+struct Tally {
+    int programs = 0;
+    int tests = 0;
+    int failing_tests = 0;
+    int acls = 0;
+    int replayed_models = 0;
+    int violations = 0;
+
+    void absorb(const fuzz::OracleReport& report) {
+        ++programs;
+        tests += report.tests;
+        failing_tests += report.failing_tests;
+        acls += report.acls;
+        replayed_models += report.replayed_models;
+        violations += static_cast<int>(report.violations.size());
+        for (const fuzz::Violation& v : report.violations) {
+            std::fprintf(stderr, "VIOLATION seed=%llu [%s] %s\n",
+                         static_cast<unsigned long long>(report.seed),
+                         v.check.c_str(), v.detail.c_str());
+        }
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::uint64_t seed = 1;
+    int iters = 100;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            iters = 10;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            iters = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: fuzz_throughput [--smoke] [--seed S] "
+                         "[--iters N] [--json PATH]\n");
+            return 2;
+        }
+    }
+    if (json_path == nullptr && !smoke) json_path = "BENCH_fuzz.json";
+
+    std::puts("Fuzzing-harness throughput — generator + differential oracle");
+    if (smoke) std::printf("(smoke slice: %d iterations)\n", iters);
+
+    Tally tally;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+        const std::uint64_t program_seed =
+            fuzz::derive_seed(seed, static_cast<std::uint64_t>(i));
+        fuzz::OracleConfig healthy;
+        healthy.check_jobs_equivalence = i % 10 == 0;
+        tally.absorb(fuzz::check_program(program_seed, healthy));
+        fuzz::OracleConfig faulted;
+        faulted.fault = fuzz::kFaultModes[1 + (i % 4)];
+        faulted.check_determinism = false;
+        faulted.check_roundtrip = false;
+        tally.absorb(fuzz::check_program(program_seed, faulted));
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  start)
+            .count();
+    const double seconds = wall_ms / 1000.0;
+
+    bench::Table table({"Metric", "Value"});
+    table.add_row({"iterations", std::to_string(iters)});
+    table.add_row({"program runs", std::to_string(tally.programs)});
+    table.add_row({"wall ms", bench::fmt_f(wall_ms, 0)});
+    table.add_row({"programs / s",
+                   bench::fmt_f(seconds > 0 ? tally.programs / seconds : 0.0, 1)});
+    table.add_row(
+        {"tests / s", bench::fmt_f(seconds > 0 ? tally.tests / seconds : 0.0, 0)});
+    table.add_row({"tests generated", std::to_string(tally.tests)});
+    table.add_row({"failing tests", std::to_string(tally.failing_tests)});
+    table.add_row({"ACLs inferred", std::to_string(tally.acls)});
+    table.add_row({"models replayed", std::to_string(tally.replayed_models)});
+    table.add_row({"violations", std::to_string(tally.violations)});
+    table.print();
+
+    if (json_path != nullptr) {
+        std::FILE* out = std::fopen(json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"bench\": \"fuzz\",\n"
+                     "  \"smoke\": %s,\n"
+                     "  \"seed\": %llu,\n"
+                     "  \"iterations\": %d,\n"
+                     "  \"program_runs\": %d,\n"
+                     "  \"wall_ms\": %.1f,\n"
+                     "  \"programs_per_s\": %.2f,\n"
+                     "  \"tests_generated\": %d,\n"
+                     "  \"failing_tests\": %d,\n"
+                     "  \"acls\": %d,\n"
+                     "  \"models_replayed\": %d,\n"
+                     "  \"violations\": %d\n"
+                     "}\n",
+                     smoke ? "true" : "false",
+                     static_cast<unsigned long long>(seed), iters, tally.programs,
+                     wall_ms, seconds > 0 ? tally.programs / seconds : 0.0,
+                     tally.tests, tally.failing_tests, tally.acls,
+                     tally.replayed_models, tally.violations);
+        std::fclose(out);
+        std::printf("[json -> %s]\n", json_path);
+    }
+    return tally.violations == 0 ? 0 : 1;
+}

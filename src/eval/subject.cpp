@@ -12,6 +12,17 @@ int Subject::total_source_lines() const {
     return lines;
 }
 
+Subject subject_from_source(std::string name, std::string source) {
+    Subject subject;
+    subject.suite = "adhoc";
+    subject.name = name;
+    SubjectMethod method;
+    method.name = std::move(name);
+    method.source = std::move(source);
+    subject.methods.push_back(std::move(method));
+    return subject;
+}
+
 std::vector<SuiteCensus> census(const std::vector<Subject>& subjects) {
     std::vector<SuiteCensus> out;
     for (const Subject& s : subjects) {

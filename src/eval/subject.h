@@ -42,4 +42,10 @@ struct SuiteCensus {
 
 [[nodiscard]] std::vector<SuiteCensus> census(const std::vector<Subject>& subjects);
 
+/// Wraps one MiniLang source unit (first method = method under test, later
+/// methods callees) as a single-method Subject with no ground truths — the
+/// entry point ad-hoc pipelines (fuzzing, tools, examples) use to feed
+/// arbitrary source into run_harness.
+[[nodiscard]] Subject subject_from_source(std::string name, std::string source);
+
 }  // namespace preinfer::eval

@@ -1,0 +1,636 @@
+#include "src/fuzz/diff_oracle.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/core/pred_eval.h"
+#include "src/core/preinfer.h"
+#include "src/core/pruning.h"
+#include "src/eval/harness.h"
+#include "src/eval/subject.h"
+#include "src/exec/concolic.h"
+#include "src/exec/input.h"
+#include "src/gen/explorer.h"
+#include "src/gen/oracle.h"
+#include "src/gen/reconstruct.h"
+#include "src/gen/testsuite.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/print.h"
+#include "src/lang/type_check.h"
+#include "src/solver/atom_index.h"
+#include "src/solver/solve_cache.h"
+#include "src/sym/eval.h"
+
+namespace preinfer::fuzz {
+
+namespace {
+
+void add_violation(OracleReport& report, std::string check, std::string detail) {
+    report.violations.push_back({std::move(check), std::move(detail)});
+}
+
+gen::ExplorerConfig make_explorer_config(const OracleConfig& cfg) {
+    gen::ExplorerConfig c;
+    c.max_tests = cfg.max_tests;
+    c.max_solver_calls = cfg.max_solver_calls;
+    switch (cfg.fault) {
+        case FaultMode::None: break;
+        case FaultMode::SolverStarvation:
+            // Trip mid-run: early queries succeed, the rest starve.
+            c.fault_solver_unknown_after = cfg.max_solver_calls / 8;
+            break;
+        case FaultMode::SolverBlackout:
+            c.solver_config.fault_always_unknown = true;
+            break;
+        case FaultMode::StepExhaustion:
+            c.exec_limits.max_steps = 64;
+            break;
+        case FaultMode::PoolPressure:
+            c.fault_pool_limit = 2048;
+            break;
+    }
+    return c;
+}
+
+/// One full inference pipeline over one source unit, with everything the
+/// checks need kept alive (the pool owns every expression the suite and the
+/// inference results reference).
+struct PipelineRun {
+    lang::Program prog;
+    std::unique_ptr<sym::ExprPool> pool = std::make_unique<sym::ExprPool>();
+    gen::ExplorerConfig config;
+    gen::TestSuite suite;
+    gen::Explorer::Stats stats{};
+
+    struct AclOutcome {
+        core::AclId acl;
+        core::InferenceResult result;
+    };
+    std::vector<AclOutcome> outcomes;
+
+    [[nodiscard]] const lang::Method& method() const { return prog.methods.front(); }
+};
+
+/// Mirrors eval::run_method's inference half (explore, per-ACL PreInfer with
+/// the solver-assisted pruning oracle) without the baselines or validation
+/// suite. `cache_options == nullptr` runs without a solve cache.
+std::unique_ptr<PipelineRun> run_pipeline(
+    const std::string& source, const gen::ExplorerConfig& config,
+    const solver::SolveCache::Options* cache_options) {
+    auto run = std::make_unique<PipelineRun>();
+    run->prog = lang::parse_program(source);
+    lang::type_check(run->prog);
+    lang::label_blocks(run->prog);
+    run->config = config;
+    const lang::Method& method = run->method();
+
+    std::optional<solver::SolveCache> cache;
+    if (cache_options != nullptr) cache.emplace(*cache_options);
+    solver::SolveCache* cache_ptr = cache ? &*cache : nullptr;
+    solver::AtomIndex index(*run->pool);
+
+    gen::Explorer explorer(*run->pool, method, config, &run->prog, cache_ptr, &index);
+    run->suite = explorer.explore();
+    run->stats = explorer.stats();
+
+    gen::Explorer oracle_explorer(*run->pool, method, config, &run->prog, cache_ptr,
+                                  &index);
+    gen::ExplorerOracle oracle(oracle_explorer);
+    core::PreInferConfig pi_config;
+    pi_config.pruning.mode = core::PruningMode::SolverAssisted;
+
+    for (const core::AclId acl : run->suite.failing_acls()) {
+        const gen::AclView view = gen::view_for(run->suite, acl);
+        std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
+        std::vector<const sym::EvalEnv*> envs;
+        env_storage.reserve(view.passing.size());
+        for (const gen::Test* t : view.passing) {
+            env_storage.push_back(std::make_unique<exec::InputEvalEnv>(method, t->input));
+            envs.push_back(env_storage.back().get());
+        }
+        core::PreInfer preinfer(*run->pool, pi_config, nullptr, &oracle);
+        run->outcomes.push_back(
+            {acl, preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs)});
+    }
+    return run;
+}
+
+bool eval_true(const sym::Expr* e, const sym::EvalEnv& env) {
+    const sym::EvalValue v = sym::eval(e, env);
+    return v.tag == sym::EvalValue::Tag::Bool && v.i != 0;
+}
+
+/// Index of the first conjunct not concretely true under `env`; -1 when the
+/// whole path condition holds.
+int first_false_conjunct(const core::PathCondition& pc, const sym::EvalEnv& env) {
+    for (std::size_t i = 0; i < pc.preds.size(); ++i) {
+        if (!eval_true(pc.preds[i].expr, env)) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string acl_label(core::AclId acl) {
+    return std::string(core::exception_kind_name(acl.kind)) + "@" +
+           std::to_string(acl.node_id);
+}
+
+/// Canonical text of everything a pipeline run decided: the executed suite
+/// (inputs, outcomes, path signatures) and the per-ACL inference results.
+/// Deliberately excludes solver-outcome tallies and cache counters — the
+/// semantic cache answers Unsat where a budgeted search answers Unknown, so
+/// those counts legitimately differ between equivalent runs.
+std::string fingerprint(const PipelineRun& run) {
+    const lang::Method& method = run.method();
+    const std::vector<std::string> names = method.param_names();
+    std::string out;
+    for (const gen::Test& t : run.suite.tests) {
+        out += t.input.to_string(method);
+        out += " -> ";
+        out += t.result.outcome.to_string();
+        out += " pc:";
+        out += std::to_string(t.result.pc.signature());
+        out += '\n';
+    }
+    out += "exec " + std::to_string(run.stats.executions) + " dup_in " +
+           std::to_string(run.stats.duplicate_inputs) + " dup_path " +
+           std::to_string(run.stats.duplicate_paths) + '\n';
+    for (const PipelineRun::AclOutcome& o : run.outcomes) {
+        out += acl_label(o.acl);
+        out += " psi: ";
+        out += core::to_string(o.result.precondition, names);
+        out += " alpha: ";
+        out += core::to_string(o.result.alpha, names);
+        out += " paths " + std::to_string(o.result.failing_paths);
+        out += " gen " + std::to_string(o.result.generalized_paths);
+        out += " pruned " + std::to_string(o.result.pruning.pruned);
+        out += '\n';
+    }
+    return out;
+}
+
+/// The theorem-grade checks. Every check here must hold for ANY run —
+/// healthy or fault-injected — because each asserts a property of evidence
+/// the pipeline actually gathered, never of evidence a budget withheld.
+void check_soundness(const PipelineRun& run, const OracleConfig& cfg,
+                     OracleReport& report) {
+    const lang::Method& method = run.method();
+
+    // (1) Path-condition self-consistency: predicates are recorded in taken
+    // polarity over entry-state symbols, so every conjunct of a test's own
+    // path condition concretely holds on that test's input.
+    for (const gen::Test& t : run.suite.tests) {
+        const exec::InputEvalEnv env(method, t.input);
+        const int bad = first_false_conjunct(t.result.pc, env);
+        if (bad >= 0) {
+            add_violation(report, "pc-self-consistency",
+                          "test " + std::to_string(t.id) + " conjunct #" +
+                              std::to_string(bad) + " is false on its own input " +
+                              t.input.to_string(method));
+        }
+    }
+
+    solver::Solver check_solver(*run.pool, run.config.solver_config);
+    for (const PipelineRun::AclOutcome& o : run.outcomes) {
+        const gen::AclView view = gen::view_for(run.suite, o.acl);
+        if (!o.result.inferred) {
+            if (!view.failing.empty()) {
+                add_violation(report, "not-inferred",
+                              acl_label(o.acl) + " has " +
+                                  std::to_string(view.failing.size()) +
+                                  " failing tests but inference declined");
+            }
+            continue;
+        }
+
+        // (2) α covers every observed unsafe state, and ψ = ¬α admits none
+        // of them (Theorem 1's direction checkable from the evidence).
+        for (const gen::Test* t : view.failing) {
+            const exec::InputEvalEnv env(method, t->input);
+            if (!core::eval_pred(o.result.alpha, env)) {
+                add_violation(report, "alpha-misses-failing",
+                              acl_label(o.acl) + " alpha is not true on failing input " +
+                                  t->input.to_string(method));
+            }
+            if (core::eval_pred_3v(o.result.precondition, env) == core::Tri::True) {
+                add_violation(report, "psi-admits-failing",
+                              acl_label(o.acl) + " psi is true on failing input " +
+                                  t->input.to_string(method));
+            }
+        }
+
+        // (3) Path determinism, passing side: recorded path conditions hold
+        // exactly the input-dependent branch decisions, so an input that
+        // satisfies a failing test's FULL path condition must follow that
+        // path and abort. A passing test satisfying one is a contradiction.
+        for (const gen::Test* f : view.failing) {
+            for (const gen::Test* p : view.passing) {
+                const exec::InputEvalEnv env(method, p->input);
+                if (first_false_conjunct(f->result.pc, env) == -1) {
+                    add_violation(
+                        report, "path-determinism-passing",
+                        acl_label(o.acl) + " passing input " +
+                            p->input.to_string(method) +
+                            " satisfies the full failing path condition of test " +
+                            std::to_string(f->id));
+                }
+            }
+        }
+
+        // (4) Solver agreement + model replay: each failing path condition
+        // has its own input as concrete witness, so the solver may answer
+        // Sat or Unknown but never Unsat. Sat models are reconstructed and,
+        // when the reconstruction concretely satisfies the full path
+        // condition, executed — the run must abort at the same ACL.
+        int replayed = 0;
+        for (const gen::Test* f : view.failing) {
+            if (replayed >= cfg.replay_models_per_acl) break;
+            std::vector<const sym::Expr*> conjuncts;
+            conjuncts.reserve(f->result.pc.preds.size());
+            for (const core::PathPredicate& pp : f->result.pc.preds) {
+                conjuncts.push_back(pp.expr);
+            }
+            const solver::SolveResult res = check_solver.solve(conjuncts);
+            if (res.status == solver::SolveStatus::Unsat) {
+                add_violation(report, "full-pc-unsat",
+                              acl_label(o.acl) + " solver claims the witnessed path of test " +
+                                  std::to_string(f->id) + " is unsatisfiable");
+                continue;
+            }
+            if (res.status != solver::SolveStatus::Sat) continue;
+            const exec::Input replay_input = gen::reconstruct_input(
+                *run.pool, method, res.model, &f->input,
+                run.config.solver_config.len_max);
+            const exec::InputEvalEnv renv(method, replay_input);
+            if (first_false_conjunct(f->result.pc, renv) != -1) {
+                // Reconstruction defaults filled a term the model left
+                // unconstrained in a way that flips a conjunct; the replay
+                // theorem only covers exact reconstructions.
+                ++report.skipped_replays;
+                continue;
+            }
+            const exec::ConcolicInterpreter interp(*run.pool, method,
+                                                   run.config.exec_limits, &run.prog);
+            const exec::RunResult rr = interp.run(replay_input);
+            ++replayed;
+            ++report.replayed_models;
+            if (rr.outcome.tag != exec::Outcome::Tag::Exception ||
+                !(rr.outcome.acl == o.acl)) {
+                add_violation(report, "model-replay-divergence",
+                              acl_label(o.acl) + " model input " +
+                                  replay_input.to_string(method) +
+                                  " satisfies the failing path condition of test " +
+                                  std::to_string(f->id) + " but ended as " +
+                                  rr.outcome.to_string());
+            }
+        }
+
+        // (5) Pruned-vs-unpruned cross-check: pruning only deletes
+        // conjuncts, so the pruned condition still holds on the originating
+        // input, is still satisfiable (never solver-Unsat), and still ends
+        // in the assertion-violating predicate when the original did.
+        core::PredicatePruner pruner(*run.pool, o.acl, view.failing_pcs(),
+                                     view.passing_pcs(), core::PruningConfig{});
+        for (const core::ReducedPath& rp : pruner.prune_all()) {
+            const gen::Test* origin = nullptr;
+            for (const gen::Test* f : view.failing) {
+                if (&f->result.pc == rp.original) origin = f;
+            }
+            if (origin == nullptr) {
+                add_violation(report, "pruning-origin-missing",
+                              acl_label(o.acl) +
+                                  " pruner returned a path not in the failing view");
+                continue;
+            }
+            const exec::InputEvalEnv env(method, origin->input);
+            for (std::size_t i = 0; i < rp.preds.size(); ++i) {
+                if (!eval_true(rp.preds[i].expr, env)) {
+                    add_violation(report, "pruned-pc-self-consistency",
+                                  acl_label(o.acl) + " pruned conjunct #" +
+                                      std::to_string(i) +
+                                      " is false on the originating input of test " +
+                                      std::to_string(origin->id));
+                    break;
+                }
+            }
+            if (!rp.preds.empty()) {
+                std::vector<const sym::Expr*> kept;
+                kept.reserve(rp.preds.size());
+                for (const core::PathPredicate& pp : rp.preds) kept.push_back(pp.expr);
+                if (check_solver.solve(kept).status == solver::SolveStatus::Unsat) {
+                    add_violation(report, "pruned-pc-unsat",
+                                  acl_label(o.acl) + " pruned condition of test " +
+                                      std::to_string(origin->id) +
+                                      " became unsatisfiable");
+                }
+            }
+            if (!rp.original->preds.empty() &&
+                rp.original->preds.back().acl() == o.acl &&
+                (rp.preds.empty() || !(rp.preds.back().acl() == o.acl))) {
+                add_violation(report, "pruning-dropped-check",
+                              acl_label(o.acl) +
+                                  " pruning removed the assertion-violating predicate "
+                                  "of test " +
+                                  std::to_string(origin->id));
+            }
+        }
+    }
+}
+
+// --- harness jobs-equivalence ------------------------------------------------
+
+void append_outcome(std::string& out, const eval::ApproachOutcome& o) {
+    out += o.attempted ? 'A' : '-';
+    out += o.inferred ? 'I' : '-';
+    if (o.inferred) {
+        out += o.strength.sufficient ? 'S' : '-';
+        out += o.strength.necessary ? 'N' : '-';
+        out += ' ';
+        out += std::to_string(o.complexity);
+        out += ' ';
+        out += o.printed;
+        out += " g" + std::to_string(o.generalized_paths);
+        out += " p" + std::to_string(o.pruning.pruned);
+    }
+    out += ';';
+}
+
+std::string serialize_result(const eval::HarnessResult& r) {
+    std::string out;
+    for (const eval::AclRow& row : r.acls) {
+        out += row.subject + '/' + row.method + ' ' + acl_label(row.acl);
+        out += " pos" + std::to_string(static_cast<int>(row.position));
+        out += " f" + std::to_string(row.failing_tests);
+        out += " p" + std::to_string(row.passing_tests);
+        out += " | ";
+        append_outcome(out, row.preinfer);
+        append_outcome(out, row.fixit);
+        append_outcome(out, row.dysy);
+        out += '\n';
+    }
+    for (const eval::MethodRow& m : r.methods) {
+        // Everything but wall_ms, the one documented nondeterministic column.
+        out += m.method + " tests" + std::to_string(m.tests) + " acls" +
+               std::to_string(m.acls) + " cov" + std::to_string(m.block_coverage) +
+               " ch" + std::to_string(m.cache_hits) + " cm" +
+               std::to_string(m.cache_misses) + '\n';
+    }
+    return out;
+}
+
+void check_jobs_equivalence(const std::string& source, std::uint64_t seed,
+                            const gen::ExplorerConfig& explore,
+                            OracleReport& report) {
+    eval::Subject subject = eval::subject_from_source("fuzz-" + std::to_string(seed),
+                                                      source);
+    // Two sibling units generated from derived seeds give the thread pool
+    // real work to schedule, so jobs=3 actually interleaves units.
+    for (int k = 1; k <= 2; ++k) {
+        eval::SubjectMethod sm;
+        sm.name = "m0_" + std::to_string(k);
+        sm.source = generate_source(derive_seed(seed, 9000u + static_cast<unsigned>(k)));
+        subject.methods.push_back(std::move(sm));
+    }
+
+    eval::HarnessConfig hc;
+    hc.explore = explore;
+    hc.validation.explore.max_tests = 64;
+    hc.validation.explore.max_solver_calls = 1024;
+    hc.validation.fuzz_count = 60;
+    hc.trace.enabled = true;
+
+    hc.jobs = 1;
+    const eval::HarnessResult serial = eval::run_harness({subject}, hc);
+    hc.jobs = 3;
+    const eval::HarnessResult parallel = eval::run_harness({subject}, hc);
+
+    if (serialize_result(serial) != serialize_result(parallel)) {
+        add_violation(report, "jobs-equivalence",
+                      "result rows differ between jobs=1 and jobs=3");
+    }
+    if (serial.trace != parallel.trace) {
+        add_violation(report, "jobs-trace-equivalence",
+                      "merged traces differ between jobs=1 and jobs=3");
+    }
+}
+
+}  // namespace
+
+const char* fault_mode_name(FaultMode mode) {
+    switch (mode) {
+        case FaultMode::None: return "none";
+        case FaultMode::SolverStarvation: return "solver-starvation";
+        case FaultMode::SolverBlackout: return "solver-blackout";
+        case FaultMode::StepExhaustion: return "step-exhaustion";
+        case FaultMode::PoolPressure: return "pool-pressure";
+    }
+    return "unknown";
+}
+
+OracleReport check_source(const std::string& source, std::uint64_t seed,
+                          const OracleConfig& cfg) {
+    OracleReport report;
+    report.seed = seed;
+    report.fault = cfg.fault;
+    report.source = source;
+    try {
+        if (cfg.check_roundtrip) {
+            lang::Program reparsed = lang::parse_program(source);
+            const std::string reprinted = lang::to_string(reparsed);
+            if (reprinted != source) {
+                add_violation(report, "print-idempotence",
+                              "print(parse(source)) differs from source");
+            }
+        }
+
+        const gen::ExplorerConfig config = make_explorer_config(cfg);
+        const solver::SolveCache::Options default_cache{};
+        const auto primary = run_pipeline(source, config, &default_cache);
+        report.tests = static_cast<int>(primary->suite.tests.size());
+        for (const gen::Test& t : primary->suite.tests) {
+            if (t.result.outcome.failing()) ++report.failing_tests;
+        }
+        report.acls = static_cast<int>(primary->outcomes.size());
+        check_soundness(*primary, cfg, report);
+
+        if (cfg.fault == FaultMode::None && cfg.check_determinism) {
+            const std::string base_fp = fingerprint(*primary);
+            const auto rerun = run_pipeline(source, config, &default_cache);
+            if (fingerprint(*rerun) != base_fp) {
+                add_violation(report, "determinism-rerun",
+                              "two identical runs produced different results");
+            }
+            gen::ExplorerConfig from_scratch = config;
+            from_scratch.incremental = false;
+            const auto v_inc = run_pipeline(source, from_scratch, &default_cache);
+            if (fingerprint(*v_inc) != base_fp) {
+                add_violation(report, "determinism-incremental",
+                              "incremental and from-scratch solving diverged");
+            }
+            solver::SolveCache::Options no_subsumption;
+            no_subsumption.unsat_subsumption = false;
+            const auto v_sub = run_pipeline(source, config, &no_subsumption);
+            if (fingerprint(*v_sub) != base_fp) {
+                add_violation(report, "determinism-subsumption",
+                              "unsat subsumption on/off diverged");
+            }
+            // A cache-less run re-solves repeated conjunct sets with
+            // whatever seed the repeat carries, so its witness models (and
+            // thus its suite) may legitimately differ; it still has to
+            // satisfy every soundness theorem. Fingerprints are not
+            // compared — docs/FUZZING.md explains why.
+            OracleConfig uncached_cfg = cfg;
+            uncached_cfg.check_determinism = false;
+            uncached_cfg.check_jobs_equivalence = false;
+            const auto v_nocache = run_pipeline(source, config, nullptr);
+            check_soundness(*v_nocache, uncached_cfg, report);
+        }
+
+        if (cfg.fault == FaultMode::None && cfg.check_jobs_equivalence) {
+            check_jobs_equivalence(source, seed, config, report);
+        }
+    } catch (const std::exception& e) {
+        add_violation(report, "unhandled-exception", e.what());
+    } catch (...) {
+        add_violation(report, "unhandled-exception", "non-standard exception");
+    }
+    return report;
+}
+
+OracleReport check_program(std::uint64_t seed, const OracleConfig& cfg) {
+    const lang::Program generated = generate_program(seed, cfg.gen);
+    const std::string source = lang::to_string(generated);
+    OracleReport report = check_source(source, seed, cfg);
+    if (cfg.check_roundtrip) {
+        try {
+            const lang::Program reparsed = lang::parse_program(source);
+            if (!lang::structurally_equal(generated, reparsed)) {
+                add_violation(report, "print-parse-roundtrip",
+                              "parse(print(ast)) is not structurally equal to ast");
+            }
+        } catch (const std::exception& e) {
+            add_violation(report, "generated-source-rejected", e.what());
+        }
+    }
+    return report;
+}
+
+// --- minimizer ---------------------------------------------------------------
+
+namespace {
+
+int count_stmts(const lang::Program& p) {
+    int n = 0;
+    for (const lang::Method& m : p.methods) {
+        lang::for_each_stmt(m.body, [&n](const lang::StmtNode&) { ++n; });
+    }
+    return n;
+}
+
+/// Deletes the `n`-th statement (pre-order across nested bodies) from the
+/// list; decrements `n` past visited statements and reports whether the
+/// deletion happened inside this subtree.
+bool delete_nth(std::vector<lang::StmtPtr>& stmts, int& n) {
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (n == 0) {
+            stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+        --n;
+        lang::StmtNode& s = *stmts[i];
+        if (delete_nth(s.body, n)) return true;
+        if (delete_nth(s.else_body, n)) return true;
+    }
+    return false;
+}
+
+/// Replaces the `n`-th statement with its own body (then else-body)
+/// contents — unwrapping an if/while/block while keeping the inner
+/// statements. Returns true when position `n` was reached (even if the
+/// statement had nothing to hoist; the caller's size guard rejects no-ops).
+bool hoist_nth(std::vector<lang::StmtPtr>& stmts, int& n) {
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (n == 0) {
+            lang::StmtNode& s = *stmts[i];
+            std::vector<lang::StmtPtr> inner;
+            for (lang::StmtPtr& k : s.body) inner.push_back(std::move(k));
+            for (lang::StmtPtr& k : s.else_body) inner.push_back(std::move(k));
+            stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+            stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(i),
+                         std::make_move_iterator(inner.begin()),
+                         std::make_move_iterator(inner.end()));
+            return true;
+        }
+        --n;
+        lang::StmtNode& s = *stmts[i];
+        if (hoist_nth(s.body, n)) return true;
+        if (hoist_nth(s.else_body, n)) return true;
+    }
+    return false;
+}
+
+using Transform = bool (*)(std::vector<lang::StmtPtr>&, int&);
+
+bool apply_nth(lang::Program& p, int n, Transform transform) {
+    for (lang::Method& m : p.methods) {
+        if (transform(m.body, n)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string minimize_source(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_failing) {
+    lang::Program prog;
+    try {
+        prog = lang::parse_program(source);
+    } catch (const std::exception&) {
+        return source;  // not shrinkable structurally
+    }
+    std::string best = lang::to_string(prog);
+    if (!still_failing(best)) return source;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        for (const Transform transform : {&delete_nth, &hoist_nth}) {
+            const int total = count_stmts(prog);
+            for (int k = 0; k < total; ++k) {
+                lang::Program candidate = lang::clone(prog);
+                if (!apply_nth(candidate, k, transform)) break;
+                const std::string cs = lang::to_string(candidate);
+                // The strict size guard makes every accepted step shrink the
+                // source, so minimization always terminates.
+                if (cs.size() < best.size() && still_failing(cs)) {
+                    prog = std::move(candidate);
+                    best = cs;
+                    changed = true;
+                    break;
+                }
+            }
+            if (changed) break;
+        }
+        if (changed) continue;
+
+        // Drop trailing (callee) methods wholesale.
+        for (std::size_t mi = 1; mi < prog.methods.size(); ++mi) {
+            lang::Program candidate = lang::clone(prog);
+            candidate.methods.erase(candidate.methods.begin() +
+                                    static_cast<std::ptrdiff_t>(mi));
+            const std::string cs = lang::to_string(candidate);
+            if (cs.size() < best.size() && still_failing(cs)) {
+                prog = std::move(candidate);
+                best = cs;
+                changed = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace preinfer::fuzz

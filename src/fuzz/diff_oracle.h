@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/gen_program.h"
+
+namespace preinfer::fuzz {
+
+/// Fault-injection modes (docs/FUZZING.md has the full matrix). Every mode
+/// must degrade gracefully: the pipeline completes, reports whatever the
+/// starved budgets allowed, and every soundness theorem still holds on the
+/// evidence that was gathered.
+enum class FaultMode : std::uint8_t {
+    None,             ///< healthy run; determinism battery applies
+    SolverStarvation, ///< solver answers Unknown after a mid-run call budget
+    SolverBlackout,   ///< every solver query answers Unknown from the start
+    StepExhaustion,   ///< interpreter step budget cut to a sliver
+    PoolPressure,     ///< exploration halts once the expression pool grows
+};
+
+inline constexpr FaultMode kFaultModes[] = {
+    FaultMode::None, FaultMode::SolverStarvation, FaultMode::SolverBlackout,
+    FaultMode::StepExhaustion, FaultMode::PoolPressure,
+};
+
+[[nodiscard]] const char* fault_mode_name(FaultMode mode);
+
+struct OracleConfig {
+    GenConfig gen{};
+    FaultMode fault = FaultMode::None;
+
+    /// Budgets of the inner pipeline — deliberately smaller than the
+    /// harness defaults so one iteration stays in the tens of milliseconds.
+    int max_tests = 48;
+    int max_solver_calls = 768;
+    /// Failing path conditions per ACL whose solver models are concretely
+    /// replayed (check `model-replay-divergence`).
+    int replay_models_per_acl = 3;
+
+    bool check_roundtrip = true;
+    /// Run the determinism battery (rerun, incremental off, unsat
+    /// subsumption off, uncached soundness run). Only applies when
+    /// fault == None: injected faults are allowed to change trajectories.
+    bool check_determinism = true;
+    /// Cross-check eval::run_harness jobs=1 vs jobs=3 on a 3-method subject
+    /// (result rows and merged trace must be byte-identical). Noticeably
+    /// heavier than the other checks; the driver samples it.
+    bool check_jobs_equivalence = false;
+};
+
+/// One failed oracle check. `check` is a stable machine-readable id (the
+/// set is enumerated in docs/FUZZING.md); `detail` is human diagnosis.
+struct Violation {
+    std::string check;
+    std::string detail;
+};
+
+/// Structured status of one fuzz iteration. The oracle never throws and
+/// never intentionally aborts: pipeline exceptions are themselves reported
+/// as `unhandled-exception` violations.
+struct OracleReport {
+    std::uint64_t seed = 0;
+    FaultMode fault = FaultMode::None;
+    std::string source;
+
+    int tests = 0;
+    int failing_tests = 0;
+    int acls = 0;
+    int replayed_models = 0;  ///< solver models executed concretely
+    int skipped_replays = 0;  ///< Sat models whose reconstruction was inexact
+
+    std::vector<Violation> violations;
+
+    [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Generates the program for `seed` and runs the full differential oracle
+/// on it: per-test path-condition self-consistency, per-ACL soundness of
+/// the inferred α/ψ, pruned-vs-unpruned reachability cross-checks, solver
+/// model replay, and (fault == None) the determinism battery.
+[[nodiscard]] OracleReport check_program(std::uint64_t seed,
+                                         const OracleConfig& config = {});
+
+/// Same oracle over explicit source text (used by --minimize replays and
+/// regression tests distilled from surviving seeds). `seed` only labels the
+/// report.
+[[nodiscard]] OracleReport check_source(const std::string& source,
+                                        std::uint64_t seed,
+                                        const OracleConfig& config = {});
+
+/// Greedy structural shrinker: repeatedly deletes single statements and
+/// hoists branch/loop bodies while `still_failing(candidate_source)` stays
+/// true, until no single transformation preserves the failure. The
+/// predicate sees printed MiniLang source; candidates that no longer parse
+/// or type-check simply make the predicate return false. Returns the
+/// smallest failing source found (the input itself if nothing shrinks).
+[[nodiscard]] std::string minimize_source(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_failing);
+
+}  // namespace preinfer::fuzz

@@ -1,0 +1,490 @@
+#include "src/fuzz/gen_program.h"
+
+#include <utility>
+
+#include "src/lang/print.h"
+
+namespace preinfer::fuzz {
+
+namespace {
+
+using lang::BinOp;
+using lang::EKind;
+using lang::ExprNode;
+using lang::ExprPtr;
+using lang::Method;
+using lang::Param;
+using lang::Program;
+using lang::SKind;
+using lang::StmtNode;
+using lang::StmtPtr;
+using lang::Type;
+using lang::UnOp;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// All randomness flows through this: raw SplitMix64 draws reduced with %,
+/// never <random> distributions, so a seed replays identically everywhere.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() { return splitmix64(state_); }
+    int pick(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+    bool chance(int percent) { return pick(100) < percent; }
+
+private:
+    std::uint64_t state_;
+};
+
+ExprPtr make_expr(EKind kind) {
+    auto e = std::make_unique<ExprNode>();
+    e->kind = kind;
+    return e;
+}
+
+ExprPtr int_lit(std::int64_t v) {
+    // Negative literals would print as "-v" and reparse as Unary(Neg, v),
+    // breaking structural round-trips; negatives are built as explicit
+    // Unary(Neg, ...) nodes instead.
+    ExprPtr e = make_expr(EKind::IntLit);
+    e->int_value = v;
+    return e;
+}
+
+ExprPtr bool_lit(bool v) {
+    ExprPtr e = make_expr(EKind::BoolLit);
+    e->bool_value = v;
+    return e;
+}
+
+ExprPtr var_ref(std::string name) {
+    ExprPtr e = make_expr(EKind::VarRef);
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    ExprPtr e = make_expr(EKind::Binary);
+    e->bin = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+ExprPtr unary(UnOp op, ExprPtr operand) {
+    ExprPtr e = make_expr(EKind::Unary);
+    e->un = op;
+    e->lhs = std::move(operand);
+    return e;
+}
+
+ExprPtr call(std::string name, std::vector<ExprPtr> args) {
+    ExprPtr e = make_expr(EKind::Call);
+    e->name = std::move(name);
+    e->args = std::move(args);
+    return e;
+}
+
+StmtPtr make_stmt(SKind kind) {
+    auto s = std::make_unique<StmtNode>();
+    s->kind = kind;
+    return s;
+}
+
+class ProgramGen {
+public:
+    ProgramGen(std::uint64_t seed, const GenConfig& config)
+        : rng_(seed), config_(config) {}
+
+    Program generate() {
+        Program program;
+        const bool with_helper = config_.allow_helper_method && rng_.chance(35);
+        program.methods.push_back(gen_main(with_helper));
+        if (with_helper) program.methods.push_back(gen_helper());
+        return program;
+    }
+
+private:
+    struct Var {
+        std::string name;
+        Type type;
+        bool assignable;  ///< false for protected loop counters
+    };
+
+    Rng rng_;
+    GenConfig config_;
+    std::vector<Var> scope_;
+    int next_var_ = 0;
+    bool helper_available_ = false;
+
+    std::string fresh_name() { return "v" + std::to_string(next_var_++); }
+
+    const Var* pick_var(Type type, bool assignable_only = false) {
+        std::vector<const Var*> candidates;
+        for (const Var& v : scope_) {
+            if (v.type == type && (!assignable_only || v.assignable))
+                candidates.push_back(&v);
+        }
+        if (candidates.empty()) return nullptr;
+        return candidates[static_cast<std::size_t>(
+            rng_.pick(static_cast<int>(candidates.size())))];
+    }
+
+    /// Any in-scope indexable variable (int[] / str[] / str), or nullptr.
+    const Var* pick_indexable() {
+        std::vector<const Var*> candidates;
+        for (const Var& v : scope_) {
+            if (lang::is_indexable_type(v.type)) candidates.push_back(&v);
+        }
+        if (candidates.empty()) return nullptr;
+        return candidates[static_cast<std::size_t>(
+            rng_.pick(static_cast<int>(candidates.size())))];
+    }
+
+    const Var* pick_reference() {
+        std::vector<const Var*> candidates;
+        for (const Var& v : scope_) {
+            if (lang::is_reference_type(v.type)) candidates.push_back(&v);
+        }
+        if (candidates.empty()) return nullptr;
+        return candidates[static_cast<std::size_t>(
+            rng_.pick(static_cast<int>(candidates.size())))];
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    ExprPtr gen_int(int depth) {
+        // Leaves when depth is spent.
+        if (depth <= 0) {
+            if (const Var* v = pick_var(Type::Int); v != nullptr && rng_.chance(70))
+                return var_ref(v->name);
+            return int_lit(rng_.pick(11));
+        }
+        switch (rng_.pick(10)) {
+            case 0:
+            case 1: return int_lit(rng_.pick(11));
+            case 2:
+                if (const Var* v = pick_var(Type::Int)) return var_ref(v->name);
+                return int_lit(rng_.pick(11));
+            case 3:  // arr.len — NullReference site on a nullable base
+                if (const Var* v = pick_indexable()) {
+                    ExprPtr len = make_expr(EKind::Len);
+                    len->lhs = var_ref(v->name);
+                    return len;
+                }
+                return gen_int(depth - 1);
+            case 4:  // element load — NullReference + IndexOutOfRange site
+                if (const Var* v = pick_indexable(); v != nullptr &&
+                                                    lang::element_type(v->type) == Type::Int) {
+                    ExprPtr idx = make_expr(EKind::Index);
+                    idx->lhs = var_ref(v->name);
+                    idx->rhs = gen_int(depth - 1);
+                    return idx;
+                }
+                return gen_int(depth - 1);
+            case 5: {  // division / modulus — DivideByZero site
+                const BinOp op = rng_.chance(50) ? BinOp::Div : BinOp::Mod;
+                return binary(op, gen_int(depth - 1), gen_int(depth - 1));
+            }
+            case 6:
+                return unary(UnOp::Neg, gen_int(depth - 1));
+            case 7:
+                if (helper_available_)
+                    return call("h0", two_args(depth - 1));
+                [[fallthrough]];
+            default: {
+                static constexpr BinOp kArith[] = {BinOp::Add, BinOp::Add, BinOp::Sub,
+                                                   BinOp::Mul};
+                const BinOp op = kArith[rng_.pick(4)];
+                return binary(op, gen_int(depth - 1), gen_int(depth - 1));
+            }
+        }
+    }
+
+    std::vector<ExprPtr> two_args(int depth) {
+        std::vector<ExprPtr> args;
+        args.push_back(gen_int(depth));
+        args.push_back(gen_int(depth));
+        return args;
+    }
+
+    ExprPtr gen_bool(int depth) {
+        if (depth <= 0) {
+            if (const Var* v = pick_var(Type::Bool); v != nullptr && rng_.chance(60))
+                return var_ref(v->name);
+            return gen_compare(0);
+        }
+        switch (rng_.pick(10)) {
+            case 0:
+                if (const Var* v = pick_var(Type::Bool)) return var_ref(v->name);
+                return gen_compare(depth - 1);
+            case 1: {  // null test keeps reference-typed inputs relevant
+                if (const Var* v = pick_reference()) {
+                    const BinOp op = rng_.chance(50) ? BinOp::Eq : BinOp::Ne;
+                    return binary(op, var_ref(v->name), make_expr(EKind::NullLit));
+                }
+                return gen_compare(depth - 1);
+            }
+            case 2: {
+                const BinOp op = rng_.chance(50) ? BinOp::And : BinOp::Or;
+                return binary(op, gen_bool(depth - 1), gen_bool(depth - 1));
+            }
+            case 3:
+                return unary(UnOp::Not, gen_bool(depth - 1));
+            case 4: {
+                std::vector<ExprPtr> args;
+                args.push_back(gen_int(depth - 1));
+                return call("iswhitespace", std::move(args));
+            }
+            case 5:
+                return bool_lit(rng_.chance(65));
+            default:
+                return gen_compare(depth - 1);
+        }
+    }
+
+    ExprPtr gen_compare(int depth) {
+        static constexpr BinOp kCmp[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                                         BinOp::Le, BinOp::Gt, BinOp::Ge};
+        return binary(kCmp[rng_.pick(6)], gen_int(depth), gen_int(depth));
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    void gen_block(std::vector<StmtPtr>& out, int depth, bool in_loop) {
+        const std::size_t scope_mark = scope_.size();
+        const int count = 1 + rng_.pick(config_.max_block_stmts);
+        for (int i = 0; i < count; ++i) gen_stmt(out, depth, in_loop);
+        scope_.resize(scope_mark);  // block-scoped declarations expire
+    }
+
+    void gen_stmt(std::vector<StmtPtr>& out, int depth, bool in_loop) {
+        switch (rng_.pick(12)) {
+            case 0:
+            case 1:
+            case 2: out.push_back(gen_var_decl()); return;
+            case 3:
+            case 4: {
+                if (StmtPtr s = gen_assign()) {
+                    out.push_back(std::move(s));
+                    return;
+                }
+                out.push_back(gen_var_decl());
+                return;
+            }
+            case 5:
+            case 6: out.push_back(gen_assert()); return;
+            case 7:
+            case 8:
+                if (depth > 0) {
+                    out.push_back(gen_if(depth, in_loop));
+                    return;
+                }
+                out.push_back(gen_assert());
+                return;
+            case 9:
+                if (depth > 0 && config_.allow_loops) {
+                    gen_counted_loop(out, depth);
+                    return;
+                }
+                out.push_back(gen_var_decl());
+                return;
+            case 10:
+                if (in_loop && rng_.chance(40)) {
+                    out.push_back(make_stmt(SKind::Break));
+                    return;
+                }
+                out.push_back(gen_assert());
+                return;
+            default: out.push_back(gen_var_decl()); return;
+        }
+    }
+
+    StmtPtr gen_var_decl() {
+        StmtPtr s = make_stmt(SKind::VarDecl);
+        s->name = fresh_name();
+        Type type = Type::Int;
+        const int roll = rng_.pick(10);
+        if (roll >= 8) {
+            type = Type::Bool;
+            s->expr = gen_bool(config_.max_expr_depth);
+        } else if (roll == 7) {
+            type = Type::IntArr;
+            std::vector<ExprPtr> args;
+            args.push_back(gen_int(1));
+            s->expr = call("newintarray", std::move(args));
+        } else {
+            s->expr = gen_int(config_.max_expr_depth);
+        }
+        scope_.push_back({s->name, type, /*assignable=*/true});
+        return s;
+    }
+
+    /// Scalar reassignment or an int[] element store (Null + bounds ACLs);
+    /// returns nullptr when no assignable target is in scope.
+    StmtPtr gen_assign() {
+        if (rng_.chance(35)) {
+            if (const Var* arr = pick_var(Type::IntArr)) {
+                StmtPtr s = make_stmt(SKind::Assign);
+                s->name = arr->name;
+                s->index = gen_int(1);
+                s->expr = gen_int(config_.max_expr_depth - 1);
+                return s;
+            }
+        }
+        const Type t = rng_.chance(80) ? Type::Int : Type::Bool;
+        const Var* target = pick_var(t, /*assignable_only=*/true);
+        if (target == nullptr) return nullptr;
+        StmtPtr s = make_stmt(SKind::Assign);
+        s->name = target->name;
+        s->expr = t == Type::Int ? gen_int(config_.max_expr_depth)
+                                 : gen_bool(config_.max_expr_depth);
+        return s;
+    }
+
+    StmtPtr gen_assert() {
+        StmtPtr s = make_stmt(SKind::Assert);
+        s->expr = gen_bool(config_.max_expr_depth);
+        return s;
+    }
+
+    StmtPtr gen_if(int depth, bool in_loop) {
+        StmtPtr s = make_stmt(SKind::If);
+        s->expr = gen_bool(config_.max_expr_depth);
+        gen_block(s->body, depth - 1, in_loop);
+        if (rng_.chance(40)) gen_block(s->else_body, depth - 1, in_loop);
+        return s;
+    }
+
+    /// Emits `var c = 0; while (c < bound) { ...; c = c + 1; }` with a small
+    /// literal (or collection-length) bound and a counter no other statement
+    /// may assign — every generated loop terminates unless a nested `break`
+    /// cuts it short, which only shortens it. The increment is the last body
+    /// statement and the generator never emits `continue`, so it cannot be
+    /// skipped.
+    void gen_counted_loop(std::vector<StmtPtr>& out, int depth) {
+        StmtPtr init = make_stmt(SKind::VarDecl);
+        init->name = fresh_name();
+        init->expr = int_lit(0);
+        const std::string counter = init->name;
+        scope_.push_back({counter, Type::Int, /*assignable=*/false});
+        out.push_back(std::move(init));
+
+        ExprPtr bound;
+        if (const Var* v = pick_indexable(); v != nullptr && rng_.chance(30)) {
+            bound = make_expr(EKind::Len);  // iterate a collection: len ≤ 64
+            bound->lhs = var_ref(v->name);
+        } else {
+            bound = int_lit(1 + rng_.pick(config_.max_loop_literal));
+        }
+
+        StmtPtr loop = make_stmt(SKind::While);
+        loop->expr = binary(BinOp::Lt, var_ref(counter), std::move(bound));
+        gen_block(loop->body, depth - 1, /*in_loop=*/true);
+        StmtPtr inc = make_stmt(SKind::Assign);
+        inc->name = counter;
+        inc->expr = binary(BinOp::Add, var_ref(counter), int_lit(1));
+        loop->body.push_back(std::move(inc));
+        out.push_back(std::move(loop));
+    }
+
+    // ---- methods ---------------------------------------------------------
+
+    Method gen_main(bool with_helper) {
+        Method m;
+        m.name = "m0";
+        m.ret = rng_.chance(70) ? Type::Int : Type::Void;
+        const int span = config_.max_params - config_.min_params + 1;
+        const int num_params = config_.min_params + (span > 0 ? rng_.pick(span) : 0);
+        for (int i = 0; i < num_params; ++i) {
+            static constexpr Type kParamTypes[] = {Type::Int,    Type::Int, Type::Int,
+                                                   Type::IntArr, Type::IntArr,
+                                                   Type::Str,    Type::Bool};
+            const Type t = kParamTypes[rng_.pick(7)];
+            const std::string name = "p" + std::to_string(i);
+            m.params.push_back({name, t});
+            scope_.push_back({name, t, /*assignable=*/true});
+        }
+        helper_available_ = with_helper;
+        gen_block(m.body, config_.max_stmt_depth, /*in_loop=*/false);
+        if (!has_acl_site(m.body)) m.body.push_back(gen_assert());
+        if (m.ret == Type::Int) {
+            StmtPtr ret = make_stmt(SKind::Return);
+            ret->expr = gen_int(config_.max_expr_depth);
+            m.body.push_back(std::move(ret));
+        }
+        scope_.clear();
+        helper_available_ = false;
+        return m;
+    }
+
+    /// A small int-valued callee, often carrying its own DivideByZero site,
+    /// so interprocedural assertion locations show up in main's analysis.
+    Method gen_helper() {
+        Method m;
+        m.name = "h0";
+        m.params = {{"a", Type::Int}, {"b", Type::Int}};
+        m.ret = Type::Int;
+        scope_.push_back({"a", Type::Int, true});
+        scope_.push_back({"b", Type::Int, true});
+        if (rng_.chance(50)) {
+            StmtPtr guard = make_stmt(SKind::If);
+            guard->expr = gen_compare(1);
+            StmtPtr early = make_stmt(SKind::Return);
+            early->expr = gen_int(1);
+            guard->body.push_back(std::move(early));
+            m.body.push_back(std::move(guard));
+        }
+        StmtPtr ret = make_stmt(SKind::Return);
+        if (rng_.chance(60)) {
+            const BinOp op = rng_.chance(50) ? BinOp::Div : BinOp::Mod;
+            ret->expr = binary(op, var_ref("a"), var_ref("b"));
+        } else {
+            ret->expr = binary(BinOp::Add, gen_int(1), gen_int(1));
+        }
+        m.body.push_back(std::move(ret));
+        scope_.clear();
+        return m;
+    }
+
+    /// True when the statement list contains an implicit or explicit ACL
+    /// candidate: assert, division/modulus, element access, or .len.
+    static bool has_acl_site(const std::vector<StmtPtr>& body) {
+        bool found = false;
+        lang::for_each_stmt(body, [&](const StmtNode& s) {
+            if (s.kind == SKind::Assert) found = true;
+            if (s.kind == SKind::Assign && s.index) found = true;
+        });
+        if (found) return true;
+        lang::for_each_expr_in(body, [&](const ExprNode& e) {
+            if (e.kind == EKind::Index || e.kind == EKind::Len) found = true;
+            if (e.kind == EKind::Binary && (e.bin == BinOp::Div || e.bin == BinOp::Mod))
+                found = true;
+        });
+        return found;
+    }
+};
+
+}  // namespace
+
+Program generate_program(std::uint64_t seed, const GenConfig& config) {
+    return ProgramGen(seed, config).generate();
+}
+
+std::string generate_source(std::uint64_t seed, const GenConfig& config) {
+    return lang::to_string(generate_program(seed, config));
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t iteration) {
+    std::uint64_t state = base ^ (iteration * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL);
+    return splitmix64(state);
+}
+
+}  // namespace preinfer::fuzz

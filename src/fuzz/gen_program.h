@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace preinfer::fuzz {
+
+/// Knobs of the seeded MiniLang program generator. The defaults are tuned
+/// so a typical program has a handful of parameters, nested control flow,
+/// at least one assertion-containing location (an `assert`, a division, an
+/// index or a dereference) and terminates within the interpreter budgets
+/// on almost every input; occasional divergence is fine — exploration
+/// classifies it as Exhausted and moves on.
+struct GenConfig {
+    int min_params = 1;
+    int max_params = 4;
+    int max_block_stmts = 5;  ///< statements generated per block
+    int max_stmt_depth = 3;   ///< if/while nesting
+    int max_expr_depth = 3;
+    int max_loop_literal = 4;  ///< literal loop bounds stay small
+    bool allow_loops = true;
+    bool allow_helper_method = true;  ///< sometimes emit + call an int callee
+};
+
+/// Deterministically generates one well-typed MiniLang program from the
+/// seed: same seed + config = byte-identical program on every platform
+/// (the generator draws bits from a SplitMix-fed engine directly, never
+/// through distribution objects, whose output is implementation-defined).
+///
+/// The first method is the method under test; a helper callee may follow.
+/// The returned AST has no node ids, types or block labels — print it and
+/// re-parse (what generate_source does) to obtain a frontend-ready unit,
+/// or run the frontend passes on it directly.
+[[nodiscard]] lang::Program generate_program(std::uint64_t seed,
+                                             const GenConfig& config = {});
+
+/// lang::to_string(generate_program(seed, config)): the canonical textual
+/// form, used as the interchange format for repro emission (docs/FUZZING.md).
+[[nodiscard]] std::string generate_source(std::uint64_t seed,
+                                          const GenConfig& config = {});
+
+/// The fuzzer's per-iteration seed derivation (SplitMix64 over the base
+/// seed and iteration index), shared by the driver and the tests so a
+/// failure report's `program-seed` reproduces with generate_program alone.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t iteration);
+
+}  // namespace preinfer::fuzz

@@ -157,6 +157,20 @@ solver::SolveResult Explorer::solve_with_cache(
         }
         ++stats_.cache_misses;
     }
+    // Fault seam: past the starvation threshold the query is charged but
+    // answered Unknown without searching. The result is not cached — it is
+    // an injected failure, not a fact about the conjunction — so cache-on
+    // and cache-off runs starve at the same charged-query index.
+    if (config_.fault_solver_unknown_after >= 0 &&
+        stats_.solver_calls >= config_.fault_solver_unknown_after) {
+        ++stats_.solver_calls;
+        const solver::SolveResult starved{solver::SolveStatus::Unknown, {}};
+        if (observed) {
+            record_solver_query(conjuncts.size(), starved.status,
+                                cache_ != nullptr ? "miss" : "off", -1);
+        }
+        return starved;
+    }
     ++stats_.solver_calls;
     using clock = std::chrono::steady_clock;
     const clock::time_point start = timed ? clock::now() : clock::time_point{};
@@ -260,6 +274,11 @@ TestSuite Explorer::explore() {
     while (!work.empty()) {
         if (stats_.solver_calls >= config_.max_solver_calls) break;
         if (static_cast<int>(suite.tests.size()) >= config_.max_tests) break;
+        // Pool-pressure fault seam: stop expanding once the expression pool
+        // exceeds the injected limit. The suite so far stays valid.
+        if (config_.fault_pool_limit > 0 && pool_.size() > config_.fault_pool_limit) {
+            break;
+        }
 
         const auto [idx, bound] = work.front();
         work.pop_front();
@@ -319,8 +338,12 @@ std::optional<Test> Explorer::run_constrained(
     std::span<const sym::Expr* const> conjuncts, const exec::Input* base) {
     // On-demand oracles share max_solver_calls with the generational
     // search; once the budget is spent, refuse further witness queries
-    // instead of silently blowing past the cap.
+    // instead of silently blowing past the cap. The pool-pressure fault
+    // seam refuses for the same reason: degrade, never crash.
     if (stats_.solver_calls >= config_.max_solver_calls) return std::nullopt;
+    if (config_.fault_pool_limit > 0 && pool_.size() > config_.fault_pool_limit) {
+        return std::nullopt;
+    }
     std::optional<solver::Model> seed;
     if (base) seed = seed_model(pool_, method_, *base);
     const solver::SolveResult res =

@@ -24,6 +24,18 @@ struct ExplorerConfig {
     /// reloading it per query. Results are bit-for-bit identical either
     /// way (the off position exists for equivalence testing).
     bool incremental = true;
+    /// Fault-injection seam (docs/FUZZING.md): when >= 0, every solver
+    /// query beyond this many budget-charged calls answers Unknown without
+    /// searching — the mid-run starvation the differential fuzzer uses to
+    /// prove the pipeline degrades gracefully. The threshold counts
+    /// *charged* queries (real solves plus semantic cache answers), the
+    /// same quantity max_solver_calls bounds, so the trip point is
+    /// invariant across the cache's semantic options.
+    int fault_solver_unknown_after = -1;
+    /// Fault-injection seam: when > 0, exploration stops expanding (and
+    /// run_constrained refuses witness queries) once the expression pool
+    /// holds more than this many nodes — simulated allocator pressure.
+    std::size_t fault_pool_limit = 0;
 };
 
 /// Pex-style generational-search test generator: run a seed input

@@ -80,6 +80,141 @@ const Method* Program::method_containing(int node_id) const {
     return nullptr;
 }
 
+ExprPtr clone(const ExprNode& e) {
+    auto c = std::make_unique<ExprNode>();
+    c->kind = e.kind;
+    c->node_id = e.node_id;
+    c->loc = e.loc;
+    c->type = e.type;
+    c->int_value = e.int_value;
+    c->bool_value = e.bool_value;
+    c->name = e.name;
+    c->bin = e.bin;
+    c->un = e.un;
+    if (e.lhs) c->lhs = clone(*e.lhs);
+    if (e.rhs) c->rhs = clone(*e.rhs);
+    c->args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) c->args.push_back(clone(*a));
+    return c;
+}
+
+StmtPtr clone(const StmtNode& s) {
+    auto c = std::make_unique<StmtNode>();
+    c->kind = s.kind;
+    c->node_id = s.node_id;
+    c->loc = s.loc;
+    c->name = s.name;
+    if (s.index) c->index = clone(*s.index);
+    if (s.expr) c->expr = clone(*s.expr);
+    c->body.reserve(s.body.size());
+    for (const StmtPtr& b : s.body) c->body.push_back(clone(*b));
+    c->else_body.reserve(s.else_body.size());
+    for (const StmtPtr& b : s.else_body) c->else_body.push_back(clone(*b));
+    if (s.step) c->step = clone(*s.step);
+    c->block_id = s.block_id;
+    return c;
+}
+
+Method clone(const Method& m) {
+    Method c;
+    c.name = m.name;
+    c.params = m.params;
+    c.ret = m.ret;
+    c.body.reserve(m.body.size());
+    for (const StmtPtr& s : m.body) c.body.push_back(clone(*s));
+    c.first_node_id = m.first_node_id;
+    c.num_nodes = m.num_nodes;
+    c.num_blocks = m.num_blocks;
+    return c;
+}
+
+Program clone(const Program& p) {
+    Program c;
+    c.methods.reserve(p.methods.size());
+    for (const Method& m : p.methods) c.methods.push_back(clone(m));
+    return c;
+}
+
+namespace {
+
+bool equal_opt(const ExprPtr& a, const ExprPtr& b) {
+    if (!a || !b) return !a && !b;
+    return structurally_equal(*a, *b);
+}
+
+bool equal_stmts(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!structurally_equal(*a[i], *b[i])) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool structurally_equal(const ExprNode& a, const ExprNode& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+        case EKind::IntLit:
+            if (a.int_value != b.int_value) return false;
+            break;
+        case EKind::BoolLit:
+            if (a.bool_value != b.bool_value) return false;
+            break;
+        case EKind::Binary:
+            if (a.bin != b.bin) return false;
+            break;
+        case EKind::Unary:
+            if (a.un != b.un) return false;
+            break;
+        case EKind::VarRef:
+        case EKind::Call:
+            if (a.name != b.name) return false;
+            break;
+        case EKind::NullLit:
+        case EKind::Index:
+        case EKind::Len:
+            break;
+    }
+    if (!equal_opt(a.lhs, b.lhs) || !equal_opt(a.rhs, b.rhs)) return false;
+    if (a.args.size() != b.args.size()) return false;
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+        if (!structurally_equal(*a.args[i], *b.args[i])) return false;
+    }
+    return true;
+}
+
+bool structurally_equal(const StmtNode& a, const StmtNode& b) {
+    if (a.kind != b.kind || a.name != b.name) return false;
+    if (!equal_opt(a.index, b.index) || !equal_opt(a.expr, b.expr)) return false;
+    if (!equal_stmts(a.body, b.body) || !equal_stmts(a.else_body, b.else_body)) {
+        return false;
+    }
+    if (!a.step != !b.step) return false;
+    if (a.step && !structurally_equal(*a.step, *b.step)) return false;
+    return true;
+}
+
+bool structurally_equal(const Method& a, const Method& b) {
+    if (a.name != b.name || a.ret != b.ret) return false;
+    if (a.params.size() != b.params.size()) return false;
+    for (std::size_t i = 0; i < a.params.size(); ++i) {
+        if (a.params[i].name != b.params[i].name ||
+            a.params[i].type != b.params[i].type) {
+            return false;
+        }
+    }
+    return equal_stmts(a.body, b.body);
+}
+
+bool structurally_equal(const Program& a, const Program& b) {
+    if (a.methods.size() != b.methods.size()) return false;
+    for (std::size_t i = 0; i < a.methods.size(); ++i) {
+        if (!structurally_equal(a.methods[i], b.methods[i])) return false;
+    }
+    return true;
+}
+
 void for_each_stmt(const std::vector<StmtPtr>& stmts,
                    const std::function<void(const StmtNode&)>& fn) {
     for (const StmtPtr& s : stmts) {

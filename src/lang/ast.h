@@ -113,6 +113,23 @@ struct Program {
     [[nodiscard]] const Method* method_containing(int node_id) const;
 };
 
+/// Deep copies. Node ids, locations, types and block labels are copied
+/// verbatim; re-run the frontend passes after editing a clone.
+[[nodiscard]] ExprPtr clone(const ExprNode& e);
+[[nodiscard]] StmtPtr clone(const StmtNode& s);
+[[nodiscard]] Method clone(const Method& m);
+[[nodiscard]] Program clone(const Program& p);
+
+/// Structural (surface-syntax) equality: compares kinds, names, literal
+/// values, operators and child structure, ignoring node ids, source
+/// locations, inferred types and block labels. This is exactly the identity
+/// the printer round-trip preserves — parse(print(p)) is structurally equal
+/// to p — which the fuzzer's repro emission relies on.
+[[nodiscard]] bool structurally_equal(const ExprNode& a, const ExprNode& b);
+[[nodiscard]] bool structurally_equal(const StmtNode& a, const StmtNode& b);
+[[nodiscard]] bool structurally_equal(const Method& a, const Method& b);
+[[nodiscard]] bool structurally_equal(const Program& a, const Program& b);
+
 /// Statement-tree walk (pre-order), visiting nested bodies.
 void for_each_stmt(const std::vector<StmtPtr>& stmts,
                    const std::function<void(const StmtNode&)>& fn);

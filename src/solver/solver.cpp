@@ -821,6 +821,10 @@ Solver::~Solver() = default;
 
 SolveResult Solver::solve(std::span<const sym::Expr* const> conjuncts,
                           const Model* seed) {
+    if (config_.fault_always_unknown) {
+        stats_ = {};
+        return {SolveStatus::Unknown, {}};
+    }
     scratch_->clear();
     for (const sym::Expr* e : conjuncts) scratch_->push(e);
     return scratch_->solve(seed, stats_);
@@ -842,6 +846,10 @@ void Solver::Context::clear() { state_->clear(); }
 std::size_t Solver::Context::depth() const { return state_->depth(); }
 
 SolveResult Solver::Context::solve(const Model* seed) {
+    if (solver_.config_.fault_always_unknown) {
+        solver_.stats_ = {};
+        return {SolveStatus::Unknown, {}};
+    }
     return state_->solve(seed, solver_.stats_);
 }
 

@@ -25,6 +25,11 @@ struct SolverConfig {
     /// reported Unknown and the explorer just moves on.
     int max_nodes = 800;
     int max_propagation_rounds = 32;
+    /// Fault-injection seam (docs/FUZZING.md): when true, every solve()
+    /// returns Unknown without searching, simulating total budget
+    /// starvation. Callers must degrade gracefully — an Unknown is always a
+    /// legal answer — which the differential fuzzer asserts.
+    bool fault_always_unknown = false;
 
     /// Equality gates SolveCache sharing: results are only reusable between
     /// solvers operating under identical bounds and budgets.

@@ -1,0 +1,126 @@
+// Unit tests for the differential fuzzing harness itself (src/fuzz):
+// generator determinism, seed derivation, the oracle over healthy and
+// fault-injected runs, and the structural minimizer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/diff_oracle.h"
+#include "src/fuzz/gen_program.h"
+
+namespace preinfer {
+namespace {
+
+std::string violations_of(const fuzz::OracleReport& report) {
+    std::ostringstream out;
+    for (const fuzz::Violation& v : report.violations) {
+        out << "[" << v.check << "] " << v.detail << "\n";
+    }
+    out << report.source;
+    return out.str();
+}
+
+TEST(FuzzGen, SameSeedSameProgram) {
+    for (std::uint64_t seed : {1ULL, 17ULL, 0xdeadbeefULL}) {
+        EXPECT_EQ(fuzz::generate_source(seed), fuzz::generate_source(seed));
+    }
+}
+
+TEST(FuzzGen, DifferentSeedsDiverge) {
+    std::set<std::string> sources;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        sources.insert(fuzz::generate_source(seed));
+    }
+    // Collisions are possible in principle but 20 identical programs would
+    // mean the seed is being ignored.
+    EXPECT_GT(sources.size(), 15U);
+}
+
+TEST(FuzzGen, DeriveSeedIsDeterministicAndSpreads) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t s = fuzz::derive_seed(42, i);
+        EXPECT_EQ(s, fuzz::derive_seed(42, i));
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 64U);
+    EXPECT_NE(fuzz::derive_seed(1, 0), fuzz::derive_seed(2, 0));
+}
+
+TEST(FuzzOracle, HealthySeedsReportNoViolations) {
+    fuzz::OracleConfig config;
+    config.max_tests = 24;
+    config.max_solver_calls = 384;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const fuzz::OracleReport report =
+            fuzz::check_program(fuzz::derive_seed(101, seed), config);
+        EXPECT_TRUE(report.ok()) << "seed " << report.seed << "\n"
+                                 << violations_of(report);
+        EXPECT_GT(report.tests, 0) << report.source;
+    }
+}
+
+TEST(FuzzOracle, EveryFaultModeDegradesGracefully) {
+    for (const fuzz::FaultMode mode : fuzz::kFaultModes) {
+        if (mode == fuzz::FaultMode::None) continue;
+        fuzz::OracleConfig config;
+        config.fault = mode;
+        config.max_tests = 24;
+        config.max_solver_calls = 384;
+        config.check_determinism = false;
+        config.check_roundtrip = false;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            const fuzz::OracleReport report =
+                fuzz::check_program(fuzz::derive_seed(202, seed), config);
+            EXPECT_TRUE(report.ok())
+                << fuzz::fault_mode_name(mode) << " seed " << report.seed << "\n"
+                << violations_of(report);
+        }
+    }
+}
+
+TEST(FuzzOracle, JobsEquivalenceHoldsOnSampledSeed) {
+    fuzz::OracleConfig config;
+    config.max_tests = 24;
+    config.max_solver_calls = 384;
+    config.check_determinism = false;
+    config.check_jobs_equivalence = true;
+    const fuzz::OracleReport report = fuzz::check_program(fuzz::derive_seed(303, 0), config);
+    EXPECT_TRUE(report.ok()) << violations_of(report);
+}
+
+TEST(FuzzOracle, MalformedSourceIsAStructuredViolationNotACrash) {
+    const fuzz::OracleReport report = fuzz::check_source("method m0(", 0, {});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations.front().check, "unhandled-exception");
+}
+
+TEST(FuzzMinimize, ShrinksToTheFailingCore) {
+    const std::string source =
+        "method m0(p0: int): int {\n"
+        "    var v0 = 1;\n"
+        "    var v1 = 2;\n"
+        "    if (p0 > 3) { v1 = v1 + v0; }\n"
+        "    assert(p0 > 0);\n"
+        "    return v1;\n"
+        "}\n";
+    const std::string shrunk = fuzz::minimize_source(source, [](const std::string& s) {
+        return s.find("assert") != std::string::npos;
+    });
+    EXPECT_LT(shrunk.size(), source.size());
+    EXPECT_NE(shrunk.find("assert"), std::string::npos);
+    EXPECT_EQ(shrunk.find("v0"), std::string::npos);
+}
+
+TEST(FuzzMinimize, ReturnsInputWhenNothingReproduces) {
+    const std::string source = "method m0(): void {\n    return;\n}\n";
+    EXPECT_EQ(fuzz::minimize_source(source, [](const std::string&) { return false; }),
+              source);
+}
+
+}  // namespace
+}  // namespace preinfer

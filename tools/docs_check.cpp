@@ -1,17 +1,26 @@
-// Keeps docs/OBSERVABILITY.md honest: the event vocabulary documented there
-// must match the kTraceEventNames table in src/support/trace.h exactly, in
-// both directions. Wired into ctest as `preinfer_docs_check`, so adding an
-// event without documenting it (or documenting one that does not exist)
-// fails the suite.
+// Keeps reference docs honest against the source of truth in the headers.
+// Two modes, both wired into ctest so docs and code cannot drift apart:
 //
-//   docs_check <path/to/trace.h> <path/to/OBSERVABILITY.md>
+//   docs_check [--trace] <path/to/trace.h> <path/to/OBSERVABILITY.md>
+//       The event vocabulary documented in OBSERVABILITY.md must match the
+//       kTraceEventNames table exactly, in both directions. From the header
+//       it takes every quoted string between the braces of the
+//       `kTraceEventNames[] = { ... };` initializer; from the document,
+//       every `### `event_name`` heading. (`--trace` is optional: the bare
+//       two-argument form predates `--lang` and keeps working.)
 //
-// From the header it takes every quoted string between the braces of the
-// `kTraceEventNames[] = { ... };` initializer; from the document, every
-// `### `event_name`` heading. No JSON or markdown parser — both files keep
-// these shapes deliberately (the header says so next to the table).
+//   docs_check --lang <path/to/ast.h> <path/to/LANGUAGE.md>
+//       The machine-checked kind lists in LANGUAGE.md must match the
+//       `enum class Type / EKind / SKind` enumerators in ast.h, in both
+//       directions. From the header it takes the enumerator names between
+//       the enum braces; from the document, every list item of the shape
+//       "- `EKind::Binary` — ...".
+//
+// No JSON, C++ or markdown parser — all four files keep these shapes
+// deliberately (the headers say so next to the tables).
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -78,6 +87,62 @@ std::vector<std::string> doc_events(const std::string& text) {
     return events;
 }
 
+/// Enumerator names of `enum class <name>` in `text`, qualified as
+/// "<name>::<enumerator>". Handles the plain comma-list shape ast.h uses
+/// (no initializers, no nested braces).
+std::vector<std::string> header_enumerators(const std::string& text,
+                                            const std::string& name,
+                                            std::string& error) {
+    const std::size_t anchor = text.find("enum class " + name);
+    if (anchor == std::string::npos) {
+        error = "no `enum class " + name + "` in header";
+        return {};
+    }
+    const std::size_t open = text.find('{', anchor);
+    const std::size_t close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) {
+        error = "enum class " + name + " braces not found";
+        return {};
+    }
+    std::vector<std::string> enumerators;
+    std::string current;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const char c = text[i];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            current.push_back(c);
+        } else if (!current.empty()) {
+            enumerators.push_back(name + "::" + current);
+            current.clear();
+        }
+    }
+    if (!current.empty()) enumerators.push_back(name + "::" + current);
+    if (enumerators.empty()) error = "enum class " + name + " is empty";
+    return enumerators;
+}
+
+/// Kind list items: lines of the shape "- `Prefix::Name` — ..." whose
+/// backticked token starts with one of the checked enum prefixes.
+std::vector<std::string> doc_enumerators(const std::string& text,
+                                         const std::vector<std::string>& prefixes) {
+    std::vector<std::string> items;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string lead = "- `";
+        if (line.rfind(lead, 0) != 0) continue;
+        const std::size_t end = line.find('`', lead.size());
+        if (end == std::string::npos) continue;
+        const std::string token = line.substr(lead.size(), end - lead.size());
+        for (const std::string& p : prefixes) {
+            if (token.rfind(p + "::", 0) == 0) {
+                items.push_back(token);
+                break;
+            }
+        }
+    }
+    return items;
+}
+
 /// Elements of `have` missing from `want` (order preserved, duplicates kept).
 std::vector<std::string> missing_from(const std::vector<std::string>& have,
                                       const std::vector<std::string>& want) {
@@ -90,50 +155,102 @@ std::vector<std::string> missing_from(const std::vector<std::string>& have,
     return missing;
 }
 
-}  // namespace
+/// Shared tail: report differences in both directions; 0 on sync, 1 on drift.
+int report_sync(const std::vector<std::string>& in_header,
+                const std::vector<std::string>& in_doc,
+                const std::string& header_path, const std::string& doc_path,
+                const std::string& what) {
+    int failures = 0;
+    for (const std::string& e : missing_from(in_header, in_doc)) {
+        std::cerr << "undocumented " << what << ": \"" << e << "\" is in "
+                  << header_path << " but not in " << doc_path << "\n";
+        ++failures;
+    }
+    for (const std::string& e : missing_from(in_doc, in_header)) {
+        std::cerr << "stale documentation: \"" << e << "\" is in " << doc_path
+                  << " but not in " << header_path << "\n";
+        ++failures;
+    }
+    if (failures > 0) return 1;
+    std::cout << in_header.size() << " " << what << "s documented and in sync\n";
+    return 0;
+}
 
-int main(int argc, char** argv) {
-    if (argc != 3) {
-        std::cerr << "usage: docs_check <trace.h> <OBSERVABILITY.md>\n";
-        return 2;
-    }
+int run_trace_mode(const std::string& header_path, const std::string& doc_path) {
     bool ok = false;
-    const std::string header = read_file(argv[1], ok);
+    const std::string header = read_file(header_path, ok);
     if (!ok) {
-        std::cerr << "error: cannot open " << argv[1] << "\n";
+        std::cerr << "error: cannot open " << header_path << "\n";
         return 2;
     }
-    const std::string doc = read_file(argv[2], ok);
+    const std::string doc = read_file(doc_path, ok);
     if (!ok) {
-        std::cerr << "error: cannot open " << argv[2] << "\n";
+        std::cerr << "error: cannot open " << doc_path << "\n";
         return 2;
     }
 
     std::string error;
     const std::vector<std::string> in_header = header_events(header, error);
     if (in_header.empty()) {
-        std::cerr << "error: " << argv[1] << ": " << error << "\n";
+        std::cerr << "error: " << header_path << ": " << error << "\n";
         return 2;
     }
     const std::vector<std::string> in_doc = doc_events(doc);
     if (in_doc.empty()) {
-        std::cerr << "error: " << argv[2]
+        std::cerr << "error: " << doc_path
                   << ": no `### \\`event\\`` headings found\n";
         return 2;
     }
+    return report_sync(in_header, in_doc, header_path, doc_path, "event");
+}
 
-    int failures = 0;
-    for (const std::string& e : missing_from(in_header, in_doc)) {
-        std::cerr << "undocumented event: \"" << e << "\" is in " << argv[1]
-                  << " but has no heading in " << argv[2] << "\n";
-        ++failures;
+int run_lang_mode(const std::string& header_path, const std::string& doc_path) {
+    bool ok = false;
+    const std::string header = read_file(header_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << header_path << "\n";
+        return 2;
     }
-    for (const std::string& e : missing_from(in_doc, in_header)) {
-        std::cerr << "stale documentation: \"" << e << "\" has a heading in "
-                  << argv[2] << " but is not in " << argv[1] << "\n";
-        ++failures;
+    const std::string doc = read_file(doc_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << doc_path << "\n";
+        return 2;
     }
-    if (failures > 0) return 1;
-    std::cout << in_header.size() << " events documented and in sync\n";
-    return 0;
+
+    const std::vector<std::string> enums = {"Type", "EKind", "SKind"};
+    std::vector<std::string> in_header;
+    for (const std::string& name : enums) {
+        std::string error;
+        const std::vector<std::string> part = header_enumerators(header, name, error);
+        if (part.empty()) {
+            std::cerr << "error: " << header_path << ": " << error << "\n";
+            return 2;
+        }
+        in_header.insert(in_header.end(), part.begin(), part.end());
+    }
+    const std::vector<std::string> in_doc = doc_enumerators(doc, enums);
+    if (in_doc.empty()) {
+        std::cerr << "error: " << doc_path
+                  << ": no `- \\`Kind::Name\\` — ...` list items found\n";
+        return 2;
+    }
+    return report_sync(in_header, in_doc, header_path, doc_path, "kind");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string mode = "--trace";
+    if (!args.empty() && (args.front() == "--trace" || args.front() == "--lang")) {
+        mode = args.front();
+        args.erase(args.begin());
+    }
+    if (args.size() != 2) {
+        std::cerr << "usage: docs_check [--trace] <trace.h> <OBSERVABILITY.md>\n"
+                     "       docs_check --lang <ast.h> <LANGUAGE.md>\n";
+        return 2;
+    }
+    return mode == "--lang" ? run_lang_mode(args[0], args[1])
+                            : run_trace_mode(args[0], args[1]);
 }

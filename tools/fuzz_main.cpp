@@ -1,0 +1,177 @@
+// preinfer-fuzz: differential fuzzing & soundness harness for the whole
+// pipeline (docs/FUZZING.md). Per iteration it generates a seeded MiniLang
+// program, runs the differential oracle on it healthy (soundness theorems +
+// determinism battery, with a periodic jobs=1-vs-N harness cross-check),
+// then re-runs it under one injected fault mode, which must degrade
+// gracefully without weakening any theorem.
+//
+//   preinfer-fuzz [--seed S] [--iters N] [--fault MODE|all|none]
+//                 [--minimize] [--quiet]
+//
+// --iters defaults to the PREINFER_FUZZ_ITERS environment variable (the
+// ctest smoke target sets 25), else 200. Exit code 1 iff any violation was
+// observed; every violation prints its seed so
+// `preinfer-fuzz --seed <base> --iters ...` (or check_program on the
+// printed program-seed) reproduces it exactly.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/fuzz/diff_oracle.h"
+#include "src/fuzz/gen_program.h"
+
+namespace {
+
+using preinfer::fuzz::FaultMode;
+using preinfer::fuzz::OracleConfig;
+using preinfer::fuzz::OracleReport;
+
+struct Options {
+    std::uint64_t seed = 1;
+    int iters = 200;
+    /// `all` cycles the injected fault modes; `none` runs healthy only.
+    std::string fault = "all";
+    bool minimize = false;
+    bool quiet = false;
+};
+
+struct Tally {
+    int programs = 0;
+    int tests = 0;
+    int failing_tests = 0;
+    int acls = 0;
+    int replayed_models = 0;
+    int skipped_replays = 0;
+    int violations = 0;
+};
+
+bool parse_fault(const std::string& name, FaultMode& out) {
+    for (const FaultMode mode : preinfer::fuzz::kFaultModes) {
+        if (name == preinfer::fuzz::fault_mode_name(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+void report_failure(const OracleReport& report, const OracleConfig& cfg,
+                    bool minimize) {
+    std::cerr << "VIOLATION seed=" << report.seed
+              << " fault=" << preinfer::fuzz::fault_mode_name(report.fault) << "\n";
+    for (const preinfer::fuzz::Violation& v : report.violations) {
+        std::cerr << "  [" << v.check << "] " << v.detail << "\n";
+    }
+    std::cerr << "--- program ---\n" << report.source << "---------------\n";
+    if (minimize && !report.violations.empty()) {
+        const std::string& check = report.violations.front().check;
+        const std::string shrunk = preinfer::fuzz::minimize_source(
+            report.source, [&](const std::string& candidate) {
+                const OracleReport r =
+                    preinfer::fuzz::check_source(candidate, report.seed, cfg);
+                for (const preinfer::fuzz::Violation& v : r.violations) {
+                    if (v.check == check) return true;
+                }
+                return false;
+            });
+        std::cerr << "--- minimized (" << check << ") ---\n"
+                  << shrunk << "---------------\n";
+    }
+}
+
+void absorb(const OracleReport& report, const OracleConfig& cfg, const Options& opts,
+            Tally& tally) {
+    ++tally.programs;
+    tally.tests += report.tests;
+    tally.failing_tests += report.failing_tests;
+    tally.acls += report.acls;
+    tally.replayed_models += report.replayed_models;
+    tally.skipped_replays += report.skipped_replays;
+    if (!report.ok()) {
+        tally.violations += static_cast<int>(report.violations.size());
+        report_failure(report, cfg, opts.minimize);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opts;
+    if (const char* env = std::getenv("PREINFER_FUZZ_ITERS")) {
+        opts.iters = std::atoi(env);
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opts.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--iters") {
+            opts.iters = std::atoi(value());
+        } else if (arg == "--fault") {
+            opts.fault = value();
+        } else if (arg == "--minimize") {
+            opts.minimize = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: preinfer-fuzz [--seed S] [--iters N] "
+                         "[--fault MODE|all|none] [--minimize] [--quiet]\n";
+            return 0;
+        } else {
+            std::cerr << "error: unknown argument " << arg << "\n";
+            return 2;
+        }
+    }
+    FaultMode fixed_fault = FaultMode::None;
+    const bool cycle_faults = opts.fault == "all";
+    if (!cycle_faults && opts.fault != "none" && !parse_fault(opts.fault, fixed_fault)) {
+        std::cerr << "error: unknown fault mode '" << opts.fault << "'\n";
+        return 2;
+    }
+
+    Tally tally;
+    for (int i = 0; i < opts.iters; ++i) {
+        const std::uint64_t program_seed =
+            preinfer::fuzz::derive_seed(opts.seed, static_cast<std::uint64_t>(i));
+
+        if (opts.fault == "all" || opts.fault == "none") {
+            OracleConfig healthy;
+            // The harness-level jobs cross-check costs two full harness
+            // runs, so it is sampled rather than run per iteration.
+            healthy.check_jobs_equivalence = i % 10 == 0;
+            absorb(preinfer::fuzz::check_program(program_seed, healthy), healthy,
+                   opts, tally);
+        }
+        if (opts.fault != "none") {
+            OracleConfig faulted;
+            faulted.fault = cycle_faults
+                                ? preinfer::fuzz::kFaultModes[1 + (i % 4)]
+                                : fixed_fault;
+            faulted.check_determinism = false;
+            faulted.check_roundtrip = false;
+            absorb(preinfer::fuzz::check_program(program_seed, faulted), faulted,
+                   opts, tally);
+        }
+        if (!opts.quiet && (i + 1) % 50 == 0) {
+            std::cout << "iter " << (i + 1) << "/" << opts.iters << " programs "
+                      << tally.programs << " tests " << tally.tests << " violations "
+                      << tally.violations << "\n";
+        }
+    }
+
+    std::cout << "preinfer-fuzz: " << opts.iters << " iterations, " << tally.programs
+              << " program runs, " << tally.tests << " tests ("
+              << tally.failing_tests << " failing), " << tally.acls << " ACLs, "
+              << tally.replayed_models << " models replayed ("
+              << tally.skipped_replays << " skipped), " << tally.violations
+              << " violations\n";
+    return tally.violations == 0 ? 0 : 1;
+}
