@@ -1,0 +1,430 @@
+#include "src/api/engine.h"
+
+#include <chrono>
+#include <exception>
+#include <latch>
+#include <optional>
+#include <utility>
+
+#include "src/baselines/dysy.h"
+#include "src/baselines/fixit.h"
+#include "src/core/complexity.h"
+#include "src/eval/spec.h"
+#include "src/gen/oracle.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/solver/atom_index.h"
+#include "src/solver/solve_cache.h"
+#include "src/support/diagnostics.h"
+#include "src/support/metrics.h"
+
+namespace preinfer::api {
+
+namespace {
+
+bool contains_quantifier(const core::PredPtr& p) {
+    if (p->is_quantifier()) return true;
+    for (const core::PredPtr& k : p->kids) {
+        if (contains_quantifier(k)) return true;
+    }
+    return false;
+}
+
+/// Ground-truth lookup key: the ordinal of an ACL among the observed ACLs
+/// of the same exception kind, in AST order.
+int acl_ordinal(const std::vector<core::AclId>& observed, core::AclId acl) {
+    int ordinal = 0;
+    for (const core::AclId& other : observed) {
+        if (other == acl) return ordinal;
+        if (other.kind == acl.kind) ++ordinal;
+    }
+    return -1;
+}
+
+void fill_outcome(eval::ApproachOutcome& out, const core::PredPtr& precondition,
+                  const lang::Method& method, core::AclId acl,
+                  const gen::TestSuite& validation, const core::PredPtr* ground_truth) {
+    out.inferred = true;
+    out.strength = eval::evaluate_strength(method, acl, precondition, validation);
+    out.complexity = core::complexity(precondition);
+    out.printed = core::to_string(precondition, method.param_names());
+    if (ground_truth) {
+        out.has_rel_complexity = true;
+        out.rel_complexity = core::relative_complexity(precondition, *ground_truth);
+    }
+}
+
+}  // namespace
+
+gen::ExplorerConfig make_explorer_config(const PipelineLimits& limits, Fault fault) {
+    gen::ExplorerConfig c;
+    c.max_tests = limits.max_tests;
+    c.max_solver_calls = limits.max_solver_calls;
+    switch (fault) {
+        case Fault::None: break;
+        case Fault::SolverStarvation:
+            // Trip mid-run: early queries succeed, the rest starve.
+            c.fault_solver_unknown_after = limits.max_solver_calls / 8;
+            break;
+        case Fault::SolverBlackout:
+            c.solver_config.fault_always_unknown = true;
+            break;
+        case Fault::StepExhaustion:
+            c.exec_limits.max_steps = 64;
+            break;
+        case Fault::PoolPressure:
+            c.fault_pool_limit = 2048;
+            break;
+    }
+    return c;
+}
+
+ResolvedConfig resolve(const eval::HarnessConfig& config) {
+    ResolvedConfig resolved;
+    resolved.explore = config.explore;
+    resolved.validation = config.validation;
+    resolved.preinfer = config.preinfer;
+    resolved.cache = config.cache;
+    resolved.registry = config.registry;
+    resolved.run_preinfer = config.run_preinfer;
+    resolved.run_fixit = config.run_fixit;
+    resolved.run_dysy = config.run_dysy;
+    return resolved;
+}
+
+InferenceEngine::InferenceEngine(Options options) : options_(options) {
+    jobs_ = options_.jobs > 0 ? options_.jobs : support::ThreadPool::default_jobs();
+}
+
+InferenceEngine::~InferenceEngine() = default;
+
+support::ThreadPool& InferenceEngine::pool() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_) pool_ = std::make_unique<support::ThreadPool>(jobs_);
+    return *pool_;
+}
+
+InferenceEngine::Stats InferenceEngine::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+InferResponse InferenceEngine::run_unit(const InferRequest& request) {
+    const ResolvedConfig& config = request.config;
+    InferResponse response;
+    auto artifacts = std::make_shared<PipelineArtifacts>();
+
+    try {
+        artifacts->program = lang::parse_program(request.source);
+        if (artifacts->program.methods.empty()) {
+            response.error = "no methods in input";
+            return response;
+        }
+        lang::type_check(artifacts->program);
+        lang::label_blocks(artifacts->program);
+    } catch (const support::FrontendError& e) {
+        response.error = e.what();
+        return response;
+    }
+
+    lang::Program& prog = artifacts->program;
+    const lang::Method* selected = request.method.empty()
+                                       ? &prog.methods.front()
+                                       : prog.find(request.method);
+    if (selected == nullptr) {
+        response.error = "no method named '" + request.method + "'";
+        return response;
+    }
+    artifacts->method_index =
+        static_cast<std::size_t>(selected - prog.methods.data());
+    artifacts->explore_config = config.explore;
+    const lang::Method& method = *selected;
+    const std::string& label =
+        request.method_label.empty() ? method.name : request.method_label;
+
+    // Predicates in trace events print with the method's parameter names
+    // for the rest of this request's pipeline.
+    support::TraceNameScope trace_names(method.param_names());
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::MethodBegin)
+            .field("subject", request.subject)
+            .field("method", label)
+            .field("params", method.params.size())
+            .emit();
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "explore")
+            .emit();
+    }
+
+    sym::ExprPool& pool = *artifacts->pool;
+    // One memoization cache per request: shared by every explorer built
+    // against this pool, including the validation explorer, which replays
+    // the inference exploration under a larger budget and therefore hits on
+    // nearly all of its early queries. Deliberately NOT shared across
+    // requests — exact-key hits are budget-free, so a warm cross-request
+    // cache would extend exploration budgets and break the warm-engine ==
+    // fresh-engine determinism contract.
+    std::optional<solver::SolveCache> solve_cache;
+    if (config.use_cache) solve_cache.emplace(config.cache);
+    solver::SolveCache* cache_ptr = solve_cache ? &*solve_cache : nullptr;
+    // One atom-normalization index per request: every solver on this pool
+    // replays its records instead of re-normalizing shared path predicates.
+    // Unlike the cache, sharing is safe across differing solver configs, so
+    // the validation explorer always gets it.
+    solver::AtomIndex atom_index(pool);
+    gen::Explorer explorer(pool, method, config.explore, &prog, cache_ptr,
+                           &atom_index);
+    artifacts->suite = explorer.explore();
+    const gen::TestSuite& suite = artifacts->suite;
+    const std::vector<core::AclId> observed = suite.failing_acls();
+
+    // Cached results are only valid under identical solver bounds.
+    const bool validation_shares_cache =
+        cache_ptr != nullptr &&
+        config.validation.explore.solver_config == config.explore.solver_config;
+    gen::Explorer::Stats validation_stats;
+    if (config.validate) {
+        if (support::trace_active()) {
+            support::TraceEvent(support::TraceEventKind::PhaseBegin)
+                .field("phase", "validation")
+                .emit();
+        }
+        artifacts->validation = eval::build_validation_suite(
+            pool, method, config.validation, &prog,
+            validation_shares_cache ? cache_ptr : nullptr, &validation_stats,
+            &atom_index);
+    }
+    const gen::TestSuite& validation = artifacts->validation;
+
+    eval::MethodRow& method_row = response.method_row;
+    method_row.subject = request.subject;
+    method_row.suite = request.suite;
+    method_row.method = label;
+    method_row.block_coverage = suite.block_coverage(method.num_blocks);
+    method_row.tests = static_cast<int>(suite.tests.size());
+    method_row.acls = static_cast<int>(observed.size());
+
+    // A dedicated explorer backs the solver-assisted pruning oracle so its
+    // witness budget does not disturb the shared suite.
+    gen::Explorer oracle_explorer(pool, method, config.explore, &prog, cache_ptr,
+                                  &atom_index);
+    gen::ExplorerOracle oracle(oracle_explorer);
+    const bool want_oracle =
+        config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
+
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::PhaseBegin)
+            .field("phase", "infer")
+            .emit();
+    }
+
+    for (const core::AclId acl : observed) {
+        eval::AclRow row;
+        row.subject = request.subject;
+        row.suite = request.suite;
+        row.method = label;
+        row.acl = acl;
+        const lang::Method* owner = prog.method_containing(acl.node_id);
+        row.position = eval::classify_acl(owner ? *owner : method, acl.node_id);
+
+        const gen::AclView view = gen::view_for(suite, acl);
+        row.failing_tests = static_cast<int>(view.failing.size());
+        row.passing_tests = static_cast<int>(view.passing.size());
+
+        if (support::trace_active()) {
+            support::TraceEvent(support::TraceEventKind::AclBegin)
+                .field("acl_kind", core::exception_kind_name(acl.kind))
+                .field("acl_node", acl.node_id)
+                .field("failing", row.failing_tests)
+                .field("passing", row.passing_tests)
+                .emit();
+        }
+
+        // Ground truth, if specified for this (kind, ordinal).
+        std::optional<core::PredPtr> ground_truth;
+        const int ordinal = acl_ordinal(observed, acl);
+        for (const eval::GroundTruthSpec& gt : request.ground_truths) {
+            if (gt.kind != acl.kind || gt.ordinal != ordinal) continue;
+            const core::PredPtr parsed = eval::parse_spec(pool, method, gt.pred);
+            row.has_ground_truth = true;
+            row.ground_truth_quantified = contains_quantifier(parsed);
+            row.gt_complexity = core::complexity(parsed);
+            row.gt_printed = core::to_string(parsed, method.param_names());
+            const eval::Strength gt_strength =
+                eval::evaluate_strength(method, acl, parsed, validation);
+            row.ground_truth_consistent = gt_strength.both();
+            ground_truth = parsed;
+            break;
+        }
+        const core::PredPtr* gt_ptr = ground_truth ? &*ground_truth : nullptr;
+
+        if (config.run_preinfer) {
+            row.preinfer.attempted = true;
+            std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
+            std::vector<const sym::EvalEnv*> envs;
+            env_storage.reserve(view.passing.size());
+            for (const gen::Test* t : view.passing) {
+                env_storage.push_back(
+                    std::make_unique<exec::InputEvalEnv>(method, t->input));
+                envs.push_back(env_storage.back().get());
+            }
+            core::PreInfer preinfer(pool, config.preinfer, config.registry,
+                                    want_oracle ? &oracle : nullptr);
+            const core::InferenceResult r =
+                preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+            if (r.inferred) {
+                fill_outcome(row.preinfer, r.precondition, method, acl, validation,
+                             gt_ptr);
+                row.preinfer.generalized_paths = r.generalized_paths;
+                row.preinfer.pruning = r.pruning;
+            }
+            artifacts->inferences.push_back({acl, r});
+        }
+
+        if (config.run_fixit) {
+            row.fixit.attempted = true;
+            const baselines::FixItResult r =
+                baselines::fixit_infer(pool, view.failing_pcs());
+            if (r.inferred) {
+                fill_outcome(row.fixit, r.precondition, method, acl, validation,
+                             gt_ptr);
+            }
+        }
+
+        if (config.run_dysy) {
+            row.dysy.attempted = true;
+            const baselines::DySyResult r =
+                baselines::dysy_infer(pool, view.passing_pcs());
+            if (r.inferred) {
+                fill_outcome(row.dysy, r.precondition, method, acl, validation,
+                             gt_ptr);
+            }
+        }
+
+        response.acls.push_back(std::move(row));
+    }
+
+    artifacts->explore_stats = explorer.stats();
+    if (cache_ptr != nullptr) {
+        method_row.cache_hits = cache_ptr->stats().hits;
+        method_row.cache_misses = cache_ptr->stats().misses;
+        method_row.cache_model_reuse = cache_ptr->stats().model_reuse;
+        method_row.cache_unsat_subsumed = cache_ptr->stats().unsat_subsumed;
+    }
+    // Phase attribution: every lookup on the shared cache flows through
+    // exactly one explorer, so the per-explorer Stats partition the
+    // cache totals (asserted by tests/test_harness_parallel.cpp).
+    const auto phase_stats = [](const gen::Explorer::Stats& s) {
+        return eval::MethodRow::PhaseCacheStats{s.cache_hits, s.cache_misses,
+                                                s.cache_model_reuse,
+                                                s.cache_unsat_subsumed};
+    };
+    method_row.cache_explore = phase_stats(explorer.stats());
+    method_row.cache_oracle = phase_stats(oracle_explorer.stats());
+    method_row.cache_validation = validation_shares_cache
+                                      ? phase_stats(validation_stats)
+                                      : eval::MethodRow::PhaseCacheStats{};
+
+    if (support::trace_active()) {
+        support::TraceEvent(support::TraceEventKind::MethodEnd)
+            .field("method", label)
+            .field("tests", suite.tests.size())
+            .field("acls", observed.size())
+            .emit();
+    }
+    if (support::metrics_enabled()) {
+        auto& registry = support::MetricsRegistry::global();
+        static auto& m_methods = registry.counter("harness.methods");
+        static auto& m_acls = registry.counter("harness.acls");
+        m_methods.add();
+        m_acls.add(static_cast<std::int64_t>(observed.size()));
+    }
+
+    response.ok = true;
+    if (request.keep_artifacts) response.artifacts = std::move(artifacts);
+    return response;
+}
+
+InferResponse InferenceEngine::run_request(const InferRequest& request) {
+    using clock = std::chrono::steady_clock;
+    InferResponse response;
+    {
+        // Engine-managed tracing: one buffer per request, handed back on the
+        // response so callers can merge traces in request order. When engine
+        // tracing is off, run_unit emits into whatever scope is active on
+        // this thread (ambient tracing keeps working for embedded callers).
+        std::optional<support::TraceBuffer> buffer;
+        std::optional<support::TraceScope> scope;
+        if (options_.trace.enabled) {
+            buffer.emplace();
+            scope.emplace(*buffer, options_.trace.timings);
+        }
+        const auto unit_start = clock::now();
+        response = run_unit(request);
+        const auto unit_wall = clock::now() - unit_start;
+        response.method_row.wall_ms =
+            std::chrono::duration<double, std::milli>(unit_wall).count();
+        if (support::metrics_enabled()) {
+            static auto& m_method_us =
+                support::MetricsRegistry::global().histogram("harness.method_us");
+            m_method_us.observe(
+                std::chrono::duration_cast<std::chrono::microseconds>(unit_wall)
+                    .count());
+        }
+        scope.reset();
+        if (buffer) response.trace = buffer->data();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.requests;
+        if (!response.ok) ++stats_.failed;
+        stats_.acls += static_cast<std::int64_t>(response.acls.size());
+        stats_.cache_hits += response.method_row.cache_hits;
+        stats_.cache_misses += response.method_row.cache_misses;
+        stats_.cache_model_reuse += response.method_row.cache_model_reuse;
+        stats_.cache_unsat_subsumed += response.method_row.cache_unsat_subsumed;
+    }
+    return response;
+}
+
+InferResponse InferenceEngine::infer(const InferRequest& request) {
+    return run_request(request);
+}
+
+std::vector<InferResponse> InferenceEngine::infer_all(
+    std::span<const InferRequest> requests) {
+    std::vector<InferResponse> responses(requests.size());
+    if (jobs_ <= 1 || requests.size() <= 1) {
+        // Inline on the calling thread: the sequential baseline the
+        // jobs-equivalence tests compare parallel runs against.
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            responses[i] = run_request(requests[i]);
+        }
+        return responses;
+    }
+
+    // Per-index slots plus in-order collection make the output independent
+    // of scheduling; a per-batch latch (rather than ThreadPool::wait_idle)
+    // keeps concurrent batches on one engine from waiting on each other.
+    std::vector<std::exception_ptr> errors(requests.size());
+    std::latch done(static_cast<std::ptrdiff_t>(requests.size()));
+    support::ThreadPool& workers = pool();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        workers.submit([this, &requests, &responses, &errors, &done, i] {
+            try {
+                responses[i] = run_request(requests[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            done.count_down();
+        });
+    }
+    done.wait();
+    for (const std::exception_ptr& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+    return responses;
+}
+
+}  // namespace preinfer::api

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/eval/harness.h"
+#include "src/support/thread_pool.h"
+#include "src/support/trace.h"
+
+namespace preinfer::api {
+
+/// Fault-injection modes the engine can translate into explorer config
+/// (docs/FUZZING.md). Mirrors fuzz::FaultMode value-for-value; the fuzz
+/// layer static_asserts the correspondence.
+enum class Fault : std::uint8_t {
+    None,              ///< healthy run
+    SolverStarvation,  ///< solver answers Unknown after an eighth of the budget
+    SolverBlackout,    ///< every solver query answers Unknown
+    StepExhaustion,    ///< interpreter step budget cut to 64
+    PoolPressure,      ///< expression-pool node budget cut to 2048
+};
+
+/// The two knobs every entry point historically set on its explorer.
+struct PipelineLimits {
+    int max_tests = 256;
+    int max_solver_calls = 4096;
+};
+
+/// The one config-translation function for exploration budgets and fault
+/// seams. Replaces the divergent copies that lived in fuzz::diff_oracle
+/// (make_explorer_config) and the CLI driver; the regression test in
+/// tests/test_engine.cpp pins its output against what those call sites
+/// used to build.
+[[nodiscard]] gen::ExplorerConfig make_explorer_config(const PipelineLimits& limits,
+                                                       Fault fault = Fault::None);
+
+/// Fully-resolved per-request pipeline configuration: everything run_unit
+/// needs, with every historical client's knobs translated into one shape.
+/// eval::HarnessConfig resolves losslessly via resolve() below; the CLI and
+/// fuzz clients fill the fields directly.
+struct ResolvedConfig {
+    gen::ExplorerConfig explore{};  ///< inference-suite budget
+    eval::ValidationConfig validation{};
+    core::PreInferConfig preinfer{};
+    solver::SolveCache::Options cache{};
+    /// Template set for collection-element generalization; nullptr means
+    /// TemplateRegistry::standard(). Must outlive the request.
+    const core::TemplateRegistry* registry = nullptr;
+    /// Attach a per-request SolveCache (shared by the inference, oracle and
+    /// validation explorers of that request). Off only for cache-ablation
+    /// runs (the fuzz oracle's uncached cross-check).
+    bool use_cache = true;
+    /// Build a validation suite and judge every inferred precondition's
+    /// sufficiency/necessity against it.
+    bool validate = true;
+    bool run_preinfer = true;
+    bool run_fixit = true;
+    bool run_dysy = true;
+};
+
+/// Lossless translation of the harness's config (the richest client).
+[[nodiscard]] ResolvedConfig resolve(const eval::HarnessConfig& config);
+
+/// One unit of inference work: a MiniLang source, the method to analyze,
+/// and the resolved pipeline configuration.
+///
+/// Kept as a flat plain-data struct: tools/docs_check --api parses the
+/// member names of this struct (and InferResponse) straight out of this
+/// header and diffs them against docs/SERVING.md — add fields there too.
+struct InferRequest {
+    std::string subject;       ///< subject label for rows and trace events
+    std::string suite;         ///< suite/corpus label for rows
+    std::string method;        ///< method to analyze by name; empty = first in source
+    std::string method_label;  ///< row/trace label; empty = the method's own name
+    std::string source;        ///< MiniLang program text
+    std::vector<eval::GroundTruthSpec> ground_truths;  ///< specs to score against
+    ResolvedConfig config{};   ///< resolved pipeline configuration
+    bool keep_artifacts = false;  ///< retain the pool/suite/results for inspection
+};
+
+/// Everything one pipeline run built, kept alive for callers that inspect
+/// more than rows (the CLI's path/guard printing, the fuzz oracle's replay
+/// checks). The pool owns every expression the suite and inference results
+/// reference, so this struct must outlive any use of them.
+struct PipelineArtifacts {
+    lang::Program program;
+    std::unique_ptr<sym::ExprPool> pool = std::make_unique<sym::ExprPool>();
+    gen::ExplorerConfig explore_config;
+    std::size_t method_index = 0;  ///< index of the analyzed method in program
+    gen::TestSuite suite;          ///< the inference exploration's suite
+    gen::Explorer::Stats explore_stats{};
+    gen::TestSuite validation;     ///< empty unless config.validate
+
+    struct AclInference {
+        core::AclId acl;
+        core::InferenceResult result;
+    };
+    /// One entry per observed ACL, parallel to InferResponse::acls
+    /// (empty when run_preinfer was off).
+    std::vector<AclInference> inferences;
+
+    [[nodiscard]] const lang::Method& method() const {
+        return program.methods[method_index];
+    }
+};
+
+/// Result of one InferRequest. Flat plain-data struct — see the
+/// docs_check note on InferRequest.
+struct InferResponse {
+    bool ok = false;           ///< false: frontend/selection error, see error
+    std::string error;         ///< diagnostic when !ok
+    std::vector<eval::AclRow> acls;  ///< one row per observed failing ACL
+    eval::MethodRow method_row{};    ///< per-method totals and cache splits
+    std::string trace;         ///< this request's JSONL trace (engine tracing only)
+    std::shared_ptr<PipelineArtifacts> artifacts;  ///< set iff keep_artifacts
+};
+
+/// The one inference pipeline behind every entry point (CLI driver, eval
+/// harness, fuzz diff-oracle, preinfer-serve). A long-lived engine owns the
+/// shared substrate: the worker thread pool, trace wiring, and cumulative
+/// cache accounting. Per-request substrate — ExprPool, SolveCache, AtomIndex
+/// session — is deliberately fresh for every request: exact-key cache hits
+/// are budget-free, so sharing a warm cache across requests would extend
+/// exploration budgets and break the engine's determinism contract
+/// (tests/test_engine.cpp pins warm == fresh, byte for byte).
+///
+/// infer_all() fans requests out to the engine's pool with per-index result
+/// slots merged in submission order, so responses — rows and traces — are
+/// byte-identical for every jobs value, exactly like eval::run_harness
+/// (which is now a thin client of this class).
+class InferenceEngine {
+public:
+    struct Options {
+        /// Worker threads for infer_all; 0 = hardware concurrency. jobs <= 1
+        /// runs requests inline on the calling thread.
+        int jobs = 0;
+        /// When enabled, every request runs under its own TraceScope and
+        /// InferResponse::trace carries its JSONL events. When disabled,
+        /// single-shot infer() emits into whatever trace scope is active on
+        /// the calling thread (so embedding in a larger traced pipeline
+        /// keeps working), and batched workers do not trace.
+        support::TraceOptions trace{};
+    };
+
+    // Split rather than a `= {}` default argument: GCC parses a nested
+    // class's default member initializers only once the enclosing class is
+    // complete, but the delegating body below is in complete-class context.
+    InferenceEngine() : InferenceEngine(Options{}) {}
+    explicit InferenceEngine(Options options);
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine&) = delete;
+    InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+    /// Runs one request inline on the calling thread.
+    [[nodiscard]] InferResponse infer(const InferRequest& request);
+
+    /// Runs a batch across the engine's thread pool; responses are returned
+    /// in request order regardless of scheduling. Safe to call repeatedly on
+    /// one engine; the pool persists across batches.
+    [[nodiscard]] std::vector<InferResponse> infer_all(
+        std::span<const InferRequest> requests);
+
+    /// Worker count infer_all uses (resolved from Options::jobs).
+    [[nodiscard]] int jobs() const { return jobs_; }
+
+    /// Cumulative accounting across every request this engine served.
+    struct Stats {
+        std::int64_t requests = 0;
+        std::int64_t failed = 0;  ///< requests answered with ok == false
+        std::int64_t acls = 0;
+        std::int64_t cache_hits = 0;
+        std::int64_t cache_misses = 0;
+        std::int64_t cache_model_reuse = 0;
+        std::int64_t cache_unsat_subsumed = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+private:
+    /// The whole per-request pipeline (no trace-scope management).
+    [[nodiscard]] InferResponse run_unit(const InferRequest& request);
+    /// run_unit plus per-request trace scope, wall-clock and stats upkeep.
+    [[nodiscard]] InferResponse run_request(const InferRequest& request);
+    /// Lazily spawns the persistent worker pool.
+    support::ThreadPool& pool();
+
+    Options options_;
+    int jobs_ = 1;
+    mutable std::mutex mu_;
+    std::unique_ptr<support::ThreadPool> pool_ PI_GUARDED_BY(mu_);
+    Stats stats_ PI_GUARDED_BY(mu_);
+};
+
+}  // namespace preinfer::api

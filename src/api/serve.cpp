@@ -1,0 +1,243 @@
+#include "src/api/serve.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "src/core/path_condition.h"
+#include "src/support/trace.h"
+#include "src/support/trace_reader.h"
+
+namespace preinfer::api {
+
+namespace {
+
+/// One request line after parsing: either a dispatchable InferRequest or a
+/// pre-failed slot carrying the parse error. Both occupy a position in the
+/// batch so responses always come out in input order.
+struct Pending {
+    std::string id;
+    std::string error;
+    bool has_request = false;
+    InferRequest request;
+};
+
+bool parse_bool(const std::string& value, bool& out) {
+    if (value == "true") {
+        out = true;
+        return true;
+    }
+    if (value == "false") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool parse_int(const std::string& value, int& out) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value.empty()) return false;
+    out = static_cast<int>(parsed);
+    return true;
+}
+
+/// Translates one wire request (docs/SERVING.md request schema) into an
+/// engine request. Unknown fields are errors: the schema is closed so that
+/// typos fail loudly instead of silently running with defaults.
+Pending parse_request_line(const std::string& line) {
+    Pending p;
+    std::string parse_error;
+    const auto fields = support::parse_flat_object(line, &parse_error);
+    if (!fields) {
+        p.error = parse_error;
+        return p;
+    }
+
+    std::string subject;
+    PipelineLimits limits;
+    bool validate = false;
+    bool baselines = false;
+    bool have_source = false;
+    for (const auto& [key, value] : *fields) {
+        if (key == "id") {
+            p.id = value;
+        } else if (key == "subject") {
+            subject = value;
+        } else if (key == "suite") {
+            p.request.suite = value;
+        } else if (key == "method") {
+            p.request.method = value;
+        } else if (key == "source") {
+            p.request.source = value;
+            have_source = true;
+        } else if (key == "max_tests") {
+            if (!parse_int(value, limits.max_tests)) {
+                p.error = "field \"max_tests\" is not an integer";
+                return p;
+            }
+        } else if (key == "max_solver_calls") {
+            if (!parse_int(value, limits.max_solver_calls)) {
+                p.error = "field \"max_solver_calls\" is not an integer";
+                return p;
+            }
+        } else if (key == "validate") {
+            if (!parse_bool(value, validate)) {
+                p.error = "field \"validate\" is not a boolean";
+                return p;
+            }
+        } else if (key == "baselines") {
+            if (!parse_bool(value, baselines)) {
+                p.error = "field \"baselines\" is not a boolean";
+                return p;
+            }
+        } else {
+            p.error = "unknown field \"" + key + "\"";
+            return p;
+        }
+    }
+    if (!have_source) {
+        p.error = "missing required field \"source\"";
+        return p;
+    }
+
+    p.request.subject = subject.empty() ? "serve" : subject;
+    p.request.config.explore = make_explorer_config(limits);
+    p.request.config.validate = validate;
+    p.request.config.run_fixit = baselines;
+    p.request.config.run_dysy = baselines;
+    p.has_request = true;
+    return p;
+}
+
+void append_string_field(std::string& out, const char* key, std::string_view value) {
+    out += ",\"";
+    out += key;
+    out += "\":\"";
+    support::json_escape_to(out, value);
+    out += '"';
+}
+
+void append_int_field(std::string& out, const char* key, std::int64_t value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+std::string acl_label(core::AclId acl) {
+    return std::string(core::exception_kind_name(acl.kind)) + "@" +
+           std::to_string(acl.node_id);
+}
+
+/// One response line (docs/SERVING.md response schema). The request side of
+/// the wire is flat; responses may nest (the `results` array).
+std::string render_response(const Pending& pending, const InferResponse* response,
+                            const ServeOptions& options) {
+    std::string out = "{\"id\":\"";
+    support::json_escape_to(out, pending.id);
+    out += '"';
+    if (response == nullptr || !response->ok) {
+        out += ",\"ok\":false";
+        append_string_field(out, "error",
+                            response == nullptr ? pending.error : response->error);
+        out += "}";
+        return out;
+    }
+
+    out += ",\"ok\":true";
+    append_string_field(out, "method", response->method_row.method);
+    append_int_field(out, "tests", response->method_row.tests);
+    append_int_field(out, "acls", response->method_row.acls);
+    append_int_field(out, "cache_hits", response->method_row.cache_hits);
+    append_int_field(out, "cache_misses", response->method_row.cache_misses);
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", response->method_row.wall_ms);
+    out += ",\"wall_ms\":";
+    out += wall;
+
+    out += ",\"results\":[";
+    bool first = true;
+    for (const eval::AclRow& row : response->acls) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"acl\":\"";
+        support::json_escape_to(out, acl_label(row.acl));
+        out += "\",\"inferred\":";
+        out += row.preinfer.inferred ? "true" : "false";
+        if (row.preinfer.inferred) {
+            append_string_field(out, "psi", row.preinfer.printed);
+            out += ",\"sufficient\":";
+            out += row.preinfer.strength.sufficient ? "true" : "false";
+            out += ",\"necessary\":";
+            out += row.preinfer.strength.necessary ? "true" : "false";
+        }
+        out += '}';
+    }
+    out += ']';
+
+    if (options.trace && !response->trace.empty()) {
+        append_string_field(out, "trace", response->trace);
+    }
+    out += '}';
+    return out;
+}
+
+}  // namespace
+
+ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) {
+    InferenceEngine::Options engine_options;
+    engine_options.jobs = options.jobs;
+    engine_options.trace.enabled = options.trace;
+    InferenceEngine engine(engine_options);
+
+    ServeStats stats;
+    const int batch_max = options.batch_max > 0 ? options.batch_max : 1;
+    std::string line;
+    bool eof = false;
+    while (!eof) {
+        // Block for the first line of a batch, then drain only what the
+        // stream already has buffered: piped workloads fill whole batches,
+        // an interactive session gets an answer per line.
+        std::vector<Pending> batch;
+        while (static_cast<int>(batch.size()) < batch_max) {
+            if (!batch.empty() && in.rdbuf()->in_avail() <= 0) break;
+            if (!std::getline(in, line)) {
+                eof = true;
+                break;
+            }
+            if (line.empty()) continue;
+            batch.push_back(parse_request_line(line));
+        }
+        if (batch.empty()) continue;
+        ++stats.batches;
+
+        std::vector<InferRequest> requests;
+        std::vector<std::size_t> slots;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!batch[i].has_request) continue;
+            requests.push_back(std::move(batch[i].request));
+            slots.push_back(i);
+        }
+        const std::vector<InferResponse> responses = engine.infer_all(requests);
+        std::vector<const InferResponse*> by_slot(batch.size(), nullptr);
+        for (std::size_t j = 0; j < responses.size(); ++j) {
+            by_slot[slots[j]] = &responses[j];
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            ++stats.requests;
+            if (by_slot[i] == nullptr || !by_slot[i]->ok) ++stats.failed;
+            out << render_response(batch[i], by_slot[i], options) << '\n';
+        }
+        out.flush();
+    }
+
+    const InferenceEngine::Stats engine_stats = engine.stats();
+    stats.cache_hits = engine_stats.cache_hits;
+    stats.cache_misses = engine_stats.cache_misses;
+    return stats;
+}
+
+}  // namespace preinfer::api

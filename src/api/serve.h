@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/api/engine.h"
+
+namespace preinfer::api {
+
+/// Options for the JSONL request/response loop behind preinfer-serve
+/// (tools/serve_main.cpp). The wire schema lives in docs/SERVING.md.
+struct ServeOptions {
+    /// Engine worker threads; 0 = hardware concurrency.
+    int jobs = 0;
+    /// Upper bound on requests dispatched as one infer_all batch. The loop
+    /// blocks for the first line, then drains whatever input is already
+    /// buffered up to this bound, so piped workloads run concurrently while
+    /// interactive use still answers one line at a time.
+    int batch_max = 16;
+    /// Attach each request's JSONL trace (escaped, docs/OBSERVABILITY.md
+    /// events) to its response as the `trace` field.
+    bool trace = false;
+};
+
+/// Counters for one serve loop run, reported by preinfer-serve on exit.
+struct ServeStats {
+    std::int64_t requests = 0;  ///< responses written (including failures)
+    std::int64_t failed = 0;    ///< responses with ok == false
+    std::int64_t batches = 0;   ///< infer_all dispatches
+    /// Cumulative engine solver-cache accounting across all requests.
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+};
+
+/// Runs the serve loop until `in` is exhausted: reads one flat JSON request
+/// object per line, keeps ONE InferenceEngine alive for the whole stream,
+/// dispatches batches onto its shared thread pool, and writes exactly one
+/// JSON response object per request to `out`, in input order. Malformed
+/// lines produce `"ok":false` responses and never abort the loop.
+ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options = {});
+
+}  // namespace preinfer::api

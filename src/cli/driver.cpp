@@ -2,26 +2,18 @@
 
 #include <fstream>
 #include <map>
-#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
-#include "src/baselines/dysy.h"
-#include "src/baselines/fixit.h"
+#include "src/api/engine.h"
 #include "src/core/complexity.h"
 #include "src/core/guard.h"
-#include "src/core/preinfer.h"
 #include "src/eval/acl_classify.h"
-#include "src/eval/metrics.h"
 #include "src/gen/fuzzer.h"
-#include "src/gen/oracle.h"
-#include "src/lang/blocks.h"
 #include "src/lang/parser.h"
-#include "src/lang/type_check.h"
 #include "src/support/diagnostics.h"
 #include "src/support/metrics.h"
-#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 #include "src/sym/print.h"
 
@@ -54,6 +46,7 @@ options:
   --trace-timings   attach wall-clock fields to trace events (makes the
                     trace nondeterministic; prefer --metrics for timing)
   --metrics         print the aggregate metrics-registry summary block
+                    plus the engine's solver-cache hit/miss accounting
   --help            this text
 )";
 }
@@ -135,9 +128,6 @@ ParseResult parse_args(const std::vector<std::string>& args) {
 
 namespace {
 
-int run_single(const Options& options, const std::string& source_text,
-               std::ostream& out);
-
 void print_strength(std::ostream& out, const eval::Strength& s) {
     out << "    validation: "
         << (s.both() ? "sufficient AND necessary"
@@ -149,150 +139,64 @@ void print_strength(std::ostream& out, const eval::Strength& s) {
         << " passing)\n";
 }
 
-/// Fans every method of the file out to a thread pool; each worker runs the
-/// single-method pipeline against its own parse of the source (one ExprPool
-/// per worker, nothing shared), and the buffered reports are emitted in
-/// source order so the output is independent of scheduling.
-int run_all_methods(const Options& options, const std::string& source_text,
-                    std::ostream& out) {
-    std::vector<std::string> names;
-    try {
-        const lang::Program program = lang::parse_program(source_text);
-        if (program.methods.empty()) {
-            out << "error: no methods in input\n";
-            return 1;
-        }
-        for (const lang::Method& m : program.methods) names.push_back(m.name);
-    } catch (const support::FrontendError& e) {
-        out << "error: " << e.what() << "\n";
-        return 1;
-    }
+/// Translates CLI options into one engine request. Routing through the
+/// engine is what gives CLI runs the per-request SolveCache + AtomIndex the
+/// harness always had (the validation and pruning-oracle explorers now
+/// replay exploration queries instead of re-solving them).
+api::InferRequest build_request(const Options& options,
+                                const std::string& source_text) {
+    api::InferRequest request;
+    request.subject =
+        options.source_path.empty() ? "<stdin>" : options.source_path;
+    request.method = options.method;
+    request.source = source_text;
+    request.keep_artifacts = true;
 
-    const int jobs =
-        options.jobs > 0 ? options.jobs : support::ThreadPool::default_jobs();
-    // run() installed a TraceScope on this thread when --trace was given;
-    // workers trace into per-method buffers spliced back in source order.
-    const bool tracing = support::trace_active();
-    std::vector<support::TraceBuffer> trace_buffers(tracing ? names.size() : 0);
-    std::vector<std::ostringstream> reports(names.size());
-    std::vector<int> codes(names.size(), 0);
-    support::parallel_for(jobs, names.size(), [&](std::size_t i) {
-        std::optional<support::TraceScope> trace_scope;
-        if (tracing) trace_scope.emplace(trace_buffers[i], options.trace_timings);
-        Options per_method = options;
-        per_method.all_methods = false;
-        per_method.method = names[i];
-        codes[i] = run_single(per_method, source_text, reports[i]);
-    });
-
-    int exit_code = 2;  // "no failing tests anywhere" unless contradicted
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        if (i > 0) out << "\n";
-        out << reports[i].str();
-        if (codes[i] == 1) {
-            exit_code = 1;
-        } else if (codes[i] == 0 && exit_code != 1) {
-            exit_code = 0;
-        }
+    api::ResolvedConfig& config = request.config;
+    config.explore = api::make_explorer_config({.max_tests = options.max_tests});
+    config.preinfer.generalization_enabled = options.generalize;
+    config.preinfer.semantic_template_matching = options.semantic_templates;
+    if (options.solver_assisted) {
+        config.preinfer.pruning.mode = core::PruningMode::SolverAssisted;
     }
-    if (tracing) {
-        support::TraceBuffer* merged = support::active_trace_buffer();
-        for (const support::TraceBuffer& b : trace_buffers) merged->append(b.data());
-    }
-    return exit_code;
+    config.validation.explore.max_tests = options.max_tests + 128;
+    config.validate = options.validate;
+    config.run_fixit = options.baselines;
+    config.run_dysy = options.baselines;
+    return request;
 }
 
-/// The single-method pipeline behind run(): explore, then infer (and
-/// optionally validate / guard-fuzz) per observed ACL. Tracing, when on,
-/// is already installed on the calling thread.
-int run_single(const Options& options, const std::string& source_text,
-               std::ostream& out) {
-    lang::Program program;
-    try {
-        program = lang::parse_program(source_text);
-        if (program.methods.empty()) {
-            out << "error: no methods in input\n";
-            return 1;
-        }
-        lang::type_check(program);
-        lang::label_blocks(program);
-    } catch (const support::FrontendError& e) {
-        out << "error: " << e.what() << "\n";
+/// Renders one engine response as the human report (and exit code) the CLI
+/// has always produced.
+int print_report(const api::InferResponse& response, const Options& options,
+                 std::ostream& out) {
+    if (!response.ok) {
+        out << "error: " << response.error << "\n";
         return 1;
     }
+    const api::PipelineArtifacts& artifacts = *response.artifacts;
+    const lang::Method& method = artifacts.method();
+    const auto names = method.param_names();
 
-    const lang::Method* method = options.method.empty()
-                                     ? &program.methods.front()
-                                     : program.find(options.method);
-    if (method == nullptr) {
-        out << "error: no method named '" << options.method << "'\n";
-        return 1;
-    }
-    const auto names = method->param_names();
-    support::TraceNameScope trace_names(names);
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::MethodBegin)
-            .field("subject", options.source_path.empty() ? "<stdin>"
-                                                          : options.source_path)
-            .field("method", method->name)
-            .field("params", method->params.size())
-            .emit();
-        support::TraceEvent(support::TraceEventKind::PhaseBegin)
-            .field("phase", "explore")
-            .emit();
-    }
-
-    sym::ExprPool pool;
-    gen::ExplorerConfig explore_cfg;
-    explore_cfg.max_tests = options.max_tests;
-    gen::Explorer explorer(pool, *method, explore_cfg, &program);
-    const gen::TestSuite suite = explorer.explore();
-
-    out << "method " << method->name << ": " << suite.tests.size()
+    out << "method " << method.name << ": " << artifacts.suite.tests.size()
         << " tests generated, block coverage "
-        << static_cast<int>(100.0 * suite.block_coverage(method->num_blocks) + 0.5)
+        << static_cast<int>(100.0 * response.method_row.block_coverage + 0.5)
         << "%\n";
 
-    const auto acls = suite.failing_acls();
-    const auto emit_method_end = [&] {
-        if (!support::trace_active()) return;
-        support::TraceEvent(support::TraceEventKind::MethodEnd)
-            .field("method", method->name)
-            .field("tests", suite.tests.size())
-            .field("acls", acls.size())
-            .emit();
-    };
-    if (acls.empty()) {
+    if (response.acls.empty()) {
         out << "no failing tests: nothing to infer\n";
-        emit_method_end();
         return 2;
     }
 
-    gen::Explorer oracle_explorer(pool, *method, explore_cfg, &program);
-    gen::ExplorerOracle oracle(oracle_explorer);
-
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::PhaseBegin)
-            .field("phase", "infer")
-            .emit();
-    }
-
-    for (const core::AclId acl : acls) {
-        const gen::AclView view = view_for(suite, acl);
-        if (support::trace_active()) {
-            support::TraceEvent(support::TraceEventKind::AclBegin)
-                .field("acl_kind", core::exception_kind_name(acl.kind))
-                .field("acl_node", acl.node_id)
-                .field("failing", view.failing.size())
-                .field("passing", view.passing.size())
-                .emit();
-        }
-        const lang::Method* owner = program.method_containing(acl.node_id);
+    for (std::size_t i = 0; i < response.acls.size(); ++i) {
+        const eval::AclRow& row = response.acls[i];
+        const core::AclId acl = row.acl;
+        const gen::AclView view = gen::view_for(artifacts.suite, acl);
+        const lang::Method* owner = artifacts.program.method_containing(acl.node_id);
         out << "\n== " << core::exception_kind_name(acl.kind);
         if (owner != nullptr) {
             out << " in " << owner->name << " ("
-                << eval::loop_position_name(eval::classify_acl(*owner, acl.node_id))
-                << ")";
+                << eval::loop_position_name(row.position) << ")";
         }
         out << ": " << view.failing.size() << " failing / " << view.passing.size()
             << " passing tests\n";
@@ -301,26 +205,10 @@ int run_single(const Options& options, const std::string& source_text,
             out << "  sample failing path: "
                 << core::to_string(view.failing.front()->result.pc, names) << "\n";
             out << "  sample failing input: "
-                << view.failing.front()->input.to_string(*method) << "\n";
+                << view.failing.front()->input.to_string(method) << "\n";
         }
 
-        std::vector<std::unique_ptr<exec::InputEvalEnv>> storage;
-        std::vector<const sym::EvalEnv*> envs;
-        for (const gen::Test* t : view.passing) {
-            storage.push_back(std::make_unique<exec::InputEvalEnv>(*method, t->input));
-            envs.push_back(storage.back().get());
-        }
-
-        core::PreInferConfig config;
-        config.generalization_enabled = options.generalize;
-        config.semantic_template_matching = options.semantic_templates;
-        if (options.solver_assisted) {
-            config.pruning.mode = core::PruningMode::SolverAssisted;
-        }
-        core::PreInfer preinfer(pool, config, nullptr,
-                                options.solver_assisted ? &oracle : nullptr);
-        const core::InferenceResult r =
-            preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
+        const core::InferenceResult& r = artifacts.inferences[i].result;
         if (!r.inferred) {
             out << "  PreInfer: nothing inferred\n";
             continue;
@@ -337,59 +225,94 @@ int run_single(const Options& options, const std::string& source_text,
         }
         out << "\n";
 
-        gen::TestSuite validation;
-        if (options.validate || options.guard_fuzz > 0) {
-            eval::ValidationConfig vcfg;
-            vcfg.explore.max_tests = options.max_tests + 128;
-            validation = eval::build_validation_suite(pool, *method, vcfg, &program);
-        }
         if (options.validate) {
-            print_strength(out,
-                           eval::evaluate_strength(*method, acl, r.precondition,
-                                                   validation));
+            print_strength(out, row.preinfer.strength);
         }
 
         if (options.baselines) {
-            const baselines::FixItResult fixit =
-                baselines::fixit_infer(pool, view.failing_pcs());
-            if (fixit.inferred) {
-                out << "  FixIt:    " << core::to_string(fixit.precondition, names)
-                    << "\n";
-                if (options.validate) {
-                    print_strength(out, eval::evaluate_strength(
-                                            *method, acl, fixit.precondition,
-                                            validation));
-                }
+            if (row.fixit.inferred) {
+                out << "  FixIt:    " << row.fixit.printed << "\n";
+                if (options.validate) print_strength(out, row.fixit.strength);
             }
-            const baselines::DySyResult dysy =
-                baselines::dysy_infer(pool, view.passing_pcs());
-            if (dysy.inferred) {
-                const std::string printed = core::to_string(dysy.precondition, names);
+            if (row.dysy.inferred) {
+                const std::string& printed = row.dysy.printed;
                 out << "  DySy:     "
                     << (printed.size() > 240 ? printed.substr(0, 240) + "..." : printed)
-                    << "\n    |psi| = " << core::complexity(dysy.precondition) << "\n";
-                if (options.validate) {
-                    print_strength(out, eval::evaluate_strength(
-                                            *method, acl, dysy.precondition,
-                                            validation));
-                }
+                    << "\n    |psi| = " << row.dysy.complexity << "\n";
+                if (options.validate) print_strength(out, row.dysy.strength);
             }
         }
 
         if (options.guard_fuzz > 0) {
-            core::PreconditionGuard guard(pool, *method, r.precondition, {}, &program);
-            gen::Fuzzer fuzzer(*method, 42);
+            core::PreconditionGuard guard(*artifacts.pool, method, r.precondition,
+                                          {}, &artifacts.program);
+            gen::Fuzzer fuzzer(method, 42);
             std::vector<exec::Input> batch;
             batch.reserve(static_cast<std::size_t>(options.guard_fuzz));
-            for (int i = 0; i < options.guard_fuzz; ++i) batch.push_back(fuzzer.next());
+            for (int n = 0; n < options.guard_fuzz; ++n) batch.push_back(fuzzer.next());
             const auto stats = guard.run_batch(batch);
             out << "  guard over " << stats.total() << " fuzz inputs: "
                 << stats.rejected << " rejected, " << stats.completed
                 << " completed, " << stats.escaped << " failures escaped\n";
         }
     }
-    emit_method_end();
     return 0;
+}
+
+/// Single-method path: one inline engine request. Tracing, when on, is
+/// already installed on the calling thread and the engine emits into it.
+int run_single(api::InferenceEngine& engine, const Options& options,
+               const std::string& source_text, std::ostream& out) {
+    return print_report(engine.infer(build_request(options, source_text)),
+                        options, out);
+}
+
+/// Fans every method of the file out as one engine batch; each request runs
+/// wholly on one worker with its own pool, and the buffered reports (and
+/// per-request traces) are emitted in source order so the output is
+/// independent of scheduling.
+int run_all_methods(api::InferenceEngine& engine, const Options& options,
+                    const std::string& source_text, std::ostream& out) {
+    std::vector<std::string> names;
+    try {
+        const lang::Program program = lang::parse_program(source_text);
+        if (program.methods.empty()) {
+            out << "error: no methods in input\n";
+            return 1;
+        }
+        for (const lang::Method& m : program.methods) names.push_back(m.name);
+    } catch (const support::FrontendError& e) {
+        out << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::vector<api::InferRequest> requests;
+    requests.reserve(names.size());
+    for (const std::string& name : names) {
+        Options per_method = options;
+        per_method.all_methods = false;
+        per_method.method = name;
+        requests.push_back(build_request(per_method, source_text));
+    }
+    const std::vector<api::InferResponse> responses = engine.infer_all(requests);
+
+    int exit_code = 2;  // "no failing tests anywhere" unless contradicted
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        if (i > 0) out << "\n";
+        const int code = print_report(responses[i], options, out);
+        if (code == 1) {
+            exit_code = 1;
+        } else if (code == 0 && exit_code != 1) {
+            exit_code = 0;
+        }
+    }
+    // run() installed a TraceScope on this thread when --trace was given;
+    // the engine traced each request into its response, spliced back here
+    // in source order.
+    if (support::TraceBuffer* merged = support::active_trace_buffer()) {
+        for (const api::InferResponse& r : responses) merged->append(r.trace);
+    }
+    return exit_code;
 }
 
 }  // namespace
@@ -405,12 +328,23 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
 
     support::TraceBuffer trace;
     const bool tracing = !options.trace_path.empty();
+    // One engine for the whole invocation. The batched all-methods path
+    // needs engine-managed per-request tracing (workers cannot share this
+    // thread's scope); the single-method path runs inline and emits into
+    // the ambient scope installed below.
+    api::InferenceEngine::Options engine_options;
+    engine_options.jobs = options.jobs;
+    engine_options.trace.enabled = tracing && options.all_methods;
+    engine_options.trace.timings = options.trace_timings;
+    api::InferenceEngine engine(engine_options);
+
     int code;
     {
         std::optional<support::TraceScope> trace_scope;
         if (tracing) trace_scope.emplace(trace, options.trace_timings);
-        code = options.all_methods ? run_all_methods(options, source_text, out)
-                                   : run_single(options, source_text, out);
+        code = options.all_methods
+                   ? run_all_methods(engine, options, source_text, out)
+                   : run_single(engine, options, source_text, out);
     }
 
     if (tracing) {
@@ -423,7 +357,13 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
         }
     }
     if (options.metrics) {
+        const api::InferenceEngine::Stats stats = engine.stats();
         out << "\n" << support::MetricsRegistry::global().summary();
+        out << "[engine] requests=" << stats.requests << " acls=" << stats.acls
+            << " solver-cache hits=" << stats.cache_hits
+            << " misses=" << stats.cache_misses
+            << " model-reuse=" << stats.cache_model_reuse
+            << " unsat-subsumed=" << stats.cache_unsat_subsumed << "\n";
     }
     return code;
 }

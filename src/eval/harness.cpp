@@ -1,20 +1,9 @@
 #include "src/eval/harness.h"
 
 #include <chrono>
-#include <memory>
-#include <optional>
 
-#include "src/baselines/dysy.h"
-#include "src/baselines/fixit.h"
-#include "src/core/complexity.h"
-#include "src/eval/spec.h"
-#include "src/gen/oracle.h"
-#include "src/lang/blocks.h"
-#include "src/lang/parser.h"
-#include "src/lang/type_check.h"
-#include "src/solver/atom_index.h"
-#include "src/solver/solve_cache.h"
-#include "src/support/metrics.h"
+#include "src/api/engine.h"
+#include "src/support/diagnostics.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
@@ -22,36 +11,22 @@ namespace preinfer::eval {
 
 namespace {
 
-bool contains_quantifier(const core::PredPtr& p) {
-    if (p->is_quantifier()) return true;
-    for (const core::PredPtr& k : p->kids) {
-        if (contains_quantifier(k)) return true;
-    }
-    return false;
-}
-
-/// Ground-truth lookup key: the ordinal of an ACL among the observed ACLs
-/// of the same exception kind, in AST order.
-int acl_ordinal(const std::vector<core::AclId>& observed, core::AclId acl) {
-    int ordinal = 0;
-    for (const core::AclId& other : observed) {
-        if (other == acl) return ordinal;
-        if (other.kind == acl.kind) ++ordinal;
-    }
-    return -1;
-}
-
-void fill_outcome(ApproachOutcome& out, const core::PredPtr& precondition,
-                  const lang::Method& method, core::AclId acl,
-                  const gen::TestSuite& validation, const core::PredPtr* ground_truth) {
-    out.inferred = true;
-    out.strength = evaluate_strength(method, acl, precondition, validation);
-    out.complexity = core::complexity(precondition);
-    out.printed = core::to_string(precondition, method.param_names());
-    if (ground_truth) {
-        out.has_rel_complexity = true;
-        out.rel_complexity = core::relative_complexity(precondition, *ground_truth);
-    }
+/// The harness is a thin client of the InferenceEngine: every
+/// (subject, method) unit becomes one InferRequest, and the engine runs the
+/// pipeline that used to live here (src/api/engine.cpp, run_unit).
+api::InferRequest make_request(const Subject& subject, const SubjectMethod& sm,
+                               const api::ResolvedConfig& resolved) {
+    api::InferRequest request;
+    request.subject = subject.name;
+    request.suite = subject.suite;
+    // Selection stays positional (the first method is the method under
+    // test; later methods are callees), while rows and trace events carry
+    // the subject's label for the method.
+    request.method_label = sm.name;
+    request.source = sm.source;
+    request.ground_truths = sm.ground_truths;
+    request.config = resolved;
+    return request;
 }
 
 }  // namespace
@@ -66,197 +41,17 @@ HarnessConfig default_harness_config() {
 
 std::vector<AclRow> run_method(const Subject& subject, const SubjectMethod& sm,
                                const HarnessConfig& config, MethodRow* method_row) {
-    // The first method in the source is the method under test; any further
-    // methods are callees reachable through interprocedural execution.
-    lang::Program prog = lang::parse_program(sm.source);
-    lang::type_check(prog);
-    lang::label_blocks(prog);
-    const lang::Method& method = prog.methods.front();
-
-    // Predicates in trace events print with the method's parameter names
-    // for the rest of this unit's pipeline.
-    support::TraceNameScope trace_names(method.param_names());
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::MethodBegin)
-            .field("subject", subject.name)
-            .field("method", sm.name)
-            .field("params", method.params.size())
-            .emit();
-        support::TraceEvent(support::TraceEventKind::PhaseBegin)
-            .field("phase", "explore")
-            .emit();
+    // Single-shot engine with engine-level tracing off: events emit into
+    // whatever trace scope is active on the calling thread, exactly as the
+    // pre-engine implementation did.
+    api::InferenceEngine engine({.jobs = 1});
+    api::InferResponse response =
+        engine.infer(make_request(subject, sm, api::resolve(config)));
+    if (!response.ok) {
+        throw support::FrontendError(response.error, {});
     }
-
-    sym::ExprPool pool;
-    // One memoization cache per (worker, method): shared by every explorer
-    // built against this pool, including the validation explorer, which
-    // replays the inference exploration under a larger budget and therefore
-    // hits on nearly all of its early queries.
-    solver::SolveCache solve_cache(config.cache);
-    // One atom-normalization index per (worker, method): every solver on
-    // this pool replays its records instead of re-normalizing shared path
-    // predicates. Unlike the cache, sharing is safe across differing solver
-    // configs, so the validation explorer always gets it.
-    solver::AtomIndex atom_index(pool);
-    gen::Explorer explorer(pool, method, config.explore, &prog, &solve_cache,
-                           &atom_index);
-    const gen::TestSuite suite = explorer.explore();
-    const std::vector<core::AclId> observed = suite.failing_acls();
-
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::PhaseBegin)
-            .field("phase", "validation")
-            .emit();
-    }
-
-    // Cached results are only valid under identical solver bounds.
-    const bool validation_shares_cache =
-        config.validation.explore.solver_config == config.explore.solver_config;
-    gen::Explorer::Stats validation_stats;
-    const gen::TestSuite validation =
-        build_validation_suite(pool, method, config.validation, &prog,
-                               validation_shares_cache ? &solve_cache : nullptr,
-                               &validation_stats, &atom_index);
-
-    if (method_row) {
-        method_row->subject = subject.name;
-        method_row->suite = subject.suite;
-        method_row->method = sm.name;
-        method_row->block_coverage = suite.block_coverage(method.num_blocks);
-        method_row->tests = static_cast<int>(suite.tests.size());
-        method_row->acls = static_cast<int>(observed.size());
-    }
-
-    // A dedicated explorer backs the solver-assisted pruning oracle so its
-    // witness budget does not disturb the shared suite.
-    gen::Explorer oracle_explorer(pool, method, config.explore, &prog,
-                                  &solve_cache, &atom_index);
-    gen::ExplorerOracle oracle(oracle_explorer);
-    const bool want_oracle =
-        config.preinfer.pruning.mode == core::PruningMode::SolverAssisted;
-
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::PhaseBegin)
-            .field("phase", "infer")
-            .emit();
-    }
-
-    std::vector<AclRow> rows;
-    for (const core::AclId acl : observed) {
-        AclRow row;
-        row.subject = subject.name;
-        row.suite = subject.suite;
-        row.method = sm.name;
-        row.acl = acl;
-        const lang::Method* owner = prog.method_containing(acl.node_id);
-        row.position = classify_acl(owner ? *owner : method, acl.node_id);
-
-        const gen::AclView view = view_for(suite, acl);
-        row.failing_tests = static_cast<int>(view.failing.size());
-        row.passing_tests = static_cast<int>(view.passing.size());
-
-        if (support::trace_active()) {
-            support::TraceEvent(support::TraceEventKind::AclBegin)
-                .field("acl_kind", core::exception_kind_name(acl.kind))
-                .field("acl_node", acl.node_id)
-                .field("failing", row.failing_tests)
-                .field("passing", row.passing_tests)
-                .emit();
-        }
-
-        // Ground truth, if specified for this (kind, ordinal).
-        std::optional<core::PredPtr> ground_truth;
-        const int ordinal = acl_ordinal(observed, acl);
-        for (const GroundTruthSpec& gt : sm.ground_truths) {
-            if (gt.kind != acl.kind || gt.ordinal != ordinal) continue;
-            const core::PredPtr parsed = parse_spec(pool, method, gt.pred);
-            row.has_ground_truth = true;
-            row.ground_truth_quantified = contains_quantifier(parsed);
-            row.gt_complexity = core::complexity(parsed);
-            row.gt_printed = core::to_string(parsed, method.param_names());
-            const Strength gt_strength =
-                evaluate_strength(method, acl, parsed, validation);
-            row.ground_truth_consistent = gt_strength.both();
-            ground_truth = parsed;
-            break;
-        }
-        const core::PredPtr* gt_ptr = ground_truth ? &*ground_truth : nullptr;
-
-        if (config.run_preinfer) {
-            row.preinfer.attempted = true;
-            std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
-            std::vector<const sym::EvalEnv*> envs;
-            env_storage.reserve(view.passing.size());
-            for (const gen::Test* t : view.passing) {
-                env_storage.push_back(
-                    std::make_unique<exec::InputEvalEnv>(method, t->input));
-                envs.push_back(env_storage.back().get());
-            }
-            core::PreInfer preinfer(pool, config.preinfer, config.registry,
-                                    want_oracle ? &oracle : nullptr);
-            const core::InferenceResult r =
-                preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs);
-            if (r.inferred) {
-                fill_outcome(row.preinfer, r.precondition, method, acl, validation,
-                             gt_ptr);
-                row.preinfer.generalized_paths = r.generalized_paths;
-                row.preinfer.pruning = r.pruning;
-            }
-        }
-
-        if (config.run_fixit) {
-            row.fixit.attempted = true;
-            const baselines::FixItResult r = baselines::fixit_infer(pool, view.failing_pcs());
-            if (r.inferred) {
-                fill_outcome(row.fixit, r.precondition, method, acl, validation, gt_ptr);
-            }
-        }
-
-        if (config.run_dysy) {
-            row.dysy.attempted = true;
-            const baselines::DySyResult r = baselines::dysy_infer(pool, view.passing_pcs());
-            if (r.inferred) {
-                fill_outcome(row.dysy, r.precondition, method, acl, validation, gt_ptr);
-            }
-        }
-
-        rows.push_back(std::move(row));
-    }
-
-    if (method_row) {
-        method_row->cache_hits = solve_cache.stats().hits;
-        method_row->cache_misses = solve_cache.stats().misses;
-        method_row->cache_model_reuse = solve_cache.stats().model_reuse;
-        method_row->cache_unsat_subsumed = solve_cache.stats().unsat_subsumed;
-        // Phase attribution: every lookup on the shared cache flows through
-        // exactly one explorer, so the per-explorer Stats partition the
-        // cache totals (asserted by tests/test_harness_parallel.cpp).
-        const auto phase_stats = [](const gen::Explorer::Stats& s) {
-            return MethodRow::PhaseCacheStats{s.cache_hits, s.cache_misses,
-                                              s.cache_model_reuse,
-                                              s.cache_unsat_subsumed};
-        };
-        method_row->cache_explore = phase_stats(explorer.stats());
-        method_row->cache_oracle = phase_stats(oracle_explorer.stats());
-        method_row->cache_validation = validation_shares_cache
-                                           ? phase_stats(validation_stats)
-                                           : MethodRow::PhaseCacheStats{};
-    }
-    if (support::trace_active()) {
-        support::TraceEvent(support::TraceEventKind::MethodEnd)
-            .field("method", sm.name)
-            .field("tests", suite.tests.size())
-            .field("acls", observed.size())
-            .emit();
-    }
-    if (support::metrics_enabled()) {
-        auto& registry = support::MetricsRegistry::global();
-        static auto& m_methods = registry.counter("harness.methods");
-        static auto& m_acls = registry.counter("harness.acls");
-        m_methods.add();
-        m_acls.add(static_cast<std::int64_t>(observed.size()));
-    }
-    return rows;
+    if (method_row) *method_row = std::move(response.method_row);
+    return std::move(response.acls);
 }
 
 std::int64_t HarnessResult::total_cache_hits() const {
@@ -283,65 +78,38 @@ double HarnessResult::cache_hit_rate() const {
 HarnessResult run_harness(const std::vector<Subject>& subjects,
                           const HarnessConfig& config) {
     using clock = std::chrono::steady_clock;
-    const auto to_ms = [](clock::duration d) {
-        return std::chrono::duration<double, std::milli>(d).count();
-    };
 
-    struct Unit {
-        const Subject* subject;
-        const SubjectMethod* method;
-    };
-    std::vector<Unit> units;
+    const api::ResolvedConfig resolved = api::resolve(config);
+    std::vector<api::InferRequest> requests;
     for (const Subject& subject : subjects) {
         for (const SubjectMethod& sm : subject.methods) {
-            units.push_back({&subject, &sm});
+            requests.push_back(make_request(subject, sm, resolved));
         }
     }
 
-    // Each unit runs wholly on one worker with its own pool, explorers, and
-    // solve cache; per-index result slots plus in-order merging below make
-    // the output independent of scheduling.
-    const int jobs =
-        config.jobs > 0 ? config.jobs : support::ThreadPool::default_jobs();
-    std::vector<MethodRow> method_rows(units.size());
-    std::vector<std::vector<AclRow>> acl_rows(units.size());
-    // One trace buffer per unit: each worker traces into the buffer of the
-    // unit it runs, and the buffers are concatenated in input order below,
-    // so the merged trace never depends on the schedule.
-    std::vector<support::TraceBuffer> trace_buffers(
-        config.trace.enabled ? units.size() : 0);
+    // The engine owns the worker pool, runs each request wholly on one
+    // worker with its own pool/explorers/solve cache, and merges responses
+    // — rows and per-request trace buffers alike — in request order, so the
+    // output is independent of scheduling (and identical for every jobs
+    // value, wall_ms aside).
+    api::InferenceEngine engine({.jobs = config.jobs, .trace = config.trace});
     const auto start = clock::now();
-    support::parallel_for(jobs, units.size(), [&](std::size_t i) {
-        std::optional<support::TraceScope> trace_scope;
-        if (config.trace.enabled) {
-            trace_scope.emplace(trace_buffers[i], config.trace.timings);
-        }
-        const auto unit_start = clock::now();
-        acl_rows[i] =
-            run_method(*units[i].subject, *units[i].method, config, &method_rows[i]);
-        const auto unit_wall = clock::now() - unit_start;
-        method_rows[i].wall_ms = to_ms(unit_wall);
-        if (support::metrics_enabled()) {
-            static auto& m_method_us = support::MetricsRegistry::global().histogram(
-                "harness.method_us");
-            m_method_us.observe(
-                std::chrono::duration_cast<std::chrono::microseconds>(unit_wall)
-                    .count());
-        }
-    });
+    std::vector<api::InferResponse> responses = engine.infer_all(requests);
 
     HarnessResult result;
-    result.jobs = jobs;
-    result.methods.reserve(units.size());
-    for (std::size_t i = 0; i < units.size(); ++i) {
-        result.methods.push_back(std::move(method_rows[i]));
-        for (AclRow& row : acl_rows[i]) result.acls.push_back(std::move(row));
-    }
-    for (const support::TraceBuffer& buffer : trace_buffers) {
-        result.trace.append(buffer.data());
+    result.jobs = engine.jobs();
+    result.methods.reserve(responses.size());
+    for (api::InferResponse& response : responses) {
+        if (!response.ok) {
+            throw support::FrontendError(response.error, {});
+        }
+        result.methods.push_back(std::move(response.method_row));
+        for (AclRow& row : response.acls) result.acls.push_back(std::move(row));
+        result.trace.append(response.trace);
     }
     result.census_rows = census(subjects);
-    result.wall_ms = to_ms(clock::now() - start);
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start).count();
     return result;
 }
 

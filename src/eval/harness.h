@@ -2,7 +2,7 @@
 
 #include "src/core/preinfer.h"
 #include "src/eval/acl_classify.h"
-#include "src/eval/metrics.h"
+#include "src/eval/paper_metrics.h"
 #include "src/eval/subject.h"
 #include "src/solver/solve_cache.h"
 #include "src/support/trace.h"

@@ -1,4 +1,4 @@
-#include "src/eval/metrics.h"
+#include "src/eval/paper_metrics.h"
 
 #include "src/core/pred_eval.h"
 #include "src/gen/explorer.h"

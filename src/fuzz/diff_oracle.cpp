@@ -1,8 +1,10 @@
 #include "src/fuzz/diff_oracle.h"
 
 #include <memory>
-#include <optional>
+#include <stdexcept>
 #include <utility>
+
+#include "src/api/engine.h"
 
 #include "src/core/pred_eval.h"
 #include "src/core/preinfer.h"
@@ -31,90 +33,55 @@ void add_violation(OracleReport& report, std::string check, std::string detail) 
     report.violations.push_back({std::move(check), std::move(detail)});
 }
 
-gen::ExplorerConfig make_explorer_config(const OracleConfig& cfg) {
-    gen::ExplorerConfig c;
-    c.max_tests = cfg.max_tests;
-    c.max_solver_calls = cfg.max_solver_calls;
-    switch (cfg.fault) {
-        case FaultMode::None: break;
-        case FaultMode::SolverStarvation:
-            // Trip mid-run: early queries succeed, the rest starve.
-            c.fault_solver_unknown_after = cfg.max_solver_calls / 8;
-            break;
-        case FaultMode::SolverBlackout:
-            c.solver_config.fault_always_unknown = true;
-            break;
-        case FaultMode::StepExhaustion:
-            c.exec_limits.max_steps = 64;
-            break;
-        case FaultMode::PoolPressure:
-            c.fault_pool_limit = 2048;
-            break;
-    }
-    return c;
+/// FaultMode is the fuzz-facing name for the engine's fault seams; the
+/// engine owns the one translation into explorer config (the copy that
+/// used to live here is gone).
+api::Fault to_api_fault(FaultMode mode) {
+    static_assert(static_cast<int>(FaultMode::None) ==
+                  static_cast<int>(api::Fault::None));
+    static_assert(static_cast<int>(FaultMode::SolverStarvation) ==
+                  static_cast<int>(api::Fault::SolverStarvation));
+    static_assert(static_cast<int>(FaultMode::SolverBlackout) ==
+                  static_cast<int>(api::Fault::SolverBlackout));
+    static_assert(static_cast<int>(FaultMode::StepExhaustion) ==
+                  static_cast<int>(api::Fault::StepExhaustion));
+    static_assert(static_cast<int>(FaultMode::PoolPressure) ==
+                  static_cast<int>(api::Fault::PoolPressure));
+    return static_cast<api::Fault>(mode);
 }
 
-/// One full inference pipeline over one source unit, with everything the
-/// checks need kept alive (the pool owns every expression the suite and the
-/// inference results reference).
-struct PipelineRun {
-    lang::Program prog;
-    std::unique_ptr<sym::ExprPool> pool = std::make_unique<sym::ExprPool>();
-    gen::ExplorerConfig config;
-    gen::TestSuite suite;
-    gen::Explorer::Stats stats{};
+gen::ExplorerConfig make_explorer_config(const OracleConfig& cfg) {
+    return api::make_explorer_config(
+        {.max_tests = cfg.max_tests, .max_solver_calls = cfg.max_solver_calls},
+        to_api_fault(cfg.fault));
+}
 
-    struct AclOutcome {
-        core::AclId acl;
-        core::InferenceResult result;
-    };
-    std::vector<AclOutcome> outcomes;
-
-    [[nodiscard]] const lang::Method& method() const { return prog.methods.front(); }
-};
-
-/// Mirrors eval::run_method's inference half (explore, per-ACL PreInfer with
-/// the solver-assisted pruning oracle) without the baselines or validation
+/// One full inference pipeline over one source unit, as an engine request:
+/// the returned artifacts keep everything the checks need alive (the pool
+/// owns every expression the suite and the inference results reference).
+/// Mirrors eval::run_method's inference half — no baselines, no validation
 /// suite. `cache_options == nullptr` runs without a solve cache.
-std::unique_ptr<PipelineRun> run_pipeline(
-    const std::string& source, const gen::ExplorerConfig& config,
+std::shared_ptr<api::PipelineArtifacts> run_pipeline(
+    api::InferenceEngine& engine, const std::string& source,
+    const gen::ExplorerConfig& config,
     const solver::SolveCache::Options* cache_options) {
-    auto run = std::make_unique<PipelineRun>();
-    run->prog = lang::parse_program(source);
-    lang::type_check(run->prog);
-    lang::label_blocks(run->prog);
-    run->config = config;
-    const lang::Method& method = run->method();
+    api::InferRequest request;
+    request.subject = "fuzz";
+    request.source = source;
+    request.keep_artifacts = true;
+    request.config.explore = config;
+    request.config.validate = false;
+    request.config.run_fixit = false;
+    request.config.run_dysy = false;
+    request.config.preinfer.pruning.mode = core::PruningMode::SolverAssisted;
+    request.config.use_cache = cache_options != nullptr;
+    if (cache_options != nullptr) request.config.cache = *cache_options;
 
-    std::optional<solver::SolveCache> cache;
-    if (cache_options != nullptr) cache.emplace(*cache_options);
-    solver::SolveCache* cache_ptr = cache ? &*cache : nullptr;
-    solver::AtomIndex index(*run->pool);
-
-    gen::Explorer explorer(*run->pool, method, config, &run->prog, cache_ptr, &index);
-    run->suite = explorer.explore();
-    run->stats = explorer.stats();
-
-    gen::Explorer oracle_explorer(*run->pool, method, config, &run->prog, cache_ptr,
-                                  &index);
-    gen::ExplorerOracle oracle(oracle_explorer);
-    core::PreInferConfig pi_config;
-    pi_config.pruning.mode = core::PruningMode::SolverAssisted;
-
-    for (const core::AclId acl : run->suite.failing_acls()) {
-        const gen::AclView view = gen::view_for(run->suite, acl);
-        std::vector<std::unique_ptr<exec::InputEvalEnv>> env_storage;
-        std::vector<const sym::EvalEnv*> envs;
-        env_storage.reserve(view.passing.size());
-        for (const gen::Test* t : view.passing) {
-            env_storage.push_back(std::make_unique<exec::InputEvalEnv>(method, t->input));
-            envs.push_back(env_storage.back().get());
-        }
-        core::PreInfer preinfer(*run->pool, pi_config, nullptr, &oracle);
-        run->outcomes.push_back(
-            {acl, preinfer.infer(acl, view.failing_pcs(), view.passing_pcs(), envs)});
-    }
-    return run;
+    api::InferResponse response = engine.infer(request);
+    // Frontend rejections surface as exceptions so the minimizer's
+    // "unhandled-exception" classification keeps working unchanged.
+    if (!response.ok) throw std::runtime_error(response.error);
+    return std::move(response.artifacts);
 }
 
 bool eval_true(const sym::Expr* e, const sym::EvalEnv& env) {
@@ -141,7 +108,7 @@ std::string acl_label(core::AclId acl) {
 /// Deliberately excludes solver-outcome tallies and cache counters — the
 /// semantic cache answers Unsat where a budgeted search answers Unknown, so
 /// those counts legitimately differ between equivalent runs.
-std::string fingerprint(const PipelineRun& run) {
+std::string fingerprint(const api::PipelineArtifacts& run) {
     const lang::Method& method = run.method();
     const std::vector<std::string> names = method.param_names();
     std::string out;
@@ -153,10 +120,10 @@ std::string fingerprint(const PipelineRun& run) {
         out += std::to_string(t.result.pc.signature());
         out += '\n';
     }
-    out += "exec " + std::to_string(run.stats.executions) + " dup_in " +
-           std::to_string(run.stats.duplicate_inputs) + " dup_path " +
-           std::to_string(run.stats.duplicate_paths) + '\n';
-    for (const PipelineRun::AclOutcome& o : run.outcomes) {
+    out += "exec " + std::to_string(run.explore_stats.executions) + " dup_in " +
+           std::to_string(run.explore_stats.duplicate_inputs) + " dup_path " +
+           std::to_string(run.explore_stats.duplicate_paths) + '\n';
+    for (const api::PipelineArtifacts::AclInference& o : run.inferences) {
         out += acl_label(o.acl);
         out += " psi: ";
         out += core::to_string(o.result.precondition, names);
@@ -173,7 +140,7 @@ std::string fingerprint(const PipelineRun& run) {
 /// The theorem-grade checks. Every check here must hold for ANY run —
 /// healthy or fault-injected — because each asserts a property of evidence
 /// the pipeline actually gathered, never of evidence a budget withheld.
-void check_soundness(const PipelineRun& run, const OracleConfig& cfg,
+void check_soundness(const api::PipelineArtifacts& run, const OracleConfig& cfg,
                      OracleReport& report) {
     const lang::Method& method = run.method();
 
@@ -191,8 +158,8 @@ void check_soundness(const PipelineRun& run, const OracleConfig& cfg,
         }
     }
 
-    solver::Solver check_solver(*run.pool, run.config.solver_config);
-    for (const PipelineRun::AclOutcome& o : run.outcomes) {
+    solver::Solver check_solver(*run.pool, run.explore_config.solver_config);
+    for (const api::PipelineArtifacts::AclInference& o : run.inferences) {
         const gen::AclView view = gen::view_for(run.suite, o.acl);
         if (!o.result.inferred) {
             if (!view.failing.empty()) {
@@ -261,7 +228,7 @@ void check_soundness(const PipelineRun& run, const OracleConfig& cfg,
             if (res.status != solver::SolveStatus::Sat) continue;
             const exec::Input replay_input = gen::reconstruct_input(
                 *run.pool, method, res.model, &f->input,
-                run.config.solver_config.len_max);
+                run.explore_config.solver_config.len_max);
             const exec::InputEvalEnv renv(method, replay_input);
             if (first_false_conjunct(f->result.pc, renv) != -1) {
                 // Reconstruction defaults filled a term the model left
@@ -270,8 +237,8 @@ void check_soundness(const PipelineRun& run, const OracleConfig& cfg,
                 ++report.skipped_replays;
                 continue;
             }
-            const exec::ConcolicInterpreter interp(*run.pool, method,
-                                                   run.config.exec_limits, &run.prog);
+            const exec::ConcolicInterpreter interp(
+                *run.pool, method, run.explore_config.exec_limits, &run.program);
             const exec::RunResult rr = interp.run(replay_input);
             ++replayed;
             ++report.replayed_models;
@@ -446,31 +413,33 @@ OracleReport check_source(const std::string& source, std::uint64_t seed,
 
         const gen::ExplorerConfig config = make_explorer_config(cfg);
         const solver::SolveCache::Options default_cache{};
-        const auto primary = run_pipeline(source, config, &default_cache);
+        api::InferenceEngine engine({.jobs = 1});
+        const auto primary = run_pipeline(engine, source, config, &default_cache);
         report.tests = static_cast<int>(primary->suite.tests.size());
         for (const gen::Test& t : primary->suite.tests) {
             if (t.result.outcome.failing()) ++report.failing_tests;
         }
-        report.acls = static_cast<int>(primary->outcomes.size());
+        report.acls = static_cast<int>(primary->inferences.size());
         check_soundness(*primary, cfg, report);
 
         if (cfg.fault == FaultMode::None && cfg.check_determinism) {
             const std::string base_fp = fingerprint(*primary);
-            const auto rerun = run_pipeline(source, config, &default_cache);
+            const auto rerun = run_pipeline(engine, source, config, &default_cache);
             if (fingerprint(*rerun) != base_fp) {
                 add_violation(report, "determinism-rerun",
                               "two identical runs produced different results");
             }
             gen::ExplorerConfig from_scratch = config;
             from_scratch.incremental = false;
-            const auto v_inc = run_pipeline(source, from_scratch, &default_cache);
+            const auto v_inc =
+                run_pipeline(engine, source, from_scratch, &default_cache);
             if (fingerprint(*v_inc) != base_fp) {
                 add_violation(report, "determinism-incremental",
                               "incremental and from-scratch solving diverged");
             }
             solver::SolveCache::Options no_subsumption;
             no_subsumption.unsat_subsumption = false;
-            const auto v_sub = run_pipeline(source, config, &no_subsumption);
+            const auto v_sub = run_pipeline(engine, source, config, &no_subsumption);
             if (fingerprint(*v_sub) != base_fp) {
                 add_violation(report, "determinism-subsumption",
                               "unsat subsumption on/off diverged");
@@ -483,7 +452,7 @@ OracleReport check_source(const std::string& source, std::uint64_t seed,
             OracleConfig uncached_cfg = cfg;
             uncached_cfg.check_determinism = false;
             uncached_cfg.check_jobs_equivalence = false;
-            const auto v_nocache = run_pipeline(source, config, nullptr);
+            const auto v_nocache = run_pipeline(engine, source, config, nullptr);
             check_soundness(*v_nocache, uncached_cfg, report);
         }
 

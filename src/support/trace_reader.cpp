@@ -108,13 +108,14 @@ std::int64_t TraceRecord::find_int(std::string_view key, std::int64_t fallback) 
     return parsed;
 }
 
-std::optional<TraceRecord> parse_trace_line(std::string_view line, std::string* error) {
+std::optional<std::vector<std::pair<std::string, std::string>>> parse_flat_object(
+    std::string_view line, std::string* error) {
     Cursor c{line};
     if (!c.eat('{')) {
         set_error(error, "record does not start with '{'");
         return std::nullopt;
     }
-    TraceRecord record;
+    std::vector<std::pair<std::string, std::string>> fields;
     bool first = true;
     while (true) {
         if (c.eat('}')) break;
@@ -141,25 +142,32 @@ std::optional<TraceRecord> parse_trace_line(std::string_view line, std::string* 
             set_error(error, "malformed value for \"" + key + "\"");
             return std::nullopt;
         }
-        if (first) {
-            if (key != "event") {
-                set_error(error, "first field must be \"event\", got \"" + key + "\"");
-                return std::nullopt;
-            }
-            record.event = std::move(value);
-        } else {
-            record.fields.emplace_back(std::move(key), std::move(value));
-        }
+        fields.emplace_back(std::move(key), std::move(value));
         first = false;
-    }
-    if (first) {
-        set_error(error, "empty record");
-        return std::nullopt;
     }
     if (c.pos != line.size()) {
         set_error(error, "trailing bytes after record");
         return std::nullopt;
     }
+    return fields;
+}
+
+std::optional<TraceRecord> parse_trace_line(std::string_view line, std::string* error) {
+    auto fields = parse_flat_object(line, error);
+    if (!fields) return std::nullopt;
+    if (fields->empty()) {
+        set_error(error, "empty record");
+        return std::nullopt;
+    }
+    if (fields->front().first != "event") {
+        set_error(error,
+                  "first field must be \"event\", got \"" + fields->front().first + "\"");
+        return std::nullopt;
+    }
+    TraceRecord record;
+    record.event = std::move(fields->front().second);
+    record.fields.assign(std::make_move_iterator(fields->begin() + 1),
+                         std::make_move_iterator(fields->end()));
     return record;
 }
 

@@ -23,6 +23,15 @@ struct TraceRecord {
                                         std::int64_t fallback = 0) const;
 };
 
+/// Parses one flat JSON object line (string, integer, and boolean values;
+/// no nesting) into key/value pairs in file order, with string values
+/// unescaped and numbers/booleans kept as their literal spelling. This is
+/// the shared wire grammar: TraceEvent output and preinfer-serve request
+/// lines (docs/SERVING.md) both use it. Returns nullopt and fills `error`
+/// (when given) on malformed input.
+[[nodiscard]] std::optional<std::vector<std::pair<std::string, std::string>>>
+parse_flat_object(std::string_view line, std::string* error = nullptr);
+
 /// Parses one JSONL trace line (the flat-object subset TraceEvent emits:
 /// string, integer, and boolean values; no nesting). Returns nullopt and
 /// fills `error` (when given) on malformed input or when the leading field

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+
+#include "src/support/metrics.h"
 
 namespace preinfer::cli {
 namespace {
@@ -172,6 +175,30 @@ TEST(CliRun, FrontendErrorExitCode) {
     std::ostringstream out2;
     options.method = "nope";
     EXPECT_EQ(run(options, "method m(a: int) { }", out2), 1);
+}
+
+TEST(CliRun, MetricsReportsEngineCacheAccounting) {
+    // The pre-engine driver never attached a SolveCache to its explorers,
+    // so the CLI could not show cache accounting at all. Routed through the
+    // engine, --validate guarantees hits: the validation explorer replays
+    // exploration queries against the request's shared cache.
+    Options options;
+    options.source_path = "inline.mini";
+    options.metrics = true;
+    options.validate = true;
+    std::ostringstream out;
+    EXPECT_EQ(run(options, "method m(a: int, b: int) : int { return a / b; }", out),
+              0);
+    const std::string report = out.str();
+    EXPECT_NE(report.find("[engine] requests=1"), std::string::npos) << report;
+    const std::size_t hits_pos = report.find("solver-cache hits=");
+    ASSERT_NE(hits_pos, std::string::npos) << report;
+    const int hits =
+        std::atoi(report.c_str() + hits_pos + std::string("solver-cache hits=").size());
+    EXPECT_GT(hits, 0) << report;
+    EXPECT_NE(report.find(" misses="), std::string::npos) << report;
+    support::MetricsRegistry::global().set_enabled(false);
+    support::MetricsRegistry::global().reset();
 }
 
 TEST(CliRun, GuardFuzzReports) {

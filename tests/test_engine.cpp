@@ -1,0 +1,348 @@
+// Contract tests for the unified InferenceEngine layer (src/api): the one
+// config translation every entry point shares, the warm-engine determinism
+// guarantee (a long-lived engine answers exactly like a fresh process,
+// byte for byte, because per-request substrate is never shared), jobs
+// invariance of batched inference, structured error handling, and the
+// JSONL serve loop built on top of it.
+
+#include "src/api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/api/serve.h"
+#include "src/eval/harness.h"
+
+namespace preinfer::api {
+namespace {
+
+constexpr const char* kDivSource =
+    "method div(a: int, b: int) : int { return a / b; }";
+constexpr const char* kGetSource =
+    "method get(xs: int[], i: int) : int { return xs[i]; }";
+constexpr const char* kMixSource = R"(
+method mix(a: int, b: int) : int {
+    if (a > 10) { return b / (b - 3); }
+    return a;
+})";
+
+/// A request shaped like the harness's: small budgets, validation on (the
+/// validation explorer replays exploration through the shared per-request
+/// cache, so cache hits are guaranteed).
+InferRequest small_request(const char* subject, const char* source) {
+    InferRequest request;
+    request.subject = subject;
+    request.suite = "Engine";
+    request.source = source;
+    request.config.explore.max_tests = 48;
+    request.config.explore.max_solver_calls = 600;
+    request.config.validation.explore.max_tests = 64;
+    request.config.validation.explore.max_solver_calls = 800;
+    request.config.validation.fuzz_count = 50;
+    return request;
+}
+
+std::vector<InferRequest> small_batch() {
+    return {small_request("Engine.Div", kDivSource),
+            small_request("Engine.Get", kGetSource),
+            small_request("Engine.Mix", kMixSource)};
+}
+
+void append_outcome(std::string& out, const eval::ApproachOutcome& o) {
+    out += o.attempted ? 'A' : '-';
+    out += o.inferred ? 'I' : '-';
+    if (o.inferred) {
+        out += o.strength.sufficient ? 'S' : '-';
+        out += o.strength.necessary ? 'N' : '-';
+        out += ' ' + std::to_string(o.complexity) + ' ' + o.printed;
+    }
+    out += ';';
+}
+
+/// Everything deterministic in a response — every row column except
+/// wall_ms, plus the per-request trace bytes.
+std::string fingerprint(const InferResponse& r) {
+    std::string out = r.ok ? "ok" : "err:" + r.error;
+    out += '|' + r.method_row.subject + '/' + r.method_row.method;
+    out += " tests" + std::to_string(r.method_row.tests);
+    out += " acls" + std::to_string(r.method_row.acls);
+    out += " cov" + std::to_string(r.method_row.block_coverage);
+    out += " ch" + std::to_string(r.method_row.cache_hits);
+    out += " cm" + std::to_string(r.method_row.cache_misses);
+    out += '\n';
+    for (const eval::AclRow& row : r.acls) {
+        out += row.subject + '/' + row.method + ' ';
+        out += std::to_string(static_cast<int>(row.acl.kind)) + '@' +
+               std::to_string(row.acl.node_id);
+        out += " f" + std::to_string(row.failing_tests);
+        out += " p" + std::to_string(row.passing_tests);
+        out += " | ";
+        append_outcome(out, row.preinfer);
+        append_outcome(out, row.fixit);
+        append_outcome(out, row.dysy);
+        out += '\n';
+    }
+    out += "--trace--\n";
+    out += r.trace;
+    return out;
+}
+
+// --- config translation ------------------------------------------------------
+
+/// The explorer-config translation fuzz::diff_oracle carried before the
+/// engine existed, replicated verbatim. api::make_explorer_config replaced
+/// it; this pins that the unification changed nothing.
+gen::ExplorerConfig legacy_fuzz_explorer_config(int max_tests, int max_solver_calls,
+                                                Fault fault) {
+    gen::ExplorerConfig c;
+    c.max_tests = max_tests;
+    c.max_solver_calls = max_solver_calls;
+    switch (fault) {
+        case Fault::None: break;
+        case Fault::SolverStarvation:
+            c.fault_solver_unknown_after = max_solver_calls / 8;
+            break;
+        case Fault::SolverBlackout:
+            c.solver_config.fault_always_unknown = true;
+            break;
+        case Fault::StepExhaustion:
+            c.exec_limits.max_steps = 64;
+            break;
+        case Fault::PoolPressure:
+            c.fault_pool_limit = 2048;
+            break;
+    }
+    return c;
+}
+
+void expect_config_eq(const gen::ExplorerConfig& got, const gen::ExplorerConfig& want) {
+    EXPECT_EQ(got.max_tests, want.max_tests);
+    EXPECT_EQ(got.max_solver_calls, want.max_solver_calls);
+    EXPECT_EQ(got.max_flip_depth, want.max_flip_depth);
+    EXPECT_EQ(got.exec_limits.max_steps, want.exec_limits.max_steps);
+    EXPECT_EQ(got.exec_limits.max_path_preds, want.exec_limits.max_path_preds);
+    EXPECT_EQ(got.exec_limits.max_call_depth, want.exec_limits.max_call_depth);
+    EXPECT_EQ(got.exec_limits.max_alloc, want.exec_limits.max_alloc);
+    EXPECT_TRUE(got.solver_config == want.solver_config);
+    EXPECT_EQ(got.materialize_max_len, want.materialize_max_len);
+    EXPECT_EQ(got.extra_seeds, want.extra_seeds);
+    EXPECT_EQ(got.incremental, want.incremental);
+    EXPECT_EQ(got.fault_solver_unknown_after, want.fault_solver_unknown_after);
+    EXPECT_EQ(got.fault_pool_limit, want.fault_pool_limit);
+}
+
+TEST(EngineConfig, MakeExplorerConfigMatchesLegacyFuzzTranslation) {
+    for (const Fault fault :
+         {Fault::None, Fault::SolverStarvation, Fault::SolverBlackout,
+          Fault::StepExhaustion, Fault::PoolPressure}) {
+        SCOPED_TRACE(static_cast<int>(fault));
+        // The fuzz oracle's historical budgets.
+        expect_config_eq(
+            make_explorer_config({.max_tests = 48, .max_solver_calls = 768}, fault),
+            legacy_fuzz_explorer_config(48, 768, fault));
+    }
+    // The CLI's historical shape: --max-tests only, everything else default.
+    expect_config_eq(make_explorer_config({.max_tests = 32}),
+                     legacy_fuzz_explorer_config(32, 4096, Fault::None));
+}
+
+TEST(EngineConfig, ResolveIsLosslessForHarnessConfig) {
+    eval::HarnessConfig hc;
+    hc.explore.max_tests = 77;
+    hc.explore.max_solver_calls = 901;
+    hc.explore.incremental = false;
+    hc.validation.explore.max_tests = 123;
+    hc.validation.fuzz_count = 31;
+    hc.validation.fuzz_seed = 99;
+    hc.preinfer.pruning.mode = core::PruningMode::SolverAssisted;
+    hc.preinfer.generalization_enabled = false;
+    hc.preinfer.semantic_template_matching = true;
+    hc.cache.model_window = 4;
+    hc.cache.unsat_subsumption = false;
+    hc.run_fixit = false;
+    hc.run_dysy = false;
+
+    const ResolvedConfig r = resolve(hc);
+    expect_config_eq(r.explore, hc.explore);
+    expect_config_eq(r.validation.explore, hc.validation.explore);
+    EXPECT_EQ(r.validation.fuzz_count, 31);
+    EXPECT_EQ(r.validation.fuzz_seed, 99u);
+    EXPECT_EQ(r.preinfer.pruning.mode, core::PruningMode::SolverAssisted);
+    EXPECT_FALSE(r.preinfer.generalization_enabled);
+    EXPECT_TRUE(r.preinfer.semantic_template_matching);
+    EXPECT_EQ(r.cache.model_window, 4);
+    EXPECT_FALSE(r.cache.unsat_subsumption);
+    EXPECT_EQ(r.registry, nullptr);
+    EXPECT_TRUE(r.use_cache);
+    EXPECT_TRUE(r.validate);
+    EXPECT_TRUE(r.run_preinfer);
+    EXPECT_FALSE(r.run_fixit);
+    EXPECT_FALSE(r.run_dysy);
+}
+
+// --- determinism contract ----------------------------------------------------
+
+TEST(Engine, WarmEngineMatchesFreshEnginesByteForByte) {
+    const std::vector<InferRequest> requests = small_batch();
+    InferenceEngine::Options options;
+    options.jobs = 1;
+    options.trace.enabled = true;
+
+    // N sequential requests on ONE long-lived engine...
+    InferenceEngine warm(options);
+    std::vector<std::string> warm_prints;
+    for (const InferRequest& request : requests) {
+        warm_prints.push_back(fingerprint(warm.infer(request)));
+    }
+    // ...must be indistinguishable from N fresh single-use engines: no
+    // cross-request state (cache, pool, atom index) may leak into results.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        InferenceEngine fresh(options);
+        EXPECT_EQ(fingerprint(fresh.infer(requests[i])), warm_prints[i])
+            << "request " << i << " diverged on the warm engine";
+    }
+}
+
+TEST(Engine, InferAllIsByteIdenticalForAnyJobsValue) {
+    const std::vector<InferRequest> requests = small_batch();
+
+    InferenceEngine::Options serial_options;
+    serial_options.jobs = 1;
+    serial_options.trace.enabled = true;
+    InferenceEngine serial(serial_options);
+    const std::vector<InferResponse> serial_responses = serial.infer_all(requests);
+
+    InferenceEngine::Options parallel_options;
+    parallel_options.jobs = 4;
+    parallel_options.trace.enabled = true;
+    InferenceEngine parallel(parallel_options);
+    const std::vector<InferResponse> parallel_responses =
+        parallel.infer_all(requests);
+
+    ASSERT_EQ(serial_responses.size(), requests.size());
+    ASSERT_EQ(parallel_responses.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(fingerprint(serial_responses[i]), fingerprint(parallel_responses[i]))
+            << "request " << i << " depends on the jobs value";
+    }
+
+    // And a second batch on the same warm engines answers identically too.
+    const std::vector<InferResponse> again = parallel.infer_all(requests);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(fingerprint(again[i]), fingerprint(serial_responses[i]));
+    }
+}
+
+TEST(Engine, ErrorsAreStructuredAndOrderPreserved) {
+    std::vector<InferRequest> requests = small_batch();
+    requests[1].source = "method broken(";  // parse error
+    requests[2].method = "nope";            // selection error
+
+    InferenceEngine engine({.jobs = 2});
+    const std::vector<InferResponse> responses = engine.infer_all(requests);
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_TRUE(responses[0].ok);
+    EXPECT_FALSE(responses[1].ok);
+    EXPECT_FALSE(responses[1].error.empty());
+    EXPECT_FALSE(responses[2].ok);
+    EXPECT_NE(responses[2].error.find("no method named 'nope'"), std::string::npos)
+        << responses[2].error;
+
+    const InferenceEngine::Stats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 3);
+    EXPECT_EQ(stats.failed, 2);
+}
+
+TEST(Engine, StatsAccumulateCacheAccountingAcrossRequests) {
+    InferenceEngine engine({.jobs = 1});
+    for (const InferRequest& request : small_batch()) {
+        const InferResponse response = engine.infer(request);
+        ASSERT_TRUE(response.ok) << response.error;
+    }
+    const InferenceEngine::Stats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 3);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_GT(stats.acls, 0);
+    // Validation replays exploration through each request's shared cache.
+    EXPECT_GT(stats.cache_hits, 0);
+    EXPECT_GT(stats.cache_misses, 0);
+}
+
+TEST(Engine, ArtifactsAreKeptOnlyOnRequest) {
+    InferenceEngine engine;
+    InferRequest request = small_request("Engine.Div", kDivSource);
+    EXPECT_EQ(engine.infer(request).artifacts, nullptr);
+    request.keep_artifacts = true;
+    const InferResponse response = engine.infer(request);
+    ASSERT_NE(response.artifacts, nullptr);
+    EXPECT_EQ(response.artifacts->method().name, "div");
+    EXPECT_EQ(response.artifacts->inferences.size(), response.acls.size());
+}
+
+// --- serve loop --------------------------------------------------------------
+
+TEST(Serve, AnswersInInputOrderAndSurvivesMalformedLines) {
+    std::istringstream in(
+        "{\"id\":\"a\",\"source\":\"method f(a: int) : int { return 10 / a; }\"}\n"
+        "not json\n"
+        "{\"id\":\"b\",\"bogus\":1,\"source\":\"method g() : int { return 1; }\"}\n"
+        "{\"id\":\"c\"}\n"
+        "{\"id\":\"d\",\"source\":\"method h(a: int) : int { return a; }\"}\n");
+    std::ostringstream out;
+    const ServeStats stats = run_serve(in, out, {.jobs = 2});
+
+    EXPECT_EQ(stats.requests, 5);
+    EXPECT_EQ(stats.failed, 3);
+    std::vector<std::string> lines;
+    std::istringstream reader(out.str());
+    for (std::string line; std::getline(reader, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_NE(lines[0].find("\"id\":\"a\",\"ok\":true"), std::string::npos) << lines[0];
+    EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos) << lines[1];
+    EXPECT_NE(lines[2].find("unknown field \\\"bogus\\\""), std::string::npos)
+        << lines[2];
+    EXPECT_NE(lines[3].find("missing required field \\\"source\\\""),
+              std::string::npos)
+        << lines[3];
+    EXPECT_NE(lines[4].find("\"id\":\"d\",\"ok\":true"), std::string::npos) << lines[4];
+    // The division request must have inferred the guard.
+    EXPECT_NE(lines[0].find("\"psi\":\"a != 0\""), std::string::npos) << lines[0];
+}
+
+TEST(Serve, WarmEngineServesConcurrentRequestsWithCacheHits) {
+    std::ostringstream requests;
+    for (int i = 0; i < 8; ++i) {
+        requests << "{\"id\":\"r" << i
+                 << "\",\"validate\":true,\"max_tests\":48,\"source\":\"method f(a: "
+                    "int, b: int) : int { return a / b; }\"}\n";
+    }
+    std::istringstream in(requests.str());
+    std::ostringstream out;
+    const ServeStats stats = run_serve(in, out, {.jobs = 4, .batch_max = 8});
+
+    EXPECT_EQ(stats.requests, 8);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_EQ(stats.batches, 1);
+    EXPECT_GT(stats.cache_hits, 0);
+    int ok_lines = 0;
+    std::istringstream reader(out.str());
+    for (std::string line; std::getline(reader, line);) {
+        if (line.find("\"ok\":true") != std::string::npos) ++ok_lines;
+    }
+    EXPECT_EQ(ok_lines, 8);
+}
+
+TEST(Serve, TraceOptionAttachesPerRequestTrace) {
+    std::istringstream in(
+        "{\"id\":\"t\",\"source\":\"method f(a: int) : int { return 10 / a; }\"}\n");
+    std::ostringstream out;
+    (void)run_serve(in, out, {.trace = true});
+    EXPECT_NE(out.str().find("\"trace\":\""), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("method_begin"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace preinfer::api

@@ -3,7 +3,7 @@
 
 #include "helpers.h"
 #include "src/eval/acl_classify.h"
-#include "src/eval/metrics.h"
+#include "src/eval/paper_metrics.h"
 #include "src/eval/spec.h"
 
 namespace preinfer::eval {

@@ -16,6 +16,14 @@
 //       the enum braces; from the document, every list item of the shape
 //       "- `EKind::Binary` — ...".
 //
+//   docs_check --api <path/to/engine.h> <path/to/SERVING.md>
+//       The request/response field lists in SERVING.md must match the
+//       members of `struct InferRequest` and `struct InferResponse` in
+//       engine.h, in both directions. From the header it takes the last
+//       identifier of each member declaration (the structs are flat
+//       plain-data aggregates and say so); from the document, every list
+//       item of the shape "- `InferRequest::subject` — ...".
+//
 // No JSON, C++ or markdown parser — all four files keep these shapes
 // deliberately (the headers say so next to the tables).
 
@@ -143,6 +151,58 @@ std::vector<std::string> doc_enumerators(const std::string& text,
     return items;
 }
 
+/// Member names of `struct <name> { ... };` in `text`, qualified as
+/// "<name>::<member>". Walks the struct body at brace depth 1 with `//`
+/// comments stripped; each `;`-terminated declaration contributes its last
+/// identifier before any `=` or `{` (so default member initializers and
+/// aggregate `{}` don't confuse it). Works for the flat plain-data structs
+/// src/api/engine.h deliberately keeps (a comment there says so).
+std::vector<std::string> header_struct_fields(const std::string& text,
+                                              const std::string& name,
+                                              std::string& error) {
+    const std::size_t anchor = text.find("struct " + name + " {");
+    if (anchor == std::string::npos) {
+        error = "no `struct " + name + "` in header";
+        return {};
+    }
+    const std::size_t open = text.find('{', anchor);
+    std::vector<std::string> fields;
+    int depth = 1;
+    std::string statement;
+    for (std::size_t i = open + 1; i < text.size() && depth > 0; ++i) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n') ++i;
+            continue;
+        }
+        const char c = text[i];
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        if (depth == 1 && c == ';') {
+            // Cut at the first initializer marker, then keep the last
+            // identifier: "bool keep_artifacts = false" -> keep_artifacts.
+            std::string decl = statement;
+            const std::size_t cut = decl.find_first_of("={");
+            if (cut != std::string::npos) decl.resize(cut);
+            std::string current, last;
+            for (const char d : decl) {
+                if (std::isalnum(static_cast<unsigned char>(d)) || d == '_') {
+                    current.push_back(d);
+                } else {
+                    if (!current.empty()) last = current;
+                    current.clear();
+                }
+            }
+            if (!current.empty()) last = current;
+            if (!last.empty()) fields.push_back(name + "::" + last);
+            statement.clear();
+        } else if (depth >= 1) {
+            statement.push_back(c);
+        }
+    }
+    if (fields.empty()) error = "struct " + name + " has no members";
+    return fields;
+}
+
 /// Elements of `have` missing from `want` (order preserved, duplicates kept).
 std::vector<std::string> missing_from(const std::vector<std::string>& have,
                                       const std::vector<std::string>& want) {
@@ -237,20 +297,57 @@ int run_lang_mode(const std::string& header_path, const std::string& doc_path) {
     return report_sync(in_header, in_doc, header_path, doc_path, "kind");
 }
 
+int run_api_mode(const std::string& header_path, const std::string& doc_path) {
+    bool ok = false;
+    const std::string header = read_file(header_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << header_path << "\n";
+        return 2;
+    }
+    const std::string doc = read_file(doc_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << doc_path << "\n";
+        return 2;
+    }
+
+    const std::vector<std::string> structs = {"InferRequest", "InferResponse"};
+    std::vector<std::string> in_header;
+    for (const std::string& name : structs) {
+        std::string error;
+        const std::vector<std::string> part =
+            header_struct_fields(header, name, error);
+        if (part.empty()) {
+            std::cerr << "error: " << header_path << ": " << error << "\n";
+            return 2;
+        }
+        in_header.insert(in_header.end(), part.begin(), part.end());
+    }
+    const std::vector<std::string> in_doc = doc_enumerators(doc, structs);
+    if (in_doc.empty()) {
+        std::cerr << "error: " << doc_path
+                  << ": no `- \\`InferRequest::field\\` — ...` list items found\n";
+        return 2;
+    }
+    return report_sync(in_header, in_doc, header_path, doc_path, "api field");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string mode = "--trace";
-    if (!args.empty() && (args.front() == "--trace" || args.front() == "--lang")) {
+    if (!args.empty() && (args.front() == "--trace" || args.front() == "--lang" ||
+                          args.front() == "--api")) {
         mode = args.front();
         args.erase(args.begin());
     }
     if (args.size() != 2) {
         std::cerr << "usage: docs_check [--trace] <trace.h> <OBSERVABILITY.md>\n"
-                     "       docs_check --lang <ast.h> <LANGUAGE.md>\n";
+                     "       docs_check --lang <ast.h> <LANGUAGE.md>\n"
+                     "       docs_check --api <engine.h> <SERVING.md>\n";
         return 2;
     }
-    return mode == "--lang" ? run_lang_mode(args[0], args[1])
-                            : run_trace_mode(args[0], args[1]);
+    if (mode == "--lang") return run_lang_mode(args[0], args[1]);
+    if (mode == "--api") return run_api_mode(args[0], args[1]);
+    return run_trace_mode(args[0], args[1]);
 }

@@ -1,0 +1,119 @@
+// preinfer-serve: long-lived JSONL inference server over stdin/stdout
+// (docs/SERVING.md). One InferenceEngine stays alive for the whole stream;
+// request lines are batched onto its shared thread pool and answered in
+// input order, so a warm server amortizes thread-pool spin-up across
+// requests while keeping responses deterministic.
+//
+//   preinfer-serve [--jobs N] [--batch N] [--trace] [--smoke N]
+//
+// --smoke N bypasses stdin: it feeds N concurrent requests (a fixed
+// two-method program, validation on) through one engine and exits 0 only if
+// every response is ok and the warm engine's solver cache served hits. The
+// ctest target preinfer_serve_smoke runs `--smoke 8`.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/api/serve.h"
+
+namespace {
+
+/// Two methods with guarded divisions: enough failing ACLs for inference
+/// and for the shared per-request solve cache to serve repeat queries.
+constexpr const char* kSmokeSource =
+    "method div(a: int, b: int) : int {\n"
+    "    var q = a / b;\n"
+    "    assert(q * b <= a);\n"
+    "    return q;\n"
+    "}\n"
+    "method half(a: int, b: int) : int {\n"
+    "    assert(b != 0);\n"
+    "    return a / b + a / 2;\n"
+    "}\n";
+
+int run_smoke(int count, preinfer::api::ServeOptions options) {
+    options.batch_max = count;
+    std::ostringstream requests;
+    for (int i = 0; i < count; ++i) {
+        const char* method = i % 2 == 0 ? "div" : "half";
+        std::string source;
+        for (const char* p = kSmokeSource; *p != '\0'; ++p) {
+            if (*p == '\n') {
+                source += "\\n";
+            } else {
+                source += *p;
+            }
+        }
+        requests << "{\"id\":\"req-" << i << "\",\"method\":\"" << method
+                 << "\",\"validate\":true,\"source\":\"" << source << "\"}\n";
+    }
+    std::istringstream in(requests.str());
+    std::ostringstream out;
+    const preinfer::api::ServeStats stats = preinfer::api::run_serve(in, out, options);
+
+    int ok_lines = 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ok\":true") != std::string::npos) ++ok_lines;
+    }
+    std::cout << "preinfer-serve --smoke: " << stats.requests << " requests in "
+              << stats.batches << " batch(es), " << ok_lines << " ok, cache hits "
+              << stats.cache_hits << " misses " << stats.cache_misses << "\n";
+    if (stats.requests != count || ok_lines != count || stats.failed != 0) {
+        std::cerr << "error: expected " << count << " ok responses\n"
+                  << out.str();
+        return 1;
+    }
+    if (stats.cache_hits <= 0) {
+        std::cerr << "error: warm engine served no solver-cache hits\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    preinfer::api::ServeOptions options;
+    int smoke = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            options.jobs = std::atoi(value());
+        } else if (arg == "--batch") {
+            options.batch_max = std::atoi(value());
+        } else if (arg == "--trace") {
+            options.trace = true;
+        } else if (arg == "--smoke") {
+            smoke = std::atoi(value());
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: preinfer-serve [--jobs N] [--batch N] [--trace] "
+                         "[--smoke N]\n"
+                         "reads one JSON request per line from stdin, writes one "
+                         "JSON response per line to stdout (docs/SERVING.md)\n";
+            return 0;
+        } else {
+            std::cerr << "error: unknown argument " << arg << "\n";
+            return 2;
+        }
+    }
+    if (smoke > 0) return run_smoke(smoke, options);
+
+    const preinfer::api::ServeStats stats =
+        preinfer::api::run_serve(std::cin, std::cout, options);
+    std::cerr << "preinfer-serve: " << stats.requests << " requests ("
+              << stats.failed << " failed) in " << stats.batches
+              << " batch(es), solver-cache hits " << stats.cache_hits << " misses "
+              << stats.cache_misses << "\n";
+    return 0;
+}
