@@ -1,0 +1,279 @@
+// Latency/throughput benchmark for the preinfer-serve socket server
+// (docs/SERVING.md). Spins up an in-process api::Server on a private unix
+// socket, then drives it with closed-loop clients — each connection keeps
+// exactly one request in flight, so admission control never sheds and the
+// numbers measure the serving path itself: wire parse, engine dispatch,
+// response render, socket round-trip. Reports p50/p99 latency and
+// requests/s per connection count, and writes BENCH_serve.json so serving
+// performance is tracked across PRs like the solver and fuzz numbers are.
+//
+//   bench_serve [--smoke] [--requests N] [--jobs N] [--json PATH]
+//
+// --smoke runs the {1, 4}-connection slice with few requests and skips the
+// JSON write unless --json is given; it is registered as a ctest
+// (`bench_serve_smoke`) so this binary cannot rot. Any non-ok response
+// makes the bench fail — latency of a misbehaving server is not a number
+// worth recording.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/serve.h"
+#include "table_format.h"
+
+namespace {
+
+using namespace preinfer;
+
+/// Two methods with guarded divisions: a failing ACL for inference plus a
+/// repeat query so the per-request solve cache is exercised — the same
+/// workload shape as preinfer-serve --smoke.
+constexpr const char* kBenchSource =
+    "method div(a: int, b: int) : int {\\n"
+    "    var q = a / b;\\n"
+    "    assert(q * b <= a);\\n"
+    "    return q;\\n"
+    "}\\n"
+    "method half(a: int, b: int) : int {\\n"
+    "    assert(b != 0);\\n"
+    "    return a / b + a / 2;\\n"
+    "}\\n";
+
+struct ClientResult {
+    std::vector<double> latencies_ms;
+    int ok = 0;
+    int bad = 0;
+};
+
+/// One closed-loop client: send a request, block for its response line,
+/// repeat. Request ids alternate between the two methods so both the cached
+/// and uncached solver paths stay on the measured path.
+ClientResult run_client(const std::string& address, int requests, int client) {
+    ClientResult result;
+    std::string error;
+    const int fd = api::connect_client(address, &error);
+    if (fd < 0) {
+        std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+        result.bad = requests;
+        return result;
+    }
+    std::string buffer;
+    std::size_t pos = 0;
+    result.latencies_ms.reserve(static_cast<std::size_t>(requests));
+    for (int r = 0; r < requests; ++r) {
+        const char* method = r % 2 == 0 ? "div" : "half";
+        const std::string line = "{\"id\":\"c" + std::to_string(client) + "-" +
+                                 std::to_string(r) + "\",\"method\":\"" + method +
+                                 "\",\"max_tests\":24,\"max_solver_calls\":384,"
+                                 "\"source\":\"" +
+                                 kBenchSource + "\"}\n";
+        const auto start = std::chrono::steady_clock::now();
+        std::size_t sent = 0;
+        bool failed = false;
+        while (sent < line.size()) {
+            const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                                     MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                failed = true;
+                break;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        std::string response;
+        while (!failed) {
+            const std::size_t nl = buffer.find('\n', pos);
+            if (nl != std::string::npos) {
+                response.assign(buffer, pos, nl - pos);
+                pos = nl + 1;
+                break;
+            }
+            char chunk[16384];
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buffer.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            failed = true;
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (failed || response.find("\"ok\":true") == std::string::npos) {
+            ++result.bad;
+            if (result.bad == 1) {
+                std::fprintf(stderr, "client %d request %d: %s\n", client, r,
+                             failed ? "connection failed" : response.c_str());
+            }
+            if (failed) break;
+            continue;
+        }
+        ++result.ok;
+        result.latencies_ms.push_back(ms);
+    }
+    ::close(fd);
+    return result;
+}
+
+struct Row {
+    int connections = 0;
+    int requests = 0;
+    int bad = 0;
+    double wall_ms = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double reqs_per_s = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0;
+    const std::size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[index];
+}
+
+/// One benchmark row: a fresh server, `connections` closed-loop clients,
+/// `per_connection` requests each.
+Row run_row(int connections, int per_connection, int jobs) {
+    api::ServerOptions options;
+    options.listen = "/tmp/preinfer-bench-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(connections) + ".sock";
+    options.serve.jobs = jobs;
+    options.max_sessions = connections + 4;
+    api::Server server(options);
+    std::string error;
+    Row row;
+    row.connections = connections;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "server start: %s\n", error.c_str());
+        row.bad = connections * per_connection;
+        return row;
+    }
+
+    std::vector<ClientResult> results(static_cast<std::size_t>(connections));
+    const auto start = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<std::size_t>(connections));
+        const std::string address = server.address();
+        for (int c = 0; c < connections; ++c) {
+            clients.emplace_back([&results, &address, per_connection, c] {
+                results[static_cast<std::size_t>(c)] =
+                    run_client(address, per_connection, c);
+            });
+        }
+        for (std::thread& t : clients) t.join();
+    }
+    row.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    server.stop();
+
+    std::vector<double> latencies;
+    for (ClientResult& result : results) {
+        row.requests += result.ok;
+        row.bad += result.bad;
+        latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                         result.latencies_ms.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    row.p50_ms = percentile(latencies, 0.50);
+    row.p99_ms = percentile(latencies, 0.99);
+    row.reqs_per_s = row.wall_ms > 0 ? row.requests / (row.wall_ms / 1000.0) : 0;
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    int per_connection = 32;
+    int jobs = 0;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            per_connection = 6;
+        } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            per_connection = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_serve [--smoke] [--requests N] "
+                         "[--jobs N] [--json PATH]\n");
+            return 2;
+        }
+    }
+    if (json_path == nullptr && !smoke) json_path = "BENCH_serve.json";
+
+    std::puts("preinfer-serve socket server — closed-loop latency/throughput");
+    if (smoke) std::printf("(smoke slice: %d requests/connection)\n", per_connection);
+
+    const std::vector<int> connection_counts =
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8, 16, 32};
+    std::vector<Row> rows;
+    int bad = 0;
+    for (const int connections : connection_counts) {
+        rows.push_back(run_row(connections, per_connection, jobs));
+        bad += rows.back().bad;
+    }
+
+    bench::Table table(
+        {"Connections", "Requests", "Wall ms", "p50 ms", "p99 ms", "Reqs/s"});
+    for (const Row& row : rows) {
+        table.add_row({std::to_string(row.connections),
+                       std::to_string(row.requests), bench::fmt_f(row.wall_ms, 0),
+                       bench::fmt_f(row.p50_ms, 2), bench::fmt_f(row.p99_ms, 2),
+                       bench::fmt_f(row.reqs_per_s, 1)});
+    }
+    table.print();
+    if (bad > 0) std::fprintf(stderr, "%d request(s) failed\n", bad);
+
+    if (json_path != nullptr) {
+        std::FILE* out = std::fopen(json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"bench\": \"serve\",\n"
+                     "  \"smoke\": %s,\n"
+                     "  \"requests_per_connection\": %d,\n"
+                     "  \"rows\": [\n",
+                     smoke ? "true" : "false", per_connection);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row& row = rows[i];
+            std::fprintf(out,
+                         "    {\"connections\": %d, \"requests\": %d, "
+                         "\"wall_ms\": %.1f, \"p50_ms\": %.2f, \"p99_ms\": %.2f, "
+                         "\"reqs_per_s\": %.1f}%s\n",
+                         row.connections, row.requests, row.wall_ms, row.p50_ms,
+                         row.p99_ms, row.reqs_per_s,
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(out,
+                     "  ],\n"
+                     "  \"failed_requests\": %d\n"
+                     "}\n",
+                     bad);
+        std::fclose(out);
+        std::printf("[json -> %s]\n", json_path);
+    }
+    return bad == 0 ? 0 : 1;
+}

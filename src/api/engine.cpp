@@ -1,5 +1,6 @@
 #include "src/api/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <latch>
@@ -78,6 +79,28 @@ gen::ExplorerConfig make_explorer_config(const PipelineLimits& limits, Fault fau
             break;
     }
     return c;
+}
+
+PipelineLimits limits_for_deadline(const PipelineLimits& limits, int deadline_ms) {
+    if (deadline_ms <= 0) return limits;
+    // Calibration: on the reference build the table-3 corpus sustains on
+    // the order of 4 generated tests and 64 residual solver calls per
+    // millisecond per worker (BENCH_solver.json / micro_core). A deadline
+    // caps each budget at that rate, so a request cannot overrun its
+    // deadline by more than one budget granule; budgets the caller already
+    // set lower are never raised.
+    constexpr std::int64_t kTestsPerMs = 4;
+    constexpr std::int64_t kSolverCallsPerMs = 64;
+    const std::int64_t ms = deadline_ms;
+    const auto capped = [](int base, std::int64_t cap, std::int64_t floor) {
+        return static_cast<int>(
+            std::min<std::int64_t>(base, std::max(cap, floor)));
+    };
+    PipelineLimits out = limits;
+    out.max_tests = capped(limits.max_tests, ms * kTestsPerMs, 1);
+    out.max_solver_calls =
+        capped(limits.max_solver_calls, ms * kSolverCallsPerMs, 8);
+    return out;
 }
 
 ResolvedConfig resolve(const eval::HarnessConfig& config) {

@@ -38,6 +38,16 @@ struct PipelineLimits {
 [[nodiscard]] gen::ExplorerConfig make_explorer_config(const PipelineLimits& limits,
                                                        Fault fault = Fault::None);
 
+/// Deadline → budget translation for the serve layer (docs/SERVING.md):
+/// clamps the exploration budgets to what one engine worker can spend in
+/// roughly `deadline_ms` milliseconds. Deadlines are deterministic budget
+/// caps — the serving-side analogue of the paper's max_tests /
+/// max_solver_calls bounds — not wall-clock preemption, so identical
+/// requests still produce identical responses on loaded and idle servers.
+/// deadline_ms <= 0 returns `limits` unchanged.
+[[nodiscard]] PipelineLimits limits_for_deadline(const PipelineLimits& limits,
+                                                 int deadline_ms);
+
 /// Fully-resolved per-request pipeline configuration: everything run_unit
 /// needs, with every historical client's knobs translated into one shape.
 /// eval::HarnessConfig resolves losslessly via resolve() below; the CLI and

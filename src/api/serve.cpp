@@ -1,7 +1,18 @@
 #include "src/api/serve.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -15,12 +26,14 @@ namespace preinfer::api {
 namespace {
 
 /// One request line after parsing: either a dispatchable InferRequest or a
-/// pre-failed slot carrying the parse error. Both occupy a position in the
-/// batch so responses always come out in input order.
+/// pre-failed slot carrying the parse error (or a load-shed marker). Every
+/// kind occupies a position in the batch so responses always come out in
+/// input order.
 struct Pending {
     std::string id;
     std::string error;
     bool has_request = false;
+    bool shed = false;  ///< admission control turned this slot away
     InferRequest request;
 };
 
@@ -36,18 +49,94 @@ bool parse_bool(const std::string& value, bool& out) {
     return false;
 }
 
-bool parse_int(const std::string& value, int& out) {
+enum class IntParse { Ok, NotInteger, OutOfRange };
+
+/// Full-string, overflow-checked integer parse: strtoll's ERANGE and values
+/// outside int both report OutOfRange instead of silently truncating (the
+/// old static_cast<int> wrapped {"max_tests": 99999999999} to a bogus
+/// budget).
+IntParse parse_int(const std::string& value, int& out) {
+    if (value.empty()) return IntParse::NotInteger;
+    errno = 0;
     char* end = nullptr;
     const long long parsed = std::strtoll(value.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || value.empty()) return false;
+    if (end == value.c_str() || end == nullptr || *end != '\0') {
+        return IntParse::NotInteger;
+    }
+    if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+        return IntParse::OutOfRange;
+    }
     out = static_cast<int>(parsed);
+    return IntParse::Ok;
+}
+
+/// Budget fields (max_tests, max_solver_calls) must be non-negative ints;
+/// everything else is a structured per-field error.
+bool parse_budget_field(const char* key, const std::string& value, int& out,
+                        std::string& error) {
+    int parsed = 0;
+    switch (parse_int(value, parsed)) {
+        case IntParse::NotInteger:
+            error = std::string("field \"") + key + "\" is not an integer";
+            return false;
+        case IntParse::OutOfRange:
+            error = std::string("field \"") + key +
+                    "\" is out of range (expected 0..2147483647)";
+            return false;
+        case IntParse::Ok: break;
+    }
+    if (parsed < 0) {
+        error = std::string("field \"") + key + "\" must be non-negative";
+        return false;
+    }
+    out = parsed;
+    return true;
+}
+
+bool parse_deadline_field(const std::string& value, int& out, std::string& error) {
+    int parsed = 0;
+    switch (parse_int(value, parsed)) {
+        case IntParse::NotInteger:
+            error = "field \"deadline_ms\" is not an integer";
+            return false;
+        case IntParse::OutOfRange:
+            error = "field \"deadline_ms\" is out of range (expected 1..2147483647)";
+            return false;
+        case IntParse::Ok: break;
+    }
+    if (parsed <= 0) {
+        error = "field \"deadline_ms\" must be positive";
+        return false;
+    }
+    out = parsed;
+    return true;
+}
+
+/// Wire names match fuzz::fault_mode_name (the fuzz layer static_asserts
+/// the enum correspondence with api::Fault).
+bool parse_fault_field(const std::string& value, Fault& out) {
+    if (value == "none") {
+        out = Fault::None;
+    } else if (value == "solver-starvation") {
+        out = Fault::SolverStarvation;
+    } else if (value == "solver-blackout") {
+        out = Fault::SolverBlackout;
+    } else if (value == "step-exhaustion") {
+        out = Fault::StepExhaustion;
+    } else if (value == "pool-pressure") {
+        out = Fault::PoolPressure;
+    } else {
+        return false;
+    }
     return true;
 }
 
 /// Translates one wire request (docs/SERVING.md request schema) into an
 /// engine request. Unknown fields are errors: the schema is closed so that
-/// typos fail loudly instead of silently running with defaults.
-Pending parse_request_line(const std::string& line) {
+/// typos fail loudly instead of silently running with defaults. Repeated
+/// fields are errors for the same reason — last-wins would let a duplicated
+/// `source` or budget silently shadow the one the client meant.
+Pending parse_request_line(const std::string& line, const ServeOptions& options) {
     Pending p;
     std::string parse_error;
     const auto fields = support::parse_flat_object(line, &parse_error);
@@ -56,8 +145,27 @@ Pending parse_request_line(const std::string& line) {
         return p;
     }
 
+    // Capture the id before any schema check so even rejected lines
+    // correlate: a duplicate-field error still echoes the (first) id.
+    for (const auto& [key, value] : *fields) {
+        if (key == "id") {
+            p.id = value;
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < fields->size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if ((*fields)[i].first == (*fields)[j].first) {
+                p.error = "duplicate field \"" + (*fields)[i].first + "\"";
+                return p;
+            }
+        }
+    }
+
     std::string subject;
     PipelineLimits limits;
+    Fault fault = Fault::None;
+    int deadline_ms = options.default_deadline_ms;
     bool validate = false;
     bool baselines = false;
     bool have_source = false;
@@ -74,13 +182,19 @@ Pending parse_request_line(const std::string& line) {
             p.request.source = value;
             have_source = true;
         } else if (key == "max_tests") {
-            if (!parse_int(value, limits.max_tests)) {
-                p.error = "field \"max_tests\" is not an integer";
+            if (!parse_budget_field("max_tests", value, limits.max_tests, p.error)) {
                 return p;
             }
         } else if (key == "max_solver_calls") {
-            if (!parse_int(value, limits.max_solver_calls)) {
-                p.error = "field \"max_solver_calls\" is not an integer";
+            if (!parse_budget_field("max_solver_calls", value,
+                                    limits.max_solver_calls, p.error)) {
+                return p;
+            }
+        } else if (key == "deadline_ms") {
+            if (!parse_deadline_field(value, deadline_ms, p.error)) return p;
+        } else if (key == "fault" && options.allow_fault) {
+            if (!parse_fault_field(value, fault)) {
+                p.error = "unknown fault \"" + value + "\"";
                 return p;
             }
         } else if (key == "validate") {
@@ -103,12 +217,23 @@ Pending parse_request_line(const std::string& line) {
         return p;
     }
 
+    if (deadline_ms > 0) limits = limits_for_deadline(limits, deadline_ms);
     p.request.subject = subject.empty() ? "serve" : subject;
-    p.request.config.explore = make_explorer_config(limits);
+    p.request.config.explore = make_explorer_config(limits, fault);
     p.request.config.validate = validate;
     p.request.config.run_fixit = baselines;
     p.request.config.run_dysy = baselines;
     p.has_request = true;
+    return p;
+}
+
+/// Pre-failed slot for a line the reader refused to buffer. The line (and
+/// any id inside it) was discarded, so the response correlates by position
+/// only — clients that rely on ids must keep lines under the bound.
+Pending oversized_pending(std::size_t max_line_bytes) {
+    Pending p;
+    p.error =
+        "request line exceeds " + std::to_string(max_line_bytes) + " bytes";
     return p;
 }
 
@@ -185,6 +310,202 @@ std::string render_response(const Pending& pending, const InferResponse* respons
     return out;
 }
 
+struct BatchCounts {
+    int requests = 0;
+    int failed = 0;
+    int shed = 0;
+    int dispatched = 0;  ///< requests actually handed to infer_all
+};
+
+/// Dispatches the batch's live requests on the engine and appends one
+/// newline-terminated response per slot — parse failures, shed slots and
+/// engine answers alike — to `out`, in input order. Shared by the
+/// stdin/stdout loop and every socket session.
+BatchCounts dispatch_batch(InferenceEngine& engine, std::vector<Pending>& batch,
+                           const ServeOptions& options, std::string& out) {
+    BatchCounts counts;
+    std::vector<InferRequest> requests;
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch[i].has_request) continue;
+        requests.push_back(std::move(batch[i].request));
+        slots.push_back(i);
+    }
+    const std::vector<InferResponse> responses = engine.infer_all(requests);
+    counts.dispatched = static_cast<int>(slots.size());
+    std::vector<const InferResponse*> by_slot(batch.size(), nullptr);
+    for (std::size_t j = 0; j < responses.size(); ++j) {
+        by_slot[slots[j]] = &responses[j];
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++counts.requests;
+        if (by_slot[i] == nullptr || !by_slot[i]->ok) ++counts.failed;
+        if (batch[i].shed) ++counts.shed;
+        out += render_response(batch[i], by_slot[i], options);
+        out += '\n';
+    }
+    return counts;
+}
+
+// --- socket plumbing ---------------------------------------------------------
+
+constexpr const char* kOverloadedLine =
+    "{\"id\":\"\",\"ok\":false,\"error\":\"overloaded\"}\n";
+
+void set_error(std::string* error, std::string message) {
+    if (error != nullptr) *error = std::move(message);
+}
+
+bool write_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+        const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/// Listen/connect address grammar: any string containing '/' is a
+/// unix-domain socket path; otherwise `host:port` (IPv4 dotted quad or
+/// `localhost`; port 0 = ephemeral when listening).
+struct ParsedAddress {
+    bool unix_socket = false;
+    std::string path;
+    std::string host;
+    int port = 0;
+};
+
+bool parse_address(const std::string& address, ParsedAddress& out,
+                   std::string* error) {
+    if (address.empty()) {
+        set_error(error, "empty listen address");
+        return false;
+    }
+    if (address.find('/') != std::string::npos) {
+        sockaddr_un sun{};
+        if (address.size() >= sizeof(sun.sun_path)) {
+            set_error(error, "unix socket path too long: " + address);
+            return false;
+        }
+        out.unix_socket = true;
+        out.path = address;
+        return true;
+    }
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == address.size()) {
+        set_error(error,
+                  "address must be a unix socket path (containing '/') or "
+                  "host:port, got \"" +
+                      address + "\"");
+        return false;
+    }
+    out.unix_socket = false;
+    out.host = address.substr(0, colon);
+    if (out.host == "localhost") out.host = "127.0.0.1";
+    int port = 0;
+    switch (parse_int(address.substr(colon + 1), port)) {
+        case IntParse::Ok: break;
+        default:
+            set_error(error, "invalid port in \"" + address + "\"");
+            return false;
+    }
+    if (port < 0 || port > 65535) {
+        set_error(error, "port out of range in \"" + address + "\"");
+        return false;
+    }
+    out.port = port;
+    in_addr probe{};
+    if (::inet_pton(AF_INET, out.host.c_str(), &probe) != 1) {
+        set_error(error, "invalid IPv4 host \"" + out.host + "\"");
+        return false;
+    }
+    return true;
+}
+
+/// recv-backed line framing with the same oversized-line policy as the
+/// stdin loop: a line past max_line is dropped through the next newline and
+/// surfaced as Oversized exactly once, so the session answers it and
+/// resynchronizes instead of buffering without bound.
+class LineReader {
+public:
+    LineReader(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
+
+    enum class Next { Line, NoData, Oversized, Eof };
+
+    /// blocking=false only drains what the kernel already buffered
+    /// (MSG_DONTWAIT) — the socket analogue of in_avail() batching.
+    Next next(std::string& line, bool blocking) {
+        while (true) {
+            const std::size_t nl = buffer_.find('\n', pos_);
+            if (nl != std::string::npos) {
+                line.assign(buffer_, pos_, nl - pos_);
+                pos_ = nl + 1;
+                if (pos_ > (1u << 16)) {
+                    buffer_.erase(0, pos_);
+                    pos_ = 0;
+                }
+                return classify(line);
+            }
+            if (buffer_.size() - pos_ > max_line_) {
+                // No newline yet and already past the bound: drop what we
+                // have and keep dropping until the line ends.
+                buffer_.clear();
+                pos_ = 0;
+                discarding_ = true;
+            }
+            if (eof_) {
+                if (pos_ < buffer_.size()) {
+                    line.assign(buffer_, pos_, std::string::npos);
+                    buffer_.clear();
+                    pos_ = 0;
+                    return classify(line);
+                }
+                if (discarding_) {
+                    discarding_ = false;
+                    return Next::Oversized;
+                }
+                return Next::Eof;
+            }
+            char chunk[16384];
+            const ssize_t n =
+                ::recv(fd_, chunk, sizeof chunk, blocking ? 0 : MSG_DONTWAIT);
+            if (n > 0) {
+                buffer_.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                eof_ = true;
+                continue;
+            }
+            if (errno == EINTR) continue;
+            if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                return Next::NoData;
+            }
+            // Connection error: treat as EOF after flushing the buffer.
+            eof_ = true;
+        }
+    }
+
+private:
+    Next classify(const std::string& line) {
+        if (discarding_) {
+            discarding_ = false;
+            return Next::Oversized;
+        }
+        return line.size() > max_line_ ? Next::Oversized : Next::Line;
+    }
+
+    int fd_;
+    std::size_t max_line_;
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    bool discarding_ = false;
+    bool eof_ = false;
+};
+
 }  // namespace
 
 ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) {
@@ -209,28 +530,20 @@ ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) 
                 break;
             }
             if (line.empty()) continue;
-            batch.push_back(parse_request_line(line));
+            if (line.size() > options.max_line_bytes) {
+                batch.push_back(oversized_pending(options.max_line_bytes));
+                continue;
+            }
+            batch.push_back(parse_request_line(line, options));
         }
         if (batch.empty()) continue;
         ++stats.batches;
 
-        std::vector<InferRequest> requests;
-        std::vector<std::size_t> slots;
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            if (!batch[i].has_request) continue;
-            requests.push_back(std::move(batch[i].request));
-            slots.push_back(i);
-        }
-        const std::vector<InferResponse> responses = engine.infer_all(requests);
-        std::vector<const InferResponse*> by_slot(batch.size(), nullptr);
-        for (std::size_t j = 0; j < responses.size(); ++j) {
-            by_slot[slots[j]] = &responses[j];
-        }
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            ++stats.requests;
-            if (by_slot[i] == nullptr || !by_slot[i]->ok) ++stats.failed;
-            out << render_response(batch[i], by_slot[i], options) << '\n';
-        }
+        std::string rendered;
+        const BatchCounts counts = dispatch_batch(engine, batch, options, rendered);
+        stats.requests += counts.requests;
+        stats.failed += counts.failed;
+        out << rendered;
         out.flush();
     }
 
@@ -238,6 +551,327 @@ ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) 
     stats.cache_hits = engine_stats.cache_hits;
     stats.cache_misses = engine_stats.cache_misses;
     return stats;
+}
+
+// --- Server ------------------------------------------------------------------
+
+/// One accepted connection: the fd stays owned by the Server (closed at
+/// reap/stop time, never by the session thread, so a concurrently-opened
+/// descriptor can never be recycled into a stale shutdown() target).
+struct Server::Session {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_([this] {
+          InferenceEngine::Options o;
+          o.jobs = options_.serve.jobs;
+          o.trace.enabled = options_.serve.trace;
+          return o;
+      }()) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+    ParsedAddress addr;
+    if (!parse_address(options_.listen, addr, error)) return false;
+    unix_socket_ = addr.unix_socket;
+
+    if (addr.unix_socket) {
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listen_fd_ < 0) {
+            set_error(error, std::string("socket: ") + std::strerror(errno));
+            return false;
+        }
+        sockaddr_un sun{};
+        sun.sun_family = AF_UNIX;
+        std::strncpy(sun.sun_path, addr.path.c_str(), sizeof(sun.sun_path) - 1);
+        // A stale path from a dead server would make bind fail; live
+        // servers hold the listening socket, not just the path, so
+        // replacing the file is the conventional unix-socket dance.
+        ::unlink(addr.path.c_str());
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+            set_error(error, "bind " + addr.path + ": " + std::strerror(errno));
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return false;
+        }
+        address_ = addr.path;
+    } else {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listen_fd_ < 0) {
+            set_error(error, std::string("socket: ") + std::strerror(errno));
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+        ::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr);
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+            set_error(error,
+                      "bind " + options_.listen + ": " + std::strerror(errno));
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+        address_ = addr.host + ":" + std::to_string(ntohs(bound.sin_port));
+    }
+
+    if (::listen(listen_fd_, options_.backlog > 0 ? options_.backlog : 1) != 0) {
+        set_error(error, "listen: " + std::string(std::strerror(errno)));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::pipe(wake_fds_) != 0) {
+        set_error(error, "pipe: " + std::string(std::strerror(errno)));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    ::fcntl(wake_fds_[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(wake_fds_[1], F_SETFD, FD_CLOEXEC);
+
+    acceptor_ = std::thread([this] { accept_loop(); });
+    return true;
+}
+
+bool Server::try_admit() {
+    int current = in_flight_.load(std::memory_order_relaxed);
+    while (true) {
+        if (current >= options_.max_pending) return false;
+        if (in_flight_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_relaxed)) {
+            return true;
+        }
+    }
+}
+
+void Server::release_admitted(int n) {
+    if (n > 0) in_flight_.fetch_sub(n, std::memory_order_relaxed);
+}
+
+void Server::reap_finished_sessions() {
+    for (std::size_t i = 0; i < sessions_.size();) {
+        if (!sessions_[i]->done.load()) {
+            ++i;
+            continue;
+        }
+        if (sessions_[i]->thread.joinable()) sessions_[i]->thread.join();
+        if (sessions_[i]->fd >= 0) ::close(sessions_[i]->fd);
+        sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+void Server::accept_loop() {
+    while (!draining_.load()) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds[1].revents != 0) break;  // woken for drain
+        if ((fds[0].revents & POLLIN) == 0) continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            break;
+        }
+        ::fcntl(client, F_SETFD, FD_CLOEXEC);
+
+        std::lock_guard<std::mutex> lock(mu_);
+        reap_finished_sessions();
+        int active = 0;
+        for (const auto& session : sessions_) {
+            if (!session->done.load()) ++active;
+        }
+        if (draining_.load() || active >= options_.max_sessions) {
+            // Session-level shedding: one structured line, then close. The
+            // client learns it was turned away instead of hanging in a
+            // connect backlog that never drains.
+            (void)write_all(client, kOverloadedLine);
+            ::close(client);
+            rejected_sessions_.fetch_add(1);
+            continue;
+        }
+        auto session = std::make_unique<Session>();
+        session->fd = client;
+        Session* raw = session.get();
+        sessions_.push_back(std::move(session));
+        connections_.fetch_add(1);
+        raw->thread = std::thread([this, raw] { session_loop(*raw); });
+    }
+}
+
+void Server::session_loop(Session& session) {
+    LineReader reader(session.fd, options_.serve.max_line_bytes);
+    const int batch_max = options_.serve.batch_max > 0 ? options_.serve.batch_max : 1;
+    bool eof = false;
+    while (!eof) {
+        // Same shape as run_serve: block for the first line, then drain
+        // only what the kernel already buffered, up to batch_max.
+        std::vector<Pending> batch;
+        std::string line;
+        while (static_cast<int>(batch.size()) < batch_max) {
+            const LineReader::Next next = reader.next(line, batch.empty());
+            if (next == LineReader::Next::NoData) break;
+            if (next == LineReader::Next::Eof) {
+                eof = true;
+                break;
+            }
+            if (next == LineReader::Next::Oversized) {
+                batch.push_back(oversized_pending(options_.serve.max_line_bytes));
+                continue;
+            }
+            if (line.empty()) continue;
+            batch.push_back(parse_request_line(line, options_.serve));
+        }
+        if (batch.empty()) continue;
+
+        // Admission control: every request must take a slot under
+        // max_pending before it may reach the engine; the ones that cannot
+        // are answered "overloaded" in their input positions.
+        int admitted = 0;
+        for (Pending& pending : batch) {
+            if (!pending.has_request) continue;
+            if (try_admit()) {
+                ++admitted;
+            } else {
+                pending.has_request = false;
+                pending.request = InferRequest{};
+                pending.shed = true;
+                pending.error = "overloaded";
+            }
+        }
+
+        std::string rendered;
+        const BatchCounts counts =
+            dispatch_batch(engine_, batch, options_.serve, rendered);
+        release_admitted(admitted);
+        batches_.fetch_add(1);
+        requests_.fetch_add(counts.requests);
+        failed_.fetch_add(counts.failed);
+        shed_.fetch_add(counts.shed);
+        if (!write_all(session.fd, rendered)) break;  // client went away
+    }
+    // Half-close so a client waiting for EOF unblocks; the fd itself is
+    // closed by the owner (reap/stop) to avoid descriptor-recycling races.
+    ::shutdown(session.fd, SHUT_RDWR);
+    session.done.store(true);
+}
+
+void Server::request_stop() {
+    if (draining_.exchange(true)) return;
+    if (wake_fds_[1] >= 0) {
+        const char byte = 1;
+        (void)!::write(wake_fds_[1], &byte, 1);
+    }
+}
+
+ServerStats Server::stop() {
+    request_stop();
+    if (!stopped_.exchange(true)) {
+        if (acceptor_.joinable()) acceptor_.join();
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        if (unix_socket_) ::unlink(address_.c_str());
+        {
+            // Graceful drain: SHUT_RD lets each session read out everything
+            // the kernel already received for it (recv serves the buffered
+            // bytes before reporting EOF), answer it, and exit — in-flight
+            // work is finished, nothing new is admitted.
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto& session : sessions_) {
+                if (session->fd >= 0) ::shutdown(session->fd, SHUT_RD);
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& session : sessions_) {
+            if (session->thread.joinable()) session->thread.join();
+            if (session->fd >= 0) ::close(session->fd);
+        }
+        sessions_.clear();
+        for (int& fd : wake_fds_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+    }
+    return stats();
+}
+
+ServerStats Server::stats() const {
+    ServerStats s;
+    s.connections = connections_.load();
+    s.rejected_sessions = rejected_sessions_.load();
+    s.requests = requests_.load();
+    s.failed = failed_.load();
+    s.shed = shed_.load();
+    s.batches = batches_.load();
+    const InferenceEngine::Stats engine_stats = engine_.stats();
+    s.cache_hits = engine_stats.cache_hits;
+    s.cache_misses = engine_stats.cache_misses;
+    return s;
+}
+
+ServerStats run_server(const ServerOptions& options, int wake_fd,
+                       std::string* error) {
+    Server server(options);
+    if (!server.start(error)) return {};
+    pollfd wake{wake_fd, POLLIN, 0};
+    // EINTR here is the expected delivery path: the signal handler wrote to
+    // the self-pipe, and the re-poll observes it readable.
+    while (::poll(&wake, 1, -1) < 0 && errno == EINTR) {
+    }
+    return server.stop();
+}
+
+int connect_client(const std::string& address, std::string* error) {
+    ParsedAddress addr;
+    if (!parse_address(address, addr, error)) return -1;
+    int fd = -1;
+    if (addr.unix_socket) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            set_error(error, std::string("socket: ") + std::strerror(errno));
+            return -1;
+        }
+        sockaddr_un sun{};
+        sun.sun_family = AF_UNIX;
+        std::strncpy(sun.sun_path, addr.path.c_str(), sizeof(sun.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+            set_error(error, "connect " + addr.path + ": " + std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            set_error(error, std::string("socket: ") + std::strerror(errno));
+            return -1;
+        }
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+        ::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+            set_error(error, "connect " + address + ": " + std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+    }
+    return fd;
 }
 
 }  // namespace preinfer::api

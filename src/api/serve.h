@@ -1,7 +1,14 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/api/engine.h"
 
@@ -20,6 +27,15 @@ struct ServeOptions {
     /// Attach each request's JSONL trace (escaped, docs/OBSERVABILITY.md
     /// events) to its response as the `trace` field.
     bool trace = false;
+    /// Longest request line accepted. Longer lines are discarded up to the
+    /// next newline and answered with a structured `ok:false` response, so
+    /// one runaway client line cannot grow the input buffer unboundedly.
+    std::size_t max_line_bytes = 1 << 20;
+    /// Applied to requests that carry no `deadline_ms` field; 0 = none.
+    int default_deadline_ms = 0;
+    /// Accept the wire `fault` field (docs/SERVING.md). Off by default: the
+    /// schema is closed, and fault injection is a fuzz/chaos-only seam.
+    bool allow_fault = false;
 };
 
 /// Counters for one serve loop run, reported by preinfer-serve on exit.
@@ -38,5 +54,122 @@ struct ServeStats {
 /// JSON response object per request to `out`, in input order. Malformed
 /// lines produce `"ok":false` responses and never abort the loop.
 ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options = {});
+
+/// Options for the multi-client socket front end (docs/SERVING.md § socket
+/// transport). One Server owns one InferenceEngine; every connection is a
+/// line-framed session whose batches feed the engine's shared thread pool.
+struct ServerOptions {
+    ServeOptions serve;
+    /// Listen address: a unix-domain socket path (any string containing
+    /// '/') or an IPv4 `host:port` endpoint. Port 0 picks an ephemeral
+    /// port, resolved into Server::address() after start().
+    std::string listen;
+    /// listen(2) backlog for the accept queue.
+    int backlog = 128;
+    /// Concurrent sessions served; connections beyond this are answered
+    /// with one `ok:false,"error":"overloaded"` line and closed.
+    int max_sessions = 64;
+    /// Admission-control bound: requests admitted into the engine but not
+    /// yet answered, across all sessions. A batch that would push past it
+    /// has its excess requests shed with `ok:false,"error":"overloaded"`
+    /// responses (in their input slots) instead of queueing unboundedly.
+    int max_pending = 256;
+};
+
+/// Counters for one server run. requests/failed/batches/cache_* mirror
+/// ServeStats; sheds and session counts are socket-front-end additions.
+struct ServerStats {
+    std::int64_t connections = 0;        ///< sessions accepted and served
+    std::int64_t rejected_sessions = 0;  ///< connections shed at accept
+    std::int64_t requests = 0;           ///< responses written (all sessions)
+    std::int64_t failed = 0;             ///< responses with ok == false
+    std::int64_t shed = 0;     ///< `"error":"overloaded"` responses written
+    std::int64_t batches = 0;  ///< infer_all dispatches
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+};
+
+/// A multi-client socket server around one warm InferenceEngine. Lifecycle:
+/// construct, start() (binds + spawns the acceptor), optionally watch
+/// stats(), then stop() — which stops accepting, lets every session finish
+/// the requests it already received (graceful drain), joins all threads and
+/// returns the final stats. The destructor stops implicitly.
+///
+/// Per-session contract: responses are written strictly in that session's
+/// input order (shed responses included), exactly like run_serve. Sessions
+/// are independent; cross-session ordering is unspecified.
+class Server {
+public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds and starts accepting. False (with `error` filled) on bad
+    /// addresses or socket failures; the server is then inert.
+    [[nodiscard]] bool start(std::string* error = nullptr);
+
+    /// The resolved listen address — for `host:0`, the ephemeral port is
+    /// filled in. Valid after start() succeeded.
+    [[nodiscard]] const std::string& address() const { return address_; }
+
+    /// Begins graceful drain: stop accepting and wake idle sessions. Safe
+    /// from any thread (but not from a signal handler — serve_main routes
+    /// SIGTERM through a self-pipe instead).
+    void request_stop();
+
+    /// request_stop() plus join: blocks until every session drained, then
+    /// returns the final stats. Idempotent.
+    ServerStats stop();
+
+    /// Snapshot of the counters so far (sessions still running).
+    [[nodiscard]] ServerStats stats() const;
+
+private:
+    struct Session;
+
+    void accept_loop();
+    void session_loop(Session& session);
+    /// Reserves one admission slot; false when max_pending are in flight.
+    [[nodiscard]] bool try_admit();
+    void release_admitted(int n);
+    void reap_finished_sessions();
+
+    ServerOptions options_;
+    InferenceEngine engine_;
+    std::string address_;
+    bool unix_socket_ = false;
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1};  ///< self-pipe waking the acceptor's poll
+    std::thread acceptor_;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<int> in_flight_{0};
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Session>> sessions_ PI_GUARDED_BY(mu_);
+
+    // Front-end counters (engine cache totals come from engine_.stats()).
+    std::atomic<std::int64_t> connections_{0};
+    std::atomic<std::int64_t> rejected_sessions_{0};
+    std::atomic<std::int64_t> requests_{0};
+    std::atomic<std::int64_t> failed_{0};
+    std::atomic<std::int64_t> shed_{0};
+    std::atomic<std::int64_t> batches_{0};
+};
+
+/// Blocking convenience for serve_main: starts a Server, waits until
+/// `wake_fd` becomes readable (the SIGTERM self-pipe), then drains and
+/// returns the final stats. On startup failure fills `error` and returns
+/// zeroed stats.
+ServerStats run_server(const ServerOptions& options, int wake_fd,
+                       std::string* error = nullptr);
+
+/// Connects a blocking stream socket to `address` (same grammar as
+/// ServerOptions::listen). Returns the fd, or -1 with `error` filled.
+/// Client side of the wire for tests, bench_serve and the fuzz fleet.
+[[nodiscard]] int connect_client(const std::string& address,
+                                 std::string* error = nullptr);
 
 }  // namespace preinfer::api

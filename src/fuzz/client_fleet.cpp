@@ -1,0 +1,332 @@
+#include "src/fuzz/client_fleet.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "src/api/serve.h"
+#include "src/fuzz/gen_program.h"
+#include "src/support/trace.h"
+
+namespace preinfer::fuzz {
+
+namespace {
+
+/// One request line the fleet will send, with the response contract it
+/// must observe back.
+struct Planned {
+    std::string line;  ///< newline-terminated wire bytes
+    std::string id;    ///< id the response must echo ("" for malformed lines)
+    enum class Kind {
+        Normal,     ///< well-formed; expect ok:true or "overloaded"
+        BadBudget,  ///< overflowing max_tests; expect the range error
+        DupKey,     ///< repeated field; expect the duplicate error
+        Malformed,  ///< not JSON; expect ok:false with id ""
+    } kind = Kind::Normal;
+};
+
+std::string escape(const std::string& s) {
+    std::string out;
+    support::json_escape_to(out, s);
+    return out;
+}
+
+/// The request mix for one (connection, request) slot. Generated programs
+/// carry the inference load; every sixth slot stresses a wire error path,
+/// and the healthy slots cycle validation, tight deadlines and — when
+/// enabled — the injected fault seams (solver-unknown, pool-limit).
+Planned plan_request(const FleetConfig& config, int connection, int index) {
+    Planned planned;
+    planned.id = "c" + std::to_string(connection) + "-r" + std::to_string(index);
+    const std::uint64_t seed = derive_seed(
+        config.seed, static_cast<std::uint64_t>(connection) * 131071u +
+                         static_cast<std::uint64_t>(index));
+    GenConfig gen;
+    gen.max_block_stmts = 3;
+    gen.max_stmt_depth = 2;
+    const std::string source = generate_source(seed, gen);
+
+    switch (index % 6) {
+        case 2:
+            planned.kind = Planned::Kind::BadBudget;
+            planned.line = "{\"id\":\"" + planned.id +
+                           "\",\"max_tests\":99999999999,\"source\":\"" +
+                           escape(source) + "\"}\n";
+            return planned;
+        case 4:
+            if (index % 12 == 4) {
+                planned.kind = Planned::Kind::DupKey;
+                planned.line = "{\"id\":\"" + planned.id +
+                               "\",\"source\":\"x\",\"source\":\"y\"}\n";
+            } else {
+                planned.kind = Planned::Kind::Malformed;
+                planned.id = "";
+                planned.line = "this is not a request\n";
+            }
+            return planned;
+        default: break;
+    }
+
+    std::string extras = "\"max_tests\":24,\"max_solver_calls\":384";
+    if (index % 6 == 3) extras += ",\"validate\":true";
+    if (index % 6 == 5) extras += ",\"deadline_ms\":2";  // exercises the clamp
+    if (index % 6 == 1 && config.inject_faults) {
+        extras += std::string(",\"fault\":\"") +
+                  fault_mode_name(kFaultModes[1 + (index % 4)]) + "\"";
+    }
+    planned.line = "{\"id\":\"" + planned.id + "\"," + extras + ",\"source\":\"" +
+                   escape(source) + "\"}\n";
+    return planned;
+}
+
+/// Blocking line reader over the client socket with a receive timeout, so
+/// a server that drops a response fails the run instead of hanging it.
+class ClientReader {
+public:
+    explicit ClientReader(int fd) : fd_(fd) {
+        timeval timeout{};
+        timeout.tv_sec = 60;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    }
+
+    /// False on EOF, error or timeout.
+    bool next(std::string& line) {
+        while (true) {
+            const std::size_t nl = buffer_.find('\n', pos_);
+            if (nl != std::string::npos) {
+                line.assign(buffer_, pos_, nl - pos_);
+                pos_ = nl + 1;
+                return true;
+            }
+            char chunk[16384];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buffer_.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+    }
+
+private:
+    int fd_;
+    std::string buffer_;
+    std::size_t pos_ = 0;
+};
+
+bool contains(const std::string& haystack, const char* needle) {
+    return haystack.find(needle) != std::string::npos;
+}
+
+struct ClientTally {
+    std::int64_t ok = 0;
+    std::int64_t failed = 0;
+    std::int64_t shed = 0;
+    std::vector<Violation> violations;
+
+    void violate(std::string check, std::string detail) {
+        violations.push_back({std::move(check), std::move(detail)});
+    }
+};
+
+/// One fleet client: connect, send every planned line in one write (so the
+/// session sees them as one batch — the admission-control worst case), then
+/// read exactly one response per request and check the contract.
+ClientTally run_client(const FleetConfig& config, const std::string& address,
+                       int connection) {
+    ClientTally tally;
+    const std::string tag = "connection " + std::to_string(connection);
+
+    std::vector<Planned> plan;
+    std::string wire;
+    for (int r = 0; r < config.requests_per_connection; ++r) {
+        plan.push_back(plan_request(config, connection, r));
+        wire += plan.back().line;
+    }
+
+    std::string error;
+    const int fd = api::connect_client(address, &error);
+    if (fd < 0) {
+        tally.violate("fleet-connect", tag + ": " + error);
+        return tally;
+    }
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n =
+            ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            tally.violate("fleet-send", tag + ": send failed after " +
+                                            std::to_string(sent) + " bytes");
+            ::close(fd);
+            return tally;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    ClientReader reader(fd);
+    std::string line;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const Planned& expected = plan[i];
+        const std::string slot = tag + " response " + std::to_string(i);
+        if (!reader.next(line)) {
+            tally.violate("fleet-missing-response",
+                          slot + ": connection ended after " + std::to_string(i) +
+                              " of " + std::to_string(plan.size()) + " responses");
+            break;
+        }
+        // Per-connection in-order correlation: the i-th response must echo
+        // the i-th request's id (or "" when the line was unparseable).
+        const std::string want_prefix = "{\"id\":\"" + expected.id + "\",";
+        if (line.rfind(want_prefix, 0) != 0) {
+            tally.violate("fleet-order",
+                          slot + ": expected id \"" + expected.id + "\", got: " +
+                              line.substr(0, 80));
+            continue;
+        }
+        const bool is_ok = contains(line, "\"ok\":true");
+        const bool is_err = contains(line, "\"ok\":false") && contains(line, "\"error\":\"");
+        if (!is_ok && !is_err) {
+            tally.violate("fleet-malformed-response", slot + ": " + line.substr(0, 120));
+            continue;
+        }
+        const bool is_shed = is_err && contains(line, "\"error\":\"overloaded\"");
+        if (is_ok) ++tally.ok;
+        if (is_err) ++tally.failed;
+        if (is_shed) ++tally.shed;
+
+        switch (expected.kind) {
+            case Planned::Kind::Normal:
+                // Healthy, deadline-capped and fault-injected requests must
+                // all degrade gracefully: an engine answer or a shed, never
+                // a schema error or a dropped line.
+                if (!is_ok && !is_shed) {
+                    tally.violate("fleet-unexpected-failure",
+                                  slot + ": " + line.substr(0, 160));
+                }
+                break;
+            case Planned::Kind::BadBudget:
+                if (!contains(line, "out of range")) {
+                    tally.violate("fleet-error-contract",
+                                  slot + ": overflowing budget not rejected: " +
+                                      line.substr(0, 120));
+                }
+                break;
+            case Planned::Kind::DupKey:
+                if (!contains(line, "duplicate field")) {
+                    tally.violate("fleet-error-contract",
+                                  slot + ": duplicate key not rejected: " +
+                                      line.substr(0, 120));
+                }
+                break;
+            case Planned::Kind::Malformed:
+                if (is_ok) {
+                    tally.violate("fleet-error-contract",
+                                  slot + ": malformed line answered ok:true");
+                }
+                break;
+        }
+    }
+    ::close(fd);
+    return tally;
+}
+
+}  // namespace
+
+FleetReport run_client_fleet(const FleetConfig& config) {
+    FleetReport report;
+    const int connections = config.connections > 0 ? config.connections : 1;
+    const int per_connection = config.requests_per_connection > 0
+                                   ? config.requests_per_connection
+                                   : 1;
+    FleetConfig effective = config;
+    effective.connections = connections;
+    effective.requests_per_connection = per_connection;
+
+    std::optional<api::Server> server;
+    std::string address = config.connect;
+    if (address.empty()) {
+        api::ServerOptions options;
+        options.listen = "/tmp/preinfer-fleet-" + std::to_string(::getpid()) +
+                         "-" + std::to_string(config.seed) + ".sock";
+        options.serve.jobs = config.jobs;
+        // One write per client == one batch per session: batch_max must
+        // admit the whole burst so admission control (not framing) decides.
+        options.serve.batch_max = per_connection;
+        options.serve.allow_fault = true;
+        options.max_pending = config.max_pending > 0 ? config.max_pending : 256;
+        options.max_sessions = connections + 4;
+        server.emplace(options);
+        std::string error;
+        if (!server->start(&error)) {
+            report.violations.push_back({"fleet-server-start", error});
+            return report;
+        }
+        address = server->address();
+    }
+
+    std::vector<ClientTally> tallies(static_cast<std::size_t>(connections));
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<std::size_t>(connections));
+        for (int c = 0; c < connections; ++c) {
+            clients.emplace_back([&effective, &address, &tallies, c] {
+                tallies[static_cast<std::size_t>(c)] =
+                    run_client(effective, address, c);
+            });
+        }
+        for (std::thread& t : clients) t.join();
+    }
+
+    report.connections = connections;
+    report.requests =
+        static_cast<std::int64_t>(connections) * per_connection;
+    for (ClientTally& tally : tallies) {
+        report.ok += tally.ok;
+        report.failed += tally.failed;
+        report.shed += tally.shed;
+        for (Violation& v : tally.violations) {
+            report.violations.push_back(std::move(v));
+        }
+    }
+
+    if (server) {
+        const api::ServerStats stats = server->stop();
+        if (stats.requests != report.requests) {
+            report.violations.push_back(
+                {"fleet-stats-mismatch",
+                 "server answered " + std::to_string(stats.requests) +
+                     " requests, fleet sent " + std::to_string(report.requests)});
+        }
+        if (stats.shed != report.shed) {
+            report.violations.push_back(
+                {"fleet-stats-mismatch",
+                 "server counted " + std::to_string(stats.shed) +
+                     " shed responses, clients observed " +
+                     std::to_string(report.shed)});
+        }
+        if (stats.connections != connections) {
+            report.violations.push_back(
+                {"fleet-stats-mismatch",
+                 "server served " + std::to_string(stats.connections) +
+                     " connections, fleet opened " + std::to_string(connections)});
+        }
+    }
+    if (config.expect_shed && report.shed == 0) {
+        report.violations.push_back(
+            {"fleet-no-shed",
+         "expected load-shedding under max_pending=" +
+             std::to_string(config.max_pending) + " but saw no overloaded response"});
+    }
+    return report;
+}
+
+}  // namespace preinfer::fuzz

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/diff_oracle.h"
+
+namespace preinfer::fuzz {
+
+/// Configuration of the serve client fleet (docs/FUZZING.md § client
+/// fleet): N concurrent socket clients hammering a preinfer-serve socket
+/// server with generated programs, malformed lines, bad budgets, deadlines
+/// and (via the wire fault seam) the solver-unknown / pool-limit fault
+/// modes, checking the serving contract from the client side.
+struct FleetConfig {
+    int connections = 8;
+    int requests_per_connection = 12;
+    std::uint64_t seed = 1;
+    /// Sprinkle `fault` fields over the requests (requires the server to
+    /// run with allow_fault; the in-process server always does).
+    bool inject_faults = true;
+    /// Require at least one `"error":"overloaded"` response: set together
+    /// with a tiny max_pending to prove load-shedding engages.
+    bool expect_shed = false;
+    /// Admission bound of the in-process server (ignored with `connect`).
+    int max_pending = 256;
+    /// Engine worker threads of the in-process server; 0 = hardware.
+    int jobs = 0;
+    /// Address of an already-running server (unix path or host:port).
+    /// Empty: spawn an in-process api::Server on a private unix socket and
+    /// also cross-check its final stats against the fleet's observations.
+    std::string connect;
+};
+
+/// What the fleet observed, plus every contract violation. The checks are
+/// the serving-side analogue of the differential oracle: every request line
+/// gets exactly one response, responses arrive in per-connection input
+/// order with the request's id echoed, every response is structurally
+/// well-formed, schema errors fail loudly, shed responses say "overloaded",
+/// and (in-process) the server's own counters agree with the clients'.
+struct FleetReport {
+    std::int64_t connections = 0;
+    std::int64_t requests = 0;
+    std::int64_t ok = 0;
+    std::int64_t failed = 0;  ///< ok:false responses (shed included)
+    std::int64_t shed = 0;    ///< `"error":"overloaded"` responses
+    std::vector<Violation> violations;
+
+    [[nodiscard]] bool ok_run() const { return violations.empty(); }
+};
+
+/// Runs the fleet to completion (all clients joined; in-process server
+/// drained via its graceful-stop path). Never throws.
+[[nodiscard]] FleetReport run_client_fleet(const FleetConfig& config);
+
+}  // namespace preinfer::fuzz

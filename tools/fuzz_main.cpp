@@ -7,18 +7,30 @@
 //
 //   preinfer-fuzz [--seed S] [--iters N] [--fault MODE|all|none]
 //                 [--minimize] [--quiet]
+//   preinfer-fuzz --fleet N [--fleet-requests M] [--fleet-connect ADDR]
+//                 [--fleet-max-pending K] [--fleet-expect-shed] [--seed S]
 //
 // --iters defaults to the PREINFER_FUZZ_ITERS environment variable (the
 // ctest smoke target sets 25), else 200. Exit code 1 iff any violation was
 // observed; every violation prints its seed so
 // `preinfer-fuzz --seed <base> --iters ...` (or check_program on the
 // printed program-seed) reproduces it exactly.
+//
+// --fleet N switches to the serve client fleet (docs/FUZZING.md): N
+// concurrent socket clients hammer a preinfer-serve socket server — an
+// in-process one on a private unix socket by default, or an external one
+// via --fleet-connect — with generated programs, wire-level error cases,
+// deadlines and injected fault seams, checking the serving contract
+// (one in-order response per line, structured errors, "overloaded" sheds)
+// from the client side. Same exit contract: 1 iff any violation.
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "src/fuzz/client_fleet.h"
 #include "src/fuzz/diff_oracle.h"
 #include "src/fuzz/gen_program.h"
 
@@ -46,6 +58,39 @@ struct Tally {
     int skipped_replays = 0;
     int violations = 0;
 };
+
+/// Strict numeric flag parsing for the fleet flags: full-string,
+/// range-checked, exit code 2 on anything else (same contract as
+/// preinfer-serve's flag parser).
+int parse_int_flag(const std::string& flag, const char* value, int min_value,
+                   int max_value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || parsed < min_value ||
+        parsed > max_value) {
+        std::cerr << "error: " << flag << " expects an integer in [" << min_value
+                  << ", " << max_value << "], got '" << value << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
+}
+
+int run_fleet(const preinfer::fuzz::FleetConfig& config, bool quiet) {
+    const preinfer::fuzz::FleetReport report =
+        preinfer::fuzz::run_client_fleet(config);
+    for (const preinfer::fuzz::Violation& v : report.violations) {
+        std::cerr << "VIOLATION [" << v.check << "] " << v.detail << "\n";
+    }
+    if (!quiet || !report.ok_run()) {
+        std::cout << "preinfer-fuzz --fleet: " << report.connections
+                  << " connections, " << report.requests << " requests ("
+                  << report.ok << " ok, " << report.failed << " failed, "
+                  << report.shed << " shed), " << report.violations.size()
+                  << " violations\n";
+    }
+    return report.ok_run() ? 0 : 1;
+}
 
 bool parse_fault(const std::string& name, FaultMode& out) {
     for (const FaultMode mode : preinfer::fuzz::kFaultModes) {
@@ -99,6 +144,8 @@ void absorb(const OracleReport& report, const OracleConfig& cfg, const Options& 
 
 int main(int argc, char** argv) {
     Options opts;
+    preinfer::fuzz::FleetConfig fleet;
+    bool fleet_mode = false;
     if (const char* env = std::getenv("PREINFER_FUZZ_ITERS")) {
         opts.iters = std::atoi(env);
     }
@@ -121,14 +168,34 @@ int main(int argc, char** argv) {
             opts.minimize = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--fleet") {
+            fleet.connections = parse_int_flag(arg, value(), 1, 4096);
+            fleet_mode = true;
+        } else if (arg == "--fleet-requests") {
+            fleet.requests_per_connection = parse_int_flag(arg, value(), 1, 65536);
+        } else if (arg == "--fleet-connect") {
+            fleet.connect = value();
+        } else if (arg == "--fleet-max-pending") {
+            fleet.max_pending = parse_int_flag(arg, value(), 1, 1 << 20);
+        } else if (arg == "--fleet-expect-shed") {
+            fleet.expect_shed = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: preinfer-fuzz [--seed S] [--iters N] "
-                         "[--fault MODE|all|none] [--minimize] [--quiet]\n";
+                         "[--fault MODE|all|none] [--minimize] [--quiet]\n"
+                         "       preinfer-fuzz --fleet N [--fleet-requests M] "
+                         "[--fleet-connect ADDR]\n"
+                         "                     [--fleet-max-pending K] "
+                         "[--fleet-expect-shed] [--seed S]\n";
             return 0;
         } else {
             std::cerr << "error: unknown argument " << arg << "\n";
             return 2;
         }
+    }
+    if (fleet_mode) {
+        fleet.seed = opts.seed;
+        fleet.inject_faults = opts.fault != "none";
+        return run_fleet(fleet, opts.quiet);
     }
     FaultMode fixed_fault = FaultMode::None;
     const bool cycle_faults = opts.fault == "all";

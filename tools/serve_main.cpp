@@ -1,17 +1,32 @@
-// preinfer-serve: long-lived JSONL inference server over stdin/stdout
-// (docs/SERVING.md). One InferenceEngine stays alive for the whole stream;
-// request lines are batched onto its shared thread pool and answered in
-// input order, so a warm server amortizes thread-pool spin-up across
-// requests while keeping responses deterministic.
+// preinfer-serve: long-lived JSONL inference server (docs/SERVING.md).
+// One InferenceEngine stays alive for the whole process; request lines are
+// batched onto its shared thread pool and answered in input order, so a
+// warm server amortizes thread-pool spin-up across requests while keeping
+// responses deterministic.
 //
 //   preinfer-serve [--jobs N] [--batch N] [--trace] [--smoke N]
+//                  [--listen ADDR] [--max-pending N] [--max-sessions N]
+//                  [--deadline-ms N] [--allow-fault]
+//
+// Without --listen the server speaks stdin/stdout to one client. With
+// --listen ADDR (a unix socket path containing '/', or IPv4 host:port) it
+// becomes a multi-client socket server: per-connection line-framed
+// sessions, per-request deadline budgets, admission control with
+// structured "overloaded" load-shedding, and graceful drain on
+// SIGTERM/SIGINT (stop accepting, finish requests already received, close).
 //
 // --smoke N bypasses stdin: it feeds N concurrent requests (a fixed
 // two-method program, validation on) through one engine and exits 0 only if
 // every response is ok and the warm engine's solver cache served hits. The
 // ctest target preinfer_serve_smoke runs `--smoke 8`.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -32,6 +47,23 @@ constexpr const char* kSmokeSource =
     "    assert(b != 0);\n"
     "    return a / b + a / 2;\n"
     "}\n";
+
+/// Strict numeric flag parsing: full-string, range-checked, exit code 2 on
+/// anything else. Replaces the old unvalidated std::atoi, which silently
+/// accepted `--jobs abc` as 0 and `--batch -3` as -3.
+int parse_int_flag(const std::string& flag, const char* value, int min_value,
+                   int max_value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || parsed < min_value ||
+        parsed > max_value) {
+        std::cerr << "error: " << flag << " expects an integer in [" << min_value
+                  << ", " << max_value << "], got '" << value << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
+}
 
 int run_smoke(int count, preinfer::api::ServeOptions options) {
     options.batch_max = count;
@@ -74,11 +106,53 @@ int run_smoke(int count, preinfer::api::ServeOptions options) {
     return 0;
 }
 
+// SIGTERM/SIGINT delivery for the socket server: the handler only writes a
+// byte to a self-pipe (async-signal-safe); run_server polls the read end
+// and performs the graceful drain on the main thread.
+int g_stop_pipe_write = -1;
+
+void on_stop_signal(int) {
+    const char byte = 1;
+    if (g_stop_pipe_write >= 0) {
+        (void)!::write(g_stop_pipe_write, &byte, 1);
+    }
+}
+
+int run_listen(const preinfer::api::ServerOptions& options) {
+    int stop_pipe[2] = {-1, -1};
+    if (::pipe(stop_pipe) != 0) {
+        std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    g_stop_pipe_write = stop_pipe[1];
+    std::signal(SIGTERM, on_stop_signal);
+    std::signal(SIGINT, on_stop_signal);
+
+    std::string error;
+    const preinfer::api::ServerStats stats =
+        preinfer::api::run_server(options, stop_pipe[0], &error);
+    ::close(stop_pipe[0]);
+    ::close(stop_pipe[1]);
+    if (!error.empty()) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+    std::cerr << "preinfer-serve: drained; " << stats.connections
+              << " connection(s) (" << stats.rejected_sessions << " rejected), "
+              << stats.requests << " requests (" << stats.failed << " failed, "
+              << stats.shed << " shed) in " << stats.batches
+              << " batch(es), solver-cache hits " << stats.cache_hits
+              << " misses " << stats.cache_misses << "\n";
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    preinfer::api::ServeOptions options;
+    preinfer::api::ServerOptions server_options;
+    preinfer::api::ServeOptions& options = server_options.serve;
     int smoke = 0;
+    bool listen = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -89,18 +163,36 @@ int main(int argc, char** argv) {
             return argv[++i];
         };
         if (arg == "--jobs") {
-            options.jobs = std::atoi(value());
+            options.jobs = parse_int_flag(arg, value(), 0, 4096);
         } else if (arg == "--batch") {
-            options.batch_max = std::atoi(value());
+            options.batch_max = parse_int_flag(arg, value(), 1, 65536);
         } else if (arg == "--trace") {
             options.trace = true;
         } else if (arg == "--smoke") {
-            smoke = std::atoi(value());
+            smoke = parse_int_flag(arg, value(), 1, 65536);
+        } else if (arg == "--listen") {
+            server_options.listen = value();
+            listen = true;
+        } else if (arg == "--max-pending") {
+            server_options.max_pending = parse_int_flag(arg, value(), 1, 1 << 20);
+        } else if (arg == "--max-sessions") {
+            server_options.max_sessions = parse_int_flag(arg, value(), 1, 65536);
+        } else if (arg == "--deadline-ms") {
+            options.default_deadline_ms =
+                parse_int_flag(arg, value(), 0, INT_MAX);
+        } else if (arg == "--allow-fault") {
+            options.allow_fault = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: preinfer-serve [--jobs N] [--batch N] [--trace] "
-                         "[--smoke N]\n"
-                         "reads one JSON request per line from stdin, writes one "
-                         "JSON response per line to stdout (docs/SERVING.md)\n";
+            std::cout
+                << "usage: preinfer-serve [--jobs N] [--batch N] [--trace] "
+                   "[--smoke N]\n"
+                   "                      [--listen ADDR] [--max-pending N] "
+                   "[--max-sessions N]\n"
+                   "                      [--deadline-ms N] [--allow-fault]\n"
+                   "default: one JSON request per stdin line, one JSON response "
+                   "per stdout line\n"
+                   "--listen: multi-client socket server on a unix path or IPv4 "
+                   "host:port; SIGTERM drains gracefully (docs/SERVING.md)\n";
             return 0;
         } else {
             std::cerr << "error: unknown argument " << arg << "\n";
@@ -108,6 +200,7 @@ int main(int argc, char** argv) {
         }
     }
     if (smoke > 0) return run_smoke(smoke, options);
+    if (listen) return run_listen(server_options);
 
     const preinfer::api::ServeStats stats =
         preinfer::api::run_serve(std::cin, std::cout, options);
