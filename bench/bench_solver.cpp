@@ -8,13 +8,16 @@
 // so the repo's perf trajectory is tracked across PRs (the committed file
 // keeps the pre-PR baseline next to the current numbers).
 //
-//   bench_solver [--smoke] [--json PATH] [--jobs N]
+//   bench_solver [--smoke] [--json PATH] [--jobs N] [--backend il|ast]
 //
 // --smoke runs a two-subject slice in a few seconds and skips the JSON
 // write unless --json is given; it is registered as a ctest so this binary
 // cannot rot. The preconditions fingerprint hashes every inferred
 // precondition string in row order — equal fingerprints across two builds
 // mean the solver changes did not disturb a single inference result.
+// --backend runs the pipeline's concolic executions on the chosen backend
+// (docs/IL.md); the fingerprint is backend-invariant by contract, so
+// comparing two runs isolates the dispatch cost inside the full workload.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +25,7 @@
 
 #include "bench_common.h"
 #include "src/eval/report.h"
+#include "src/exec/executor.h"
 
 namespace {
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     bool smoke = false;
     const char* json_path = nullptr;
     int jobs_override = 0;
+    exec::Backend backend = exec::Backend::IL;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -71,9 +76,13 @@ int main(int argc, char** argv) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             jobs_override = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc &&
+                   exec::parse_backend(argv[i + 1], backend)) {
+            ++i;
         } else {
             std::fprintf(stderr,
-                         "usage: bench_solver [--smoke] [--json PATH] [--jobs N]\n");
+                         "usage: bench_solver [--smoke] [--json PATH] [--jobs N] "
+                         "[--backend il|ast]\n");
             return 2;
         }
     }
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
 
     eval::HarnessConfig config = bench::parallel_harness_config();
     if (jobs_override > 0) config.jobs = jobs_override;
+    config.explore.backend = backend;
+    config.validation.explore.backend = backend;
     support::MetricsRegistry::global().reset();
 
     std::vector<eval::Subject> subjects = eval::corpus();
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
     const std::uint64_t fingerprint = preconditions_fingerprint(result);
 
     bench::Table table({"Metric", "Value"});
+    table.add_row({"backend", exec::backend_name(backend)});
     table.add_row({"methods", std::to_string(result.methods.size())});
     table.add_row({"harness wall ms", bench::fmt_f(result.wall_ms, 0)});
     table.add_row({"solver queries", std::to_string(queries)});
@@ -130,6 +142,7 @@ int main(int argc, char** argv) {
                      "{\n"
                      "  \"bench\": \"solver\",\n"
                      "  \"smoke\": %s,\n"
+                     "  \"backend\": \"%s\",\n"
                      "  \"jobs\": %d,\n"
                      "  \"methods\": %zu,\n"
                      "  \"harness_wall_ms\": %.1f,\n"
@@ -142,8 +155,8 @@ int main(int argc, char** argv) {
                      "  \"cache_misses\": %lld,\n"
                      "  \"preconditions_fingerprint\": \"%016llx\"\n"
                      "}\n",
-                     smoke ? "true" : "false", result.jobs,
-                     result.methods.size(), result.wall_ms,
+                     smoke ? "true" : "false", exec::backend_name(backend),
+                     result.jobs, result.methods.size(), result.wall_ms,
                      static_cast<double>(solve_us.sum()) / 1000.0,
                      static_cast<long long>(queries),
                      static_cast<long long>(solve_us.count()),

@@ -9,6 +9,12 @@
 //
 //   fuzz_throughput [--smoke] [--seed S] [--iters N] [--json PATH]
 //
+// A second phase isolates the interpreter dispatch cost: the same generated
+// programs and the same explored inputs are replayed through each concolic
+// backend (the direct-threaded bytecode interpreter vs the AST walker,
+// docs/IL.md) with no solver or inference in the loop, reporting
+// executions/s per backend and the IL/AST speedup ratio into the same JSON.
+//
 // --smoke runs a short fixed-seed slice and skips the JSON write unless
 // --json is given; it is registered as a ctest (`bench_fuzz_smoke`) so this
 // binary cannot rot. Any oracle violation makes the bench fail — throughput
@@ -17,10 +23,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/exec/executor.h"
 #include "src/fuzz/diff_oracle.h"
 #include "src/fuzz/gen_program.h"
+#include "src/gen/explorer.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+#include "src/sym/expr_pool.h"
 #include "table_format.h"
 
 namespace {
@@ -49,6 +63,45 @@ struct Tally {
         }
     }
 };
+
+/// One generated program with the inputs its exploration produced, ready to
+/// be replayed through either backend.
+struct DispatchSubject {
+    lang::Program program;
+    std::vector<exec::Input> inputs;
+};
+
+struct DispatchStats {
+    long long executions = 0;
+    long long steps = 0;
+    double wall_ms = 0.0;
+};
+
+/// Replays every input of every subject `reps` times through `backend`.
+/// The executor is built once per subject (exactly how gen::Explorer uses
+/// it), so IL pays its compile cost inside the measured window.
+DispatchStats run_dispatch(const std::vector<DispatchSubject>& subjects,
+                           exec::Backend backend, int reps) {
+    DispatchStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    for (const DispatchSubject& subject : subjects) {
+        sym::ExprPool pool;
+        const std::unique_ptr<exec::Executor> interp = exec::make_executor(
+            backend, pool, subject.program.methods[0], exec::ExecLimits{},
+            &subject.program);
+        for (int r = 0; r < reps; ++r) {
+            for (const exec::Input& input : subject.inputs) {
+                const exec::RunResult rr = interp->run(input);
+                ++stats.executions;
+                stats.steps += rr.steps;
+            }
+        }
+    }
+    stats.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return stats;
+}
 
 }  // namespace
 
@@ -114,6 +167,58 @@ int main(int argc, char** argv) {
     table.add_row({"violations", std::to_string(tally.violations)});
     table.print();
 
+    // Phase 2 — dispatch cost in isolation. Reuse the fuzzer's generator to
+    // build a program set, explore each once to harvest concrete inputs,
+    // then replay the identical (program, input) stream through each
+    // backend. No solver, no pruning, no inference: the delta is pure
+    // interpreter dispatch (plus IL's one-time compile, charged to IL).
+    const int dispatch_programs = smoke ? 4 : 32;
+    const int dispatch_reps = smoke ? 2 : 20;
+    std::vector<DispatchSubject> subjects;
+    for (int i = 0; static_cast<int>(subjects.size()) < dispatch_programs;
+         ++i) {
+        const std::uint64_t program_seed =
+            fuzz::derive_seed(seed, 0x10000u + static_cast<std::uint64_t>(i));
+        DispatchSubject subject;
+        subject.program = lang::parse_program(fuzz::generate_source(program_seed));
+        lang::type_check(subject.program);
+        lang::label_blocks(subject.program);
+        sym::ExprPool pool;
+        gen::Explorer explorer(pool, subject.program.methods[0], {},
+                               &subject.program);
+        for (gen::Test& test : explorer.explore().tests)
+            subject.inputs.push_back(std::move(test.input));
+        if (!subject.inputs.empty()) subjects.push_back(std::move(subject));
+    }
+    const DispatchStats il = run_dispatch(subjects, exec::Backend::IL, dispatch_reps);
+    const DispatchStats ast =
+        run_dispatch(subjects, exec::Backend::Ast, dispatch_reps);
+    if (il.executions != ast.executions || il.steps != ast.steps) {
+        std::fprintf(stderr,
+                     "BACKEND DIVERGENCE: il %lld execs / %lld steps, "
+                     "ast %lld execs / %lld steps\n",
+                     il.executions, il.steps, ast.executions, ast.steps);
+        return 1;
+    }
+    const double il_per_s =
+        il.wall_ms > 0 ? il.executions / (il.wall_ms / 1000.0) : 0.0;
+    const double ast_per_s =
+        ast.wall_ms > 0 ? ast.executions / (ast.wall_ms / 1000.0) : 0.0;
+    const double speedup = ast.wall_ms > 0 ? ast.wall_ms / il.wall_ms : 0.0;
+
+    std::puts("");
+    std::puts("Backend dispatch — same programs + inputs, no solver in loop");
+    bench::Table dispatch({"Backend", "Executions", "Steps", "Wall ms",
+                           "Executions / s"});
+    dispatch.add_row({"il (bytecode)", std::to_string(il.executions),
+                      std::to_string(il.steps), bench::fmt_f(il.wall_ms, 0),
+                      bench::fmt_f(il_per_s, 0)});
+    dispatch.add_row({"ast (walker)", std::to_string(ast.executions),
+                      std::to_string(ast.steps), bench::fmt_f(ast.wall_ms, 0),
+                      bench::fmt_f(ast_per_s, 0)});
+    dispatch.print();
+    std::printf("IL speedup over AST walker: %.2fx\n", speedup);
+
     if (json_path != nullptr) {
         std::FILE* out = std::fopen(json_path, "w");
         if (out == nullptr) {
@@ -133,13 +238,24 @@ int main(int argc, char** argv) {
                      "  \"failing_tests\": %d,\n"
                      "  \"acls\": %d,\n"
                      "  \"models_replayed\": %d,\n"
-                     "  \"violations\": %d\n"
+                     "  \"violations\": %d,\n"
+                     "  \"dispatch\": {\n"
+                     "    \"programs\": %d,\n"
+                     "    \"executions_per_backend\": %lld,\n"
+                     "    \"il_wall_ms\": %.1f,\n"
+                     "    \"il_executions_per_s\": %.0f,\n"
+                     "    \"ast_wall_ms\": %.1f,\n"
+                     "    \"ast_executions_per_s\": %.0f,\n"
+                     "    \"il_speedup_vs_ast\": %.2f\n"
+                     "  }\n"
                      "}\n",
                      smoke ? "true" : "false",
                      static_cast<unsigned long long>(seed), iters, tally.programs,
                      wall_ms, seconds > 0 ? tally.programs / seconds : 0.0,
                      tally.tests, tally.failing_tests, tally.acls,
-                     tally.replayed_models, tally.violations);
+                     tally.replayed_models, tally.violations,
+                     static_cast<int>(subjects.size()), il.executions,
+                     il.wall_ms, il_per_s, ast.wall_ms, ast_per_s, speedup);
         std::fclose(out);
         std::printf("[json -> %s]\n", json_path);
     }

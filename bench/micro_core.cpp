@@ -7,6 +7,7 @@
 #include "src/core/generalize.h"
 #include "src/core/preinfer.h"
 #include "src/eval/corpus.h"
+#include "src/exec/concolic.h"
 #include "src/gen/explorer.h"
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"

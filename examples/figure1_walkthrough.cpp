@@ -11,6 +11,7 @@
 
 #include "src/core/preinfer.h"
 #include "src/core/pruning.h"
+#include "src/exec/concolic.h"
 #include "src/gen/explorer.h"
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"

@@ -13,6 +13,7 @@
 
 #include "src/core/preinfer.h"
 #include "src/core/pred_eval.h"
+#include "src/exec/concolic.h"
 #include "src/gen/explorer.h"
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"

@@ -11,6 +11,7 @@
 #include "src/baselines/fixit.h"
 #include "src/core/complexity.h"
 #include "src/eval/spec.h"
+#include "src/exec/executor.h"
 #include "src/gen/oracle.h"
 #include "src/lang/blocks.h"
 #include "src/lang/parser.h"
@@ -174,6 +175,7 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
             .field("subject", request.subject)
             .field("method", label)
             .field("params", method.params.size())
+            .field("backend", exec::backend_name(config.explore.backend))
             .emit();
         support::TraceEvent(support::TraceEventKind::PhaseBegin)
             .field("phase", "explore")

@@ -10,6 +10,7 @@
 #include "src/core/complexity.h"
 #include "src/core/guard.h"
 #include "src/eval/acl_classify.h"
+#include "src/exec/executor.h"
 #include "src/gen/fuzzer.h"
 #include "src/lang/parser.h"
 #include "src/support/diagnostics.h"
@@ -47,6 +48,9 @@ options:
                     trace nondeterministic; prefer --metrics for timing)
   --metrics         print the aggregate metrics-registry summary block
                     plus the engine's solver-cache hit/miss accounting
+  --backend NAME    concolic execution backend: il (default) or ast;
+                    results are byte-identical (docs/IL.md), ast exists
+                    for differential checking
   --help            this text
 )";
 }
@@ -108,6 +112,17 @@ ParseResult parse_args(const std::vector<std::string>& args) {
             r.options.trace_timings = true;
         } else if (a == "--metrics") {
             r.options.metrics = true;
+        } else if (a == "--backend") {
+            if (i + 1 >= args.size()) {
+                r.error = "--backend expects il or ast";
+                return r;
+            }
+            r.options.backend = args[++i];
+            exec::Backend parsed{};
+            if (!exec::parse_backend(r.options.backend, parsed)) {
+                r.error = "--backend expects il or ast";
+                return r;
+            }
         } else if (!a.empty() && a[0] == '-') {
             r.error = "unknown option " + a;
             return r;
@@ -154,6 +169,11 @@ api::InferRequest build_request(const Options& options,
 
     api::ResolvedConfig& config = request.config;
     config.explore = api::make_explorer_config({.max_tests = options.max_tests});
+    exec::Backend backend = exec::Backend::IL;
+    if (exec::parse_backend(options.backend, backend)) {
+        config.explore.backend = backend;
+        config.validation.explore.backend = backend;
+    }
     config.preinfer.generalization_enabled = options.generalize;
     config.preinfer.semantic_template_matching = options.semantic_templates;
     if (options.solver_assisted) {
@@ -245,7 +265,8 @@ int print_report(const api::InferResponse& response, const Options& options,
 
         if (options.guard_fuzz > 0) {
             core::PreconditionGuard guard(*artifacts.pool, method, r.precondition,
-                                          {}, &artifacts.program);
+                                          {}, &artifacts.program,
+                                          artifacts.explore_config.backend);
             gen::Fuzzer fuzzer(method, 42);
             std::vector<exec::Input> batch;
             batch.reserve(static_cast<std::size_t>(options.guard_fuzz));

@@ -30,6 +30,9 @@ struct Options {
     std::string trace_path;
     bool trace_timings = false;   ///< attach wall-clock fields to trace events
     bool metrics = false;         ///< print the metrics-registry summary block
+    /// Concolic execution backend: "il" (default) or "ast". Results are
+    /// byte-identical; "ast" exists for differential checking (docs/IL.md).
+    std::string backend = "il";
 };
 
 /// Parses argv (excluding argv[0]); returns nullopt + prints usage on error.

@@ -7,10 +7,11 @@ namespace preinfer::core {
 
 PreconditionGuard::PreconditionGuard(sym::ExprPool& pool, const lang::Method& method,
                                      PredPtr precondition, exec::ExecLimits limits,
-                                     const lang::Program* program)
+                                     const lang::Program* program,
+                                     exec::Backend backend)
     : method_(method),
       precondition_(std::move(precondition)),
-      interpreter_(pool, method, limits, program) {}
+      interpreter_(exec::make_executor(backend, pool, method, limits, program)) {}
 
 GuardedRun PreconditionGuard::invoke(const exec::Input& input) const {
     const exec::InputEvalEnv env(method_, input);
@@ -18,7 +19,7 @@ GuardedRun PreconditionGuard::invoke(const exec::Input& input) const {
         return {GuardedRun::Status::Rejected, {}};
     }
     GuardedRun out;
-    out.run = interpreter_.run(input);
+    out.run = interpreter_->run(input);
     out.status = out.run.outcome.failing() ? GuardedRun::Status::Escaped
                                            : GuardedRun::Status::Completed;
     return out;

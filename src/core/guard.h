@@ -1,7 +1,7 @@
 #pragma once
 
 #include "src/core/pred.h"
-#include "src/exec/concolic.h"
+#include "src/exec/executor.h"
 
 namespace preinfer::core {
 
@@ -29,7 +29,8 @@ public:
     /// `program` is required when `method` calls other methods.
     PreconditionGuard(sym::ExprPool& pool, const lang::Method& method,
                       PredPtr precondition, exec::ExecLimits limits = {},
-                      const lang::Program* program = nullptr);
+                      const lang::Program* program = nullptr,
+                      exec::Backend backend = exec::Backend::IL);
 
     [[nodiscard]] GuardedRun invoke(const exec::Input& input) const;
 
@@ -48,7 +49,7 @@ public:
 private:
     const lang::Method& method_;
     PredPtr precondition_;
-    exec::ConcolicInterpreter interpreter_;
+    std::unique_ptr<exec::Executor> interpreter_;
 };
 
 }  // namespace preinfer::core

@@ -46,12 +46,13 @@ gen::TestSuite build_validation_suite(sym::ExprPool& pool, const lang::Method& m
     if (explorer_stats) *explorer_stats = explorer.stats();
 
     gen::Fuzzer fuzzer(method, config.fuzz_seed);
-    exec::ConcolicInterpreter interp(pool, method, config.explore.exec_limits, program);
+    const std::unique_ptr<exec::Executor> interp = exec::make_executor(
+        config.explore.backend, pool, method, config.explore.exec_limits, program);
     for (int i = 0; i < config.fuzz_count; ++i) {
         gen::Test t;
         t.id = -1000 - i;
         t.input = fuzzer.next();
-        t.result = interp.run(t.input);
+        t.result = interp->run(t.input);
         suite.tests.push_back(std::move(t));
     }
     return suite;

@@ -3,13 +3,13 @@
 #include <unordered_map>
 
 #include "src/exec/heap.h"
+#include "src/exec/shadow.h"
 #include "src/support/diagnostics.h"
 
 namespace preinfer::exec {
 
 namespace {
 
-using core::AclId;
 using core::ExceptionKind;
 using lang::BinOp;
 using lang::EKind;
@@ -17,36 +17,9 @@ using lang::ExprNode;
 using lang::SKind;
 using lang::StmtNode;
 using lang::UnOp;
+using shadow::AbortSignal;
+using shadow::ExhaustedSignal;
 using sym::Expr;
-
-std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
-    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
-                                     static_cast<std::uint64_t>(b));
-}
-std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
-    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
-                                     static_cast<std::uint64_t>(b));
-}
-std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
-    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
-                                     static_cast<std::uint64_t>(b));
-}
-std::int64_t safe_div(std::int64_t a, std::int64_t b) {
-    if (b == -1) return wrap_sub(0, a);  // avoids INT64_MIN / -1 overflow UB
-    return a / b;
-}
-std::int64_t safe_mod(std::int64_t a, std::int64_t b) {
-    if (b == -1) return 0;
-    return a % b;
-}
-
-/// Unwinds execution when an assertion (implicit or explicit) fails.
-struct AbortSignal {
-    AclId acl;
-};
-
-/// Unwinds execution when a budget is exceeded.
-struct ExhaustedSignal {};
 
 /// Unwinds the statement walk on `return`, carrying the returned value.
 struct ReturnSignal {
@@ -62,7 +35,11 @@ class Machine {
 public:
     Machine(sym::ExprPool& pool, const lang::Method& method, const ExecLimits& limits,
             const Input& input, const lang::Program* program)
-        : pool_(pool), method_(method), limits_(limits), program_(program) {
+        : pool_(pool),
+          method_(method),
+          limits_(limits),
+          program_(program),
+          rec_(pool, limits, result_) {
         result_.covered_blocks.assign(static_cast<std::size_t>(method.num_blocks), false);
         scopes_.emplace_back();
         materialize_params(input);
@@ -88,127 +65,11 @@ private:
         PI_CHECK(input.args.size() == method_.params.size(),
                  "input arity does not match method signature");
         for (std::size_t i = 0; i < input.args.size(); ++i) {
-            const int pi = static_cast<int>(i);
             const lang::Param& p = method_.params[i];
-            const ArgValue& a = input.args[i];
-            CValue v;
-            switch (p.type) {
-                case lang::Type::Int:
-                    v = CValue::make_int(std::get<std::int64_t>(a),
-                                         pool_.param(pi, sym::Sort::Int));
-                    break;
-                case lang::Type::Bool:
-                    v = CValue::make_bool(std::get<bool>(a),
-                                          pool_.param(pi, sym::Sort::Bool));
-                    break;
-                case lang::Type::Str:
-                    v = materialize_str(std::get<StrInput>(a),
-                                        pool_.param(pi, sym::Sort::Obj));
-                    break;
-                case lang::Type::IntArr:
-                    v = materialize_int_arr(std::get<IntArrInput>(a),
-                                            pool_.param(pi, sym::Sort::Obj));
-                    break;
-                case lang::Type::StrArr:
-                    v = materialize_str_arr(std::get<StrArrInput>(a),
-                                            pool_.param(pi, sym::Sort::Obj));
-                    break;
-                case lang::Type::Void:
-                    PI_CHECK(false, "void parameter");
-            }
+            CValue v = shadow::materialize_arg(pool_, heap_, p.type, input.args[i],
+                                               static_cast<int>(i));
             scopes_.front().emplace(p.name, v);
         }
-    }
-
-    CValue materialize_str(const StrInput& s, const Expr* symref) {
-        if (s.is_null) return CValue::make_ref(ObjRef::null(), symref);
-        HeapObject obj;
-        obj.kind = ObjKind::Str;
-        obj.symref = symref;
-        obj.len_sym = pool_.len(symref);
-        obj.cells.reserve(s.chars.size());
-        for (std::size_t k = 0; k < s.chars.size(); ++k) {
-            obj.cells.push_back(CValue::make_int(
-                s.chars[k],
-                pool_.select(symref, pool_.int_const(static_cast<std::int64_t>(k)),
-                             sym::Sort::Int)));
-        }
-        return CValue::make_ref(heap_.alloc(std::move(obj)), symref);
-    }
-
-    CValue materialize_int_arr(const IntArrInput& a, const Expr* symref) {
-        if (a.is_null) return CValue::make_ref(ObjRef::null(), symref);
-        HeapObject obj;
-        obj.kind = ObjKind::IntArr;
-        obj.symref = symref;
-        obj.len_sym = pool_.len(symref);
-        obj.cells.reserve(a.elems.size());
-        for (std::size_t k = 0; k < a.elems.size(); ++k) {
-            obj.cells.push_back(CValue::make_int(
-                a.elems[k],
-                pool_.select(symref, pool_.int_const(static_cast<std::int64_t>(k)),
-                             sym::Sort::Int)));
-        }
-        return CValue::make_ref(heap_.alloc(std::move(obj)), symref);
-    }
-
-    CValue materialize_str_arr(const StrArrInput& a, const Expr* symref) {
-        if (a.is_null) return CValue::make_ref(ObjRef::null(), symref);
-        HeapObject obj;
-        obj.kind = ObjKind::StrArr;
-        obj.symref = symref;
-        obj.len_sym = pool_.len(symref);
-        obj.cells.reserve(a.elems.size());
-        for (std::size_t k = 0; k < a.elems.size(); ++k) {
-            const Expr* elem_sym = pool_.select(
-                symref, pool_.int_const(static_cast<std::int64_t>(k)), sym::Sort::Obj);
-            obj.cells.push_back(materialize_str(a.elems[k], elem_sym));
-        }
-        return CValue::make_ref(heap_.alloc(std::move(obj)), symref);
-    }
-
-    // --- path recording ------------------------------------------------------
-    /// Symbolic expression of an int/bool value (literal when concrete).
-    const Expr* sym_of(const CValue& v) {
-        if (v.sym) return v.sym;
-        switch (v.tag) {
-            case CValue::Tag::Int: return pool_.int_const(v.i);
-            case CValue::Tag::Bool: return pool_.bool_const(v.i != 0);
-            case CValue::Tag::Ref:
-                PI_CHECK(v.ref.is_null(), "concrete non-null reference has no expression");
-                return pool_.null_const();
-        }
-        PI_CHECK(false, "unhandled value tag");
-        return nullptr;
-    }
-
-    /// Records a branch predicate in taken polarity; drops input-independent
-    /// (constant-folding) predicates.
-    void record_branch(const CValue& cond, int site_id, ExceptionKind check,
-                       support::SourceLoc loc) {
-        if (!cond.sym) return;
-        const Expr* taken = cond.as_bool() ? cond.sym : pool_.negate(cond.sym);
-        if (taken->kind == sym::Kind::BoolConst) return;
-        if (static_cast<int>(result_.pc.preds.size()) >= limits_.max_path_preds)
-            throw ExhaustedSignal{};
-        result_.pc.preds.push_back({taken, site_id, check, loc});
-    }
-
-    /// An assertion check: records the check-derived branch predicate and
-    /// aborts the execution when the check fails. This single entry point
-    /// implements both implicit checks and explicit `assert`. The arrival
-    /// itself is recorded as a visit even when the condition constant-folds
-    /// and leaves no predicate behind.
-    void check(const CValue& cond, int site_id, ExceptionKind kind,
-               support::SourceLoc loc) {
-        result_.pc.visits.push_back(
-            {AclId{site_id, kind}, static_cast<int>(result_.pc.preds.size())});
-        record_branch(cond, site_id, kind, loc);
-        if (!cond.as_bool()) throw AbortSignal{AclId{site_id, kind}};
-    }
-
-    void tick() {
-        if (++result_.steps > limits_.max_steps) throw ExhaustedSignal{};
     }
 
     // --- variable environment -------------------------------------------------
@@ -223,13 +84,21 @@ private:
 
     // --- statements -------------------------------------------------------------
     void exec_list(const std::vector<lang::StmtPtr>& stmts) {
+        // The scope must pop even when a signal (return / break / continue /
+        // abort) unwinds the list, so that shadowed outer bindings become
+        // visible again — lexical scoping, exactly the register scoping the
+        // IL compiler bakes in at compile time (docs/IL.md).
+        struct ScopeGuard {
+            std::vector<std::unordered_map<std::string, CValue>>& scopes;
+            ~ScopeGuard() { scopes.pop_back(); }
+        };
         scopes_.emplace_back();
+        ScopeGuard guard{scopes_};
         for (const lang::StmtPtr& s : stmts) exec_stmt(*s);
-        scopes_.pop_back();
     }
 
     void exec_stmt(const StmtNode& s) {
-        tick();
+        rec_.tick();
         // Block ids are per-method; only the entry method's coverage is
         // tracked (callee blocks would alias the entry method's ids).
         if (call_depth_ == 0 && s.block_id >= 0 &&
@@ -253,7 +122,8 @@ private:
             }
             case SKind::If: {
                 CValue cond = eval(*s.expr);
-                record_branch(cond, s.expr->node_id, ExceptionKind::None, s.expr->loc);
+                rec_.record_branch(cond, s.expr->node_id, ExceptionKind::None,
+                                   s.expr->loc);
                 if (cond.as_bool()) {
                     exec_list(s.body);
                 } else {
@@ -263,9 +133,10 @@ private:
             }
             case SKind::While: {
                 for (;;) {
-                    tick();
+                    rec_.tick();
                     CValue cond = eval(*s.expr);
-                    record_branch(cond, s.expr->node_id, ExceptionKind::None, s.expr->loc);
+                    rec_.record_branch(cond, s.expr->node_id, ExceptionKind::None,
+                                       s.expr->loc);
                     if (!cond.as_bool()) break;
                     bool exited = false;
                     try {
@@ -291,7 +162,7 @@ private:
             }
             case SKind::Assert: {
                 CValue cond = eval(*s.expr);
-                check(cond, s.node_id, ExceptionKind::AssertionViolation, s.loc);
+                rec_.check(cond, s.node_id, ExceptionKind::AssertionViolation, s.loc);
                 break;
             }
             case SKind::Block:
@@ -308,54 +179,7 @@ private:
         CValue base = lookup(s.name, s.loc);
         CValue idx = eval(*s.index);
         CValue rhs = eval(*s.expr);
-        HeapObject& obj = access(base, idx, s.node_id, s.loc);
-        obj.cells[static_cast<std::size_t>(idx.i)] = rhs;
-    }
-
-    /// Shared null + bounds checking for reads and writes. Returns the heap
-    /// object; `idx` has been pinned to its concrete value if its symbolic
-    /// expression was input-dependent (index concretization).
-    HeapObject& access(const CValue& base, CValue& idx, int site_id,
-                       support::SourceLoc loc) {
-        null_check(base, site_id, loc);
-        HeapObject& obj = heap_.get_mut(base.ref);
-
-        // Index concretization: when a collection is indexed by a symbolic,
-        // non-constant expression, pin the index to the observed value so
-        // that element identities stay concrete (standard concolic
-        // treatment; loop counters fold to constants and are unaffected).
-        if (idx.sym && idx.sym->kind != sym::Kind::IntConst) {
-            CValue pin = CValue::make_bool(true, pool_.eq(idx.sym, pool_.int_const(idx.i)));
-            record_branch(pin, site_id, ExceptionKind::None, loc);
-            idx.sym = pool_.int_const(idx.i);
-        }
-
-        const Expr* len_sym = obj.len_sym;
-        CValue lower = CValue::make_bool(
-            idx.i >= 0,
-            (idx.sym || len_sym) ? pool_.ge(sym_of(idx), pool_.int_const(0)) : nullptr);
-        // A concrete index against a concrete length folds away entirely.
-        if (lower.sym && lower.sym->kind == sym::Kind::BoolConst) lower.sym = nullptr;
-        check(lower, site_id, ExceptionKind::IndexOutOfRange, loc);
-
-        const Expr* len_expr = len_sym ? len_sym : pool_.int_const(obj.len());
-        CValue upper = CValue::make_bool(idx.i < obj.len(), nullptr);
-        if (idx.sym || len_sym) {
-            const Expr* e = pool_.lt(sym_of(idx), len_expr);
-            if (e->kind != sym::Kind::BoolConst) upper.sym = e;
-        }
-        check(upper, site_id, ExceptionKind::IndexOutOfRange, loc);
-        return obj;
-    }
-
-    void null_check(const CValue& base, int site_id, support::SourceLoc loc) {
-        PI_CHECK(base.tag == CValue::Tag::Ref, "null check on non-reference");
-        const Expr* is_null_expr = base.sym ? pool_.is_null(base.sym) : nullptr;
-        CValue ok = CValue::make_bool(!base.ref.is_null(), nullptr);
-        if (is_null_expr && is_null_expr->kind != sym::Kind::BoolConst) {
-            ok.sym = pool_.not_(is_null_expr);
-        }
-        check(ok, site_id, ExceptionKind::NullReference, loc);
+        shadow::op_store(rec_, heap_, base, idx, rhs, s.node_id, s.loc);
     }
 
     // --- expressions ------------------------------------------------------------
@@ -378,10 +202,8 @@ private:
 
     CValue eval_unary(const ExprNode& e) {
         CValue v = eval(*e.lhs);
-        if (e.un == UnOp::Neg) {
-            return CValue::make_int(wrap_sub(0, v.i), v.sym ? pool_.neg(v.sym) : nullptr);
-        }
-        return CValue::make_bool(v.i == 0, v.sym ? pool_.not_(v.sym) : nullptr);
+        if (e.un == UnOp::Neg) return shadow::op_neg(pool_, v);
+        return shadow::op_not(pool_, v);
     }
 
     CValue eval_binary(const ExprNode& e) {
@@ -390,12 +212,12 @@ private:
         // operator's value is concrete on this path.
         if (e.bin == BinOp::And || e.bin == BinOp::Or) {
             CValue l = eval(*e.lhs);
-            record_branch(l, e.lhs->node_id, ExceptionKind::None, e.lhs->loc);
+            rec_.record_branch(l, e.lhs->node_id, ExceptionKind::None, e.lhs->loc);
             const bool short_circuit =
                 (e.bin == BinOp::And) ? !l.as_bool() : l.as_bool();
             if (short_circuit) return CValue::make_bool(l.as_bool());
             CValue r = eval(*e.rhs);
-            record_branch(r, e.rhs->node_id, ExceptionKind::None, e.rhs->loc);
+            rec_.record_branch(r, e.rhs->node_id, ExceptionKind::None, e.rhs->loc);
             return CValue::make_bool(r.as_bool());
         }
 
@@ -405,54 +227,25 @@ private:
             CValue l = eval(*e.lhs);
             CValue r = eval(*e.rhs);
             const CValue& refside = (e.rhs->kind == EKind::NullLit) ? l : r;
-            bool value = refside.ref.is_null();
-            const Expr* s = nullptr;
-            if (refside.sym) {
-                const Expr* isnull = pool_.is_null(refside.sym);
-                if (isnull->kind != sym::Kind::BoolConst) s = isnull;
-            }
-            if (e.bin == BinOp::Ne) {
-                value = !value;
-                if (s) s = pool_.not_(s);
-            }
-            return CValue::make_bool(value, s);
+            return shadow::op_ref_null_cmp(pool_, refside, e.bin == BinOp::Ne);
         }
 
         CValue l = eval(*e.lhs);
         CValue r = eval(*e.rhs);
-        const bool symbolic = l.sym || r.sym;
-        auto sym2 = [&](const Expr* (sym::ExprPool::*fn)(const Expr*, const Expr*)) {
-            return symbolic ? (pool_.*fn)(sym_of(l), sym_of(r)) : nullptr;
-        };
-        auto cmp2 = [&](sym::Kind op) {
-            return symbolic ? pool_.cmp(op, sym_of(l), sym_of(r)) : nullptr;
-        };
         switch (e.bin) {
-            case BinOp::Add:
-                return CValue::make_int(wrap_add(l.i, r.i), sym2(&sym::ExprPool::add));
-            case BinOp::Sub:
-                return CValue::make_int(wrap_sub(l.i, r.i), sym2(&sym::ExprPool::sub));
-            case BinOp::Mul:
-                return CValue::make_int(wrap_mul(l.i, r.i), sym2(&sym::ExprPool::mul));
+            case BinOp::Add: return shadow::op_add(pool_, l, r);
+            case BinOp::Sub: return shadow::op_sub(pool_, l, r);
+            case BinOp::Mul: return shadow::op_mul(pool_, l, r);
             case BinOp::Div:
-            case BinOp::Mod: {
-                CValue nonzero = CValue::make_bool(r.i != 0, nullptr);
-                if (r.sym) {
-                    const Expr* ne0 = pool_.ne(r.sym, pool_.int_const(0));
-                    if (ne0->kind != sym::Kind::BoolConst) nonzero.sym = ne0;
-                }
-                check(nonzero, e.node_id, ExceptionKind::DivideByZero, e.loc);
-                if (e.bin == BinOp::Div) {
-                    return CValue::make_int(safe_div(l.i, r.i), sym2(&sym::ExprPool::div));
-                }
-                return CValue::make_int(safe_mod(l.i, r.i), sym2(&sym::ExprPool::mod));
-            }
-            case BinOp::Eq: return CValue::make_bool(l.i == r.i, cmp2(sym::Kind::Eq));
-            case BinOp::Ne: return CValue::make_bool(l.i != r.i, cmp2(sym::Kind::Ne));
-            case BinOp::Lt: return CValue::make_bool(l.i < r.i, cmp2(sym::Kind::Lt));
-            case BinOp::Le: return CValue::make_bool(l.i <= r.i, cmp2(sym::Kind::Le));
-            case BinOp::Gt: return CValue::make_bool(l.i > r.i, cmp2(sym::Kind::Gt));
-            case BinOp::Ge: return CValue::make_bool(l.i >= r.i, cmp2(sym::Kind::Ge));
+            case BinOp::Mod:
+                return shadow::op_divmod(rec_, l, r, e.bin == BinOp::Div, e.node_id,
+                                         e.loc);
+            case BinOp::Eq: return shadow::op_cmp(pool_, sym::Kind::Eq, l, r);
+            case BinOp::Ne: return shadow::op_cmp(pool_, sym::Kind::Ne, l, r);
+            case BinOp::Lt: return shadow::op_cmp(pool_, sym::Kind::Lt, l, r);
+            case BinOp::Le: return shadow::op_cmp(pool_, sym::Kind::Le, l, r);
+            case BinOp::Gt: return shadow::op_cmp(pool_, sym::Kind::Gt, l, r);
+            case BinOp::Ge: return shadow::op_cmp(pool_, sym::Kind::Ge, l, r);
             case BinOp::And: case BinOp::Or: break;  // handled above
         }
         PI_CHECK(false, "unhandled binary operator");
@@ -462,45 +255,23 @@ private:
     CValue eval_index(const ExprNode& e) {
         CValue base = eval(*e.lhs);
         CValue idx = eval(*e.rhs);
-        HeapObject& obj = access(base, idx, e.node_id, e.loc);
-        return obj.cells[static_cast<std::size_t>(idx.i)];
+        return shadow::op_load(rec_, heap_, base, idx, e.node_id, e.loc);
     }
 
     CValue eval_len(const ExprNode& e) {
         CValue base = eval(*e.lhs);
-        null_check(base, e.node_id, e.loc);
-        const HeapObject& obj = heap_.get(base.ref);
-        return CValue::make_int(obj.len(), obj.len_sym);
+        return shadow::op_len(rec_, heap_, base, e.node_id, e.loc);
     }
 
     CValue eval_call(const ExprNode& e) {
         if (e.name == "iswhitespace") {
             CValue v = eval(*e.args[0]);
-            return CValue::make_bool(sym::ExprPool::whitespace_code_point(v.i),
-                                     v.sym ? pool_.is_whitespace(v.sym) : nullptr);
+            return shadow::op_is_whitespace(pool_, v);
         }
         if (e.name == "newintarray" || e.name == "newstrarray") {
             CValue n = eval(*e.args[0]);
-            // Pin a symbolic allocation size (the heap needs a concrete
-            // length), then range-check it.
-            if (n.sym && n.sym->kind != sym::Kind::IntConst) {
-                CValue pin =
-                    CValue::make_bool(true, pool_.eq(n.sym, pool_.int_const(n.i)));
-                record_branch(pin, e.node_id, ExceptionKind::None, e.loc);
-                n.sym = pool_.int_const(n.i);
-            }
-            CValue nonneg = CValue::make_bool(n.i >= 0, nullptr);
-            check(nonneg, e.node_id, ExceptionKind::IndexOutOfRange, e.loc);
-            if (n.i > limits_.max_alloc) throw ExhaustedSignal{};
-            HeapObject obj;
-            obj.kind = (e.name == "newintarray") ? ObjKind::IntArr : ObjKind::StrArr;
-            if (e.name == "newintarray") {
-                obj.cells.assign(static_cast<std::size_t>(n.i), CValue::make_int(0));
-            } else {
-                obj.cells.assign(static_cast<std::size_t>(n.i),
-                                 CValue::make_ref(ObjRef::null(), nullptr));
-            }
-            return CValue::make_ref(heap_.alloc(std::move(obj)), nullptr);
+            return shadow::op_new_array(rec_, heap_, e.name == "newstrarray", n,
+                                        e.node_id, e.loc);
         }
         // User-defined method call: bind evaluated arguments as the callee's
         // parameters, execute its body in a fresh frame, and unwind on
@@ -528,7 +299,7 @@ private:
         }
         ++call_depth_;
 
-        CValue result = default_value_of(callee->ret);
+        CValue result = shadow::default_value_of(pool_, callee->ret);
         try {
             exec_list(callee->body);
         } catch (const ReturnSignal& ret) {
@@ -543,21 +314,6 @@ private:
         return result;
     }
 
-    /// Value a non-void method yields when control falls off its end
-    /// without a `return` (MiniLang has no definite-return analysis).
-    CValue default_value_of(lang::Type t) {
-        switch (t) {
-            case lang::Type::Int: return CValue::make_int(0);
-            case lang::Type::Bool: return CValue::make_bool(false);
-            case lang::Type::Str:
-            case lang::Type::IntArr:
-            case lang::Type::StrArr:
-                return CValue::make_ref(ObjRef::null(), pool_.null_const());
-            case lang::Type::Void: return CValue::make_int(0);
-        }
-        return CValue::make_int(0);
-    }
-
     sym::ExprPool& pool_;
     const lang::Method& method_;
     const ExecLimits& limits_;
@@ -566,6 +322,7 @@ private:
     Heap heap_;
     std::vector<std::unordered_map<std::string, CValue>> scopes_;
     RunResult result_;
+    shadow::Recorder rec_;
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "src/exec/executor.h"
 #include "src/exec/input.h"
 #include "src/exec/outcome.h"
 #include "src/lang/ast.h"
@@ -7,17 +8,7 @@
 
 namespace preinfer::exec {
 
-/// Budgets that bound one concolic execution. MiniLang programs can loop
-/// forever; hitting a budget yields Outcome::Exhausted, which the test
-/// generator treats as "not a usable test" (Pex's timeouts behave the same).
-struct ExecLimits {
-    int max_steps = 200000;      ///< executed statements + loop iterations
-    int max_path_preds = 4096;   ///< recorded path-condition length
-    int max_call_depth = 64;     ///< nested user-method calls (recursion guard)
-    std::int64_t max_alloc = 1 << 20;  ///< largest program-created array
-};
-
-/// Concolic (concrete + symbolic) interpreter for one MiniLang method:
+/// AST-walking concolic (concrete + symbolic) interpreter for one MiniLang method:
 /// executes an Input concretely while shadowing every value with a symbolic
 /// expression over the method inputs, recording one path predicate per
 /// executed branch — explicit branches (`if`/`while`/`&&`/`||`) and the
@@ -27,7 +18,11 @@ struct ExecLimits {
 /// Branch predicates whose expression constant-folds (no input dependence)
 /// are not recorded, so path conditions contain only predicates over the
 /// symbolic inputs, as in the paper's Tables I-II.
-class ConcolicInterpreter {
+///
+/// This is the reference semantics; the default production backend compiles
+/// the method to the register bytecode IL instead (exec::IlInterpreter,
+/// docs/IL.md) and must match it byte for byte. Pick via exec::make_executor.
+class ConcolicInterpreter final : public Executor {
 public:
     /// `method` must be type-checked and block-labeled and must outlive the
     /// interpreter; `pool` accumulates expressions across runs so that
@@ -40,7 +35,7 @@ public:
 
     /// Executes one method-entry state. Never throws on MiniLang-level
     /// failures (they become Outcome::Exception).
-    [[nodiscard]] RunResult run(const Input& input) const;
+    [[nodiscard]] RunResult run(const Input& input) const override;
 
     [[nodiscard]] const lang::Method& method() const { return method_; }
 

@@ -1,0 +1,37 @@
+#include "src/exec/executor.h"
+
+#include "src/exec/concolic.h"
+#include "src/exec/il_interp.h"
+
+namespace preinfer::exec {
+
+const char* backend_name(Backend backend) {
+    switch (backend) {
+        case Backend::IL: return "il";
+        case Backend::Ast: return "ast";
+    }
+    return "?";
+}
+
+bool parse_backend(std::string_view name, Backend& out) {
+    if (name == "il") {
+        out = Backend::IL;
+        return true;
+    }
+    if (name == "ast") {
+        out = Backend::Ast;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<Executor> make_executor(Backend backend, sym::ExprPool& pool,
+                                        const lang::Method& method, ExecLimits limits,
+                                        const lang::Program* program) {
+    if (backend == Backend::Ast) {
+        return std::make_unique<ConcolicInterpreter>(pool, method, limits, program);
+    }
+    return std::make_unique<IlInterpreter>(pool, method, limits, program);
+}
+
+}  // namespace preinfer::exec

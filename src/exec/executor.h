@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "src/exec/input.h"
+#include "src/exec/outcome.h"
+
+namespace preinfer::lang {
+struct Method;
+struct Program;
+}  // namespace preinfer::lang
+namespace preinfer::sym {
+class ExprPool;
+}  // namespace preinfer::sym
+
+namespace preinfer::exec {
+
+/// Budgets that bound one concolic execution. MiniLang programs can loop
+/// forever; hitting a budget yields Outcome::Exhausted, which the test
+/// generator treats as "not a usable test" (Pex's timeouts behave the same).
+struct ExecLimits {
+    int max_steps = 200000;      ///< executed statements + loop iterations
+    int max_path_preds = 4096;   ///< recorded path-condition length
+    int max_call_depth = 64;     ///< nested user-method calls (recursion guard)
+    std::int64_t max_alloc = 1 << 20;  ///< largest program-created array
+};
+
+/// Which concolic execution backend runs a method (docs/IL.md). Both
+/// produce byte-identical path conditions, traces and precondition
+/// fingerprints — the AST walker is retained for differential checking
+/// (src/fuzz/diff_oracle.cpp cross-checks them on every fuzz iteration).
+enum class Backend : std::uint8_t {
+    IL,   ///< compile to the register bytecode IL, direct-threaded dispatch
+    Ast,  ///< walk the AST directly (the original interpreter)
+};
+
+[[nodiscard]] const char* backend_name(Backend backend);
+/// Parses "il" / "ast"; false on anything else.
+[[nodiscard]] bool parse_backend(std::string_view name, Backend& out);
+
+/// A concolic execution backend for one MiniLang method: executes an Input
+/// concretely while shadowing every value with a symbolic expression over
+/// the method inputs (see ConcolicInterpreter for the full contract both
+/// implementations honor).
+class Executor {
+public:
+    virtual ~Executor() = default;
+
+    /// Executes one method-entry state. Never throws on MiniLang-level
+    /// failures (they become Outcome::Exception).
+    [[nodiscard]] virtual RunResult run(const Input& input) const = 0;
+};
+
+/// Builds the requested backend. `method` must be type-checked and
+/// block-labeled; `pool`, `method` and `program` must outlive the executor.
+[[nodiscard]] std::unique_ptr<Executor> make_executor(
+    Backend backend, sym::ExprPool& pool, const lang::Method& method,
+    ExecLimits limits = {}, const lang::Program* program = nullptr);
+
+}  // namespace preinfer::exec

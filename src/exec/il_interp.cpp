@@ -1,0 +1,331 @@
+#include "src/exec/il_interp.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/exec/heap.h"
+#include "src/exec/shadow.h"
+#include "src/il/compile.h"
+#include "src/support/diagnostics.h"
+#include "src/support/metrics.h"
+
+namespace preinfer::exec {
+
+namespace {
+
+using core::ExceptionKind;
+using shadow::AbortSignal;
+using shadow::ExhaustedSignal;
+
+/// One activation record. `ret_pc`/`ret_dst` describe where the caller
+/// resumes; `default_ret` is what RetVoid yields (computed at call time,
+/// after argument evaluation, exactly when the AST walker computes it).
+struct Frame {
+    const il::Function* fn = nullptr;
+    std::size_t base = 0;
+    std::size_t ret_pc = 0;
+    std::size_t ret_dst = 0;
+    CValue default_ret;
+};
+
+class Vm {
+public:
+    Vm(sym::ExprPool& pool, const il::Module& module, const lang::Method& method,
+       const ExecLimits& limits, const Input& input)
+        : pool_(pool), module_(module), limits_(limits), rec_(pool, limits, result_) {
+        result_.covered_blocks.assign(static_cast<std::size_t>(method.num_blocks),
+                                      false);
+        const il::Function& entry = module.entry_function();
+        regs_.resize(static_cast<std::size_t>(entry.num_regs));
+        PI_CHECK(input.args.size() == method.params.size(),
+                 "input arity does not match method signature");
+        for (std::size_t i = 0; i < input.args.size(); ++i) {
+            regs_[i] = shadow::materialize_arg(pool_, heap_, method.params[i].type,
+                                               input.args[i], static_cast<int>(i));
+        }
+        frames_.push_back(Frame{&entry, 0, 0, 0, CValue{}});
+    }
+
+    RunResult run() {
+        try {
+            exec();
+            result_.outcome = Outcome::normal();
+        } catch (const AbortSignal& abort) {
+            result_.outcome = Outcome::exception(abort.acl);
+        } catch (const ExhaustedSignal&) {
+            result_.outcome = Outcome::exhausted();
+        }
+        return std::move(result_);
+    }
+
+private:
+    void exec();
+
+    sym::ExprPool& pool_;
+    const il::Module& module_;
+    const ExecLimits& limits_;
+    Heap heap_;
+    std::vector<CValue> regs_;
+    std::vector<Frame> frames_;
+    RunResult result_;
+    shadow::Recorder rec_;
+};
+
+void Vm::exec() {
+    const il::Function* fn = frames_.back().fn;
+    const il::Instr* code = fn->code.data();
+    std::size_t base = frames_.back().base;
+    CValue* R = regs_.data() + base;
+    std::size_t pc = 0;
+    const il::Instr* in = nullptr;
+
+#if defined(__GNUC__) || defined(__clang__)
+    // Direct-threaded dispatch: one indirect jump per instruction. Table
+    // order must match il::Op exactly.
+    static const void* kDispatch[il::kNumOps] = {
+        &&L_Tick,      &&L_ConstInt, &&L_ConstBool, &&L_ConstNull, &&L_Move,
+        &&L_BoolOf,    &&L_Neg,      &&L_Not,       &&L_Add,       &&L_Sub,
+        &&L_Mul,       &&L_Div,      &&L_Mod,       &&L_CmpEq,     &&L_CmpNe,
+        &&L_CmpLt,     &&L_CmpLe,    &&L_CmpGt,     &&L_CmpGe,     &&L_RefEqNull,
+        &&L_RefNeNull, &&L_IsWhite,  &&L_Len,       &&L_Load,      &&L_Store,
+        &&L_NewArr,    &&L_Guard,    &&L_Br,        &&L_BrCond,    &&L_Check,
+        &&L_Precall,   &&L_Call,     &&L_Ret,       &&L_RetVoid,
+    };
+#define PI_OP(name) L_##name:
+#define PI_NEXT()                                              \
+    do {                                                       \
+        in = &code[pc++];                                      \
+        goto* kDispatch[static_cast<std::size_t>(in->op)];     \
+    } while (0)
+    PI_NEXT();
+#else
+    // Portable fallback: a switch loop with the same handler bodies.
+#define PI_OP(name) case il::Op::name:
+#define PI_NEXT() continue
+    for (;;) {
+        in = &code[pc++];
+        switch (in->op) {
+#endif
+
+    PI_OP(Tick) {
+        rec_.tick();
+        // Block ids are per-method; only the entry method's coverage is
+        // tracked (callee blocks would alias the entry method's ids).
+        if (in->imm >= 0 && frames_.size() == 1 &&
+            static_cast<std::size_t>(in->imm) < result_.covered_blocks.size()) {
+            result_.covered_blocks[static_cast<std::size_t>(in->imm)] = true;
+        }
+    }
+    PI_NEXT();
+
+    PI_OP(ConstInt) { R[in->a] = CValue::make_int(in->imm); }
+    PI_NEXT();
+
+    PI_OP(ConstBool) { R[in->a] = CValue::make_bool(in->imm != 0); }
+    PI_NEXT();
+
+    PI_OP(ConstNull) { R[in->a] = CValue::make_ref(ObjRef::null(), pool_.null_const()); }
+    PI_NEXT();
+
+    PI_OP(Move) { R[in->a] = R[in->b]; }
+    PI_NEXT();
+
+    PI_OP(BoolOf) { R[in->a] = CValue::make_bool(R[in->b].as_bool()); }
+    PI_NEXT();
+
+    PI_OP(Neg) { R[in->a] = shadow::op_neg(pool_, R[in->b]); }
+    PI_NEXT();
+
+    PI_OP(Not) { R[in->a] = shadow::op_not(pool_, R[in->b]); }
+    PI_NEXT();
+
+    PI_OP(Add) { R[in->a] = shadow::op_add(pool_, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(Sub) { R[in->a] = shadow::op_sub(pool_, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(Mul) { R[in->a] = shadow::op_mul(pool_, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(Div) {
+        R[in->a] = shadow::op_divmod(rec_, R[in->b], R[in->c], /*is_div=*/true,
+                                     in->site, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(Mod) {
+        R[in->a] = shadow::op_divmod(rec_, R[in->b], R[in->c], /*is_div=*/false,
+                                     in->site, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(CmpEq) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Eq, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(CmpNe) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Ne, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(CmpLt) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Lt, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(CmpLe) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Le, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(CmpGt) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Gt, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(CmpGe) { R[in->a] = shadow::op_cmp(pool_, sym::Kind::Ge, R[in->b], R[in->c]); }
+    PI_NEXT();
+
+    PI_OP(RefEqNull) {
+        R[in->a] = shadow::op_ref_null_cmp(pool_, R[in->b], /*is_ne=*/false);
+    }
+    PI_NEXT();
+
+    PI_OP(RefNeNull) {
+        R[in->a] = shadow::op_ref_null_cmp(pool_, R[in->b], /*is_ne=*/true);
+    }
+    PI_NEXT();
+
+    PI_OP(IsWhite) { R[in->a] = shadow::op_is_whitespace(pool_, R[in->b]); }
+    PI_NEXT();
+
+    PI_OP(Len) { R[in->a] = shadow::op_len(rec_, heap_, R[in->b], in->site, in->loc); }
+    PI_NEXT();
+
+    PI_OP(Load) {
+        // Index concretization pins a local copy, never the source register.
+        CValue idx = R[in->c];
+        R[in->a] = shadow::op_load(rec_, heap_, R[in->b], idx, in->site, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(Store) {
+        CValue idx = R[in->b];
+        shadow::op_store(rec_, heap_, R[in->a], idx, R[in->c], in->site, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(NewArr) {
+        R[in->a] = shadow::op_new_array(rec_, heap_, in->imm != 0, R[in->b],
+                                        in->site, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(Guard) {
+        rec_.record_branch(R[in->a], in->site, ExceptionKind::None, in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(Br) { pc = static_cast<std::size_t>(in->t0); }
+    PI_NEXT();
+
+    PI_OP(BrCond) {
+        const CValue& v = R[in->a];
+        rec_.record_branch(v, in->site, ExceptionKind::None, in->loc);
+        pc = static_cast<std::size_t>(v.as_bool() ? in->t0 : in->t1);
+    }
+    PI_NEXT();
+
+    PI_OP(Check) {
+        rec_.check(R[in->a], in->site, static_cast<ExceptionKind>(in->imm), in->loc);
+    }
+    PI_NEXT();
+
+    PI_OP(Precall) {
+        if (static_cast<int>(frames_.size()) - 1 >= limits_.max_call_depth) {
+            throw ExhaustedSignal{};
+        }
+    }
+    PI_NEXT();
+
+    PI_OP(Call) {
+        const il::Function& callee =
+            module_.functions[static_cast<std::size_t>(in->imm)];
+        const std::size_t new_base = regs_.size();
+        regs_.resize(new_base + static_cast<std::size_t>(callee.num_regs));
+        for (std::size_t k = 0; k < in->b; ++k) {
+            regs_[new_base + k] =
+                regs_[base + fn->call_args[static_cast<std::size_t>(in->t0) + k]];
+        }
+        // After argument evaluation, before the callee body — the point at
+        // which the AST walker computes the fall-off-the-end default (a
+        // pool operation for reference return types).
+        CValue def = shadow::default_value_of(pool_, callee.ret);
+        frames_.push_back(
+            Frame{&callee, new_base, pc, base + in->a, std::move(def)});
+        fn = &callee;
+        code = fn->code.data();
+        base = new_base;
+        R = regs_.data() + base;
+        pc = 0;
+    }
+    PI_NEXT();
+
+    PI_OP(Ret) {
+        CValue v = regs_[base + in->a];
+        const Frame popped = std::move(frames_.back());
+        frames_.pop_back();
+        regs_.resize(popped.base);
+        if (frames_.empty()) return;  // entry returned: normal exit
+        regs_[popped.ret_dst] = std::move(v);
+        fn = frames_.back().fn;
+        base = frames_.back().base;
+        code = fn->code.data();
+        R = regs_.data() + base;
+        pc = popped.ret_pc;
+    }
+    PI_NEXT();
+
+    PI_OP(RetVoid) {
+        const Frame popped = std::move(frames_.back());
+        frames_.pop_back();
+        regs_.resize(popped.base);
+        if (frames_.empty()) return;  // entry fell off the end: normal exit
+        regs_[popped.ret_dst] = popped.default_ret;
+        fn = frames_.back().fn;
+        base = frames_.back().base;
+        code = fn->code.data();
+        R = regs_.data() + base;
+        pc = popped.ret_pc;
+    }
+    PI_NEXT();
+
+#if !defined(__GNUC__) && !defined(__clang__)
+        }
+    }
+#endif
+#undef PI_OP
+#undef PI_NEXT
+}
+
+}  // namespace
+
+IlInterpreter::IlInterpreter(sym::ExprPool& pool, const lang::Method& method,
+                             ExecLimits limits, const lang::Program* program)
+    : pool_(pool),
+      method_(method),
+      limits_(limits),
+      module_(il::compile(method, program)) {
+    if (support::metrics_enabled()) {
+        static auto& functions =
+            support::MetricsRegistry::global().counter("il.compile.functions");
+        static auto& instructions =
+            support::MetricsRegistry::global().counter("il.compile.instructions");
+        functions.add(static_cast<std::int64_t>(module_.functions.size()));
+        std::int64_t total = 0;
+        for (const il::Function& f : module_.functions) {
+            total += static_cast<std::int64_t>(f.code.size());
+        }
+        instructions.add(total);
+    }
+}
+
+RunResult IlInterpreter::run(const Input& input) const {
+    Vm vm(pool_, module_, method_, limits_, input);
+    return vm.run();
+}
+
+}  // namespace preinfer::exec

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "src/exec/executor.h"
+#include "src/il/il.h"
+#include "src/lang/ast.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::exec {
+
+/// Bytecode concolic interpreter: compiles the method (and its callees) to
+/// the register IL once at construction, then executes inputs over a flat
+/// virtual-register file with direct-threaded dispatch (computed goto under
+/// GCC/Clang, a switch loop elsewhere). Each register holds a CValue —
+/// concrete word plus symbolic shadow — so path conditions come out
+/// byte-identical to the AST walker's (both backends share the operator
+/// semantics in src/exec/shadow.h; docs/IL.md specifies the instruction
+/// set). This is the default production backend; see exec::make_executor.
+class IlInterpreter final : public Executor {
+public:
+    /// Same contract as ConcolicInterpreter: `method` type-checked and
+    /// block-labeled, `pool`/`method`/`program` outlive the interpreter.
+    IlInterpreter(sym::ExprPool& pool, const lang::Method& method,
+                  ExecLimits limits = {}, const lang::Program* program = nullptr);
+
+    [[nodiscard]] RunResult run(const Input& input) const override;
+
+    [[nodiscard]] const lang::Method& method() const { return method_; }
+    [[nodiscard]] const il::Module& module() const { return module_; }
+
+private:
+    sym::ExprPool& pool_;
+    const lang::Method& method_;
+    ExecLimits limits_;
+    il::Module module_;
+};
+
+}  // namespace preinfer::exec

@@ -1,0 +1,309 @@
+#include "src/exec/shadow.h"
+
+#include <utility>
+
+#include "src/support/diagnostics.h"
+
+namespace preinfer::exec::shadow {
+
+using core::AclId;
+using core::ExceptionKind;
+using sym::Expr;
+
+const Expr* sym_of(sym::ExprPool& pool, const CValue& v) {
+    if (v.sym) return v.sym;
+    switch (v.tag) {
+        case CValue::Tag::Int: return pool.int_const(v.i);
+        case CValue::Tag::Bool: return pool.bool_const(v.i != 0);
+        case CValue::Tag::Ref:
+            PI_CHECK(v.ref.is_null(), "concrete non-null reference has no expression");
+            return pool.null_const();
+    }
+    PI_CHECK(false, "unhandled value tag");
+    return nullptr;
+}
+
+void Recorder::record_branch(const CValue& cond, int site_id, ExceptionKind check,
+                             support::SourceLoc loc) {
+    if (!cond.sym) return;
+    const Expr* taken = cond.as_bool() ? cond.sym : pool_.negate(cond.sym);
+    if (taken->kind == sym::Kind::BoolConst) return;
+    if (static_cast<int>(result_.pc.preds.size()) >= limits_.max_path_preds)
+        throw ExhaustedSignal{};
+    result_.pc.preds.push_back({taken, site_id, check, loc});
+}
+
+void Recorder::check(const CValue& cond, int site_id, ExceptionKind kind,
+                     support::SourceLoc loc) {
+    result_.pc.visits.push_back(
+        {AclId{site_id, kind}, static_cast<int>(result_.pc.preds.size())});
+    record_branch(cond, site_id, kind, loc);
+    if (!cond.as_bool()) throw AbortSignal{AclId{site_id, kind}};
+}
+
+HeapObject& Recorder::access(Heap& heap, const CValue& base, CValue& idx,
+                             int site_id, support::SourceLoc loc) {
+    null_check(base, site_id, loc);
+    HeapObject& obj = heap.get_mut(base.ref);
+
+    // Index concretization: when a collection is indexed by a symbolic,
+    // non-constant expression, pin the index to the observed value so
+    // that element identities stay concrete (standard concolic
+    // treatment; loop counters fold to constants and are unaffected).
+    if (idx.sym && idx.sym->kind != sym::Kind::IntConst) {
+        CValue pin = CValue::make_bool(true, pool_.eq(idx.sym, pool_.int_const(idx.i)));
+        record_branch(pin, site_id, ExceptionKind::None, loc);
+        idx.sym = pool_.int_const(idx.i);
+    }
+
+    const Expr* len_sym = obj.len_sym;
+    CValue lower = CValue::make_bool(
+        idx.i >= 0,
+        (idx.sym || len_sym) ? pool_.ge(sym_of(idx), pool_.int_const(0)) : nullptr);
+    // A concrete index against a concrete length folds away entirely.
+    if (lower.sym && lower.sym->kind == sym::Kind::BoolConst) lower.sym = nullptr;
+    check(lower, site_id, ExceptionKind::IndexOutOfRange, loc);
+
+    const Expr* len_expr = len_sym ? len_sym : pool_.int_const(obj.len());
+    CValue upper = CValue::make_bool(idx.i < obj.len(), nullptr);
+    if (idx.sym || len_sym) {
+        const Expr* e = pool_.lt(sym_of(idx), len_expr);
+        if (e->kind != sym::Kind::BoolConst) upper.sym = e;
+    }
+    check(upper, site_id, ExceptionKind::IndexOutOfRange, loc);
+    return obj;
+}
+
+void Recorder::null_check(const CValue& base, int site_id, support::SourceLoc loc) {
+    PI_CHECK(base.tag == CValue::Tag::Ref, "null check on non-reference");
+    const Expr* is_null_expr = base.sym ? pool_.is_null(base.sym) : nullptr;
+    CValue ok = CValue::make_bool(!base.ref.is_null(), nullptr);
+    if (is_null_expr && is_null_expr->kind != sym::Kind::BoolConst) {
+        ok.sym = pool_.not_(is_null_expr);
+    }
+    check(ok, site_id, ExceptionKind::NullReference, loc);
+}
+
+// --- input materialization ------------------------------------------------
+
+namespace {
+
+CValue materialize_str(sym::ExprPool& pool, Heap& heap, const StrInput& s,
+                       const Expr* symref) {
+    if (s.is_null) return CValue::make_ref(ObjRef::null(), symref);
+    HeapObject obj;
+    obj.kind = ObjKind::Str;
+    obj.symref = symref;
+    obj.len_sym = pool.len(symref);
+    obj.cells.reserve(s.chars.size());
+    for (std::size_t k = 0; k < s.chars.size(); ++k) {
+        obj.cells.push_back(CValue::make_int(
+            s.chars[k],
+            pool.select(symref, pool.int_const(static_cast<std::int64_t>(k)),
+                        sym::Sort::Int)));
+    }
+    return CValue::make_ref(heap.alloc(std::move(obj)), symref);
+}
+
+CValue materialize_int_arr(sym::ExprPool& pool, Heap& heap, const IntArrInput& a,
+                           const Expr* symref) {
+    if (a.is_null) return CValue::make_ref(ObjRef::null(), symref);
+    HeapObject obj;
+    obj.kind = ObjKind::IntArr;
+    obj.symref = symref;
+    obj.len_sym = pool.len(symref);
+    obj.cells.reserve(a.elems.size());
+    for (std::size_t k = 0; k < a.elems.size(); ++k) {
+        obj.cells.push_back(CValue::make_int(
+            a.elems[k],
+            pool.select(symref, pool.int_const(static_cast<std::int64_t>(k)),
+                        sym::Sort::Int)));
+    }
+    return CValue::make_ref(heap.alloc(std::move(obj)), symref);
+}
+
+CValue materialize_str_arr(sym::ExprPool& pool, Heap& heap, const StrArrInput& a,
+                           const Expr* symref) {
+    if (a.is_null) return CValue::make_ref(ObjRef::null(), symref);
+    HeapObject obj;
+    obj.kind = ObjKind::StrArr;
+    obj.symref = symref;
+    obj.len_sym = pool.len(symref);
+    obj.cells.reserve(a.elems.size());
+    for (std::size_t k = 0; k < a.elems.size(); ++k) {
+        const Expr* elem_sym = pool.select(
+            symref, pool.int_const(static_cast<std::int64_t>(k)), sym::Sort::Obj);
+        obj.cells.push_back(materialize_str(pool, heap, a.elems[k], elem_sym));
+    }
+    return CValue::make_ref(heap.alloc(std::move(obj)), symref);
+}
+
+}  // namespace
+
+CValue materialize_arg(sym::ExprPool& pool, Heap& heap, lang::Type type,
+                       const ArgValue& arg, int param_index) {
+    switch (type) {
+        case lang::Type::Int:
+            return CValue::make_int(std::get<std::int64_t>(arg),
+                                    pool.param(param_index, sym::Sort::Int));
+        case lang::Type::Bool:
+            return CValue::make_bool(std::get<bool>(arg),
+                                     pool.param(param_index, sym::Sort::Bool));
+        case lang::Type::Str:
+            return materialize_str(pool, heap, std::get<StrInput>(arg),
+                                   pool.param(param_index, sym::Sort::Obj));
+        case lang::Type::IntArr:
+            return materialize_int_arr(pool, heap, std::get<IntArrInput>(arg),
+                                       pool.param(param_index, sym::Sort::Obj));
+        case lang::Type::StrArr:
+            return materialize_str_arr(pool, heap, std::get<StrArrInput>(arg),
+                                       pool.param(param_index, sym::Sort::Obj));
+        case lang::Type::Void: PI_CHECK(false, "void parameter");
+    }
+    PI_CHECK(false, "unhandled parameter type");
+    return {};
+}
+
+CValue default_value_of(sym::ExprPool& pool, lang::Type t) {
+    switch (t) {
+        case lang::Type::Int: return CValue::make_int(0);
+        case lang::Type::Bool: return CValue::make_bool(false);
+        case lang::Type::Str:
+        case lang::Type::IntArr:
+        case lang::Type::StrArr:
+            return CValue::make_ref(ObjRef::null(), pool.null_const());
+        case lang::Type::Void: return CValue::make_int(0);
+    }
+    return CValue::make_int(0);
+}
+
+// --- operator semantics ---------------------------------------------------
+
+CValue op_neg(sym::ExprPool& pool, const CValue& v) {
+    return CValue::make_int(wrap_sub(0, v.i), v.sym ? pool.neg(v.sym) : nullptr);
+}
+
+CValue op_not(sym::ExprPool& pool, const CValue& v) {
+    return CValue::make_bool(v.i == 0, v.sym ? pool.not_(v.sym) : nullptr);
+}
+
+CValue op_add(sym::ExprPool& pool, const CValue& l, const CValue& r) {
+    const bool symbolic = l.sym || r.sym;
+    return CValue::make_int(
+        wrap_add(l.i, r.i),
+        symbolic ? pool.add(sym_of(pool, l), sym_of(pool, r)) : nullptr);
+}
+
+CValue op_sub(sym::ExprPool& pool, const CValue& l, const CValue& r) {
+    const bool symbolic = l.sym || r.sym;
+    return CValue::make_int(
+        wrap_sub(l.i, r.i),
+        symbolic ? pool.sub(sym_of(pool, l), sym_of(pool, r)) : nullptr);
+}
+
+CValue op_mul(sym::ExprPool& pool, const CValue& l, const CValue& r) {
+    const bool symbolic = l.sym || r.sym;
+    return CValue::make_int(
+        wrap_mul(l.i, r.i),
+        symbolic ? pool.mul(sym_of(pool, l), sym_of(pool, r)) : nullptr);
+}
+
+CValue op_divmod(Recorder& rec, const CValue& l, const CValue& r, bool is_div,
+                 int site_id, support::SourceLoc loc) {
+    sym::ExprPool& pool = rec.pool();
+    CValue nonzero = CValue::make_bool(r.i != 0, nullptr);
+    if (r.sym) {
+        const Expr* ne0 = pool.ne(r.sym, pool.int_const(0));
+        if (ne0->kind != sym::Kind::BoolConst) nonzero.sym = ne0;
+    }
+    rec.check(nonzero, site_id, ExceptionKind::DivideByZero, loc);
+    const bool symbolic = l.sym || r.sym;
+    if (is_div) {
+        return CValue::make_int(
+            safe_div(l.i, r.i),
+            symbolic ? pool.div(sym_of(pool, l), sym_of(pool, r)) : nullptr);
+    }
+    return CValue::make_int(
+        safe_mod(l.i, r.i),
+        symbolic ? pool.mod(sym_of(pool, l), sym_of(pool, r)) : nullptr);
+}
+
+CValue op_cmp(sym::ExprPool& pool, sym::Kind op, const CValue& l, const CValue& r) {
+    bool concrete = false;
+    switch (op) {
+        case sym::Kind::Eq: concrete = l.i == r.i; break;
+        case sym::Kind::Ne: concrete = l.i != r.i; break;
+        case sym::Kind::Lt: concrete = l.i < r.i; break;
+        case sym::Kind::Le: concrete = l.i <= r.i; break;
+        case sym::Kind::Gt: concrete = l.i > r.i; break;
+        case sym::Kind::Ge: concrete = l.i >= r.i; break;
+        default: PI_CHECK(false, "non-comparison kind in op_cmp");
+    }
+    const bool symbolic = l.sym || r.sym;
+    return CValue::make_bool(
+        concrete, symbolic ? pool.cmp(op, sym_of(pool, l), sym_of(pool, r)) : nullptr);
+}
+
+CValue op_ref_null_cmp(sym::ExprPool& pool, const CValue& refside, bool is_ne) {
+    bool value = refside.ref.is_null();
+    const Expr* s = nullptr;
+    if (refside.sym) {
+        const Expr* isnull = pool.is_null(refside.sym);
+        if (isnull->kind != sym::Kind::BoolConst) s = isnull;
+    }
+    if (is_ne) {
+        value = !value;
+        if (s) s = pool.not_(s);
+    }
+    return CValue::make_bool(value, s);
+}
+
+CValue op_is_whitespace(sym::ExprPool& pool, const CValue& v) {
+    return CValue::make_bool(sym::ExprPool::whitespace_code_point(v.i),
+                             v.sym ? pool.is_whitespace(v.sym) : nullptr);
+}
+
+CValue op_len(Recorder& rec, Heap& heap, const CValue& base, int site_id,
+              support::SourceLoc loc) {
+    rec.null_check(base, site_id, loc);
+    const HeapObject& obj = heap.get(base.ref);
+    return CValue::make_int(obj.len(), obj.len_sym);
+}
+
+CValue op_load(Recorder& rec, Heap& heap, const CValue& base, CValue& idx,
+               int site_id, support::SourceLoc loc) {
+    HeapObject& obj = rec.access(heap, base, idx, site_id, loc);
+    return obj.cells[static_cast<std::size_t>(idx.i)];
+}
+
+void op_store(Recorder& rec, Heap& heap, const CValue& base, CValue& idx,
+              const CValue& rhs, int site_id, support::SourceLoc loc) {
+    HeapObject& obj = rec.access(heap, base, idx, site_id, loc);
+    obj.cells[static_cast<std::size_t>(idx.i)] = rhs;
+}
+
+CValue op_new_array(Recorder& rec, Heap& heap, bool str_elems, CValue n,
+                    int site_id, support::SourceLoc loc) {
+    sym::ExprPool& pool = rec.pool();
+    // Pin a symbolic allocation size (the heap needs a concrete length),
+    // then range-check it.
+    if (n.sym && n.sym->kind != sym::Kind::IntConst) {
+        CValue pin = CValue::make_bool(true, pool.eq(n.sym, pool.int_const(n.i)));
+        rec.record_branch(pin, site_id, ExceptionKind::None, loc);
+        n.sym = pool.int_const(n.i);
+    }
+    CValue nonneg = CValue::make_bool(n.i >= 0, nullptr);
+    rec.check(nonneg, site_id, ExceptionKind::IndexOutOfRange, loc);
+    if (n.i > rec.limits().max_alloc) throw ExhaustedSignal{};
+    HeapObject obj;
+    obj.kind = str_elems ? ObjKind::StrArr : ObjKind::IntArr;
+    if (str_elems) {
+        obj.cells.assign(static_cast<std::size_t>(n.i),
+                         CValue::make_ref(ObjRef::null(), nullptr));
+    } else {
+        obj.cells.assign(static_cast<std::size_t>(n.i), CValue::make_int(0));
+    }
+    return CValue::make_ref(heap.alloc(std::move(obj)), nullptr);
+}
+
+}  // namespace preinfer::exec::shadow

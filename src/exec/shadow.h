@@ -1,0 +1,151 @@
+#pragma once
+
+#include "src/core/path_condition.h"
+#include "src/exec/executor.h"
+#include "src/exec/heap.h"
+#include "src/exec/input.h"
+#include "src/exec/outcome.h"
+#include "src/lang/ast.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::exec::shadow {
+
+/// Shared concrete+symbolic operator semantics for the two execution
+/// backends (the AST walker in concolic.cpp and the bytecode interpreter in
+/// il_interp.cpp). Both backends must produce byte-identical path
+/// conditions and precondition fingerprints, and sym::Expr ids are
+/// creation-ordered within a pool, so the exact sequence of pool operations
+/// — including on-demand constant materialization and constant-fold skips —
+/// is part of each helper's contract. Keeping one copy here makes that
+/// equivalence hold by construction; docs/IL.md documents the per-opcode
+/// symbolic shadow effects in these terms.
+
+// --- wrap-around integer arithmetic (MiniLang ints are 64-bit two's
+// complement; going through uint64 avoids signed-overflow UB) -------------
+inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+inline std::int64_t safe_div(std::int64_t a, std::int64_t b) {
+    if (b == -1) return wrap_sub(0, a);  // avoids INT64_MIN / -1 overflow UB
+    return a / b;
+}
+inline std::int64_t safe_mod(std::int64_t a, std::int64_t b) {
+    if (b == -1) return 0;
+    return a % b;
+}
+
+/// Unwinds execution when an assertion (implicit or explicit) fails.
+struct AbortSignal {
+    core::AclId acl;
+};
+
+/// Unwinds execution when a budget is exceeded.
+struct ExhaustedSignal {};
+
+/// Symbolic expression of an int/bool value (literal materialized on
+/// demand when concrete).
+[[nodiscard]] const sym::Expr* sym_of(sym::ExprPool& pool, const CValue& v);
+
+/// Path recording and runtime checks over one execution's RunResult: the
+/// branch/check/step protocol both backends share verbatim.
+class Recorder {
+public:
+    Recorder(sym::ExprPool& pool, const ExecLimits& limits, RunResult& result)
+        : pool_(pool), limits_(limits), result_(result) {}
+
+    [[nodiscard]] sym::ExprPool& pool() { return pool_; }
+    [[nodiscard]] const ExecLimits& limits() const { return limits_; }
+
+    [[nodiscard]] const sym::Expr* sym_of(const CValue& v) {
+        return shadow::sym_of(pool_, v);
+    }
+
+    /// Records a branch predicate in taken polarity; drops input-independent
+    /// (constant-folding) predicates.
+    void record_branch(const CValue& cond, int site_id, core::ExceptionKind check,
+                       support::SourceLoc loc);
+
+    /// An assertion check: records the check-derived branch predicate and
+    /// aborts the execution when the check fails. This single entry point
+    /// implements both implicit checks and explicit `assert`. The arrival
+    /// itself is recorded as a visit even when the condition constant-folds
+    /// and leaves no predicate behind.
+    void check(const CValue& cond, int site_id, core::ExceptionKind kind,
+               support::SourceLoc loc);
+
+    /// One execution step (statement / loop iteration / Tick opcode).
+    void tick() {
+        if (++result_.steps > limits_.max_steps) throw ExhaustedSignal{};
+    }
+
+    /// Shared null + bounds checking for reads and writes. Returns the heap
+    /// object; `idx` has been pinned to its concrete value if its symbolic
+    /// expression was input-dependent (index concretization).
+    HeapObject& access(Heap& heap, const CValue& base, CValue& idx, int site_id,
+                       support::SourceLoc loc);
+
+    void null_check(const CValue& base, int site_id, support::SourceLoc loc);
+
+private:
+    sym::ExprPool& pool_;
+    const ExecLimits& limits_;
+    RunResult& result_;
+};
+
+// --- input materialization (Param / Len / Select symbolic chains) ---------
+
+/// Materializes one method argument as a concolic value rooted at
+/// Param(param_index); collections allocate heap objects whose cells carry
+/// Select chains.
+[[nodiscard]] CValue materialize_arg(sym::ExprPool& pool, Heap& heap, lang::Type type,
+                                     const ArgValue& arg, int param_index);
+
+/// Value a non-void method yields when control falls off its end without a
+/// `return` (MiniLang has no definite-return analysis). Reference types
+/// materialize pool.null_const(), so the call site in both backends must
+/// invoke this at the same point (after argument evaluation, before the
+/// callee body).
+[[nodiscard]] CValue default_value_of(sym::ExprPool& pool, lang::Type t);
+
+// --- operator semantics ---------------------------------------------------
+
+[[nodiscard]] CValue op_neg(sym::ExprPool& pool, const CValue& v);
+[[nodiscard]] CValue op_not(sym::ExprPool& pool, const CValue& v);
+[[nodiscard]] CValue op_add(sym::ExprPool& pool, const CValue& l, const CValue& r);
+[[nodiscard]] CValue op_sub(sym::ExprPool& pool, const CValue& l, const CValue& r);
+[[nodiscard]] CValue op_mul(sym::ExprPool& pool, const CValue& l, const CValue& r);
+/// Division/modulo with the implicit DivideByZero check at `site_id`.
+[[nodiscard]] CValue op_divmod(Recorder& rec, const CValue& l, const CValue& r,
+                               bool is_div, int site_id, support::SourceLoc loc);
+/// Integer comparison (`op` one of Eq/Ne/Lt/Le/Gt/Ge).
+[[nodiscard]] CValue op_cmp(sym::ExprPool& pool, sym::Kind op, const CValue& l,
+                            const CValue& r);
+/// Reference (in)equality against null: `refside` is the non-literal side.
+[[nodiscard]] CValue op_ref_null_cmp(sym::ExprPool& pool, const CValue& refside,
+                                     bool is_ne);
+[[nodiscard]] CValue op_is_whitespace(sym::ExprPool& pool, const CValue& v);
+/// `len(base)` with the implicit null check.
+[[nodiscard]] CValue op_len(Recorder& rec, Heap& heap, const CValue& base,
+                            int site_id, support::SourceLoc loc);
+/// `base[idx]` read with null/bounds checks; `idx` is the callee's local
+/// copy (index concretization pins the copy, never the variable).
+[[nodiscard]] CValue op_load(Recorder& rec, Heap& heap, const CValue& base,
+                             CValue& idx, int site_id, support::SourceLoc loc);
+/// `base[idx] = rhs` with null/bounds checks.
+void op_store(Recorder& rec, Heap& heap, const CValue& base, CValue& idx,
+              const CValue& rhs, int site_id, support::SourceLoc loc);
+/// `newintarray(n)` / `newstrarray(n)`: pins a symbolic size, range-checks
+/// it, and allocates zeroed / null-filled cells.
+[[nodiscard]] CValue op_new_array(Recorder& rec, Heap& heap, bool str_elems,
+                                  CValue n, int site_id, support::SourceLoc loc);
+
+}  // namespace preinfer::exec::shadow

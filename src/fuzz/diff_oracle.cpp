@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "src/api/engine.h"
@@ -11,7 +12,7 @@
 #include "src/core/pruning.h"
 #include "src/eval/harness.h"
 #include "src/eval/subject.h"
-#include "src/exec/concolic.h"
+#include "src/exec/executor.h"
 #include "src/exec/input.h"
 #include "src/gen/explorer.h"
 #include "src/gen/oracle.h"
@@ -237,9 +238,10 @@ void check_soundness(const api::PipelineArtifacts& run, const OracleConfig& cfg,
                 ++report.skipped_replays;
                 continue;
             }
-            const exec::ConcolicInterpreter interp(
-                *run.pool, method, run.explore_config.exec_limits, &run.program);
-            const exec::RunResult rr = interp.run(replay_input);
+            const std::unique_ptr<exec::Executor> interp =
+                exec::make_executor(run.explore_config.backend, *run.pool, method,
+                                    run.explore_config.exec_limits, &run.program);
+            const exec::RunResult rr = interp->run(replay_input);
             ++replayed;
             ++report.replayed_models;
             if (rr.outcome.tag != exec::Outcome::Tag::Exception ||
@@ -305,6 +307,90 @@ void check_soundness(const api::PipelineArtifacts& run, const OracleConfig& cfg,
     }
 }
 
+// --- backend equivalence -----------------------------------------------------
+
+exec::Backend flipped(exec::Backend b) {
+    return b == exec::Backend::IL ? exec::Backend::Ast : exec::Backend::IL;
+}
+
+/// Predicate-for-predicate equality. Both executions intern into the SAME
+/// pool, so equal shadow semantics means pointer-equal expressions — this is
+/// strictly stronger than comparing signatures.
+bool same_path_condition(const core::PathCondition& a, const core::PathCondition& b) {
+    if (a.preds.size() != b.preds.size() || a.visits.size() != b.visits.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.preds.size(); ++i) {
+        const core::PathPredicate& x = a.preds[i];
+        const core::PathPredicate& y = b.preds[i];
+        if (x.expr != y.expr || x.site_id != y.site_id || x.check != y.check) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.visits.size(); ++i) {
+        if (!(a.visits[i].acl == b.visits[i].acl) ||
+            a.visits[i].position != b.visits[i].position) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// The IL interpreter must be observationally identical to the AST walker
+/// (docs/IL.md): same outcomes, step counts, block coverage and path
+/// conditions, and therefore the same inference results downstream.
+void check_backend_equivalence(api::InferenceEngine& engine, const std::string& source,
+                               const gen::ExplorerConfig& config,
+                               const solver::SolveCache::Options& cache,
+                               const api::PipelineArtifacts& primary,
+                               OracleReport& report) {
+    const exec::Backend other = flipped(config.backend);
+
+    // (a) Whole-pipeline fingerprint: exploration, inference and pruning
+    // must not be able to tell the backends apart.
+    gen::ExplorerConfig flipped_config = config;
+    flipped_config.backend = other;
+    const auto alt = run_pipeline(engine, source, flipped_config, &cache);
+    if (fingerprint(*alt) != fingerprint(primary)) {
+        add_violation(report, "backend-equivalence",
+                      std::string("pipeline fingerprints differ between the ") +
+                          exec::backend_name(config.backend) + " and " +
+                          exec::backend_name(other) + " backends");
+    }
+
+    // (b) Per-execution byte-identity: replay every suite input under the
+    // other backend against the primary run's pool. Replays only re-intern
+    // expressions the primary run already created, so the pool is unchanged
+    // and the comparison is exact.
+    const lang::Method& method = primary.method();
+    const std::unique_ptr<exec::Executor> interp =
+        exec::make_executor(other, *primary.pool, method,
+                            primary.explore_config.exec_limits, &primary.program);
+    for (const gen::Test& t : primary.suite.tests) {
+        const exec::RunResult rr = interp->run(t.input);
+        const exec::RunResult& want = t.result;
+        std::string diff;
+        if (rr.outcome.tag != want.outcome.tag ||
+            !(rr.outcome.acl == want.outcome.acl)) {
+            diff = "outcome " + rr.outcome.to_string() + " vs " +
+                   want.outcome.to_string();
+        } else if (rr.steps != want.steps) {
+            diff = "steps " + std::to_string(rr.steps) + " vs " +
+                   std::to_string(want.steps);
+        } else if (rr.covered_blocks != want.covered_blocks) {
+            diff = "block coverage differs";
+        } else if (!same_path_condition(rr.pc, want.pc)) {
+            diff = "path conditions differ";
+        }
+        if (!diff.empty()) {
+            add_violation(report, "backend-execution-divergence",
+                          std::string(exec::backend_name(other)) + " replay of test " +
+                              std::to_string(t.id) + " on input " +
+                              t.input.to_string(method) + " diverged: " + diff);
+        }
+    }
+}
+
 // --- harness jobs-equivalence ------------------------------------------------
 
 void append_outcome(std::string& out, const eval::ApproachOutcome& o) {
@@ -346,6 +432,20 @@ std::string serialize_result(const eval::HarnessResult& r) {
     return out;
 }
 
+/// Removes the method_begin backend tag — the one trace field that is
+/// allowed (and expected) to differ between the two execution backends.
+std::string strip_backend_tag(std::string trace) {
+    for (const std::string_view needle :
+         {std::string_view(",\"backend\":\"il\""),
+          std::string_view(",\"backend\":\"ast\"")}) {
+        std::size_t pos = 0;
+        while ((pos = trace.find(needle, pos)) != std::string::npos) {
+            trace.erase(pos, needle.size());
+        }
+    }
+    return trace;
+}
+
 void check_jobs_equivalence(const std::string& source, std::uint64_t seed,
                             const gen::ExplorerConfig& explore,
                             OracleReport& report) {
@@ -379,6 +479,24 @@ void check_jobs_equivalence(const std::string& source, std::uint64_t seed,
     if (serial.trace != parallel.trace) {
         add_violation(report, "jobs-trace-equivalence",
                       "merged traces differ between jobs=1 and jobs=3");
+    }
+
+    // The harness is also where whole traces are comparable across the two
+    // execution backends: everything except the method_begin backend tag
+    // must be byte-identical (docs/IL.md).
+    eval::HarnessConfig bc = hc;
+    bc.jobs = 1;
+    bc.explore.backend = flipped(explore.backend);
+    bc.validation.explore.backend = bc.explore.backend;
+    const eval::HarnessResult other = eval::run_harness({subject}, bc);
+    if (serialize_result(serial) != serialize_result(other)) {
+        add_violation(report, "backend-harness-equivalence",
+                      "result rows differ between the il and ast backends");
+    }
+    if (strip_backend_tag(serial.trace) != strip_backend_tag(other.trace)) {
+        add_violation(report, "backend-trace-equivalence",
+                      "merged traces differ between the backends beyond the "
+                      "backend tag");
     }
 }
 
@@ -421,6 +539,11 @@ OracleReport check_source(const std::string& source, std::uint64_t seed,
         }
         report.acls = static_cast<int>(primary->inferences.size());
         check_soundness(*primary, cfg, report);
+
+        if (cfg.check_backend) {
+            check_backend_equivalence(engine, source, config, default_cache,
+                                      *primary, report);
+        }
 
         if (cfg.fault == FaultMode::None && cfg.check_determinism) {
             const std::string base_fp = fingerprint(*primary);

@@ -41,6 +41,14 @@ struct OracleConfig {
     int replay_models_per_acl = 3;
 
     bool check_roundtrip = true;
+    /// Cross-check the IL and AST execution backends: re-run the whole
+    /// pipeline under the other backend (fingerprints must match) and replay
+    /// every suite input under the other backend against the primary pool
+    /// (outcome, steps, coverage and path condition must be identical,
+    /// predicate for predicate). Unlike the determinism battery this applies
+    /// to fault-injected runs too — backend equivalence is a semantics
+    /// theorem (docs/IL.md), not a budget property.
+    bool check_backend = true;
     /// Run the determinism battery (rerun, incremental off, unsat
     /// subsumption off, uncached soundness run). Only applies when
     /// fault == None: injected faults are allowed to change trajectories.

@@ -61,7 +61,8 @@ Explorer::Explorer(sym::ExprPool& pool, const lang::Method& method, ExplorerConf
     : pool_(pool),
       method_(method),
       config_(config),
-      interp_(pool, method, config.exec_limits, program),
+      interp_(exec::make_executor(config.backend, pool, method,
+                               config.exec_limits, program)),
       solver_(pool, config.solver_config, index),
       ctx_(solver_),
       cache_(cache) {}
@@ -235,7 +236,7 @@ TestSuite Explorer::explore() {
         }
         Test t;
         t.input = std::move(input);
-        t.result = interp_.run(t.input);
+        t.result = interp_->run(t.input);
         ++stats_.executions;
         if (support::metrics_enabled()) m_executions.add();
         if (!seen_paths.insert(t.result.pc.signature()).second) {
@@ -361,7 +362,7 @@ std::optional<Test> Explorer::run_constrained(
     t.id = next_test_id_++;
     t.input = reconstruct_input(pool_, method_, res.model, base,
                                 config_.materialize_max_len);
-    t.result = interp_.run(t.input);
+    t.result = interp_->run(t.input);
     ++stats_.executions;
     return t;
 }

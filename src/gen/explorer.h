@@ -3,7 +3,7 @@
 #include <optional>
 #include <span>
 
-#include "src/exec/concolic.h"
+#include "src/exec/executor.h"
 #include "src/gen/testsuite.h"
 #include "src/solver/solve_cache.h"
 #include "src/solver/solver.h"
@@ -15,6 +15,10 @@ struct ExplorerConfig {
     int max_tests = 256;          ///< executed inputs kept in the suite
     int max_solver_calls = 4096;  ///< path-constraint flips attempted
     int max_flip_depth = 160;     ///< only flip the first N predicates of a path
+    /// Which concolic execution backend replays inputs. Both backends emit
+    /// byte-identical path conditions (docs/IL.md); the AST walker exists
+    /// for differential checking and costs ~2x per execution.
+    exec::Backend backend = exec::Backend::IL;
     exec::ExecLimits exec_limits{};
     solver::SolverConfig solver_config{};
     std::int64_t materialize_max_len = 16;  ///< largest reconstructed collection
@@ -114,7 +118,7 @@ private:
     sym::ExprPool& pool_;
     const lang::Method& method_;
     ExplorerConfig config_;
-    exec::ConcolicInterpreter interp_;
+    std::unique_ptr<exec::Executor> interp_;
     solver::Solver solver_;
     /// Incremental conjunction reused across one parent path's flips.
     solver::Solver::Context ctx_;

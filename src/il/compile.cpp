@@ -1,0 +1,415 @@
+#include "src/il/compile.h"
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/path_condition.h"
+#include "src/support/diagnostics.h"
+
+namespace preinfer::il {
+
+namespace {
+
+using lang::BinOp;
+using lang::EKind;
+using lang::ExprNode;
+using lang::SKind;
+using lang::StmtNode;
+using lang::UnOp;
+
+class FunctionCompiler {
+public:
+    FunctionCompiler(const lang::Method& method, const lang::Program* program)
+        : method_(method), program_(program) {}
+
+    Function compile() {
+        fn_.name = method_.name;
+        fn_.num_params = static_cast<int>(method_.params.size());
+        fn_.ret = method_.ret;
+        scopes_.emplace_back();
+        for (const lang::Param& p : method_.params) {
+            fn_.param_types.push_back(p.type);
+            scopes_.back().emplace(p.name, alloc_reg());
+        }
+        compile_block(method_.body);
+        // Falling off the end yields the method's default value (MiniLang
+        // has no definite-return analysis), matching the AST walker.
+        emit(Op::RetVoid);
+        fn_.num_regs = num_regs_;
+        return std::move(fn_);
+    }
+
+private:
+    // --- registers ---------------------------------------------------------
+    std::uint16_t alloc_reg() {
+        PI_CHECK(top_ < std::numeric_limits<std::uint16_t>::max(),
+                 "method needs more than 65534 virtual registers");
+        const auto r = static_cast<std::uint16_t>(top_++);
+        if (top_ > num_regs_) num_regs_ = top_;
+        return r;
+    }
+
+    std::uint16_t lookup(const std::string& name, support::SourceLoc loc) const {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            if (auto f = it->find(name); f != it->end()) return f->second;
+        }
+        PI_CHECK(false, "undeclared variable '" + name + "' at " + loc.to_string() +
+                            " survived type checking");
+        return 0;
+    }
+
+    // --- emission ----------------------------------------------------------
+    std::size_t emit(Op op, std::uint16_t a = 0, std::uint16_t b = 0,
+                     std::uint16_t c = 0) {
+        Instr in;
+        in.op = op;
+        in.a = a;
+        in.b = b;
+        in.c = c;
+        fn_.code.push_back(in);
+        return fn_.code.size() - 1;
+    }
+
+    Instr& at(std::size_t index) { return fn_.code[index]; }
+    [[nodiscard]] std::int32_t here() const {
+        return static_cast<std::int32_t>(fn_.code.size());
+    }
+
+    // --- statements --------------------------------------------------------
+    void compile_block(const std::vector<lang::StmtPtr>& stmts) {
+        scopes_.emplace_back();
+        const int floor = top_;
+        for (const lang::StmtPtr& s : stmts) compile_stmt(*s);
+        scopes_.pop_back();
+        top_ = floor;
+    }
+
+    void compile_stmt(const StmtNode& s) {
+        {
+            const std::size_t t = emit(Op::Tick);
+            at(t).imm = s.block_id;
+            at(t).loc = s.loc;
+        }
+        switch (s.kind) {
+            case SKind::VarDecl: {
+                const int floor = top_;
+                const std::uint16_t t = compile_expr(*s.expr);
+                top_ = floor;
+                const std::uint16_t v = alloc_reg();
+                scopes_.back().emplace(s.name, v);
+                if (t != v) emit(Op::Move, v, t);
+                break;
+            }
+            case SKind::Assign: {
+                const int floor = top_;
+                if (s.index) {
+                    const std::uint16_t base = lookup(s.name, s.loc);
+                    const std::uint16_t idx = compile_expr(*s.index);
+                    const std::uint16_t rhs = compile_expr(*s.expr);
+                    const std::size_t i = emit(Op::Store, base, idx, rhs);
+                    at(i).site = s.node_id;
+                    at(i).loc = s.loc;
+                    at(i).imm = lang::is_reference_type(s.expr->type) ? 1 : 0;
+                } else {
+                    const std::uint16_t v = lookup(s.name, s.loc);
+                    const std::uint16_t t = compile_expr(*s.expr);
+                    if (t != v) emit(Op::Move, v, t);
+                }
+                top_ = floor;
+                break;
+            }
+            case SKind::If: {
+                const int floor = top_;
+                const std::uint16_t cond = compile_expr(*s.expr);
+                const std::size_t br = emit(Op::BrCond, cond);
+                at(br).site = s.expr->node_id;
+                at(br).loc = s.expr->loc;
+                top_ = floor;
+                at(br).t0 = here();
+                compile_block(s.body);
+                const std::size_t skip = emit(Op::Br);
+                at(br).t1 = here();
+                compile_block(s.else_body);
+                at(skip).t0 = here();
+                break;
+            }
+            case SKind::While: {
+                const int floor = top_;
+                const std::int32_t head = here();
+                {
+                    // The per-iteration tick the AST walker issues at each
+                    // loop-condition evaluation (on top of the statement tick).
+                    const std::size_t t = emit(Op::Tick);
+                    at(t).imm = -1;
+                    at(t).loc = s.loc;
+                }
+                const std::uint16_t cond = compile_expr(*s.expr);
+                const std::size_t br = emit(Op::BrCond, cond);
+                at(br).site = s.expr->node_id;
+                at(br).loc = s.expr->loc;
+                top_ = floor;
+                at(br).t0 = here();
+                loops_.emplace_back();
+                compile_block(s.body);
+                LoopCtx loop = std::move(loops_.back());
+                loops_.pop_back();
+                // A for-loop's increment runs even after `continue`.
+                const std::int32_t step = here();
+                for (std::size_t fix : loop.continue_brs) at(fix).t0 = step;
+                if (s.step) compile_stmt(*s.step);
+                {
+                    const std::size_t back = emit(Op::Br);
+                    at(back).t0 = head;
+                }
+                at(br).t1 = here();
+                for (std::size_t fix : loop.break_brs) at(fix).t0 = here();
+                break;
+            }
+            case SKind::Return: {
+                const int floor = top_;
+                if (s.expr) {
+                    const std::uint16_t t = compile_expr(*s.expr);
+                    emit(Op::Ret, t);
+                } else {
+                    emit(Op::RetVoid);
+                }
+                top_ = floor;
+                break;
+            }
+            case SKind::Assert: {
+                const int floor = top_;
+                const std::uint16_t cond = compile_expr(*s.expr);
+                const std::size_t i = emit(Op::Check, cond);
+                at(i).site = s.node_id;
+                at(i).loc = s.loc;
+                at(i).imm = static_cast<std::int64_t>(
+                    core::ExceptionKind::AssertionViolation);
+                top_ = floor;
+                break;
+            }
+            case SKind::Block:
+                compile_block(s.body);
+                break;
+            case SKind::Break:
+                PI_CHECK(!loops_.empty(), "break outside a loop survived checking");
+                loops_.back().break_brs.push_back(emit(Op::Br));
+                break;
+            case SKind::Continue:
+                PI_CHECK(!loops_.empty(), "continue outside a loop survived checking");
+                loops_.back().continue_brs.push_back(emit(Op::Br));
+                break;
+        }
+    }
+
+    // --- expressions --------------------------------------------------------
+    std::uint16_t compile_expr(const ExprNode& e) {
+        switch (e.kind) {
+            case EKind::IntLit: {
+                const std::uint16_t dst = alloc_reg();
+                const std::size_t i = emit(Op::ConstInt, dst);
+                at(i).imm = e.int_value;
+                return dst;
+            }
+            case EKind::BoolLit: {
+                const std::uint16_t dst = alloc_reg();
+                const std::size_t i = emit(Op::ConstBool, dst);
+                at(i).imm = e.bool_value ? 1 : 0;
+                return dst;
+            }
+            case EKind::NullLit: {
+                const std::uint16_t dst = alloc_reg();
+                emit(Op::ConstNull, dst);
+                return dst;
+            }
+            case EKind::VarRef:
+                return lookup(e.name, e.loc);
+            case EKind::Unary: {
+                const std::uint16_t v = compile_expr(*e.lhs);
+                const std::uint16_t dst = alloc_reg();
+                emit(e.un == UnOp::Neg ? Op::Neg : Op::Not, dst, v);
+                return dst;
+            }
+            case EKind::Binary:
+                return compile_binary(e);
+            case EKind::Index: {
+                const std::uint16_t base = compile_expr(*e.lhs);
+                const std::uint16_t idx = compile_expr(*e.rhs);
+                const std::uint16_t dst = alloc_reg();
+                const std::size_t i = emit(Op::Load, dst, base, idx);
+                at(i).site = e.node_id;
+                at(i).loc = e.loc;
+                at(i).imm = lang::is_reference_type(e.type) ? 1 : 0;
+                return dst;
+            }
+            case EKind::Len: {
+                const std::uint16_t base = compile_expr(*e.lhs);
+                const std::uint16_t dst = alloc_reg();
+                const std::size_t i = emit(Op::Len, dst, base);
+                at(i).site = e.node_id;
+                at(i).loc = e.loc;
+                return dst;
+            }
+            case EKind::Call:
+                return compile_call(e);
+        }
+        PI_CHECK(false, "unhandled expression kind");
+        return 0;
+    }
+
+    std::uint16_t compile_binary(const ExprNode& e) {
+        // Short-circuit booleans lower to the same branch shape the AST
+        // walker executes: a recorded branch on each evaluated operand and a
+        // concrete (shadow-free) result.
+        if (e.bin == BinOp::And || e.bin == BinOp::Or) {
+            const std::uint16_t l = compile_expr(*e.lhs);
+            const std::uint16_t dst = alloc_reg();
+            const std::size_t br = emit(Op::BrCond, l);
+            at(br).site = e.lhs->node_id;
+            at(br).loc = e.lhs->loc;
+            const std::int32_t rhs_label = here();
+            const std::uint16_t r = compile_expr(*e.rhs);
+            {
+                const std::size_t g = emit(Op::Guard, r);
+                at(g).site = e.rhs->node_id;
+                at(g).loc = e.rhs->loc;
+            }
+            emit(Op::BoolOf, dst, r);
+            const std::size_t skip = emit(Op::Br);
+            const std::int32_t short_label = here();
+            emit(Op::BoolOf, dst, l);
+            at(skip).t0 = here();
+            if (e.bin == BinOp::And) {
+                at(br).t0 = rhs_label;    // lhs true: evaluate rhs
+                at(br).t1 = short_label;  // lhs false: short-circuit
+            } else {
+                at(br).t0 = short_label;  // lhs true: short-circuit
+                at(br).t1 = rhs_label;    // lhs false: evaluate rhs
+            }
+            return dst;
+        }
+
+        // Reference equality (against null only; enforced by the checker).
+        if ((e.bin == BinOp::Eq || e.bin == BinOp::Ne) &&
+            lang::is_reference_type(e.lhs->type)) {
+            const std::uint16_t l = compile_expr(*e.lhs);
+            const std::uint16_t r = compile_expr(*e.rhs);
+            const std::uint16_t refside = (e.rhs->kind == EKind::NullLit) ? l : r;
+            const std::uint16_t dst = alloc_reg();
+            emit(e.bin == BinOp::Eq ? Op::RefEqNull : Op::RefNeNull, dst, refside);
+            return dst;
+        }
+
+        const std::uint16_t l = compile_expr(*e.lhs);
+        const std::uint16_t r = compile_expr(*e.rhs);
+        const std::uint16_t dst = alloc_reg();
+        Op op = Op::Add;
+        switch (e.bin) {
+            case BinOp::Add: op = Op::Add; break;
+            case BinOp::Sub: op = Op::Sub; break;
+            case BinOp::Mul: op = Op::Mul; break;
+            case BinOp::Div: op = Op::Div; break;
+            case BinOp::Mod: op = Op::Mod; break;
+            case BinOp::Eq: op = Op::CmpEq; break;
+            case BinOp::Ne: op = Op::CmpNe; break;
+            case BinOp::Lt: op = Op::CmpLt; break;
+            case BinOp::Le: op = Op::CmpLe; break;
+            case BinOp::Gt: op = Op::CmpGt; break;
+            case BinOp::Ge: op = Op::CmpGe; break;
+            case BinOp::And: case BinOp::Or:
+                PI_CHECK(false, "short-circuit operator in arithmetic lowering");
+        }
+        const std::size_t i = emit(op, dst, l, r);
+        if (e.bin == BinOp::Div || e.bin == BinOp::Mod) {
+            at(i).site = e.node_id;
+            at(i).loc = e.loc;
+        }
+        return dst;
+    }
+
+    std::uint16_t compile_call(const ExprNode& e) {
+        if (e.name == "iswhitespace") {
+            const std::uint16_t v = compile_expr(*e.args[0]);
+            const std::uint16_t dst = alloc_reg();
+            emit(Op::IsWhite, dst, v);
+            return dst;
+        }
+        if (e.name == "newintarray" || e.name == "newstrarray") {
+            const std::uint16_t n = compile_expr(*e.args[0]);
+            const std::uint16_t dst = alloc_reg();
+            const std::size_t i = emit(Op::NewArr, dst, n);
+            at(i).site = e.node_id;
+            at(i).loc = e.loc;
+            at(i).imm = (e.name == "newstrarray") ? 1 : 0;
+            return dst;
+        }
+        PI_CHECK(program_ != nullptr,
+                 "call to '" + e.name + "' without a program context");
+        int callee = -1;
+        for (std::size_t i = 0; i < program_->methods.size(); ++i) {
+            if (program_->methods[i].name == e.name) {
+                callee = static_cast<int>(i);
+                break;
+            }
+        }
+        PI_CHECK(callee >= 0, "unknown method '" + e.name + "' survived type checking");
+        // The AST walker checks the call-depth budget before evaluating the
+        // arguments; Precall reproduces that ordering.
+        {
+            const std::size_t p = emit(Op::Precall);
+            at(p).loc = e.loc;
+        }
+        std::vector<std::uint16_t> arg_regs;
+        arg_regs.reserve(e.args.size());
+        for (const lang::ExprPtr& a : e.args) arg_regs.push_back(compile_expr(*a));
+        const std::uint16_t dst = alloc_reg();
+        const std::size_t i = emit(Op::Call, dst,
+                                   static_cast<std::uint16_t>(arg_regs.size()));
+        at(i).site = e.node_id;
+        at(i).loc = e.loc;
+        at(i).imm = callee;
+        at(i).t0 = static_cast<std::int32_t>(fn_.call_args.size());
+        fn_.call_args.insert(fn_.call_args.end(), arg_regs.begin(), arg_regs.end());
+        return dst;
+    }
+
+    struct LoopCtx {
+        std::vector<std::size_t> break_brs;
+        std::vector<std::size_t> continue_brs;
+    };
+
+    const lang::Method& method_;
+    const lang::Program* program_;
+    Function fn_;
+    int top_ = 0;
+    int num_regs_ = 0;
+    std::vector<std::unordered_map<std::string, std::uint16_t>> scopes_;
+    std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+Module compile(const lang::Method& method, const lang::Program* program) {
+    Module m;
+    if (program != nullptr) {
+        int entry = -1;
+        for (std::size_t i = 0; i < program->methods.size(); ++i) {
+            if (&program->methods[i] == &method) entry = static_cast<int>(i);
+        }
+        if (entry >= 0) {
+            m.functions.reserve(program->methods.size());
+            for (const lang::Method& mth : program->methods) {
+                m.functions.push_back(FunctionCompiler(mth, program).compile());
+            }
+            m.entry = entry;
+            return m;
+        }
+    }
+    m.functions.push_back(FunctionCompiler(method, program).compile());
+    m.entry = 0;
+    return m;
+}
+
+}  // namespace preinfer::il

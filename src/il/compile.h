@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/il/il.h"
+#include "src/lang/ast.h"
+
+namespace preinfer::il {
+
+/// Compiles a type-checked, block-labeled method (and, when `program` is
+/// given, every method of the program, so calls resolve to function
+/// indices) into bytecode. Linearization preserves the AST walker's
+/// evaluation order exactly — operand order, short-circuit branch shape,
+/// check placement, tick placement — because both backends must emit
+/// identical pool-operation sequences (see src/exec/shadow.h and
+/// docs/IL.md § Compilation rules).
+///
+/// The entry function is `module.entry`. Compilation is deterministic; the
+/// result passes il::verify().
+[[nodiscard]] Module compile(const lang::Method& method,
+                             const lang::Program* program = nullptr);
+
+}  // namespace preinfer::il

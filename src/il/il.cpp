@@ -1,0 +1,52 @@
+#include "src/il/il.h"
+
+namespace preinfer::il {
+
+const char* op_name(Op op) {
+    switch (op) {
+        case Op::Tick: return "tick";
+        case Op::ConstInt: return "const_int";
+        case Op::ConstBool: return "const_bool";
+        case Op::ConstNull: return "const_null";
+        case Op::Move: return "move";
+        case Op::BoolOf: return "bool_of";
+        case Op::Neg: return "neg";
+        case Op::Not: return "not";
+        case Op::Add: return "add";
+        case Op::Sub: return "sub";
+        case Op::Mul: return "mul";
+        case Op::Div: return "div";
+        case Op::Mod: return "mod";
+        case Op::CmpEq: return "cmp_eq";
+        case Op::CmpNe: return "cmp_ne";
+        case Op::CmpLt: return "cmp_lt";
+        case Op::CmpLe: return "cmp_le";
+        case Op::CmpGt: return "cmp_gt";
+        case Op::CmpGe: return "cmp_ge";
+        case Op::RefEqNull: return "ref_eq_null";
+        case Op::RefNeNull: return "ref_ne_null";
+        case Op::IsWhite: return "is_white";
+        case Op::Len: return "len";
+        case Op::Load: return "load";
+        case Op::Store: return "store";
+        case Op::NewArr: return "new_arr";
+        case Op::Guard: return "guard";
+        case Op::Br: return "br";
+        case Op::BrCond: return "br_cond";
+        case Op::Check: return "check";
+        case Op::Precall: return "precall";
+        case Op::Call: return "call";
+        case Op::Ret: return "ret";
+        case Op::RetVoid: return "ret_void";
+    }
+    return "?";
+}
+
+const Function* Module::find(std::string_view name) const {
+    for (const Function& f : functions) {
+        if (f.name == name) return &f;
+    }
+    return nullptr;
+}
+
+}  // namespace preinfer::il

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/source_location.h"
+
+namespace preinfer::il {
+
+/// Flat register-based bytecode for MiniLang (docs/IL.md is the normative
+/// spec; tools/docs_check --il keeps its instruction table synced with this
+/// enum). One method compiles to one Function whose virtual registers carry
+/// concolic values — a concrete word plus an optional symbolic shadow
+/// expression — so the interpreter in src/exec/il_interp.cpp replays the
+/// exact pool-operation order of the AST walker.
+enum class Op : std::uint8_t {
+    Tick,       ///< step budget + block coverage; imm = block id, -1 = loop head
+    ConstInt,   ///< a <- imm (no shadow)
+    ConstBool,  ///< a <- (imm != 0) (no shadow)
+    ConstNull,  ///< a <- null reference, shadow NullConst
+    Move,       ///< a <- b (value and shadow)
+    BoolOf,     ///< a <- concrete truth of b, shadow dropped (short-circuit result)
+    Neg,        ///< a <- -b (wrapping)
+    Not,        ///< a <- !b
+    Add,        ///< a <- b + c (wrapping)
+    Sub,        ///< a <- b - c (wrapping)
+    Mul,        ///< a <- b * c (wrapping)
+    Div,        ///< a <- b / c after DivideByZero check at `site`
+    Mod,        ///< a <- b % c after DivideByZero check at `site`
+    CmpEq,      ///< a <- (b == c), integer compare
+    CmpNe,      ///< a <- (b != c)
+    CmpLt,      ///< a <- (b < c)
+    CmpLe,      ///< a <- (b <= c)
+    CmpGt,      ///< a <- (b > c)
+    CmpGe,      ///< a <- (b >= c)
+    RefEqNull,  ///< a <- (b == null), reference compare
+    RefNeNull,  ///< a <- (b != null)
+    IsWhite,    ///< a <- iswhitespace(b)
+    Len,        ///< a <- len(b) after NullReference check at `site`
+    Load,       ///< a <- b[c] after null/bounds checks; imm = element sort (0 int, 1 ref)
+    Store,      ///< a[b] <- c after null/bounds checks; imm = element sort
+    NewArr,     ///< a <- new array of length reg b; imm = 1 for str elements
+    Guard,      ///< record branch predicate of a at `site` (no jump)
+    Br,         ///< pc <- t0
+    BrCond,     ///< record branch predicate of a; pc <- a ? t0 : t1
+    Check,      ///< assert a at `site`; imm = core::ExceptionKind on failure
+    Precall,    ///< call-depth budget check (before argument evaluation)
+    Call,       ///< a <- call functions[imm](call_args[t0 .. t0+b))
+    Ret,        ///< return a to the caller (entry frame: normal exit)
+    RetVoid,    ///< return the frame's default value (fell off the end)
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::RetVoid) + 1;
+
+/// Snake-case mnemonic ("const_int", "br_cond", ...) used by the
+/// disassembler and docs.
+[[nodiscard]] const char* op_name(Op op);
+
+/// One instruction. Operand roles depend on `op` (see the enum comments and
+/// docs/IL.md): `a` is the destination register for value-producing ops,
+/// `b`/`c` are source registers, `t0`/`t1` are jump targets (instruction
+/// indices) or the Call argument-pool offset, `imm` is an inline constant,
+/// and `site`/`loc` carry the originating AST node id and source location
+/// for path predicates and runtime checks.
+struct Instr {
+    Op op = Op::Tick;
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+    std::uint16_t c = 0;
+    std::int32_t site = -1;
+    std::int32_t t0 = -1;
+    std::int32_t t1 = -1;
+    std::int64_t imm = 0;
+    support::SourceLoc loc;
+};
+
+/// One compiled method. Registers [0, num_params) hold the parameters on
+/// entry; the compiler allocates the rest block-scoped (a register is never
+/// live across two unrelated variables, so shadowing is resolved at compile
+/// time).
+struct Function {
+    std::string name;
+    int num_params = 0;
+    int num_regs = 0;
+    lang::Type ret = lang::Type::Void;
+    std::vector<lang::Type> param_types;
+    std::vector<Instr> code;
+    /// Flat pool of caller argument registers; a Call's arguments are the
+    /// slice [t0, t0 + b).
+    std::vector<std::uint16_t> call_args;
+};
+
+/// A compiled program: the entry method plus every method it may call.
+/// Call instructions index `functions` directly.
+struct Module {
+    std::vector<Function> functions;
+    int entry = 0;
+
+    [[nodiscard]] const Function* find(std::string_view name) const;
+    [[nodiscard]] const Function& entry_function() const { return functions[static_cast<std::size_t>(entry)]; }
+};
+
+}  // namespace preinfer::il

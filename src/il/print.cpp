@@ -1,0 +1,133 @@
+#include "src/il/print.h"
+
+#include <string>
+
+#include "src/core/path_condition.h"
+
+namespace preinfer::il {
+
+namespace {
+
+std::string reg(std::uint16_t r) { return "r" + std::to_string(r); }
+
+std::string type_str(lang::Type t) { return lang::type_name(t); }
+
+void append_instr(std::string& out, const Function& fn, std::size_t pc) {
+    const Instr& in = fn.code[pc];
+    std::string line = std::to_string(pc);
+    while (line.size() < 4) line.insert(line.begin(), ' ');
+    line += ": ";
+    std::string mn = op_name(in.op);
+    while (mn.size() < 12) mn.push_back(' ');
+    line += mn;
+    switch (in.op) {
+        case Op::Tick:
+            line += "block=" + std::to_string(in.imm);
+            break;
+        case Op::ConstInt:
+        case Op::ConstBool:
+            line += reg(in.a) + ", " + std::to_string(in.imm);
+            break;
+        case Op::ConstNull:
+            line += reg(in.a);
+            break;
+        case Op::Move:
+        case Op::BoolOf:
+        case Op::Neg:
+        case Op::Not:
+        case Op::RefEqNull:
+        case Op::RefNeNull:
+        case Op::IsWhite:
+        case Op::Len:
+            line += reg(in.a) + ", " + reg(in.b);
+            break;
+        case Op::Add:
+        case Op::Sub:
+        case Op::Mul:
+        case Op::Div:
+        case Op::Mod:
+        case Op::CmpEq:
+        case Op::CmpNe:
+        case Op::CmpLt:
+        case Op::CmpLe:
+        case Op::CmpGt:
+        case Op::CmpGe:
+            line += reg(in.a) + ", " + reg(in.b) + ", " + reg(in.c);
+            break;
+        case Op::Load:
+            line += reg(in.a) + ", " + reg(in.b) + "[" + reg(in.c) + "]";
+            break;
+        case Op::Store:
+            line += reg(in.a) + "[" + reg(in.b) + "], " + reg(in.c);
+            break;
+        case Op::NewArr:
+            line += reg(in.a) + ", len=" + reg(in.b) +
+                    (in.imm == 1 ? ", str" : ", int");
+            break;
+        case Op::Guard:
+            line += reg(in.a);
+            break;
+        case Op::Br:
+            line += "-> " + std::to_string(in.t0);
+            break;
+        case Op::BrCond:
+            line += reg(in.a) + " -> " + std::to_string(in.t0) + ", " +
+                    std::to_string(in.t1);
+            break;
+        case Op::Check:
+            line += reg(in.a);
+            line += ", ";
+            line += core::exception_kind_name(
+                static_cast<core::ExceptionKind>(in.imm));
+            break;
+        case Op::Precall:
+            break;
+        case Op::Call: {
+            line += reg(in.a) + " = fn" + std::to_string(in.imm) + "(";
+            for (std::size_t k = 0; k < in.b; ++k) {
+                if (k > 0) line += ", ";
+                line += reg(fn.call_args[static_cast<std::size_t>(in.t0) + k]);
+            }
+            line += ")";
+            break;
+        }
+        case Op::Ret:
+            line += reg(in.a);
+            break;
+        case Op::RetVoid:
+            break;
+    }
+    if (in.site >= 0) {
+        line += "    site=" + std::to_string(in.site);
+    }
+    out += line;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string to_string(const Function& fn) {
+    std::string out = "func " + fn.name + "(";
+    for (int i = 0; i < fn.num_params; ++i) {
+        if (i > 0) out += ", ";
+        out += reg(static_cast<std::uint16_t>(i)) + ": " +
+               type_str(fn.param_types[static_cast<std::size_t>(i)]);
+    }
+    out += ")";
+    if (fn.ret != lang::Type::Void) out += ": " + type_str(fn.ret);
+    out += "  regs=" + std::to_string(fn.num_regs) + "\n";
+    for (std::size_t pc = 0; pc < fn.code.size(); ++pc) append_instr(out, fn, pc);
+    return out;
+}
+
+std::string to_string(const Module& module) {
+    std::string out;
+    for (std::size_t i = 0; i < module.functions.size(); ++i) {
+        if (i > 0) out += '\n';
+        if (static_cast<int>(i) == module.entry) out += "; entry\n";
+        out += to_string(module.functions[i]);
+    }
+    return out;
+}
+
+}  // namespace preinfer::il

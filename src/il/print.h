@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "src/il/il.h"
+
+namespace preinfer::il {
+
+/// Deterministic textual disassembly ("il dump"): one `func` header per
+/// function followed by numbered instructions, snake-case mnemonics, `rN`
+/// registers and `-> N` jump targets. Stable across runs for identical
+/// modules — golden tests in tests/test_il.cpp and the worked example in
+/// docs/IL.md rely on the exact format.
+[[nodiscard]] std::string to_string(const Function& fn);
+[[nodiscard]] std::string to_string(const Module& module);
+
+}  // namespace preinfer::il

@@ -1,0 +1,416 @@
+#include "src/il/verify.h"
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "src/core/path_condition.h"
+
+namespace preinfer::il {
+
+namespace {
+
+/// Register sort lattice: Unset (no write yet) -> Int/Bool/Ref -> Conflict
+/// (joined from disagreeing writes).
+enum class RSort : std::uint8_t { Unset, Int, Bool, Ref, Conflict };
+
+RSort sort_of(lang::Type t) {
+    switch (t) {
+        case lang::Type::Int: return RSort::Int;
+        case lang::Type::Bool: return RSort::Bool;
+        case lang::Type::Str:
+        case lang::Type::IntArr:
+        case lang::Type::StrArr: return RSort::Ref;
+        case lang::Type::Void: return RSort::Int;  // default_value_of yields int 0
+    }
+    return RSort::Conflict;
+}
+
+const char* rsort_name(RSort s) {
+    switch (s) {
+        case RSort::Unset: return "unset";
+        case RSort::Int: return "int";
+        case RSort::Bool: return "bool";
+        case RSort::Ref: return "ref";
+        case RSort::Conflict: return "conflict";
+    }
+    return "?";
+}
+
+RSort join(RSort a, RSort b) {
+    if (a == b) return a;
+    if (a == RSort::Unset) return b;
+    if (b == RSort::Unset) return a;
+    return RSort::Conflict;
+}
+
+class FunctionVerifier {
+public:
+    FunctionVerifier(const Module& module, std::size_t fn_index,
+                     std::vector<std::string>& errors)
+        : module_(module), fn_(module.functions[fn_index]), errors_(errors) {}
+
+    void run() {
+        if (!structural()) return;
+        dataflow();
+    }
+
+private:
+    void error(std::size_t pc, const std::string& what) {
+        errors_.push_back(fn_.name + "@" + std::to_string(pc) + ": " + what);
+    }
+
+    bool reg_ok(std::size_t pc, std::uint16_t r, const char* role) {
+        if (static_cast<int>(r) < fn_.num_regs) return true;
+        error(pc, std::string("register r") + std::to_string(r) + " (" + role +
+                      ") out of range (num_regs=" + std::to_string(fn_.num_regs) + ")");
+        return false;
+    }
+
+    bool target_ok(std::size_t pc, std::int32_t t) {
+        if (t >= 0 && static_cast<std::size_t>(t) < fn_.code.size()) return true;
+        error(pc, "jump target " + std::to_string(t) + " out of range");
+        return false;
+    }
+
+    /// Operand shape per opcode: which of a/b/c are read/written, which
+    /// targets must be valid. Returns false when a later pass would crash.
+    bool structural() {
+        bool ok = true;
+        if (fn_.num_params > fn_.num_regs) {
+            errors_.push_back(fn_.name + ": num_params exceeds num_regs");
+            ok = false;
+        }
+        if (fn_.param_types.size() != static_cast<std::size_t>(fn_.num_params)) {
+            errors_.push_back(fn_.name + ": param_types/num_params mismatch");
+            ok = false;
+        }
+        if (fn_.code.empty()) {
+            errors_.push_back(fn_.name + ": empty code");
+            return false;
+        }
+        const Op last = fn_.code.back().op;
+        if (last != Op::Br && last != Op::BrCond && last != Op::Ret &&
+            last != Op::RetVoid) {
+            errors_.push_back(fn_.name + ": control can fall off the end (last op " +
+                              op_name(last) + ")");
+            ok = false;
+        }
+        for (std::size_t pc = 0; pc < fn_.code.size(); ++pc) {
+            const Instr& in = fn_.code[pc];
+            switch (in.op) {
+                case Op::Tick:
+                case Op::Precall:
+                case Op::RetVoid:
+                    break;
+                case Op::ConstInt:
+                case Op::ConstBool:
+                case Op::ConstNull:
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    break;
+                case Op::Move:
+                case Op::BoolOf:
+                case Op::Neg:
+                case Op::Not:
+                case Op::RefEqNull:
+                case Op::RefNeNull:
+                case Op::IsWhite:
+                case Op::Len:
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    ok = reg_ok(pc, in.b, "src") && ok;
+                    break;
+                case Op::Add:
+                case Op::Sub:
+                case Op::Mul:
+                case Op::Div:
+                case Op::Mod:
+                case Op::CmpEq:
+                case Op::CmpNe:
+                case Op::CmpLt:
+                case Op::CmpLe:
+                case Op::CmpGt:
+                case Op::CmpGe:
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    ok = reg_ok(pc, in.b, "lhs") && ok;
+                    ok = reg_ok(pc, in.c, "rhs") && ok;
+                    break;
+                case Op::Load:
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    ok = reg_ok(pc, in.b, "base") && ok;
+                    ok = reg_ok(pc, in.c, "index") && ok;
+                    if (in.imm != 0 && in.imm != 1) {
+                        error(pc, "load element sort must be 0 or 1");
+                        ok = false;
+                    }
+                    break;
+                case Op::Store:
+                    ok = reg_ok(pc, in.a, "base") && ok;
+                    ok = reg_ok(pc, in.b, "index") && ok;
+                    ok = reg_ok(pc, in.c, "src") && ok;
+                    if (in.imm != 0 && in.imm != 1) {
+                        error(pc, "store element sort must be 0 or 1");
+                        ok = false;
+                    }
+                    break;
+                case Op::NewArr:
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    ok = reg_ok(pc, in.b, "size") && ok;
+                    if (in.imm != 0 && in.imm != 1) {
+                        error(pc, "new_arr element sort must be 0 or 1");
+                        ok = false;
+                    }
+                    break;
+                case Op::Guard:
+                    ok = reg_ok(pc, in.a, "cond") && ok;
+                    break;
+                case Op::Br:
+                    ok = target_ok(pc, in.t0) && ok;
+                    break;
+                case Op::BrCond:
+                    ok = reg_ok(pc, in.a, "cond") && ok;
+                    ok = target_ok(pc, in.t0) && ok;
+                    ok = target_ok(pc, in.t1) && ok;
+                    break;
+                case Op::Check:
+                    ok = reg_ok(pc, in.a, "cond") && ok;
+                    if (in.imm < static_cast<std::int64_t>(
+                                     core::ExceptionKind::NullReference) ||
+                        in.imm > static_cast<std::int64_t>(
+                                     core::ExceptionKind::AssertionViolation)) {
+                        error(pc, "check exception kind " + std::to_string(in.imm) +
+                                      " invalid");
+                        ok = false;
+                    }
+                    break;
+                case Op::Call: {
+                    ok = reg_ok(pc, in.a, "dst") && ok;
+                    if (in.imm < 0 ||
+                        static_cast<std::size_t>(in.imm) >= module_.functions.size()) {
+                        error(pc, "call target " + std::to_string(in.imm) +
+                                      " out of range");
+                        ok = false;
+                        break;
+                    }
+                    const Function& callee =
+                        module_.functions[static_cast<std::size_t>(in.imm)];
+                    if (static_cast<int>(in.b) != callee.num_params) {
+                        error(pc, "call passes " + std::to_string(in.b) +
+                                      " args, " + callee.name + " takes " +
+                                      std::to_string(callee.num_params));
+                        ok = false;
+                    }
+                    if (in.t0 < 0 ||
+                        static_cast<std::size_t>(in.t0) + in.b > fn_.call_args.size()) {
+                        error(pc, "call argument slice out of range");
+                        ok = false;
+                        break;
+                    }
+                    for (std::size_t k = 0; k < in.b; ++k) {
+                        ok = reg_ok(pc, fn_.call_args[static_cast<std::size_t>(in.t0) + k],
+                                     "arg") && ok;
+                    }
+                    break;
+                }
+                case Op::Ret:
+                    ok = reg_ok(pc, in.a, "src") && ok;
+                    break;
+            }
+        }
+        return ok;
+    }
+
+    // --- sort dataflow ------------------------------------------------------
+    using State = std::vector<RSort>;
+
+    RSort read(std::size_t pc, const State& st, std::uint16_t r, const char* role,
+               RSort want) {
+        const RSort have = st[r];
+        if (have == RSort::Unset) {
+            error(pc, std::string("read of uninitialized r") + std::to_string(r) +
+                          " (" + role + ")");
+        } else if (want != RSort::Conflict && have != want) {
+            error(pc, std::string("r") + std::to_string(r) + " (" + role + ") is " +
+                          rsort_name(have) + ", expected " + rsort_name(want));
+        }
+        return have;
+    }
+
+    void dataflow() {
+        const std::size_t n = fn_.code.size();
+        State entry(static_cast<std::size_t>(fn_.num_regs), RSort::Unset);
+        for (int i = 0; i < fn_.num_params; ++i) {
+            entry[static_cast<std::size_t>(i)] =
+                sort_of(fn_.param_types[static_cast<std::size_t>(i)]);
+        }
+        std::vector<State> in_state(n);
+        std::vector<bool> reached(n, false);
+        in_state[0] = entry;
+        reached[0] = true;
+        std::deque<std::size_t> work{0};
+        std::vector<bool> queued(n, false);
+        queued[0] = true;
+        // Fixpoint first (quietly), diagnostics second: reporting during the
+        // iteration would duplicate errors per visit.
+        while (!work.empty()) {
+            const std::size_t pc = work.front();
+            work.pop_front();
+            queued[pc] = false;
+            State out = in_state[pc];
+            apply(fn_.code[pc], out);
+            for (std::size_t succ : successors(pc)) {
+                bool changed = false;
+                if (!reached[succ]) {
+                    reached[succ] = true;
+                    in_state[succ] = out;
+                    changed = true;
+                } else {
+                    for (std::size_t r = 0; r < out.size(); ++r) {
+                        const RSort j = join(in_state[succ][r], out[r]);
+                        if (j != in_state[succ][r]) {
+                            in_state[succ][r] = j;
+                            changed = true;
+                        }
+                    }
+                }
+                if (changed && !queued[succ]) {
+                    work.push_back(succ);
+                    queued[succ] = true;
+                }
+            }
+        }
+        for (std::size_t pc = 0; pc < n; ++pc) {
+            if (reached[pc]) diagnose(pc, in_state[pc]);
+        }
+    }
+
+    [[nodiscard]] std::vector<std::size_t> successors(std::size_t pc) const {
+        const Instr& in = fn_.code[pc];
+        switch (in.op) {
+            case Op::Br: return {static_cast<std::size_t>(in.t0)};
+            case Op::BrCond:
+                return {static_cast<std::size_t>(in.t0), static_cast<std::size_t>(in.t1)};
+            case Op::Ret:
+            case Op::RetVoid: return {};
+            default:
+                if (pc + 1 < fn_.code.size()) return {pc + 1};
+                return {};
+        }
+    }
+
+    /// Transfer function: writes only (reads are diagnosed separately).
+    void apply(const Instr& in, State& st) const {
+        switch (in.op) {
+            case Op::ConstInt: st[in.a] = RSort::Int; break;
+            case Op::ConstBool: st[in.a] = RSort::Bool; break;
+            case Op::ConstNull: st[in.a] = RSort::Ref; break;
+            case Op::Move: st[in.a] = st[in.b]; break;
+            case Op::BoolOf:
+            case Op::Not:
+            case Op::CmpEq:
+            case Op::CmpNe:
+            case Op::CmpLt:
+            case Op::CmpLe:
+            case Op::CmpGt:
+            case Op::CmpGe:
+            case Op::RefEqNull:
+            case Op::RefNeNull:
+            case Op::IsWhite: st[in.a] = RSort::Bool; break;
+            case Op::Neg:
+            case Op::Add:
+            case Op::Sub:
+            case Op::Mul:
+            case Op::Div:
+            case Op::Mod:
+            case Op::Len: st[in.a] = RSort::Int; break;
+            case Op::Load: st[in.a] = (in.imm == 1) ? RSort::Ref : RSort::Int; break;
+            case Op::NewArr: st[in.a] = RSort::Ref; break;
+            case Op::Call:
+                st[in.a] = sort_of(
+                    module_.functions[static_cast<std::size_t>(in.imm)].ret);
+                break;
+            default: break;
+        }
+    }
+
+    /// Read diagnostics at one program point.
+    void diagnose(std::size_t pc, const State& st) {
+        const Instr& in = fn_.code[pc];
+        switch (in.op) {
+            case Op::Move: read(pc, st, in.b, "src", RSort::Conflict); break;
+            case Op::BoolOf: read(pc, st, in.b, "src", RSort::Bool); break;
+            case Op::Neg: read(pc, st, in.b, "src", RSort::Int); break;
+            case Op::Not: read(pc, st, in.b, "src", RSort::Bool); break;
+            case Op::Add:
+            case Op::Sub:
+            case Op::Mul:
+            case Op::Div:
+            case Op::Mod:
+            case Op::CmpEq:
+            case Op::CmpNe:
+            case Op::CmpLt:
+            case Op::CmpLe:
+            case Op::CmpGt:
+            case Op::CmpGe:
+                read(pc, st, in.b, "lhs", RSort::Int);
+                read(pc, st, in.c, "rhs", RSort::Int);
+                break;
+            case Op::RefEqNull:
+            case Op::RefNeNull: read(pc, st, in.b, "src", RSort::Ref); break;
+            case Op::IsWhite: read(pc, st, in.b, "src", RSort::Int); break;
+            case Op::Len: read(pc, st, in.b, "base", RSort::Ref); break;
+            case Op::Load:
+                read(pc, st, in.b, "base", RSort::Ref);
+                read(pc, st, in.c, "index", RSort::Int);
+                break;
+            case Op::Store:
+                read(pc, st, in.a, "base", RSort::Ref);
+                read(pc, st, in.b, "index", RSort::Int);
+                read(pc, st, in.c, "src",
+                     (in.imm == 1) ? RSort::Ref : RSort::Int);
+                break;
+            case Op::NewArr: read(pc, st, in.b, "size", RSort::Int); break;
+            case Op::Guard:
+            case Op::BrCond:
+            case Op::Check: read(pc, st, in.a, "cond", RSort::Bool); break;
+            case Op::Call: {
+                const Function& callee =
+                    module_.functions[static_cast<std::size_t>(in.imm)];
+                for (std::size_t k = 0; k < in.b; ++k) {
+                    read(pc, st,
+                         fn_.call_args[static_cast<std::size_t>(in.t0) + k], "arg",
+                         sort_of(callee.param_types[k]));
+                }
+                break;
+            }
+            case Op::Ret:
+                read(pc, st, in.a, "ret", sort_of(fn_.ret));
+                break;
+            default: break;
+        }
+    }
+
+    const Module& module_;
+    const Function& fn_;
+    std::vector<std::string>& errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+    std::vector<std::string> errors;
+    if (module.functions.empty()) {
+        errors.emplace_back("module has no functions");
+        return errors;
+    }
+    if (module.entry < 0 ||
+        static_cast<std::size_t>(module.entry) >= module.functions.size()) {
+        errors.emplace_back("module entry index out of range");
+        return errors;
+    }
+    for (std::size_t i = 0; i < module.functions.size(); ++i) {
+        FunctionVerifier(module, i, errors).run();
+    }
+    return errors;
+}
+
+}  // namespace preinfer::il

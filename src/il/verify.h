@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/il/il.h"
+
+namespace preinfer::il {
+
+/// Structural and sort checks over a compiled module (docs/IL.md
+/// § Verifier invariants): register operands in range, jump targets in
+/// range, no fallthrough off the end of a function, valid Call/Check/NewArr
+/// immediates, and a forward dataflow pass proving every register read is
+/// preceded by a write of the same sort (int / bool / ref) on every path.
+///
+/// Returns human-readable violations ("m0@3: read of uninitialized r2"),
+/// empty when the module is well-formed. compile() output always verifies;
+/// the checks exist to catch compiler regressions and hand-built test
+/// modules.
+[[nodiscard]] std::vector<std::string> verify(const Module& module);
+
+}  // namespace preinfer::il

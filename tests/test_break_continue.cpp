@@ -7,6 +7,7 @@
 
 #include "helpers.h"
 #include "src/core/preinfer.h"
+#include "src/exec/concolic.h"
 #include "src/lang/print.h"
 #include "src/support/diagnostics.h"
 

@@ -5,6 +5,7 @@
 #include "src/eval/acl_classify.h"
 #include "src/eval/paper_metrics.h"
 #include "src/eval/spec.h"
+#include "src/exec/concolic.h"
 
 namespace preinfer::eval {
 namespace {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "helpers.h"
+#include "src/exec/concolic.h"
 #include "src/sym/print.h"
 
 namespace preinfer::exec {

@@ -1,0 +1,496 @@
+// The bytecode IL (docs/IL.md): compiler goldens per statement kind,
+// verifier rejections, disassembler stability, and — the property the
+// whole backend rests on — byte-identical behavior between the IL
+// interpreter and the reference AST walker, down to pointer-equal path
+// predicates when both intern into the same pool.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "helpers.h"
+#include "src/eval/corpus.h"
+#include "src/eval/harness.h"
+#include "src/eval/subject.h"
+#include "src/exec/concolic.h"
+#include "src/exec/il_interp.h"
+#include "src/il/compile.h"
+#include "src/il/print.h"
+#include "src/il/verify.h"
+#include "src/lang/blocks.h"
+#include "src/lang/parser.h"
+#include "src/lang/type_check.h"
+
+namespace preinfer {
+namespace {
+
+lang::Program compile_program(std::string_view src) {
+    lang::Program prog = lang::parse_program(src);
+    lang::type_check(prog);
+    lang::label_blocks(prog);
+    return prog;
+}
+
+/// Disassembly with trailing whitespace stripped per line, so goldens in
+/// this file survive editors that trim line ends.
+std::string disasm(const il::Module& m) {
+    std::istringstream in(il::to_string(m));
+    std::string out;
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() && line.back() == ' ') line.pop_back();
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+il::Module compile_il(const lang::Program& prog) {
+    il::Module m = il::compile(prog.methods.front(), &prog);
+    EXPECT_TRUE(il::verify(m).empty());
+    return m;
+}
+
+// --- compiler goldens --------------------------------------------------------
+
+TEST(IlCompile, VarDeclAndAssign) {
+    const lang::Program p = compile_program(
+        "method m(a: int) : int { var x = a + 1; x = x * 2; return x; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int): int  regs=4\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 1\n"
+              "   2: add         r2, r0, r1\n"
+              "   3: move        r1, r2\n"
+              "   4: tick        block=0\n"
+              "   5: const_int   r2, 2\n"
+              "   6: mul         r3, r1, r2\n"
+              "   7: move        r1, r3\n"
+              "   8: tick        block=0\n"
+              "   9: ret         r1\n"
+              "  10: ret_void\n");
+}
+
+TEST(IlCompile, IfElse) {
+    const lang::Program p = compile_program(
+        "method m(a: int) : int { if (a > 0) { return 1; } else { return 2; } }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int): int  regs=3\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 0\n"
+              "   2: cmp_gt      r2, r0, r1\n"
+              "   3: br_cond     r2 -> 4, 8    site=3\n"
+              "   4: tick        block=1\n"
+              "   5: const_int   r1, 1\n"
+              "   6: ret         r1\n"
+              "   7: br          -> 11\n"
+              "   8: tick        block=2\n"
+              "   9: const_int   r1, 2\n"
+              "  10: ret         r1\n"
+              "  11: ret_void\n");
+}
+
+TEST(IlCompile, WhileWithBreak) {
+    // The loop head gets its own tick (block=-1, matching the AST walker's
+    // per-iteration tick); break branches to the exit label.
+    const lang::Program p = compile_program(
+        "method m(a: int) : int { var i = 0; while (i < a) {"
+        " if (i == 3) { break; } i = i + 1; } return i; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int): int  regs=4\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 0\n"
+              "   2: tick        block=0\n"
+              "   3: tick        block=-1\n"
+              "   4: cmp_lt      r2, r1, r0\n"
+              "   5: br_cond     r2 -> 6, 18    site=5\n"
+              "   6: tick        block=1\n"
+              "   7: const_int   r2, 3\n"
+              "   8: cmp_eq      r3, r1, r2\n"
+              "   9: br_cond     r3 -> 10, 13    site=9\n"
+              "  10: tick        block=2\n"
+              "  11: br          -> 18\n"
+              "  12: br          -> 13\n"
+              "  13: tick        block=3\n"
+              "  14: const_int   r2, 1\n"
+              "  15: add         r3, r1, r2\n"
+              "  16: move        r1, r3\n"
+              "  17: br          -> 3\n"
+              "  18: tick        block=4\n"
+              "  19: ret         r1\n"
+              "  20: ret_void\n");
+}
+
+TEST(IlCompile, AssertAndDivision) {
+    const lang::Program p = compile_program(
+        "method m(a: int) : int { assert(a != 0); return 10 / a; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int): int  regs=3\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 0\n"
+              "   2: cmp_ne      r2, r0, r1\n"
+              "   3: check       r2, AssertionViolation    site=0\n"
+              "   4: tick        block=0\n"
+              "   5: const_int   r1, 10\n"
+              "   6: div         r2, r1, r0    site=7\n"
+              "   7: ret         r2\n"
+              "   8: ret_void\n");
+}
+
+TEST(IlCompile, ArrayLoadStoreLen) {
+    const lang::Program p = compile_program(
+        "method m(xs: int[]) : int { xs[0] = xs[1]; return xs.len; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int[]): int  regs=4\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 0\n"
+              "   2: const_int   r2, 1\n"
+              "   3: load        r3, r0[r2]    site=3\n"
+              "   4: store       r0[r1], r3    site=0\n"
+              "   5: tick        block=0\n"
+              "   6: len         r1, r0    site=7\n"
+              "   7: ret         r1\n"
+              "   8: ret_void\n");
+}
+
+TEST(IlCompile, UserCall) {
+    // Precall (depth-budget check) precedes argument evaluation, exactly as
+    // the AST walker orders it; the callee compiles as its own function.
+    const lang::Program p = compile_program(
+        "method m(a: int) : int { return helper(a) + 1; }\n"
+        "method helper(x: int) : int { return x + 2; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int): int  regs=4\n"
+              "   0: tick        block=0\n"
+              "   1: precall\n"
+              "   2: call        r1 = fn1(r0)    site=1\n"
+              "   3: const_int   r2, 1\n"
+              "   4: add         r3, r1, r2\n"
+              "   5: ret         r3\n"
+              "   6: ret_void\n"
+              "\n"
+              "func helper(r0: int): int  regs=3\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r1, 2\n"
+              "   2: add         r2, r0, r1\n"
+              "   3: ret         r2\n"
+              "   4: ret_void\n");
+}
+
+TEST(IlCompile, ShortCircuitAnd) {
+    // && lowers to a branch whose taken edge guards (records) the rhs; the
+    // join writes the boolean result with the shadow dropped (BoolOf), the
+    // same desugaring the AST walker performs.
+    const lang::Program p = compile_program(
+        "method m(a: int, b: bool) : bool { return (a > 0) && b; }");
+    EXPECT_EQ(disasm(compile_il(p)),
+              "; entry\n"
+              "func m(r0: int, r1: bool): bool  regs=5\n"
+              "   0: tick        block=0\n"
+              "   1: const_int   r2, 0\n"
+              "   2: cmp_gt      r3, r0, r2\n"
+              "   3: br_cond     r3 -> 4, 7    site=3\n"
+              "   4: guard       r1    site=4\n"
+              "   5: bool_of     r4, r1\n"
+              "   6: br          -> 8\n"
+              "   7: bool_of     r4, r3\n"
+              "   8: ret         r4\n"
+              "   9: ret_void\n");
+}
+
+TEST(IlCompile, DisassemblyIsStable) {
+    const char* src =
+        "method m(xs: int[], a: int) : int {"
+        " var s = 0; for (var i = 0; i < xs.len; i = i + 1) {"
+        " s = s + xs[i]; } if (a > 0 || s > 10) { return s / a; } return s; }";
+    const lang::Program p1 = compile_program(src);
+    const lang::Program p2 = compile_program(src);
+    const std::string d1 = il::to_string(il::compile(p1.methods[0], &p1));
+    const std::string d2 = il::to_string(il::compile(p2.methods[0], &p2));
+    EXPECT_EQ(d1, d2);
+    // Printing is a pure function of the module.
+    const il::Module m = il::compile(p1.methods[0], &p1);
+    EXPECT_EQ(il::to_string(m), il::to_string(m));
+}
+
+// --- verifier rejections -----------------------------------------------------
+
+il::Module single_function(il::Function f) {
+    il::Module m;
+    m.functions.push_back(std::move(f));
+    m.entry = 0;
+    return m;
+}
+
+bool has_error(const std::vector<std::string>& errors, std::string_view needle) {
+    for (const std::string& e : errors) {
+        if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+TEST(IlVerify, RejectsRegisterOutOfRange) {
+    il::Function f;
+    f.name = "f";
+    f.num_regs = 1;
+    il::Instr bad;
+    bad.op = il::Op::ConstInt;
+    bad.a = 5;
+    f.code.push_back(bad);
+    il::Instr ret;
+    ret.op = il::Op::RetVoid;
+    f.code.push_back(ret);
+    const auto errors = il::verify(single_function(std::move(f)));
+    EXPECT_TRUE(has_error(errors, "register r5 (dst) out of range (num_regs=1)"))
+        << ::testing::PrintToString(errors);
+}
+
+TEST(IlVerify, RejectsFallthroughOffTheEnd) {
+    il::Function f;
+    f.name = "f";
+    f.num_regs = 1;
+    il::Instr in;
+    in.op = il::Op::ConstInt;
+    f.code.push_back(in);
+    const auto errors = il::verify(single_function(std::move(f)));
+    EXPECT_TRUE(has_error(errors, "control can fall off the end"))
+        << ::testing::PrintToString(errors);
+}
+
+TEST(IlVerify, RejectsEmptyFunction) {
+    il::Function f;
+    f.name = "f";
+    const auto errors = il::verify(single_function(std::move(f)));
+    EXPECT_TRUE(has_error(errors, "empty code")) << ::testing::PrintToString(errors);
+}
+
+TEST(IlVerify, RejectsSortMismatch) {
+    // Neg reads an int; feeding it the bool parameter is a type error.
+    il::Function f;
+    f.name = "f";
+    f.num_params = 1;
+    f.num_regs = 2;
+    f.param_types = {lang::Type::Bool};
+    f.ret = lang::Type::Int;
+    il::Instr neg;
+    neg.op = il::Op::Neg;
+    neg.a = 1;
+    neg.b = 0;
+    f.code.push_back(neg);
+    il::Instr ret;
+    ret.op = il::Op::Ret;
+    ret.a = 1;
+    f.code.push_back(ret);
+    const auto errors = il::verify(single_function(std::move(f)));
+    EXPECT_TRUE(has_error(errors, "r0 (src) is bool, expected int"))
+        << ::testing::PrintToString(errors);
+}
+
+TEST(IlVerify, RejectsUninitializedRead) {
+    il::Function f;
+    f.name = "f";
+    f.num_regs = 2;
+    il::Instr mv;
+    mv.op = il::Op::Move;
+    mv.a = 0;
+    mv.b = 1;
+    f.code.push_back(mv);
+    il::Instr ret;
+    ret.op = il::Op::RetVoid;
+    f.code.push_back(ret);
+    const auto errors = il::verify(single_function(std::move(f)));
+    EXPECT_TRUE(has_error(errors, "read of uninitialized r1 (src)"))
+        << ::testing::PrintToString(errors);
+}
+
+TEST(IlVerify, AcceptsEveryCorpusMethod) {
+    for (const eval::Subject& s : eval::corpus()) {
+        for (const eval::SubjectMethod& sm : s.methods) {
+            const lang::Program prog = compile_program(sm.source);
+            const il::Module m = il::compile(prog.methods.front(), &prog);
+            EXPECT_TRUE(il::verify(m).empty()) << sm.name;
+        }
+    }
+}
+
+// --- AST vs IL byte-identity -------------------------------------------------
+
+/// Runs one input under both backends against the SAME pool and demands
+/// identical results down to pointer-equal predicate expressions (equal
+/// shadow semantics means the IL run re-interns exactly the AST run's
+/// expressions).
+void expect_same_run(sym::ExprPool& pool, const lang::Program& prog,
+                     const exec::Input& input) {
+    const lang::Method& method = prog.methods.front();
+    const exec::ConcolicInterpreter ast(pool, method, {}, &prog);
+    const exec::IlInterpreter il(pool, method, {}, &prog);
+    const exec::RunResult a = ast.run(input);
+    const exec::RunResult b = il.run(input);
+    EXPECT_EQ(a.outcome.tag, b.outcome.tag);
+    EXPECT_TRUE(a.outcome.acl == b.outcome.acl);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.covered_blocks, b.covered_blocks);
+    ASSERT_EQ(a.pc.preds.size(), b.pc.preds.size());
+    for (std::size_t i = 0; i < a.pc.preds.size(); ++i) {
+        EXPECT_EQ(a.pc.preds[i].expr, b.pc.preds[i].expr) << "predicate " << i;
+        EXPECT_EQ(a.pc.preds[i].site_id, b.pc.preds[i].site_id);
+        EXPECT_EQ(a.pc.preds[i].check, b.pc.preds[i].check);
+    }
+    ASSERT_EQ(a.pc.visits.size(), b.pc.visits.size());
+    for (std::size_t i = 0; i < a.pc.visits.size(); ++i) {
+        EXPECT_TRUE(a.pc.visits[i].acl == b.pc.visits[i].acl);
+        EXPECT_EQ(a.pc.visits[i].position, b.pc.visits[i].position);
+    }
+}
+
+TEST(IlBackend, ShadowingAndBreakAgree) {
+    // Block-scoped shadowing plus break/continue: the AST walker resolves
+    // these with a scope stack at run time, the compiler at compile time —
+    // they must still agree on every observable.
+    const lang::Program p = compile_program(R"(
+        method m(a: int) : int {
+            var x = a;
+            var s = 0;
+            while (x > 0) {
+                var y = x * 2;
+                if (y > 8) { x = x - 2; continue; }
+                if (y == 4) { break; }
+                s = s + y;
+                x = x - 1;
+            }
+            return s + x;
+        })");
+    sym::ExprPool pool;
+    for (const std::int64_t v : {-1, 0, 1, 2, 3, 5, 9}) {
+        exec::Input in;
+        in.args.emplace_back(v);
+        expect_same_run(pool, p, in);
+    }
+}
+
+TEST(IlBackend, FailingPathsAgree) {
+    const lang::Program p = compile_program(R"(
+        method m(xs: int[], i: int) : int {
+            assert(i >= 0);
+            return xs[i] / i;
+        })");
+    sym::ExprPool pool;
+    for (const std::int64_t i : {-1, 0, 1, 5}) {
+        exec::Input in;
+        in.args.emplace_back(exec::IntArrInput::of({7, 8}));
+        in.args.emplace_back(i);
+        expect_same_run(pool, p, in);
+    }
+    // Null array: the implicit NullReference check fires.
+    exec::Input null_in;
+    exec::IntArrInput null_arr;
+    null_arr.is_null = true;
+    null_in.args.emplace_back(null_arr);
+    null_in.args.emplace_back(std::int64_t{0});
+    expect_same_run(pool, p, null_in);
+}
+
+TEST(IlBackend, InterproceduralAgree) {
+    const lang::Program p = compile_program(R"(
+        method m(a: int, b: int) : int {
+            return scale(a) + scale(b);
+        }
+        method scale(x: int) : int {
+            if (x < 0) { return 0 - x; }
+            return x * 3;
+        })");
+    sym::ExprPool pool;
+    for (const std::int64_t a : {-2, 0, 4}) {
+        for (const std::int64_t b : {-7, 1}) {
+            exec::Input in;
+            in.args.emplace_back(a);
+            in.args.emplace_back(b);
+            expect_same_run(pool, p, in);
+        }
+    }
+}
+
+TEST(IlBackendCorpus, ExplorationIsByteIdentical) {
+    // Full-corpus differential: explore every subject method once per
+    // backend (separate pools — signatures are structural, so they compare
+    // across pools) and demand identical suites.
+    for (const eval::Subject& s : eval::corpus()) {
+        for (const eval::SubjectMethod& sm : s.methods) {
+            const lang::Program prog = compile_program(sm.source);
+            const lang::Method& method = prog.methods.front();
+
+            gen::ExplorerConfig il_cfg;
+            il_cfg.backend = exec::Backend::IL;
+            sym::ExprPool il_pool;
+            gen::Explorer il_explorer(il_pool, method, il_cfg, &prog);
+            const gen::TestSuite il_suite = il_explorer.explore();
+
+            gen::ExplorerConfig ast_cfg;
+            ast_cfg.backend = exec::Backend::Ast;
+            sym::ExprPool ast_pool;
+            gen::Explorer ast_explorer(ast_pool, method, ast_cfg, &prog);
+            const gen::TestSuite ast_suite = ast_explorer.explore();
+
+            ASSERT_EQ(il_suite.tests.size(), ast_suite.tests.size()) << sm.name;
+            for (std::size_t i = 0; i < il_suite.tests.size(); ++i) {
+                const gen::Test& x = il_suite.tests[i];
+                const gen::Test& y = ast_suite.tests[i];
+                EXPECT_EQ(x.input.to_string(method), y.input.to_string(method))
+                    << sm.name;
+                EXPECT_EQ(x.result.outcome.to_string(), y.result.outcome.to_string())
+                    << sm.name;
+                EXPECT_EQ(x.result.pc.signature(), y.result.pc.signature())
+                    << sm.name << " test " << i;
+                EXPECT_EQ(x.result.steps, y.result.steps) << sm.name;
+                EXPECT_EQ(x.result.covered_blocks, y.result.covered_blocks) << sm.name;
+            }
+        }
+    }
+}
+
+TEST(IlBackendHarness, JobsEquivalenceUnderIl) {
+    // The IL backend under the parallel harness: jobs=1 and jobs=4 must
+    // produce byte-identical merged traces (which carry the backend tag).
+    eval::Subject subject = eval::subject_from_source("il-jobs", R"(
+        method m(xs: int[], i: int) : int {
+            if (i < 0) { return 0; }
+            return xs[i];
+        })");
+    eval::SubjectMethod second;
+    second.name = "m2";
+    second.source =
+        "method m2(a: int, b: int) : int { assert(b != 0); return a / b; }";
+    subject.methods.push_back(std::move(second));
+    eval::SubjectMethod third;
+    third.name = "m3";
+    third.source =
+        "method m3(s: str) : int { return s[0]; }";
+    subject.methods.push_back(std::move(third));
+
+    eval::HarnessConfig hc;
+    hc.explore.max_tests = 48;
+    hc.validation.explore.max_tests = 32;
+    hc.validation.fuzz_count = 20;
+    hc.trace.enabled = true;
+
+    hc.jobs = 1;
+    const eval::HarnessResult serial = eval::run_harness({subject}, hc);
+    hc.jobs = 4;
+    const eval::HarnessResult parallel = eval::run_harness({subject}, hc);
+
+    EXPECT_EQ(serial.trace, parallel.trace);
+    ASSERT_EQ(serial.acls.size(), parallel.acls.size());
+    EXPECT_NE(serial.trace.find("\"backend\":\"il\""), std::string::npos);
+    EXPECT_EQ(serial.trace.find("\"backend\":\"ast\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace preinfer

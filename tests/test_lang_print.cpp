@@ -1,6 +1,7 @@
 // MiniLang pretty-printer: printed source must re-parse, re-print to a
 // fixpoint, and behave identically under concolic execution — verified
 // across the whole evaluation corpus.
+#include "src/exec/concolic.h"
 #include "src/lang/print.h"
 
 #include <gtest/gtest.h>

@@ -5,6 +5,7 @@
 #include "helpers.h"
 #include "src/core/complexity.h"
 #include "src/core/pred_eval.h"
+#include "src/exec/concolic.h"
 #include "src/gen/fuzzer.h"
 
 namespace preinfer::core {

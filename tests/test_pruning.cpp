@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "helpers.h"
+#include "src/exec/concolic.h"
 #include "src/sym/print.h"
 
 namespace preinfer::core {

@@ -24,6 +24,12 @@
 //       plain-data aggregates and say so); from the document, every list
 //       item of the shape "- `InferRequest::subject` — ...".
 //
+//   docs_check --il <path/to/il.h> <path/to/IL.md>
+//       The instruction table in IL.md must match the `enum class Op`
+//       opcodes in il.h, in both directions. From the header it takes the
+//       enumerator names (doc comments inside the enum are ignored); from
+//       the document, every table row of the shape "| `Op::Tick` | ...".
+//
 // No JSON, C++ or markdown parser — all four files keep these shapes
 // deliberately (the headers say so next to the tables).
 
@@ -115,6 +121,16 @@ std::vector<std::string> header_enumerators(const std::string& text,
     std::vector<std::string> enumerators;
     std::string current;
     for (std::size_t i = open + 1; i < close; ++i) {
+        // Skip `//` doc comments to the end of the line (il.h documents
+        // every opcode inline; ast.h has none, so this is a no-op there).
+        if (text[i] == '/' && i + 1 < close && text[i + 1] == '/') {
+            if (!current.empty()) {
+                enumerators.push_back(name + "::" + current);
+                current.clear();
+            }
+            while (i < close && text[i] != '\n') ++i;
+            continue;
+        }
         const char c = text[i];
         if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
             current.push_back(c);
@@ -147,6 +163,24 @@ std::vector<std::string> doc_enumerators(const std::string& text,
                 break;
             }
         }
+    }
+    return items;
+}
+
+/// Instruction-table rows: lines of the shape "| `Op::Name` | ..." (the
+/// docs/IL.md instruction table keeps the opcode in the first column).
+std::vector<std::string> doc_table_enumerators(const std::string& text,
+                                               const std::string& prefix) {
+    std::vector<std::string> items;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string lead = "| `";
+        if (line.rfind(lead, 0) != 0) continue;
+        const std::size_t end = line.find('`', lead.size());
+        if (end == std::string::npos) continue;
+        const std::string token = line.substr(lead.size(), end - lead.size());
+        if (token.rfind(prefix + "::", 0) == 0) items.push_back(token);
     }
     return items;
 }
@@ -331,23 +365,54 @@ int run_api_mode(const std::string& header_path, const std::string& doc_path) {
     return report_sync(in_header, in_doc, header_path, doc_path, "api field");
 }
 
+int run_il_mode(const std::string& header_path, const std::string& doc_path) {
+    bool ok = false;
+    const std::string header = read_file(header_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << header_path << "\n";
+        return 2;
+    }
+    const std::string doc = read_file(doc_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << doc_path << "\n";
+        return 2;
+    }
+
+    std::string error;
+    const std::vector<std::string> in_header =
+        header_enumerators(header, "Op", error);
+    if (in_header.empty()) {
+        std::cerr << "error: " << header_path << ": " << error << "\n";
+        return 2;
+    }
+    const std::vector<std::string> in_doc = doc_table_enumerators(doc, "Op");
+    if (in_doc.empty()) {
+        std::cerr << "error: " << doc_path
+                  << ": no `| \\`Op::Name\\` | ...` table rows found\n";
+        return 2;
+    }
+    return report_sync(in_header, in_doc, header_path, doc_path, "opcode");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string mode = "--trace";
     if (!args.empty() && (args.front() == "--trace" || args.front() == "--lang" ||
-                          args.front() == "--api")) {
+                          args.front() == "--api" || args.front() == "--il")) {
         mode = args.front();
         args.erase(args.begin());
     }
     if (args.size() != 2) {
         std::cerr << "usage: docs_check [--trace] <trace.h> <OBSERVABILITY.md>\n"
                      "       docs_check --lang <ast.h> <LANGUAGE.md>\n"
-                     "       docs_check --api <engine.h> <SERVING.md>\n";
+                     "       docs_check --api <engine.h> <SERVING.md>\n"
+                     "       docs_check --il <il.h> <IL.md>\n";
         return 2;
     }
     if (mode == "--lang") return run_lang_mode(args[0], args[1]);
     if (mode == "--api") return run_api_mode(args[0], args[1]);
+    if (mode == "--il") return run_il_mode(args[0], args[1]);
     return run_trace_mode(args[0], args[1]);
 }

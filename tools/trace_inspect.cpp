@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,7 +44,8 @@ const char* kUsage =
     "                 (or branch site) contains SUBSTR\n"
     "  --events KIND  print records of one event kind, readably\n"
     "  --validate     check the file against the documented schema;\n"
-    "                 prints the record count, exits 1 on the first error\n";
+    "                 prints the record count and the execution backend(s)\n"
+    "                 that produced the trace, exits 1 on the first error\n";
 
 /// One record plus the method context it occurred under.
 struct Located {
@@ -241,7 +243,33 @@ int main(int argc, char** argv) {
             std::cerr << "invalid trace: " << error << "\n";
             return 1;
         }
-        std::cout << count << " valid records\n";
+        // Report which execution backend(s) produced the trace — mixed
+        // backends in one file usually mean concatenated runs.
+        std::set<std::string> backends;
+        in.clear();
+        in.seekg(0);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            auto record = preinfer::support::parse_trace_line(line, nullptr);
+            if (record && record->event == "method_begin") {
+                if (const std::string* b = record->find("backend")) {
+                    backends.insert(*b);
+                }
+            }
+        }
+        std::cout << count << " valid records";
+        if (!backends.empty()) {
+            std::cout << (backends.size() == 1 ? " (backend: " : " (backends: ");
+            bool first = true;
+            for (const std::string& b : backends) {
+                if (!first) std::cout << ", ";
+                std::cout << b;
+                first = false;
+            }
+            std::cout << ")";
+        }
+        std::cout << "\n";
         return 0;
     }
 
