@@ -9,6 +9,7 @@
 // keeps the pre-PR baseline next to the current numbers).
 //
 //   bench_solver [--smoke] [--json PATH] [--jobs N] [--backend il|ast]
+//                [--no-prepass]
 //
 // --smoke runs a two-subject slice in a few seconds and skips the JSON
 // write unless --json is given; it is registered as a ctest so this binary
@@ -18,6 +19,9 @@
 // --backend runs the pipeline's concolic executions on the chosen backend
 // (docs/IL.md); the fingerprint is backend-invariant by contract, so
 // comparing two runs isolates the dispatch cost inside the full workload.
+// --no-prepass disables the interval pre-pass (DESIGN.md §3g); the
+// fingerprint is prepass-invariant by contract, so comparing two runs
+// isolates how many residual solves the pre-pass discharges.
 
 #include <cstdio>
 #include <cstring>
@@ -69,6 +73,7 @@ int main(int argc, char** argv) {
     const char* json_path = nullptr;
     int jobs_override = 0;
     exec::Backend backend = exec::Backend::IL;
+    bool prepass = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -79,10 +84,12 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc &&
                    exec::parse_backend(argv[i + 1], backend)) {
             ++i;
+        } else if (std::strcmp(argv[i], "--no-prepass") == 0) {
+            prepass = false;
         } else {
             std::fprintf(stderr,
                          "usage: bench_solver [--smoke] [--json PATH] [--jobs N] "
-                         "[--backend il|ast]\n");
+                         "[--backend il|ast] [--no-prepass]\n");
             return 2;
         }
     }
@@ -94,6 +101,10 @@ int main(int argc, char** argv) {
     if (jobs_override > 0) config.jobs = jobs_override;
     config.explore.backend = backend;
     config.validation.explore.backend = backend;
+    // Flip both so the validation solver config stays equal to the
+    // inference config and keeps sharing the cache.
+    config.explore.solver_config.abstract_prepass = prepass;
+    config.validation.explore.solver_config.abstract_prepass = prepass;
     support::MetricsRegistry::global().reset();
 
     std::vector<eval::Subject> subjects = eval::corpus();
@@ -111,6 +122,8 @@ int main(int argc, char** argv) {
     const std::int64_t misses = counter_value("solver.cache_misses");
     const std::int64_t model_reuse = counter_value("solver.cache_model_reuse");
     const std::int64_t subsumed = counter_value("solver.cache_unsat_subsumed");
+    const std::int64_t prepass_unsat = counter_value("solver.prepass_unsat");
+    const std::int64_t prepass_sat = counter_value("solver.prepass_sat");
     const std::uint64_t fingerprint = preconditions_fingerprint(result);
 
     bench::Table table({"Metric", "Value"});
@@ -125,6 +138,8 @@ int main(int argc, char** argv) {
     table.add_row({"cache model-reuse hits", std::to_string(model_reuse)});
     table.add_row({"cache unsat-subsumed", std::to_string(subsumed)});
     table.add_row({"cache misses", std::to_string(misses)});
+    table.add_row({"prepass unsat", std::to_string(prepass_unsat)});
+    table.add_row({"prepass sat", std::to_string(prepass_sat)});
     char fp[32];
     std::snprintf(fp, sizeof fp, "%016llx",
                   static_cast<unsigned long long>(fingerprint));
@@ -153,6 +168,8 @@ int main(int argc, char** argv) {
                      "  \"cache_model_reuse\": %lld,\n"
                      "  \"cache_unsat_subsumed\": %lld,\n"
                      "  \"cache_misses\": %lld,\n"
+                     "  \"prepass_unsat\": %lld,\n"
+                     "  \"prepass_sat\": %lld,\n"
                      "  \"preconditions_fingerprint\": \"%016llx\"\n"
                      "}\n",
                      smoke ? "true" : "false", exec::backend_name(backend),
@@ -164,6 +181,8 @@ int main(int argc, char** argv) {
                      static_cast<long long>(model_reuse),
                      static_cast<long long>(subsumed),
                      static_cast<long long>(misses),
+                     static_cast<long long>(prepass_unsat),
+                     static_cast<long long>(prepass_sat),
                      static_cast<unsigned long long>(fingerprint));
         std::fclose(out);
         std::printf("[json -> %s]\n", json_path);

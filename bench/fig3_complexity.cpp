@@ -65,6 +65,30 @@ int main() {
     std::puts("Expected shape (paper): PreInfer sits near 0 for all-correct "
               "cases; DySy's complexity is far larger in every category; "
               "FixIt's correct preconditions average about 0.19.");
+
+    // Range-shaped preconditions: how often PreInfer's answer is a pure
+    // conjunction of bounds (reported as `0 <= i < a.len` intervals), and
+    // how the interval rendering scores against the clausal form under the
+    // same Definition-3 complexity metric.
+    int inferred = 0;
+    int range_shaped = 0;
+    std::int64_t clausal_sum = 0;
+    std::int64_t range_sum = 0;
+    for (const eval::AclRow& row : result.acls) {
+        if (!row.preinfer.inferred) continue;
+        ++inferred;
+        if (!row.preinfer_range_form) continue;
+        ++range_shaped;
+        clausal_sum += row.preinfer.complexity;
+        range_sum += row.preinfer_range_complexity;
+    }
+    const double denom = range_shaped > 0 ? range_shaped : 1;
+    std::printf("\nRange-shaped preconditions: %d of %d inferred (%.0f%%); "
+                "avg complexity %.2f clausal vs %.2f interval form\n",
+                range_shaped, inferred,
+                100.0 * range_shaped / (inferred > 0 ? inferred : 1),
+                static_cast<double>(clausal_sum) / denom,
+                static_cast<double>(range_sum) / denom);
     bench::print_perf_summary(result);
     return 0;
 }

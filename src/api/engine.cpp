@@ -10,6 +10,7 @@
 #include "src/baselines/dysy.h"
 #include "src/baselines/fixit.h"
 #include "src/core/complexity.h"
+#include "src/eval/range_form.h"
 #include "src/eval/spec.h"
 #include "src/exec/executor.h"
 #include "src/gen/oracle.h"
@@ -330,6 +331,27 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
         response.acls.push_back(std::move(row));
     }
 
+    // Second output layer of the interval work: when a PreInfer
+    // precondition is equivalent to a conjunction of bounds, report the
+    // range-shaped rendering alongside the clausal one. Runs after the
+    // inference loop over the finished rows — detection is read-only (no
+    // pool allocation), so the pipeline above is untouched. inferences[k]
+    // parallels response.acls[k]: both vectors get exactly one entry per
+    // observed ACL when PreInfer runs.
+    if (config.run_preinfer) {
+        for (std::size_t i = 0; i < response.acls.size(); ++i) {
+            const core::InferenceResult& r = artifacts->inferences[i].result;
+            if (!r.inferred) continue;
+            const eval::RangeForm form =
+                eval::to_range_form(r.precondition, method.param_names());
+            if (!form.is_range) continue;
+            eval::AclRow& row = response.acls[i];
+            row.preinfer_range_form = true;
+            row.preinfer_range_complexity = form.complexity;
+            row.preinfer_range_printed = form.printed;
+        }
+    }
+
     artifacts->explore_stats = explorer.stats();
     if (cache_ptr != nullptr) {
         method_row.cache_hits = cache_ptr->stats().hits;
@@ -350,6 +372,15 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
     method_row.cache_validation = validation_shares_cache
                                       ? phase_stats(validation_stats)
                                       : eval::MethodRow::PhaseCacheStats{};
+    // Abstract pre-pass discharges across all three explorers (validation
+    // counts whether or not it shares the cache — the pre-pass is a solver
+    // property, not a cache property).
+    method_row.prepass_unsat = explorer.stats().prepass_unsat +
+                               oracle_explorer.stats().prepass_unsat +
+                               validation_stats.prepass_unsat;
+    method_row.prepass_sat = explorer.stats().prepass_sat +
+                             oracle_explorer.stats().prepass_sat +
+                             validation_stats.prepass_sat;
 
     if (support::trace_active()) {
         support::TraceEvent(support::TraceEventKind::MethodEnd)

@@ -52,6 +52,16 @@ struct AclRow {
     ApproachOutcome preinfer;
     ApproachOutcome fixit;
     ApproachOutcome dysy;
+
+    /// Range-shaped rendering of the PreInfer precondition, emitted when the
+    /// inferred formula is equivalent to a conjunction of per-variable
+    /// bounds (src/eval/range_form.h): `0 <= i && i < len(a)` instead of the
+    /// clause list. Purely an additional output form — the quantified/
+    /// clausal precondition above is unchanged — scored with the same
+    /// complexity metric so the report can compare the two shapes.
+    bool preinfer_range_form = false;
+    int preinfer_range_complexity = 0;
+    std::string preinfer_range_printed;
 };
 
 struct MethodRow {
@@ -74,6 +84,13 @@ struct MethodRow {
     std::int64_t cache_misses = 0;
     std::int64_t cache_model_reuse = 0;
     std::int64_t cache_unsat_subsumed = 0;
+    /// Abstract pre-pass discharges summed over this method's explorers
+    /// (inference, pruning oracle, validation): budget-charged solves the
+    /// root-node interval propagation answered without search
+    /// (SolverConfig::abstract_prepass; a subset of cache_misses' real
+    /// solves, zero when the pre-pass is off).
+    std::int64_t prepass_unsat = 0;
+    std::int64_t prepass_sat = 0;
 
     /// Cache accounting of one pipeline phase, read from that phase's
     /// explorer (zero when the phase ran without the shared cache).

@@ -1,0 +1,306 @@
+#include "src/eval/range_form.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/complexity.h"
+#include "src/sym/print.h"
+
+namespace preinfer::eval {
+
+namespace {
+
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+/// Terms that act as interval variables: exactly the ground terms the
+/// solver's variable table tracks (src/solver/atom_index.cpp).
+bool is_var_term(const Expr* e) {
+    switch (e->kind) {
+        case Kind::Param: return e->sort == Sort::Int;
+        case Kind::Len: return true;
+        case Kind::Select: return e->sort == Sort::Int;
+        default: return false;
+    }
+}
+
+/// Tiny linear form over variable terms, `sum coeff*term + constant`.
+/// Terms are interned, so pointer identity is structural identity.
+struct Lin {
+    std::vector<std::pair<const Expr*, std::int64_t>> coeffs;
+    std::int64_t constant = 0;
+
+    /// Folds by term; cancelled terms are swept by the caller afterwards.
+    void add_term(const Expr* term, std::int64_t coeff) {
+        for (auto& [t, c] : coeffs) {
+            if (t == term) {
+                c += coeff;
+                return;
+            }
+        }
+        coeffs.emplace_back(term, coeff);
+    }
+};
+
+/// Linearizes `e * scale` into `out`; false outside the unit fragment.
+/// Overflow-checked like the solver's loader — a fold that wraps just
+/// means "not range-shaped" here.
+bool linearize(const Expr* e, std::int64_t scale, Lin& out) {
+    switch (e->kind) {
+        case Kind::IntConst: {
+            std::int64_t scaled = 0;
+            if (__builtin_mul_overflow(e->a, scale, &scaled)) return false;
+            if (__builtin_add_overflow(out.constant, scaled, &out.constant))
+                return false;
+            return true;
+        }
+        case Kind::Neg: {
+            std::int64_t neg = 0;
+            if (__builtin_sub_overflow(std::int64_t{0}, scale, &neg)) return false;
+            return linearize(e->child0, neg, out);
+        }
+        case Kind::Add:
+            return linearize(e->child0, scale, out) &&
+                   linearize(e->child1, scale, out);
+        case Kind::Sub: {
+            std::int64_t neg = 0;
+            if (__builtin_sub_overflow(std::int64_t{0}, scale, &neg)) return false;
+            return linearize(e->child0, scale, out) &&
+                   linearize(e->child1, neg, out);
+        }
+        default:
+            if (is_var_term(e)) {
+                out.add_term(e, scale);
+                return true;
+            }
+            return false;
+    }
+}
+
+/// One rendered bound on a variable: `text` is the other side, `strict`
+/// distinguishes `<` from `<=`.
+struct SymBound {
+    std::string text;
+    bool strict = false;
+};
+
+/// Accumulated interval facts for one variable term.
+struct VarRange {
+    const Expr* term = nullptr;
+    std::optional<std::int64_t> lo;  ///< merged constant lower bound
+    std::optional<std::int64_t> hi;  ///< merged constant upper bound
+    std::vector<SymBound> sym_lo;    ///< `text <[=] var`
+    std::vector<SymBound> sym_hi;    ///< `var <[=] text`
+};
+
+struct Collector {
+    std::span<const std::string> param_names;
+    std::vector<VarRange> vars;          ///< first-mention order
+    std::vector<std::string> literals;   ///< boolean side conditions, in order
+    int literal_connectives = 0;         ///< Nots inside pass-through literals
+    int bound_count = 0;                 ///< comparisons folded into intervals
+
+    VarRange& range_for(const Expr* term) {
+        for (VarRange& v : vars) {
+            if (v.term == term) return v;
+        }
+        vars.push_back(VarRange{term, {}, {}, {}, {}});
+        return vars.back();
+    }
+
+    static bool has_bound(const std::vector<SymBound>& list, const SymBound& b) {
+        for (const SymBound& seen : list) {
+            if (seen.text == b.text && seen.strict == b.strict) return true;
+        }
+        return false;
+    }
+
+    /// Records `lin <= 0` (or `== 0` when eq). False when the shape is not
+    /// a unit-coefficient bound or the constant bounds become contradictory.
+    bool record(Lin lin, bool eq) {
+        if (lin.coeffs.size() == 1) {
+            const auto [term, coeff] = lin.coeffs.front();
+            if (coeff != 1 && coeff != -1) return false;
+            VarRange& v = range_for(term);
+            // coeff*t + k <= 0  =>  t <= -k (coeff 1) | t >= k (coeff -1)
+            if (eq) {
+                const std::int64_t value = coeff == 1 ? -lin.constant : lin.constant;
+                if ((v.lo && *v.lo > value) || (v.hi && *v.hi < value)) return false;
+                v.lo = v.hi = value;
+            } else if (coeff == 1) {
+                const std::int64_t hi = -lin.constant;
+                if (!v.hi || *v.hi > hi) v.hi = hi;
+            } else {
+                const std::int64_t lo = lin.constant;
+                if (!v.lo || *v.lo < lo) v.lo = lo;
+            }
+            if (v.lo && v.hi && *v.lo > *v.hi) return false;
+            ++bound_count;
+            return true;
+        }
+        if (lin.coeffs.size() == 2) {
+            // t1 - t2 + k <= 0  =>  t1 <= t2 - k: an upper bound on the
+            // +1-coefficient term. Equalities between two terms are not
+            // intervals; leave them to the clausal form.
+            if (eq) return false;
+            const Expr* pos = nullptr;
+            const Expr* neg = nullptr;
+            for (const auto& [t, c] : lin.coeffs) {
+                if (c == 1) pos = t;
+                else if (c == -1) neg = t;
+            }
+            if (!pos || !neg) return false;
+            SymBound b;
+            b.strict = lin.constant == 1;  // t1 + 1 <= t2  is  t1 < t2
+            b.text = sym::to_string(neg, param_names);
+            if (lin.constant != 0 && lin.constant != 1) {
+                const std::int64_t shift = -lin.constant;
+                b.text += shift >= 0 ? " + " + std::to_string(shift)
+                                     : " - " + std::to_string(-shift);
+            }
+            VarRange& v = range_for(pos);
+            if (!has_bound(v.sym_hi, b)) {
+                v.sym_hi.push_back(std::move(b));
+                ++bound_count;
+            }
+            return true;
+        }
+        return false;
+    }
+
+    /// Dispatches one conjunct atom. Boolean literals (null checks, bool
+    /// params) pass through verbatim; comparisons must fold into bounds.
+    bool conjunct(const Expr* e) {
+        switch (e->kind) {
+            case Kind::Eq: case Kind::Ne: case Kind::Lt:
+            case Kind::Le: case Kind::Gt: case Kind::Ge: {
+                if (e->child0->sort != Sort::Int) break;  // obj ==/!= null etc.
+                Lin lin;
+                Kind op = e->kind;
+                const Expr* lhs = e->child0;
+                const Expr* rhs = e->child1;
+                if (op == Kind::Gt || op == Kind::Ge) {
+                    std::swap(lhs, rhs);
+                    op = op == Kind::Gt ? Kind::Lt : Kind::Le;
+                }
+                if (op == Kind::Ne) return false;  // punctured ranges are not ranges
+                if (!linearize(lhs, 1, lin) || !linearize(rhs, -1, lin)) return false;
+                if (op == Kind::Lt &&
+                    __builtin_add_overflow(lin.constant, 1, &lin.constant))
+                    return false;
+                lin.coeffs.erase(
+                    std::remove_if(lin.coeffs.begin(), lin.coeffs.end(),
+                                   [](const auto& tc) { return tc.second == 0; }),
+                    lin.coeffs.end());
+                if (lin.coeffs.empty()) return false;  // trivial or absurd
+                return record(std::move(lin), op == Kind::Eq);
+            }
+            default: break;
+        }
+        // Literal side condition: boolean, connective-free.
+        if (e->sort != Sort::Bool) return false;
+        if (core::expr_connectives(e) > 0 && e->kind != Kind::Not) return false;
+        if (e->kind == Kind::Not && core::expr_connectives(e->child0) > 0)
+            return false;
+        literal_connectives += core::expr_connectives(e);
+        literals.push_back(sym::to_string(e, param_names));
+        return true;
+    }
+};
+
+/// Renders one variable's interval: a single `lo <= v < hi` chain when
+/// exactly one bound exists per side, otherwise the bounds conjoined.
+void render(const VarRange& v, std::span<const std::string> param_names,
+            std::vector<std::string>& parts) {
+    const std::string name = sym::to_string(v.term, param_names);
+    if (v.lo && v.hi && *v.lo == *v.hi && v.sym_lo.empty() && v.sym_hi.empty()) {
+        parts.push_back(name + " == " + std::to_string(*v.lo));
+        return;
+    }
+    std::vector<SymBound> lowers = v.sym_lo;
+    if (v.lo) lowers.insert(lowers.begin(), {std::to_string(*v.lo), false});
+    std::vector<SymBound> uppers = v.sym_hi;
+    if (v.hi) uppers.insert(uppers.begin(), {std::to_string(*v.hi), false});
+    if (lowers.size() == 1 && uppers.size() == 1) {
+        parts.push_back(lowers[0].text + (lowers[0].strict ? " < " : " <= ") +
+                        name + (uppers[0].strict ? " < " : " <= ") +
+                        uppers[0].text);
+        return;
+    }
+    for (const SymBound& b : lowers) {
+        parts.push_back(b.text + (b.strict ? " < " : " <= ") + name);
+    }
+    for (const SymBound& b : uppers) {
+        parts.push_back(name + (b.strict ? " < " : " <= ") + b.text);
+    }
+}
+
+}  // namespace
+
+RangeForm to_range_form(const core::PredPtr& pred,
+                        std::span<const std::string> param_names) {
+    RangeForm out;
+    if (!pred) return out;
+    // Flatten the (already make_and-flattened) top level; any non-atom
+    // structure — quantifiers, disjunctions, nested Nots — is outside the
+    // fragment.
+    // Atom nodes may carry a null expression (core/complexity.cpp guards
+    // the same way); they are outside the fragment like any other shape.
+    std::vector<const Expr*> atoms;
+    if (pred->kind == core::PredKind::Atom) {
+        if (pred->atom == nullptr) return out;
+        atoms.push_back(pred->atom);
+    } else if (pred->kind == core::PredKind::And) {
+        for (const core::PredPtr& kid : pred->kids) {
+            if (kid->kind != core::PredKind::Atom || kid->atom == nullptr)
+                return out;
+            atoms.push_back(kid->atom);
+        }
+    } else {
+        return out;
+    }
+
+    Collector collector;
+    collector.param_names = param_names;
+    for (const Expr* atom : atoms) {
+        if (!collector.conjunct(atom)) return out;
+    }
+    if (collector.bound_count == 0) return out;  // no interval content
+
+    std::vector<std::string> parts = std::move(collector.literals);
+    const int literal_count = static_cast<int>(parts.size());
+    for (const VarRange& v : collector.vars) {
+        std::vector<std::string> var_parts;
+        render(v, param_names, var_parts);
+        for (std::string& p : var_parts) parts.push_back(std::move(p));
+    }
+    // Definition-3 complexity of the equivalent conjunction: one connective
+    // per additional relation. Merged constant bounds collapse duplicates,
+    // so count what is actually rendered: singletons are one relation,
+    // chains (`0 <= i < a.len`) two, loose bounds one each.
+    int rendered_relations = literal_count;
+    for (const VarRange& v : collector.vars) {
+        if (v.lo && v.hi && *v.lo == *v.hi && v.sym_lo.empty() && v.sym_hi.empty()) {
+            rendered_relations += 1;
+            continue;
+        }
+        rendered_relations += static_cast<int>(v.sym_lo.size() + v.sym_hi.size()) +
+                              (v.lo ? 1 : 0) + (v.hi ? 1 : 0);
+    }
+    out.is_range = true;
+    out.complexity = (rendered_relations > 0 ? rendered_relations - 1 : 0) +
+                     collector.literal_connectives;
+    std::string printed;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) printed += " && ";
+        printed += parts[i];
+    }
+    out.printed = std::move(printed);
+    return out;
+}
+
+}  // namespace preinfer::eval

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/core/pred.h"
+
+namespace preinfer::eval {
+
+/// Range-shaped rendering of a precondition (the second output layer of the
+/// interval pre-pass work): when a quantifier-free formula is equivalent to
+/// a conjunction of per-variable bounds, it can be reported as intervals —
+/// `0 <= i < a.len` — instead of the clause list the inference engine
+/// prints. The detection is purely syntactic over the already-simplified
+/// formula (no solver, no pool allocation), so emitting it cannot perturb
+/// expression ids or any downstream fingerprint.
+struct RangeForm {
+    /// The formula is a conjunction of single-variable constant bounds,
+    /// unit-coefficient two-term bounds (`i < a.len`), and boolean literal
+    /// side conditions (`!(s == null)`), with at least one actual bound.
+    bool is_range = false;
+    /// Complexity of the emitted form under the paper's Definition 3
+    /// metric (connectives only; a chain `0 <= i < a.len` is two
+    /// comparisons, one connective) — directly comparable to the
+    /// ApproachOutcome complexity scored for PreInfer/FixIt/DySy.
+    int complexity = 0;
+    std::string printed;  ///< empty unless is_range
+};
+
+/// Attempts the range-shaped rendering of `pred`. Never fails loudly: a
+/// formula outside the fragment (quantifiers, disjunctions, non-unit
+/// coefficients, contradictory constant bounds) just returns
+/// `is_range == false`.
+[[nodiscard]] RangeForm to_range_form(const core::PredPtr& pred,
+                                      std::span<const std::string> param_names);
+
+}  // namespace preinfer::eval

@@ -50,7 +50,8 @@ void write_acl_csv(const HarnessResult& result, std::ostream& out) {
            "preinfer_verdict,preinfer_complexity,preinfer_rel_complexity,"
            "preinfer_precondition,"
            "fixit_verdict,fixit_complexity,fixit_rel_complexity,fixit_precondition,"
-           "dysy_verdict,dysy_complexity,dysy_rel_complexity,dysy_precondition\n";
+           "dysy_verdict,dysy_complexity,dysy_rel_complexity,dysy_precondition,"
+           "preinfer_range_form,preinfer_range_complexity,preinfer_range\n";
     for (const AclRow& row : result.acls) {
         out << csv_escape(row.subject) << ',' << csv_escape(row.method) << ','
             << core::exception_kind_name(row.acl.kind) << ','
@@ -61,7 +62,9 @@ void write_acl_csv(const HarnessResult& result, std::ostream& out) {
         write_approach(out, row.preinfer);
         write_approach(out, row.fixit);
         write_approach(out, row.dysy);
-        out << '\n';
+        out << ',' << (row.preinfer_range_form ? 1 : 0) << ','
+            << row.preinfer_range_complexity << ','
+            << csv_escape(row.preinfer_range_printed) << '\n';
     }
 }
 
@@ -69,7 +72,8 @@ void write_method_csv(const HarnessResult& result, std::ostream& out) {
     out << "subject,method,block_coverage,tests,acls,wall_ms,cache_hits,"
            "cache_misses,cache_model_reuse,cache_unsat_subsumed,"
            "cache_hit_rate,explore_hits,explore_misses,"
-           "oracle_hits,oracle_misses,validation_hits,validation_misses\n";
+           "oracle_hits,oracle_misses,validation_hits,validation_misses,"
+           "prepass_unsat,prepass_sat\n";
     for (const MethodRow& m : result.methods) {
         out << csv_escape(m.subject) << ',' << csv_escape(m.method) << ','
             << m.block_coverage << ',' << m.tests << ',' << m.acls << ','
@@ -78,7 +82,8 @@ void write_method_csv(const HarnessResult& result, std::ostream& out) {
             << m.cache_hit_rate() << ',' << m.cache_explore.hits << ','
             << m.cache_explore.misses << ',' << m.cache_oracle.hits << ','
             << m.cache_oracle.misses << ',' << m.cache_validation.hits << ','
-            << m.cache_validation.misses << '\n';
+            << m.cache_validation.misses << ',' << m.prepass_unsat << ','
+            << m.prepass_sat << '\n';
     }
 }
 

@@ -545,6 +545,23 @@ OracleReport check_source(const std::string& source, std::uint64_t seed,
                                       *primary, report);
         }
 
+        if (cfg.check_prepass) {
+            // The interval pre-pass must be invisible to everything
+            // downstream of the solver: same statuses, same witness models,
+            // same budget charging, hence the same suite and inferences.
+            // Checked under every fault mode — a pre-pass that only matches
+            // trajectories on healthy runs would still be a bug.
+            gen::ExplorerConfig no_prepass = config;
+            no_prepass.solver_config.abstract_prepass = false;
+            const auto v_pre =
+                run_pipeline(engine, source, no_prepass, &default_cache);
+            if (fingerprint(*v_pre) != fingerprint(*primary)) {
+                add_violation(report, "prepass-equivalence",
+                              "pipeline fingerprints differ with the interval "
+                              "pre-pass on vs off");
+            }
+        }
+
         if (cfg.fault == FaultMode::None && cfg.check_determinism) {
             const std::string base_fp = fingerprint(*primary);
             const auto rerun = run_pipeline(engine, source, config, &default_cache);

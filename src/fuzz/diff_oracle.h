@@ -49,6 +49,13 @@ struct OracleConfig {
     /// to fault-injected runs too — backend equivalence is a semantics
     /// theorem (docs/IL.md), not a budget property.
     bool check_backend = true;
+    /// Re-run the whole pipeline with the solver's interval pre-pass
+    /// disabled (SolverConfig::abstract_prepass) and require identical
+    /// fingerprints. Like backend equivalence this applies to fault-injected
+    /// runs too: the pre-pass advertises bit-identical statuses, models and
+    /// budgets (DESIGN.md §3g), which is a semantics theorem, not a budget
+    /// property.
+    bool check_prepass = true;
     /// Run the determinism battery (rerun, incremental off, unsat
     /// subsumption off, uncached soundness run). Only applies when
     /// fault == None: injected faults are allowed to change trajectories.

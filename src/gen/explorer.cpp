@@ -78,8 +78,14 @@ const char* status_name(solver::SolveStatus status) {
     return "unknown";
 }
 
+/// `micros` < 0 means "not a searched solve" (cache answers, pre-pass
+/// discharges): the event then carries no timing and solver.solve_us — the
+/// residual-solve-call histogram BENCH_solver.json tracks — is not
+/// observed. Pre-pass discharges pass their measured wall time separately
+/// via `prepass_micros` so it lands in solver.prepass_us instead.
 void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
-                         const char* cache_state, std::int64_t micros) {
+                         const char* cache_state, std::int64_t micros,
+                         std::int64_t prepass_micros = -1) {
     if (support::trace_active()) {
         support::TraceEvent event(support::TraceEventKind::SolverQuery);
         event.field("conjuncts", conjuncts)
@@ -95,10 +101,13 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
         static auto& misses = registry.counter("solver.cache_misses");
         static auto& model_reuse = registry.counter("solver.cache_model_reuse");
         static auto& subsumed = registry.counter("solver.cache_unsat_subsumed");
+        static auto& prepass_sat = registry.counter("solver.prepass_sat");
+        static auto& prepass_unsat = registry.counter("solver.prepass_unsat");
         static auto& sat = registry.counter("solver.sat");
         static auto& unsat = registry.counter("solver.unsat");
         static auto& unknown = registry.counter("solver.unknown");
         static auto& solve_us = registry.histogram("solver.solve_us");
+        static auto& prepass_us = registry.histogram("solver.prepass_us");
         queries.add();
         // Full-string compare: "miss" and "model" share a first letter.
         const std::string_view state = cache_state;
@@ -106,6 +115,15 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
         if (state == "miss") misses.add();
         if (state == "model") model_reuse.add();
         if (state == "subsume") subsumed.add();
+        if (state == "prepass") {
+            // A pre-pass discharge is still an exact-key cache miss (the
+            // lookup failed; the solve just never searched), so the miss
+            // counter stays prepass-invariant like the explorer's stats.
+            misses.add();
+            (status == solver::SolveStatus::Unsat ? prepass_unsat : prepass_sat)
+                .add();
+            if (prepass_micros >= 0) prepass_us.observe(prepass_micros);
+        }
         switch (status) {
             case solver::SolveStatus::Sat: sat.add(); break;
             case solver::SolveStatus::Unsat: unsat.add(); break;
@@ -176,14 +194,28 @@ solver::SolveResult Explorer::solve_with_cache(
     using clock = std::chrono::steady_clock;
     const clock::time_point start = timed ? clock::now() : clock::time_point{};
     solver::SolveResult res = solve();
+    // Abstract pre-pass discharge (root-node interval propagation answered
+    // without search): already budget-charged above like every solve, but
+    // reported like a semantic cache answer — a distinct `cache` state, no
+    // solver.solve_us observation (so that histogram keeps counting only
+    // searched solves), wall time in solver.prepass_us instead. Statuses
+    // and models are identical either way, so trajectories don't move.
+    const auto prepass = solver_.stats().prepass;
+    if (prepass == solver::Solver::Stats::Prepass::Unsat) ++stats_.prepass_unsat;
+    if (prepass == solver::Solver::Stats::Prepass::Sat) ++stats_.prepass_sat;
     if (observed) {
         const std::int64_t micros =
             timed ? std::chrono::duration_cast<std::chrono::microseconds>(
                         clock::now() - start)
                         .count()
                   : -1;
-        record_solver_query(conjuncts.size(), res.status,
-                            cache_ != nullptr ? "miss" : "off", micros);
+        if (prepass != solver::Solver::Stats::Prepass::None) {
+            record_solver_query(conjuncts.size(), res.status, "prepass", -1,
+                                micros);
+        } else {
+            record_solver_query(conjuncts.size(), res.status,
+                                cache_ != nullptr ? "miss" : "off", micros);
+        }
     }
     if (cache_ != nullptr) cache_->insert(conjuncts, res);
     return res;

@@ -98,6 +98,15 @@ public:
         int cache_misses = 0;
         int cache_model_reuse = 0;
         int cache_unsat_subsumed = 0;
+        /// Abstract pre-pass discharges (SolverConfig::abstract_prepass):
+        /// budget-charged Solver::solve invocations the root-node interval
+        /// propagation answered without any branching. Statuses and models
+        /// are bit-identical to what the search would return, so these
+        /// split solver_calls for perf accounting only (they are excluded
+        /// from the solver.solve_us histogram, like semantic cache
+        /// answers); both stay 0 when the pre-pass is off.
+        int prepass_unsat = 0;
+        int prepass_sat = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -1,0 +1,346 @@
+#include "src/solver/abstract_domain.h"
+
+#include <algorithm>
+
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::solver {
+
+namespace {
+
+using sym::Expr;
+using sym::Kind;
+using sym::Sort;
+
+using I128 = __int128;
+
+constexpr std::int64_t kWsLo = 9;   // '\t'
+constexpr std::int64_t kWsHi = 32;  // ' ' (hull; exact set checked at leaves)
+
+/// True for terms that are solver variables as-is.
+bool is_ground_int_term(const Expr* e) {
+    switch (e->kind) {
+        case Kind::Param: return e->sort == Sort::Int;
+        case Kind::Len: return true;
+        case Kind::Select: return e->sort == Sort::Int;
+        default: return false;
+    }
+}
+
+}  // namespace
+
+IntervalVar make_interval_var(const AtomIndex::VarInfo& info,
+                              const SolverConfig& config) {
+    IntervalVar v;
+    v.term = info.term;
+    v.is_bool = info.is_bool;
+    v.is_len = info.is_len;
+    if (info.is_bool) {
+        v.lo = 0;
+        v.hi = 1;
+    } else if (info.is_len) {
+        v.lo = 0;
+        v.hi = config.len_max;
+    } else {
+        v.lo = config.int_min;
+        v.hi = config.int_max;
+    }
+    return v;
+}
+
+IntervalEnv::IntervalEnv(const SolverConfig& config, AtomIndex& index,
+                         std::vector<IntervalVar> vars,
+                         std::vector<std::int32_t> global_of_local,
+                         std::vector<std::int32_t> local_of_global,
+                         const std::vector<NonLinConstraint>* nonlinear)
+    : config_(config),
+      index_(index),
+      vars_(std::move(vars)),
+      global_of_local_(std::move(global_of_local)),
+      local_of_global_(std::move(local_of_global)),
+      nonlinear_(nonlinear) {}
+
+int IntervalEnv::local_var(int session_var) {
+    if (static_cast<std::size_t>(session_var) >= local_of_global_.size()) {
+        local_of_global_.resize(index_.num_vars(), -1);
+    }
+    int lv = local_of_global_[static_cast<std::size_t>(session_var)];
+    if (lv >= 0) return lv;
+    lv = static_cast<int>(vars_.size());
+    vars_.push_back(make_interval_var(index_.var_info(session_var), config_));
+    global_of_local_.push_back(session_var);
+    local_of_global_[static_cast<std::size_t>(session_var)] = lv;
+    return lv;
+}
+
+bool IntervalEnv::assign_bool(int var, bool value) {
+    IntervalVar& v = vars_[static_cast<std::size_t>(var)];
+    const std::int64_t want = value ? 1 : 0;
+    if (v.assigned()) return v.lo == want;
+    v.lo = v.hi = want;
+    return true;
+}
+
+void IntervalEnv::compile(const LinearConstraint& c) {
+    FlatLin f;
+    f.rel = c.rel;
+    f.constant = c.expr.constant;
+    f.begin = static_cast<std::uint32_t>(terms_.size());
+    for (const auto& [vi, coeff] : c.expr.coeffs) {
+        terms_.push_back({vi, coeff});
+    }
+    f.end = static_cast<std::uint32_t>(terms_.size());
+    if (c.rel == LinRel::Eq) {
+        // Pre-negated form for the `>= 0` direction of equalities.
+        f.flipped_begin = static_cast<std::uint32_t>(flipped_terms_.size());
+        for (const auto& [vi, coeff] : c.expr.coeffs) {
+            flipped_terms_.push_back({vi, -coeff});
+        }
+    }
+    flat_.push_back(f);
+}
+
+void IntervalEnv::seal() {
+    // Every variable starts "just written" (stamp 1 > any last_stamp of 0),
+    // so the first propagation pass evaluates every constraint.
+    stamps_.assign(vars_.size(), 1);
+}
+
+std::optional<std::int64_t> IntervalEnv::eval_term(const Expr* e) const {
+    if (is_ground_int_term(e)) {
+        const int sv = index_.find_var(e);
+        if (sv >= 0 && static_cast<std::size_t>(sv) < local_of_global_.size()) {
+            const int lv = local_of_global_[static_cast<std::size_t>(sv)];
+            if (lv >= 0) {
+                const IntervalVar& v = vars_[static_cast<std::size_t>(lv)];
+                if (!v.assigned()) return std::nullopt;
+                return v.lo;
+            }
+        }
+        return std::nullopt;  // ground term without a query variable
+    }
+    switch (e->kind) {
+        case Kind::IntConst: return e->a;
+        case Kind::Neg: {
+            auto v = eval_term(e->child0);
+            if (!v) return std::nullopt;
+            return -*v;
+        }
+        case Kind::Add: case Kind::Sub: case Kind::Mul:
+        case Kind::Div: case Kind::Mod: {
+            auto l = eval_term(e->child0);
+            auto r = eval_term(e->child1);
+            if (!l || !r) return std::nullopt;
+            switch (e->kind) {
+                case Kind::Add: return *l + *r;
+                case Kind::Sub: return *l - *r;
+                case Kind::Mul: return *l * *r;
+                case Kind::Div:
+                    if (*r == 0) return std::nullopt;
+                    if (*r == -1) return -*l;
+                    return *l / *r;
+                case Kind::Mod:
+                    if (*r == 0) return std::nullopt;
+                    if (*r == -1) return 0;
+                    return *l % *r;
+                default: break;
+            }
+            return std::nullopt;
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
+// --- propagation ------------------------------------------------------------
+
+/// Tightens every variable bound implied by `constant + Σ terms <= 0`;
+/// false on conflict.
+bool IntervalEnv::propagate_le(std::int64_t constant, const FlatTerm* t,
+                               const FlatTerm* t_end, bool& changed) {
+    // Minimum possible value of the whole expression.
+    I128 min_sum = constant;
+    for (const FlatTerm* p = t; p != t_end; ++p) {
+        const IntervalVar& v = vars_[static_cast<std::size_t>(p->var)];
+        min_sum += p->coeff > 0 ? I128(p->coeff) * v.lo : I128(p->coeff) * v.hi;
+    }
+    if (min_sum > 0) return false;
+
+    for (const FlatTerm* p = t; p != t_end; ++p) {
+        const std::int64_t c = p->coeff;
+        IntervalVar& v = vars_[static_cast<std::size_t>(p->var)];
+        // Contribution of all *other* terms at their minimum.
+        const I128 others =
+            min_sum - (c > 0 ? I128(c) * v.lo : I128(c) * v.hi);
+        // c * x <= -others
+        const I128 bound = -others;
+        if (c > 0) {
+            const I128 max_x = bound >= 0 ? bound / c : -((-bound + c - 1) / c);
+            if (max_x < v.hi) {
+                if (max_x < v.lo) return false;
+                v.hi = static_cast<std::int64_t>(max_x);
+                touch(p->var);
+                changed = true;
+            }
+        } else {
+            const std::int64_t cp = -c;
+            const I128 min_x = bound >= 0 ? -(bound / cp) : ((-bound) + cp - 1) / cp;
+            if (min_x > v.lo) {
+                if (min_x > v.hi) return false;
+                v.lo = static_cast<std::int64_t>(min_x);
+                touch(p->var);
+                changed = true;
+            }
+        }
+    }
+    return true;
+}
+
+bool IntervalEnv::propagate_ne(const FlatLin& f, bool& changed) {
+    // Only act when a single unit-coefficient variable remains.
+    int free_var = -1;
+    std::int64_t free_coeff = 0;
+    I128 rest = f.constant;
+    for (const FlatTerm* p = terms_.data() + f.begin,
+                        * e = terms_.data() + f.end;
+         p != e; ++p) {
+        const std::int64_t coeff = p->coeff;
+        const IntervalVar& v = vars_[static_cast<std::size_t>(p->var)];
+        if (v.assigned()) {
+            rest += I128(coeff) * v.lo;
+        } else if (free_var < 0) {
+            free_var = p->var;
+            free_coeff = coeff;
+        } else {
+            return true;  // two free vars: nothing to do yet
+        }
+    }
+    if (free_var < 0) return rest != 0;
+    if (free_coeff != 1 && free_coeff != -1) return true;
+    const I128 forbidden128 = free_coeff == 1 ? -rest : rest;
+    if (forbidden128 < config_.int_min || forbidden128 > config_.int_max) return true;
+    const auto forbidden = static_cast<std::int64_t>(forbidden128);
+    IntervalVar& v = vars_[static_cast<std::size_t>(free_var)];
+    if (v.lo == forbidden) {
+        ++v.lo;
+        touch(free_var);
+        changed = true;
+    }
+    if (v.hi == forbidden) {
+        --v.hi;
+        touch(free_var);
+        changed = true;
+    }
+    return v.lo <= v.hi;
+}
+
+bool IntervalEnv::propagate_nonlinear(bool& changed) {
+    for (const NonLinConstraint& nl : *nonlinear_) {
+        const auto value = eval_term(nl.node);
+        if (!value) continue;
+        IntervalVar& v = vars_[static_cast<std::size_t>(nl.result_var)];
+        if (*value < v.lo || *value > v.hi) return false;
+        if (!v.assigned()) {
+            v.lo = v.hi = *value;
+            touch(nl.result_var);
+            changed = true;
+        }
+    }
+    return true;
+}
+
+bool IntervalEnv::propagate() {
+    // Whitespace hull.
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        IntervalVar& v = vars_[i];
+        if (v.ws_member) {
+            if (v.lo < kWsLo) {
+                v.lo = kWsLo;
+                touch(static_cast<std::int32_t>(i));
+            }
+            if (v.hi > kWsHi) {
+                v.hi = kWsHi;
+                touch(static_cast<std::int32_t>(i));
+            }
+            if (v.lo > v.hi) return false;
+        }
+    }
+    for (int round = 0; round < config_.max_propagation_rounds; ++round) {
+        ++propagation_rounds_;
+        bool changed = false;
+        for (FlatLin& f : flat_) {
+            const FlatTerm* t = terms_.data() + f.begin;
+            const FlatTerm* t_end = terms_.data() + f.end;
+            // Dirty check: re-evaluating a constraint none of whose
+            // variables were written since its last evaluation started
+            // is a provable no-op (interval tightening is monotone in
+            // its inputs), so skipping it changes neither domains nor
+            // the `changed` flag. last_stamp is taken *before* the
+            // evaluation so the constraint's own writes re-dirty it for
+            // the next round — Eq propagation needs the second direction
+            // to see the first direction's tightenings, exactly as the
+            // always-evaluate baseline replays them next round.
+            std::uint32_t newest = 0;
+            for (const FlatTerm* p = t; p != t_end; ++p) {
+                newest = std::max(
+                    newest, stamps_[static_cast<std::size_t>(p->var)]);
+            }
+            if (f.last_stamp != 0 && newest <= f.last_stamp) continue;
+            f.last_stamp = stamp_counter_;
+            switch (f.rel) {
+                case LinRel::Le:
+                    if (!propagate_le(f.constant, t, t_end, changed)) return false;
+                    break;
+                case LinRel::Eq: {
+                    if (!propagate_le(f.constant, t, t_end, changed)) return false;
+                    const FlatTerm* ft = flipped_terms_.data() + f.flipped_begin;
+                    if (!propagate_le(-f.constant, ft, ft + (f.end - f.begin),
+                                      changed)) {
+                        return false;
+                    }
+                    break;
+                }
+                case LinRel::Ne:
+                    if (!propagate_ne(f, changed)) return false;
+                    break;
+            }
+        }
+        if (!propagate_nonlinear(changed)) return false;
+        if (!changed) return true;
+    }
+    return true;
+}
+
+// --- leaf verification --------------------------------------------------------
+
+bool IntervalEnv::verify_leaf() const {
+    for (const IntervalVar& v : vars_) {
+        const bool ws = sym::ExprPool::whitespace_code_point(v.lo);
+        if (v.ws_member && !ws) return false;
+        if (v.ws_not && ws) return false;
+    }
+    for (const FlatLin& f : flat_) {
+        I128 sum = f.constant;
+        for (const FlatTerm* p = terms_.data() + f.begin,
+                            * e = terms_.data() + f.end;
+             p != e; ++p)
+            sum += I128(p->coeff) * vars_[static_cast<std::size_t>(p->var)].lo;
+        switch (f.rel) {
+            case LinRel::Le: if (sum > 0) return false; break;
+            case LinRel::Eq: if (sum != 0) return false; break;
+            case LinRel::Ne: if (sum == 0) return false; break;
+        }
+    }
+    for (const NonLinConstraint& nl : *nonlinear_) {
+        const auto value = eval_term(nl.node);
+        if (!value) return false;  // e.g. division by zero at the leaf
+        if (*value != vars_[static_cast<std::size_t>(nl.result_var)].lo) return false;
+    }
+    return true;
+}
+
+void IntervalEnv::touch(std::int32_t vi) {
+    stamps_[static_cast<std::size_t>(vi)] = ++stamp_counter_;
+}
+
+}  // namespace preinfer::solver

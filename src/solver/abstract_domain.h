@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/solver/atom_index.h"
+#include "src/solver/linear.h"
+#include "src/solver/solver.h"
+
+namespace preinfer::solver {
+
+/// One variable of the interval abstract domain: a term's value range
+/// [lo, hi] plus the boolean / length / whitespace refinements the solver
+/// tracks alongside it. `assigned()` (a singleton interval) is both the
+/// search's "this variable is decided" test and the abstract pre-pass's
+/// "the whole environment is one concrete point" test.
+struct IntervalVar {
+    const sym::Expr* term = nullptr;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    bool is_bool = false;
+    bool is_len = false;
+    bool ws_member = false;  ///< must be a whitespace code point
+    bool ws_not = false;     ///< must not be a whitespace code point
+
+    [[nodiscard]] bool assigned() const { return lo == hi; }
+    [[nodiscard]] std::uint64_t width() const {
+        return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    }
+};
+
+/// `result_var == eval(node)` once every input of `node` is assigned.
+struct NonLinConstraint {
+    const sym::Expr* node = nullptr;
+    int result_var = -1;
+};
+
+/// One (variable, coefficient) pair of a compiled linear constraint.
+struct FlatTerm {
+    std::int32_t var;
+    std::int64_t coeff;
+};
+
+/// A linear constraint compiled for the propagation hot path: coefficients
+/// are a contiguous [begin, end) slice of a term arena instead of a
+/// std::map.
+struct FlatLin {
+    LinRel rel = LinRel::Le;
+    std::int64_t constant = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    /// For Eq only: start of the negated coefficient run (same length).
+    std::uint32_t flipped_begin = 0;
+    /// Write-stamp counter value when this constraint last started an
+    /// evaluation; 0 = never evaluated. Propagation skips a constraint iff
+    /// none of its variables were written since then — such a re-evaluation
+    /// is provably a no-op, so skipping is bit-exact (including the round
+    /// count and the `changed` fixpoint flag).
+    std::uint32_t last_stamp = 0;
+};
+
+/// Initial interval for a session variable under the config's bounds.
+[[nodiscard]] IntervalVar make_interval_var(const AtomIndex::VarInfo& info,
+                                            const SolverConfig& config);
+
+/// The interval/constant-range abstract domain over one query's variables:
+/// a per-variable [lo, hi] lattice with a widening-free fixpoint
+/// (`propagate()`) over the atom-index linear normal forms, plus the exact
+/// leaf check the search uses to accept a fully assigned environment.
+///
+/// This is the solver's propagation machinery, extracted from the search
+/// Runner so that one implementation serves two callers that must agree
+/// bit-for-bit (DESIGN.md §3g):
+///
+///  - the branch-and-bisect search, which runs `propagate()` at every node
+///    and `verify_leaf()` at every full assignment;
+///  - the abstract pre-pass (`SolverConfig::abstract_prepass`), which is
+///    nothing more than the search's root node run once, classified: a
+///    propagation conflict is Unsat without search, a singleton environment
+///    that passes `verify_leaf()` is Sat with the singleton as witness.
+///
+/// Widening is deliberately absent: domains are finite ([int_min, int_max],
+/// [0, len_max]) and every tightening is strictly shrinking, so the fixpoint
+/// terminates without it and stays exact — which is what lets the pre-pass
+/// share answers with the search instead of over-approximating them.
+///
+/// Variables are query-local and dense, numbered in first-mention order;
+/// `local_var()` translates session (AtomIndex) variables, creating locals
+/// on demand for the solver's derived-fact passes.
+class IntervalEnv {
+public:
+    /// Takes ownership of the query's variable tables (copied snapshots of
+    /// the incremental state); `nonlinear` is borrowed and must outlive the
+    /// env.
+    IntervalEnv(const SolverConfig& config, AtomIndex& index,
+                std::vector<IntervalVar> vars,
+                std::vector<std::int32_t> global_of_local,
+                std::vector<std::int32_t> local_of_global,
+                const std::vector<NonLinConstraint>* nonlinear);
+
+    // --- variables -----------------------------------------------------------
+    [[nodiscard]] std::vector<IntervalVar>& vars() { return vars_; }
+    [[nodiscard]] const std::vector<IntervalVar>& vars() const { return vars_; }
+    [[nodiscard]] std::int32_t session_var(std::size_t local) const {
+        return global_of_local_[local];
+    }
+
+    /// Local variable for a session variable, created on first use (only
+    /// the derived-fact passes create variables here).
+    int local_var(int session_var);
+
+    /// Pins a boolean variable; false on conflict with a prior assignment.
+    bool assign_bool(int var, bool value);
+
+    // --- compiled constraints ------------------------------------------------
+    /// Compiles one linear constraint into the flat coefficient arenas;
+    /// call order defines evaluation order (the from-scratch loader's
+    /// append order).
+    void compile(const LinearConstraint& c);
+
+    /// Marks every variable "just written" so the first propagation pass
+    /// evaluates every constraint. Call once, after the last compile().
+    void seal();
+
+    [[nodiscard]] std::size_t num_compiled() const { return flat_.size(); }
+
+    // --- fixpoint ------------------------------------------------------------
+    /// Runs the whitespace hull plus up to max_propagation_rounds of
+    /// interval tightening over the compiled constraints; false on an empty
+    /// domain (conflict).
+    [[nodiscard]] bool propagate();
+
+    /// Exact check of a fully assigned environment (every var a singleton):
+    /// whitespace membership, every linear constraint, every non-linear
+    /// definition.
+    [[nodiscard]] bool verify_leaf() const;
+
+    /// Evaluates an integer term under the current partial assignment;
+    /// nullopt when it depends on an unassigned variable (or divides by 0).
+    [[nodiscard]] std::optional<std::int64_t> eval_term(const sym::Expr* e) const;
+
+    /// Records a domain write to variable `vi` for the dirty-constraint
+    /// check in propagate(). Callers that mutate vars() directly (the
+    /// search's assignments and restores) must report every actual change.
+    void touch(std::int32_t vi);
+
+    [[nodiscard]] int propagation_rounds() const { return propagation_rounds_; }
+
+private:
+    bool propagate_le(std::int64_t constant, const FlatTerm* t,
+                      const FlatTerm* t_end, bool& changed);
+    bool propagate_ne(const FlatLin& f, bool& changed);
+    bool propagate_nonlinear(bool& changed);
+
+    const SolverConfig& config_;
+    AtomIndex& index_;
+
+    std::vector<IntervalVar> vars_;
+    std::vector<std::int32_t> global_of_local_;
+    std::vector<std::int32_t> local_of_global_;
+    const std::vector<NonLinConstraint>* nonlinear_;
+
+    /// Compiled constraints in compile() order. Coefficients live in flat
+    /// arenas; `flipped_terms_` holds the pre-negated coefficients of Eq
+    /// constraints.
+    std::vector<FlatLin> flat_;
+    std::vector<FlatTerm> terms_;
+    std::vector<FlatTerm> flipped_terms_;
+    /// Per-variable write stamps for the dirty-constraint check; every
+    /// domain write records ++stamp_counter_ so "was any of this
+    /// constraint's variables written since stamp S" is one compare.
+    std::vector<std::uint32_t> stamps_;
+    std::uint32_t stamp_counter_ = 1;
+
+    int propagation_rounds_ = 0;
+};
+
+}  // namespace preinfer::solver

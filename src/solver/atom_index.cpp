@@ -113,26 +113,56 @@ struct AtomIndex::Builder {
         if (node->child1) register_subterms(node->child1);
     }
 
+    /// -scale, overflow-checked: INT64_MIN has no int64 negation, so that
+    /// edge poisons `out` instead of wrapping; the caller keeps recursing
+    /// (the record is discarded as Unsupported once the flag is seen).
+    static std::int64_t negated(std::int64_t scale, LinearExpr& out) {
+        std::int64_t neg = 0;
+        if (__builtin_sub_overflow(std::int64_t{0}, scale, &neg)) {
+            out.overflow = true;
+            return 1;  // placeholder scale; the poisoned record never loads
+        }
+        return neg;
+    }
+
     bool linearize(const Expr* e, LinearExpr& out, std::int64_t scale) {
         switch (e->kind) {
-            case Kind::IntConst:
-                out.constant += e->a * scale;
+            case Kind::IntConst: {
+                std::int64_t scaled = 0;
+                if (__builtin_mul_overflow(e->a, scale, &scaled)) {
+                    out.overflow = true;
+                    return true;
+                }
+                out.add_constant(scaled);
                 return true;
+            }
             case Kind::Neg:
-                return linearize(e->child0, out, -scale);
+                return linearize(e->child0, out, negated(scale, out));
             case Kind::Add:
                 return linearize(e->child0, out, scale) &&
                        linearize(e->child1, out, scale);
             case Kind::Sub:
                 return linearize(e->child0, out, scale) &&
-                       linearize(e->child1, out, -scale);
-            case Kind::Mul:
-                if (e->child1->kind == Kind::IntConst)
-                    return linearize(e->child0, out, scale * e->child1->a);
-                if (e->child0->kind == Kind::IntConst)
-                    return linearize(e->child1, out, scale * e->child0->a);
+                       linearize(e->child1, out, negated(scale, out));
+            case Kind::Mul: {
+                std::int64_t folded = 0;
+                if (e->child1->kind == Kind::IntConst) {
+                    if (__builtin_mul_overflow(scale, e->child1->a, &folded)) {
+                        out.overflow = true;
+                        return true;
+                    }
+                    return linearize(e->child0, out, folded);
+                }
+                if (e->child0->kind == Kind::IntConst) {
+                    if (__builtin_mul_overflow(scale, e->child0->a, &folded)) {
+                        out.overflow = true;
+                        return true;
+                    }
+                    return linearize(e->child1, out, folded);
+                }
                 out.add_term(aux_var_for(e), scale);
                 return true;
+            }
             case Kind::Div:
             case Kind::Mod:
                 out.add_term(aux_var_for(e), scale);
@@ -209,6 +239,10 @@ struct AtomIndex::Builder {
             case Kind::IsWhitespace: {
                 LinearExpr lin;
                 if (!linearize(e->child0, lin, 1)) return false;
+                if (lin.overflow) {
+                    rec.outcome = Outcome::Unsupported;
+                    return false;
+                }
                 const int v = alias_var(lin);
                 if (v < 0) {
                     // Constant argument: decide immediately.
@@ -251,7 +285,7 @@ struct AtomIndex::Builder {
             case Kind::Eq: c.rel = LinRel::Eq; break;
             case Kind::Ne: c.rel = LinRel::Ne; break;
             case Kind::Le: c.rel = LinRel::Le; break;
-            case Kind::Lt: c.rel = LinRel::Le; lin.constant += 1; break;
+            case Kind::Lt: c.rel = LinRel::Le; lin.add_constant(1); break;
             case Kind::Ge: {
                 LinearExpr flipped;
                 flipped.add(lin, -1);
@@ -263,11 +297,18 @@ struct AtomIndex::Builder {
                 LinearExpr flipped;
                 flipped.add(lin, -1);
                 lin = std::move(flipped);
-                lin.constant += 1;
+                lin.add_constant(1);
                 c.rel = LinRel::Le;
                 break;
             }
             default: PI_CHECK(false, "non-comparison in load_comparison");
+        }
+        // A fold that overflowed anywhere above makes every derived bound
+        // untrustworthy: bail to Unsupported (the query answers Unknown)
+        // instead of loading a silently wrapped constraint.
+        if (lin.overflow) {
+            rec.outcome = Outcome::Unsupported;
+            return false;
         }
         if (lin.is_constant()) {
             bool holds = false;

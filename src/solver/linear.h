@@ -10,22 +10,55 @@ namespace preinfer::solver {
 
 /// Sum of coeff * var + constant over solver variables; variables are
 /// identified by dense indices handed out by the solver's variable table.
+///
+/// All folding arithmetic is overflow-checked: instead of silently wrapping
+/// (undefined behaviour, and wrong answers even where it is defined), an
+/// int64 overflow sets the sticky `overflow` flag and leaves the stored
+/// value saturated at its pre-overflow state. Loaders must check the flag
+/// and treat a poisoned expression as outside the linear fragment
+/// (AtomIndex marks the atom Unsupported, so the query answers Unknown and
+/// the explorer falls back to its non-witness path).
 struct LinearExpr {
     std::map<int, std::int64_t> coeffs;  ///< var index -> coefficient (non-zero)
     std::int64_t constant = 0;
+    /// Sticky: some coefficient or constant fold overflowed int64; the
+    /// expression's arithmetic is no longer trustworthy.
+    bool overflow = false;
 
     void add_term(int var, std::int64_t coeff) {
         if (coeff == 0) return;
         auto [it, inserted] = coeffs.emplace(var, coeff);
         if (!inserted) {
-            it->second += coeff;
+            std::int64_t folded = 0;
+            if (__builtin_add_overflow(it->second, coeff, &folded)) {
+                overflow = true;
+                return;
+            }
+            it->second = folded;
             if (it->second == 0) coeffs.erase(it);
         }
     }
 
+    void add_constant(std::int64_t value) {
+        if (__builtin_add_overflow(constant, value, &constant)) overflow = true;
+    }
+
     void add(const LinearExpr& other, std::int64_t scale) {
-        for (const auto& [v, c] : other.coeffs) add_term(v, c * scale);
-        constant += other.constant * scale;
+        if (other.overflow) overflow = true;
+        for (const auto& [v, c] : other.coeffs) {
+            std::int64_t scaled = 0;
+            if (__builtin_mul_overflow(c, scale, &scaled)) {
+                overflow = true;
+                continue;
+            }
+            add_term(v, scaled);
+        }
+        std::int64_t scaled_constant = 0;
+        if (__builtin_mul_overflow(other.constant, scale, &scaled_constant)) {
+            overflow = true;
+            return;
+        }
+        add_constant(scaled_constant);
     }
 
     [[nodiscard]] bool is_constant() const { return coeffs.empty(); }

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/solver/abstract_domain.h"
 #include "src/solver/atom_index.h"
 #include "src/solver/linear.h"
 #include "src/support/diagnostics.h"
+#include "src/support/metrics.h"
+#include "src/sym/eval.h"
 
 namespace preinfer::solver {
 namespace detail {
@@ -14,84 +17,7 @@ using sym::Expr;
 using sym::Kind;
 using sym::Sort;
 
-using I128 = __int128;
-
-constexpr std::int64_t kWsLo = 9;   // '\t'
-constexpr std::int64_t kWsHi = 32;  // ' ' (hull; exact set checked at leaves)
-
 struct BudgetExceeded {};
-
-struct VarState {
-    const Expr* term = nullptr;
-    std::int64_t lo = 0;
-    std::int64_t hi = 0;
-    bool is_bool = false;
-    bool is_len = false;
-    bool ws_member = false;  ///< must be a whitespace code point
-    bool ws_not = false;     ///< must not be a whitespace code point
-
-    [[nodiscard]] bool assigned() const { return lo == hi; }
-    [[nodiscard]] std::uint64_t width() const {
-        return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
-    }
-};
-
-/// `result_var == eval(node)` once every input of `node` is assigned.
-struct NonLinConstraint {
-    const Expr* node = nullptr;
-    int result_var = -1;
-};
-
-/// One (variable, coefficient) pair of a compiled linear constraint.
-struct FlatTerm {
-    std::int32_t var;
-    std::int64_t coeff;
-};
-
-/// A linear constraint compiled for the search hot path: coefficients are
-/// a contiguous [begin, end) slice of a term arena instead of a std::map.
-struct FlatLin {
-    LinRel rel = LinRel::Le;
-    std::int64_t constant = 0;
-    std::uint32_t begin = 0;
-    std::uint32_t end = 0;
-    /// For Eq only: start of the negated coefficient run (same length).
-    std::uint32_t flipped_begin = 0;
-    /// Write-stamp counter value when this constraint last started an
-    /// evaluation; 0 = never evaluated. Propagation skips a constraint iff
-    /// none of its variables were written since then — such a re-evaluation
-    /// is provably a no-op, so skipping is bit-exact (including the round
-    /// count and the `changed` fixpoint flag).
-    std::uint32_t last_stamp = 0;
-};
-
-VarState make_var_state(const AtomIndex::VarInfo& info, const SolverConfig& config) {
-    VarState v;
-    v.term = info.term;
-    v.is_bool = info.is_bool;
-    v.is_len = info.is_len;
-    if (info.is_bool) {
-        v.lo = 0;
-        v.hi = 1;
-    } else if (info.is_len) {
-        v.lo = 0;
-        v.hi = config.len_max;
-    } else {
-        v.lo = config.int_min;
-        v.hi = config.int_max;
-    }
-    return v;
-}
-
-/// True for terms that are solver variables as-is.
-bool is_ground_int_term(const Expr* e) {
-    switch (e->kind) {
-        case Kind::Param: return e->sort == Sort::Int;
-        case Kind::Len: return true;
-        case Kind::Select: return e->sort == Sort::Int;
-        default: return false;
-    }
-}
 
 /// The loaded (pre-search) form of a conjunction, built by replaying
 /// memoized AtomIndex records and mutated only through push/pop so a trail
@@ -109,7 +35,12 @@ public:
 
     void push(const Expr* atom) {
         frames_.push_back({vars_.size(), linear_.size(), nonlinear_.size(),
-                           dom_undo_.size(), ws_undo_.size(), failed_, unknown_});
+                           dom_undo_.size(), ws_undo_.size(), atoms_.size(),
+                           failed_, unknown_});
+        // The raw conjunct is kept even when it is not loaded below: the
+        // abstract pre-pass re-validates singleton witnesses against every
+        // pushed atom, so the list must be the whole conjunction.
+        atoms_.push_back(atom);
         // Once the conjunction is decided, later conjuncts are not loaded
         // (matching the from-scratch loader, which stops at the first
         // failing atom); the frame still exists so pop() stays symmetric.
@@ -122,13 +53,13 @@ public:
             if (local_of_global_[static_cast<std::size_t>(sv)] >= 0) continue;
             const AtomIndex::VarInfo& info = index_.var_info(sv);
             const int lv = static_cast<int>(vars_.size());
-            vars_.push_back(make_var_state(info, config_));
+            vars_.push_back(make_interval_var(info, config_));
             global_of_local_.push_back(sv);
             local_of_global_[static_cast<std::size_t>(sv)] = lv;
             if (info.is_nonlinear_aux) nonlinear_.push_back({info.term, lv});
         }
         for (const AtomIndex::BoolAssign& b : rec.bools) {
-            VarState& v = local(b.var);
+            IntervalVar& v = local(b.var);
             const std::int64_t want = b.value ? 1 : 0;
             if (v.assigned()) {
                 if (v.lo != want) {
@@ -143,7 +74,7 @@ public:
             v.lo = v.hi = want;
         }
         for (const AtomIndex::WsMark& w : rec.ws) {
-            VarState& v = local(w.var);
+            IntervalVar& v = local(w.var);
             ws_undo_.push_back({local_index(w.var), v.ws_member, v.ws_not});
             (w.member ? v.ws_member : v.ws_not) = true;
         }
@@ -187,6 +118,7 @@ public:
         }
         linear_.resize(f.n_linear);
         nonlinear_.resize(f.n_nonlinear);
+        atoms_.resize(f.n_atoms);
         failed_ = f.was_failed;
         unknown_ = f.was_unknown;
     }
@@ -199,6 +131,7 @@ public:
         global_of_local_.clear();
         linear_.clear();
         nonlinear_.clear();
+        atoms_.clear();
         frames_.clear();
         dom_undo_.clear();
         ws_undo_.clear();
@@ -219,6 +152,7 @@ private:
         std::size_t n_nonlinear;
         std::size_t n_dom_undo;
         std::size_t n_ws_undo;
+        std::size_t n_atoms;
         bool was_failed;
         bool was_unknown;
     };
@@ -234,7 +168,7 @@ private:
     [[nodiscard]] std::int32_t local_index(std::int32_t session_var) const {
         return local_of_global_[static_cast<std::size_t>(session_var)];
     }
-    [[nodiscard]] VarState& local(std::int32_t session_var) {
+    [[nodiscard]] IntervalVar& local(std::int32_t session_var) {
         return vars_[static_cast<std::size_t>(local_index(session_var))];
     }
 
@@ -242,12 +176,15 @@ private:
     const SolverConfig& config_;
     AtomIndex& index_;
 
-    std::vector<VarState> vars_;
+    std::vector<IntervalVar> vars_;
     std::vector<std::int32_t> global_of_local_;
     /// Session var -> local var or -1; sized to the index on demand.
     std::vector<std::int32_t> local_of_global_;
     std::vector<LinearConstraint> linear_;
     std::vector<NonLinConstraint> nonlinear_;
+    /// Every pushed conjunct, in push order (including ones not loaded
+    /// because the conjunction was already decided).
+    std::vector<const Expr*> atoms_;
     bool failed_ = false;    ///< some conjunct refuted the conjunction
     bool unknown_ = false;   ///< some conjunct fell outside the fragment
 
@@ -257,21 +194,21 @@ private:
 };
 
 /// One solve over a snapshot of an IncrementalState: runs the derived-fact
-/// passes (observer-implies-non-null, element-access-implies-length) and the
-/// branch-and-propagate search on copied domains, leaving the pushed state
-/// reusable. The search itself is unchanged from the pre-incremental
-/// solver; only where variables and constraints come from differs.
+/// passes (observer-implies-non-null, element-access-implies-length), the
+/// abstract pre-pass, and the branch-and-propagate search on copied domains
+/// (an IntervalEnv), leaving the pushed state reusable. The search strategy
+/// is unchanged from the pre-incremental solver; the interval machinery it
+/// runs on lives in src/solver/abstract_domain.{h,cpp}.
 class Runner {
 public:
     Runner(const IncrementalState& state, const Model* seed)
         : config_(state.config_),
           index_(state.index_),
           seed_(seed),
-          vars_(state.vars_),
-          global_of_local_(state.global_of_local_),
-          local_of_global_(state.local_of_global_),
+          atoms_(state.atoms_),
           loaded_linear_(state.linear_),
-          nonlinear_(state.nonlinear_) {}
+          env_(state.config_, state.index_, state.vars_, state.global_of_local_,
+               state.local_of_global_, &state.nonlinear_) {}
 
     SolveResult run(Solver::Stats& stats) {
         // Observers imply non-null: a model must make every atom true under
@@ -283,19 +220,19 @@ public:
         // Conflict => Unsat.
         {
             std::vector<const Expr*> dereferenced;
-            const std::size_t initial_vars = vars_.size();
+            const std::size_t initial_vars = env_.vars().size();
             for (std::size_t i = 0; i < initial_vars; ++i) {
                 const AtomIndex::VarInfo& info =
-                    index_.var_info(global_of_local_[i]);
+                    index_.var_info(env_.session_var(i));
                 for (const Expr* t : info.deref_null_terms) {
                     dereferenced.push_back(t);
                 }
             }
             for (const Expr* t : dereferenced) {
-                const int v = local_var(index_.var_for_term(t, /*is_bool=*/true,
-                                                            /*is_len=*/false));
-                if (!assign_bool(v, false)) {
-                    stats.num_vars = static_cast<int>(vars_.size());
+                const int v = env_.local_var(index_.var_for_term(t, /*is_bool=*/true,
+                                                                 /*is_len=*/false));
+                if (!env_.assign_bool(v, false)) {
+                    stats.num_vars = static_cast<int>(env_.vars().size());
                     stats.num_constraints = static_cast<int>(
                         loaded_linear_.size() + derived_linear_.size());
                     return {SolveStatus::Unsat, {}};
@@ -308,16 +245,16 @@ public:
         // predicates explicitly; arbitrary conjunctions need the axiom.)
         {
             std::vector<std::pair<const Expr*, std::int64_t>> selects;
-            for (std::size_t i = 0; i < vars_.size(); ++i) {
+            for (std::size_t i = 0; i < env_.vars().size(); ++i) {
                 const AtomIndex::VarInfo& info =
-                    index_.var_info(global_of_local_[i]);
+                    index_.var_info(env_.session_var(i));
                 if (info.select_len_term != nullptr) {
                     selects.emplace_back(info.select_len_term,
                                          info.select_index_plus1);
                 }
             }
             for (const auto& [len_term, index_plus1] : selects) {
-                const int len_var = local_var(
+                const int len_var = env_.local_var(
                     index_.var_for_term(len_term, /*is_bool=*/false, /*is_len=*/true));
                 // k + 1 - len <= 0
                 LinearConstraint c;
@@ -329,48 +266,61 @@ public:
         }
 
         // Compile the constraints (loaded then derived, preserving the
-        // from-scratch loader's append order) into flat coefficient arrays:
-        // propagation and leaf checks iterate them thousands of times per
-        // search, and walking std::map nodes — or, worse, materializing the
-        // negated map of every Eq constraint on every propagation round, as
-        // the pre-incremental solver did — dominated exhaustive searches.
-        // Term order inside each constraint is the map's key order, so the
-        // arithmetic sequence is unchanged.
-        std::size_t num_constraints = 0;
-        const auto compile = [this, &num_constraints](const LinearConstraint& c) {
-            FlatLin f;
-            f.rel = c.rel;
-            f.constant = c.expr.constant;
-            f.begin = static_cast<std::uint32_t>(terms_.size());
-            for (const auto& [vi, coeff] : c.expr.coeffs) {
-                terms_.push_back({vi, coeff});
-            }
-            f.end = static_cast<std::uint32_t>(terms_.size());
-            if (c.rel == LinRel::Eq) {
-                // Pre-negated form for the `>= 0` direction of equalities.
-                f.flipped_begin = static_cast<std::uint32_t>(flipped_terms_.size());
-                for (const auto& [vi, coeff] : c.expr.coeffs) {
-                    flipped_terms_.push_back({vi, -coeff});
-                }
-            }
-            flat_.push_back(f);
-            ++num_constraints;
-        };
-        for (const LinearConstraint& c : loaded_linear_) compile(c);
-        for (const LinearConstraint& c : derived_linear_) compile(c);
+        // from-scratch loader's append order) into the env's flat
+        // coefficient arenas.
+        for (const LinearConstraint& c : loaded_linear_) env_.compile(c);
+        for (const LinearConstraint& c : derived_linear_) env_.compile(c);
+        env_.seal();
 
-        // Every variable starts "just written" (stamp 1 > any last_stamp of
-        // 0), so the first propagation pass evaluates every constraint.
-        stamps_.assign(vars_.size(), 1);
-
-        stats.num_vars = static_cast<int>(vars_.size());
-        stats.num_constraints = static_cast<int>(num_constraints);
+        stats.num_vars = static_cast<int>(env_.vars().size());
+        stats.num_constraints = static_cast<int>(env_.num_compiled());
 
         SolveResult result;
+        auto prepass = Solver::Stats::Prepass::None;
         try {
-            if (dfs(0)) {
+            bool sat;
+            if (config_.abstract_prepass) {
+                // The pre-pass is literally the search's root node, run once
+                // up front and classified: the same budget charge, the same
+                // propagation fixpoint, the same leaf check. A conflict is
+                // the root's dfs() returning false (Unsat); a fully
+                // singleton environment is the root's leaf (Sat iff
+                // verify_leaf). Anything still open continues into the
+                // ordinary branching with the root's work already done, so
+                // node counts, round counts, statuses and models are
+                // bit-identical to the prepass-off search (DESIGN.md §3g).
+                if (++nodes_ > config_.max_nodes) throw BudgetExceeded{};
+                if (!env_.propagate()) {
+                    sat = false;
+                    prepass = Solver::Stats::Prepass::Unsat;
+                } else if (pick_var() < 0) {
+                    sat = env_.verify_leaf();
+                    prepass = sat ? Solver::Stats::Prepass::Sat
+                                  : Solver::Stats::Prepass::Unsat;
+                } else {
+                    sat = branch(0);
+                }
+            } else {
+                sat = dfs(0);
+            }
+            if (sat) {
                 result.status = SolveStatus::Sat;
-                for (const VarState& v : vars_) result.model.values[v.term] = v.lo;
+                for (const IntervalVar& v : env_.vars()) {
+                    result.model.values[v.term] = v.lo;
+                }
+                if (prepass == Solver::Stats::Prepass::Sat &&
+                    !witness_validates(result.model)) {
+                    // Defense in depth: a singleton witness the concrete
+                    // evaluator cannot confirm is not reported as a
+                    // pre-pass discharge. The Sat answer itself stands —
+                    // the identical search-leaf check accepted it — only
+                    // the classification is withdrawn (and counted, so a
+                    // disagreement between the two checkers is visible).
+                    prepass = Solver::Stats::Prepass::None;
+                    static auto& rejected = support::MetricsRegistry::global().counter(
+                        "solver.prepass_rejected_witness");
+                    if (support::metrics_enabled()) rejected.add();
+                }
             } else {
                 result.status = SolveStatus::Unsat;
             }
@@ -378,263 +328,20 @@ public:
             result.status = SolveStatus::Unknown;
         }
         stats.nodes = nodes_;
-        stats.propagation_rounds = propagation_rounds_;
+        stats.propagation_rounds = env_.propagation_rounds();
+        stats.prepass = prepass;
         return result;
     }
 
 private:
-    /// Local variable for a session variable, created on first use (only
-    /// the derived-fact passes create variables here).
-    int local_var(int session_var) {
-        if (static_cast<std::size_t>(session_var) >= local_of_global_.size()) {
-            local_of_global_.resize(index_.num_vars(), -1);
-        }
-        int lv = local_of_global_[static_cast<std::size_t>(session_var)];
-        if (lv >= 0) return lv;
-        lv = static_cast<int>(vars_.size());
-        vars_.push_back(make_var_state(index_.var_info(session_var), config_));
-        global_of_local_.push_back(session_var);
-        local_of_global_[static_cast<std::size_t>(session_var)] = lv;
-        return lv;
-    }
-
-    bool assign_bool(int var, bool value) {
-        VarState& v = vars_[static_cast<std::size_t>(var)];
-        const std::int64_t want = value ? 1 : 0;
-        if (v.assigned()) return v.lo == want;
-        v.lo = v.hi = want;
-        return true;
-    }
-
-    /// Evaluates an integer term under the current partial assignment;
-    /// nullopt when it depends on an unassigned variable (or divides by 0).
-    std::optional<std::int64_t> eval_term(const Expr* e) const {
-        if (is_ground_int_term(e)) {
-            const int sv = index_.find_var(e);
-            if (sv >= 0 && static_cast<std::size_t>(sv) < local_of_global_.size()) {
-                const int lv = local_of_global_[static_cast<std::size_t>(sv)];
-                if (lv >= 0) {
-                    const VarState& v = vars_[static_cast<std::size_t>(lv)];
-                    if (!v.assigned()) return std::nullopt;
-                    return v.lo;
-                }
-            }
-            return std::nullopt;  // ground term without a query variable
-        }
-        switch (e->kind) {
-            case Kind::IntConst: return e->a;
-            case Kind::Neg: {
-                auto v = eval_term(e->child0);
-                if (!v) return std::nullopt;
-                return -*v;
-            }
-            case Kind::Add: case Kind::Sub: case Kind::Mul:
-            case Kind::Div: case Kind::Mod: {
-                auto l = eval_term(e->child0);
-                auto r = eval_term(e->child1);
-                if (!l || !r) return std::nullopt;
-                switch (e->kind) {
-                    case Kind::Add: return *l + *r;
-                    case Kind::Sub: return *l - *r;
-                    case Kind::Mul: return *l * *r;
-                    case Kind::Div:
-                        if (*r == 0) return std::nullopt;
-                        if (*r == -1) return -*l;
-                        return *l / *r;
-                    case Kind::Mod:
-                        if (*r == 0) return std::nullopt;
-                        if (*r == -1) return 0;
-                        return *l % *r;
-                    default: break;
-                }
-                return std::nullopt;
-            }
-            default:
-                return std::nullopt;
-        }
-    }
-
-    // --- propagation ------------------------------------------------------------
-    /// Tightens every variable bound implied by `constant + Σ terms <= 0`;
-    /// false on conflict.
-    bool propagate_le(std::int64_t constant, const FlatTerm* t, const FlatTerm* t_end,
-                      bool& changed) {
-        // Minimum possible value of the whole expression.
-        I128 min_sum = constant;
-        for (const FlatTerm* p = t; p != t_end; ++p) {
-            const VarState& v = vars_[static_cast<std::size_t>(p->var)];
-            min_sum += p->coeff > 0 ? I128(p->coeff) * v.lo : I128(p->coeff) * v.hi;
-        }
-        if (min_sum > 0) return false;
-
-        for (const FlatTerm* p = t; p != t_end; ++p) {
-            const std::int64_t c = p->coeff;
-            VarState& v = vars_[static_cast<std::size_t>(p->var)];
-            // Contribution of all *other* terms at their minimum.
-            const I128 others =
-                min_sum - (c > 0 ? I128(c) * v.lo : I128(c) * v.hi);
-            // c * x <= -others
-            const I128 bound = -others;
-            if (c > 0) {
-                const I128 max_x = bound >= 0 ? bound / c : -((-bound + c - 1) / c);
-                if (max_x < v.hi) {
-                    if (max_x < v.lo) return false;
-                    v.hi = static_cast<std::int64_t>(max_x);
-                    touch(p->var);
-                    changed = true;
-                }
-            } else {
-                const std::int64_t cp = -c;
-                const I128 min_x = bound >= 0 ? -(bound / cp) : ((-bound) + cp - 1) / cp;
-                if (min_x > v.lo) {
-                    if (min_x > v.hi) return false;
-                    v.lo = static_cast<std::int64_t>(min_x);
-                    touch(p->var);
-                    changed = true;
-                }
-            }
-        }
-        return true;
-    }
-
-    bool propagate_ne(const FlatLin& f, bool& changed) {
-        // Only act when a single unit-coefficient variable remains.
-        int free_var = -1;
-        std::int64_t free_coeff = 0;
-        I128 rest = f.constant;
-        for (const FlatTerm* p = terms_.data() + f.begin,
-                            * e = terms_.data() + f.end;
-             p != e; ++p) {
-            const std::int64_t coeff = p->coeff;
-            const VarState& v = vars_[static_cast<std::size_t>(p->var)];
-            if (v.assigned()) {
-                rest += I128(coeff) * v.lo;
-            } else if (free_var < 0) {
-                free_var = p->var;
-                free_coeff = coeff;
-            } else {
-                return true;  // two free vars: nothing to do yet
-            }
-        }
-        if (free_var < 0) return rest != 0;
-        if (free_coeff != 1 && free_coeff != -1) return true;
-        const I128 forbidden128 = free_coeff == 1 ? -rest : rest;
-        if (forbidden128 < config_.int_min || forbidden128 > config_.int_max) return true;
-        const auto forbidden = static_cast<std::int64_t>(forbidden128);
-        VarState& v = vars_[static_cast<std::size_t>(free_var)];
-        if (v.lo == forbidden) {
-            ++v.lo;
-            touch(free_var);
-            changed = true;
-        }
-        if (v.hi == forbidden) {
-            --v.hi;
-            touch(free_var);
-            changed = true;
-        }
-        return v.lo <= v.hi;
-    }
-
-    bool propagate_nonlinear(bool& changed) {
-        for (const NonLinConstraint& nl : nonlinear_) {
-            const auto value = eval_term(nl.node);
-            if (!value) continue;
-            VarState& v = vars_[static_cast<std::size_t>(nl.result_var)];
-            if (*value < v.lo || *value > v.hi) return false;
-            if (!v.assigned()) {
-                v.lo = v.hi = *value;
-                touch(nl.result_var);
-                changed = true;
-            }
-        }
-        return true;
-    }
-
-    bool propagate() {
-        // Whitespace hull.
-        for (std::size_t i = 0; i < vars_.size(); ++i) {
-            VarState& v = vars_[i];
-            if (v.ws_member) {
-                if (v.lo < kWsLo) {
-                    v.lo = kWsLo;
-                    touch(static_cast<std::int32_t>(i));
-                }
-                if (v.hi > kWsHi) {
-                    v.hi = kWsHi;
-                    touch(static_cast<std::int32_t>(i));
-                }
-                if (v.lo > v.hi) return false;
-            }
-        }
-        for (int round = 0; round < config_.max_propagation_rounds; ++round) {
-            ++propagation_rounds_;
-            bool changed = false;
-            for (FlatLin& f : flat_) {
-                const FlatTerm* t = terms_.data() + f.begin;
-                const FlatTerm* t_end = terms_.data() + f.end;
-                // Dirty check: re-evaluating a constraint none of whose
-                // variables were written since its last evaluation started
-                // is a provable no-op (interval tightening is monotone in
-                // its inputs), so skipping it changes neither domains nor
-                // the `changed` flag. last_stamp is taken *before* the
-                // evaluation so the constraint's own writes re-dirty it for
-                // the next round — Eq propagation needs the second direction
-                // to see the first direction's tightenings, exactly as the
-                // always-evaluate baseline replays them next round.
-                std::uint32_t newest = 0;
-                for (const FlatTerm* p = t; p != t_end; ++p) {
-                    newest = std::max(
-                        newest, stamps_[static_cast<std::size_t>(p->var)]);
-                }
-                if (f.last_stamp != 0 && newest <= f.last_stamp) continue;
-                f.last_stamp = stamp_counter_;
-                switch (f.rel) {
-                    case LinRel::Le:
-                        if (!propagate_le(f.constant, t, t_end, changed)) return false;
-                        break;
-                    case LinRel::Eq: {
-                        if (!propagate_le(f.constant, t, t_end, changed)) return false;
-                        const FlatTerm* ft = flipped_terms_.data() + f.flipped_begin;
-                        if (!propagate_le(-f.constant, ft, ft + (f.end - f.begin),
-                                          changed)) {
-                            return false;
-                        }
-                        break;
-                    }
-                    case LinRel::Ne:
-                        if (!propagate_ne(f, changed)) return false;
-                        break;
-                }
-            }
-            if (!propagate_nonlinear(changed)) return false;
-            if (!changed) return true;
-        }
-        return true;
-    }
-
-    // --- leaf verification --------------------------------------------------------
-    bool verify_leaf() const {
-        for (const VarState& v : vars_) {
-            const bool ws = sym::ExprPool::whitespace_code_point(v.lo);
-            if (v.ws_member && !ws) return false;
-            if (v.ws_not && ws) return false;
-        }
-        for (const FlatLin& f : flat_) {
-            I128 sum = f.constant;
-            for (const FlatTerm* p = terms_.data() + f.begin,
-                                * e = terms_.data() + f.end;
-                 p != e; ++p)
-                sum += I128(p->coeff) * vars_[static_cast<std::size_t>(p->var)].lo;
-            switch (f.rel) {
-                case LinRel::Le: if (sum > 0) return false; break;
-                case LinRel::Eq: if (sum != 0) return false; break;
-                case LinRel::Ne: if (sum == 0) return false; break;
-            }
-        }
-        for (const NonLinConstraint& nl : nonlinear_) {
-            const auto value = eval_term(nl.node);
-            if (!value) return false;  // e.g. division by zero at the leaf
-            if (*value != vars_[static_cast<std::size_t>(nl.result_var)].lo) return false;
+    /// True when the concrete evaluator confirms `model` satisfies every
+    /// pushed conjunct — the pre-pass's independent re-check of a singleton
+    /// witness before it is trusted as a discharge.
+    [[nodiscard]] bool witness_validates(const Model& model) const {
+        for (const Expr* atom : atoms_) {
+            const std::optional<std::int64_t> v =
+                sym::eval_with_terms(atom, model.values);
+            if (!v.has_value() || *v == 0) return false;
         }
         return true;
     }
@@ -643,8 +350,9 @@ private:
     int pick_var() const {
         int best = -1;
         std::uint64_t best_width = ~std::uint64_t{0};
-        for (std::size_t i = 0; i < vars_.size(); ++i) {
-            const VarState& v = vars_[i];
+        const std::vector<IntervalVar>& vars = env_.vars();
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            const IntervalVar& v = vars[i];
             if (v.assigned()) continue;
             // Prefer booleans, then lengths, then narrow domains: sizing
             // collections early makes everything downstream concrete.
@@ -658,7 +366,7 @@ private:
         return best;
     }
 
-    std::int64_t preferred_value(const VarState& v) const {
+    std::int64_t preferred_value(const IntervalVar& v) const {
         if (seed_) {
             if (auto it = seed_->values.find(v.term); it != seed_->values.end()) {
                 if (it->second >= v.lo && it->second <= v.hi) return it->second;
@@ -680,9 +388,10 @@ private:
             snap_pool_.resize(static_cast<std::size_t>(depth) + 1);
         }
         auto& s = snap_pool_[static_cast<std::size_t>(depth)];
-        s.resize(vars_.size());
-        for (std::size_t i = 0; i < vars_.size(); ++i) {
-            s[i] = {vars_[i].lo, vars_[i].hi};
+        const std::vector<IntervalVar>& vars = env_.vars();
+        s.resize(vars.size());
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            s[i] = {vars[i].lo, vars[i].hi};
         }
     }
 
@@ -692,29 +401,31 @@ private:
         // restore that rewinds nothing must not dirty constraints, or the
         // cross-node skip would never fire.
         const auto& s = snap_pool_[static_cast<std::size_t>(depth)];
+        std::vector<IntervalVar>& vars = env_.vars();
         for (std::size_t i = 0; i < s.size(); ++i) {
-            VarState& v = vars_[i];
+            IntervalVar& v = vars[i];
             if (v.lo != s[i].first || v.hi != s[i].second) {
                 v.lo = s[i].first;
                 v.hi = s[i].second;
-                touch(static_cast<std::int32_t>(i));
+                env_.touch(static_cast<std::int32_t>(i));
             }
         }
-    }
-
-    /// Records a domain write to variable `vi` for the dirty-constraint
-    /// check in propagate().
-    void touch(std::int32_t vi) {
-        stamps_[static_cast<std::size_t>(vi)] = ++stamp_counter_;
     }
 
     bool dfs(int depth) {
         if (++nodes_ > config_.max_nodes) throw BudgetExceeded{};
         if (depth > kMaxDepth) throw BudgetExceeded{};
-        if (!propagate()) return false;
+        if (!env_.propagate()) return false;
+        return branch(depth);
+    }
+
+    /// The post-propagation half of a search node: pick a variable and try
+    /// its values. Split from dfs() so the abstract pre-pass can run the
+    /// root node's budget/propagation itself and continue here.
+    bool branch(int depth) {
         const int vi = pick_var();
-        if (vi < 0) return verify_leaf();
-        VarState& v = vars_[static_cast<std::size_t>(vi)];
+        if (vi < 0) return env_.verify_leaf();
+        IntervalVar& v = env_.vars()[static_cast<std::size_t>(vi)];
 
         snapshot(depth);
         const std::int64_t lo = v.lo;
@@ -724,13 +435,15 @@ private:
         if (v.width() <= 32) {
             // Small domain: enumerate, preferred value first.
             v.lo = v.hi = pv;
-            touch(vi);
+            env_.touch(vi);
             if (dfs(depth + 1)) return true;
             restore(depth);
             for (std::int64_t value = lo; value <= hi; ++value) {
                 if (value == pv) continue;
-                v.lo = v.hi = value;
-                touch(vi);
+                std::vector<IntervalVar>& vars = env_.vars();
+                vars[static_cast<std::size_t>(vi)].lo = value;
+                vars[static_cast<std::size_t>(vi)].hi = value;
+                env_.touch(vi);
                 if (dfs(depth + 1)) return true;
                 restore(depth);
             }
@@ -743,7 +456,7 @@ private:
         // value at a time would recurse billions deep on constraints like
         // `x > 0` whose solutions sit far from the preferred value.
         v.lo = v.hi = pv;
-        touch(vi);
+        env_.touch(vi);
         if (dfs(depth + 1)) return true;
         restore(depth);
 
@@ -751,10 +464,12 @@ private:
         const bool pv_low = pv <= mid;
         for (int half = 0; half < 2; ++half) {
             const bool low_half = (half == 0) == pv_low;
-            v.lo = low_half ? lo : mid + 1;
-            v.hi = low_half ? mid : hi;
-            touch(vi);
-            if (v.lo <= v.hi && !(v.lo == pv && v.hi == pv)) {
+            std::vector<IntervalVar>& vars = env_.vars();
+            IntervalVar& w = vars[static_cast<std::size_t>(vi)];
+            w.lo = low_half ? lo : mid + 1;
+            w.hi = low_half ? mid : hi;
+            env_.touch(vi);
+            if (w.lo <= w.hi && !(w.lo == pv && w.hi == pv)) {
                 if (dfs(depth + 1)) return true;
                 restore(depth);
             }
@@ -768,28 +483,13 @@ private:
     AtomIndex& index_;
     const Model* seed_;
 
-    std::vector<VarState> vars_;
-    std::vector<std::int32_t> global_of_local_;
-    std::vector<std::int32_t> local_of_global_;
+    const std::vector<const Expr*>& atoms_;
     const std::vector<LinearConstraint>& loaded_linear_;
-    const std::vector<NonLinConstraint>& nonlinear_;
     std::vector<LinearConstraint> derived_linear_;
-    /// Compiled constraints — loaded then derived, the exact order the
-    /// from-scratch loader appended them in. Coefficients live in flat
-    /// arenas; `flipped_terms_` holds the pre-negated coefficients of Eq
-    /// constraints.
-    std::vector<FlatLin> flat_;
-    std::vector<FlatTerm> terms_;
-    std::vector<FlatTerm> flipped_terms_;
+    IntervalEnv env_;
     std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> snap_pool_;
-    /// Per-variable write stamps for the dirty-constraint check; every
-    /// domain write during search records ++stamp_counter_ so "was any of
-    /// this constraint's variables written since stamp S" is one compare.
-    std::vector<std::uint32_t> stamps_;
-    std::uint32_t stamp_counter_ = 1;
 
     int nodes_ = 0;
-    int propagation_rounds_ = 0;
 };
 
 SolveResult IncrementalState::solve(const Model* seed, Solver::Stats& stats) const {

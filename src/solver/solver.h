@@ -25,6 +25,16 @@ struct SolverConfig {
     /// reported Unknown and the explorer just moves on.
     int max_nodes = 800;
     int max_propagation_rounds = 32;
+    /// Run the interval abstract pre-pass (src/solver/abstract_domain.h)
+    /// before searching: the search's root-node propagation is classified so
+    /// a conflict answers Unsat and a fully singleton environment answers
+    /// Sat (witness re-validated by sym::eval_with_terms) without any
+    /// branching. Statuses, models, node counts and propagation rounds are
+    /// bit-identical either way — the pre-pass *is* the root node, not an
+    /// approximation of it (DESIGN.md §3g) — so this toggle only moves work
+    /// between the "discharged without search" and "searched" buckets;
+    /// Stats::prepass reports which bucket the last solve landed in.
+    bool abstract_prepass = true;
     /// Fault-injection seam (docs/FUZZING.md): when true, every solve()
     /// returns Unknown without searching, simulating total budget
     /// starvation. Callers must degrade gracefully — an Unknown is always a
@@ -117,10 +127,17 @@ public:
     /// Statistics of the most recent solve() call (through either entry
     /// point).
     struct Stats {
+        /// How the abstract interval pre-pass classified the solve: None
+        /// when it was off, the query was decided at load time, or search
+        /// had to run; Unsat/Sat when the root-node propagation alone
+        /// discharged the query (SolverConfig::abstract_prepass).
+        enum class Prepass : std::uint8_t { None, Unsat, Sat };
+
         int nodes = 0;
         int propagation_rounds = 0;
         int num_vars = 0;
         int num_constraints = 0;
+        Prepass prepass = Prepass::None;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -162,6 +162,63 @@ TEST(HarnessParallel, IncrementalSolvingOffIsByteIdenticalIncludingTraces) {
     EXPECT_EQ(with_ctx.trace, scratch.trace);
 }
 
+TEST(HarnessParallel, AbstractPrepassOnOffIsByteIdenticalIncludingTraces) {
+    // The interval pre-pass runs as the search's own root node: identical
+    // budget charging, identical propagation, identical verdicts (DESIGN.md
+    // §3g). Disabling it must leave every deterministic output byte-identical
+    // except for the two attribution surfaces it owns — the prepass_* method
+    // columns and the solver-query `cache` value — at any jobs value.
+    for (const int jobs : {1, 4}) {
+        HarnessConfig on = small_config(jobs);
+        on.trace.enabled = true;
+        HarnessConfig off = on;
+        off.explore.solver_config.abstract_prepass = false;
+        // Flip validation too so its solver config stays equal to the
+        // inference config and keeps sharing the cache.
+        off.validation.explore.solver_config.abstract_prepass = false;
+        HarnessResult with_prepass = run_harness(tiny_corpus(), on);
+        HarnessResult without = run_harness(tiny_corpus(), off);
+
+        std::int64_t discharged = 0;
+        for (const MethodRow& m : with_prepass.methods) {
+            discharged += m.prepass_unsat + m.prepass_sat;
+        }
+        EXPECT_GT(discharged, 0) << "jobs=" << jobs
+                                 << ": corpus never exercised the pre-pass";
+        for (const MethodRow& m : without.methods) {
+            EXPECT_EQ(m.prepass_unsat + m.prepass_sat, 0) << m.method;
+        }
+
+        // Zero the attribution-only columns; every other column must match.
+        auto scrub = [](HarnessResult& r) {
+            for (MethodRow& m : r.methods) {
+                m.prepass_unsat = 0;
+                m.prepass_sat = 0;
+            }
+        };
+        scrub(with_prepass);
+        scrub(without);
+        EXPECT_EQ(serialize(with_prepass), serialize(without))
+            << "jobs=" << jobs;
+
+        // A pre-pass discharge is a solved miss in the off run, with the
+        // same status, model, and node count.
+        auto normalize = [](std::string trace) {
+            const std::string from = "\"cache\":\"prepass\"";
+            const std::string to = "\"cache\":\"miss\"";
+            std::size_t pos = 0;
+            while ((pos = trace.find(from, pos)) != std::string::npos) {
+                trace.replace(pos, from.size(), to);
+                pos += to.size();
+            }
+            return trace;
+        };
+        ASSERT_FALSE(with_prepass.trace.empty());
+        EXPECT_EQ(normalize(with_prepass.trace), without.trace)
+            << "jobs=" << jobs;
+    }
+}
+
 TEST(HarnessParallel, SemanticCacheAnswersPreserveEndToEndResults) {
     // Unsat subsumption substitutes cached answers for real solves, so the
     // cache accounting columns legitimately shift — but everything the
@@ -199,16 +256,21 @@ TEST(HarnessParallel, SemanticCacheAnswersPreserveEndToEndResults) {
     EXPECT_GT(subsumed, 0) << "corpus never exercised the subsumption path";
 
     // Trace equality modulo the per-query cache attribution: a query the
-    // fast run answered by subsumption is a solved miss in the plain run,
+    // fast run answered by subsumption is a real solve in the plain run,
     // with the same status (the cached subset proves Unsat; the plain solve
-    // finds it within budget on this corpus).
+    // finds it within budget on this corpus). That real solve may itself be
+    // discharged by the interval pre-pass, so both the `subsume` and
+    // `prepass` attributions normalize to `miss` on both sides.
     auto normalize = [](std::string trace) {
-        const std::string from = "\"cache\":\"subsume\"";
         const std::string to = "\"cache\":\"miss\"";
-        std::size_t pos = 0;
-        while ((pos = trace.find(from, pos)) != std::string::npos) {
-            trace.replace(pos, from.size(), to);
-            pos += to.size();
+        for (const std::string from :
+             {std::string("\"cache\":\"subsume\""),
+              std::string("\"cache\":\"prepass\"")}) {
+            std::size_t pos = 0;
+            while ((pos = trace.find(from, pos)) != std::string::npos) {
+                trace.replace(pos, from.size(), to);
+                pos += to.size();
+            }
         }
         return trace;
     };

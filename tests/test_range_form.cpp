@@ -1,0 +1,163 @@
+// The range-shaped precondition emitter (src/eval/range_form.*): purely
+// syntactic recognition of interval fragments in inferred preconditions,
+// plus the Definition-3-comparable complexity of the rendered form.
+
+#include "src/eval/range_form.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pred.h"
+#include "src/sym/expr_pool.h"
+
+namespace preinfer::eval {
+namespace {
+
+class RangeFormTest : public ::testing::Test {
+protected:
+    sym::ExprPool pool;
+    std::vector<std::string> names{"a", "i", "x", "flag"};
+    const sym::Expr* a = pool.param(0, sym::Sort::Obj);
+    const sym::Expr* i = pool.param(1, sym::Sort::Int);
+    const sym::Expr* x = pool.param(2, sym::Sort::Int);
+    const sym::Expr* flag = pool.param(3, sym::Sort::Bool);
+
+    RangeForm form(const core::PredPtr& p) { return to_range_form(p, names); }
+};
+
+TEST_F(RangeFormTest, BoundsCheckRendersAsChain) {
+    // i >= 0 && i < a.len — the canonical array-access precondition.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.ge(i, pool.int_const(0))),
+         core::make_atom(pool.lt(i, pool.len(a)))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "0 <= i < a.len");
+    // Two relations rendered => one connective, matching the clausal form's
+    // Definition-3 score for i >= 0 && i < a.len.
+    EXPECT_EQ(f.complexity, 1);
+}
+
+TEST_F(RangeFormTest, SingletonCollapsesToEquality) {
+    const RangeForm f = form(core::make_atom(pool.eq(x, pool.int_const(5))));
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "x == 5");
+    EXPECT_EQ(f.complexity, 0);
+}
+
+TEST_F(RangeFormTest, DuplicateBoundsMergeBeforeRendering) {
+    // x >= 0 is subsumed by x >= 2; only the tight pair renders.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.ge(x, pool.int_const(0))),
+         core::make_atom(pool.ge(x, pool.int_const(2))),
+         core::make_atom(pool.le(x, pool.int_const(10)))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "2 <= x <= 10");
+    EXPECT_EQ(f.complexity, 1);
+}
+
+TEST_F(RangeFormTest, BoundsCollapsingToSingletonRenderAsEquality) {
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.ge(x, pool.int_const(7))),
+         core::make_atom(pool.le(x, pool.int_const(7)))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "x == 7");
+    EXPECT_EQ(f.complexity, 0);
+}
+
+TEST_F(RangeFormTest, ContradictoryBoundsAreNotARange) {
+    // An empty interval is unsatisfiable, not a range precondition.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.ge(x, pool.int_const(1))),
+         core::make_atom(pool.le(x, pool.int_const(0)))});
+    EXPECT_FALSE(form(p).is_range);
+}
+
+TEST_F(RangeFormTest, DisequalityPuncturesTheRange) {
+    EXPECT_FALSE(form(core::make_atom(pool.ne(x, pool.int_const(0)))).is_range);
+}
+
+TEST_F(RangeFormTest, TwoVariableEqualityIsNotARange) {
+    EXPECT_FALSE(form(core::make_atom(pool.eq(x, i))).is_range);
+}
+
+TEST_F(RangeFormTest, BooleanLiteralsPassThroughAlongsideBounds) {
+    // a != null && 0 <= i: the null check is a side condition, the bound
+    // carries the interval content. The Not inside the literal counts
+    // toward complexity exactly as it does in the clausal form.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.not_(pool.is_null(a))),
+         core::make_atom(pool.ge(i, pool.int_const(0)))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "a != null && 0 <= i");
+    EXPECT_EQ(f.complexity, 2);  // one And + one Not
+}
+
+TEST_F(RangeFormTest, NullPredsAndNullAtomsAreOutsideTheFragment) {
+    // Regression: fuzz-generated programs produce Atom preds with a null
+    // expression (core/complexity.cpp guards identically). make_atom
+    // rejects nulls, so build the degenerate node the way those sites do.
+    auto raw = std::make_shared<core::Pred>();
+    raw->kind = core::PredKind::Atom;
+    const core::PredPtr null_atom = raw;
+    EXPECT_FALSE(form(nullptr).is_range);
+    EXPECT_FALSE(form(null_atom).is_range);
+    auto conj = std::make_shared<core::Pred>();
+    conj->kind = core::PredKind::And;
+    conj->kids = {core::make_atom(pool.ge(i, pool.int_const(0))), null_atom};
+    EXPECT_FALSE(form(conj).is_range);
+}
+
+TEST_F(RangeFormTest, LiteralsAloneAreNotARange) {
+    // Without at least one interval bound there is nothing range-shaped.
+    EXPECT_FALSE(form(core::make_atom(flag)).is_range);
+    EXPECT_FALSE(form(core::make_atom(pool.not_(pool.is_null(a)))).is_range);
+}
+
+TEST_F(RangeFormTest, QuantifiersAndDisjunctionsAreOutsideTheFragment) {
+    const core::PredPtr chain = core::make_atom(pool.ge(i, pool.int_const(0)));
+    const core::PredPtr quant = core::make_forall(
+        0, a, pool.true_(), pool.not_(pool.is_null(pool.select(a, pool.bound_var(0),
+                                                               sym::Sort::Obj))));
+    EXPECT_FALSE(form(quant).is_range);
+    EXPECT_FALSE(form(core::make_or({chain, quant})).is_range);
+    EXPECT_FALSE(form(core::make_and({chain, quant})).is_range);
+}
+
+TEST_F(RangeFormTest, NonUnitCoefficientsAreRejected) {
+    // 2*x <= 10 normalizes the variable, which changes the printed form;
+    // the emitter stays strictly syntactic and bails instead.
+    const core::PredPtr p = core::make_atom(
+        pool.le(pool.mul(pool.int_const(2), x), pool.int_const(10)));
+    EXPECT_FALSE(form(p).is_range);
+}
+
+TEST_F(RangeFormTest, ConstantsFoldAcrossTheComparison) {
+    // x + 3 <= 10 is the upper bound x <= 7.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.le(pool.add(x, pool.int_const(3)),
+                                 pool.int_const(10))),
+         core::make_atom(pool.ge(x, pool.int_const(0)))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "0 <= x <= 7");
+}
+
+TEST_F(RangeFormTest, SymbolicUpperBoundWithShift) {
+    // i <= a.len - 2 renders the shifted symbolic bound.
+    const core::PredPtr p = core::make_and(
+        {core::make_atom(pool.ge(i, pool.int_const(0))),
+         core::make_atom(pool.le(i, pool.sub(pool.len(a), pool.int_const(2))))});
+    const RangeForm f = form(p);
+    EXPECT_TRUE(f.is_range);
+    EXPECT_EQ(f.printed, "0 <= i <= a.len - 2");
+}
+
+}  // namespace
+}  // namespace preinfer::eval

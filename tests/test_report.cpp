@@ -37,6 +37,9 @@ HarnessResult tiny_result() {
     row.dysy.strength.sufficient = true;
     row.dysy.strength.necessary = false;
     row.dysy.complexity = 40;
+    row.preinfer_range_form = true;
+    row.preinfer_range_complexity = 2;
+    row.preinfer_range_printed = "0 <= i < len(a), \"chained\"";
     r.acls.push_back(std::move(row));
 
     MethodRow m;
@@ -45,6 +48,8 @@ HarnessResult tiny_result() {
     m.block_coverage = 0.75;
     m.tests = 12;
     m.acls = 1;
+    m.prepass_unsat = 5;
+    m.prepass_sat = 2;
     r.methods.push_back(m);
     return r;
 }
@@ -64,12 +69,23 @@ TEST(Report, AclCsvRowsAndEscaping) {
     EXPECT_NE(csv.find(",sufficient,40,"), std::string::npos) << csv; // DySy
     // Embedded quotes are doubled.
     EXPECT_NE(csv.find("b > \"\"q\"\""), std::string::npos) << csv;
+    // Range-shaped rendering columns, escaped like every other text column.
+    EXPECT_NE(csv.find("preinfer_range_form,preinfer_range_complexity,"
+                       "preinfer_range"),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find(",1,2,\"0 <= i < len(a), \"\"chained\"\"\""),
+              std::string::npos)
+        << csv;
 }
 
 TEST(Report, MethodCsv) {
     std::ostringstream out;
     write_method_csv(tiny_result(), out);
     EXPECT_NE(out.str().find("Ns.A,m,0.75,12,1"), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("prepass_unsat,prepass_sat"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find(",5,2"), std::string::npos) << out.str();
 }
 
 TEST(Report, EnvVarWritesFile) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace preinfer::solver {
@@ -265,6 +266,154 @@ TEST_F(SolverTest, ModuloByConstantSolvable) {
     const std::int64_t v = r.model.get_int(x, 0);
     EXPECT_GT(v, 0);
     EXPECT_EQ(v % 7, 3);
+}
+
+// --- interval pre-pass (SolverConfig::abstract_prepass) ---------------------
+
+TEST_F(SolverTest, PrepassDischargesSingletonSat) {
+    // x == 5 collapses the root interval environment to a singleton, so the
+    // pre-pass answers Sat without branching and the witness is the
+    // propagated point.
+    Solver solver(pool);
+    std::vector<const Expr*> cs{pool.eq(x, pool.int_const(5))};
+    const auto r = solver.solve(cs);
+    ASSERT_TRUE(r.sat());
+    EXPECT_EQ(r.model.get_int(x, -1), 5);
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::Sat);
+}
+
+TEST_F(SolverTest, PrepassDischargesEmptyIntervalUnsat) {
+    Solver solver(pool);
+    std::vector<const Expr*> cs{pool.gt(x, pool.int_const(0)),
+                                pool.lt(x, pool.int_const(0))};
+    const auto r = solver.solve(cs);
+    EXPECT_EQ(r.status, SolveStatus::Unsat);
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::Unsat);
+}
+
+TEST_F(SolverTest, PrepassContradictoryAtomsOverSameVariable) {
+    Solver solver(pool);
+    std::vector<const Expr*> cs{pool.ge(x, pool.int_const(1)),
+                                pool.le(x, pool.int_const(0))};
+    EXPECT_EQ(solver.solve(cs).status, SolveStatus::Unsat);
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::Unsat);
+}
+
+TEST_F(SolverTest, PrepassEmptyLengthDomain) {
+    // Lengths are non-negative by construction, so len < 0 empties the
+    // domain during root propagation.
+    Solver solver(pool);
+    std::vector<const Expr*> cs{pool.lt(pool.len(s), pool.int_const(0))};
+    EXPECT_EQ(solver.solve(cs).status, SolveStatus::Unsat);
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::Unsat);
+}
+
+TEST_F(SolverTest, PrepassOffLeavesClassificationNone) {
+    SolverConfig config;
+    config.abstract_prepass = false;
+    Solver solver(pool, config);
+    std::vector<const Expr*> sat_q{pool.eq(x, pool.int_const(5))};
+    ASSERT_TRUE(solver.solve(sat_q).sat());
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::None);
+    std::vector<const Expr*> unsat_q{pool.gt(x, pool.int_const(0)),
+                                     pool.lt(x, pool.int_const(0))};
+    EXPECT_EQ(solver.solve(unsat_q).status, SolveStatus::Unsat);
+    EXPECT_EQ(solver.stats().prepass, Solver::Stats::Prepass::None);
+}
+
+TEST_F(SolverTest, PrepassOnOffBitIdentical) {
+    // The pre-pass is the search's own root node: statuses, witness models
+    // and budget accounting must be identical with it on or off, across
+    // shapes that exercise propagation, branching, whitespace hulls and
+    // nonlinear auxiliaries.
+    const Expr* e0 = pool.select(s, pool.int_const(0), Sort::Int);
+    const std::vector<std::vector<const Expr*>> queries = {
+        {pool.eq(x, pool.int_const(5))},
+        {pool.gt(x, pool.int_const(0)), pool.lt(x, pool.int_const(0))},
+        {pool.gt(x, pool.int_const(3)), pool.lt(x, pool.int_const(5))},
+        {pool.lt(x, y), pool.lt(y, z), pool.ge(x, pool.int_const(0)),
+         pool.le(z, pool.int_const(2))},
+        {pool.is_whitespace(x), pool.ge(x, pool.int_const(33)),
+         pool.le(x, pool.int_const(100))},
+        {pool.eq(pool.mul(x, y), pool.int_const(6)), pool.ge(x, pool.int_const(2)),
+         pool.le(x, pool.int_const(3)), pool.ge(y, pool.int_const(0)),
+         pool.le(y, pool.int_const(5))},
+        {pool.not_(pool.is_null(s)), pool.gt(pool.len(s), pool.int_const(1)),
+         pool.eq(e0, pool.int_const(65))},
+        {flag, pool.not_(flag)},
+    };
+    SolverConfig off_config;
+    off_config.abstract_prepass = false;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        Solver on(pool);
+        Solver off(pool, off_config);
+        const SolveResult a = on.solve(queries[i]);
+        const SolveResult b = off.solve(queries[i]);
+        ASSERT_EQ(a.status, b.status) << "query " << i;
+        ASSERT_EQ(a.model.values.size(), b.model.values.size()) << "query " << i;
+        for (const auto& [term, value] : a.model.values) {
+            const auto it = b.model.values.find(term);
+            ASSERT_TRUE(it != b.model.values.end()) << "query " << i;
+            EXPECT_EQ(it->second, value) << "query " << i;
+        }
+        EXPECT_EQ(on.stats().nodes, off.stats().nodes) << "query " << i;
+        EXPECT_EQ(on.stats().propagation_rounds, off.stats().propagation_rounds)
+            << "query " << i;
+        EXPECT_EQ(off.stats().prepass, Solver::Stats::Prepass::None);
+    }
+}
+
+// --- int64-overflow guards in linear folding --------------------------------
+
+TEST_F(SolverTest, OverflowingConstantFoldAnswersUnknown) {
+    // x - INT64_MIN folds a constant with no int64 negation; the loader
+    // poisons the linear form and the query answers Unknown instead of
+    // loading a silently wrapped constraint.
+    const Expr* wrapped =
+        pool.sub(x, pool.int_const(std::numeric_limits<std::int64_t>::min()));
+    const auto r = solve({pool.gt(wrapped, pool.int_const(0))});
+    EXPECT_EQ(r.status, SolveStatus::Unknown);
+}
+
+TEST_F(SolverTest, OverflowingCoefficientFoldAnswersUnknown) {
+    // MAX*x + MAX*x overflows the folded coefficient.
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    const Expr* doubled = pool.add(pool.mul(x, pool.int_const(max)),
+                                   pool.mul(x, pool.int_const(max)));
+    const auto r = solve({pool.ge(doubled, pool.int_const(1))});
+    EXPECT_EQ(r.status, SolveStatus::Unknown);
+}
+
+TEST_F(SolverTest, OverflowingNestedScaleAnswersUnknown) {
+    // (x * 2^40) * 2^40 overflows the scale fold inside linearize.
+    const std::int64_t big = std::int64_t{1} << 40;
+    const Expr* nested =
+        pool.mul(pool.mul(x, pool.int_const(big)), pool.int_const(big));
+    const auto r = solve({pool.eq(nested, pool.int_const(0))});
+    EXPECT_EQ(r.status, SolveStatus::Unknown);
+}
+
+TEST_F(SolverTest, OverflowAnswersMatchWithPrepassOff) {
+    const Expr* wrapped =
+        pool.sub(x, pool.int_const(std::numeric_limits<std::int64_t>::min()));
+    SolverConfig config;
+    config.abstract_prepass = false;
+    Solver solver(pool, config);
+    std::vector<const Expr*> cs{pool.gt(wrapped, pool.int_const(0))};
+    EXPECT_EQ(solver.solve(cs).status, SolveStatus::Unknown);
+}
+
+TEST_F(SolverTest, MaxAdjacentLiteralsStillSolve) {
+    // INT64_MAX-adjacent literals that cancel without wrapping keep the
+    // ordinary path: x + (MAX-1) >= (MAX-1) folds to x >= 0 exactly.
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    const Expr* shifted = pool.add(x, pool.int_const(max - 1));
+    const auto r = solve({pool.ge(shifted, pool.int_const(max - 1)),
+                          pool.le(x, pool.int_const(5))});
+    ASSERT_TRUE(r.sat());
+    const std::int64_t v = r.model.get_int(x, -1);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
 }
 
 TEST_F(SolverTest, StatsPopulated) {

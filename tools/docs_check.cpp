@@ -30,7 +30,17 @@
 //       enumerator names (doc comments inside the enum are ignored); from
 //       the document, every table row of the shape "| `Op::Tick` | ...".
 //
-// No JSON, C++ or markdown parser — all four files keep these shapes
+//   docs_check --bench <path/to/BENCH_*.json>
+//       Committed benchmark records must keep their documented shape: a
+//       "bench" name key, and — for before/after perf records like
+//       BENCH_solver.json — both sections carrying the required counters
+//       (solver_queries, solver_solve_calls, preconditions_fingerprint),
+//       identical fingerprints, and the explicit
+//       `"preconditions_fingerprint_identical": true` invariant. This is
+//       what makes "the optimization changed no output" a checked claim
+//       instead of a comment.
+//
+// No JSON, C++ or markdown parser — all these files keep their shapes
 // deliberately (the headers say so next to the tables).
 
 #include <algorithm>
@@ -394,21 +404,135 @@ int run_il_mode(const std::string& header_path, const std::string& doc_path) {
     return report_sync(in_header, in_doc, header_path, doc_path, "opcode");
 }
 
+/// Values of every `"key": "value"` occurrence of a string-valued key.
+std::vector<std::string> json_string_values(const std::string& text,
+                                            const std::string& key) {
+    std::vector<std::string> values;
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        std::size_t i = pos + needle.size();
+        while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) ||
+                                   text[i] == ':')) {
+            ++i;
+        }
+        if (i < text.size() && text[i] == '"') {
+            const std::size_t end = text.find('"', i + 1);
+            if (end != std::string::npos) values.push_back(text.substr(i + 1, end - i - 1));
+        }
+        pos += needle.size();
+    }
+    return values;
+}
+
+/// Number of `"key"` occurrences (used for non-string-valued keys).
+std::size_t json_key_count(const std::string& text, const std::string& key) {
+    const std::string needle = "\"" + key + "\"";
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+int run_bench_mode(const std::string& json_path) {
+    bool ok = false;
+    const std::string text = read_file(json_path, ok);
+    if (!ok) {
+        std::cerr << "error: cannot open " << json_path << "\n";
+        return 2;
+    }
+
+    int failures = 0;
+    const auto fail = [&](const std::string& what) {
+        std::cerr << "bench schema: " << json_path << ": " << what << "\n";
+        ++failures;
+    };
+
+    const std::vector<std::string> names = json_string_values(text, "bench");
+    if (names.empty()) fail("missing string-valued \"bench\" key");
+
+    const bool has_before = json_key_count(text, "before") > 0;
+    const bool has_after = json_key_count(text, "after") > 0;
+    if (has_before != has_after) {
+        fail("has one of \"before\"/\"after\" but not the other");
+    }
+    if (has_before && has_after) {
+        // Every before/after perf record must carry the counters the
+        // acceptance criteria are stated in, once per section.
+        for (const char* key : {"solver_queries", "solver_solve_calls",
+                                "preconditions_fingerprint"}) {
+            if (json_key_count(text, key) < 2) {
+                fail(std::string("\"") + key +
+                     "\" must appear in both the before and after sections");
+            }
+        }
+        const std::vector<std::string> fingerprints =
+            json_string_values(text, "preconditions_fingerprint");
+        for (const std::string& fp : fingerprints) {
+            if (fp.empty()) fail("empty preconditions_fingerprint");
+            if (fp != fingerprints.front()) {
+                fail("preconditions_fingerprint differs between sections: \"" +
+                     fingerprints.front() + "\" vs \"" + fp +
+                     "\" — a perf PR must not change inferred preconditions");
+            }
+        }
+        const std::vector<std::string> invariant_tail = json_string_values(
+            text, "preconditions_fingerprint_identical");  // string form is wrong
+        if (!invariant_tail.empty()) {
+            fail("\"preconditions_fingerprint_identical\" must be the bare "
+                 "literal true, not a string");
+        }
+        const std::size_t anchor = text.find("\"preconditions_fingerprint_identical\"");
+        if (anchor == std::string::npos) {
+            fail("missing \"preconditions_fingerprint_identical\" invariant");
+        } else {
+            std::size_t i = anchor + std::string("\"preconditions_fingerprint_identical\"").size();
+            while (i < text.size() &&
+                   (std::isspace(static_cast<unsigned char>(text[i])) || text[i] == ':')) {
+                ++i;
+            }
+            if (text.compare(i, 4, "true") != 0) {
+                fail("\"preconditions_fingerprint_identical\" is not true");
+            }
+        }
+    }
+
+    if (failures > 0) return 1;
+    std::cout << "bench record \"" << (names.empty() ? "?" : names.front())
+              << "\" in shape"
+              << (has_before ? " (before/after invariants hold)" : "") << "\n";
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string mode = "--trace";
     if (!args.empty() && (args.front() == "--trace" || args.front() == "--lang" ||
-                          args.front() == "--api" || args.front() == "--il")) {
+                          args.front() == "--api" || args.front() == "--il" ||
+                          args.front() == "--bench")) {
         mode = args.front();
         args.erase(args.begin());
     }
+    const char* usage =
+        "usage: docs_check [--trace] <trace.h> <OBSERVABILITY.md>\n"
+        "       docs_check --lang <ast.h> <LANGUAGE.md>\n"
+        "       docs_check --api <engine.h> <SERVING.md>\n"
+        "       docs_check --il <il.h> <IL.md>\n"
+        "       docs_check --bench <BENCH_*.json>\n";
+    if (mode == "--bench") {
+        if (args.size() != 1) {
+            std::cerr << usage;
+            return 2;
+        }
+        return run_bench_mode(args[0]);
+    }
     if (args.size() != 2) {
-        std::cerr << "usage: docs_check [--trace] <trace.h> <OBSERVABILITY.md>\n"
-                     "       docs_check --lang <ast.h> <LANGUAGE.md>\n"
-                     "       docs_check --api <engine.h> <SERVING.md>\n"
-                     "       docs_check --il <il.h> <IL.md>\n";
+        std::cerr << usage;
         return 2;
     }
     if (mode == "--lang") return run_lang_mode(args[0], args[1]);

@@ -105,7 +105,11 @@ void summarize(const std::vector<Located>& records, std::ostream& out) {
     std::map<std::string, long> justifications;  // of predicate_kept/pruned
     std::map<std::string, long> templates;       // applied only
     long methods = 0, tests = 0, acls = 0;
-    long solver_hits = 0, solver_misses = 0, solver_uncached = 0;
+    // Every documented value of the `cache` field gets its own bucket
+    // (hit/miss and the answered-without-search kinds: model, subsume,
+    // prepass, plus `off` for cache-less runs) instead of lumping the
+    // semantic kinds into one "uncached" tally.
+    std::map<std::string, long> solver_cache;
     std::map<std::string, long> solver_status;
 
     for (const Located& l : records) {
@@ -116,14 +120,7 @@ void summarize(const std::vector<Located>& records, std::ostream& out) {
             tests += r.find_int("tests");
             acls += r.find_int("acls");
         } else if (r.event == "solver_query") {
-            const std::string cache = field_or(r, "cache");
-            if (cache == "hit") {
-                ++solver_hits;
-            } else if (cache == "miss") {
-                ++solver_misses;
-            } else {
-                ++solver_uncached;
-            }
+            ++solver_cache[field_or(r, "cache")];
             ++solver_status[field_or(r, "status")];
         } else if (r.event == "predicate_kept" || r.event == "predicate_pruned") {
             ++justifications[r.event + "/" + field_or(r, "justification")];
@@ -141,11 +138,31 @@ void summarize(const std::vector<Located>& records, std::ostream& out) {
         out << "  " << event << ": " << count << "\n";
     }
 
-    const long queries = solver_hits + solver_misses + solver_uncached;
+    long queries = 0;
+    for (const auto& [kind, count] : solver_cache) queries += count;
     if (queries > 0) {
-        out << "\nsolver queries: " << queries << "  (cache hit " << solver_hits
-            << ", miss " << solver_misses << ", uncached " << solver_uncached
-            << ")\n";
+        out << "\nsolver queries: " << queries << "  (cache";
+        // Stable presentation order, documented kinds first.
+        bool first = true;
+        for (const char* kind : {"hit", "miss", "model", "subsume", "prepass",
+                                 "off"}) {
+            const auto it = solver_cache.find(kind);
+            if (it == solver_cache.end()) continue;
+            out << (first ? " " : ", ") << kind << " " << it->second;
+            first = false;
+        }
+        for (const auto& [kind, count] : solver_cache) {
+            bool documented = false;
+            for (const char* known :
+                 {"hit", "miss", "model", "subsume", "prepass", "off"}) {
+                if (kind == known) documented = true;
+            }
+            if (!documented) {
+                out << (first ? " " : ", ") << kind << " " << count;
+                first = false;
+            }
+        }
+        out << ")\n";
         for (const auto& [status, count] : solver_status) {
             out << "  " << status << ": " << count << "\n";
         }
@@ -244,18 +261,40 @@ int main(int argc, char** argv) {
             return 1;
         }
         // Report which execution backend(s) produced the trace — mixed
-        // backends in one file usually mean concatenated runs.
+        // backends in one file usually mean concatenated runs — and break
+        // the semantic solver answers (model / subsume / prepass: queries
+        // answered without a search) out per method unit, not just as a
+        // file-wide total.
         std::set<std::string> backends;
+        struct SemanticHits {
+            long model = 0, subsume = 0, prepass = 0;
+            [[nodiscard]] long total() const { return model + subsume + prepass; }
+        };
+        std::vector<std::pair<std::string, SemanticHits>> per_unit;
+        SemanticHits totals;
+        std::string unit;
         in.clear();
         in.seekg(0);
         std::string line;
         while (std::getline(in, line)) {
             if (line.empty()) continue;
             auto record = preinfer::support::parse_trace_line(line, nullptr);
-            if (record && record->event == "method_begin") {
+            if (!record) continue;
+            if (record->event == "method_begin") {
                 if (const std::string* b = record->find("backend")) {
                     backends.insert(*b);
                 }
+                const std::string* m = record->find("method");
+                unit = m ? *m : "?";
+                per_unit.emplace_back(unit, SemanticHits{});
+            } else if (record->event == "solver_query") {
+                const std::string* cache = record->find("cache");
+                if (cache == nullptr) continue;
+                if (per_unit.empty()) per_unit.emplace_back("?", SemanticHits{});
+                SemanticHits& u = per_unit.back().second;
+                if (*cache == "model") ++u.model, ++totals.model;
+                if (*cache == "subsume") ++u.subsume, ++totals.subsume;
+                if (*cache == "prepass") ++u.prepass, ++totals.prepass;
             }
         }
         std::cout << count << " valid records";
@@ -270,6 +309,17 @@ int main(int argc, char** argv) {
             std::cout << ")";
         }
         std::cout << "\n";
+        if (totals.total() > 0) {
+            std::cout << "semantic solver answers: model " << totals.model
+                      << ", subsume " << totals.subsume << ", prepass "
+                      << totals.prepass << "\n";
+            for (const auto& [name, hits] : per_unit) {
+                if (hits.total() == 0) continue;
+                std::cout << "  " << name << ": model " << hits.model
+                          << ", subsume " << hits.subsume << ", prepass "
+                          << hits.prepass << "\n";
+            }
+        }
         return 0;
     }
 
