@@ -9,7 +9,7 @@
 // keeps the pre-PR baseline next to the current numbers).
 //
 //   bench_solver [--smoke] [--json PATH] [--jobs N] [--backend il|ast]
-//                [--no-prepass]
+//                [--no-prepass] [--cache]
 //
 // --smoke runs a two-subject slice in a few seconds and skips the JSON
 // write unless --json is given; it is registered as a ctest so this binary
@@ -22,6 +22,10 @@
 // --no-prepass disables the interval pre-pass (DESIGN.md §3g); the
 // fingerprint is prepass-invariant by contract, so comparing two runs
 // isolates how many residual solves the pre-pass discharges.
+// --cache benchmarks the persistent solve-cache tier (DESIGN.md §3h)
+// instead: a cold run with the recorder attached builds the tier, a warm
+// run replays the corpus against it, and the before/after record goes to
+// BENCH_cache.json. The fingerprint is disk-tier-invariant by contract.
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,7 @@
 #include "bench_common.h"
 #include "src/eval/report.h"
 #include "src/exec/executor.h"
+#include "src/solver/disk_cache.h"
 
 namespace {
 
@@ -66,6 +71,144 @@ std::int64_t counter_value(const char* name) {
     return support::MetricsRegistry::global().counter(name).value();
 }
 
+/// Cold-build + warm-replay benchmark of the persistent tier. Both runs
+/// use the same config; only the disk tier differs, so the solve-call and
+/// wall-time deltas isolate what the tier discharges.
+int run_cache_bench(const eval::HarnessConfig& base_config,
+                    const std::vector<eval::Subject>& subjects, bool smoke,
+                    const char* json_path) {
+    struct RunStats {
+        double harness_wall_ms = 0;
+        double solver_wall_ms = 0;
+        std::int64_t solver_queries = 0;
+        std::int64_t solver_solve_calls = 0;
+        std::int64_t disk_hits = 0;
+        std::int64_t disk_misses = 0;
+        std::uint64_t fingerprint = 0;
+        int jobs = 0;
+    };
+    const auto measure = [&](const eval::HarnessConfig& config) {
+        support::MetricsRegistry::global().reset();
+        const eval::HarnessResult result = eval::run_harness(subjects, config);
+        const auto& solve_us =
+            support::MetricsRegistry::global().histogram("solver.solve_us");
+        RunStats s;
+        s.harness_wall_ms = result.wall_ms;
+        s.solver_wall_ms = static_cast<double>(solve_us.sum()) / 1000.0;
+        s.solver_queries = counter_value("solver.queries");
+        s.solver_solve_calls = solve_us.count();
+        s.disk_hits = counter_value("solver.disk_hits");
+        s.disk_misses = counter_value("solver.disk_misses");
+        s.fingerprint = preconditions_fingerprint(result);
+        s.jobs = result.jobs;
+        return s;
+    };
+
+    const std::string cache_path = "bench_cache.preinfer-cache";
+    eval::HarnessConfig cold_config = base_config;
+    solver::DiskCacheBuilder builder(cold_config.explore.solver_config);
+    cold_config.disk_recorder = &builder;
+    const RunStats cold = measure(cold_config);
+    std::string error;
+    if (!builder.write_file(cache_path, &error)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", cache_path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+
+    eval::HarnessConfig warm_config = base_config;
+    warm_config.disk_cache_path = cache_path;
+    const RunStats warm = measure(warm_config);
+    std::remove(cache_path.c_str());
+
+    const bool fingerprint_identical = cold.fingerprint == warm.fingerprint;
+    const bool warm_hits = warm.disk_hits > 0;
+
+    bench::Table table({"Metric", "Cold (build)", "Warm (--cache)"});
+    table.add_row({"harness wall ms", bench::fmt_f(cold.harness_wall_ms, 0),
+                   bench::fmt_f(warm.harness_wall_ms, 0)});
+    table.add_row({"solver wall ms (sum)", bench::fmt_f(cold.solver_wall_ms, 1),
+                   bench::fmt_f(warm.solver_wall_ms, 1)});
+    table.add_row({"solver queries", std::to_string(cold.solver_queries),
+                   std::to_string(warm.solver_queries)});
+    table.add_row({"solver solve calls", std::to_string(cold.solver_solve_calls),
+                   std::to_string(warm.solver_solve_calls)});
+    table.add_row({"disk hits", std::to_string(cold.disk_hits),
+                   std::to_string(warm.disk_hits)});
+    table.add_row({"disk misses", std::to_string(cold.disk_misses),
+                   std::to_string(warm.disk_misses)});
+    char cold_fp[32], warm_fp[32];
+    std::snprintf(cold_fp, sizeof cold_fp, "%016llx",
+                  static_cast<unsigned long long>(cold.fingerprint));
+    std::snprintf(warm_fp, sizeof warm_fp, "%016llx",
+                  static_cast<unsigned long long>(warm.fingerprint));
+    table.add_row({"preconditions fingerprint", cold_fp, warm_fp});
+    table.print();
+    std::printf("cache entries: %zu; fingerprint identical: %s; warm disk "
+                "hits positive: %s\n",
+                builder.size(), fingerprint_identical ? "yes" : "NO",
+                warm_hits ? "yes" : "NO");
+
+    if (json_path != nullptr) {
+        std::FILE* out = std::fopen(json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(
+            out,
+            "{\n"
+            "  \"bench\": \"cache\",\n"
+            "  \"binary\": \"bench/bench_solver --cache\",\n"
+            "  \"smoke\": %s,\n"
+            "  \"jobs\": %d,\n"
+            "  \"cache_entries\": %zu,\n"
+            "  \"before\": {\n"
+            "    \"commit\": \"cold run (recorder attached, no disk tier)\",\n"
+            "    \"harness_wall_ms\": %.1f,\n"
+            "    \"solver_wall_ms\": %.3f,\n"
+            "    \"solver_queries\": %lld,\n"
+            "    \"solver_solve_calls\": %lld,\n"
+            "    \"disk_hits\": %lld,\n"
+            "    \"disk_misses\": %lld,\n"
+            "    \"preconditions_fingerprint\": \"%016llx\"\n"
+            "  },\n"
+            "  \"after\": {\n"
+            "    \"commit\": \"warm run (--cache, persistent tier attached)\",\n"
+            "    \"harness_wall_ms\": %.1f,\n"
+            "    \"solver_wall_ms\": %.3f,\n"
+            "    \"solver_queries\": %lld,\n"
+            "    \"solver_solve_calls\": %lld,\n"
+            "    \"disk_hits\": %lld,\n"
+            "    \"disk_misses\": %lld,\n"
+            "    \"preconditions_fingerprint\": \"%016llx\"\n"
+            "  },\n"
+            "  \"invariants\": {\n"
+            "    \"preconditions_fingerprint_identical\": %s,\n"
+            "    \"warm_disk_hits_positive\": %s\n"
+            "  }\n"
+            "}\n",
+            smoke ? "true" : "false", warm.jobs, builder.size(),
+            cold.harness_wall_ms, cold.solver_wall_ms,
+            static_cast<long long>(cold.solver_queries),
+            static_cast<long long>(cold.solver_solve_calls),
+            static_cast<long long>(cold.disk_hits),
+            static_cast<long long>(cold.disk_misses),
+            static_cast<unsigned long long>(cold.fingerprint),
+            warm.harness_wall_ms, warm.solver_wall_ms,
+            static_cast<long long>(warm.solver_queries),
+            static_cast<long long>(warm.solver_solve_calls),
+            static_cast<long long>(warm.disk_hits),
+            static_cast<long long>(warm.disk_misses),
+            static_cast<unsigned long long>(warm.fingerprint),
+            fingerprint_identical ? "true" : "false",
+            warm_hits ? "true" : "false");
+        std::fclose(out);
+        std::printf("[json -> %s]\n", json_path);
+    }
+    return (fingerprint_identical && warm_hits) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +217,7 @@ int main(int argc, char** argv) {
     int jobs_override = 0;
     exec::Backend backend = exec::Backend::IL;
     bool prepass = true;
+    bool cache_mode = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -86,16 +230,22 @@ int main(int argc, char** argv) {
             ++i;
         } else if (std::strcmp(argv[i], "--no-prepass") == 0) {
             prepass = false;
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            cache_mode = true;
         } else {
             std::fprintf(stderr,
                          "usage: bench_solver [--smoke] [--json PATH] [--jobs N] "
-                         "[--backend il|ast] [--no-prepass]\n");
+                         "[--backend il|ast] [--no-prepass] [--cache]\n");
             return 2;
         }
     }
-    if (json_path == nullptr && !smoke) json_path = "BENCH_solver.json";
+    if (json_path == nullptr && !smoke) {
+        json_path = cache_mode ? "BENCH_cache.json" : "BENCH_solver.json";
+    }
 
-    std::puts("Solver benchmark — generational search over the table-3 corpus");
+    std::puts(cache_mode
+                  ? "Persistent-tier benchmark — cold build vs warm --cache replay"
+                  : "Solver benchmark — generational search over the table-3 corpus");
 
     eval::HarnessConfig config = bench::parallel_harness_config();
     if (jobs_override > 0) config.jobs = jobs_override;
@@ -112,6 +262,8 @@ int main(int argc, char** argv) {
         subjects.resize(std::min<std::size_t>(subjects.size(), 2));
         std::printf("(smoke slice: %zu subjects)\n", subjects.size());
     }
+
+    if (cache_mode) return run_cache_bench(config, subjects, smoke, json_path);
 
     const eval::HarnessResult result = eval::run_harness(subjects, config);
 

@@ -18,6 +18,7 @@
 #include "src/lang/parser.h"
 #include "src/lang/type_check.h"
 #include "src/solver/atom_index.h"
+#include "src/solver/disk_cache.h"
 #include "src/solver/solve_cache.h"
 #include "src/support/diagnostics.h"
 #include "src/support/metrics.h"
@@ -115,6 +116,11 @@ ResolvedConfig resolve(const eval::HarnessConfig& config) {
     resolved.run_preinfer = config.run_preinfer;
     resolved.run_fixit = config.run_fixit;
     resolved.run_dysy = config.run_dysy;
+    // Guarded load of the persistent tier: a rejected file warns and leaves
+    // resolved.disk_cache null, which simply means no disk tier.
+    resolved.disk_cache = solver::load_disk_cache(config.disk_cache_path,
+                                                  config.explore.solver_config);
+    resolved.disk_recorder = config.disk_recorder;
     return resolved;
 }
 
@@ -194,6 +200,22 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
     std::optional<solver::SolveCache> solve_cache;
     if (config.use_cache) solve_cache.emplace(config.cache);
     solver::SolveCache* cache_ptr = solve_cache ? &*solve_cache : nullptr;
+    if (cache_ptr != nullptr) {
+        // Persistent tier and recorder attach per request, gated on the
+        // config fingerprint: cached answers are replays only under the
+        // exact solver config that produced them, and one engine can serve
+        // differently configured requests (serve --allow-fault).
+        const std::uint64_t fingerprint =
+            solver::config_fingerprint(config.explore.solver_config);
+        if (config.disk_cache != nullptr &&
+            config.disk_cache->config_fingerprint() == fingerprint) {
+            cache_ptr->attach_disk(config.disk_cache.get());
+        }
+        if (config.disk_recorder != nullptr &&
+            config.disk_recorder->config_fingerprint() == fingerprint) {
+            cache_ptr->attach_recorder(config.disk_recorder);
+        }
+    }
     // One atom-normalization index per request: every solver on this pool
     // replays its records instead of re-normalizing shared path predicates.
     // Unlike the cache, sharing is safe across differing solver configs, so
@@ -363,9 +385,10 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
     // exactly one explorer, so the per-explorer Stats partition the
     // cache totals (asserted by tests/test_harness_parallel.cpp).
     const auto phase_stats = [](const gen::Explorer::Stats& s) {
-        return eval::MethodRow::PhaseCacheStats{s.cache_hits, s.cache_misses,
+        return eval::MethodRow::PhaseCacheStats{s.cache_hits,   s.cache_misses,
                                                 s.cache_model_reuse,
-                                                s.cache_unsat_subsumed};
+                                                s.cache_unsat_subsumed,
+                                                s.disk_hits,    s.disk_misses};
     };
     method_row.cache_explore = phase_stats(explorer.stats());
     method_row.cache_oracle = phase_stats(oracle_explorer.stats());
@@ -381,6 +404,14 @@ InferResponse InferenceEngine::run_unit(const InferRequest& request) {
     method_row.prepass_sat = explorer.stats().prepass_sat +
                              oracle_explorer.stats().prepass_sat +
                              validation_stats.prepass_sat;
+    // Persistent-tier totals, like the pre-pass: summed over the three
+    // explorers (every disk consult flows through exactly one of them).
+    method_row.disk_hits = explorer.stats().disk_hits +
+                           oracle_explorer.stats().disk_hits +
+                           validation_stats.disk_hits;
+    method_row.disk_misses = explorer.stats().disk_misses +
+                             oracle_explorer.stats().disk_misses +
+                             validation_stats.disk_misses;
 
     if (support::trace_active()) {
         support::TraceEvent(support::TraceEventKind::MethodEnd)
@@ -440,6 +471,8 @@ InferResponse InferenceEngine::run_request(const InferRequest& request) {
         stats_.cache_misses += response.method_row.cache_misses;
         stats_.cache_model_reuse += response.method_row.cache_model_reuse;
         stats_.cache_unsat_subsumed += response.method_row.cache_unsat_subsumed;
+        stats_.disk_hits += response.method_row.disk_hits;
+        stats_.disk_misses += response.method_row.disk_misses;
     }
     return response;
 }

@@ -70,6 +70,18 @@ struct ResolvedConfig {
     bool run_preinfer = true;
     bool run_fixit = true;
     bool run_dysy = true;
+    /// Read-only persistent solve-cache tier (DESIGN.md §3h), shared
+    /// across requests. run_unit attaches it to the request's SolveCache
+    /// only when its fingerprint matches the request's solver config —
+    /// re-checked per request, so e.g. a serve --allow-fault blackout
+    /// request silently skips a healthy-corpus cache. Disk hits are
+    /// budget-charged like the solves they replace, so responses stay
+    /// byte-identical with the tier on or off (modulo cache attribution).
+    std::shared_ptr<const solver::DiskCache> disk_cache;
+    /// Offline recorder (preinfer-cache-build, the fuzz diff oracle): every
+    /// real solve is filed under its disk-tier signature. Not owned; must
+    /// outlive the request. Fingerprint-gated like disk_cache.
+    solver::DiskCacheBuilder* disk_recorder = nullptr;
 };
 
 /// Lossless translation of the harness's config (the richest client).
@@ -187,6 +199,8 @@ public:
         std::int64_t cache_misses = 0;
         std::int64_t cache_model_reuse = 0;
         std::int64_t cache_unsat_subsumed = 0;
+        std::int64_t disk_hits = 0;
+        std::int64_t disk_misses = 0;
     };
     [[nodiscard]] Stats stats() const;
 

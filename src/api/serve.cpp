@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "src/core/path_condition.h"
+#include "src/solver/disk_cache.h"
 #include "src/support/trace.h"
 #include "src/support/trace_reader.h"
 
@@ -322,12 +323,18 @@ struct BatchCounts {
 /// engine answers alike — to `out`, in input order. Shared by the
 /// stdin/stdout loop and every socket session.
 BatchCounts dispatch_batch(InferenceEngine& engine, std::vector<Pending>& batch,
-                           const ServeOptions& options, std::string& out) {
+                           const ServeOptions& options, std::string& out,
+                           const std::shared_ptr<const solver::DiskCache>&
+                               disk_cache = nullptr) {
     BatchCounts counts;
     std::vector<InferRequest> requests;
     std::vector<std::size_t> slots;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (!batch[i].has_request) continue;
+        // Warm-start tier: every admitted request shares the server's
+        // loaded cache; run_unit's fingerprint gate skips it for requests
+        // whose solver config differs (e.g. --allow-fault blackouts).
+        batch[i].request.config.disk_cache = disk_cache;
         requests.push_back(std::move(batch[i].request));
         slots.push_back(i);
     }
@@ -513,6 +520,11 @@ ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) 
     engine_options.jobs = options.jobs;
     engine_options.trace.enabled = options.trace;
     InferenceEngine engine(engine_options);
+    // Serve requests run under the default solver config, which is the
+    // fingerprint the tier is loaded against; per-request divergence (the
+    // fault seams) is handled by run_unit's gate.
+    const std::shared_ptr<const solver::DiskCache> disk_cache =
+        solver::load_disk_cache(options.cache_path, solver::SolverConfig{});
 
     ServeStats stats;
     const int batch_max = options.batch_max > 0 ? options.batch_max : 1;
@@ -540,7 +552,8 @@ ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) 
         ++stats.batches;
 
         std::string rendered;
-        const BatchCounts counts = dispatch_batch(engine, batch, options, rendered);
+        const BatchCounts counts =
+            dispatch_batch(engine, batch, options, rendered, disk_cache);
         stats.requests += counts.requests;
         stats.failed += counts.failed;
         out << rendered;
@@ -550,6 +563,8 @@ ServeStats run_serve(std::istream& in, std::ostream& out, ServeOptions options) 
     const InferenceEngine::Stats engine_stats = engine.stats();
     stats.cache_hits = engine_stats.cache_hits;
     stats.cache_misses = engine_stats.cache_misses;
+    stats.disk_hits = engine_stats.disk_hits;
+    stats.disk_misses = engine_stats.disk_misses;
     return stats;
 }
 
@@ -570,7 +585,9 @@ Server::Server(ServerOptions options)
           o.jobs = options_.serve.jobs;
           o.trace.enabled = options_.serve.trace;
           return o;
-      }()) {}
+      }()),
+      disk_cache_(solver::load_disk_cache(options_.serve.cache_path,
+                                          solver::SolverConfig{})) {}
 
 Server::~Server() { stop(); }
 
@@ -754,7 +771,7 @@ void Server::session_loop(Session& session) {
 
         std::string rendered;
         const BatchCounts counts =
-            dispatch_batch(engine_, batch, options_.serve, rendered);
+            dispatch_batch(engine_, batch, options_.serve, rendered, disk_cache_);
         release_admitted(admitted);
         batches_.fetch_add(1);
         requests_.fetch_add(counts.requests);
@@ -822,6 +839,8 @@ ServerStats Server::stats() const {
     const InferenceEngine::Stats engine_stats = engine_.stats();
     s.cache_hits = engine_stats.cache_hits;
     s.cache_misses = engine_stats.cache_misses;
+    s.disk_hits = engine_stats.disk_hits;
+    s.disk_misses = engine_stats.disk_misses;
     return s;
 }
 

@@ -36,6 +36,12 @@ struct ServeOptions {
     /// Accept the wire `fault` field (docs/SERVING.md). Off by default: the
     /// schema is closed, and fault injection is a fuzz/chaos-only seam.
     bool allow_fault = false;
+    /// Read-only persistent solve-cache tier (DESIGN.md §3h), loaded
+    /// once at startup and shared by every request. Empty = no disk tier.
+    /// Responses are byte-identical with the tier on or off (modulo cache
+    /// attribution fields); fault-injected requests skip the tier via the
+    /// per-request fingerprint gate.
+    std::string cache_path;
 };
 
 /// Counters for one serve loop run, reported by preinfer-serve on exit.
@@ -46,6 +52,9 @@ struct ServeStats {
     /// Cumulative engine solver-cache accounting across all requests.
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
+    /// Persistent-tier accounting (zero without --cache).
+    std::int64_t disk_hits = 0;
+    std::int64_t disk_misses = 0;
 };
 
 /// Runs the serve loop until `in` is exhausted: reads one flat JSON request
@@ -87,6 +96,8 @@ struct ServerStats {
     std::int64_t batches = 0;  ///< infer_all dispatches
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
+    std::int64_t disk_hits = 0;
+    std::int64_t disk_misses = 0;
 };
 
 /// A multi-client socket server around one warm InferenceEngine. Lifecycle:
@@ -138,6 +149,9 @@ private:
 
     ServerOptions options_;
     InferenceEngine engine_;
+    /// Loaded once in the constructor from options_.serve.cache_path and
+    /// stamped onto every admitted request.
+    std::shared_ptr<const solver::DiskCache> disk_cache_;
     std::string address_;
     bool unix_socket_ = false;
     int listen_fd_ = -1;

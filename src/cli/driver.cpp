@@ -13,6 +13,7 @@
 #include "src/exec/executor.h"
 #include "src/gen/fuzzer.h"
 #include "src/lang/parser.h"
+#include "src/solver/disk_cache.h"
 #include "src/support/diagnostics.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
@@ -51,6 +52,9 @@ options:
   --backend NAME    concolic execution backend: il (default) or ast;
                     results are byte-identical (docs/IL.md), ast exists
                     for differential checking
+  --cache FILE      read-only persistent solve cache built by
+                    preinfer-cache-build (DESIGN.md §3h); output is
+                    byte-identical with or without it
   --help            this text
 )";
 }
@@ -123,6 +127,12 @@ ParseResult parse_args(const std::vector<std::string>& args) {
                 r.error = "--backend expects il or ast";
                 return r;
             }
+        } else if (a == "--cache") {
+            if (i + 1 >= args.size()) {
+                r.error = "--cache expects a file path";
+                return r;
+            }
+            r.options.cache_path = args[++i];
         } else if (!a.empty() && a[0] == '-') {
             r.error = "unknown option " + a;
             return r;
@@ -283,9 +293,11 @@ int print_report(const api::InferResponse& response, const Options& options,
 /// Single-method path: one inline engine request. Tracing, when on, is
 /// already installed on the calling thread and the engine emits into it.
 int run_single(api::InferenceEngine& engine, const Options& options,
+               const std::shared_ptr<const solver::DiskCache>& disk_cache,
                const std::string& source_text, std::ostream& out) {
-    return print_report(engine.infer(build_request(options, source_text)),
-                        options, out);
+    api::InferRequest request = build_request(options, source_text);
+    request.config.disk_cache = disk_cache;
+    return print_report(engine.infer(request), options, out);
 }
 
 /// Fans every method of the file out as one engine batch; each request runs
@@ -293,6 +305,7 @@ int run_single(api::InferenceEngine& engine, const Options& options,
 /// per-request traces) are emitted in source order so the output is
 /// independent of scheduling.
 int run_all_methods(api::InferenceEngine& engine, const Options& options,
+                    const std::shared_ptr<const solver::DiskCache>& disk_cache,
                     const std::string& source_text, std::ostream& out) {
     std::vector<std::string> names;
     try {
@@ -314,6 +327,7 @@ int run_all_methods(api::InferenceEngine& engine, const Options& options,
         per_method.all_methods = false;
         per_method.method = name;
         requests.push_back(build_request(per_method, source_text));
+        requests.back().config.disk_cache = disk_cache;
     }
     const std::vector<api::InferResponse> responses = engine.infer_all(requests);
 
@@ -359,13 +373,22 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
     engine_options.trace.timings = options.trace_timings;
     api::InferenceEngine engine(engine_options);
 
+    // Loaded once per invocation; every method's request shares it. The
+    // loader verifies the header fingerprint against the solver config the
+    // requests will run under, so a stale cache silently disables the tier.
+    const std::shared_ptr<const solver::DiskCache> disk_cache =
+        solver::load_disk_cache(
+            options.cache_path,
+            api::make_explorer_config({.max_tests = options.max_tests})
+                .solver_config);
+
     int code;
     {
         std::optional<support::TraceScope> trace_scope;
         if (tracing) trace_scope.emplace(trace, options.trace_timings);
         code = options.all_methods
-                   ? run_all_methods(engine, options, source_text, out)
-                   : run_single(engine, options, source_text, out);
+                   ? run_all_methods(engine, options, disk_cache, source_text, out)
+                   : run_single(engine, options, disk_cache, source_text, out);
     }
 
     if (tracing) {
@@ -384,7 +407,9 @@ int run(const Options& options, std::string source_text, std::ostream& out) {
             << " solver-cache hits=" << stats.cache_hits
             << " misses=" << stats.cache_misses
             << " model-reuse=" << stats.cache_model_reuse
-            << " unsat-subsumed=" << stats.cache_unsat_subsumed << "\n";
+            << " unsat-subsumed=" << stats.cache_unsat_subsumed
+            << " disk-hits=" << stats.disk_hits
+            << " disk-misses=" << stats.disk_misses << "\n";
     }
     return code;
 }

@@ -33,6 +33,11 @@ struct Options {
     /// Concolic execution backend: "il" (default) or "ast". Results are
     /// byte-identical; "ast" exists for differential checking (docs/IL.md).
     std::string backend = "il";
+    /// Read-only persistent solve-cache tier (DESIGN.md §3h), built by
+    /// preinfer-cache-build. Loaded once per invocation and shared by every
+    /// method's request; empty = no disk tier. Output is byte-identical
+    /// with the tier on or off.
+    std::string cache_path;
 };
 
 /// Parses argv (excluding argv[0]); returns nullopt + prints usage on error.

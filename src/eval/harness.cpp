@@ -66,6 +66,18 @@ std::int64_t HarnessResult::total_cache_misses() const {
     return misses;
 }
 
+std::int64_t HarnessResult::total_disk_hits() const {
+    std::int64_t hits = 0;
+    for (const MethodRow& m : methods) hits += m.disk_hits;
+    return hits;
+}
+
+std::int64_t HarnessResult::total_disk_misses() const {
+    std::int64_t misses = 0;
+    for (const MethodRow& m : methods) misses += m.disk_misses;
+    return misses;
+}
+
 double HarnessResult::cache_hit_rate() const {
     std::int64_t served = 0;
     for (const MethodRow& m : methods) {
@@ -85,6 +97,24 @@ HarnessResult run_harness(const std::vector<Subject>& subjects,
         for (const SubjectMethod& sm : subject.methods) {
             requests.push_back(make_request(subject, sm, resolved));
         }
+    }
+
+    // Deterministic corpus sharding: shard i of n runs the contiguous unit
+    // slice [floor(i*N/n), floor((i+1)*N/n)). Contiguity (not i mod n) is
+    // what makes the shard outputs — rows and merged traces — concatenate
+    // in order into exactly the unsharded run's bytes. Census rows are
+    // corpus metadata, computed from the full subject list in every shard.
+    if (config.shard_count > 1) {
+        const auto n = static_cast<std::uint64_t>(requests.size());
+        const auto shards = static_cast<std::uint64_t>(config.shard_count);
+        const auto index = static_cast<std::uint64_t>(config.shard_index);
+        const std::size_t begin = static_cast<std::size_t>(n * index / shards);
+        const std::size_t end =
+            static_cast<std::size_t>(n * (index + 1) / shards);
+        requests.erase(requests.begin() + static_cast<std::ptrdiff_t>(end),
+                       requests.end());
+        requests.erase(requests.begin(),
+                       requests.begin() + static_cast<std::ptrdiff_t>(begin));
     }
 
     // The engine owns the worker pool, runs each request wholly on one

@@ -91,6 +91,13 @@ struct MethodRow {
     /// solves, zero when the pre-pass is off).
     std::int64_t prepass_unsat = 0;
     std::int64_t prepass_sat = 0;
+    /// Persistent-tier accounting summed over this method's explorers:
+    /// disk_hits are recorded replays served in place of a real solve (and
+    /// budget-charged like one — a subset of what cache_misses fell through
+    /// to), disk_misses the queries the tier could not answer. Both zero
+    /// without a disk cache attached (DESIGN.md §3h).
+    std::int64_t disk_hits = 0;
+    std::int64_t disk_misses = 0;
 
     /// Cache accounting of one pipeline phase, read from that phase's
     /// explorer (zero when the phase ran without the shared cache).
@@ -99,6 +106,8 @@ struct MethodRow {
         std::int64_t misses = 0;
         std::int64_t model_reuse = 0;
         std::int64_t unsat_subsumed = 0;
+        std::int64_t disk_hits = 0;
+        std::int64_t disk_misses = 0;
     };
     /// Per-phase split of the shared cache's lookups: the inference
     /// exploration, the solver-assisted pruning oracle, and the validation
@@ -138,6 +147,24 @@ struct HarnessConfig {
     /// Every (subject, method) unit runs on exactly one worker with its own
     /// ExprPool, so any jobs value yields identical result rows.
     int jobs = 0;
+    /// Read-only persistent solve-cache tier (DESIGN.md §3h), loaded
+    /// once per run and shared by every worker. Empty = no disk tier. A
+    /// file that fails the guarded loader's validation disables the tier
+    /// with a warning; it never changes results either way (disk hits are
+    /// budget-charged replays).
+    std::string disk_cache_path;
+    /// Offline recorder (preinfer-cache-build): every real solve of the run
+    /// is filed under its disk-tier signature. Not owned; must outlive the
+    /// run. The builder is thread-safe and first-record-wins, so recording
+    /// is deterministic for every jobs value.
+    solver::DiskCacheBuilder* disk_recorder = nullptr;
+    /// Deterministic corpus sharding: run only the contiguous slice
+    /// [floor(i*N/n), floor((i+1)*N/n)) of the (subject, method) request
+    /// list, where i = shard_index, n = shard_count, N = total units.
+    /// Concatenating the shard outputs in order reproduces the unsharded
+    /// run byte for byte. shard_count <= 1 disables sharding.
+    int shard_index = 0;
+    int shard_count = 1;
     /// Structured-trace collection (docs/OBSERVABILITY.md). When enabled,
     /// every pipeline unit records its events into a per-unit buffer;
     /// run_harness merges the buffers in input order into
@@ -164,6 +191,8 @@ struct HarnessResult {
     /// semantic answers (model reuse, unsat subsumption) as served lookups.
     [[nodiscard]] std::int64_t total_cache_hits() const;
     [[nodiscard]] std::int64_t total_cache_misses() const;
+    [[nodiscard]] std::int64_t total_disk_hits() const;
+    [[nodiscard]] std::int64_t total_disk_misses() const;
     [[nodiscard]] double cache_hit_rate() const;
 };
 

@@ -73,7 +73,7 @@ void write_method_csv(const HarnessResult& result, std::ostream& out) {
            "cache_misses,cache_model_reuse,cache_unsat_subsumed,"
            "cache_hit_rate,explore_hits,explore_misses,"
            "oracle_hits,oracle_misses,validation_hits,validation_misses,"
-           "prepass_unsat,prepass_sat\n";
+           "prepass_unsat,prepass_sat,disk_hits,disk_misses\n";
     for (const MethodRow& m : result.methods) {
         out << csv_escape(m.subject) << ',' << csv_escape(m.method) << ','
             << m.block_coverage << ',' << m.tests << ',' << m.acls << ','
@@ -83,7 +83,8 @@ void write_method_csv(const HarnessResult& result, std::ostream& out) {
             << m.cache_explore.misses << ',' << m.cache_oracle.hits << ','
             << m.cache_oracle.misses << ',' << m.cache_validation.hits << ','
             << m.cache_validation.misses << ',' << m.prepass_unsat << ','
-            << m.prepass_sat << '\n';
+            << m.prepass_sat << ',' << m.disk_hits << ',' << m.disk_misses
+            << '\n';
     }
 }
 

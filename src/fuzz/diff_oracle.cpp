@@ -16,6 +16,7 @@
 #include "src/exec/input.h"
 #include "src/gen/explorer.h"
 #include "src/gen/oracle.h"
+#include "src/solver/disk_cache.h"
 #include "src/gen/reconstruct.h"
 #include "src/gen/testsuite.h"
 #include "src/lang/blocks.h"
@@ -65,7 +66,9 @@ gen::ExplorerConfig make_explorer_config(const OracleConfig& cfg) {
 std::shared_ptr<api::PipelineArtifacts> run_pipeline(
     api::InferenceEngine& engine, const std::string& source,
     const gen::ExplorerConfig& config,
-    const solver::SolveCache::Options* cache_options) {
+    const solver::SolveCache::Options* cache_options,
+    solver::DiskCacheBuilder* recorder = nullptr,
+    std::shared_ptr<const solver::DiskCache> disk = nullptr) {
     api::InferRequest request;
     request.subject = "fuzz";
     request.source = source;
@@ -77,6 +80,8 @@ std::shared_ptr<api::PipelineArtifacts> run_pipeline(
     request.config.preinfer.pruning.mode = core::PruningMode::SolverAssisted;
     request.config.use_cache = cache_options != nullptr;
     if (cache_options != nullptr) request.config.cache = *cache_options;
+    request.config.disk_recorder = recorder;
+    request.config.disk_cache = std::move(disk);
 
     api::InferResponse response = engine.infer(request);
     // Frontend rejections surface as exceptions so the minimizer's
@@ -559,6 +564,43 @@ OracleReport check_source(const std::string& source, std::uint64_t seed,
                 add_violation(report, "prepass-equivalence",
                               "pipeline fingerprints differ with the interval "
                               "pre-pass on vs off");
+            }
+        }
+
+        if (cfg.check_disk_cache) {
+            // Two legs, both fingerprint-compared against the primary run.
+            // (1) A recording rerun: attaching the offline recorder must be
+            // completely passive. (2) A replay against the tier the
+            // recording built: every disk hit must be a bit-for-bit replay
+            // of the solve it replaced, budgets included. Runs under every
+            // fault mode — the tier's config fingerprint covers the
+            // solver-level fault seams.
+            solver::DiskCacheBuilder builder(config.solver_config);
+            const auto v_record =
+                run_pipeline(engine, source, config, &default_cache, &builder);
+            if (fingerprint(*v_record) != fingerprint(*primary)) {
+                add_violation(report, "disk-cache-equivalence",
+                              "attaching the solve recorder changed the "
+                              "pipeline fingerprint");
+            } else if (builder.size() > 0) {
+                // (The guarded loader rejects empty caches by design, so a
+                // query-free run simply has nothing to replay.)
+                std::string error;
+                const auto disk = solver::DiskCache::load_buffer(
+                    builder.serialize(), builder.config_fingerprint(), &error);
+                if (disk == nullptr) {
+                    add_violation(report, "disk-cache-equivalence",
+                                  "freshly built cache failed validation: " +
+                                      error);
+                } else {
+                    const auto v_disk = run_pipeline(
+                        engine, source, config, &default_cache, nullptr, disk);
+                    if (fingerprint(*v_disk) != fingerprint(*primary)) {
+                        add_violation(report, "disk-cache-equivalence",
+                                      "pipeline fingerprints differ with the "
+                                      "persistent tier on vs off");
+                    }
+                }
             }
         }
 

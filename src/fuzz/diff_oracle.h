@@ -56,6 +56,15 @@ struct OracleConfig {
     /// budgets (DESIGN.md §3g), which is a semantics theorem, not a budget
     /// property.
     bool check_prepass = true;
+    /// Build a persistent solve-cache tier (DESIGN.md §3h) from a recording
+    /// rerun, then replay the pipeline against it and require identical
+    /// fingerprints — both legs: recording must be passive, and disk hits
+    /// must be bit-for-bit replays of the solves they replace. Applies to
+    /// fault-injected runs too: the tier's config fingerprint covers the
+    /// solver-level fault seams, so a faulted run must either replay its
+    /// own faulted recording exactly or (starvation's explorer-level gate)
+    /// consult the tier only where a real solve would have run.
+    bool check_disk_cache = true;
     /// Run the determinism battery (rerun, incremental off, unsat
     /// subsumption off, uncached soundness run). Only applies when
     /// fault == None: injected faults are allowed to change trajectories.

@@ -103,6 +103,7 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
         static auto& subsumed = registry.counter("solver.cache_unsat_subsumed");
         static auto& prepass_sat = registry.counter("solver.prepass_sat");
         static auto& prepass_unsat = registry.counter("solver.prepass_unsat");
+        static auto& disk_hits = registry.counter("solver.disk_hits");
         static auto& sat = registry.counter("solver.sat");
         static auto& unsat = registry.counter("solver.unsat");
         static auto& unknown = registry.counter("solver.unknown");
@@ -124,6 +125,13 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
                 .add();
             if (prepass_micros >= 0) prepass_us.observe(prepass_micros);
         }
+        if (state == "disk") {
+            // Like "prepass": the in-memory lookup already missed, so the
+            // miss counter stays disk-tier-invariant; the disk answer is
+            // attributed separately and never observes solver.solve_us.
+            misses.add();
+            disk_hits.add();
+        }
         switch (status) {
             case solver::SolveStatus::Sat: sat.add(); break;
             case solver::SolveStatus::Unsat: unsat.add(); break;
@@ -137,7 +145,8 @@ void record_solver_query(std::size_t conjuncts, solver::SolveStatus status,
 
 template <typename SolveFn>
 solver::SolveResult Explorer::solve_with_cache(
-    std::span<const sym::Expr* const> conjuncts, SolveFn&& solve) {
+    std::span<const sym::Expr* const> conjuncts, const solver::Model* seed,
+    SolveFn&& solve) {
     // Observability: the clock is read only when a timing consumer is
     // active, so the common (untraced, unmetered) path stays clock-free.
     const bool observed = support::trace_active() || support::metrics_enabled();
@@ -190,6 +199,36 @@ solver::SolveResult Explorer::solve_with_cache(
         }
         return starved;
     }
+    // Persistent tier: consulted exactly where a real solve would run —
+    // after the in-memory lookup missed *and* the starvation gate passed —
+    // so tier-on and tier-off runs issue the same charged-query sequence.
+    // A hit is a recorded replay of this exact (query, seed, config) solve,
+    // so it is budget-charged like the solve it replaces and re-inserted
+    // under the query's exact key (repeats become exact hits).
+    if (cache_ != nullptr && cache_->disk_attached()) {
+        if (const std::optional<solver::SolveResult> replay =
+                cache_->disk_lookup(conjuncts, seed)) {
+            // The skipped solve would have interned implied IsNull/Len pool
+            // nodes while normalizing first-sight atoms; replay those side
+            // effects so expression ids (and every downstream structural
+            // hash, e.g. path-condition signatures) stay byte-identical to
+            // a tier-off run.
+            solver_.prime(conjuncts);
+            ++stats_.solver_calls;
+            ++stats_.disk_hits;
+            if (observed) {
+                record_solver_query(conjuncts.size(), replay->status, "disk", -1);
+            }
+            cache_->insert(conjuncts, *replay);
+            return *replay;
+        }
+        ++stats_.disk_misses;
+        if (support::metrics_enabled()) {
+            static auto& m_disk_misses =
+                support::MetricsRegistry::global().counter("solver.disk_misses");
+            m_disk_misses.add();
+        }
+    }
     ++stats_.solver_calls;
     using clock = std::chrono::steady_clock;
     const clock::time_point start = timed ? clock::now() : clock::time_point{};
@@ -217,13 +256,19 @@ solver::SolveResult Explorer::solve_with_cache(
                                 cache_ != nullptr ? "miss" : "off", micros);
         }
     }
-    if (cache_ != nullptr) cache_->insert(conjuncts, res);
+    if (cache_ != nullptr) {
+        cache_->insert(conjuncts, res);
+        // Offline recording mirrors the disk lookup keying: the builder
+        // files this result under the same (query, seed, config) signature
+        // a future disk_lookup will compute.
+        cache_->record_solve(conjuncts, seed, res);
+    }
     return res;
 }
 
 solver::SolveResult Explorer::solve_conjuncts(
     std::span<const sym::Expr* const> conjuncts, const solver::Model* seed) {
-    return solve_with_cache(conjuncts,
+    return solve_with_cache(conjuncts, seed,
                             [&] { return solver_.solve(conjuncts, seed); });
 }
 
@@ -341,7 +386,7 @@ TestSuite Explorer::explore() {
 
             const solver::SolveResult res =
                 config_.incremental
-                    ? solve_with_cache(conjuncts,
+                    ? solve_with_cache(conjuncts, &seed,
                                        [&] {
                                            while (synced < static_cast<std::size_t>(j)) {
                                                ctx_.push(pc.preds[synced].expr);

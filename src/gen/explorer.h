@@ -107,6 +107,13 @@ public:
         /// answers); both stay 0 when the pre-pass is off.
         int prepass_unsat = 0;
         int prepass_sat = 0;
+        /// Persistent-tier answers (disk_cache.h). A disk hit replaces the
+        /// Solver::solve call the query would otherwise have made and is
+        /// budget-charged like one, so trajectories are tier-invariant;
+        /// disk_misses counts queries that reached the tier and fell
+        /// through to a real solve. Both stay 0 without an attached tier.
+        int disk_hits = 0;
+        int disk_misses = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -119,10 +126,13 @@ private:
         std::span<const sym::Expr* const> conjuncts, const solver::Model* seed);
 
     /// Shared cache-then-solve skeleton: lookup, stats, tracing, insert;
-    /// `solve` runs only on a miss (from scratch or via ctx_).
+    /// `solve` runs only on a miss (from scratch or via ctx_). `seed` is
+    /// the seed model `solve` will search under — the persistent tier keys
+    /// on it, and recorded results are filed under it.
     template <typename SolveFn>
     [[nodiscard]] solver::SolveResult solve_with_cache(
-        std::span<const sym::Expr* const> conjuncts, SolveFn&& solve);
+        std::span<const sym::Expr* const> conjuncts, const solver::Model* seed,
+        SolveFn&& solve);
 
     sym::ExprPool& pool_;
     const lang::Method& method_;

@@ -1,0 +1,616 @@
+#include "src/solver/disk_cache.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "src/support/metrics.h"
+
+namespace preinfer::solver {
+
+namespace {
+
+using disk_format::EntryRecord;
+using disk_format::Header;
+using disk_format::NodeRecord;
+using disk_format::PairRecord;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) { return splitmix64(h ^ v); }
+
+// Independent lane seeds: the two 64-bit halves of every Hash128 evolve
+// from different starting points, so a collision must defeat both.
+constexpr std::uint64_t kNodeSeedLo = 0x516cc24f70d95a1dULL;
+constexpr std::uint64_t kNodeSeedHi = 0xd2e0a5c7193fb861ULL;
+constexpr std::uint64_t kSigSeedLo = 0x8f1bbcdc62e7a3b5ULL;
+constexpr std::uint64_t kSigSeedHi = 0x243f6a8885a308d3ULL;
+// Arity markers keep `f(x)` and `f(x, <absent>)` shapes distinct.
+constexpr std::uint64_t kNoChild = 0x9d8f3b2c5a71e64fULL;
+// Separates the conjunct-hash section of a signature from the seed section.
+constexpr std::uint64_t kSeedSection = 0x5bd1e9955bd1e995ULL;
+
+/// The one structural node hash, shared by the pool-side hasher, the
+/// builder arena, and the loader (which recomputes it over serialized
+/// records): two lanes over (kind, sort, payload, child hashes).
+Hash128 combine_node(std::uint8_t kind, std::uint8_t sort, std::int64_t a,
+                     const Hash128* c0, const Hash128* c1) {
+    Hash128 h{kNodeSeedLo, kNodeSeedHi};
+    h.lo = mix(h.lo, kind);
+    h.hi = mix(h.hi, kind);
+    h.lo = mix(h.lo, sort);
+    h.hi = mix(h.hi, sort);
+    h.lo = mix(h.lo, static_cast<std::uint64_t>(a));
+    h.hi = mix(h.hi, static_cast<std::uint64_t>(a));
+    h.lo = mix(h.lo, c0 ? c0->lo : kNoChild);
+    h.hi = mix(h.hi, c0 ? c0->hi : kNoChild);
+    h.lo = mix(h.lo, c1 ? c1->lo : kNoChild);
+    h.hi = mix(h.hi, c1 ? c1->hi : kNoChild);
+    return h;
+}
+
+void count_rejection() {
+    static auto& rejected =
+        support::MetricsRegistry::global().counter("solver.disk_rejected");
+    if (support::metrics_enabled()) rejected.add();
+}
+
+/// Appends a trivially copyable record to the image being serialized.
+template <typename T>
+void append_record(std::string& out, const T& record) {
+    const char* bytes = reinterpret_cast<const char*>(&record);
+    out.append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+Hash128 StructuralHasher::hash(const sym::Expr* e) {
+    if (memo_.size() <= e->id) {
+        memo_.resize(e->id + 1);
+        computed_.resize(e->id + 1, false);
+    }
+    if (computed_[e->id]) return memo_[e->id];
+    // Post-order over the uncomputed subgraph; every node pushed is a
+    // descendant of `e`, so its id is already within the memo.
+    std::vector<const sym::Expr*> stack{e};
+    while (!stack.empty()) {
+        const sym::Expr* n = stack.back();
+        if (computed_[n->id]) {
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        if (n->child0 != nullptr && !computed_[n->child0->id]) {
+            stack.push_back(n->child0);
+            ready = false;
+        }
+        if (n->child1 != nullptr && !computed_[n->child1->id]) {
+            stack.push_back(n->child1);
+            ready = false;
+        }
+        if (!ready) continue;
+        memo_[n->id] = combine_node(
+            static_cast<std::uint8_t>(n->kind), static_cast<std::uint8_t>(n->sort),
+            n->a, n->child0 ? &memo_[n->child0->id] : nullptr,
+            n->child1 ? &memo_[n->child1->id] : nullptr);
+        computed_[n->id] = true;
+        stack.pop_back();
+    }
+    return memo_[e->id];
+}
+
+std::uint64_t config_fingerprint(const SolverConfig& config) {
+    std::uint64_t h = mix(0xc0f1693a5f0c8ad1ULL, disk_format::kFormatVersion);
+    h = mix(h, static_cast<std::uint64_t>(config.int_min));
+    h = mix(h, static_cast<std::uint64_t>(config.int_max));
+    h = mix(h, static_cast<std::uint64_t>(config.len_max));
+    h = mix(h, static_cast<std::uint64_t>(config.max_nodes));
+    h = mix(h, static_cast<std::uint64_t>(config.max_propagation_rounds));
+    h = mix(h, config.fault_always_unknown ? 1 : 0);
+    return h;
+}
+
+void QueryCanonicalizer::collect_ground_terms(const sym::Expr* e) {
+    std::vector<const sym::Expr*> stack{e};
+    while (!stack.empty()) {
+        const sym::Expr* n = stack.back();
+        stack.pop_back();
+        if (visited_.size() <= n->id) visited_.resize(n->id + 1, false);
+        if (visited_[n->id]) continue;
+        visited_[n->id] = true;
+        visited_ids_.push_back(n->id);
+        switch (n->kind) {
+            case sym::Kind::Param:
+            case sym::Kind::Len:
+            case sym::Kind::IsNull:
+            case sym::Kind::Select:
+                ground_terms_.push_back(n);
+                break;
+            default:
+                break;
+        }
+        // Descend even below ground terms: Select indices and Len objects
+        // contain further ground terms the model may constrain.
+        if (n->child0 != nullptr) stack.push_back(n->child0);
+        if (n->child1 != nullptr) stack.push_back(n->child1);
+    }
+}
+
+Hash128 QueryCanonicalizer::signature(
+    std::span<const sym::Expr* const> conjuncts, const Model* seed) {
+    // The conjunct section is hashed IN ORDER, duplicates included: the
+    // search registers variables and pushes atoms in conjunct order, so
+    // which Sat model it finds — and, under a node budget, even whether it
+    // finishes — is a function of the ordered list, not the set. A
+    // set-shaped key would let one ordering's recorded answer replay for a
+    // permuted ordering that the cold run solves independently (the
+    // exploration vs validation pools pose permuted repeats), silently
+    // moving the warm run's trajectory.
+    conjunct_hashes_.clear();
+    conjunct_hashes_.reserve(conjuncts.size());
+    for (const sym::Expr* c : conjuncts) conjunct_hashes_.push_back(hasher_.hash(c));
+
+    for (const std::uint32_t id : visited_ids_) visited_[id] = false;
+    visited_ids_.clear();
+    ground_terms_.clear();
+    for (const sym::Expr* c : conjuncts) collect_ground_terms(c);
+
+    // The seed model projected onto the query's own ground terms: only the
+    // values the solver could actually read steer the search, so only they
+    // belong in the key. Sorted by term hash — the projection must not
+    // depend on hash-map iteration order or pool id assignment.
+    seed_pairs_.clear();
+    if (seed != nullptr && !seed->values.empty()) {
+        for (const sym::Expr* t : ground_terms_) {
+            const auto it = seed->values.find(t);
+            if (it != seed->values.end()) {
+                seed_pairs_.emplace_back(hasher_.hash(t), it->second);
+            }
+        }
+        std::sort(seed_pairs_.begin(), seed_pairs_.end());
+    }
+
+    Hash128 sig{kSigSeedLo, kSigSeedHi};
+    for (const Hash128& h : conjunct_hashes_) {
+        sig.lo = mix(sig.lo, h.lo);
+        sig.hi = mix(sig.hi, h.hi);
+    }
+    sig.lo = mix(sig.lo, kSeedSection);
+    sig.hi = mix(sig.hi, kSeedSection);
+    for (const auto& [h, value] : seed_pairs_) {
+        sig.lo = mix(sig.lo, h.lo);
+        sig.hi = mix(sig.hi, h.hi);
+        sig.lo = mix(sig.lo, static_cast<std::uint64_t>(value));
+        sig.hi = mix(sig.hi, static_cast<std::uint64_t>(value));
+    }
+    return sig;
+}
+
+// ---------------------------------------------------------------------------
+// DiskCache: guarded loading
+
+DiskCache::~DiskCache() {
+    if (mmap_base_ != nullptr) {
+        ::munmap(mmap_base_, static_cast<std::size_t>(mmap_size_));
+    }
+}
+
+std::shared_ptr<const DiskCache> DiskCache::validate(
+    std::shared_ptr<DiskCache> cache, const char* base, std::uint64_t size,
+    std::uint64_t expected_config_fingerprint, std::string* error) {
+    const auto reject = [&](const std::string& reason) {
+        count_rejection();
+        if (error != nullptr) *error = reason;
+        return nullptr;
+    };
+
+    if (size < sizeof(Header)) return reject("truncated header");
+    Header h;
+    std::memcpy(&h, base, sizeof(Header));
+    if (std::memcmp(h.magic, disk_format::kMagic, sizeof(h.magic)) != 0) {
+        return reject("bad magic");
+    }
+    if (h.format_version != disk_format::kFormatVersion) {
+        return reject("unsupported format version " +
+                      std::to_string(h.format_version));
+    }
+    if (h.endian_tag != disk_format::kEndianTag) {
+        return reject("endianness mismatch");
+    }
+    if (h.config_fingerprint != expected_config_fingerprint) {
+        return reject("solver-config fingerprint mismatch");
+    }
+    if (h.file_size != size) return reject("file size mismatch (truncated?)");
+    if (h.entry_count == 0) return reject("empty cache");
+    if (h.node_count > (1u << 28) || h.entry_count > (1u << 28) ||
+        h.pair_count > (std::uint64_t{1} << 32)) {
+        return reject("section count out of range");
+    }
+    const std::uint64_t need = sizeof(Header) +
+                               std::uint64_t{h.node_count} * sizeof(NodeRecord) +
+                               std::uint64_t{h.entry_count} * sizeof(EntryRecord) +
+                               h.pair_count * sizeof(PairRecord);
+    if (need != size) return reject("sections overrun the file");
+
+    const char* p = base + sizeof(Header);
+    cache->nodes_ = {reinterpret_cast<const NodeRecord*>(p), h.node_count};
+    p += std::uint64_t{h.node_count} * sizeof(NodeRecord);
+    cache->entries_ = {reinterpret_cast<const EntryRecord*>(p), h.entry_count};
+    p += std::uint64_t{h.entry_count} * sizeof(EntryRecord);
+    cache->pairs_ = {reinterpret_cast<const PairRecord*>(p),
+                     static_cast<std::size_t>(h.pair_count)};
+
+    // Node table: children strictly earlier, kinds/sorts in range. Hashes
+    // are recomputed bottom-up in the same pass.
+    cache->node_hashes_.resize(h.node_count);
+    for (std::uint32_t i = 0; i < h.node_count; ++i) {
+        const NodeRecord& n = cache->nodes_[i];
+        if (n.kind > static_cast<std::uint8_t>(sym::Kind::IsWhitespace) ||
+            n.sort > static_cast<std::uint8_t>(sym::Sort::Obj)) {
+            return reject("corrupt node table (bad kind/sort)");
+        }
+        const std::int32_t self = static_cast<std::int32_t>(i);
+        if (n.child0 < -1 || n.child0 >= self || n.child1 < -1 ||
+            n.child1 >= self) {
+            return reject("corrupt node table (child out of range)");
+        }
+        cache->node_hashes_[i] = combine_node(
+            n.kind, n.sort, n.a,
+            n.child0 >= 0 ? &cache->node_hashes_[n.child0] : nullptr,
+            n.child1 >= 0 ? &cache->node_hashes_[n.child1] : nullptr);
+    }
+
+    // Entry table: strictly sorted keys, valid statuses, witness ranges
+    // inside the pair section.
+    for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+        const EntryRecord& e = cache->entries_[i];
+        if (e.status > static_cast<std::uint32_t>(SolveStatus::Unknown)) {
+            return reject("corrupt entry (bad status)");
+        }
+        if (e.model_off > h.pair_count ||
+            e.model_len > h.pair_count - e.model_off) {
+            return reject("corrupt entry (model range out of bounds)");
+        }
+        if (i > 0) {
+            const EntryRecord& prev = cache->entries_[i - 1];
+            if (std::pair(prev.key_lo, prev.key_hi) >=
+                std::pair(e.key_lo, e.key_hi)) {
+                return reject("entries not sorted");
+            }
+        }
+    }
+    for (const PairRecord& pair : cache->pairs_) {
+        if (pair.node >= h.node_count) {
+            return reject("corrupt witness pair (node out of range)");
+        }
+    }
+
+    cache->config_fingerprint_ = h.config_fingerprint;
+    cache->build_fingerprint_ = h.build_fingerprint;
+    return cache;
+}
+
+std::shared_ptr<const DiskCache> DiskCache::load_file(
+    const std::string& path, std::uint64_t expected_config_fingerprint,
+    std::string* error) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        count_rejection();
+        if (error != nullptr) *error = "cannot open: " + std::string(std::strerror(errno));
+        return nullptr;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        count_rejection();
+        if (error != nullptr) *error = "cannot stat";
+        return nullptr;
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    std::shared_ptr<DiskCache> cache(new DiskCache());
+    const char* base = nullptr;
+    if (size > 0) {
+        void* mapped = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                              MAP_PRIVATE, fd, 0);
+        if (mapped != MAP_FAILED) {
+            cache->mmap_base_ = mapped;
+            cache->mmap_size_ = size;
+            base = static_cast<const char*>(mapped);
+        } else {
+            // Fall back to a plain read; the format is identical either way.
+            cache->owned_.reset(new char[size]);
+            std::uint64_t off = 0;
+            while (off < size) {
+                const ssize_t n = ::read(fd, cache->owned_.get() + off,
+                                         static_cast<std::size_t>(size - off));
+                if (n <= 0) break;
+                off += static_cast<std::uint64_t>(n);
+            }
+            if (off != size) {
+                ::close(fd);
+                count_rejection();
+                if (error != nullptr) *error = "short read";
+                return nullptr;
+            }
+            base = cache->owned_.get();
+        }
+    }
+    ::close(fd);
+    if (base == nullptr) {
+        count_rejection();
+        if (error != nullptr) *error = "truncated header";
+        return nullptr;
+    }
+    return validate(std::move(cache), base, size, expected_config_fingerprint,
+                    error);
+}
+
+std::shared_ptr<const DiskCache> DiskCache::load_buffer(
+    std::string bytes, std::uint64_t expected_config_fingerprint,
+    std::string* error) {
+    std::shared_ptr<DiskCache> cache(new DiskCache());
+    const std::uint64_t size = bytes.size();
+    // Copy into max_align_t-aligned storage so record spans may point in.
+    cache->owned_.reset(new char[std::max<std::uint64_t>(size, 1)]);
+    std::memcpy(cache->owned_.get(), bytes.data(), size);
+    return validate(std::move(cache), cache->owned_.get(), size,
+                    expected_config_fingerprint, error);
+}
+
+std::optional<DiskCache::EntryView> DiskCache::find(Hash128 key) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const EntryRecord& e, const Hash128& k) {
+            return std::pair(e.key_lo, e.key_hi) < std::pair(k.lo, k.hi);
+        });
+    if (it == entries_.end() || it->key_lo != key.lo || it->key_hi != key.hi) {
+        return std::nullopt;
+    }
+    EntryView view;
+    view.status = static_cast<SolveStatus>(it->status);
+    view.pairs = pairs_.subspan(static_cast<std::size_t>(it->model_off),
+                                it->model_len);
+    return view;
+}
+
+// ---------------------------------------------------------------------------
+// DiskCacheBuilder
+
+DiskCacheBuilder::DiskCacheBuilder(const SolverConfig& config)
+    : config_fingerprint_(::preinfer::solver::config_fingerprint(config)) {}
+
+std::int32_t DiskCacheBuilder::intern_term_locked(const sym::Expr* term,
+                                                  StructuralHasher& hasher) {
+    const Hash128 h = hasher.hash(term);
+    const auto it = node_by_hash_.find(h);
+    if (it != node_by_hash_.end()) return it->second;
+    const std::int32_t c0 =
+        term->child0 ? intern_term_locked(term->child0, hasher) : -1;
+    const std::int32_t c1 =
+        term->child1 ? intern_term_locked(term->child1, hasher) : -1;
+    const auto index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({static_cast<std::uint8_t>(term->kind),
+                      static_cast<std::uint8_t>(term->sort), c0, c1, term->a});
+    node_hashes_.push_back(h);
+    node_by_hash_.emplace(h, index);
+    return index;
+}
+
+std::int32_t DiskCacheBuilder::intern_serialized_locked(
+    const DiskCache& shard, std::uint32_t node_index) {
+    const Hash128 h = shard.node_hash(node_index);
+    const auto it = node_by_hash_.find(h);
+    if (it != node_by_hash_.end()) return it->second;
+    const disk_format::NodeRecord& n = shard.node(node_index);
+    const std::int32_t c0 =
+        n.child0 >= 0
+            ? intern_serialized_locked(shard, static_cast<std::uint32_t>(n.child0))
+            : -1;
+    const std::int32_t c1 =
+        n.child1 >= 0
+            ? intern_serialized_locked(shard, static_cast<std::uint32_t>(n.child1))
+            : -1;
+    const auto index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({n.kind, n.sort, c0, c1, n.a});
+    node_hashes_.push_back(h);
+    node_by_hash_.emplace(h, index);
+    return index;
+}
+
+void DiskCacheBuilder::record(Hash128 signature, const SolveResult& result,
+                              StructuralHasher& hasher) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = entries_.try_emplace(signature);
+    if (!inserted) {
+        // The key covers query, seed, and config, and the solver is
+        // deterministic, so a conflicting payload can only mean key
+        // collision or a caller bug; keep the first record.
+        if (it->second.status != result.status) ++payload_conflicts_;
+        return;
+    }
+    it->second.status = result.status;
+    if (result.status != SolveStatus::Sat) return;
+    std::vector<std::pair<Hash128, std::pair<std::int32_t, std::int64_t>>> rows;
+    rows.reserve(result.model.values.size());
+    for (const auto& [term, value] : result.model.values) {
+        const std::int32_t index = intern_term_locked(term, hasher);
+        rows.emplace_back(node_hashes_[index], std::pair(index, value));
+    }
+    // Witness pairs sorted by structural hash: the payload must not depend
+    // on the recording pool's id assignment or hash-map iteration order.
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    it->second.model.reserve(rows.size());
+    for (const auto& row : rows) it->second.model.push_back(row.second);
+}
+
+bool DiskCacheBuilder::merge(const DiskCache& shard, std::string* error) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shard.config_fingerprint() != config_fingerprint_) {
+        if (error != nullptr) *error = "solver-config fingerprint mismatch";
+        return false;
+    }
+    for (const disk_format::EntryRecord& record : shard.entries()) {
+        const Hash128 key{record.key_lo, record.key_hi};
+        const auto pairs = shard.pair_range(record);
+        const auto [it, inserted] = entries_.try_emplace(key);
+        if (!inserted) {
+            // Dedup across shards; differing payloads keep the first and
+            // are surfaced through payload_conflicts().
+            bool same = it->second.status == static_cast<SolveStatus>(record.status) &&
+                        it->second.model.size() == pairs.size();
+            for (std::size_t i = 0; same && i < pairs.size(); ++i) {
+                same = node_hashes_[it->second.model[i].first] ==
+                           shard.node_hash(pairs[i].node) &&
+                       it->second.model[i].second == pairs[i].value;
+            }
+            if (!same) ++payload_conflicts_;
+            continue;
+        }
+        it->second.status = static_cast<SolveStatus>(record.status);
+        it->second.model.reserve(pairs.size());
+        for (const disk_format::PairRecord& pair : pairs) {
+            it->second.model.emplace_back(intern_serialized_locked(shard, pair.node),
+                                          pair.value);
+        }
+    }
+    return true;
+}
+
+std::string DiskCacheBuilder::serialize() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Canonical node numbering: subtrees are emitted on first use, walking
+    // the (key-sorted) entries in order — so the image is byte-identical no
+    // matter how records interleaved across worker threads.
+    std::vector<std::int32_t> remap(nodes_.size(), -1);
+    std::vector<std::int32_t> order;  // new index -> arena index
+    const auto assign = [&](std::int32_t arena_index, const auto& self) -> void {
+        if (remap[arena_index] >= 0) return;
+        const Node& n = nodes_[arena_index];
+        if (n.child0 >= 0) self(n.child0, self);
+        if (n.child1 >= 0) self(n.child1, self);
+        remap[arena_index] = static_cast<std::int32_t>(order.size());
+        order.push_back(arena_index);
+    };
+    std::uint64_t pair_count = 0;
+    for (const auto& [key, entry] : entries_) {
+        for (const auto& [node, value] : entry.model) assign(node, assign);
+        pair_count += entry.model.size();
+    }
+
+    Header header{};
+    std::memcpy(header.magic, disk_format::kMagic, sizeof(header.magic));
+    header.format_version = disk_format::kFormatVersion;
+    header.endian_tag = disk_format::kEndianTag;
+    header.config_fingerprint = config_fingerprint_;
+    std::uint64_t build = 0x6b79b1f2c3d4e5a6ULL;
+    for (const auto& [key, entry] : entries_) {
+        build = mix(build, key.lo);
+        build = mix(build, key.hi);
+    }
+    header.build_fingerprint = build;
+    header.node_count = static_cast<std::uint32_t>(order.size());
+    header.entry_count = static_cast<std::uint32_t>(entries_.size());
+    header.pair_count = pair_count;
+    header.file_size = sizeof(Header) + order.size() * sizeof(NodeRecord) +
+                       entries_.size() * sizeof(EntryRecord) +
+                       pair_count * sizeof(PairRecord);
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(header.file_size));
+    append_record(out, header);
+    for (const std::int32_t arena_index : order) {
+        const Node& n = nodes_[arena_index];
+        NodeRecord record{};
+        record.kind = n.kind;
+        record.sort = n.sort;
+        record.child0 = n.child0 >= 0 ? remap[n.child0] : -1;
+        record.child1 = n.child1 >= 0 ? remap[n.child1] : -1;
+        record.a = n.a;
+        append_record(out, record);
+    }
+    std::uint64_t model_off = 0;
+    for (const auto& [key, entry] : entries_) {
+        EntryRecord record{};
+        record.key_lo = key.lo;
+        record.key_hi = key.hi;
+        record.status = static_cast<std::uint32_t>(entry.status);
+        record.model_len = static_cast<std::uint32_t>(entry.model.size());
+        record.model_off = model_off;
+        model_off += entry.model.size();
+        append_record(out, record);
+    }
+    for (const auto& [key, entry] : entries_) {
+        for (const auto& [node, value] : entry.model) {
+            PairRecord record{};
+            record.node = static_cast<std::uint32_t>(remap[node]);
+            record.value = value;
+            append_record(out, record);
+        }
+    }
+    return out;
+}
+
+bool DiskCacheBuilder::write_file(const std::string& path,
+                                  std::string* error) const {
+    const std::string image = serialize();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error != nullptr) *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+        if (error != nullptr) *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+std::size_t DiskCacheBuilder::size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+std::int64_t DiskCacheBuilder::payload_conflicts() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return payload_conflicts_;
+}
+
+std::shared_ptr<const DiskCache> load_disk_cache(const std::string& path,
+                                                 const SolverConfig& config,
+                                                 std::ostream* warn) {
+    if (path.empty()) return nullptr;
+    static auto& load_us =
+        support::MetricsRegistry::global().counter("solver.disk_load_us");
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    std::shared_ptr<const DiskCache> cache =
+        DiskCache::load_file(path, config_fingerprint(config), &error);
+    if (cache != nullptr && support::metrics_enabled()) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        load_us.add(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    }
+    if (cache == nullptr) {
+        std::ostream& out = warn != nullptr ? *warn : std::cerr;
+        out << "[disk-cache] disabled: " << path << ": " << error << "\n";
+    }
+    return cache;
+}
+
+}  // namespace preinfer::solver

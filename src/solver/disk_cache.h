@@ -1,0 +1,331 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/model.h"
+#include "src/solver/solver.h"
+
+namespace preinfer::solver {
+
+/// The persistent tier of the two-tier solve cache (DESIGN.md §3h): a
+/// read-only, mmap-able index of canonical query signatures → solve
+/// answers, built offline by `preinfer-cache-build` from corpus runs and
+/// consulted by SolveCache exactly where a real solve would otherwise run.
+///
+/// Keys must be meaningful across processes and pools, so they are not the
+/// in-memory tier's Expr::id sequences but 128-bit *structural* hashes of
+/// the conjunct set — plus the seed model projected onto the query's ground
+/// terms, because a seed-steered budgeted search can legitimately return a
+/// different model (or Sat-vs-Unknown) for a different seed. A hit is
+/// therefore a replay of the exact (query, seed, config) solve the builder
+/// recorded, and the deterministic solver guarantees the stored answer is
+/// bit-identical to what solving again would produce — which is what makes
+/// disk-on vs disk-off runs byte-identical modulo cache attribution.
+///
+/// File format (versioned, little-endian, fixed-width records; all section
+/// offsets are derivable from the header, so the loader can serve straight
+/// out of an mmap):
+///
+///   header  (64 bytes): magic "PINFCACH", format version, endianness tag,
+///           solver-config fingerprint, build fingerprint, section counts,
+///           total file size
+///   nodes   (24 B each): a deduplicated serialized expression pool —
+///           {kind, sort, child0, child1, payload}, children referencing
+///           strictly earlier records
+///   entries (32 B each): {key128, status, model_len, model_off},
+///           strictly sorted by key for binary search
+///   pairs   (16 B each): Sat witness values, {node index, value}
+///
+/// A guarded loader verifies every header field and every structural
+/// invariant (child/model indices in range, sections inside the file,
+/// entries sorted) before serving a single entry; any mismatch disables
+/// the tier with a structured warning — it never corrupts results.
+
+/// Pool-independent 128-bit structural expression hash: two independently
+/// seeded 64-bit lanes over (kind, sort, payload, child hashes).
+struct Hash128 {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    friend bool operator==(const Hash128&, const Hash128&) = default;
+    friend auto operator<=>(const Hash128&, const Hash128&) = default;
+};
+
+struct Hash128Hash {
+    std::size_t operator()(const Hash128& h) const noexcept {
+        return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/// Memoized structural hashing over one pool's hash-consed nodes. Children
+/// are interned before parents (child ids < parent id), so the memo is a
+/// plain vector indexed by Expr::id. One canonicalizer per pool; never
+/// share across pools.
+class StructuralHasher {
+public:
+    [[nodiscard]] Hash128 hash(const sym::Expr* e);
+
+private:
+    std::vector<Hash128> memo_;  ///< indexed by Expr::id
+    std::vector<bool> computed_;
+};
+
+/// Fingerprint of the result-affecting SolverConfig fields (bounds,
+/// budgets, fault seams) folded with the format version. Cached answers
+/// are only replays under the exact config that produced them; the loader
+/// rejects a cache whose fingerprint differs from the consumer's, which is
+/// also what keeps a healthy-corpus cache silently disabled under e.g. the
+/// solver-blackout fault seam. `abstract_prepass` is excluded: the
+/// pre-pass is documented bit-identical on/off (DESIGN.md §3g).
+[[nodiscard]] std::uint64_t config_fingerprint(const SolverConfig& config);
+
+/// Scratch state for computing canonical disk-tier query signatures
+/// against one pool. Also exposes the query's ground terms, which the
+/// Sat-witness reconstruction path matches serialized model nodes against.
+class QueryCanonicalizer {
+public:
+    /// 128-bit signature of (conjunct structural hashes IN QUERY ORDER,
+    /// duplicates included, seed projected onto the query's ground terms).
+    /// Order-sensitivity is load-bearing: the search's variable
+    /// registration follows conjunct order, so the model it finds — and
+    /// under a node budget, its status — is a function of the ordered
+    /// list, not the set. Leaves the deduplicated ground terms
+    /// (Param/Len/IsNull/Select subterms of the conjuncts) in
+    /// ground_terms().
+    [[nodiscard]] Hash128 signature(std::span<const sym::Expr* const> conjuncts,
+                                    const Model* seed);
+
+    [[nodiscard]] const std::vector<const sym::Expr*>& ground_terms() const {
+        return ground_terms_;
+    }
+    [[nodiscard]] StructuralHasher& hasher() { return hasher_; }
+
+private:
+    void collect_ground_terms(const sym::Expr* e);
+
+    StructuralHasher hasher_;
+    std::vector<const sym::Expr*> ground_terms_;
+    std::vector<bool> visited_;  ///< indexed by Expr::id, epoch-free (cleared per call)
+    std::vector<std::uint32_t> visited_ids_;
+    std::vector<Hash128> conjunct_hashes_;
+    std::vector<std::pair<Hash128, std::int64_t>> seed_pairs_;
+};
+
+namespace disk_format {
+
+inline constexpr char kMagic[8] = {'P', 'I', 'N', 'F', 'C', 'A', 'C', 'H'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+struct Header {
+    char magic[8];
+    std::uint32_t format_version;
+    std::uint32_t endian_tag;
+    std::uint64_t config_fingerprint;
+    std::uint64_t build_fingerprint;  ///< hash of the sorted entry keys
+    std::uint32_t node_count;
+    std::uint32_t entry_count;
+    std::uint64_t pair_count;
+    std::uint64_t file_size;  ///< redundant with the section sizes; checked
+    std::uint64_t reserved;
+};
+static_assert(sizeof(Header) == 64);
+
+struct NodeRecord {
+    std::uint8_t kind;
+    std::uint8_t sort;
+    std::uint16_t pad;
+    std::int32_t child0;  ///< index of an earlier node, or -1
+    std::int32_t child1;
+    std::uint32_t pad2;
+    std::int64_t a;
+};
+static_assert(sizeof(NodeRecord) == 24);
+
+struct EntryRecord {
+    std::uint64_t key_lo;
+    std::uint64_t key_hi;
+    std::uint32_t status;     ///< SolveStatus
+    std::uint32_t model_len;  ///< Sat witness pairs (0 for Unsat/Unknown)
+    std::uint64_t model_off;  ///< first pair index
+};
+static_assert(sizeof(EntryRecord) == 32);
+
+struct PairRecord {
+    std::uint32_t node;  ///< node-table index of the ground term
+    std::uint32_t pad;
+    std::int64_t value;
+};
+static_assert(sizeof(PairRecord) == 16);
+
+}  // namespace disk_format
+
+/// The loaded read-only tier. Immutable after load, so concurrent lookups
+/// from many workers need no locking. Obtain one only through the guarded
+/// loaders; they never return a partially validated cache.
+class DiskCache {
+public:
+    /// Loads and validates `path` (mmap; falls back to a heap read when the
+    /// file cannot be mapped). Returns nullptr with `*error` set on any
+    /// validation failure — wrong magic/version/endianness, a config
+    /// fingerprint differing from `expected_config_fingerprint`, sections
+    /// overrunning the file, corrupt indices, unsorted entries, or an empty
+    /// cache — and bumps the `solver.disk_rejected` counter.
+    static std::shared_ptr<const DiskCache> load_file(
+        const std::string& path, std::uint64_t expected_config_fingerprint,
+        std::string* error);
+
+    /// Same validation over an in-memory image (tests, the diff oracle).
+    static std::shared_ptr<const DiskCache> load_buffer(
+        std::string bytes, std::uint64_t expected_config_fingerprint,
+        std::string* error);
+
+    ~DiskCache();
+    DiskCache(const DiskCache&) = delete;
+    DiskCache& operator=(const DiskCache&) = delete;
+
+    struct EntryView {
+        SolveStatus status = SolveStatus::Unknown;
+        std::span<const disk_format::PairRecord> pairs;
+    };
+
+    /// Binary search over the sorted entry table.
+    [[nodiscard]] std::optional<EntryView> find(Hash128 key) const;
+
+    /// Structural hash of a serialized node (precomputed at load), used to
+    /// match witness terms back to the querying pool's ground terms.
+    [[nodiscard]] Hash128 node_hash(std::uint32_t node_index) const {
+        return node_hashes_[node_index];
+    }
+
+    /// Raw record views for shard merging (DiskCacheBuilder::merge walks an
+    /// already validated cache entry by entry).
+    [[nodiscard]] const disk_format::NodeRecord& node(std::uint32_t node_index) const {
+        return nodes_[node_index];
+    }
+    [[nodiscard]] std::span<const disk_format::EntryRecord> entries() const {
+        return entries_;
+    }
+    [[nodiscard]] std::span<const disk_format::PairRecord> pair_range(
+        const disk_format::EntryRecord& entry) const {
+        return pairs_.subspan(static_cast<std::size_t>(entry.model_off),
+                              entry.model_len);
+    }
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::uint64_t config_fingerprint() const {
+        return config_fingerprint_;
+    }
+    [[nodiscard]] std::uint64_t build_fingerprint() const {
+        return build_fingerprint_;
+    }
+
+private:
+    DiskCache() = default;
+
+    static std::shared_ptr<const DiskCache> validate(
+        std::shared_ptr<DiskCache> cache, const char* base, std::uint64_t size,
+        std::uint64_t expected_config_fingerprint, std::string* error);
+
+    std::span<const disk_format::NodeRecord> nodes_;
+    std::span<const disk_format::EntryRecord> entries_;
+    std::span<const disk_format::PairRecord> pairs_;
+    std::vector<Hash128> node_hashes_;
+    std::uint64_t config_fingerprint_ = 0;
+    std::uint64_t build_fingerprint_ = 0;
+
+    /// Backing storage: exactly one of the two is active.
+    void* mmap_base_ = nullptr;
+    std::uint64_t mmap_size_ = 0;
+    std::unique_ptr<char[]> owned_;
+};
+
+/// Accumulates (signature → answer) records during corpus runs and writes
+/// the canonical serialized image. Thread-safe: harness workers record
+/// concurrently, and the canonical writer re-numbers nodes in sorted entry
+/// order, so the serialized bytes are identical for any jobs value or
+/// record interleaving. Records must all be produced under the
+/// SolverConfig given at construction (SolveCache only attaches a recorder
+/// whose fingerprint matches its explorers' config).
+class DiskCacheBuilder {
+public:
+    explicit DiskCacheBuilder(const SolverConfig& config);
+    /// Merge-mode construction (preinfer-cache-build merge): adopt the
+    /// fingerprint of already-built shards instead of deriving one from a
+    /// live SolverConfig.
+    explicit DiskCacheBuilder(std::uint64_t config_fingerprint)
+        : config_fingerprint_(config_fingerprint) {}
+
+    [[nodiscard]] std::uint64_t config_fingerprint() const {
+        return config_fingerprint_;
+    }
+
+    /// Stores `result` under `signature`; first record wins. Witness terms
+    /// are interned into a pool-independent node arena immediately (the
+    /// caller's Expr pointers are not retained past the call). `hasher`
+    /// must be the canonicalizer lane of the recording pool.
+    void record(Hash128 signature, const SolveResult& result,
+                StructuralHasher& hasher);
+
+    /// Folds every entry of an already loaded cache in (shard merging).
+    /// Config fingerprints must match; on a key collision the first payload
+    /// wins, and a conflicting payload is counted in `payload_conflicts()`.
+    bool merge(const DiskCache& shard, std::string* error);
+
+    /// The canonical file image: header + renumbered node table + sorted
+    /// entries + pairs. Byte-deterministic for a given entry set.
+    [[nodiscard]] std::string serialize() const;
+    bool write_file(const std::string& path, std::string* error) const;
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::int64_t payload_conflicts() const;
+
+private:
+    struct Node {
+        std::uint8_t kind = 0;
+        std::uint8_t sort = 0;
+        std::int32_t child0 = -1;
+        std::int32_t child1 = -1;
+        std::int64_t a = 0;
+    };
+    struct Entry {
+        SolveStatus status = SolveStatus::Unknown;
+        /// Witness pairs as (arena node, value), sorted by the node's
+        /// structural hash so payload bytes are record-order-independent.
+        std::vector<std::pair<std::int32_t, std::int64_t>> model;
+    };
+
+    std::int32_t intern_term_locked(const sym::Expr* term,
+                                    StructuralHasher& hasher);
+    std::int32_t intern_serialized_locked(const DiskCache& shard,
+                                          std::uint32_t node_index);
+
+    mutable std::mutex mu_;
+    std::uint64_t config_fingerprint_;
+    std::vector<Node> nodes_;
+    std::vector<Hash128> node_hashes_;
+    std::unordered_map<Hash128, std::int32_t, Hash128Hash> node_by_hash_;
+    /// Ordered by key: iteration order is the canonical entry order.
+    std::map<Hash128, Entry> entries_;
+    std::int64_t payload_conflicts_ = 0;
+};
+
+/// Entry-point helper: loads `path` for use under `config`, timing the
+/// load into `solver.disk_load_us`. On any validation failure the tier is
+/// disabled: a structured warning line goes to `warn` (stderr when null)
+/// and nullptr is returned. An empty path is not an error — it simply
+/// means "no disk tier" and returns nullptr silently.
+std::shared_ptr<const DiskCache> load_disk_cache(const std::string& path,
+                                                 const SolverConfig& config,
+                                                 std::ostream* warn = nullptr);
+
+}  // namespace preinfer::solver

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/solver/disk_cache.h"
+#include "src/support/metrics.h"
 #include "src/sym/eval.h"
 
 namespace preinfer::solver {
@@ -9,6 +11,8 @@ namespace preinfer::solver {
 SolveCache::SolveCache() : SolveCache(Options{}) {}
 
 SolveCache::SolveCache(Options options) : options_(options) {}
+
+SolveCache::~SolveCache() = default;
 
 std::size_t SolveCache::KeyHash::operator()(const Key& key) const noexcept {
     // FNV-1a over the id sequence; the key is already canonical (sorted,
@@ -150,12 +154,71 @@ void SolveCache::insert(std::span<const sym::Expr* const> conjuncts,
     insert_scratch(result, /*index_unsat=*/true);
 }
 
+std::optional<SolveResult> SolveCache::disk_lookup(
+    std::span<const sym::Expr* const> conjuncts, const Model* seed) {
+    if (disk_ == nullptr) return std::nullopt;
+    static auto& witness_rejected = support::MetricsRegistry::global().counter(
+        "solver.disk_witness_rejected");
+    if (canon_ == nullptr) canon_ = std::make_unique<QueryCanonicalizer>();
+    const Hash128 key = canon_->signature(conjuncts, seed);
+    const auto entry = disk_->find(key);
+    if (!entry) {
+        ++stats_.disk_misses;
+        return std::nullopt;
+    }
+    SolveResult result;
+    result.status = entry->status;
+    if (entry->status == SolveStatus::Sat) {
+        // Reconstruct the witness against this pool: every serialized model
+        // node must match a ground term of the query by structural hash.
+        // Serving a model never interns new pool nodes itself; the caller
+        // replays the skipped solve's normalization interning with
+        // Solver::prime() so Expr::id allocation matches a tier-off run.
+        StructuralHasher& hasher = canon_->hasher();
+        std::unordered_map<Hash128, const sym::Expr*, Hash128Hash> by_hash;
+        by_hash.reserve(canon_->ground_terms().size());
+        for (const sym::Expr* t : canon_->ground_terms()) {
+            by_hash.emplace(hasher.hash(t), t);
+        }
+        for (const disk_format::PairRecord& pair : entry->pairs) {
+            const auto it = by_hash.find(disk_->node_hash(pair.node));
+            if (it == by_hash.end()) {
+                if (support::metrics_enabled()) witness_rejected.add();
+                ++stats_.disk_misses;
+                return std::nullopt;
+            }
+            result.model.values.emplace(it->second, pair.value);
+        }
+        // Re-validate by strict evaluation: a served Sat must be witnessed
+        // by its own model, whatever the file claimed.
+        for (const sym::Expr* c : conjuncts) {
+            const auto v = sym::eval_with_terms(c, result.model.values);
+            if (!v || *v == 0) {
+                if (support::metrics_enabled()) witness_rejected.add();
+                ++stats_.disk_misses;
+                return std::nullopt;
+            }
+        }
+    }
+    ++stats_.disk_hits;
+    return result;
+}
+
+void SolveCache::record_solve(std::span<const sym::Expr* const> conjuncts,
+                              const Model* seed, const SolveResult& result) {
+    if (recorder_ == nullptr) return;
+    if (canon_ == nullptr) canon_ = std::make_unique<QueryCanonicalizer>();
+    const Hash128 key = canon_->signature(conjuncts, seed);
+    recorder_->record(key, result, canon_->hasher());
+}
+
 void SolveCache::clear() {
     entries_.clear();
     unsat_index_.clear();
     model_window_.clear();
     scratch_span_data_ = nullptr;
     scratch_span_size_ = 0;
+    canon_.reset();  // hash memos are pool-specific; attachments persist
     stats_ = {};
 }
 

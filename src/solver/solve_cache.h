@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -9,7 +11,12 @@
 
 namespace preinfer::solver {
 
-/// Memoizes Solver::solve results, keyed on the *canonical signature* of a
+class DiskCache;
+class DiskCacheBuilder;
+class QueryCanonicalizer;
+
+/// The in-memory tier of the two-tier solve cache. Memoizes Solver::solve
+/// results, keyed on the *canonical signature* of a
 /// conjunct set: the sorted, deduplicated sequence of structural expression
 /// ids (sym::Expr::id). Ids — never pointers — make the key stable across
 /// processes and independent of conjunct order, so `{a, b}` and `{b, a}`
@@ -34,6 +41,18 @@ namespace preinfer::solver {
 ///
 /// Semantic hits are re-inserted under the query's exact key, so repeats
 /// become exact hits.
+///
+/// Below the in-memory tier an optional read-only *persistent* tier — a
+/// DiskCache attached via attach_disk() — can answer queries that miss
+/// here. The disk tier is deliberately not consulted inside lookup():
+/// fault seams (and budget charging) sit between a lookup miss and the
+/// real solve, so the explorer calls disk_lookup() exactly where it would
+/// otherwise solve, and re-inserts a disk answer into this tier under the
+/// query's exact key. Disk keys are structural (pool-independent) and
+/// include the seed model projected onto the query, so a disk hit is a
+/// bit-identical replay of a recorded deterministic solve — see
+/// disk_cache.h and DESIGN.md §3h. Symmetrically, attach_recorder() routes
+/// every real solve result into an offline DiskCacheBuilder.
 ///
 /// The cached value is the full SolveResult (status + model). Seed models
 /// only steer the solver's search order, never satisfiability, so a cached
@@ -78,6 +97,11 @@ public:
         std::int64_t misses = 0;  ///< lookups that fell through to Miss
         std::int64_t model_reuse = 0;
         std::int64_t unsat_subsumed = 0;
+        /// Persistent-tier outcomes; counted by disk_lookup(), which only
+        /// runs after an in-memory miss, so these never overlap the
+        /// in-memory tallies (hit_rate() stays a pure in-memory rate).
+        std::int64_t disk_hits = 0;
+        std::int64_t disk_misses = 0;
 
         [[nodiscard]] double hit_rate() const {
             const std::int64_t served = hits + model_reuse + unsat_subsumed;
@@ -88,6 +112,7 @@ public:
 
     SolveCache();
     explicit SolveCache(Options options);
+    ~SolveCache();  // out-of-line: QueryCanonicalizer is incomplete here
 
     /// Answers from the exact map, then the semantic paths (see class
     /// comment). Counts the lookup in stats(). The result pointer stays
@@ -100,6 +125,29 @@ public:
     /// the lookup is reused instead of being rebuilt.
     void insert(std::span<const sym::Expr* const> conjuncts,
                 const SolveResult& result);
+
+    /// Attaches the read-only persistent tier (not owned; must outlive this
+    /// cache). Null detaches. clear() keeps the attachment.
+    void attach_disk(const DiskCache* disk) { disk_ = disk; }
+    /// Attaches an offline recorder (not owned); every record_solve() is
+    /// forwarded to it. Null detaches.
+    void attach_recorder(DiskCacheBuilder* recorder) { recorder_ = recorder; }
+    [[nodiscard]] bool disk_attached() const { return disk_ != nullptr; }
+
+    /// Consults the persistent tier for (conjuncts, seed). Called by the
+    /// explorer only after lookup() missed *and* any fault gate passed —
+    /// i.e. exactly in place of a real solve. A Sat answer is reconstructed
+    /// against this pool's ground terms and re-validated by evaluation
+    /// before being served; any reconstruction gap is a miss (plus the
+    /// `solver.disk_witness_rejected` tripwire), never a wrong answer.
+    /// Returns nullopt when no tier is attached.
+    [[nodiscard]] std::optional<SolveResult> disk_lookup(
+        std::span<const sym::Expr* const> conjuncts, const Model* seed);
+
+    /// Forwards a freshly solved (query, seed) → result record to the
+    /// attached recorder, if any.
+    void record_solve(std::span<const sym::Expr* const> conjuncts,
+                      const Model* seed, const SolveResult& result);
 
     [[nodiscard]] const Options& options() const { return options_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -148,6 +196,14 @@ private:
     /// the key only when its span matches exactly.
     const sym::Expr* const* scratch_span_data_ = nullptr;
     std::size_t scratch_span_size_ = 0;
+
+    /// Persistent tier (read-only, shared across workers) and offline
+    /// recorder; both optional, neither owned. The canonicalizer computing
+    /// their pool-independent signatures is lazily created and — like the
+    /// entries — belongs to one pool only (clear() resets it).
+    const DiskCache* disk_ = nullptr;
+    DiskCacheBuilder* recorder_ = nullptr;
+    std::unique_ptr<QueryCanonicalizer> canon_;
 
     Stats stats_;
 };

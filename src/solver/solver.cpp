@@ -530,6 +530,12 @@ SolveResult Solver::solve(std::span<const sym::Expr* const> conjuncts,
     return scratch_->solve(seed, stats_);
 }
 
+void Solver::prime(std::span<const sym::Expr* const> conjuncts) {
+    // record() normalizes each atom on first sight, interning the implied
+    // IsNull/Len pool nodes in exactly the order a push-based load would.
+    for (const sym::Expr* e : conjuncts) (void)index_->record(e);
+}
+
 Solver::Context::Context(Solver& solver)
     : solver_(solver),
       state_(std::make_unique<detail::IncrementalState>(solver.pool_, solver.config_,

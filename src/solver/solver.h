@@ -92,6 +92,15 @@ public:
     [[nodiscard]] SolveResult solve(std::span<const sym::Expr* const> conjuncts,
                                     const Model* seed = nullptr);
 
+    /// Replays the atom-normalization side effects of solving `conjuncts`
+    /// without running the search. Normalizing an atom on first sight
+    /// interns implied IsNull/Len nodes into the expression pool (see
+    /// AtomIndex::var_for_term), so a caller that answers a query from a
+    /// recorded replay instead of solving must prime the atoms to keep the
+    /// pool's id assignment — and with it every later structural hash —
+    /// identical to a run that solved for real.
+    void prime(std::span<const sym::Expr* const> conjuncts);
+
     /// An incremental conjunction: push conjuncts one at a time, solve the
     /// current conjunction as often as needed, pop back to any prefix.
     /// solve() here is bit-for-bit identical to Solver::solve over the same

@@ -1,0 +1,330 @@
+// preinfer-cache-build: offline builder for the persistent solve-cache
+// tier (DESIGN.md §3h). Runs the full inference pipeline over a
+// corpus with a recorder attached, so every real solve is filed under its
+// pool-independent disk-tier signature, then writes the canonical binary
+// image that `--cache FILE` consumers mmap read-only.
+//
+//   preinfer-cache-build build --out FILE [--jobs N] [--shard i/n]
+//                        [FILE.mini ...]
+//   preinfer-cache-build merge --out FILE SHARD...
+//   preinfer-cache-build --smoke
+//
+// `build` with no .mini files records the built-in table-3 corpus (the
+// harness workload). `--shard i/n` records only that contiguous corpus
+// slice; `merge` folds shard caches together (first payload wins on a key
+// collision, conflicting payloads are counted and reported). The builder
+// is byte-deterministic: the same corpus produces the same file for every
+// --jobs value, and merging shards in any order produces the same bytes
+// as one unsharded build.
+//
+// `--smoke` is the self-test behind the preinfer_cache_smoke ctest: build
+// a cache from a corpus slice, replay the slice with the disk tier
+// attached, and exit nonzero unless the tier served hits AND the replay's
+// result rows are byte-identical to the recording run's.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/eval/corpus.h"
+#include "src/eval/harness.h"
+#include "src/eval/report.h"
+#include "src/lang/parser.h"
+#include "src/solver/disk_cache.h"
+#include "src/support/diagnostics.h"
+
+namespace {
+
+using namespace preinfer;
+
+void usage(std::ostream& out) {
+    out << "usage: preinfer-cache-build build --out FILE [--jobs N] "
+           "[--shard i/n] [FILE.mini ...]\n"
+           "       preinfer-cache-build merge --out FILE SHARD...\n"
+           "       preinfer-cache-build --smoke\n"
+           "build: run the inference pipeline over the built-in table-3 "
+           "corpus (or the\n"
+           "       given MiniLang files) and write the persistent solve-cache "
+           "tier\n"
+           "       consumed by --cache (DESIGN.md §3h)\n"
+           "merge: fold shard caches into one (first payload wins on key "
+           "collisions)\n"
+           "--smoke: build + replay self-test (ctest preinfer_cache_smoke)\n";
+}
+
+/// Strict numeric flag parsing: full-string, range-checked, exit code 2 on
+/// anything else (same contract as preinfer-serve's flag parser).
+int parse_int_flag(const std::string& flag, const char* value, int min_value,
+                   int max_value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || parsed < min_value ||
+        parsed > max_value) {
+        std::cerr << "error: " << flag << " expects an integer in ["
+                  << min_value << ", " << max_value << "], got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
+}
+
+/// Strict `--shard i/n` parsing: both numbers full-string, 0 <= i < n,
+/// exit code 2 on anything else.
+void parse_shard_flag(const std::string& flag, const char* value,
+                      int& index_out, int& count_out) {
+    const auto fail = [&]() {
+        std::cerr << "error: " << flag << " expects i/n with 0 <= i < n, got '"
+                  << value << "'\n";
+        std::exit(2);
+    };
+    errno = 0;
+    char* end = nullptr;
+    const long long index = std::strtoll(value, &end, 10);
+    if (end == value || *end != '/' || errno == ERANGE) fail();
+    const char* count_text = end + 1;
+    errno = 0;
+    const long long count = std::strtoll(count_text, &end, 10);
+    if (end == count_text || *end != '\0' || errno == ERANGE || count < 1 ||
+        count > (1 << 20) || index < 0 || index >= count) {
+        fail();
+    }
+    index_out = static_cast<int>(index);
+    count_out = static_cast<int>(count);
+}
+
+/// One subject per .mini file: the file's first method is the method under
+/// test (later methods are callees), exactly like the CLI default.
+bool subjects_from_files(const std::vector<std::string>& paths,
+                         std::vector<eval::Subject>& out) {
+    for (const std::string& path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "error: cannot open " << path << "\n";
+            return false;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        eval::Subject subject;
+        subject.name = path;
+        subject.suite = "files";
+        eval::SubjectMethod sm;
+        sm.source = text.str();
+        try {
+            const lang::Program program = lang::parse_program(sm.source);
+            if (program.methods.empty()) {
+                std::cerr << "error: " << path << ": no methods\n";
+                return false;
+            }
+            sm.name = program.methods.front().name;
+        } catch (const support::FrontendError& e) {
+            std::cerr << "error: " << path << ": " << e.what() << "\n";
+            return false;
+        }
+        subject.methods.push_back(std::move(sm));
+        out.push_back(std::move(subject));
+    }
+    return true;
+}
+
+/// The shard's own header fingerprint, so merge can validate shards
+/// against each other without knowing the SolverConfig that built them.
+/// (load_file then re-verifies it as part of full validation.)
+bool peek_config_fingerprint(const std::string& path, std::uint64_t& out) {
+    std::ifstream in(path, std::ios::binary);
+    solver::disk_format::Header header{};
+    if (!in.read(reinterpret_cast<char*>(&header), sizeof header)) {
+        return false;
+    }
+    out = header.config_fingerprint;
+    return true;
+}
+
+int run_build(const std::string& out_path, int jobs, int shard_index,
+              int shard_count, const std::vector<std::string>& files) {
+    eval::HarnessConfig config;
+    config.jobs = jobs;
+    config.shard_index = shard_index;
+    config.shard_count = shard_count;
+    solver::DiskCacheBuilder builder(config.explore.solver_config);
+    config.disk_recorder = &builder;
+
+    std::vector<eval::Subject> subjects;
+    if (files.empty()) {
+        subjects = eval::corpus();
+    } else if (!subjects_from_files(files, subjects)) {
+        return 1;
+    }
+
+    try {
+        const eval::HarnessResult result = eval::run_harness(subjects, config);
+        std::string error;
+        if (!builder.write_file(out_path, &error)) {
+            std::cerr << "error: " << error << "\n";
+            return 1;
+        }
+        std::cout << "preinfer-cache-build: " << result.methods.size()
+                  << " methods recorded, " << builder.size() << " entries ("
+                  << builder.payload_conflicts() << " payload conflicts) -> "
+                  << out_path << "\n";
+    } catch (const support::FrontendError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int run_merge(const std::string& out_path,
+              const std::vector<std::string>& shards) {
+    if (shards.empty()) {
+        std::cerr << "error: merge needs at least one shard\n";
+        return 2;
+    }
+    std::uint64_t fingerprint = 0;
+    if (!peek_config_fingerprint(shards.front(), fingerprint)) {
+        std::cerr << "error: cannot read " << shards.front() << "\n";
+        return 1;
+    }
+    // Unlike the consult path (which silently disables the tier), a corrupt
+    // or mismatched shard fails the merge loudly: a build pipeline must not
+    // quietly drop a shard's worth of entries.
+    solver::DiskCacheBuilder builder(fingerprint);
+    std::size_t total_in = 0;
+    for (const std::string& path : shards) {
+        std::string error;
+        const std::shared_ptr<const solver::DiskCache> shard =
+            solver::DiskCache::load_file(path, fingerprint, &error);
+        if (shard == nullptr) {
+            std::cerr << "error: " << path << ": " << error << "\n";
+            return 1;
+        }
+        total_in += shard->size();
+        if (!builder.merge(*shard, &error)) {
+            std::cerr << "error: " << path << ": " << error << "\n";
+            return 1;
+        }
+    }
+    std::string error;
+    if (!builder.write_file(out_path, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+    std::cout << "preinfer-cache-build: merged " << shards.size()
+              << " shard(s), " << total_in << " entries in, " << builder.size()
+              << " unique out (" << builder.payload_conflicts()
+              << " payload conflicts) -> " << out_path << "\n";
+    return 0;
+}
+
+/// Build-and-replay self-test over a small corpus slice. Exit 0 only when
+/// the replay run served disk hits and produced byte-identical result rows.
+int run_smoke() {
+    const std::string path = "cache_smoke.preinfer-cache";
+    std::vector<eval::Subject> subjects = eval::corpus();
+    if (subjects.size() > 2) subjects.resize(2);
+
+    eval::HarnessConfig record_config;
+    record_config.jobs = 2;
+    solver::DiskCacheBuilder builder(record_config.explore.solver_config);
+    record_config.disk_recorder = &builder;
+    const eval::HarnessResult recorded =
+        eval::run_harness(subjects, record_config);
+    std::string error;
+    if (builder.size() == 0) {
+        std::cerr << "smoke: recorder captured no solves\n";
+        return 1;
+    }
+    if (!builder.write_file(path, &error)) {
+        std::cerr << "smoke: " << error << "\n";
+        return 1;
+    }
+
+    eval::HarnessConfig replay_config;
+    replay_config.jobs = 2;
+    replay_config.disk_cache_path = path;
+    const eval::HarnessResult replayed =
+        eval::run_harness(subjects, replay_config);
+    std::remove(path.c_str());
+
+    if (replayed.total_disk_hits() <= 0) {
+        std::cerr << "smoke: replay served no disk hits\n";
+        return 1;
+    }
+    std::ostringstream recorded_rows, replayed_rows;
+    eval::write_acl_csv(recorded, recorded_rows);
+    eval::write_acl_csv(replayed, replayed_rows);
+    if (recorded_rows.str() != replayed_rows.str()) {
+        std::cerr << "smoke: replay rows differ from recording run\n";
+        return 1;
+    }
+    std::cout << "preinfer-cache-build --smoke: " << builder.size()
+              << " entries, " << replayed.total_disk_hits()
+              << " disk hits on replay, rows byte-identical\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+    if (args.front() == "--help" || args.front() == "-h") {
+        usage(std::cout);
+        return 0;
+    }
+    if (args.front() == "--smoke") {
+        return run_smoke();
+    }
+
+    const std::string mode = args.front();
+    if (mode != "build" && mode != "merge") {
+        std::cerr << "error: unknown mode '" << mode << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    std::string out_path;
+    int jobs = 0;
+    int shard_index = 0;
+    int shard_count = 1;
+    std::vector<std::string> inputs;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= args.size()) {
+                std::cerr << "error: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return args[++i].c_str();
+        };
+        if (arg == "--out" || arg == "-o") {
+            out_path = value();
+        } else if (arg == "--jobs" && mode == "build") {
+            jobs = parse_int_flag(arg, value(), 0, 4096);
+        } else if (arg == "--shard" && mode == "build") {
+            parse_shard_flag(arg, value(), shard_index, shard_count);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "error: unknown argument " << arg << "\n";
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (out_path.empty()) {
+        std::cerr << "error: " << mode << " needs --out FILE\n";
+        return 2;
+    }
+    return mode == "build"
+               ? run_build(out_path, jobs, shard_index, shard_count, inputs)
+               : run_merge(out_path, inputs);
+}

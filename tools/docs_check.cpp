@@ -45,6 +45,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -496,6 +497,34 @@ int run_bench_mode(const std::string& json_path) {
             }
             if (text.compare(i, 4, "true") != 0) {
                 fail("\"preconditions_fingerprint_identical\" is not true");
+            }
+        }
+        // Cache-tier records (BENCH_cache.json) additionally carry the
+        // disk-tier counters and the warm-run invariant: a committed
+        // warm-start record with zero disk hits would be vacuous.
+        if (!names.empty() && names.front() == "cache") {
+            for (const char* key : {"disk_hits", "disk_misses"}) {
+                if (json_key_count(text, key) < 2) {
+                    fail(std::string("\"") + key +
+                         "\" must appear in both the before and after "
+                         "sections of a cache record");
+                }
+            }
+            const char* anchor_key = "\"warm_disk_hits_positive\"";
+            const std::size_t warm_anchor = text.find(anchor_key);
+            if (warm_anchor == std::string::npos) {
+                fail("missing \"warm_disk_hits_positive\" invariant");
+            } else {
+                std::size_t i = warm_anchor + std::strlen(anchor_key);
+                while (i < text.size() &&
+                       (std::isspace(static_cast<unsigned char>(text[i])) ||
+                        text[i] == ':')) {
+                    ++i;
+                }
+                if (text.compare(i, 4, "true") != 0) {
+                    fail("\"warm_disk_hits_positive\" is not the bare "
+                         "literal true");
+                }
             }
         }
     }

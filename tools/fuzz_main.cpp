@@ -47,6 +47,13 @@ struct Options {
     std::string fault = "all";
     bool minimize = false;
     bool quiet = false;
+    /// `--shard i/n`: run only the contiguous slice
+    /// [floor(i*iters/n), floor((i+1)*iters/n)) of the iteration range.
+    /// Absolute iteration indices are kept for seed derivation and the
+    /// sampled cross-checks, so the union of all shards covers exactly the
+    /// same (seed, fault) pairs as an unsharded run.
+    int shard_index = 0;
+    int shard_count = 1;
 };
 
 struct Tally {
@@ -74,6 +81,30 @@ int parse_int_flag(const std::string& flag, const char* value, int min_value,
         std::exit(2);
     }
     return static_cast<int>(parsed);
+}
+
+/// Strict `--shard i/n` parsing: both numbers full-string, 0 <= i < n,
+/// exit code 2 on anything else (no silent atoi).
+void parse_shard_flag(const std::string& flag, const char* value,
+                      int& index_out, int& count_out) {
+    const auto fail = [&]() {
+        std::cerr << "error: " << flag << " expects i/n with 0 <= i < n, got '"
+                  << value << "'\n";
+        std::exit(2);
+    };
+    errno = 0;
+    char* end = nullptr;
+    const long long index = std::strtoll(value, &end, 10);
+    if (end == value || *end != '/' || errno == ERANGE) fail();
+    const char* count_text = end + 1;
+    errno = 0;
+    const long long count = std::strtoll(count_text, &end, 10);
+    if (end == count_text || *end != '\0' || errno == ERANGE || count < 1 ||
+        count > (1 << 20) || index < 0 || index >= count) {
+        fail();
+    }
+    index_out = static_cast<int>(index);
+    count_out = static_cast<int>(count);
 }
 
 int run_fleet(const preinfer::fuzz::FleetConfig& config, bool quiet) {
@@ -179,9 +210,12 @@ int main(int argc, char** argv) {
             fleet.max_pending = parse_int_flag(arg, value(), 1, 1 << 20);
         } else if (arg == "--fleet-expect-shed") {
             fleet.expect_shed = true;
+        } else if (arg == "--shard") {
+            parse_shard_flag(arg, value(), opts.shard_index, opts.shard_count);
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: preinfer-fuzz [--seed S] [--iters N] "
-                         "[--fault MODE|all|none] [--minimize] [--quiet]\n"
+                         "[--fault MODE|all|none] [--minimize] [--quiet] "
+                         "[--shard i/n]\n"
                          "       preinfer-fuzz --fleet N [--fleet-requests M] "
                          "[--fleet-connect ADDR]\n"
                          "                     [--fleet-max-pending K] "
@@ -205,7 +239,16 @@ int main(int argc, char** argv) {
     }
 
     Tally tally;
-    for (int i = 0; i < opts.iters; ++i) {
+    // Contiguous shard slice over the absolute iteration indices: every
+    // shard derives the same (seed, fault, sampled-check) schedule an
+    // unsharded run would, so the shard outputs partition it exactly.
+    const auto total = static_cast<std::uint64_t>(opts.iters);
+    const auto shards = static_cast<std::uint64_t>(opts.shard_count);
+    const int iter_begin = static_cast<int>(
+        total * static_cast<std::uint64_t>(opts.shard_index) / shards);
+    const int iter_end = static_cast<int>(
+        total * (static_cast<std::uint64_t>(opts.shard_index) + 1) / shards);
+    for (int i = iter_begin; i < iter_end; ++i) {
         const std::uint64_t program_seed =
             preinfer::fuzz::derive_seed(opts.seed, static_cast<std::uint64_t>(i));
 
@@ -234,7 +277,8 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::cout << "preinfer-fuzz: " << opts.iters << " iterations, " << tally.programs
+    std::cout << "preinfer-fuzz: " << (iter_end - iter_begin) << " iterations, "
+              << tally.programs
               << " program runs, " << tally.tests << " tests ("
               << tally.failing_tests << " failing), " << tally.acls << " ACLs, "
               << tally.replayed_models << " models replayed ("

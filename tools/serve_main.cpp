@@ -6,7 +6,11 @@
 //
 //   preinfer-serve [--jobs N] [--batch N] [--trace] [--smoke N]
 //                  [--listen ADDR] [--max-pending N] [--max-sessions N]
-//                  [--deadline-ms N] [--allow-fault]
+//                  [--deadline-ms N] [--allow-fault] [--cache FILE]
+//
+// --cache FILE attaches the read-only persistent solve-cache tier built by
+// preinfer-cache-build (DESIGN.md §3h); responses are byte-identical
+// with or without it, and fault-injected requests skip it automatically.
 //
 // Without --listen the server speaks stdin/stdout to one client. With
 // --listen ADDR (a unix socket path containing '/', or IPv4 host:port) it
@@ -142,7 +146,8 @@ int run_listen(const preinfer::api::ServerOptions& options) {
               << stats.requests << " requests (" << stats.failed << " failed, "
               << stats.shed << " shed) in " << stats.batches
               << " batch(es), solver-cache hits " << stats.cache_hits
-              << " misses " << stats.cache_misses << "\n";
+              << " misses " << stats.cache_misses << ", disk hits "
+              << stats.disk_hits << " misses " << stats.disk_misses << "\n";
     return 0;
 }
 
@@ -182,13 +187,16 @@ int main(int argc, char** argv) {
                 parse_int_flag(arg, value(), 0, INT_MAX);
         } else if (arg == "--allow-fault") {
             options.allow_fault = true;
+        } else if (arg == "--cache") {
+            options.cache_path = value();
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: preinfer-serve [--jobs N] [--batch N] [--trace] "
                    "[--smoke N]\n"
                    "                      [--listen ADDR] [--max-pending N] "
                    "[--max-sessions N]\n"
-                   "                      [--deadline-ms N] [--allow-fault]\n"
+                   "                      [--deadline-ms N] [--allow-fault] "
+                   "[--cache FILE]\n"
                    "default: one JSON request per stdin line, one JSON response "
                    "per stdout line\n"
                    "--listen: multi-client socket server on a unix path or IPv4 "
@@ -207,6 +215,7 @@ int main(int argc, char** argv) {
     std::cerr << "preinfer-serve: " << stats.requests << " requests ("
               << stats.failed << " failed) in " << stats.batches
               << " batch(es), solver-cache hits " << stats.cache_hits << " misses "
-              << stats.cache_misses << "\n";
+              << stats.cache_misses << ", disk hits " << stats.disk_hits
+              << " misses " << stats.disk_misses << "\n";
     return 0;
 }

@@ -145,7 +145,7 @@ void summarize(const std::vector<Located>& records, std::ostream& out) {
         // Stable presentation order, documented kinds first.
         bool first = true;
         for (const char* kind : {"hit", "miss", "model", "subsume", "prepass",
-                                 "off"}) {
+                                 "disk", "off"}) {
             const auto it = solver_cache.find(kind);
             if (it == solver_cache.end()) continue;
             out << (first ? " " : ", ") << kind << " " << it->second;
@@ -154,7 +154,7 @@ void summarize(const std::vector<Located>& records, std::ostream& out) {
         for (const auto& [kind, count] : solver_cache) {
             bool documented = false;
             for (const char* known :
-                 {"hit", "miss", "model", "subsume", "prepass", "off"}) {
+                 {"hit", "miss", "model", "subsume", "prepass", "disk", "off"}) {
                 if (kind == known) documented = true;
             }
             if (!documented) {
@@ -262,13 +262,15 @@ int main(int argc, char** argv) {
         }
         // Report which execution backend(s) produced the trace — mixed
         // backends in one file usually mean concatenated runs — and break
-        // the semantic solver answers (model / subsume / prepass: queries
-        // answered without a search) out per method unit, not just as a
-        // file-wide total.
+        // the semantic solver answers (model / subsume / prepass / disk:
+        // queries answered without a search) out per method unit, not just
+        // as a file-wide total.
         std::set<std::string> backends;
         struct SemanticHits {
-            long model = 0, subsume = 0, prepass = 0;
-            [[nodiscard]] long total() const { return model + subsume + prepass; }
+            long model = 0, subsume = 0, prepass = 0, disk = 0;
+            [[nodiscard]] long total() const {
+                return model + subsume + prepass + disk;
+            }
         };
         std::vector<std::pair<std::string, SemanticHits>> per_unit;
         SemanticHits totals;
@@ -295,6 +297,7 @@ int main(int argc, char** argv) {
                 if (*cache == "model") ++u.model, ++totals.model;
                 if (*cache == "subsume") ++u.subsume, ++totals.subsume;
                 if (*cache == "prepass") ++u.prepass, ++totals.prepass;
+                if (*cache == "disk") ++u.disk, ++totals.disk;
             }
         }
         std::cout << count << " valid records";
@@ -312,12 +315,12 @@ int main(int argc, char** argv) {
         if (totals.total() > 0) {
             std::cout << "semantic solver answers: model " << totals.model
                       << ", subsume " << totals.subsume << ", prepass "
-                      << totals.prepass << "\n";
+                      << totals.prepass << ", disk " << totals.disk << "\n";
             for (const auto& [name, hits] : per_unit) {
                 if (hits.total() == 0) continue;
                 std::cout << "  " << name << ": model " << hits.model
                           << ", subsume " << hits.subsume << ", prepass "
-                          << hits.prepass << "\n";
+                          << hits.prepass << ", disk " << hits.disk << "\n";
             }
         }
         return 0;
